@@ -1,0 +1,60 @@
+//! Ablation — §3.5 frequency scaling on vs off, cost and robustness of
+//! the moment-matching step on stiff moment sequences.
+//!
+//! Scaling adds a handful of multiplications per moment; the bench shows
+//! the cost is negligible while the conditioning benefit (demonstrated in
+//! `report_ablation_scaling`) is orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use awe::pade::{match_poles, PadeOptions};
+
+/// Moments of a stiff three-pole response at GHz magnitudes.
+fn stiff_moments(count: usize) -> Vec<f64> {
+    let ks = [5.0, -1.0, 0.3];
+    let ps = [-1.8e9f64, -3.1e11, -2.2e13];
+    (0..count)
+        .map(|r| {
+            ks.iter()
+                .zip(&ps)
+                .map(|(k, p)| k * p.powi(-(r as i32)))
+                .sum()
+        })
+        .collect()
+}
+
+fn bench_freq_scaling(c: &mut Criterion) {
+    let m = stiff_moments(6);
+    let mut group = c.benchmark_group("ablation_freq_scaling");
+
+    group.bench_function("scaled_q3", |b| {
+        b.iter(|| {
+            let r = match_poles(black_box(&m), 3, PadeOptions::default());
+            black_box(r)
+        })
+    });
+
+    group.bench_function("unscaled_q3", |b| {
+        b.iter(|| {
+            let r = match_poles(
+                black_box(&m),
+                3,
+                PadeOptions {
+                    frequency_scaling: false,
+                    ..PadeOptions::default()
+                },
+            );
+            black_box(r)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_freq_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation — full AWE pipeline cost by approximation order `q` on the
+//! stiff Fig. 16 tree (§4.4: "higher orders of approximation can be
+//! obtained at an incremental cost").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use awe::{AweEngine, AweOptions};
+use awe_circuit::papers::fig16;
+use awe_circuit::Waveform;
+
+fn bench_order_sweep(c: &mut Criterion) {
+    let p = fig16(Waveform::step(0.0, 5.0), None);
+    let engine = AweEngine::new(&p.circuit).expect("builds");
+    let opts = AweOptions {
+        error_estimate: false,
+        max_escalation: 0,
+        ..AweOptions::default()
+    };
+
+    let mut group = c.benchmark_group("ablation_order_sweep");
+    for q in [1usize, 2, 3, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                let a = engine
+                    .approximate_with(black_box(p.output), q, opts)
+                    .expect("approximation");
+                black_box(a)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_order_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! The headline economics (paper §I: RC-tree methods run "faster than
+//! 1000× the speed" of SPICE): AWE reduction vs a full tight-tolerance
+//! transient simulation on the paper's circuits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use awe::{AweEngine, AweOptions};
+use awe_circuit::papers::{fig16, fig25, fig4};
+use awe_circuit::Waveform;
+use awe_sim::{simulate, TransientOptions};
+
+fn bench_awe_vs_sim(c: &mut Criterion) {
+    let step = || Waveform::step(0.0, 5.0);
+    let cases = [
+        ("fig4", fig4(step()), 8e-3, 2usize),
+        ("fig16", fig16(step(), None), 6e-9, 3),
+        ("fig25", fig25(step()), 2e-8, 4),
+    ];
+
+    let mut group = c.benchmark_group("awe_vs_transient");
+    group.sample_size(10);
+
+    for (name, p, t_stop, order) in cases {
+        let engine = AweEngine::new(&p.circuit).expect("builds");
+        let opts = AweOptions {
+            error_estimate: false,
+            ..AweOptions::default()
+        };
+        group.bench_function(format!("awe_{name}"), |b| {
+            b.iter(|| {
+                let a = engine
+                    .approximate_with(black_box(p.output), order, opts)
+                    .expect("approximation");
+                black_box(a)
+            })
+        });
+        group.bench_function(format!("transient_{name}"), |b| {
+            b.iter(|| {
+                let r = simulate(black_box(&p.circuit), TransientOptions::new(t_stop))
+                    .expect("sim");
+                black_box(r)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_awe_vs_sim);
+criterion_main!(benches);

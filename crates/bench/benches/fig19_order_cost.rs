@@ -1,0 +1,60 @@
+//! Fig. 19 — CPU-time comparison between the first-order approximation
+//! and the *incremental* cost of the second order.
+//!
+//! The paper's claim: higher orders come at incremental cost because the
+//! LU factors of `G` are reused — each extra moment is one forward/back
+//! substitution. We measure (a) the full first-order pipeline, (b) the
+//! incremental two extra moments, and (c) the full second-order pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use awe_circuit::papers::fig16;
+use awe_circuit::Waveform;
+use awe_mna::{MnaSystem, MomentEngine};
+
+fn bench_order_cost(c: &mut Criterion) {
+    let p = fig16(Waveform::step(0.0, 5.0), None);
+    let sys = MnaSystem::build(&p.circuit).expect("builds");
+
+    let mut group = c.benchmark_group("fig19_order_cost");
+
+    group.bench_function("first_order_setup", |b| {
+        b.iter(|| {
+            let eng = MomentEngine::new(black_box(&sys)).expect("factor");
+            let dec = eng.decompose(2).expect("moments");
+            black_box(dec);
+        })
+    });
+
+    // Incremental second order: reuse the factors, two more moments.
+    let eng = MomentEngine::new(&sys).expect("factor");
+    let dec = eng.decompose(2).expect("moments");
+    let seed = dec.pieces[0].moments[0].clone();
+    let w: Vec<f64> = sys.c_times(&seed).iter().map(|v| -v).collect();
+    group.bench_function("incremental_second_order", |b| {
+        b.iter(|| {
+            let m = eng
+                .homogeneous_moments(black_box(seed.clone()), black_box(&w), 4)
+                .expect("moments");
+            black_box(m);
+        })
+    });
+
+    group.bench_function("full_second_order", |b| {
+        b.iter(|| {
+            let eng = MomentEngine::new(black_box(&sys)).expect("factor");
+            let dec = eng.decompose(4).expect("moments");
+            black_box(dec);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_order_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! §IV scaling — the `O(n)` tree walk vs the dense MNA moment engine on
+//! random RC trees of growing size.
+//!
+//! The paper's claim: Elmore delays (and higher moments) for *all* nodes
+//! of an RC tree cost `O(n)` by tree walking. The dense engine is
+//! `O(n³)`; the crossover and the widening gap are what this bench plots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use awe_circuit::generators::random_rc_tree;
+use awe_circuit::Waveform;
+use awe_mna::{MnaSystem, MomentEngine};
+use awe_treelink::TreeAnalysis;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_tree_walk");
+    for &n in &[16usize, 64, 256, 1024] {
+        let g = random_rc_tree(
+            n,
+            (10.0, 200.0),
+            (0.05e-12, 1e-12),
+            42,
+            Waveform::step(0.0, 5.0),
+        );
+
+        group.bench_with_input(BenchmarkId::new("tree_walk", n), &g, |b, g| {
+            b.iter(|| {
+                let ta = TreeAnalysis::new(black_box(&g.circuit)).expect("builds");
+                let m = ta.step_moments(&[5.0], 4).expect("moments");
+                black_box(m);
+            })
+        });
+
+        // The dense engine is cubic; skip the largest size to keep the
+        // suite fast.
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("dense_mna", n), &g, |b, g| {
+                b.iter(|| {
+                    let sys = MnaSystem::build(black_box(&g.circuit)).expect("builds");
+                    let eng = MomentEngine::new(&sys).expect("factor");
+                    let dec = eng.decompose(4).expect("moments");
+                    black_box(dec);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scaling
+}
+criterion_main!(benches);

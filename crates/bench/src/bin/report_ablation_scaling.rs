@@ -1,0 +1,6 @@
+//! Prints the regenerated report for the paper experiment `ablation_scaling`.
+//! See DESIGN.md §2 for the experiment index.
+
+fn main() {
+    println!("{}", awe_bench::experiments::ablation_scaling());
+}

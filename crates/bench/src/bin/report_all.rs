@@ -1,0 +1,6 @@
+//! Prints every regenerated table and figure report in sequence — the
+//! source of EXPERIMENTS.md's measured numbers.
+
+fn main() {
+    println!("{}", awe_bench::experiments::all());
+}

@@ -1,0 +1,6 @@
+//! Prints the regenerated report for the paper experiment `fig20_21`.
+//! See DESIGN.md §2 for the experiment index.
+
+fn main() {
+    println!("{}", awe_bench::experiments::fig20_21());
+}

@@ -1,0 +1,6 @@
+//! Prints the regenerated report for the paper experiment `table2`.
+//! See DESIGN.md §2 for the experiment index.
+
+fn main() {
+    println!("{}", awe_bench::experiments::table2());
+}

@@ -1,0 +1,109 @@
+//! Small formatting helpers shared by the report binaries.
+
+use awe_numeric::Complex;
+
+/// Formats a pole like the paper's tables: `-1.7818e9` or
+/// `-1.0881e9 -2.6125e9j`.
+pub fn pole(p: Complex) -> String {
+    if p.im == 0.0 {
+        format!("{:.4e}", p.re)
+    } else {
+        format!("{:.4e} {:+.4e}j", p.re, p.im)
+    }
+}
+
+/// Formats a relative error as a percentage with sensible precision.
+pub fn percent(e: f64) -> String {
+    if !e.is_finite() {
+        return "n/a".to_owned();
+    }
+    let pct = e * 100.0;
+    if pct >= 10.0 {
+        format!("{pct:.0} %")
+    } else if pct >= 1.0 {
+        format!("{pct:.1} %")
+    } else {
+        format!("{pct:.2} %")
+    }
+}
+
+/// Formats seconds with an automatic engineering unit.
+pub fn seconds(t: f64) -> String {
+    let a = t.abs();
+    if a >= 1.0 {
+        format!("{t:.3} s")
+    } else if a >= 1e-3 {
+        format!("{:.3} ms", t * 1e3)
+    } else if a >= 1e-6 {
+        format!("{:.3} µs", t * 1e6)
+    } else if a >= 1e-9 {
+        format!("{:.3} ns", t * 1e9)
+    } else {
+        format!("{:.3} ps", t * 1e12)
+    }
+}
+
+/// A fixed-width two-column waveform table (time, several series).
+pub fn waveform_table(
+    header: &[&str],
+    times: &[f64],
+    series: &[Vec<f64>],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>12}", header[0]));
+    for h in &header[1..] {
+        out.push_str(&format!("{h:>12}"));
+    }
+    out.push('\n');
+    for (k, &t) in times.iter().enumerate() {
+        out.push_str(&format!("{:>12}", seconds(t)));
+        for s in series {
+            out.push_str(&format!("{:>12.4}", s[k]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pole_formats() {
+        assert_eq!(pole(Complex::real(-1.7818e9)), "-1.7818e9");
+        let s = pole(Complex::new(-1.0881e9, -2.6125e9));
+        assert!(s.contains("j"), "{s}");
+        assert!(s.starts_with('-'), "{s}");
+    }
+
+    #[test]
+    fn percent_ranges() {
+        assert_eq!(percent(0.36), "36 %");
+        assert_eq!(percent(0.016), "1.6 %");
+        assert_eq!(percent(0.0015), "0.15 %");
+        assert_eq!(percent(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn seconds_units() {
+        assert_eq!(seconds(7e-4), "700.000 µs");
+        assert_eq!(seconds(7e-3), "7.000 ms");
+        assert_eq!(seconds(1.6e-9), "1.600 ns");
+        assert_eq!(seconds(5e-13), "0.500 ps");
+        assert_eq!(seconds(2e-6), "2.000 µs");
+        assert_eq!(seconds(1.5), "1.500 s");
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = waveform_table(
+            &["t", "a", "b"],
+            &[0.0, 1e-9],
+            &[vec![1.0, 2.0], vec![3.0, 4.0]],
+        );
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("1.0000"));
+        assert!(t.contains("4.0000"));
+    }
+}

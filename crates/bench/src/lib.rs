@@ -1,0 +1,16 @@
+//! # awe-bench
+//!
+//! Benchmark and reproduction harness for the AWEsim workspace: one
+//! experiment module per table/figure of the paper's evaluation, shared by
+//! the `report_*` binaries (which print the regenerated rows/series) and
+//! the Criterion benches (which measure the paper's cost claims).
+//!
+//! See DESIGN.md §2 for the experiment index and EXPERIMENTS.md for the
+//! recorded paper-vs-measured outcomes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod format;
+pub mod plot;

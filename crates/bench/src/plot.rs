@@ -1,0 +1,159 @@
+//! Minimal ASCII waveform plotting for the figure reports.
+//!
+//! The paper's evaluation is a set of *plots* (AWE curve vs SPICE curve);
+//! the report binaries render the same comparisons as terminal graphics so
+//! the "indistinguishable at this resolution" claims can be eyeballed
+//! directly in EXPERIMENTS.md.
+
+/// One named series of `(t, v)` samples.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (its first character is the plot glyph).
+    pub label: String,
+    /// Samples; need not be uniformly spaced.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a sampling closure over `[t0, t1]`.
+    pub fn sampled(
+        label: &str,
+        t0: f64,
+        t1: f64,
+        n: usize,
+        mut f: impl FnMut(f64) -> f64,
+    ) -> Series {
+        let points = (0..n)
+            .map(|i| {
+                let t = t0 + (t1 - t0) * i as f64 / (n - 1).max(1) as f64;
+                (t, f(t))
+            })
+            .collect();
+        Series {
+            label: label.to_owned(),
+            points,
+        }
+    }
+}
+
+/// Renders the series into a `width × height` character plot with axis
+/// annotations and a legend. Series are drawn in order; later series
+/// overwrite earlier glyphs where they collide (collisions mean the curves
+/// agree at that resolution — the paper's own criterion).
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let mut t_min = f64::INFINITY;
+    let mut t_max = f64::NEG_INFINITY;
+    let mut v_min = f64::INFINITY;
+    let mut v_max = f64::NEG_INFINITY;
+    for s in series {
+        for &(t, v) in &s.points {
+            t_min = t_min.min(t);
+            t_max = t_max.max(t);
+            v_min = v_min.min(v);
+            v_max = v_max.max(v);
+        }
+    }
+    if !(t_min.is_finite() && t_max.is_finite()) || series.is_empty() {
+        return String::from("(no data)\n");
+    }
+    if t_max <= t_min {
+        t_max = t_min + 1.0;
+    }
+    if v_max <= v_min {
+        v_max = v_min + 1.0;
+    }
+    // A little headroom so curves don't ride the frame.
+    let pad = 0.05 * (v_max - v_min);
+    let (v_lo, v_hi) = (v_min - pad, v_max + pad);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('?');
+        for &(t, v) in &s.points {
+            let x = ((t - t_min) / (t_max - t_min) * (width - 1) as f64).round() as usize;
+            let y = ((v - v_lo) / (v_hi - v_lo) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let v_label = if r == 0 {
+            format!("{v_hi:>9.3} ")
+        } else if r == height - 1 {
+            format!("{v_lo:>9.3} ")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&v_label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>10} {:<width$}\n",
+        "",
+        format!("t: {:.3e} .. {:.3e} s", t_min, t_max),
+        width = width
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| {
+            format!(
+                "{} = {}",
+                s.label.chars().next().unwrap_or('?'),
+                s.label
+            )
+        })
+        .collect();
+    out.push_str(&format!("{:>10} [{}]\n", "", legend.join(", ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rising_exponential() {
+        let s = Series::sampled("awe", 0.0, 5.0, 60, |t| 1.0 - (-t).exp());
+        let plot = render(&[s], 60, 12);
+        assert!(plot.contains('a'));
+        assert!(plot.contains("t: 0.000e0 .. 5.000e0 s"));
+        assert!(plot.contains("[a = awe]"));
+        // The curve rises: 'a' appears near the top-right and bottom-left.
+        let lines: Vec<&str> = plot.lines().collect();
+        assert!(lines[0].contains('a') || lines[1].contains('a'));
+    }
+
+    #[test]
+    fn two_series_overlap() {
+        let a = Series::sampled("model", 0.0, 1.0, 30, |t| t);
+        let b = Series::sampled("sim", 0.0, 1.0, 30, |t| t);
+        let plot = render(&[a, b], 40, 10);
+        // Identical curves: the later glyph wins everywhere.
+        assert!(plot.contains('s'));
+        assert!(!plot
+            .lines()
+            .take(10)
+            .any(|l| l.contains('m')), "overlapped glyphs should be overwritten:\n{plot}");
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(render(&[], 40, 10), "(no data)\n");
+        let flat = Series {
+            label: "x".into(),
+            points: vec![(0.0, 2.0), (1.0, 2.0)],
+        };
+        let plot = render(&[flat], 20, 5);
+        assert!(plot.contains('x'));
+    }
+}

@@ -1,0 +1,401 @@
+//! Circuit element model.
+//!
+//! AWE (paper §I) targets linear(ized) RLC interconnect: resistors,
+//! capacitors (grounded *and* floating), inductors, independent sources,
+//! and linear controlled sources. Each element here carries the terminals
+//! and value needed by both the MNA stamps (`awe-mna`) and the structural
+//! analyses (`topology`, `awe-treelink`).
+
+use std::fmt;
+
+use crate::waveform::Waveform;
+
+/// Identifier of a circuit node. Node `0` is always ground.
+pub type NodeId = usize;
+
+/// Ground node id.
+pub const GROUND: NodeId = 0;
+
+/// A two-terminal or controlled circuit element.
+///
+/// All values are in SI units (ohms, farads, henries, volts, amperes).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// Instance name (e.g. `R1`).
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms; must be positive.
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    ///
+    /// A capacitor with `b == GROUND` is a grounded capacitor; otherwise it
+    /// is *floating* (coupling capacitance, §5.3 of the paper).
+    Capacitor {
+        /// Instance name (e.g. `C1`).
+        name: String,
+        /// First terminal (positive for the initial condition).
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads; must be positive.
+        farads: f64,
+        /// Nonequilibrium initial voltage `v(a) - v(b)` at `t = 0`
+        /// (paper §5.2); `None` means the equilibrium DC value.
+        initial_voltage: Option<f64>,
+    },
+    /// Linear inductor between `a` and `b` (§5.4 of the paper).
+    Inductor {
+        /// Instance name (e.g. `L1`).
+        name: String,
+        /// First terminal (current flows `a → b` when positive).
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance in henries; must be positive.
+        henries: f64,
+        /// Initial current at `t = 0`; `None` means the equilibrium value.
+        initial_current: Option<f64>,
+    },
+    /// Independent voltage source from `neg` to `pos`
+    /// (`v(pos) - v(neg) = waveform(t)`).
+    VoltageSource {
+        /// Instance name (e.g. `V1`).
+        name: String,
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source value over time.
+        waveform: Waveform,
+    },
+    /// Independent current source pushing `waveform(t)` amperes from
+    /// `from` into `to` through the source.
+    CurrentSource {
+        /// Instance name (e.g. `I1`).
+        name: String,
+        /// Node current leaves.
+        from: NodeId,
+        /// Node current enters.
+        to: NodeId,
+        /// Source value over time.
+        waveform: Waveform,
+    },
+    /// Voltage-controlled current source (SPICE `G`):
+    /// `i(from→to) = gm · (v(cpos) - v(cneg))`.
+    Vccs {
+        /// Instance name (e.g. `G1`).
+        name: String,
+        /// Node current leaves.
+        from: NodeId,
+        /// Node current enters.
+        to: NodeId,
+        /// Positive controlling node.
+        cpos: NodeId,
+        /// Negative controlling node.
+        cneg: NodeId,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// Voltage-controlled voltage source (SPICE `E`):
+    /// `v(pos) - v(neg) = gain · (v(cpos) - v(cneg))`.
+    Vcvs {
+        /// Instance name (e.g. `E1`).
+        name: String,
+        /// Positive output terminal.
+        pos: NodeId,
+        /// Negative output terminal.
+        neg: NodeId,
+        /// Positive controlling node.
+        cpos: NodeId,
+        /// Negative controlling node.
+        cneg: NodeId,
+        /// Voltage gain (dimensionless).
+        gain: f64,
+    },
+    /// Current-controlled current source (SPICE `F`):
+    /// `i(from→to) = gain · i(through controlling V source)`.
+    Cccs {
+        /// Instance name (e.g. `F1`).
+        name: String,
+        /// Node current leaves.
+        from: NodeId,
+        /// Node current enters.
+        to: NodeId,
+        /// Name of the zero- or finite-valued voltage source whose branch
+        /// current controls this source.
+        control: String,
+        /// Current gain (dimensionless).
+        gain: f64,
+    },
+    /// Current-controlled voltage source (SPICE `H`):
+    /// `v(pos) - v(neg) = r · i(through controlling V source)`.
+    Ccvs {
+        /// Instance name (e.g. `H1`).
+        name: String,
+        /// Positive output terminal.
+        pos: NodeId,
+        /// Negative output terminal.
+        neg: NodeId,
+        /// Name of the controlling voltage source.
+        control: String,
+        /// Transresistance in ohms.
+        r: f64,
+    },
+}
+
+impl Element {
+    /// Instance name of the element.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::Capacitor { name, .. }
+            | Element::Inductor { name, .. }
+            | Element::VoltageSource { name, .. }
+            | Element::CurrentSource { name, .. }
+            | Element::Vccs { name, .. }
+            | Element::Vcvs { name, .. }
+            | Element::Cccs { name, .. }
+            | Element::Ccvs { name, .. } => name,
+        }
+    }
+
+    /// The two primary terminals (output terminals for controlled
+    /// sources), as `(a, b)`.
+    pub fn terminals(&self) -> (NodeId, NodeId) {
+        match *self {
+            Element::Resistor { a, b, .. }
+            | Element::Capacitor { a, b, .. }
+            | Element::Inductor { a, b, .. } => (a, b),
+            Element::VoltageSource { pos, neg, .. }
+            | Element::Vcvs { pos, neg, .. }
+            | Element::Ccvs { pos, neg, .. } => (pos, neg),
+            Element::CurrentSource { from, to, .. }
+            | Element::Vccs { from, to, .. }
+            | Element::Cccs { from, to, .. } => (from, to),
+        }
+    }
+
+    /// All node ids the element references, including controlling nodes.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match *self {
+            Element::Vccs {
+                from,
+                to,
+                cpos,
+                cneg,
+                ..
+            }
+            | Element::Vcvs {
+                pos: from,
+                neg: to,
+                cpos,
+                cneg,
+                ..
+            } => vec![from, to, cpos, cneg],
+            _ => {
+                let (a, b) = self.terminals();
+                vec![a, b]
+            }
+        }
+    }
+
+    /// `true` for energy-storage elements (C or L).
+    pub fn is_storage(&self) -> bool {
+        matches!(self, Element::Capacitor { .. } | Element::Inductor { .. })
+    }
+
+    /// `true` for independent sources.
+    pub fn is_source(&self) -> bool {
+        matches!(
+            self,
+            Element::VoltageSource { .. } | Element::CurrentSource { .. }
+        )
+    }
+
+    /// `true` if either terminal is ground.
+    pub fn touches_ground(&self) -> bool {
+        let (a, b) = self.terminals();
+        a == GROUND || b == GROUND
+    }
+
+    /// One-letter SPICE-style kind tag (`R`, `C`, `L`, `V`, `I`, `G`, `E`,
+    /// `F`, `H`).
+    pub fn kind(&self) -> char {
+        match self {
+            Element::Resistor { .. } => 'R',
+            Element::Capacitor { .. } => 'C',
+            Element::Inductor { .. } => 'L',
+            Element::VoltageSource { .. } => 'V',
+            Element::CurrentSource { .. } => 'I',
+            Element::Vccs { .. } => 'G',
+            Element::Vcvs { .. } => 'E',
+            Element::Cccs { .. } => 'F',
+            Element::Ccvs { .. } => 'H',
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Element::Resistor { name, a, b, ohms } => write!(f, "{name} {a} {b} {ohms}"),
+            Element::Capacitor {
+                name,
+                a,
+                b,
+                farads,
+                initial_voltage,
+            } => {
+                write!(f, "{name} {a} {b} {farads}")?;
+                if let Some(ic) = initial_voltage {
+                    write!(f, " IC={ic}")?;
+                }
+                Ok(())
+            }
+            Element::Inductor {
+                name,
+                a,
+                b,
+                henries,
+                initial_current,
+            } => {
+                write!(f, "{name} {a} {b} {henries}")?;
+                if let Some(ic) = initial_current {
+                    write!(f, " IC={ic}")?;
+                }
+                Ok(())
+            }
+            Element::VoltageSource {
+                name,
+                pos,
+                neg,
+                waveform,
+            } => write!(f, "{name} {pos} {neg} {waveform}"),
+            Element::CurrentSource {
+                name,
+                from,
+                to,
+                waveform,
+            } => write!(f, "{name} {from} {to} {waveform}"),
+            Element::Vccs {
+                name,
+                from,
+                to,
+                cpos,
+                cneg,
+                gm,
+            } => write!(f, "{name} {from} {to} {cpos} {cneg} {gm}"),
+            Element::Vcvs {
+                name,
+                pos,
+                neg,
+                cpos,
+                cneg,
+                gain,
+            } => write!(f, "{name} {pos} {neg} {cpos} {cneg} {gain}"),
+            Element::Cccs {
+                name,
+                from,
+                to,
+                control,
+                gain,
+            } => write!(f, "{name} {from} {to} {control} {gain}"),
+            Element::Ccvs {
+                name,
+                pos,
+                neg,
+                control,
+                r,
+            } => write!(f, "{name} {pos} {neg} {control} {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Element {
+        Element::Resistor {
+            name: "R1".into(),
+            a: 1,
+            b: 2,
+            ohms: 1e3,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let e = r();
+        assert_eq!(e.name(), "R1");
+        assert_eq!(e.terminals(), (1, 2));
+        assert_eq!(e.nodes(), vec![1, 2]);
+        assert_eq!(e.kind(), 'R');
+        assert!(!e.is_storage());
+        assert!(!e.is_source());
+        assert!(!e.touches_ground());
+    }
+
+    #[test]
+    fn storage_and_source_flags() {
+        let c = Element::Capacitor {
+            name: "C1".into(),
+            a: 1,
+            b: GROUND,
+            farads: 1e-12,
+            initial_voltage: Some(5.0),
+        };
+        assert!(c.is_storage());
+        assert!(c.touches_ground());
+        let v = Element::VoltageSource {
+            name: "V1".into(),
+            pos: 1,
+            neg: GROUND,
+            waveform: Waveform::dc(5.0),
+        };
+        assert!(v.is_source());
+        assert_eq!(v.kind(), 'V');
+    }
+
+    #[test]
+    fn controlled_source_nodes_include_controls() {
+        let g = Element::Vccs {
+            name: "G1".into(),
+            from: 1,
+            to: 2,
+            cpos: 3,
+            cneg: 4,
+            gm: 1e-3,
+        };
+        assert_eq!(g.nodes(), vec![1, 2, 3, 4]);
+        assert_eq!(g.terminals(), (1, 2));
+        let e = Element::Vcvs {
+            name: "E1".into(),
+            pos: 1,
+            neg: 0,
+            cpos: 2,
+            cneg: 0,
+            gain: 2.0,
+        };
+        assert_eq!(e.nodes(), vec![1, 0, 2, 0]);
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(r().to_string(), "R1 1 2 1000");
+        let c = Element::Capacitor {
+            name: "C2".into(),
+            a: 2,
+            b: 0,
+            farads: 1e-12,
+            initial_voltage: Some(5.0),
+        };
+        assert!(c.to_string().contains("IC=5"));
+    }
+}

@@ -1,0 +1,350 @@
+//! Synthetic workload generators.
+//!
+//! The paper's evaluation uses hand-drawn circuits; reproducing its
+//! *scaling* claims (§IV: Elmore/moment computation is `O(n)` by tree
+//! walk) and stress-testing AWE's numerics (§3.5 frequency scaling on
+//! stiff circuits) requires parameterized families of circuits. Every
+//! generator is deterministic given its seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::element::{NodeId, GROUND};
+use crate::netlist::Circuit;
+use crate::waveform::Waveform;
+
+/// A generated circuit plus its observable nodes.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// The netlist.
+    pub circuit: Circuit,
+    /// Signal nodes in creation order (excluding the driven input node).
+    pub nodes: Vec<NodeId>,
+    /// The conventional observation point (usually the far end).
+    pub output: NodeId,
+}
+
+/// A uniform RC transmission-line segment model ("RC ladder"):
+/// `in → R → n1(C) → R → n2(C) → … → R → n_k(C)`.
+///
+/// # Panics
+///
+/// Panics if `segments == 0` or any value is non-positive (via the
+/// circuit builder).
+///
+/// # Examples
+///
+/// ```
+/// use awe_circuit::generators::rc_line;
+/// use awe_circuit::Waveform;
+///
+/// let g = rc_line(10, 10.0, 1e-13, Waveform::step(0.0, 5.0));
+/// assert_eq!(g.nodes.len(), 10);
+/// assert_eq!(g.circuit.num_states(), 10);
+/// ```
+pub fn rc_line(segments: usize, r: f64, c: f64, input: Waveform) -> Generated {
+    assert!(segments > 0, "need at least one segment");
+    let mut ckt = Circuit::new();
+    let n_in = ckt.node("in");
+    ckt.add_vsource("V1", n_in, GROUND, input).expect("valid");
+    let mut prev = n_in;
+    let mut nodes = Vec::with_capacity(segments);
+    for i in 1..=segments {
+        let n = ckt.node(&format!("n{i}"));
+        ckt.add_resistor(&format!("R{i}"), prev, n, r).expect("valid");
+        ckt.add_capacitor(&format!("C{i}"), n, GROUND, c)
+            .expect("valid");
+        nodes.push(n);
+        prev = n;
+    }
+    let output = *nodes.last().expect("segments > 0");
+    Generated {
+        circuit: ckt,
+        nodes,
+        output,
+    }
+}
+
+/// A random RC tree with `n` capacitive nodes. Each new node attaches via
+/// a resistor to a uniformly random earlier node, so arbitrary branching
+/// trees are produced. Resistances and capacitances are log-uniform in
+/// `r_range` / `c_range` — wide ranges produce the stiff circuits the
+/// paper's §3.5 scaling discussion targets.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or a range is inverted/non-positive.
+pub fn random_rc_tree(
+    n: usize,
+    r_range: (f64, f64),
+    c_range: (f64, f64),
+    seed: u64,
+    input: Waveform,
+) -> Generated {
+    assert!(n > 0, "need at least one node");
+    assert!(
+        r_range.0 > 0.0 && r_range.1 >= r_range.0,
+        "bad resistance range"
+    );
+    assert!(
+        c_range.0 > 0.0 && c_range.1 >= c_range.0,
+        "bad capacitance range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let log_uniform = move |range: (f64, f64), rng: &mut StdRng| {
+        let (lo, hi) = (range.0.ln(), range.1.ln());
+        (lo + (hi - lo) * rng.gen::<f64>()).exp()
+    };
+
+    let mut ckt = Circuit::new();
+    let n_in = ckt.node("in");
+    ckt.add_vsource("V1", n_in, GROUND, input).expect("valid");
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(n);
+    for i in 1..=n {
+        let attach = if nodes.is_empty() {
+            n_in
+        } else {
+            // Attach to input or any earlier node.
+            let k = rng.gen_range(0..=nodes.len());
+            if k == 0 { n_in } else { nodes[k - 1] }
+        };
+        let node = ckt.node(&format!("n{i}"));
+        let r = log_uniform(r_range, &mut rng);
+        let c = log_uniform(c_range, &mut rng);
+        ckt.add_resistor(&format!("R{i}"), attach, node, r)
+            .expect("valid");
+        ckt.add_capacitor(&format!("C{i}"), node, GROUND, c)
+            .expect("valid");
+        nodes.push(node);
+    }
+    let output = *nodes.last().expect("n > 0");
+    Generated {
+        circuit: ckt,
+        nodes,
+        output,
+    }
+}
+
+/// An `rows × cols` RC mesh (grid of resistors with a grounded capacitor
+/// at every grid node), driven at the `(0, 0)` corner. Meshes contain
+/// resistor loops, exercising the Lin–Mead regime of §2.3.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn rc_mesh(rows: usize, cols: usize, r: f64, c: f64, input: Waveform) -> Generated {
+    assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+    let mut ckt = Circuit::new();
+    let n_in = ckt.node("in");
+    ckt.add_vsource("V1", n_in, GROUND, input).expect("valid");
+    let mut grid = vec![vec![GROUND; cols]; rows];
+    for (i, row) in grid.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = ckt.node(&format!("m{i}_{j}"));
+        }
+    }
+    ckt.add_resistor("Rdrv", n_in, grid[0][0], r).expect("valid");
+    let mut ridx = 0;
+    for i in 0..rows {
+        for j in 0..cols {
+            ckt.add_capacitor(&format!("C{i}_{j}"), grid[i][j], GROUND, c)
+                .expect("valid");
+            if j + 1 < cols {
+                ridx += 1;
+                ckt.add_resistor(&format!("Rh{ridx}"), grid[i][j], grid[i][j + 1], r)
+                    .expect("valid");
+            }
+            if i + 1 < rows {
+                ridx += 1;
+                ckt.add_resistor(&format!("Rv{ridx}"), grid[i][j], grid[i + 1][j], r)
+                    .expect("valid");
+            }
+        }
+    }
+    let nodes: Vec<NodeId> = grid.iter().flatten().copied().collect();
+    let output = grid[rows - 1][cols - 1];
+    Generated {
+        circuit: ckt,
+        nodes,
+        output,
+    }
+}
+
+/// Two parallel RC lines with floating coupling capacitors between
+/// corresponding nodes: the aggressor is driven, the victim is held quiet
+/// by its own driver resistance to ground rail (a 0 V source). Exercises
+/// the floating-capacitance regime of §5.3 at scale.
+///
+/// Returns the victim's far-end node as `output` (the crosstalk
+/// observation point); `nodes` holds aggressor nodes then victim nodes.
+///
+/// # Panics
+///
+/// Panics if `segments == 0`.
+pub fn coupled_rc_lines(
+    segments: usize,
+    r: f64,
+    c: f64,
+    coupling: f64,
+    input: Waveform,
+) -> Generated {
+    assert!(segments > 0, "need at least one segment");
+    let mut ckt = Circuit::new();
+    let a_in = ckt.node("a_in");
+    let v_in = ckt.node("v_in");
+    ckt.add_vsource("V1", a_in, GROUND, input).expect("valid");
+    ckt.add_vsource("V2", v_in, GROUND, Waveform::dc(0.0))
+        .expect("valid");
+    let mut a_prev = a_in;
+    let mut v_prev = v_in;
+    let mut a_nodes = Vec::new();
+    let mut v_nodes = Vec::new();
+    for i in 1..=segments {
+        let a = ckt.node(&format!("a{i}"));
+        let v = ckt.node(&format!("v{i}"));
+        ckt.add_resistor(&format!("Ra{i}"), a_prev, a, r).expect("valid");
+        ckt.add_resistor(&format!("Rv{i}"), v_prev, v, r).expect("valid");
+        ckt.add_capacitor(&format!("Ca{i}"), a, GROUND, c).expect("valid");
+        ckt.add_capacitor(&format!("Cv{i}"), v, GROUND, c).expect("valid");
+        ckt.add_capacitor(&format!("Cc{i}"), a, v, coupling)
+            .expect("valid");
+        a_nodes.push(a);
+        v_nodes.push(v);
+        a_prev = a;
+        v_prev = v;
+    }
+    let output = *v_nodes.last().expect("segments > 0");
+    let mut nodes = a_nodes;
+    nodes.extend(v_nodes);
+    Generated {
+        circuit: ckt,
+        nodes,
+        output,
+    }
+}
+
+/// An RLC ladder: `in → Rs → (L → node(C)) × sections`. Models
+/// board-level interconnect (§I) with inductance; underdamped for small
+/// `rs`.
+///
+/// # Panics
+///
+/// Panics if `sections == 0`.
+pub fn rlc_ladder(
+    sections: usize,
+    rs: f64,
+    l: f64,
+    c: f64,
+    input: Waveform,
+) -> Generated {
+    assert!(sections > 0, "need at least one section");
+    let mut ckt = Circuit::new();
+    let n_in = ckt.node("in");
+    let nr = ckt.node("nr");
+    ckt.add_vsource("V1", n_in, GROUND, input).expect("valid");
+    ckt.add_resistor("Rs", n_in, nr, rs).expect("valid");
+    let mut prev = nr;
+    let mut nodes = Vec::with_capacity(sections);
+    for i in 1..=sections {
+        let n = ckt.node(&format!("n{i}"));
+        ckt.add_inductor(&format!("L{i}"), prev, n, l).expect("valid");
+        ckt.add_capacitor(&format!("C{i}"), n, GROUND, c)
+            .expect("valid");
+        nodes.push(n);
+        prev = n;
+    }
+    let output = *nodes.last().expect("sections > 0");
+    Generated {
+        circuit: ckt,
+        nodes,
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SpanningTree;
+    use crate::topology::analyze;
+
+    fn step() -> Waveform {
+        Waveform::step(0.0, 5.0)
+    }
+
+    #[test]
+    fn rc_line_shape() {
+        let g = rc_line(5, 10.0, 1e-12, step());
+        assert_eq!(g.circuit.num_states(), 5);
+        assert!(analyze(&g.circuit).is_rc_tree());
+        assert_eq!(g.output, g.nodes[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn rc_line_zero_panics() {
+        let _ = rc_line(0, 1.0, 1.0, step());
+    }
+
+    #[test]
+    fn random_tree_is_tree_and_deterministic() {
+        let g1 = random_rc_tree(25, (1.0, 100.0), (1e-14, 1e-12), 42, step());
+        let g2 = random_rc_tree(25, (1.0, 100.0), (1e-14, 1e-12), 42, step());
+        assert_eq!(g1.circuit.to_deck(), g2.circuit.to_deck());
+        let report = analyze(&g1.circuit);
+        assert!(report.is_rc_tree(), "random tree must be an RC tree");
+        assert!(SpanningTree::build(&g1.circuit).is_connected());
+        // Different seed → different circuit.
+        let g3 = random_rc_tree(25, (1.0, 100.0), (1e-14, 1e-12), 43, step());
+        assert_ne!(g1.circuit.to_deck(), g3.circuit.to_deck());
+    }
+
+    #[test]
+    fn random_tree_values_within_range() {
+        use crate::element::Element;
+        let g = random_rc_tree(50, (2.0, 3.0), (1e-13, 2e-13), 7, step());
+        for e in g.circuit.elements() {
+            match e {
+                Element::Resistor { ohms, .. } => {
+                    assert!((2.0..=3.0).contains(ohms));
+                }
+                Element::Capacitor { farads, .. } => {
+                    assert!((1e-13..=2e-13).contains(farads));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_has_loops() {
+        let g = rc_mesh(3, 4, 5.0, 1e-13, step());
+        let report = analyze(&g.circuit);
+        assert!(report.has_resistor_loops);
+        assert!(report.is_rc_mesh());
+        assert_eq!(g.circuit.num_states(), 12);
+        assert!(SpanningTree::build(&g.circuit).is_connected());
+    }
+
+    #[test]
+    fn single_cell_mesh_has_no_loops() {
+        let g = rc_mesh(1, 1, 5.0, 1e-13, step());
+        assert!(!analyze(&g.circuit).has_resistor_loops);
+    }
+
+    #[test]
+    fn coupled_lines_have_floating_caps() {
+        let g = coupled_rc_lines(4, 10.0, 1e-13, 5e-14, step());
+        let report = analyze(&g.circuit);
+        assert!(report.has_floating_capacitors);
+        assert_eq!(g.circuit.num_states(), 12); // 4+4 ground + 4 coupling
+        assert_eq!(g.nodes.len(), 8);
+    }
+
+    #[test]
+    fn rlc_ladder_has_inductors() {
+        let g = rlc_ladder(3, 2.0, 1e-9, 1.5e-13, step());
+        let report = analyze(&g.circuit);
+        assert!(report.has_inductors);
+        assert_eq!(g.circuit.num_states(), 6);
+    }
+}

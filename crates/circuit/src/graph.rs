@@ -1,0 +1,314 @@
+//! Circuit graph: spanning trees and fundamental loops.
+//!
+//! Tree/link analysis (paper §IV) partitions the circuit's elements into a
+//! *spanning tree* and *links*. The paper's normal tree preference — voltage
+//! sources and resistors in the tree, capacitors and current sources as
+//! links — makes the link-current solution trivial for RC trees (eq. (52))
+//! and pinpoints exactly which variables require a real solve when the
+//! steady state is inexplicit (§4.2: a resistor forced into the links).
+
+use crate::element::{Element, NodeId, GROUND};
+use crate::netlist::Circuit;
+
+/// Priority class for spanning-tree construction (lower enters the tree
+/// first). This is the classic *normal tree* ordering.
+fn tree_priority(e: &Element) -> u8 {
+    match e {
+        Element::VoltageSource { .. } | Element::Vcvs { .. } | Element::Ccvs { .. } => 0,
+        Element::Capacitor { .. } => 4,
+        Element::Resistor { .. } => 1,
+        Element::Inductor { .. } => 3,
+        Element::CurrentSource { .. } | Element::Vccs { .. } | Element::Cccs { .. } => 5,
+    }
+}
+
+/// A spanning tree over the circuit's nodes plus the resulting link set.
+///
+/// Tree edges are element indices into [`Circuit::elements`]; every node
+/// reachable from ground has a parent entry describing how to walk toward
+/// the root (ground).
+#[derive(Clone, Debug)]
+pub struct SpanningTree {
+    /// Indices of elements chosen as tree branches.
+    pub tree_edges: Vec<usize>,
+    /// Indices of elements left as links.
+    pub link_edges: Vec<usize>,
+    /// `parent[n] = Some((parent_node, element_idx))` for each non-root
+    /// node in the tree; `None` for the root (ground) and unreachable
+    /// nodes.
+    pub parent: Vec<Option<(NodeId, usize)>>,
+    /// Depth of each node in the rooted tree (0 for ground; `usize::MAX`
+    /// for unreachable nodes).
+    pub depth: Vec<usize>,
+}
+
+impl SpanningTree {
+    /// Builds a normal spanning tree for the circuit, rooted at ground.
+    ///
+    /// Elements enter in priority order (V, R, L, C, I); an element whose
+    /// terminals are already connected becomes a link. For an RC tree this
+    /// yields exactly the paper's Fig. 6 partition: sources + resistors as
+    /// the tree, capacitors as links.
+    pub fn build(circuit: &Circuit) -> SpanningTree {
+        let n = circuit.num_nodes();
+        let mut order: Vec<usize> = (0..circuit.elements().len()).collect();
+        order.sort_by_key(|&i| (tree_priority(&circuit.elements()[i]), i));
+
+        let mut parent_uf: Vec<usize> = (0..n).collect();
+        fn find(uf: &mut [usize], mut x: usize) -> usize {
+            while uf[x] != x {
+                uf[x] = uf[uf[x]];
+                x = uf[x];
+            }
+            x
+        }
+
+        let mut tree_edges = Vec::new();
+        let mut link_edges = Vec::new();
+        let mut adjacency: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); n];
+
+        for idx in order {
+            let e = &circuit.elements()[idx];
+            let (a, b) = e.terminals();
+            if a == b {
+                link_edges.push(idx);
+                continue;
+            }
+            let (ra, rb) = (find(&mut parent_uf, a), find(&mut parent_uf, b));
+            if ra == rb {
+                link_edges.push(idx);
+            } else {
+                parent_uf[ra] = rb;
+                tree_edges.push(idx);
+                adjacency[a].push((b, idx));
+                adjacency[b].push((a, idx));
+            }
+        }
+        // Restore insertion order for deterministic downstream iteration.
+        tree_edges.sort_unstable();
+        link_edges.sort_unstable();
+
+        // Root the tree at ground by BFS.
+        let mut parent = vec![None; n];
+        let mut depth = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        depth[GROUND] = 0;
+        queue.push_back(GROUND);
+        while let Some(u) = queue.pop_front() {
+            for &(v, eidx) in &adjacency[u] {
+                if depth[v] == usize::MAX {
+                    depth[v] = depth[u] + 1;
+                    parent[v] = Some((u, eidx));
+                    queue.push_back(v);
+                }
+            }
+        }
+
+        SpanningTree {
+            tree_edges,
+            link_edges,
+            parent,
+            depth,
+        }
+    }
+
+    /// `true` if every node is connected to ground through tree branches.
+    pub fn is_connected(&self) -> bool {
+        self.depth.iter().all(|&d| d != usize::MAX)
+    }
+
+    /// The tree path from `node` up to ground as a list of
+    /// `(element_idx, from_node, to_node)` hops, starting at `node`.
+    ///
+    /// Returns an empty path for ground itself and for unreachable nodes.
+    pub fn path_to_root(&self, node: NodeId) -> Vec<(usize, NodeId, NodeId)> {
+        let mut path = Vec::new();
+        let mut cur = node;
+        while let Some((p, eidx)) = self.parent.get(cur).copied().flatten() {
+            path.push((eidx, cur, p));
+            cur = p;
+        }
+        path
+    }
+
+    /// The fundamental loop closed by a link element: the tree path
+    /// connecting its two terminals. Each entry is
+    /// `(element_idx, from_node, to_node)` walking from the link's first
+    /// terminal to its second through the tree.
+    ///
+    /// Returns `None` if either terminal is unreachable from ground.
+    pub fn fundamental_loop(
+        &self,
+        circuit: &Circuit,
+        link_idx: usize,
+    ) -> Option<Vec<(usize, NodeId, NodeId)>> {
+        let (a, b) = circuit.elements()[link_idx].terminals();
+        if self.depth.get(a).copied()? == usize::MAX || self.depth.get(b).copied()? == usize::MAX {
+            return None;
+        }
+        // Walk both ends up to their common ancestor.
+        let (mut ua, mut ub) = (a, b);
+        let mut up_a: Vec<(usize, NodeId, NodeId)> = Vec::new();
+        let mut up_b: Vec<(usize, NodeId, NodeId)> = Vec::new();
+        while self.depth[ua] > self.depth[ub] {
+            let (p, e) = self.parent[ua].expect("non-root has parent");
+            up_a.push((e, ua, p));
+            ua = p;
+        }
+        while self.depth[ub] > self.depth[ua] {
+            let (p, e) = self.parent[ub].expect("non-root has parent");
+            up_b.push((e, ub, p));
+            ub = p;
+        }
+        while ua != ub {
+            let (pa, ea) = self.parent[ua].expect("non-root has parent");
+            up_a.push((ea, ua, pa));
+            ua = pa;
+            let (pb, eb) = self.parent[ub].expect("non-root has parent");
+            up_b.push((eb, ub, pb));
+            ub = pb;
+        }
+        // Path a → LCA, then LCA → b (reverse of b's upward walk).
+        up_b.reverse();
+        for hop in &mut up_b {
+            std::mem::swap(&mut hop.1, &mut hop.2);
+        }
+        up_a.extend(up_b);
+        Some(up_a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Circuit;
+    use crate::waveform::Waveform;
+
+    /// The paper's Fig. 4 tree shape.
+    fn fig4_like() -> Circuit {
+        let mut c = Circuit::new();
+        let n_in = c.node("in");
+        let (n1, n2, n3, n4) = (c.node("1"), c.node("2"), c.node("3"), c.node("4"));
+        c.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 5.0))
+            .unwrap();
+        c.add_resistor("R1", n_in, n1, 1.0).unwrap();
+        c.add_resistor("R2", n1, n2, 1.0).unwrap();
+        c.add_resistor("R3", n1, n3, 1.0).unwrap();
+        c.add_resistor("R4", n3, n4, 1.0).unwrap();
+        for (name, node) in [("C1", n1), ("C2", n2), ("C3", n3), ("C4", n4)] {
+            c.add_capacitor(name, node, GROUND, 1e-6).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn rc_tree_partition_matches_fig6() {
+        let c = fig4_like();
+        let st = SpanningTree::build(&c);
+        assert!(st.is_connected());
+        // Tree: V1 + R1..R4 (5 edges for 6 nodes); links: all caps.
+        assert_eq!(st.tree_edges.len(), 5);
+        assert_eq!(st.link_edges.len(), 4);
+        for &l in &st.link_edges {
+            assert_eq!(c.elements()[l].kind(), 'C');
+        }
+    }
+
+    #[test]
+    fn path_to_root_walks_resistor_chain() {
+        let c = fig4_like();
+        let st = SpanningTree::build(&c);
+        let n4 = c.find_node("4").unwrap();
+        let path = st.path_to_root(n4);
+        // n4 → n3 → n1 → in → ground: 4 hops.
+        assert_eq!(path.len(), 4);
+        let names: Vec<&str> = path.iter().map(|&(e, _, _)| c.elements()[e].name()).collect();
+        assert_eq!(names, vec!["R4", "R3", "R1", "V1"]);
+        assert!(st.path_to_root(GROUND).is_empty());
+    }
+
+    #[test]
+    fn grounded_resistor_forces_link() {
+        // Add R5 from n4 to ground: resistors + source now form a cycle,
+        // so one conductive element must become a link (paper Fig. 10).
+        let mut c = fig4_like();
+        let n4 = c.find_node("4").unwrap();
+        c.add_resistor("R5", n4, GROUND, 4.0).unwrap();
+        let st = SpanningTree::build(&c);
+        assert!(st.is_connected());
+        let conductive_links: Vec<&str> = st
+            .link_edges
+            .iter()
+            .map(|&l| c.elements()[l].name())
+            .filter(|n| n.starts_with('R') || n.starts_with('V'))
+            .collect();
+        assert_eq!(conductive_links.len(), 1, "exactly one R/V link expected");
+    }
+
+    #[test]
+    fn fundamental_loop_of_grounded_cap() {
+        let c = fig4_like();
+        let st = SpanningTree::build(&c);
+        // C4's loop: n4 → R4 → n3 → R3 → n1 → R1 → in → V1 → ground.
+        let c4 = c
+            .elements()
+            .iter()
+            .position(|e| e.name() == "C4")
+            .unwrap();
+        let lp = st.fundamental_loop(&c, c4).unwrap();
+        let names: Vec<&str> = lp.iter().map(|&(e, _, _)| c.elements()[e].name()).collect();
+        assert_eq!(names, vec!["R4", "R3", "R1", "V1"]);
+        // Loop orientation: starts at C4's first terminal.
+        let (a, _) = c.elements()[c4].terminals();
+        assert_eq!(lp[0].1, a);
+        assert_eq!(lp.last().unwrap().2, GROUND);
+    }
+
+    #[test]
+    fn fundamental_loop_between_internal_nodes() {
+        // Floating cap between n2 and n4: loop goes through the common
+        // ancestor n1 without reaching ground.
+        let mut c = fig4_like();
+        let (n2, n4) = (c.find_node("2").unwrap(), c.find_node("4").unwrap());
+        c.add_capacitor("C11", n2, n4, 1e-7).unwrap();
+        let st = SpanningTree::build(&c);
+        let c11 = c
+            .elements()
+            .iter()
+            .position(|e| e.name() == "C11")
+            .unwrap();
+        let lp = st.fundamental_loop(&c, c11).unwrap();
+        let names: Vec<&str> = lp.iter().map(|&(e, _, _)| c.elements()[e].name()).collect();
+        assert_eq!(names, vec!["R2", "R3", "R4"]);
+        assert_eq!(lp[0].1, n2);
+        assert_eq!(lp.last().unwrap().2, n4);
+    }
+
+    #[test]
+    fn disconnected_node_detected() {
+        let mut c = fig4_like();
+        let orphan = c.node("orphan");
+        let orphan2 = c.node("orphan2");
+        c.add_capacitor("Cx", orphan, orphan2, 1e-9).unwrap();
+        let st = SpanningTree::build(&c);
+        // The floating pair is connected to itself but not to ground…
+        // Cx joins them, so one of them roots the other; neither reaches
+        // ground.
+        assert!(!st.is_connected());
+        assert!(st.path_to_root(orphan).is_empty());
+    }
+
+    #[test]
+    fn priorities_prefer_sources_then_resistors() {
+        // A resistor in parallel with a capacitor: the R must take the
+        // tree edge, the C must be the link.
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        c.add_resistor("R1", n1, GROUND, 1.0).unwrap();
+        c.add_capacitor("C1", n1, GROUND, 1e-6).unwrap();
+        let st = SpanningTree::build(&c);
+        assert_eq!(st.tree_edges.len(), 1);
+        assert_eq!(c.elements()[st.tree_edges[0]].kind(), 'R');
+        assert_eq!(c.elements()[st.link_edges[0]].kind(), 'C');
+    }
+}

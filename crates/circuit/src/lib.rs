@@ -1,0 +1,49 @@
+//! # awe-circuit
+//!
+//! Circuit substrate for the AWEsim workspace: netlist data model,
+//! SPICE-like deck parsing, structural classification, spanning-tree
+//! machinery, and the circuits of the paper's figures plus synthetic
+//! workload generators.
+//!
+//! The element class is exactly the one the paper's AWE targets (§I):
+//! resistors, grounded *and* floating capacitors, inductors, independent
+//! sources with piecewise-linear waveforms, and linear controlled sources.
+//!
+//! ## Example
+//!
+//! ```
+//! use awe_circuit::{parse_deck, topology};
+//!
+//! # fn main() -> Result<(), awe_circuit::CircuitError> {
+//! let ckt = parse_deck(
+//!     "V1 in 0 STEP 0 5
+//!      R1 in n1 1k
+//!      C1 n1 0 1p
+//!      R2 n1 n2 2k
+//!      C2 n2 0 0.5p",
+//! )?;
+//! let report = topology::analyze(&ckt);
+//! assert!(report.is_rc_tree());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod element;
+pub mod generators;
+mod graph;
+mod netlist;
+pub mod papers;
+mod parser;
+pub mod stage;
+pub mod topology;
+mod waveform;
+
+pub use element::{Element, NodeId, GROUND};
+pub use graph::SpanningTree;
+pub use netlist::{Circuit, CircuitError};
+pub use parser::{parse_deck, parse_value};
+pub use topology::{analyze, TopologyReport};
+pub use waveform::{Ramp, Waveform};

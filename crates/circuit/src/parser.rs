@@ -1,0 +1,441 @@
+//! SPICE-like netlist deck parser.
+//!
+//! Supports the element cards needed for AWE's circuit class:
+//!
+//! ```text
+//! R<name> <n+> <n-> <value>
+//! C<name> <n+> <n-> <value> [IC=<v0>]
+//! L<name> <n+> <n-> <value> [IC=<i0>]
+//! V<name> <n+> <n-> <DC v | STEP v0 v1 | PWL(t1 v1 t2 v2 ...)>
+//! I<name> <n+> <n-> <same source forms>
+//! G<name> <n+> <n-> <nc+> <nc-> <gm>
+//! E<name> <n+> <n-> <nc+> <nc-> <gain>
+//! F<name> <n+> <n-> <Vcontrol> <gain>
+//! H<name> <n+> <n-> <Vcontrol> <r>
+//! * comment        ; comment
+//! .end
+//! ```
+//!
+//! Values accept standard SPICE magnitude suffixes
+//! (`f p n u m k meg g t`) and are case-insensitive.
+
+use crate::netlist::{Circuit, CircuitError};
+use crate::waveform::Waveform;
+
+/// Parses a SPICE-like deck into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Parse`] with the 1-based line number for any
+/// malformed card, and propagates semantic errors (duplicate names,
+/// non-positive values) from the circuit builder.
+///
+/// # Examples
+///
+/// ```
+/// use awe_circuit::parse_deck;
+///
+/// # fn main() -> Result<(), awe_circuit::CircuitError> {
+/// let c = parse_deck(
+///     "* simple stage
+///      V1 in 0 STEP 0 5
+///      R1 in out 1k
+///      C1 out 0 1p IC=2.5
+///      .end",
+/// )?;
+/// assert_eq!(c.elements().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_deck(deck: &str) -> Result<Circuit, CircuitError> {
+    let mut c = Circuit::new();
+    for (lineno, raw) in deck.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip ';' comments and whitespace.
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() || text.starts_with('*') {
+            continue;
+        }
+        if text.starts_with('.') {
+            let directive = text.split_whitespace().next().unwrap_or("");
+            if directive.eq_ignore_ascii_case(".end") {
+                break;
+            }
+            // Other directives are ignored for forward compatibility.
+            continue;
+        }
+        parse_card(&mut c, text, line)?;
+    }
+    Ok(c)
+}
+
+fn perr(line: usize, message: impl Into<String>) -> CircuitError {
+    CircuitError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_card(c: &mut Circuit, text: &str, line: usize) -> Result<(), CircuitError> {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    let name = tokens[0];
+    let kind = name
+        .chars()
+        .next()
+        .expect("non-empty token")
+        .to_ascii_uppercase();
+    match kind {
+        'R' | 'C' | 'L' => {
+            if tokens.len() < 4 {
+                return Err(perr(line, format!("{name}: expected <n+> <n-> <value>")));
+            }
+            let a = c.node(tokens[1]);
+            let b = c.node(tokens[2]);
+            let value = parse_value(tokens[3]).ok_or_else(|| {
+                perr(line, format!("{name}: bad value `{}`", tokens[3]))
+            })?;
+            let ic = parse_ic(&tokens[4..], line, name)?;
+            match kind {
+                'R' => {
+                    if ic.is_some() {
+                        return Err(perr(line, format!("{name}: resistors take no IC")));
+                    }
+                    c.add_resistor(name, a, b, value)
+                }
+                'C' => c.add_capacitor_ic(name, a, b, value, ic),
+                _ => c.add_inductor_ic(name, a, b, value, ic),
+            }
+        }
+        'V' | 'I' => {
+            if tokens.len() < 4 {
+                return Err(perr(line, format!("{name}: expected <n+> <n-> <source>")));
+            }
+            let a = c.node(tokens[1]);
+            let b = c.node(tokens[2]);
+            let wf = parse_source(&tokens[3..], line, name)?;
+            if kind == 'V' {
+                c.add_vsource(name, a, b, wf)
+            } else {
+                c.add_isource(name, a, b, wf)
+            }
+        }
+        'G' | 'E' => {
+            if tokens.len() != 6 {
+                return Err(perr(
+                    line,
+                    format!("{name}: expected <n+> <n-> <nc+> <nc-> <value>"),
+                ));
+            }
+            let (a, b) = (c.node(tokens[1]), c.node(tokens[2]));
+            let (cp, cn) = (c.node(tokens[3]), c.node(tokens[4]));
+            let value = parse_value(tokens[5])
+                .ok_or_else(|| perr(line, format!("{name}: bad value `{}`", tokens[5])))?;
+            if kind == 'G' {
+                c.add_vccs(name, a, b, cp, cn, value)
+            } else {
+                c.add_vcvs(name, a, b, cp, cn, value)
+            }
+        }
+        'F' | 'H' => {
+            if tokens.len() != 5 {
+                return Err(perr(
+                    line,
+                    format!("{name}: expected <n+> <n-> <Vcontrol> <value>"),
+                ));
+            }
+            let (a, b) = (c.node(tokens[1]), c.node(tokens[2]));
+            let control = tokens[3];
+            let value = parse_value(tokens[4])
+                .ok_or_else(|| perr(line, format!("{name}: bad value `{}`", tokens[4])))?;
+            if kind == 'F' {
+                c.add_cccs(name, a, b, control, value)
+            } else {
+                c.add_ccvs(name, a, b, control, value)
+            }
+        }
+        other => Err(perr(line, format!("unknown element kind `{other}`"))),
+    }
+}
+
+fn parse_ic(rest: &[&str], line: usize, name: &str) -> Result<Option<f64>, CircuitError> {
+    match rest {
+        [] => Ok(None),
+        [tok] => {
+            let lower = tok.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("ic=") {
+                parse_value(v)
+                    .map(Some)
+                    .ok_or_else(|| perr(line, format!("{name}: bad IC value `{v}`")))
+            } else {
+                Err(perr(line, format!("{name}: unexpected token `{tok}`")))
+            }
+        }
+        _ => Err(perr(line, format!("{name}: too many tokens"))),
+    }
+}
+
+fn parse_source(tokens: &[&str], line: usize, name: &str) -> Result<Waveform, CircuitError> {
+    let head = tokens[0].to_ascii_uppercase();
+    if head == "DC" {
+        if tokens.len() != 2 {
+            return Err(perr(line, format!("{name}: DC expects one value")));
+        }
+        let v = parse_value(tokens[1])
+            .ok_or_else(|| perr(line, format!("{name}: bad DC value")))?;
+        return Ok(Waveform::dc(v));
+    }
+    if head == "STEP" {
+        if tokens.len() != 3 {
+            return Err(perr(line, format!("{name}: STEP expects v0 v1")));
+        }
+        let v0 = parse_value(tokens[1])
+            .ok_or_else(|| perr(line, format!("{name}: bad STEP v0")))?;
+        let v1 = parse_value(tokens[2])
+            .ok_or_else(|| perr(line, format!("{name}: bad STEP v1")))?;
+        return Ok(Waveform::step(v0, v1));
+    }
+    if head.starts_with("PWL") {
+        // Accept PWL(a b c d) possibly split across tokens.
+        let joined = tokens.join(" ");
+        let open = joined
+            .find('(')
+            .ok_or_else(|| perr(line, format!("{name}: PWL missing `(`")))?;
+        let close = joined
+            .rfind(')')
+            .ok_or_else(|| perr(line, format!("{name}: PWL missing `)`")))?;
+        let inner = &joined[open + 1..close];
+        let vals: Vec<f64> = inner
+            .split([' ', ','])
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                parse_value(s).ok_or_else(|| perr(line, format!("{name}: bad PWL value `{s}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        if vals.is_empty() || !vals.len().is_multiple_of(2) {
+            return Err(perr(
+                line,
+                format!("{name}: PWL needs an even, positive number of values"),
+            ));
+        }
+        let points: Vec<(f64, f64)> = vals.chunks(2).map(|p| (p[0], p[1])).collect();
+        for w in points.windows(2) {
+            if w[1].0 < w[0].0 {
+                return Err(perr(line, format!("{name}: PWL times must not decrease")));
+            }
+        }
+        return Ok(Waveform::pwl(points));
+    }
+    // Bare value = DC.
+    if tokens.len() == 1 {
+        if let Some(v) = parse_value(tokens[0]) {
+            return Ok(Waveform::dc(v));
+        }
+    }
+    Err(perr(line, format!("{name}: unrecognized source `{}`", tokens.join(" "))))
+}
+
+/// Parses a SPICE value with optional magnitude suffix:
+/// `f p n u m k meg g t` (case-insensitive). Returns `None` on malformed
+/// input.
+///
+/// ```
+/// use awe_circuit::parse_value;
+/// assert_eq!(parse_value("1k"), Some(1e3));
+/// assert_eq!(parse_value("2.5MEG"), Some(2.5e6));
+/// assert_eq!(parse_value("10p"), Some(1e-11));
+/// assert_eq!(parse_value("bogus"), None);
+/// ```
+pub fn parse_value(token: &str) -> Option<f64> {
+    let t = token.trim().to_ascii_lowercase();
+    if t.is_empty() {
+        return None;
+    }
+    // Find the longest numeric prefix.
+    let mut split = t.len();
+    for (i, ch) in t.char_indices() {
+        if !(ch.is_ascii_digit() || matches!(ch, '.' | '+' | '-' | 'e')) {
+            split = i;
+            break;
+        }
+        // 'e' must be part of an exponent: digit must follow or sign+digit.
+        if ch == 'e' {
+            let rest = &t[i + 1..];
+            let ok = rest
+                .strip_prefix(['+', '-'])
+                .unwrap_or(rest)
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit());
+            if !ok {
+                split = i;
+                break;
+            }
+        }
+    }
+    let (num, suffix) = t.split_at(split);
+    let base: f64 = num.parse().ok()?;
+    let mult = match suffix {
+        "" => 1.0,
+        "f" => 1e-15,
+        "p" => 1e-12,
+        "n" => 1e-9,
+        "u" => 1e-6,
+        "m" => 1e-3,
+        "k" => 1e3,
+        "meg" => 1e6,
+        "g" => 1e9,
+        "t" => 1e12,
+        // Trailing unit letters after a known suffix (e.g. "1kohm") are
+        // accepted SPICE-style.
+        s if s.starts_with("meg") => 1e6,
+        s if !s.is_empty() => match &s[..1] {
+            "f" => 1e-15,
+            "p" => 1e-12,
+            "n" => 1e-9,
+            "u" => 1e-6,
+            "m" => 1e-3,
+            "k" => 1e3,
+            "g" => 1e9,
+            "t" => 1e12,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    Some(base * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("100"), Some(100.0));
+        assert_eq!(parse_value("1.5k"), Some(1500.0));
+        assert_eq!(parse_value("2meg"), Some(2e6));
+        assert_eq!(parse_value("3MEG"), Some(3e6));
+        assert_eq!(parse_value("1m"), Some(1e-3));
+        assert_eq!(parse_value("1u"), Some(1e-6));
+        assert_eq!(parse_value("1n"), Some(1e-9));
+        assert_eq!(parse_value("1p"), Some(1e-12));
+        assert_eq!(parse_value("1f"), Some(1e-15));
+        assert_eq!(parse_value("1g"), Some(1e9));
+        assert_eq!(parse_value("1t"), Some(1e12));
+        assert_eq!(parse_value("1e-9"), Some(1e-9));
+        assert_eq!(parse_value("-2.5e3"), Some(-2500.0));
+        assert_eq!(parse_value("1kohm"), Some(1e3));
+        assert_eq!(parse_value(""), None);
+        assert_eq!(parse_value("xyz"), None);
+        assert_eq!(parse_value("1.2.3"), None);
+    }
+
+    #[test]
+    fn parses_full_deck() {
+        let deck = "
+* RC tree of the paper's Fig. 4 (values ours)
+V1 in 0 STEP 0 5
+R1 in 1 1
+R2 1 2 1 ; branch
+R3 1 3 1
+R4 3 4 1
+C1 1 0 100u
+C2 2 0 100u
+C3 3 0 100u
+C4 4 0 100u
+.end
+this line is after .end and ignored
+";
+        let c = parse_deck(deck).unwrap();
+        assert_eq!(c.elements().len(), 9);
+        assert_eq!(c.num_states(), 4);
+        assert!(matches!(
+            c.element("V1"),
+            Some(Element::VoltageSource { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_ic() {
+        let c = parse_deck("C1 a 0 1p IC=5\nL1 a b 1n IC=-0.5m").unwrap();
+        match c.element("C1") {
+            Some(Element::Capacitor {
+                initial_voltage, ..
+            }) => assert_eq!(*initial_voltage, Some(5.0)),
+            other => panic!("{other:?}"),
+        }
+        match c.element("L1") {
+            Some(Element::Inductor {
+                initial_current, ..
+            }) => assert_eq!(*initial_current, Some(-5e-4)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sources() {
+        let c = parse_deck(
+            "V1 a 0 DC 3
+V2 b 0 STEP 0 5
+V3 c 0 PWL(0 0 1n 5 2n 5)
+I1 0 a 1m",
+        )
+        .unwrap();
+        match c.element("V3") {
+            Some(Element::VoltageSource { waveform, .. }) => {
+                assert_eq!(waveform.eval(0.5e-9), 2.5);
+            }
+            other => panic!("{other:?}"),
+        }
+        match c.element("I1") {
+            Some(Element::CurrentSource { waveform, .. }) => {
+                assert_eq!(waveform.eval(0.0), 1e-3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_controlled_sources() {
+        let c = parse_deck(
+            "V1 in 0 DC 1
+G1 out 0 in 0 2m
+E1 e 0 in 0 10
+F1 out 0 V1 0.5
+H1 h 0 V1 100",
+        )
+        .unwrap();
+        assert_eq!(c.elements().len(), 5);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_deck("R1 a 0 1k\nR2 a 0 bogus").unwrap_err();
+        match err {
+            CircuitError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_cards() {
+        assert!(parse_deck("R1 a 0").is_err());
+        assert!(parse_deck("Q1 a 0 1k").is_err());
+        assert!(parse_deck("V1 a 0 STEP 1").is_err());
+        assert!(parse_deck("V1 a 0 PWL(0 1 2)").is_err());
+        assert!(parse_deck("V1 a 0 PWL(1 0 0 1)").is_err());
+        assert!(parse_deck("R1 a 0 1k IC=3").is_err());
+        assert!(parse_deck("C1 a 0 1p garbage").is_err());
+        assert!(parse_deck("G1 a 0 1m").is_err());
+        assert!(parse_deck("F1 a 0 V9 1").is_err()); // unknown control
+    }
+
+    #[test]
+    fn round_trip_through_deck() {
+        let deck = "V1 in 0 STEP 0 5\nR1 in out 1k\nC1 out 0 1p IC=2\n.end";
+        let c1 = parse_deck(deck).unwrap();
+        let c2 = parse_deck(&c1.to_deck()).unwrap();
+        assert_eq!(c1.elements().len(), c2.elements().len());
+        assert_eq!(c1.num_nodes(), c2.num_nodes());
+    }
+}

@@ -1,0 +1,190 @@
+//! The timing-analysis *stage* abstraction (paper §II, Fig. 1).
+//!
+//! Timing analyzers partition a design into stages: a switching gate
+//! modeled as a linear *approximate resistor* driving the interconnect and
+//! the receiving gates' input capacitances. AWE itself only ever sees the
+//! resulting linear network — the paper performs this reduction before any
+//! waveform estimation begins. [`StageBuilder`] packages the reduction:
+//! a Thevenin driver (switching source behind its on-resistance), an
+//! interconnect net description, and capacitive receiver pins.
+
+use crate::element::{NodeId, GROUND};
+use crate::netlist::{Circuit, CircuitError};
+use crate::waveform::Waveform;
+
+/// Builder for a single timing stage: driver → interconnect → receivers.
+///
+/// # Examples
+///
+/// ```
+/// use awe_circuit::stage::StageBuilder;
+/// use awe_circuit::Waveform;
+///
+/// # fn main() -> Result<(), awe_circuit::CircuitError> {
+/// let stage = StageBuilder::new(Waveform::rising_step(0.0, 5.0, 50e-12))
+///     .driver_resistance(120.0)
+///     .wire("root", "a", 80.0, 0.2e-12)
+///     .wire("a", "sink1", 60.0, 0.15e-12)
+///     .wire("a", "sink2", 90.0, 0.25e-12)
+///     .receiver("sink1", 30e-15)
+///     .receiver("sink2", 45e-15)
+///     .build()?;
+/// assert_eq!(stage.receivers.len(), 2);
+/// assert!(stage.circuit.num_states() >= 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct StageBuilder {
+    input: Waveform,
+    r_driver: f64,
+    wires: Vec<(String, String, f64, f64)>,
+    receivers: Vec<(String, f64)>,
+}
+
+/// A built stage: the linear circuit plus the node handles a timing
+/// analyzer needs.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    /// The assembled linear circuit.
+    pub circuit: Circuit,
+    /// The driver's output node (root of the interconnect).
+    pub root: NodeId,
+    /// Receiver pin nodes in insertion order, with their names.
+    pub receivers: Vec<(String, NodeId)>,
+}
+
+impl StageBuilder {
+    /// Starts a stage with the driver's switching waveform (the gate
+    /// output swing, e.g. a 0 → 5 V edge with the gate's output slew).
+    pub fn new(input: Waveform) -> Self {
+        StageBuilder {
+            input,
+            r_driver: 100.0,
+            wires: Vec::new(),
+            receivers: Vec::new(),
+        }
+    }
+
+    /// Sets the driver's linearized on-resistance (the paper's
+    /// "approximate resistor" model of the switching MOSFET). Default
+    /// 100 Ω.
+    #[must_use]
+    pub fn driver_resistance(mut self, ohms: f64) -> Self {
+        self.r_driver = ohms;
+        self
+    }
+
+    /// Adds a wire segment from `from` to `to` with lumped series
+    /// resistance and a grounded capacitance at the far end (the standard
+    /// L-segment RC wire model). The name `"root"` refers to the driver's
+    /// output node.
+    #[must_use]
+    pub fn wire(mut self, from: &str, to: &str, ohms: f64, farads: f64) -> Self {
+        self.wires
+            .push((from.to_owned(), to.to_owned(), ohms, farads));
+        self
+    }
+
+    /// Adds a receiving gate's input pin capacitance at a named node.
+    #[must_use]
+    pub fn receiver(mut self, at: &str, farads: f64) -> Self {
+        self.receivers.push((at.to_owned(), farads));
+        self
+    }
+
+    /// Assembles the stage circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element-validation failures (non-positive values,
+    /// duplicate segment names).
+    pub fn build(self) -> Result<Stage, CircuitError> {
+        let mut circuit = Circuit::new();
+        let n_src = circuit.node("drv_src");
+        let root = circuit.node("root");
+        circuit.add_vsource("Vdrv", n_src, GROUND, self.input)?;
+        circuit.add_resistor("Rdrv", n_src, root, self.r_driver)?;
+
+        for (i, (from, to, r, c)) in self.wires.iter().enumerate() {
+            let nf = circuit.node(from);
+            let nt = circuit.node(to);
+            circuit.add_resistor(&format!("Rw{i}"), nf, nt, *r)?;
+            circuit.add_capacitor(&format!("Cw{i}"), nt, GROUND, *c)?;
+        }
+
+        let mut receivers = Vec::with_capacity(self.receivers.len());
+        for (i, (at, c)) in self.receivers.iter().enumerate() {
+            let node = circuit.node(at);
+            circuit.add_capacitor(&format!("Cpin{i}"), node, GROUND, *c)?;
+            receivers.push((at.clone(), node));
+        }
+
+        Ok(Stage {
+            circuit,
+            root,
+            receivers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::analyze;
+
+    fn simple_stage() -> Stage {
+        StageBuilder::new(Waveform::step(0.0, 5.0))
+            .driver_resistance(150.0)
+            .wire("root", "mid", 50.0, 0.1e-12)
+            .wire("mid", "sink", 70.0, 0.2e-12)
+            .receiver("sink", 40e-15)
+            .build()
+            .expect("valid stage")
+    }
+
+    #[test]
+    fn builds_rc_tree_stage() {
+        let stage = simple_stage();
+        let report = analyze(&stage.circuit);
+        assert!(report.is_rc_tree());
+        assert_eq!(stage.receivers.len(), 1);
+        assert_eq!(stage.circuit.node_name(stage.receivers[0].1), "sink");
+        // States: 2 wire caps + 1 pin cap.
+        assert_eq!(stage.circuit.num_states(), 3);
+    }
+
+    #[test]
+    fn branching_net() {
+        let stage = StageBuilder::new(Waveform::step(0.0, 1.0))
+            .wire("root", "a", 10.0, 1e-13)
+            .wire("a", "b", 10.0, 1e-13)
+            .wire("a", "c", 10.0, 1e-13)
+            .receiver("b", 1e-14)
+            .receiver("c", 2e-14)
+            .build()
+            .expect("valid");
+        assert_eq!(stage.receivers.len(), 2);
+        assert!(analyze(&stage.circuit).is_rc_tree());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let err = StageBuilder::new(Waveform::step(0.0, 1.0))
+            .wire("root", "a", -5.0, 1e-13)
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn default_driver_resistance_applies() {
+        let stage = StageBuilder::new(Waveform::dc(0.0))
+            .wire("root", "a", 1.0, 1e-15)
+            .build()
+            .expect("valid");
+        match stage.circuit.element("Rdrv") {
+            Some(crate::Element::Resistor { ohms, .. }) => assert_eq!(*ohms, 100.0),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Structural classification of circuits.
+//!
+//! The RC-tree methods of the paper's §II only apply to a restricted
+//! circuit class: *"RC circuits with capacitors from all nodes to ground,
+//! no floating capacitors, no resistor loops, and no resistors to ground"*.
+//! AWE handles the general case, but the fast `O(n)` tree-walk moment
+//! computation (§IV) and the Elmore baseline need to know which regime a
+//! circuit falls in. [`analyze`] produces that classification.
+
+use std::collections::HashSet;
+
+use crate::element::{Element, NodeId, GROUND};
+use crate::netlist::Circuit;
+
+/// Structural facts about a circuit, produced by [`analyze`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TopologyReport {
+    /// Circuit contains at least one inductor.
+    pub has_inductors: bool,
+    /// Circuit contains a capacitor with neither terminal grounded.
+    pub has_floating_capacitors: bool,
+    /// Circuit contains a resistor with a grounded terminal (excluding any
+    /// resistor in series behind a voltage source — the driver resistance
+    /// of the stage model, which RC-tree methods allow).
+    pub has_grounded_resistors: bool,
+    /// The resistors (together with voltage sources) form at least one
+    /// loop.
+    pub has_resistor_loops: bool,
+    /// Circuit contains controlled sources.
+    pub has_controlled_sources: bool,
+    /// Circuit contains current sources.
+    pub has_current_sources: bool,
+    /// Every non-ground node reachable through resistors has at least one
+    /// grounded capacitor.
+    pub all_nodes_have_grounded_caps: bool,
+    /// Any capacitor or inductor carries a nonequilibrium initial
+    /// condition (paper §5.2).
+    pub has_initial_conditions: bool,
+}
+
+impl TopologyReport {
+    /// `true` when the circuit is an RC tree in the strict sense of the
+    /// paper's §II (Elmore/Penfield–Rubinstein methods and the `O(n)` tree
+    /// walk apply directly).
+    pub fn is_rc_tree(&self) -> bool {
+        !self.has_inductors
+            && !self.has_floating_capacitors
+            && !self.has_grounded_resistors
+            && !self.has_resistor_loops
+            && !self.has_controlled_sources
+            && !self.has_current_sources
+    }
+
+    /// `true` when the circuit is an RC mesh (resistor loops allowed, per
+    /// Lin & Mead's extension, §2.3) but still free of inductors and
+    /// floating capacitors.
+    pub fn is_rc_mesh(&self) -> bool {
+        !self.has_inductors && !self.has_floating_capacitors && !self.has_controlled_sources
+    }
+
+    /// `true` when the steady state is *explicit* (obtainable without an
+    /// LU factorization): per §4.2, this holds when replacing capacitors
+    /// by current sources and inductors by voltage sources leaves a
+    /// circuit whose links are exclusively current sources — in our terms,
+    /// no resistor loops and no grounded resistors.
+    pub fn has_explicit_steady_state(&self) -> bool {
+        !self.has_grounded_resistors && !self.has_resistor_loops && !self.has_controlled_sources
+    }
+}
+
+/// Classifies the structure of a circuit. See [`TopologyReport`].
+pub fn analyze(circuit: &Circuit) -> TopologyReport {
+    let mut report = TopologyReport {
+        all_nodes_have_grounded_caps: true,
+        ..TopologyReport::default()
+    };
+
+    // Nodes tied to ground through a voltage source act as "source rails":
+    // a resistor to such a node is the stage's driver resistance, not a
+    // grounded resistor in the §2.2 sense.
+    let mut rail_nodes: HashSet<NodeId> = HashSet::new();
+    rail_nodes.insert(GROUND);
+
+    for e in circuit.elements() {
+        if let Element::VoltageSource { pos, neg, .. } = *e {
+            if neg == GROUND {
+                rail_nodes.insert(pos);
+            }
+            if pos == GROUND {
+                rail_nodes.insert(neg);
+            }
+        }
+    }
+
+    // Union-find over nodes for resistor-loop detection. Voltage-source
+    // edges participate too: a resistor loop through an ideal source is
+    // still a loop for the tree-walk's purposes.
+    let mut uf = UnionFind::new(circuit.num_nodes());
+    let mut grounded_cap_nodes: HashSet<NodeId> = HashSet::new();
+    let mut resistor_nodes: HashSet<NodeId> = HashSet::new();
+
+    for e in circuit.elements() {
+        match e {
+            Element::Resistor { a, b, .. } => {
+                resistor_nodes.insert(*a);
+                resistor_nodes.insert(*b);
+                if (*a == GROUND || *b == GROUND)
+                    || (rail_nodes.contains(a) && rail_nodes.contains(b))
+                {
+                    // R direct to ground, or shorting two rails.
+                    if *a == GROUND || *b == GROUND {
+                        report.has_grounded_resistors = true;
+                    }
+                }
+                if !uf.union(*a, *b) {
+                    report.has_resistor_loops = true;
+                }
+            }
+            Element::VoltageSource { pos, neg, .. } => {
+                if !uf.union(*pos, *neg) {
+                    report.has_resistor_loops = true;
+                }
+            }
+            Element::Capacitor {
+                a,
+                b,
+                initial_voltage,
+                ..
+            } => {
+                if *a != GROUND && *b != GROUND {
+                    report.has_floating_capacitors = true;
+                } else {
+                    let node = if *a == GROUND { *b } else { *a };
+                    grounded_cap_nodes.insert(node);
+                }
+                if initial_voltage.is_some() {
+                    report.has_initial_conditions = true;
+                }
+            }
+            Element::Inductor {
+                initial_current, ..
+            } => {
+                report.has_inductors = true;
+                if initial_current.is_some() {
+                    report.has_initial_conditions = true;
+                }
+            }
+            Element::CurrentSource { .. } => report.has_current_sources = true,
+            Element::Vccs { .. }
+            | Element::Vcvs { .. }
+            | Element::Cccs { .. }
+            | Element::Ccvs { .. } => report.has_controlled_sources = true,
+        }
+    }
+
+    // Every resistor-connected node (other than ground and rails) should
+    // carry a grounded capacitor for the strict RC-tree definition.
+    for &n in &resistor_nodes {
+        if n == GROUND || rail_nodes.contains(&n) {
+            continue;
+        }
+        if !grounded_cap_nodes.contains(&n) {
+            report.all_nodes_have_grounded_caps = false;
+            break;
+        }
+    }
+
+    report
+}
+
+/// Minimal union-find with path halving.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unions the sets of `a` and `b`; returns `false` if they were
+    /// already connected (i.e. this edge closes a loop).
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Circuit;
+    use crate::waveform::Waveform;
+
+    fn rc_tree() -> Circuit {
+        // V → R1 → n1(C1) → R2 → n2(C2), branch n1 → R3 → n3(C3).
+        let mut c = Circuit::new();
+        let n_in = c.node("in");
+        let (n1, n2, n3) = (c.node("1"), c.node("2"), c.node("3"));
+        c.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 5.0))
+            .unwrap();
+        c.add_resistor("R1", n_in, n1, 1.0).unwrap();
+        c.add_resistor("R2", n1, n2, 1.0).unwrap();
+        c.add_resistor("R3", n1, n3, 1.0).unwrap();
+        c.add_capacitor("C1", n1, GROUND, 1e-6).unwrap();
+        c.add_capacitor("C2", n2, GROUND, 1e-6).unwrap();
+        c.add_capacitor("C3", n3, GROUND, 1e-6).unwrap();
+        c
+    }
+
+    #[test]
+    fn classifies_rc_tree() {
+        let r = analyze(&rc_tree());
+        assert!(r.is_rc_tree());
+        assert!(r.is_rc_mesh());
+        assert!(r.has_explicit_steady_state());
+        assert!(r.all_nodes_have_grounded_caps);
+        assert!(!r.has_initial_conditions);
+    }
+
+    #[test]
+    fn detects_grounded_resistor() {
+        let mut c = rc_tree();
+        let n3 = c.find_node("3").unwrap();
+        c.add_resistor("R5", n3, GROUND, 4.0).unwrap();
+        let r = analyze(&c);
+        assert!(r.has_grounded_resistors);
+        assert!(!r.is_rc_tree());
+        assert!(!r.has_explicit_steady_state());
+    }
+
+    #[test]
+    fn detects_resistor_loop() {
+        let mut c = rc_tree();
+        let (n2, n3) = (c.find_node("2").unwrap(), c.find_node("3").unwrap());
+        c.add_resistor("R6", n2, n3, 2.0).unwrap();
+        let r = analyze(&c);
+        assert!(r.has_resistor_loops);
+        assert!(!r.is_rc_tree());
+        assert!(r.is_rc_mesh()); // mesh allows loops
+    }
+
+    #[test]
+    fn loop_through_source_counts() {
+        // R from the driven rail back to ground closes a loop via V1.
+        let mut c = rc_tree();
+        let n_in = c.find_node("in").unwrap();
+        c.add_resistor("Rg", n_in, GROUND, 1.0).unwrap();
+        let r = analyze(&c);
+        assert!(r.has_resistor_loops);
+        assert!(r.has_grounded_resistors);
+    }
+
+    #[test]
+    fn detects_floating_cap() {
+        let mut c = rc_tree();
+        let (n2, n3) = (c.find_node("2").unwrap(), c.find_node("3").unwrap());
+        c.add_capacitor("C11", n2, n3, 1e-7).unwrap();
+        let r = analyze(&c);
+        assert!(r.has_floating_capacitors);
+        assert!(!r.is_rc_tree());
+        assert!(!r.is_rc_mesh());
+    }
+
+    #[test]
+    fn detects_inductors_and_ic() {
+        let mut c = rc_tree();
+        let n2 = c.find_node("2").unwrap();
+        let n4 = c.node("4");
+        c.add_inductor_ic("L1", n2, n4, 1e-9, Some(0.1)).unwrap();
+        let r = analyze(&c);
+        assert!(r.has_inductors);
+        assert!(r.has_initial_conditions);
+        assert!(!r.is_rc_tree());
+    }
+
+    #[test]
+    fn detects_cap_initial_condition() {
+        let mut c = rc_tree();
+        let n4 = c.node("4");
+        let n2 = c.find_node("2").unwrap();
+        c.add_resistor("R7", n2, n4, 1.0).unwrap();
+        c.add_capacitor_ic("C4", n4, GROUND, 1e-6, Some(5.0)).unwrap();
+        let r = analyze(&c);
+        assert!(r.has_initial_conditions);
+        assert!(r.is_rc_tree()); // ICs don't break tree structure
+    }
+
+    #[test]
+    fn detects_controlled_and_current_sources() {
+        let mut c = rc_tree();
+        let n1 = c.find_node("1").unwrap();
+        c.add_isource("I1", GROUND, n1, Waveform::dc(1e-3)).unwrap();
+        let r = analyze(&c);
+        assert!(r.has_current_sources);
+        assert!(!r.is_rc_tree());
+
+        let mut c2 = rc_tree();
+        let n1 = c2.find_node("1").unwrap();
+        let n2 = c2.find_node("2").unwrap();
+        c2.add_vccs("G1", n2, GROUND, n1, GROUND, 1e-3).unwrap();
+        let r2 = analyze(&c2);
+        assert!(r2.has_controlled_sources);
+        assert!(!r2.is_rc_mesh());
+    }
+
+    #[test]
+    fn missing_grounded_cap_flagged() {
+        let mut c = Circuit::new();
+        let n_in = c.node("in");
+        let n1 = c.node("1");
+        let n2 = c.node("2");
+        c.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
+        c.add_resistor("R1", n_in, n1, 1.0).unwrap();
+        c.add_resistor("R2", n1, n2, 1.0).unwrap();
+        c.add_capacitor("C2", n2, GROUND, 1e-6).unwrap();
+        // n1 has no grounded cap.
+        let r = analyze(&c);
+        assert!(!r.all_nodes_have_grounded_caps);
+        // Still counts as an RC tree structurally.
+        assert!(r.is_rc_tree());
+    }
+}

@@ -1,0 +1,308 @@
+//! Source waveforms.
+//!
+//! The paper's excitation class (eq. (5)) is `u(t) = u₀ + u₁·t` — any
+//! piecewise-linear signal decomposes into a superposition of such infinite
+//! ramps (§4.3, Fig. 13: a finite-rise-time step is a positive ramp plus a
+//! delayed negative ramp). [`Waveform`] is therefore stored in piecewise-
+//! linear form, and [`Waveform::ramps`] produces exactly that superposition
+//! for the AWE engine, while [`Waveform::eval`] serves the reference
+//! transient simulator.
+
+use std::fmt;
+
+/// One infinite ramp component of a PWL decomposition: a signal that is
+/// zero before `start` and grows with `slope` after it, i.e.
+/// `slope · (t - start) · 1(t ≥ start)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ramp {
+    /// Onset time in seconds.
+    pub start: f64,
+    /// Slope in units/second (may be negative).
+    pub slope: f64,
+}
+
+/// A piecewise-linear source waveform.
+///
+/// The value is `points[0].1` for `t ≤ points[0].0`, linearly interpolated
+/// between breakpoints, and constant after the final breakpoint.
+///
+/// # Examples
+///
+/// ```
+/// use awe_circuit::Waveform;
+///
+/// // 0 → 5 V with a 1 ns rise starting at t = 0.
+/// let w = Waveform::rising_step(0.0, 5.0, 1e-9);
+/// assert_eq!(w.eval(-1.0), 0.0);
+/// assert_eq!(w.eval(0.5e-9), 2.5);
+/// assert_eq!(w.eval(1.0), 5.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Waveform {
+    points: Vec<(f64, f64)>,
+}
+
+impl Waveform {
+    /// A constant (DC) source.
+    pub fn dc(value: f64) -> Self {
+        Waveform {
+            points: vec![(0.0, value)],
+        }
+    }
+
+    /// An ideal step from `v0` to `v1` at `t = 0`.
+    ///
+    /// Represented as a PWL with an *instantaneous* transition; the AWE
+    /// ramp decomposition treats a zero-width segment as an ideal step
+    /// (pure initial-condition change), and the transient simulator
+    /// evaluates the post-step value at `t ≥ 0`.
+    pub fn step(v0: f64, v1: f64) -> Self {
+        Waveform {
+            points: vec![(0.0, v0), (0.0, v1)],
+        }
+    }
+
+    /// A step from `0` (for `t < t0`) to `v1`, with linear rise of duration
+    /// `rise` starting at `t0`. `rise == 0` gives an ideal step at `t0`.
+    pub fn rising_step(t0: f64, v1: f64, rise: f64) -> Self {
+        Waveform {
+            points: vec![(t0, 0.0), (t0 + rise, v1)],
+        }
+    }
+
+    /// An arbitrary piecewise-linear waveform from `(time, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or times are decreasing.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "PWL waveform needs at least one point");
+        for w in points.windows(2) {
+            assert!(
+                w[1].0 >= w[0].0,
+                "PWL breakpoints must have non-decreasing times"
+            );
+        }
+        Waveform { points }
+    }
+
+    /// Breakpoints of the waveform.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Value at time `t`.
+    ///
+    /// Constant before the first and after the last breakpoint. At a
+    /// zero-width (ideal-step) transition the *post-step* value is
+    /// returned.
+    pub fn eval(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t < pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let ((t0, v0), (t1, v1)) = (w[0], w[1]);
+            if t < t1 {
+                if t1 == t0 {
+                    continue;
+                }
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+            }
+        }
+        pts.last().expect("non-empty").1
+    }
+
+    /// Initial value (at `t = -∞`, i.e. before the first breakpoint).
+    pub fn initial_value(&self) -> f64 {
+        self.points[0].1
+    }
+
+    /// Final value (after the last breakpoint).
+    pub fn final_value(&self) -> f64 {
+        self.points.last().expect("non-empty").1
+    }
+
+    /// `true` if the waveform never changes value.
+    pub fn is_dc(&self) -> bool {
+        self.points.iter().all(|p| p.1 == self.points[0].1)
+    }
+
+    /// Decomposes the waveform into its initial value, a list of infinite
+    /// [`Ramp`]s, and a list of ideal steps `(time, jump)`:
+    ///
+    /// ```text
+    /// u(t) = initial + Σ ramps slopeᵢ·(t-startᵢ)·1(t≥startᵢ)
+    ///                + Σ steps jumpⱼ·1(t≥timeⱼ)
+    /// ```
+    ///
+    /// This is the paper's Fig. 13 construction generalized to arbitrary
+    /// PWL inputs: the AWE engine superposes one homogeneous solution per
+    /// ramp/step.
+    pub fn decompose(&self) -> (f64, Vec<Ramp>, Vec<(f64, f64)>) {
+        let initial = self.initial_value();
+        let mut ramps = Vec::new();
+        let mut steps = Vec::new();
+        let mut prev_slope = 0.0;
+        for w in self.points.windows(2) {
+            let ((t0, v0), (t1, v1)) = (w[0], w[1]);
+            if t1 == t0 {
+                if v1 != v0 {
+                    steps.push((t0, v1 - v0));
+                }
+                continue;
+            }
+            let slope = (v1 - v0) / (t1 - t0);
+            let dslope = slope - prev_slope;
+            if dslope != 0.0 {
+                ramps.push(Ramp {
+                    start: t0,
+                    slope: dslope,
+                });
+            }
+            prev_slope = slope;
+        }
+        // Flatten after the final breakpoint.
+        if prev_slope != 0.0 {
+            ramps.push(Ramp {
+                start: self.points.last().expect("non-empty").0,
+                slope: -prev_slope,
+            });
+        }
+        (initial, ramps, steps)
+    }
+
+    /// Convenience alias for [`Waveform::decompose`] returning only ramps
+    /// (errors if the waveform contains ideal steps are *not* raised —
+    /// ideal steps are returned separately by `decompose`).
+    pub fn ramps(&self) -> Vec<Ramp> {
+        self.decompose().1
+    }
+}
+
+impl fmt::Display for Waveform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_dc() {
+            return write!(f, "DC {}", self.points[0].1);
+        }
+        write!(f, "PWL(")?;
+        for (i, (t, v)) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t} {v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::dc(3.3);
+        assert_eq!(w.eval(-1e9), 3.3);
+        assert_eq!(w.eval(1e9), 3.3);
+        assert!(w.is_dc());
+        assert_eq!(w.initial_value(), 3.3);
+        assert_eq!(w.final_value(), 3.3);
+        let (init, ramps, steps) = w.decompose();
+        assert_eq!(init, 3.3);
+        assert!(ramps.is_empty());
+        assert!(steps.is_empty());
+    }
+
+    #[test]
+    fn ideal_step() {
+        let w = Waveform::step(0.0, 5.0);
+        assert_eq!(w.eval(-1e-12), 0.0);
+        assert_eq!(w.eval(0.0), 5.0);
+        assert_eq!(w.eval(1.0), 5.0);
+        let (init, ramps, steps) = w.decompose();
+        assert_eq!(init, 0.0);
+        assert!(ramps.is_empty());
+        assert_eq!(steps, vec![(0.0, 5.0)]);
+    }
+
+    #[test]
+    fn finite_rise_decomposes_into_two_ramps() {
+        // The paper's Fig. 13: step with 1 ms rise = +ramp at 0, −ramp at 1 ms.
+        let w = Waveform::rising_step(0.0, 5.0, 1e-3);
+        let (init, ramps, steps) = w.decompose();
+        assert_eq!(init, 0.0);
+        assert!(steps.is_empty());
+        assert_eq!(ramps.len(), 2);
+        assert_eq!(ramps[0], Ramp { start: 0.0, slope: 5e3 });
+        assert_eq!(
+            ramps[1],
+            Ramp {
+                start: 1e-3,
+                slope: -5e3
+            }
+        );
+        // Reconstruct and compare against eval.
+        for &t in &[-1e-3, 0.0, 2.5e-4, 9.9e-4, 1e-3, 5e-3] {
+            let recon: f64 = init
+                + ramps
+                    .iter()
+                    .filter(|r| t >= r.start)
+                    .map(|r| r.slope * (t - r.start))
+                    .sum::<f64>();
+            assert!((recon - w.eval(t)).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn pwl_multi_segment() {
+        let w = Waveform::pwl(vec![(0.0, 0.0), (1.0, 2.0), (3.0, 1.0), (4.0, 1.0)]);
+        assert_eq!(w.eval(0.5), 1.0);
+        assert_eq!(w.eval(2.0), 1.5);
+        assert_eq!(w.eval(3.5), 1.0);
+        assert_eq!(w.eval(10.0), 1.0);
+        let (init, ramps, steps) = w.decompose();
+        assert_eq!(init, 0.0);
+        assert!(steps.is_empty());
+        // Slopes: 2, -0.5, 0 → ramp deltas +2 at 0, -2.5 at 1, +0.5 at 3.
+        assert_eq!(ramps.len(), 3);
+        for &t in &[0.25, 1.5, 2.9, 3.2, 8.0] {
+            let recon: f64 = init
+                + ramps
+                    .iter()
+                    .filter(|r| t >= r.start)
+                    .map(|r| r.slope * (t - r.start))
+                    .sum::<f64>();
+            assert!((recon - w.eval(t)).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn step_mid_pwl() {
+        let w = Waveform::pwl(vec![(0.0, 1.0), (1.0, 1.0), (1.0, 4.0), (2.0, 4.0)]);
+        assert_eq!(w.eval(0.5), 1.0);
+        assert_eq!(w.eval(1.0), 4.0);
+        let (_, ramps, steps) = w.decompose();
+        assert!(ramps.is_empty());
+        assert_eq!(steps, vec![(1.0, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_pwl_panics() {
+        let _ = Waveform::pwl(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_times_panic() {
+        let _ = Waveform::pwl(vec![(1.0, 0.0), (0.0, 1.0)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Waveform::dc(5.0).to_string(), "DC 5");
+        let w = Waveform::rising_step(0.0, 5.0, 1e-9);
+        assert!(w.to_string().starts_with("PWL("));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the circuit substrate.
+
+use proptest::prelude::*;
+
+use awe_circuit::generators::{coupled_rc_lines, random_rc_tree, rc_line, rc_mesh};
+use awe_circuit::{analyze, parse_deck, parse_value, SpanningTree, Waveform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_trees_are_rc_trees(n in 1usize..40, seed in 0u64..1000) {
+        let g = random_rc_tree(
+            n,
+            (1.0, 1e3),
+            (1e-15, 1e-11),
+            seed,
+            Waveform::step(0.0, 1.0),
+        );
+        let report = analyze(&g.circuit);
+        prop_assert!(report.is_rc_tree());
+        prop_assert!(report.all_nodes_have_grounded_caps);
+        let st = SpanningTree::build(&g.circuit);
+        prop_assert!(st.is_connected());
+        // Tree + links partition the elements.
+        prop_assert_eq!(
+            st.tree_edges.len() + st.link_edges.len(),
+            g.circuit.elements().len()
+        );
+        // An n-cap tree has n+2 nodes (ground, input, n internal), n+1
+        // tree edges (V + n resistors) and n capacitor links.
+        prop_assert_eq!(st.tree_edges.len(), n + 1);
+        prop_assert_eq!(st.link_edges.len(), n);
+    }
+
+    #[test]
+    fn deck_round_trip_preserves_structure(n in 1usize..25, seed in 0u64..500) {
+        let g = random_rc_tree(
+            n,
+            (1.0, 1e3),
+            (1e-15, 1e-11),
+            seed,
+            Waveform::step(0.0, 5.0),
+        );
+        let deck = g.circuit.to_deck();
+        let re = parse_deck(&deck).expect("own deck parses");
+        prop_assert_eq!(re.elements().len(), g.circuit.elements().len());
+        prop_assert_eq!(re.num_nodes(), g.circuit.num_nodes());
+        prop_assert_eq!(re.num_states(), g.circuit.num_states());
+        // And again: fixpoint after one round trip.
+        prop_assert_eq!(re.to_deck(), deck);
+    }
+
+    #[test]
+    fn parse_value_round_trip(v in 1e-14f64..1e12) {
+        let s = format!("{v:e}");
+        let parsed = parse_value(&s).expect("float syntax");
+        prop_assert!(((parsed - v) / v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_value_suffixes(mant in 1.0f64..999.0) {
+        for (suffix, mult) in [
+            ("f", 1e-15), ("p", 1e-12), ("n", 1e-9), ("u", 1e-6),
+            ("m", 1e-3), ("k", 1e3), ("meg", 1e6), ("g", 1e9), ("t", 1e12),
+        ] {
+            let s = format!("{mant}{suffix}");
+            let parsed = parse_value(&s).expect("suffix syntax");
+            let want = mant * mult;
+            prop_assert!(((parsed - want) / want).abs() < 1e-12, "{s}");
+        }
+    }
+
+    #[test]
+    fn waveform_decomposition_reconstructs(
+        pts in proptest::collection::vec((0.0f64..1e-6, -5.0f64..5.0), 1..6),
+        probe in 0.0f64..2e-6,
+    ) {
+        let mut points = pts;
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let w = Waveform::pwl(points);
+        let (init, ramps, steps) = w.decompose();
+        let recon: f64 = init
+            + ramps
+                .iter()
+                .filter(|r| probe >= r.start)
+                .map(|r| r.slope * (probe - r.start))
+                .sum::<f64>()
+            + steps
+                .iter()
+                .filter(|s| probe >= s.0)
+                .map(|s| s.1)
+                .sum::<f64>();
+        prop_assert!(
+            (recon - w.eval(probe)).abs() < 1e-9,
+            "t={probe}: {recon} vs {}",
+            w.eval(probe)
+        );
+    }
+
+    #[test]
+    fn meshes_classify_consistently(rows in 1usize..5, cols in 1usize..5) {
+        let g = rc_mesh(rows, cols, 10.0, 1e-13, Waveform::step(0.0, 1.0));
+        let report = analyze(&g.circuit);
+        let has_loop = rows > 1 && cols > 1;
+        prop_assert_eq!(report.has_resistor_loops, has_loop);
+        prop_assert!(report.is_rc_mesh());
+        prop_assert!(SpanningTree::build(&g.circuit).is_connected());
+    }
+
+    #[test]
+    fn coupled_lines_counts(segments in 1usize..10) {
+        let g = coupled_rc_lines(segments, 10.0, 1e-13, 5e-14, Waveform::step(0.0, 1.0));
+        // Per segment: 2 R, 2 grounded C, 1 coupling C.
+        prop_assert_eq!(g.circuit.num_states(), 3 * segments);
+        prop_assert!(analyze(&g.circuit).has_floating_capacitors);
+    }
+
+    #[test]
+    fn rc_line_elmore_structure(n in 1usize..20) {
+        // A uniform line's farthest-node path has n resistors.
+        let g = rc_line(n, 5.0, 1e-13, Waveform::step(0.0, 1.0));
+        let st = SpanningTree::build(&g.circuit);
+        let path = st.path_to_root(g.output);
+        prop_assert_eq!(path.len(), n + 1); // n resistors + the source
+    }
+}

@@ -1,0 +1,253 @@
+//! The §3.4 accuracy estimate.
+//!
+//! The paper measures the quality of a `q`-order approximation against the
+//! `(q+1)`-order one (eq. (39)): the exact response is unavailable, but
+//! successive orders "creep up on" it, so the inter-order distance is a
+//! usable error proxy. The error is the relative `L²` distance of the
+//! transients.
+//!
+//! Two evaluators are provided:
+//!
+//! * [`relative_l2_error`] — the *exact* integral via the closed-form
+//!   inner products of [`ExpSum`]. On modern hardware the `O(q²)` complex
+//!   products the paper worried about are free, so this is the default.
+//! * [`cauchy_error_bound`] — the paper's Cauchy-inequality upper bound
+//!   (eqs. (40)–(46)), which pairs terms and sums the individual pairwise
+//!   integrals. Kept as a faithful reproduction and exercised by the
+//!   ablation bench; it is provably ≥ the exact error.
+
+use awe_numeric::Complex;
+
+use crate::terms::{ExpSum, ExpTerm};
+
+/// Exact relative `L²` error `‖ref − approx‖ / ‖ref‖` of two transients
+/// (eq. (39) with the exact numerator).
+///
+/// Returns `None` when either sum is unstable (divergent integrals) or the
+/// reference has zero norm.
+pub fn relative_l2_error(reference: &ExpSum, approx: &ExpSum) -> Option<f64> {
+    let num = reference.sub(approx).norm_sqr()?;
+    let den = reference.norm_sqr()?;
+    if den <= 0.0 {
+        return None;
+    }
+    Some((num.max(0.0) / den).sqrt())
+}
+
+/// The paper's Cauchy-inequality bound on the same quantity
+/// (eqs. (40)–(44)): terms are paired dominant-first; the surplus
+/// reference term is handled by the coefficient split of eqs. (42)–(43).
+///
+/// Returns `None` when either sum is unstable or the reference has zero
+/// norm. The result is an upper bound: `cauchy ≥ exact` up to rounding.
+pub fn cauchy_error_bound(reference: &ExpSum, approx: &ExpSum) -> Option<f64> {
+    let den = reference.norm_sqr()?;
+    if den <= 0.0 {
+        return None;
+    }
+    // Units: single real terms, or conjugate pairs taken together so each
+    // unit is a real function and eq. (40) applies.
+    let ref_units = units(reference);
+    let apx_units = units(approx);
+    if ref_units.is_empty() {
+        return Some(if apx_units.is_empty() { 0.0 } else { f64::INFINITY });
+    }
+
+    let mut total = 0.0f64;
+    let n_units = ref_units.len();
+    let shared = apx_units.len().min(n_units);
+    // Pair the first `shared - 1` units directly…
+    let direct = if n_units > apx_units.len() && shared > 0 {
+        shared - 1
+    } else {
+        shared
+    };
+    for i in 0..direct {
+        total += ExpSum::new(ref_units[i].clone())
+            .sub(&ExpSum::new(apx_units[i].clone()))
+            .norm_sqr()?;
+    }
+    if n_units > apx_units.len() && shared > 0 {
+        // Surplus reference units: split the last approx unit per
+        // eqs. (42)–(43) — first against the matching reference unit with
+        // the *reference* coefficient, then the leftover coefficient
+        // against the extra reference units.
+        let last_apx = &apx_units[shared - 1];
+        let ref_match = &ref_units[shared - 1];
+        let ref_coeff = unit_coeff(ref_match);
+        let apx_coeff = unit_coeff(last_apx);
+        let scaled_apx = scale_unit(last_apx, ref_coeff / apx_coeff);
+        total += ExpSum::new(ref_match.clone())
+            .sub(&ExpSum::new(scaled_apx))
+            .norm_sqr()?;
+        let leftover = scale_unit(last_apx, (apx_coeff - ref_coeff) / apx_coeff);
+        let mut extra: Vec<ExpTerm> = Vec::new();
+        for unit in &ref_units[shared..] {
+            extra.extend(unit.iter().copied());
+        }
+        total += ExpSum::new(extra)
+            .sub(&ExpSum::new(leftover))
+            .norm_sqr()?;
+    } else {
+        // Extra approximating units (rare): count them whole.
+        for unit in &apx_units[shared..] {
+            total += ExpSum::new(unit.clone()).norm_sqr()?;
+        }
+    }
+    // Cauchy's inequality introduces the (q+1) unit-count factor (eq. 41).
+    let factor = n_units.max(apx_units.len()) as f64;
+    Some((factor * total.max(0.0) / den).sqrt())
+}
+
+/// Groups terms into real "units": conjugate pairs together, real terms
+/// alone. Sorted dominant-first (largest `Re(p)` first).
+fn units(sum: &ExpSum) -> Vec<Vec<ExpTerm>> {
+    let terms = sum.terms();
+    let n = terms.len();
+    let mut used = vec![false; n];
+    let mut out: Vec<Vec<ExpTerm>> = Vec::new();
+    for i in 0..n {
+        if used[i] {
+            continue;
+        }
+        if terms[i].pole.im == 0.0 {
+            out.push(vec![terms[i]]);
+            used[i] = true;
+            continue;
+        }
+        let mut unit = vec![terms[i]];
+        used[i] = true;
+        for j in i + 1..n {
+            if !used[j]
+                && terms[j].power == terms[i].power
+                && (terms[j].pole - terms[i].pole.conj()).abs()
+                    <= 1e-9 * terms[i].pole.abs().max(1.0)
+            {
+                unit.push(terms[j]);
+                used[j] = true;
+                break;
+            }
+        }
+        out.push(unit);
+    }
+    out.sort_by(|a, b| {
+        b[0].pole
+            .re
+            .partial_cmp(&a[0].pole.re)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+/// Representative coefficient of a unit (the first term's).
+fn unit_coeff(unit: &[ExpTerm]) -> Complex {
+    unit.first().map_or(Complex::ONE, |t| t.coeff)
+}
+
+/// Scales every coefficient of a unit (conjugate-consistently for pairs).
+fn scale_unit(unit: &[ExpTerm], k: Complex) -> Vec<ExpTerm> {
+    unit.iter()
+        .enumerate()
+        .map(|(i, t)| ExpTerm {
+            pole: t.pole,
+            coeff: if i == 0 { t.coeff * k } else { t.coeff * k.conj() },
+            power: t.power,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn real_term(p: f64, k: f64) -> ExpTerm {
+        ExpTerm::simple(Complex::real(p), Complex::real(k))
+    }
+
+    #[test]
+    fn identical_sums_have_zero_error() {
+        let s = ExpSum::new(vec![real_term(-1.0, 2.0), real_term(-5.0, -1.0)]);
+        assert!(relative_l2_error(&s, &s).unwrap() < 1e-12);
+        assert!(cauchy_error_bound(&s, &s).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn error_decreases_as_approx_improves() {
+        let reference = ExpSum::new(vec![real_term(-1.0, 2.0), real_term(-8.0, -0.5)]);
+        let crude = ExpSum::new(vec![real_term(-1.2, 1.5)]);
+        let close = ExpSum::new(vec![real_term(-1.0, 1.98), real_term(-8.0, -0.45)]);
+        let e_crude = relative_l2_error(&reference, &crude).unwrap();
+        let e_close = relative_l2_error(&reference, &close).unwrap();
+        assert!(e_close < e_crude);
+        assert!(e_close < 0.05, "e_close = {e_close}");
+    }
+
+    #[test]
+    fn cauchy_bounds_exact_from_above() {
+        // q+1 = 3 reference terms vs q = 2 approx terms — the paper's
+        // exact setting.
+        let reference = ExpSum::new(vec![
+            real_term(-1.0, 2.0),
+            real_term(-6.0, -0.8),
+            real_term(-30.0, 0.2),
+        ]);
+        let approx = ExpSum::new(vec![real_term(-1.05, 1.9), real_term(-7.0, -0.6)]);
+        let exact = relative_l2_error(&reference, &approx).unwrap();
+        let bound = cauchy_error_bound(&reference, &approx).unwrap();
+        assert!(
+            bound >= exact - 1e-12,
+            "bound {bound} must exceed exact {exact}"
+        );
+        // And not be uselessly loose here (same pole neighborhoods).
+        assert!(bound < 30.0 * exact + 1.0);
+    }
+
+    #[test]
+    fn complex_pair_units_handled() {
+        let p = Complex::new(-1.0, 4.0);
+        let k = Complex::new(0.3, 0.7);
+        let reference = ExpSum::new(vec![
+            ExpTerm::simple(p, k),
+            ExpTerm::simple(p.conj(), k.conj()),
+            real_term(-10.0, 0.1),
+        ]);
+        let approx = ExpSum::new(vec![
+            ExpTerm::simple(p, k * 0.95),
+            ExpTerm::simple(p.conj(), (k * 0.95).conj()),
+        ]);
+        let exact = relative_l2_error(&reference, &approx).unwrap();
+        let bound = cauchy_error_bound(&reference, &approx).unwrap();
+        assert!(exact.is_finite() && exact > 0.0);
+        assert!(bound >= exact - 1e-12);
+    }
+
+    #[test]
+    fn unstable_rejected() {
+        let good = ExpSum::new(vec![real_term(-1.0, 1.0)]);
+        let bad = ExpSum::new(vec![real_term(0.5, 1.0)]);
+        assert_eq!(relative_l2_error(&good, &bad), None);
+        assert_eq!(relative_l2_error(&bad, &good), None);
+        assert_eq!(cauchy_error_bound(&good, &bad), None);
+    }
+
+    #[test]
+    fn zero_reference_rejected() {
+        let z = ExpSum::zero();
+        let s = ExpSum::new(vec![real_term(-1.0, 1.0)]);
+        assert_eq!(relative_l2_error(&z, &s), None);
+    }
+
+    #[test]
+    fn paper_error_magnitudes() {
+        // A dominant-pole-only approximation of a two-pole response whose
+        // second pole carries sizeable weight shows tens-of-percent error;
+        // matching both poles collapses it — mirroring the 36 % → 1.6 %
+        // drop of Figs. 7 → 15.
+        let reference = ExpSum::new(vec![real_term(-1.0, -4.0), real_term(-3.0, -1.0)]);
+        let first_order = ExpSum::new(vec![real_term(-1.19, -5.0)]);
+        let e1 = relative_l2_error(&reference, &first_order).unwrap();
+        assert!((0.02..1.0).contains(&e1), "e1 = {e1}");
+        let e2 = relative_l2_error(&reference, &reference).unwrap();
+        assert!(e2 < 1e-12);
+    }
+}

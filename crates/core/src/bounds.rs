@@ -1,0 +1,258 @@
+//! Moment-based worst-case bounds for monotone RC-tree step responses.
+//!
+//! Before AWE, the Penfield–Rubinstein school (paper refs. 7 and 14)
+//! bracketed RC-tree responses with provable envelopes instead of
+//! approximating the waveform. This module provides the moment-based
+//! members of that family, stated and proved from first principles so the
+//! guarantees are unconditional:
+//!
+//! For a monotone rising step response `v(t) → V` with transient moments
+//! `m₀ = ∫ (V - v) dt = V·T_D` and `m₁' = ∫ t·(V - v) dt` (both one
+//! `O(n)` tree walk each):
+//!
+//! * **First-moment (Markov) bound**: since `V - v` is non-increasing,
+//!   `(V - v(t))·t ≤ ∫₀ᵗ (V - v) ≤ m₀`, so `v(t) ≥ V·(1 - T_D/t)`.
+//! * **Second-moment bound**: `(V - v(t))·t²/2 ≤ ∫₀ᵗ s·(V - v) ds ≤ m₁'`,
+//!   so `v(t) ≥ V - 2·m₁'/t²`.
+//!
+//! Inverting gives guaranteed delay ceilings: the time to reach fraction
+//! `θ` of the swing is at most `min(T_D/(1-θ), sqrt(2·m₁'/(V·(1-θ))))`.
+//! The paper's §4.4 remark that such envelopes are "sometimes overly
+//! pessimistic" is exactly what AWE improves on — these bounds quantify
+//! the comparison.
+
+use awe_circuit::{Circuit, Element, NodeId};
+use awe_treelink::TreeAnalysis;
+
+use crate::error::AweError;
+
+/// Guaranteed bounds for one node's monotone step response.
+///
+/// # Examples
+///
+/// ```
+/// use awe::bounds::StepBounds;
+/// use awe_circuit::papers::fig4;
+/// use awe_circuit::Waveform;
+///
+/// # fn main() -> Result<(), awe::AweError> {
+/// let p = fig4(Waveform::step(0.0, 5.0));
+/// let b = StepBounds::for_node(&p.circuit, p.output)?;
+/// // The 50 % point is guaranteed to arrive within 2·T_D = 1.4 ms.
+/// let ceiling = b.delay_ceiling(0.5).expect("rising response");
+/// assert!(ceiling <= 2.0 * 7e-4 + 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct StepBounds {
+    /// Total swing `V` (final minus initial value).
+    pub swing: f64,
+    /// Initial value (pre-step equilibrium).
+    pub v0: f64,
+    /// `m₀ = ∫ (V - v) dt = |swing|·T_D` — the Elmore area.
+    pub m0: f64,
+    /// `m₁' = ∫ t·(V - v) dt` — the first time-weighted area.
+    pub m1: f64,
+}
+
+impl StepBounds {
+    /// Computes the bounds for `node` of a strict RC tree whose sources
+    /// step from their initial to final values at `t = 0`.
+    ///
+    /// # Errors
+    ///
+    /// * Tree/link errors for circuits outside the strict RC-tree class
+    ///   (bounds require provable monotonicity).
+    /// * [`AweError::ZeroResponse`] if the node sees no swing.
+    pub fn for_node(circuit: &Circuit, node: NodeId) -> Result<StepBounds, AweError> {
+        let ta = TreeAnalysis::new(circuit)?;
+        if !ta.is_strict_tree() {
+            return Err(AweError::TreeLink(awe_treelink::TreeLinkError::NotRcTree));
+        }
+        let mut u0 = Vec::new();
+        let mut jumps = Vec::new();
+        for e in circuit.elements() {
+            if let Element::VoltageSource { waveform, .. } = e {
+                u0.push(waveform.initial_value());
+                jumps.push(waveform.final_value() - waveform.initial_value());
+            }
+        }
+        let baseline = ta.dc(&u0)?;
+        // Moments of the homogeneous transient h = v - v(∞):
+        // m_{-1} = -swing, m_0 = ∫ -h = swing·T_D, m_1 = ∫ t·(-h)·(-1)…
+        // With our convention m_j = Σ k/p^{j+1}: ∫ -h dt = m_0 and
+        // ∫ t·(-h) dt = -m_1.
+        let m = ta.step_moments(&jumps, 3)?;
+        let swing = -m[0][node];
+        if swing == 0.0 {
+            return Err(AweError::ZeroResponse);
+        }
+        Ok(StepBounds {
+            swing,
+            v0: baseline[node],
+            m0: m[1][node] * swing.signum(),
+            m1: -m[2][node] * swing.signum(),
+        })
+    }
+
+    /// The Elmore delay `T_D = m₀ / |swing|`.
+    pub fn elmore_delay(&self) -> f64 {
+        self.m0 / self.swing.abs()
+    }
+
+    /// Guaranteed floor on the *progress* toward the final value:
+    /// the response fraction `(v(t) - v0)/swing` is at least this.
+    /// Always in `[0, 1)`.
+    pub fn progress_floor(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let s = self.swing.abs();
+        let markov = 1.0 - self.m0 / (s * t);
+        let second = 1.0 - 2.0 * self.m1 / (s * t * t);
+        markov.max(second).clamp(0.0, 1.0)
+    }
+
+    /// Guaranteed voltage envelope at time `t`: the response is at least
+    /// this far along (for a rising swing this is a voltage floor; for a
+    /// falling swing a ceiling).
+    pub fn voltage_envelope(&self, t: f64) -> f64 {
+        self.v0 + self.swing * self.progress_floor(t)
+    }
+
+    /// Guaranteed ceiling on the time to complete fraction `theta` of the
+    /// swing (e.g. `0.5` for the 50 % delay): the true delay can never
+    /// exceed this. `None` for `theta ≥ 1`.
+    pub fn delay_ceiling(&self, theta: f64) -> Option<f64> {
+        if !(0.0..1.0).contains(&theta) {
+            return None;
+        }
+        let rem = 1.0 - theta;
+        let s = self.swing.abs();
+        let markov = self.m0 / (s * rem);
+        let second = (2.0 * self.m1 / (s * rem)).max(0.0).sqrt();
+        Some(markov.min(second))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AweEngine;
+    use awe_circuit::generators::random_rc_tree;
+    use awe_circuit::papers::fig4;
+    use awe_circuit::Waveform;
+
+    #[test]
+    fn single_pole_bounds_hold_and_are_tightish() {
+        // v = V(1 - e^{-t/τ}): T_D = τ, m1' = V·τ².
+        use awe_circuit::{Circuit, GROUND};
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+        ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+        ckt.add_capacitor("C1", n1, GROUND, 1e-9).unwrap();
+        let b = StepBounds::for_node(&ckt, n1).unwrap();
+        let tau = 1e-6;
+        assert!((b.elmore_delay() - tau).abs() < 1e-12);
+        assert!((b.m1 - tau * tau).abs() < 1e-15);
+        for i in 1..50 {
+            let t = i as f64 * 0.2e-6;
+            let exact = 1.0 - (-t / tau).exp();
+            let floor = b.progress_floor(t);
+            assert!(floor <= exact + 1e-12, "t={t}: floor {floor} vs {exact}");
+        }
+        // Ceiling brackets the true delay τ·ln2.
+        let ceil = b.delay_ceiling(0.5).unwrap();
+        assert!(ceil >= tau * 2f64.ln());
+        assert!(ceil <= 2.0 * tau + 1e-12);
+    }
+
+    #[test]
+    fn bounds_hold_on_fig4_vs_awe_exact() {
+        let p = fig4(Waveform::step(0.0, 5.0));
+        let b = StepBounds::for_node(&p.circuit, p.output).unwrap();
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let exact = engine.approximate(p.output, 4).unwrap(); // full order
+        for i in 1..100 {
+            let t = i as f64 * 1e-4;
+            let envelope = b.voltage_envelope(t);
+            let v = exact.eval(t);
+            assert!(
+                envelope <= v + 1e-9,
+                "t={t}: envelope {envelope} exceeds response {v}"
+            );
+        }
+        // Delay ceiling really is an upper bound on the measured delay.
+        let d = exact.delay_50().unwrap();
+        assert!(b.delay_ceiling(0.5).unwrap() >= d);
+    }
+
+    #[test]
+    fn bounds_hold_on_random_trees() {
+        for seed in [3u64, 77, 200] {
+            let g = random_rc_tree(
+                10,
+                (10.0, 300.0),
+                (0.1e-12, 0.5e-12),
+                seed,
+                Waveform::step(0.0, 1.0),
+            );
+            let b = StepBounds::for_node(&g.circuit, g.output).unwrap();
+            let engine = AweEngine::new(&g.circuit).unwrap();
+            let exact = engine.approximate(g.output, 6).unwrap();
+            let horizon = exact.horizon();
+            for i in 1..60 {
+                let t = horizon * i as f64 / 60.0;
+                assert!(
+                    b.voltage_envelope(t) <= exact.eval(t) + 1e-9,
+                    "seed {seed}, t={t}"
+                );
+            }
+            let d = exact.delay_50().unwrap();
+            assert!(b.delay_ceiling(0.5).unwrap() >= d, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn falling_edge_bounds() {
+        let p = fig4(Waveform::step(5.0, 0.0));
+        let b = StepBounds::for_node(&p.circuit, p.output).unwrap();
+        assert!(b.swing < 0.0);
+        assert!((b.v0 - 5.0).abs() < 1e-9);
+        // Envelope is a ceiling for falling responses.
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let exact = engine.approximate(p.output, 4).unwrap();
+        for i in 1..50 {
+            let t = i as f64 * 2e-4;
+            assert!(b.voltage_envelope(t) >= exact.eval(t) - 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let p = fig4(Waveform::dc(0.0));
+        assert!(matches!(
+            StepBounds::for_node(&p.circuit, p.output),
+            Err(AweError::ZeroResponse)
+        ));
+        let b = StepBounds {
+            swing: 1.0,
+            v0: 0.0,
+            m0: 1.0,
+            m1: 1.0,
+        };
+        assert_eq!(b.delay_ceiling(1.0), None);
+        assert_eq!(b.delay_ceiling(-0.1), None);
+        assert_eq!(b.progress_floor(-1.0), 0.0);
+    }
+
+    #[test]
+    fn non_tree_rejected() {
+        use awe_circuit::papers::fig9;
+        let p = fig9(Waveform::step(0.0, 5.0));
+        assert!(StepBounds::for_node(&p.circuit, p.output).is_err());
+    }
+}

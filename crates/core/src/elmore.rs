@@ -1,0 +1,160 @@
+//! The classical RC-tree baselines (paper §II).
+//!
+//! * [`elmore_delay`] — the Elmore delay `T_D` by the `O(n)` tree walk
+//!   (eq. (1) evaluated structurally, eq. (50)).
+//! * [`elmore_approximation`] — the Penfield–Rubinstein single-exponential
+//!   model `v(t) = v(∞)·(1 - e^{-t/T_D})` (eq. (2)), generalized with the
+//!   grounded-resistor scaling of eq. (3): the delay is normalized by the
+//!   actual voltage transition when the steady state is below the rail.
+//!
+//! These are the *baselines* the paper positions AWE against; a
+//! first-order AWE run reproduces them exactly (§IV), which the tests
+//! assert.
+
+use awe_circuit::{Circuit, NodeId};
+use awe_numeric::Complex;
+use awe_treelink::TreeAnalysis;
+
+use crate::error::AweError;
+use crate::response::{AweApproximation, ResponsePiece};
+use crate::terms::{ExpSum, ExpTerm};
+
+/// Elmore delay at every node of a strict RC tree, by one `O(n)` walk.
+///
+/// # Errors
+///
+/// Tree/link errors for non-RC-tree circuits.
+pub fn elmore_delays(circuit: &Circuit) -> Result<Vec<f64>, AweError> {
+    let ta = TreeAnalysis::new(circuit)?;
+    Ok(ta.elmore_delays()?)
+}
+
+/// Elmore delay at one node.
+///
+/// # Errors
+///
+/// Tree/link errors for non-RC-tree circuits.
+pub fn elmore_delay(circuit: &Circuit, node: NodeId) -> Result<f64, AweError> {
+    Ok(elmore_delays(circuit)?[node])
+}
+
+/// The Penfield–Rubinstein single-exponential approximation at `node` for
+/// a step of the circuit's sources from their initial to their final
+/// values. Handles grounded resistors via the §2.2 scaling (eq. (3)):
+/// `T_D = m_0-area / (v(∞) - v(0))`.
+///
+/// # Errors
+///
+/// Tree/link errors for circuits outside the R/C/V class.
+pub fn elmore_approximation(
+    circuit: &Circuit,
+    node: NodeId,
+) -> Result<AweApproximation, AweError> {
+    let ta = TreeAnalysis::new(circuit)?;
+    // Source jumps: final minus initial values.
+    let mut u0 = Vec::new();
+    let mut jumps = Vec::new();
+    for e in circuit.elements() {
+        if let awe_circuit::Element::VoltageSource { waveform, .. } = e {
+            u0.push(waveform.initial_value());
+            jumps.push(waveform.final_value() - waveform.initial_value());
+        }
+    }
+    let baseline = ta.dc(&u0)?;
+    let m = ta.step_moments(&jumps, 2)?;
+    // First-order model from (m_{-1}, m_0): pole p = m_{-1}/m_0,
+    // residue k = m_{-1}. For a strict tree with unit swing this is
+    // exactly 1/T_D; with grounded resistors m_{-1} is the scaled swing,
+    // giving eq. (3)'s normalization automatically.
+    let m_minus1 = m[0][node];
+    let m0 = m[1][node];
+    let transient = if m_minus1 == 0.0 || m0 == 0.0 {
+        ExpSum::zero()
+    } else {
+        let pole = m_minus1 / m0;
+        if pole >= 0.0 {
+            return Err(AweError::Unstable { order: 1 });
+        }
+        ExpSum::new(vec![ExpTerm::simple(
+            Complex::real(pole),
+            Complex::real(m_minus1),
+        )])
+    };
+    Ok(AweApproximation {
+        order: 1,
+        baseline: baseline[node],
+        pieces: vec![ResponsePiece {
+            onset: 0.0,
+            a: -m_minus1,
+            b: 0.0,
+            transient,
+        }],
+        error_estimate: None,
+        condition: 1.0,
+        stable: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AweEngine;
+    use awe_circuit::papers::{fig4, fig9};
+    use awe_circuit::Waveform;
+
+    fn step5() -> Waveform {
+        Waveform::step(0.0, 5.0)
+    }
+
+    #[test]
+    fn fig4_delays() {
+        let p = fig4(step5());
+        let d = elmore_delays(&p.circuit).unwrap();
+        assert!((d[p.output] - 7e-4).abs() < 1e-15);
+        assert!((elmore_delay(&p.circuit, p.nodes[0]).unwrap() - 4e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pr_model_equals_first_order_awe() {
+        // §IV's headline claim, verified numerically: the baseline
+        // single-exponential equals first-order AWE on an RC tree.
+        let p = fig4(step5());
+        let pr = elmore_approximation(&p.circuit, p.output).unwrap();
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let awe1 = engine.approximate(p.output, 1).unwrap();
+        for i in 0..=20 {
+            let t = i as f64 * 2e-4;
+            assert!(
+                (pr.eval(t) - awe1.eval(t)).abs() < 1e-9,
+                "t = {t}: {} vs {}",
+                pr.eval(t),
+                awe1.eval(t)
+            );
+        }
+    }
+
+    #[test]
+    fn grounded_resistor_scaling_eq3() {
+        // Fig. 9: swing is 4 V; the §2.2-scaled model settles at 4 V and
+        // equals first-order AWE.
+        let p = fig9(step5());
+        let pr = elmore_approximation(&p.circuit, p.output).unwrap();
+        assert!((pr.final_value() - 4.0).abs() < 1e-9);
+        assert!(pr.initial_value().abs() < 1e-9);
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let awe1 = engine.approximate(p.output, 1).unwrap();
+        let d_pr = pr.delay_50().unwrap();
+        let d_awe = awe1.delay_50().unwrap();
+        assert!(
+            ((d_pr - d_awe) / d_awe).abs() < 1e-6,
+            "{d_pr} vs {d_awe}"
+        );
+    }
+
+    #[test]
+    fn non_tree_rejected() {
+        use awe_circuit::papers::fig25;
+        let p = fig25(step5());
+        assert!(elmore_delays(&p.circuit).is_err());
+    }
+}

@@ -1,0 +1,584 @@
+//! The AWE driver: circuit in, reduced response waveform out.
+//!
+//! [`AweEngine`] ties the pipeline together: MNA assembly → excitation
+//! decomposition and moment generation (§3.2, §4.3) → moment matching for
+//! poles (§III, eq. (24)) → residues (eq. (20)/(29)) → assembled
+//! [`AweApproximation`] with the §3.4 error estimate and the §3.3
+//! stability/order-escalation policy.
+
+use awe_circuit::{Circuit, NodeId};
+use awe_mna::{MnaSystem, MomentEngine, Piece};
+
+use crate::error::AweError;
+use crate::pade::{match_poles, PadeOptions};
+use crate::residues::{match_residues, match_residues_with_slope};
+use crate::response::{AweApproximation, ResponsePiece};
+use crate::terms::ExpSum;
+
+/// Options controlling an AWE run.
+#[derive(Clone, Copy, Debug)]
+pub struct AweOptions {
+    /// Apply §3.5 frequency scaling (default on; the ablation bench turns
+    /// it off).
+    pub frequency_scaling: bool,
+    /// Compute the §3.4 error estimate against the `(q+1)`-order model
+    /// (default on; costs two extra moments and one extra reduction).
+    pub error_estimate: bool,
+    /// §3.3 stability policy: how many extra orders to escalate through
+    /// when a right-half-plane pole appears (default 3; `0` accepts the
+    /// requested order unconditionally).
+    pub max_escalation: usize,
+    /// §3.3 no-solution policy: when the moment matrix of a piece is
+    /// singular at the requested order (e.g. `m₋₁ = 0`, so no `q`-pole
+    /// model can match), bump that piece's order until it solves (default
+    /// on). Turned off, the failure propagates as
+    /// [`AweError::MomentMatrixSingular`] — useful to demonstrate the
+    /// paper's low-order breakdown cases verbatim.
+    pub allow_order_bump: bool,
+    /// §4.3's `m₋₂` matching (default off): for ramp pieces, trade the
+    /// highest moment condition for the initial *slope* `ẋ_h(0)`, which
+    /// removes the wrong-signed start the paper notes on its Fig. 14 and
+    /// guarantees the approximate waveform leaves `t = 0` in the correct
+    /// direction. Ignored for pieces without a finite slope seed (ideal
+    /// steps, initial conditions) and for repeated approximating poles.
+    pub match_initial_slope: bool,
+}
+
+impl Default for AweOptions {
+    fn default() -> Self {
+        AweOptions {
+            frequency_scaling: true,
+            error_estimate: true,
+            max_escalation: 3,
+            allow_order_bump: true,
+            match_initial_slope: false,
+        }
+    }
+}
+
+/// High-level AWE analyzer for one circuit.
+///
+/// # Examples
+///
+/// First-order AWE of an RC stage is the Elmore/Penfield–Rubinstein
+/// single-exponential model (§IV):
+///
+/// ```
+/// use awe::AweEngine;
+/// use awe_circuit::{Circuit, Waveform, GROUND};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ckt = Circuit::new();
+/// let n_in = ckt.node("in");
+/// let n1 = ckt.node("n1");
+/// ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 5.0))?;
+/// ckt.add_resistor("R1", n_in, n1, 1e3)?;
+/// ckt.add_capacitor("C1", n1, GROUND, 1e-9)?;
+///
+/// let engine = AweEngine::new(&ckt)?;
+/// let approx = engine.approximate(n1, 1)?;
+/// let tau = 1e3 * 1e-9;
+/// let delay = approx.delay_50().expect("rising response");
+/// assert!((delay - tau * 2.0f64.ln()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub struct AweEngine {
+    system: MnaSystem,
+}
+
+/// One row of an automatic order sweep: the order tried and its error
+/// estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderReport {
+    /// Order `q`.
+    pub order: usize,
+    /// §3.4 relative error estimate at this order (`None` if it could not
+    /// be evaluated, e.g. unstable (q+1) model).
+    pub error: Option<f64>,
+    /// Whether all poles were stable.
+    pub stable: bool,
+}
+
+impl AweEngine {
+    /// Builds the engine (assembles the MNA system).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MNA assembly failures.
+    pub fn new(circuit: &Circuit) -> Result<Self, AweError> {
+        Ok(AweEngine {
+            system: MnaSystem::build(circuit)?,
+        })
+    }
+
+    /// The underlying MNA system (for inspection and the benches).
+    pub fn system(&self) -> &MnaSystem {
+        &self.system
+    }
+
+    /// Order-`q` AWE approximation of the voltage at `node`, with default
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// See [`AweEngine::approximate_with`].
+    pub fn approximate(&self, node: NodeId, order: usize) -> Result<AweApproximation, AweError> {
+        self.approximate_with(node, order, AweOptions::default())
+    }
+
+    /// Order-`q` AWE approximation with explicit options.
+    ///
+    /// The §3.3 policy applies: if the requested order yields an unstable
+    /// (right-half-plane) pole, the order is escalated up to
+    /// `options.max_escalation` steps; if instability persists the last
+    /// attempt is returned with `stable == false` so callers can inspect
+    /// it (strict callers treat that as [`AweError::Unstable`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`AweError::BadOrder`] for `order == 0`.
+    /// * [`AweError::BadNode`] if `node` is ground or unknown.
+    /// * [`AweError::Mna`] for circuits without a DC solution.
+    /// * [`AweError::MomentMatrixSingular`] only if even order 1 fails.
+    pub fn approximate_with(
+        &self,
+        node: NodeId,
+        order: usize,
+        options: AweOptions,
+    ) -> Result<AweApproximation, AweError> {
+        if order == 0 {
+            return Err(AweError::BadOrder { order });
+        }
+        let idx = self
+            .system
+            .unknown_of_node(node)
+            .ok_or(AweError::BadNode(node))?;
+        let engine = MomentEngine::new(&self.system)?;
+        // Enough moments for the highest escalated order plus the (q+1)
+        // error reference.
+        let top = order + options.max_escalation + 1;
+        let dec = engine.decompose(2 * top)?;
+
+        let mut last: Option<AweApproximation> = None;
+        for q in order..=(order + options.max_escalation) {
+            let approx = self.reduce_at(&dec.pieces, dec.baseline[..].to_vec(), idx, q, options)?;
+            let stable = approx.stable;
+            last = Some(approx);
+            if stable {
+                break;
+            }
+        }
+        let mut approx = last.expect("at least one attempt");
+
+        if options.error_estimate && approx.stable {
+            let q1 = approx.order + 1;
+            if let Ok(reference) = self.reduce_at(
+                &dec.pieces,
+                dec.baseline[..].to_vec(),
+                idx,
+                q1,
+                AweOptions {
+                    error_estimate: false,
+                    max_escalation: 0,
+                    ..options
+                },
+            ) {
+                if reference.stable {
+                    approx.error_estimate = aggregate_error(&reference, &approx);
+                }
+            }
+        }
+        Ok(approx)
+    }
+
+    /// Builds the order-`q` approximation at unknown `idx` from decomposed
+    /// pieces.
+    fn reduce_at(
+        &self,
+        pieces: &[Piece],
+        baseline: Vec<f64>,
+        idx: usize,
+        q: usize,
+        options: AweOptions,
+    ) -> Result<AweApproximation, AweError> {
+        let pade_opts = PadeOptions {
+            frequency_scaling: options.frequency_scaling,
+            ..PadeOptions::default()
+        };
+        let mut out_pieces = Vec::with_capacity(pieces.len());
+        let mut condition = 0.0f64;
+        let mut stable = true;
+        let mut used_order = 0usize;
+
+        for piece in pieces {
+            let moments: Vec<f64> = piece.moments.iter().map(|m| m[idx]).collect();
+            let a = piece.a[idx];
+            let b = piece.b[idx];
+            let scale = moments.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let transient = if scale == 0.0 {
+                ExpSum::zero()
+            } else {
+                // Reduce, backing off if the moment matrix says the true
+                // order at this node is lower than q — or *escalating* in
+                // the paper's §3.3 "no solution" case (e.g. a piece whose
+                // initial value m₋₁ is exactly zero cannot be matched by
+                // one pole: the 1×1 moment matrix is singular, but order 2
+                // solves it). A singular *residue* system (rounding-level
+                // ghost roots colliding past the true order) also backs
+                // the order off.
+                // §4.3 slope matching: prepend m₋₂ to the sequence so the
+                // Hankel window shifts one step toward the initial slope.
+                let slope_seq: Option<Vec<f64>> =
+                    if options.match_initial_slope {
+                        piece.m_minus2.as_ref().map(|m2| {
+                            let mut seq = Vec::with_capacity(moments.len() + 1);
+                            seq.push(m2[idx]);
+                            seq.extend_from_slice(&moments);
+                            seq
+                        })
+                    } else {
+                        None
+                    };
+                let max_q = moments.len() / 2;
+                let mut q_eff = q.min(max_q);
+                let mut visited = vec![false; max_q + 1];
+                let (pade, terms) = loop {
+                    if visited[q_eff] {
+                        return Err(AweError::MomentMatrixSingular {
+                            order: q,
+                            achievable: 0,
+                        });
+                    }
+                    visited[q_eff] = true;
+                    let attempt = match slope_seq.as_deref() {
+                        Some(seq) => match_poles(seq, q_eff, pade_opts).and_then(|p| {
+                            match_residues_with_slope(&p.poles, seq).map(|t| (p, t))
+                        }),
+                        None => match_poles(&moments, q_eff, pade_opts)
+                            .and_then(|p| match_residues(&p.poles, &moments).map(|t| (p, t))),
+                    };
+                    match attempt {
+                        Ok(ok) => break ok,
+                        Err(AweError::MomentMatrixSingular { achievable, .. })
+                            if achievable > 0
+                                && achievable < q_eff
+                                && !visited[achievable] =>
+                        {
+                            q_eff = achievable;
+                        }
+                        Err(AweError::MomentMatrixSingular { .. })
+                            if options.allow_order_bump
+                                && q_eff < max_q
+                                && !visited[q_eff + 1] =>
+                        {
+                            q_eff += 1;
+                        }
+                        Err(AweError::Numeric(_)) if q_eff > 1 && !visited[q_eff - 1] => {
+                            q_eff -= 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                };
+                condition = condition.max(pade.condition);
+                // Drop ghost terms: non-finite poles (exactly-deflated
+                // fast modes) and residues at rounding level relative to
+                // the largest — they contribute nothing but can carry
+                // spurious instability flags when the requested order
+                // exceeds the observable order at this node. Repeated-pole
+                // coefficients multiply `t^d/d!` and carry units of
+                // V/s^d, so the comparison uses the unit-consistent
+                // magnitude `|k|/|p|^d` (the term's scale near
+                // `t ≈ 1/|p|`).
+                let magnitude = |t: &crate::terms::ExpTerm| {
+                    t.coeff.abs() * t.pole.abs().powi(-(t.power as i32))
+                };
+                let max_mag = terms.iter().map(magnitude).fold(0.0f64, f64::max);
+                let kept: Vec<_> = terms
+                    .into_iter()
+                    .filter(|t| {
+                        t.pole.is_finite()
+                            && t.coeff.is_finite()
+                            && magnitude(t) > 1e-8 * max_mag
+                    })
+                    .collect();
+                used_order = used_order.max(kept.len());
+                let sum = ExpSum::new(kept);
+                if !sum.is_stable() {
+                    stable = false;
+                }
+                sum
+            };
+            out_pieces.push(ResponsePiece {
+                onset: piece.at,
+                a,
+                b,
+                transient,
+            });
+        }
+
+        Ok(AweApproximation {
+            order: if used_order == 0 { q } else { used_order },
+            baseline: baseline[idx],
+            pieces: out_pieces,
+            error_estimate: None,
+            condition,
+            stable,
+        })
+    }
+
+    /// Automatic order selection: starting from order 1, escalate until
+    /// the §3.4 error estimate drops below `target` or `max_order` is
+    /// reached. Returns the chosen approximation and the per-order trail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same failures as [`AweEngine::approximate_with`].
+    pub fn approximate_auto(
+        &self,
+        node: NodeId,
+        target: f64,
+        max_order: usize,
+        options: AweOptions,
+    ) -> Result<(AweApproximation, Vec<OrderReport>), AweError> {
+        let mut trail = Vec::new();
+        let mut best: Option<AweApproximation> = None;
+        for q in 1..=max_order.max(1) {
+            let attempt = self.approximate_with(
+                node,
+                q,
+                AweOptions {
+                    max_escalation: 0,
+                    ..options
+                },
+            );
+            match attempt {
+                Ok(approx) => {
+                    trail.push(OrderReport {
+                        order: approx.order,
+                        error: approx.error_estimate,
+                        stable: approx.stable,
+                    });
+                    let err = approx.error_estimate;
+                    let stable = approx.stable;
+                    let done = stable && err.is_some_and(|e| e <= target);
+                    if stable {
+                        best = Some(approx);
+                    }
+                    if done {
+                        break;
+                    }
+                }
+                Err(AweError::MomentMatrixSingular { .. }) => {
+                    // True system order reached; stop escalating.
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        match best {
+            Some(approx) => Ok((approx, trail)),
+            None => Err(AweError::Unstable { order: max_order }),
+        }
+    }
+}
+
+/// Aggregated §3.4 error across pieces: compares the piece transients of
+/// the `(q+1)`-order reference against the `q`-order approximation,
+/// summing squared distances and normalizing by the reference energy.
+fn aggregate_error(reference: &AweApproximation, approx: &AweApproximation) -> Option<f64> {
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (r, a) in reference.pieces.iter().zip(&approx.pieces) {
+        let d = r.transient.sub(&a.transient).norm_sqr()?;
+        let e = r.transient.norm_sqr()?;
+        num += d.max(0.0);
+        den += e.max(0.0);
+    }
+    if den <= 0.0 {
+        return None;
+    }
+    // Piece count plays the role of the term count in Cauchy's bound.
+    Some((num / den).sqrt())
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awe_circuit::papers::{fig4, fig9};
+    use awe_circuit::{Waveform, GROUND};
+
+    fn step5() -> Waveform {
+        Waveform::step(0.0, 5.0)
+    }
+
+    #[test]
+    fn first_order_fig4_is_elmore_model() {
+        // §IV: first-order AWE at n4 gives pole -1/T_D with T_D = 0.7 ms
+        // and residue -5 → v(t) = 5 - 5e^{-t/0.7ms} (eq. (60)).
+        let p = fig4(step5());
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let approx = engine.approximate(p.output, 1).unwrap();
+        assert!(approx.stable);
+        let poles = approx.poles();
+        assert_eq!(poles.len(), 1);
+        assert!(
+            ((poles[0].re + 1.0 / 7e-4) / (1.0 / 7e-4)).abs() < 1e-9,
+            "pole {}",
+            poles[0]
+        );
+        assert!((approx.final_value() - 5.0).abs() < 1e-9);
+        assert!(approx.initial_value().abs() < 1e-9);
+        // Paper's §4.4: the first-order error estimate is large (36 % in
+        // the paper; same tens-of-percent regime here).
+        let err = approx.error_estimate.expect("estimate computed");
+        assert!(err > 0.02, "err = {err}");
+    }
+
+    #[test]
+    fn second_order_fig4_collapses_error() {
+        let p = fig4(step5());
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let e1 = engine
+            .approximate(p.output, 1)
+            .unwrap()
+            .error_estimate
+            .unwrap();
+        let a2 = engine.approximate(p.output, 2).unwrap();
+        let e2 = a2.error_estimate.unwrap();
+        assert!(
+            e2 < e1 / 5.0,
+            "expected order-2 error {e2} well below order-1 {e1}"
+        );
+        assert_eq!(a2.poles().len(), 2);
+    }
+
+    #[test]
+    fn fig9_steady_state_scaled() {
+        // Grounded resistor: final value 4 V, not 5 V (§2.2/eq. (3)).
+        let p = fig9(step5());
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let approx = engine.approximate(p.output, 2).unwrap();
+        assert!((approx.final_value() - 4.0).abs() < 1e-9);
+        assert!(approx.stable);
+    }
+
+    #[test]
+    fn exact_order_reproduces_single_pole_exactly() {
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, step5()).unwrap();
+        ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+        ckt.add_capacitor("C1", n1, GROUND, 1e-9).unwrap();
+        let engine = AweEngine::new(&ckt).unwrap();
+        let approx = engine.approximate(n1, 1).unwrap();
+        let tau: f64 = 1e-6;
+        for &t in &[0.0, 0.5e-6, 1e-6, 3e-6] {
+            let exact = 5.0 * (1.0 - (-t / tau).exp());
+            assert!((approx.eval(t) - exact).abs() < 1e-9, "t = {t}");
+        }
+        // Order above the true system order backs off gracefully.
+        let a2 = engine.approximate(n1, 2).unwrap();
+        assert_eq!(a2.order, 1);
+    }
+
+    #[test]
+    fn auto_order_meets_target() {
+        let p = fig4(step5());
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let (approx, trail) = engine
+            .approximate_auto(p.output, 0.01, 4, AweOptions::default())
+            .unwrap();
+        assert!(approx.error_estimate.unwrap() <= 0.01);
+        assert!(!trail.is_empty());
+        assert!(trail[0].order == 1);
+    }
+
+    #[test]
+    fn bad_inputs() {
+        let p = fig4(step5());
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        assert!(matches!(
+            engine.approximate(p.output, 0),
+            Err(AweError::BadOrder { .. })
+        ));
+        assert!(matches!(
+            engine.approximate(GROUND, 1),
+            Err(AweError::BadNode(_))
+        ));
+    }
+
+    #[test]
+    fn slope_matching_removes_ramp_glitch() {
+        // §4.3: the first-order ramp response starts with a (nonphysical)
+        // negative slope; matching m_-2 instead of the highest moment
+        // pins the initial derivative to the exact value (zero, for a
+        // relaxed RC tree).
+        let p = fig4(Waveform::rising_step(0.0, 5.0, 1e-3));
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let plain = engine
+            .approximate_with(p.output, 1, AweOptions {
+                error_estimate: false,
+                ..Default::default()
+            })
+            .unwrap();
+        let dt = 1e-7;
+        let slope_plain = (plain.eval(dt) - plain.eval(0.0)) / dt;
+        assert!(slope_plain < 0.0, "expected the documented glitch: {slope_plain}");
+
+        let matched = engine
+            .approximate_with(p.output, 1, AweOptions {
+                error_estimate: false,
+                match_initial_slope: true,
+                ..Default::default()
+            })
+            .unwrap();
+        let slope_matched = (matched.eval(dt) - matched.eval(0.0)) / dt;
+        assert!(
+            slope_matched.abs() < slope_plain.abs() / 100.0,
+            "slope should be pinned near zero: {slope_matched} vs {slope_plain}"
+        );
+        assert!(matched.stable);
+        // The matched model still ends at the right place.
+        assert!((matched.eval(20e-3) - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn slope_matching_is_noop_for_steps() {
+        // Ideal steps carry no finite slope seed; the option must not
+        // change the result.
+        let p = fig4(Waveform::step(0.0, 5.0));
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let a = engine.approximate(p.output, 2).unwrap();
+        let b = engine
+            .approximate_with(p.output, 2, AweOptions {
+                match_initial_slope: true,
+                ..Default::default()
+            })
+            .unwrap();
+        for i in 0..10 {
+            let t = i as f64 * 5e-4;
+            assert!((a.eval(t) - b.eval(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ramp_superposition_matches_paper_shape() {
+        // Fig. 14: 5 V input with 1 ms rise on the Fig. 4 tree; the
+        // first-order response must track the ramp lag and settle at 5 V.
+        let p = fig4(Waveform::rising_step(0.0, 5.0, 1e-3));
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let approx = engine.approximate(p.output, 1).unwrap();
+        assert!((approx.final_value() - 5.0).abs() < 1e-6);
+        // During the ramp the output lags the input.
+        let v_mid = approx.eval(0.5e-3);
+        assert!(v_mid > 0.1 && v_mid < 2.5, "v_mid = {v_mid}");
+        // Delay ≈ input half-rise (0.5 ms) + Elmore-ish lag.
+        let d = approx.delay_50().unwrap();
+        assert!((0.5e-3..2.0e-3).contains(&d), "d = {d}");
+    }
+
+    use awe_circuit::Circuit;
+}

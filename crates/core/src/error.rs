@@ -1,0 +1,118 @@
+//! Error type for the AWE core.
+
+use std::error::Error;
+use std::fmt;
+
+use awe_mna::MnaError;
+use awe_numeric::NumericError;
+use awe_treelink::TreeLinkError;
+
+/// Errors from the AWE engine and its reductions.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AweError {
+    /// The requested approximation order is zero or would need more
+    /// moments than were generated.
+    BadOrder {
+        /// Requested order.
+        order: usize,
+    },
+    /// The moment matrix of eq. (24) is singular even after frequency
+    /// scaling — usually the order exceeds the number of observable poles
+    /// at this node. The payload is the largest order that *did* solve.
+    MomentMatrixSingular {
+        /// Requested order.
+        order: usize,
+        /// Largest order with a nonsingular moment matrix (0 if none).
+        achievable: usize,
+    },
+    /// The approximation produced a pole in the right half plane and
+    /// order escalation was exhausted (§3.3: "these situations are easily
+    /// remedied by moving to the higher order necessitated" — until they
+    /// aren't).
+    Unstable {
+        /// Order at which the instability persisted.
+        order: usize,
+    },
+    /// The observed node is ground or unknown to the system.
+    BadNode(usize),
+    /// MNA-level failure.
+    Mna(MnaError),
+    /// Tree/link-level failure.
+    TreeLink(TreeLinkError),
+    /// Numeric failure.
+    Numeric(NumericError),
+    /// The response is identically zero at this node (nothing to reduce).
+    ZeroResponse,
+}
+
+impl fmt::Display for AweError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AweError::BadOrder { order } => write!(f, "invalid approximation order {order}"),
+            AweError::MomentMatrixSingular { order, achievable } => write!(
+                f,
+                "moment matrix singular at order {order}; largest solvable order is {achievable}"
+            ),
+            AweError::Unstable { order } => {
+                write!(f, "unstable approximation persisted through order {order}")
+            }
+            AweError::BadNode(n) => write!(f, "node {n} is not an observable unknown"),
+            AweError::Mna(e) => write!(f, "mna failure: {e}"),
+            AweError::TreeLink(e) => write!(f, "tree/link failure: {e}"),
+            AweError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            AweError::ZeroResponse => write!(f, "response at the node is identically zero"),
+        }
+    }
+}
+
+impl Error for AweError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AweError::Mna(e) => Some(e),
+            AweError::TreeLink(e) => Some(e),
+            AweError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MnaError> for AweError {
+    fn from(e: MnaError) -> Self {
+        AweError::Mna(e)
+    }
+}
+
+impl From<TreeLinkError> for AweError {
+    fn from(e: TreeLinkError) -> Self {
+        AweError::TreeLink(e)
+    }
+}
+
+impl From<NumericError> for AweError {
+    fn from(e: NumericError) -> Self {
+        AweError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: AweError = MnaError::NoDcSolution.into();
+        assert!(e.to_string().contains("mna failure"));
+        let e2: AweError = NumericError::Singular { pivot: 1 }.into();
+        assert!(matches!(e2, AweError::Numeric(_)));
+        let e3 = AweError::MomentMatrixSingular {
+            order: 4,
+            achievable: 2,
+        };
+        assert!(e3.to_string().contains("order 4"));
+        assert!(e3.to_string().contains("2"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(AweError::ZeroResponse.source().is_none());
+    }
+}

@@ -1,0 +1,239 @@
+//! Macromodel export: carry a reduced AWE model out of the analyzer.
+//!
+//! The practical payoff of AWE is that the reduced `q`-pole model is a
+//! *reusable artifact*: a timing analyzer computes it once per net and
+//! evaluates it everywhere (thresholds, slew rates, noise checks) without
+//! ever revisiting the circuit. This module serializes an
+//! [`AweApproximation`] in two interchange forms:
+//!
+//! * [`to_pole_residue_text`] — a human/tool-readable pole-residue listing
+//!   (one block per superposition piece), round-trippable by
+//!   [`parse_pole_residue_text`];
+//! * [`to_pwl`] — a piecewise-linear waveform sample for consumers that
+//!   only speak tabulated data (e.g. a SPICE `PWL()` source, closing the
+//!   loop back into the circuit world).
+
+use awe_numeric::Complex;
+
+use crate::error::AweError;
+use crate::response::{AweApproximation, ResponsePiece};
+use crate::terms::{ExpSum, ExpTerm};
+
+/// Serializes the approximation as a pole-residue macromodel text.
+///
+/// Format (whitespace-separated, `#` comments):
+///
+/// ```text
+/// awe-macromodel v1
+/// baseline <value>
+/// piece <onset> <a> <b>
+/// term <re(p)> <im(p)> <re(k)> <im(k)> <power>
+/// …
+/// end
+/// ```
+pub fn to_pole_residue_text(approx: &AweApproximation) -> String {
+    let mut out = String::from("awe-macromodel v1\n");
+    out.push_str(&format!("# order {} stable {}\n", approx.order, approx.stable));
+    out.push_str(&format!("baseline {:.17e}\n", approx.baseline));
+    for piece in &approx.pieces {
+        out.push_str(&format!(
+            "piece {:.17e} {:.17e} {:.17e}\n",
+            piece.onset, piece.a, piece.b
+        ));
+        for t in piece.transient.terms() {
+            out.push_str(&format!(
+                "term {:.17e} {:.17e} {:.17e} {:.17e} {}\n",
+                t.pole.re, t.pole.im, t.coeff.re, t.coeff.im, t.power
+            ));
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a macromodel previously written by [`to_pole_residue_text`].
+///
+/// # Errors
+///
+/// [`AweError::ZeroResponse`] stands in for any malformed input (the
+/// macromodel format carries no richer error channel; the message is in
+/// the `Err` variant choice only). Prefer structured storage for anything
+/// beyond tooling interchange.
+pub fn parse_pole_residue_text(text: &str) -> Result<AweApproximation, AweError> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    if lines.next() != Some("awe-macromodel v1") {
+        return Err(AweError::ZeroResponse);
+    }
+    let mut baseline = 0.0f64;
+    let mut pieces: Vec<ResponsePiece> = Vec::new();
+    let mut current: Option<(f64, f64, f64, Vec<ExpTerm>)> = None;
+    let finish =
+        |cur: &mut Option<(f64, f64, f64, Vec<ExpTerm>)>, pieces: &mut Vec<ResponsePiece>| {
+            if let Some((onset, a, b, terms)) = cur.take() {
+                pieces.push(ResponsePiece {
+                    onset,
+                    a,
+                    b,
+                    transient: ExpSum::new(terms),
+                });
+            }
+        };
+    for line in lines {
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("baseline") => {
+                baseline = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(AweError::ZeroResponse)?;
+            }
+            Some("piece") => {
+                finish(&mut current, &mut pieces);
+                let mut f = || -> Result<f64, AweError> {
+                    tok.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(AweError::ZeroResponse)
+                };
+                let onset = f()?;
+                let a = f()?;
+                let b = f()?;
+                current = Some((onset, a, b, Vec::new()));
+            }
+            Some("term") => {
+                let vals: Vec<f64> = tok
+                    .by_ref()
+                    .take(4)
+                    .map(|s| s.parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| AweError::ZeroResponse)?;
+                if vals.len() != 4 {
+                    return Err(AweError::ZeroResponse);
+                }
+                let power: usize = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(AweError::ZeroResponse)?;
+                let (_, _, _, terms) = current.as_mut().ok_or(AweError::ZeroResponse)?;
+                terms.push(ExpTerm {
+                    pole: Complex::new(vals[0], vals[1]),
+                    coeff: Complex::new(vals[2], vals[3]),
+                    power,
+                });
+            }
+            Some("end") => {
+                finish(&mut current, &mut pieces);
+            }
+            _ => return Err(AweError::ZeroResponse),
+        }
+    }
+    finish(&mut current, &mut pieces);
+    let stable = pieces.iter().all(|p| p.transient.is_stable());
+    let order = pieces
+        .iter()
+        .map(|p| p.transient.terms().len())
+        .max()
+        .unwrap_or(0);
+    Ok(AweApproximation {
+        order,
+        baseline,
+        pieces,
+        error_estimate: None,
+        condition: f64::NAN,
+        stable,
+    })
+}
+
+/// Samples the approximation into `(t, v)` pairs suitable for a SPICE
+/// `PWL()` source or any tabulated consumer, from `t = 0` to the settling
+/// horizon.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn to_pwl(approx: &AweApproximation, n: usize) -> Vec<(f64, f64)> {
+    approx.sample(0.0, approx.horizon(), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AweEngine;
+    use awe_circuit::papers::fig4;
+    use awe_circuit::Waveform;
+
+    fn model() -> AweApproximation {
+        let p = fig4(Waveform::rising_step(0.0, 5.0, 1e-3));
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        engine.approximate(p.output, 2).unwrap()
+    }
+
+    #[test]
+    fn text_round_trip_preserves_waveform() {
+        let approx = model();
+        let text = to_pole_residue_text(&approx);
+        assert!(text.starts_with("awe-macromodel v1"));
+        let re = parse_pole_residue_text(&text).unwrap();
+        assert_eq!(re.pieces.len(), approx.pieces.len());
+        for i in 0..40 {
+            let t = i as f64 * 2e-4;
+            assert!(
+                (re.eval(t) - approx.eval(t)).abs() < 1e-12,
+                "t={t}: {} vs {}",
+                re.eval(t),
+                approx.eval(t)
+            );
+        }
+        assert_eq!(re.stable, approx.stable);
+    }
+
+    #[test]
+    fn pwl_export_covers_transition() {
+        let approx = model();
+        let pwl = to_pwl(&approx, 100);
+        assert_eq!(pwl.len(), 100);
+        assert_eq!(pwl[0].0, 0.0);
+        // Ends settled near the final value.
+        let last = pwl.last().unwrap();
+        assert!((last.1 - approx.final_value()).abs() < 0.05);
+        // Times strictly increasing.
+        assert!(pwl.windows(2).all(|w| w[1].0 > w[0].0));
+    }
+
+    #[test]
+    fn pwl_feeds_back_into_a_circuit() {
+        // Close the loop: export the reduced model as a PWL source and
+        // drive a follow-on stage with it.
+        use awe_circuit::{Circuit, Waveform, GROUND};
+        let approx = model();
+        let pwl = to_pwl(&approx, 50);
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::pwl(pwl)).unwrap();
+        ckt.add_resistor("R1", n_in, n1, 100.0).unwrap();
+        ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+        let engine = AweEngine::new(&ckt).unwrap();
+        let next = engine.approximate(n1, 2).unwrap();
+        assert!((next.final_value() - approx.final_value()).abs() < 0.05);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(parse_pole_residue_text("").is_err());
+        assert!(parse_pole_residue_text("bogus header").is_err());
+        assert!(parse_pole_residue_text("awe-macromodel v1\nbaseline nope").is_err());
+        assert!(parse_pole_residue_text("awe-macromodel v1\nterm 1 2 3 4 0").is_err());
+        assert!(parse_pole_residue_text("awe-macromodel v1\npiece 0 0").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "awe-macromodel v1\n# comment\n\nbaseline 1.5\nend\n";
+        let m = parse_pole_residue_text(text).unwrap();
+        assert_eq!(m.baseline, 1.5);
+        assert_eq!(m.eval(10.0), 1.5);
+    }
+}

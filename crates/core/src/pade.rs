@@ -1,0 +1,309 @@
+//! Moment matching: moments → approximating poles (paper eqs. (24)–(25))
+//! with the frequency scaling of §3.5.
+//!
+//! The scalar moment sequence `[m_{-1}, m_0, …, m_{2q-2}]` of one response
+//! component feeds the Hankel system of eq. (24); its solution defines the
+//! characteristic polynomial in the reciprocal-pole variable `x = 1/p`
+//! (eq. (25)), whose roots invert to the approximating poles.
+//!
+//! Stiff circuits make the raw moments span many decades and the Hankel
+//! matrix numerically singular; §3.5's remedy is to normalize by a
+//! characteristic time `γ ≈ m₀/m₋₁` (the reciprocal dominant pole), solve
+//! the scaled system, and scale the poles back. We expose scaling as an
+//! option so the ablation bench can quantify exactly what it buys.
+
+use awe_numeric::{roots, solve_char_poly, symmetrize_conjugates, Complex, NumericError};
+
+use crate::error::AweError;
+
+/// Options for the moment-matching step.
+#[derive(Clone, Copy, Debug)]
+pub struct PadeOptions {
+    /// Apply §3.5 frequency scaling before solving eq. (24). Default on.
+    pub frequency_scaling: bool,
+    /// Relative tolerance for snapping nearly-real poles onto the real
+    /// axis and pairing conjugates.
+    pub conjugate_tol: f64,
+}
+
+impl Default for PadeOptions {
+    fn default() -> Self {
+        PadeOptions {
+            frequency_scaling: true,
+            conjugate_tol: 1e-7,
+        }
+    }
+}
+
+/// Result of the moment-matching step.
+#[derive(Clone, Debug)]
+pub struct PadeResult {
+    /// The `q` approximating poles (conjugate-symmetrized).
+    pub poles: Vec<Complex>,
+    /// Condition estimate of the (scaled) moment matrix.
+    pub condition: f64,
+    /// The frequency scale `γ` that was applied (`1.0` when disabled).
+    pub gamma: f64,
+}
+
+/// Characteristic time used for frequency scaling (the role of eq. (47)'s
+/// `γ = m₋₁/m₀`). The *highest* valid consecutive ratio is used rather
+/// than the first: high moments are dominated by the reciprocal dominant
+/// pole exactly, whereas `m₋₁` can be pure subtraction noise for pulse
+/// responses (`Σk = 0`), which would poison a first-ratio estimate.
+pub fn scale_factor(moments: &[f64]) -> f64 {
+    for w in moments.windows(2).rev() {
+        if w[0].abs() > 0.0 && w[1].abs() > 0.0 {
+            let g = (w[1] / w[0]).abs();
+            if g.is_finite() && g > 0.0 {
+                return g;
+            }
+        }
+    }
+    1.0
+}
+
+/// Snaps a rounding-noise `m₋₁` to exact zero. `m₋₁ = Σ k` comes from a
+/// subtraction of near-equal quantities (`x(0⁺) - x_p(0)`), so for pulse
+/// responses it lands at the noise floor instead of the exact zero the
+/// physics dictates — and a noise-floor leading entry badly conditions
+/// the Hankel solve. The test compares `m₋₁` against the residue scale
+/// `|m₀|/γ` implied by the rest of the sequence.
+fn snap_leading_noise(moments: &mut [f64], gamma: f64) {
+    if moments.len() < 2 || moments[0] == 0.0 || gamma <= 0.0 {
+        return;
+    }
+    let k_scale = (moments[1] / gamma).abs();
+    if k_scale > 0.0 && moments[0].abs() < 1e-9 * k_scale {
+        moments[0] = 0.0;
+    }
+}
+
+/// Computes the `q` approximating poles from the scalar moment sequence
+/// `[m_{-1}, m_0, …]` (at least `2q` entries, the convention of
+/// [`awe_mna::MomentEngine`]).
+///
+/// # Errors
+///
+/// * [`AweError::BadOrder`] if `q == 0` or too few moments are supplied.
+/// * [`AweError::MomentMatrixSingular`] if eq. (24) cannot be solved at
+///   this order even with scaling; the payload reports the largest order
+///   that does solve, so callers can back off.
+///
+/// # Examples
+///
+/// ```
+/// use awe::pade::{match_poles, PadeOptions};
+///
+/// # fn main() -> Result<(), awe::AweError> {
+/// // Moments of 2e^{-t} + e^{-10t}: m_j = 2·(-1)^{j+1} + (-0.1)^{j+1}.
+/// let m: Vec<f64> = (0..4)
+///     .map(|r| 2.0 * (-1.0f64).powi(r) + (-0.1f64).powi(r))
+///     .collect();
+/// let result = match_poles(&m, 2, PadeOptions::default())?;
+/// let mut re: Vec<f64> = result.poles.iter().map(|p| p.re).collect();
+/// re.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// assert!((re[0] + 10.0).abs() < 1e-6);
+/// assert!((re[1] + 1.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn match_poles(
+    moments: &[f64],
+    q: usize,
+    options: PadeOptions,
+) -> Result<PadeResult, AweError> {
+    if q == 0 || moments.len() < 2 * q {
+        return Err(AweError::BadOrder { order: q });
+    }
+    let gamma = if options.frequency_scaling {
+        scale_factor(moments)
+    } else {
+        1.0
+    };
+    // Scaled moments: m̃_j = m_j / γ^{j+1} (sequence index r ↔ j = r-1,
+    // so divide entry r by γ^r).
+    let mut scaled: Vec<f64> = moments
+        .iter()
+        .enumerate()
+        .map(|(r, &m)| m / gamma.powi(r as i32))
+        .collect();
+    snap_leading_noise(&mut scaled, 1.0);
+
+    let cp = match solve_char_poly(&scaled, q) {
+        Ok(cp) => cp,
+        Err(NumericError::Singular { .. }) => {
+            // Report the largest solvable order for graceful back-off.
+            let mut achievable = 0;
+            for qq in (1..q).rev() {
+                if solve_char_poly(&scaled, qq).is_ok() {
+                    achievable = qq;
+                    break;
+                }
+            }
+            return Err(AweError::MomentMatrixSingular {
+                order: q,
+                achievable,
+            });
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    // Roots are scaled reciprocal poles x̃ = x/γ = 1/(γ·p) → p = 1/(γ·x̃).
+    let recips = roots(&cp.poly)?;
+    let mut poles: Vec<Complex> = recips
+        .iter()
+        .map(|x| {
+            if x.abs() == 0.0 {
+                // Zero root of the characteristic polynomial: an
+                // infinitely fast pole; map to a huge negative value.
+                Complex::real(f64::NEG_INFINITY)
+            } else {
+                (*x * gamma).recip()
+            }
+        })
+        .collect();
+    symmetrize_conjugates(&mut poles, options.conjugate_tol);
+    // Sort dominant (slowest, largest re) first for readability.
+    poles.sort_by(|a, b| {
+        b.re.partial_cmp(&a.re)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.im.partial_cmp(&b.im).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    Ok(PadeResult {
+        poles,
+        condition: cp.condition,
+        gamma,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Moments (our convention) of Σ kᵢ e^{pᵢ t}: entry r = Σ kᵢ pᵢ^{-r}.
+    fn moments_of(ks: &[f64], ps: &[f64], count: usize) -> Vec<f64> {
+        (0..count)
+            .map(|r| {
+                ks.iter()
+                    .zip(ps)
+                    .map(|(k, p)| k * p.powi(-(r as i32)))
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_recovery_orders_1_to_4() {
+        let ps = [-1.0, -7.0, -30.0, -200.0];
+        let ks = [1.0, -0.4, 0.2, -0.05];
+        for q in 1..=4usize {
+            let m = moments_of(&ks[..q], &ps[..q], 2 * q);
+            let r = match_poles(&m, q, PadeOptions::default()).unwrap();
+            assert_eq!(r.poles.len(), q);
+            let mut found: Vec<f64> = r.poles.iter().map(|p| p.re).collect();
+            found.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            for (f, e) in found.iter().zip(&ps[..q]) {
+                assert!(
+                    ((f - e) / e).abs() < 1e-6,
+                    "q={q}: pole {f} vs expected {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complex_pole_recovery() {
+        // Conjugate pair: moments of 2·Re(k e^{pt}).
+        let p = Complex::new(-1.0, 5.0);
+        let k = Complex::new(0.5, 0.3);
+        let m: Vec<f64> = (0..4)
+            .map(|r| 2.0 * (k * p.powi(-r)).re)
+            .collect();
+        let r = match_poles(&m, 2, PadeOptions::default()).unwrap();
+        assert!(r.poles.iter().any(|z| (*z - p).abs() < 1e-8), "{:?}", r.poles);
+        assert!(r.poles.iter().any(|z| (*z - p.conj()).abs() < 1e-8));
+        // Exact conjugate symmetry after snapping.
+        assert_eq!(r.poles[0].re, r.poles[1].re);
+        assert_eq!(r.poles[0].im, -r.poles[1].im);
+    }
+
+    #[test]
+    fn scaling_rescues_stiff_moments() {
+        // Poles spread over 6 decades at physical (1e9-ish) magnitudes:
+        // raw moments overflow the Hankel conditioning without scaling.
+        let ps = [-1e9, -3e11, -2e13];
+        let ks = [5.0, -1.0, 0.3];
+        let m = moments_of(&ks, &ps, 6);
+        let scaled = match_poles(&m, 3, PadeOptions::default()).unwrap();
+        let mut found: Vec<f64> = scaled.poles.iter().map(|p| p.re).collect();
+        found.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (f, e) in found.iter().zip(&ps) {
+            assert!(((f - e) / e).abs() < 1e-4, "pole {f} vs {e}");
+        }
+        assert!(scaled.gamma > 0.0 && scaled.gamma != 1.0);
+    }
+
+    #[test]
+    fn unscaled_conditioning_is_much_worse() {
+        let ps = [-1e9, -3e11, -2e13];
+        let ks = [5.0, -1.0, 0.3];
+        let m = moments_of(&ks, &ps, 6);
+        let on = match_poles(&m, 3, PadeOptions::default());
+        let off = match_poles(
+            &m,
+            3,
+            PadeOptions {
+                frequency_scaling: false,
+                ..PadeOptions::default()
+            },
+        );
+        // Either the unscaled solve fails outright, or its condition
+        // estimate is astronomically worse.
+        match (on, off) {
+            (Ok(a), Ok(b)) => assert!(
+                b.condition > a.condition * 1e6,
+                "scaled cond {} vs unscaled {}",
+                a.condition,
+                b.condition
+            ),
+            (Ok(_), Err(_)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_above_rank_reports_achievable() {
+        let m = moments_of(&[1.0], &[-2.0], 8);
+        match match_poles(&m, 3, PadeOptions::default()) {
+            Err(AweError::MomentMatrixSingular { order: 3, achievable }) => {
+                assert_eq!(achievable, 1);
+            }
+            Ok(r) => {
+                // Rounding may let it "solve"; condition must be huge.
+                assert!(r.condition > 1e10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_order_inputs() {
+        assert!(matches!(
+            match_poles(&[1.0, 2.0], 0, PadeOptions::default()),
+            Err(AweError::BadOrder { order: 0 })
+        ));
+        assert!(matches!(
+            match_poles(&[1.0, 2.0], 2, PadeOptions::default()),
+            Err(AweError::BadOrder { order: 2 })
+        ));
+    }
+
+    #[test]
+    fn scale_factor_fallbacks() {
+        assert_eq!(scale_factor(&[2.0, 1.0]), 0.5);
+        // Leading zero moment: use the next ratio.
+        assert_eq!(scale_factor(&[0.0, 2.0, 1.0]), 0.5);
+        assert_eq!(scale_factor(&[0.0, 0.0]), 1.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Rational (pole–zero) form of a reduced model.
+//!
+//! Control theory states the model-order reduction problem in terms of a
+//! rational transfer function (the paper's eq. (30)); AWE works in
+//! partial-fraction form instead, so zeros are never computed directly
+//! (§3.3: "AWE differs in that the zeros are not found directly"). For
+//! users who *do* want the `[q-1/q]` rational view — e.g. to inspect the
+//! low-frequency zero that initial conditions introduce (§5.2) — this
+//! module reassembles `X̂(s) = N(s)/D(s)` from the poles and residues and
+//! extracts the approximating zeros.
+
+use awe_numeric::{roots, Complex, Polynomial};
+
+use crate::error::AweError;
+use crate::terms::ExpSum;
+
+/// The `[q-1/q]` rational form of a simple-pole exponential sum:
+/// `X̂(s) = numerator(s) / denominator(s)` with real coefficients and a
+/// monic denominator `∏ (s - pᵢ)`.
+///
+/// # Errors
+///
+/// * [`AweError::BadOrder`] for an empty sum or one containing
+///   repeated-pole (`t^d`) terms — convert those models by splitting the
+///   confluent terms first.
+/// * [`AweError::Numeric`] if the poles cannot be conjugate-paired (a
+///   malformed sum).
+///
+/// # Examples
+///
+/// ```
+/// use awe::rational::rational_form;
+/// use awe::{ExpSum, ExpTerm};
+/// use awe_numeric::Complex;
+///
+/// # fn main() -> Result<(), awe::AweError> {
+/// // 1/(s+1) - 1/(s+2) = 1 / (s² + 3s + 2): one finite zero... none!
+/// let sum = ExpSum::new(vec![
+///     ExpTerm::simple(Complex::real(-1.0), Complex::real(1.0)),
+///     ExpTerm::simple(Complex::real(-2.0), Complex::real(-1.0)),
+/// ]);
+/// let (num, den) = rational_form(&sum)?;
+/// assert_eq!(den.degree(), 2);
+/// assert_eq!(num.degree(), 0); // constant numerator: no finite zeros
+/// # Ok(())
+/// # }
+/// ```
+pub fn rational_form(sum: &ExpSum) -> Result<(Polynomial, Polynomial), AweError> {
+    let terms = sum.terms();
+    if terms.is_empty() || terms.iter().any(|t| t.power > 0) {
+        return Err(AweError::BadOrder { order: terms.len() });
+    }
+    let poles: Vec<Complex> = terms.iter().map(|t| t.pole).collect();
+
+    // Denominator: monic product of (s - pᵢ), real by conjugate pairing.
+    let den = Polynomial::from_conjugate_roots(&poles, 1e-7);
+
+    // Numerator: Σᵢ kᵢ·∏_{j≠i} (s - pⱼ), accumulated in complex
+    // coefficients and then verified real.
+    let q = poles.len();
+    let mut num_c = vec![Complex::ZERO; q];
+    for (i, term) in terms.iter().enumerate() {
+        // ∏_{j≠i} (s - pⱼ) by sequential convolution.
+        let mut part = vec![Complex::ONE];
+        for (j, &p) in poles.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let mut next = vec![Complex::ZERO; part.len() + 1];
+            for (k, &c) in part.iter().enumerate() {
+                next[k + 1] += c;
+                next[k] += c * (-p);
+            }
+            part = next;
+        }
+        for (k, &c) in part.iter().enumerate() {
+            num_c[k] += term.coeff * c;
+        }
+    }
+    let scale = num_c.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
+    if num_c.iter().any(|c| c.im.abs() > 1e-7 * scale.max(1e-300)) {
+        return Err(AweError::Numeric(awe_numeric::NumericError::Degenerate(
+            "unpaired complex residues: numerator is not real",
+        )));
+    }
+    let num = Polynomial::new(num_c.iter().map(|c| c.re).collect());
+    Ok((num, den))
+}
+
+/// The finite approximating zeros of a simple-pole exponential sum — the
+/// roots of its rational numerator.
+///
+/// # Errors
+///
+/// Propagates [`rational_form`] failures; a constant numerator yields an
+/// empty zero list.
+pub fn zeros(sum: &ExpSum) -> Result<Vec<Complex>, AweError> {
+    let (num, _) = rational_form(sum)?;
+    if num.degree() == 0 {
+        return Ok(Vec::new());
+    }
+    Ok(roots(&num)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terms::ExpTerm;
+
+    fn sum(pairs: &[(f64, f64)]) -> ExpSum {
+        ExpSum::new(
+            pairs
+                .iter()
+                .map(|&(p, k)| ExpTerm::simple(Complex::real(p), Complex::real(k)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn reconstructs_partial_fractions() {
+        // k1/(s-p1) + k2/(s-p2) evaluated both ways at probe points.
+        let s = sum(&[(-1.0, 2.0), (-5.0, -0.7)]);
+        let (num, den) = rational_form(&s).unwrap();
+        for &x in &[0.0, 1.0, -0.3, 2.5] {
+            let direct: f64 = s
+                .terms()
+                .iter()
+                .map(|t| t.coeff.re / (x - t.pole.re))
+                .sum();
+            let rat = num.eval(x) / den.eval(x);
+            assert!((rat - direct).abs() < 1e-10, "x={x}: {rat} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn zero_location_two_pole() {
+        // k1/(s-p1)+k2/(s-p2) has its zero at (k1 p2 + k2 p1)/(k1+k2).
+        let (p1, k1, p2, k2) = (-1.0, 1.0, -4.0, 2.0);
+        let s = sum(&[(p1, k1), (p2, k2)]);
+        let z = zeros(&s).unwrap();
+        assert_eq!(z.len(), 1);
+        let want = (k1 * p2 + k2 * p1) / (k1 + k2);
+        assert!((z[0].re - want).abs() < 1e-10, "{} vs {want}", z[0].re);
+    }
+
+    #[test]
+    fn complex_pair_gives_real_polynomials() {
+        let p = Complex::new(-2.0, 3.0);
+        let k = Complex::new(0.5, -1.5);
+        let s = ExpSum::new(vec![
+            ExpTerm::simple(p, k),
+            ExpTerm::simple(p.conj(), k.conj()),
+        ]);
+        let (num, den) = rational_form(&s).unwrap();
+        assert_eq!(den.degree(), 2);
+        assert!(num.degree() <= 1);
+        // den = s² + 4s + 13.
+        assert!((den.coeffs()[0] - 13.0).abs() < 1e-10);
+        assert!((den.coeffs()[1] - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ic_low_frequency_zero_visible() {
+        // §5.2's phenomenon end to end: precharging C6 of the Fig. 16
+        // tree introduces a low-frequency zero in the reduced model that
+        // partially cancels a pole.
+        use crate::engine::AweEngine;
+        use awe_circuit::papers::fig16;
+        use awe_circuit::Waveform;
+        let p = fig16(Waveform::step(0.0, 5.0), Some(5.0));
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let approx = engine.approximate(p.output, 2).unwrap();
+        let z = zeros(&approx.pieces[0].transient).unwrap();
+        // The q=2 model has one finite zero, and it sits at a *lower*
+        // frequency than the second pole (the cancellation the paper
+        // describes in Table I's discussion).
+        assert_eq!(z.len(), 1);
+        let poles = approx.poles();
+        assert!(z[0].re < 0.0, "stable-side zero: {z:?}");
+        assert!(
+            z[0].re.abs() < poles[1].re.abs(),
+            "zero {} should undercut the second pole {}",
+            z[0].re,
+            poles[1].re
+        );
+    }
+
+    #[test]
+    fn rejects_repeated_pole_terms() {
+        let s = ExpSum::new(vec![ExpTerm {
+            pole: Complex::real(-1.0),
+            coeff: Complex::ONE,
+            power: 1,
+        }]);
+        assert!(rational_form(&s).is_err());
+        assert!(rational_form(&ExpSum::zero()).is_err());
+    }
+}

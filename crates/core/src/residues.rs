@@ -1,0 +1,399 @@
+//! Residue computation (paper eqs. (20) and (26)–(29)).
+//!
+//! Once the approximating poles are known, the residues follow from the
+//! first `q` matching conditions: the Vandermonde system of eq. (20) in
+//! the reciprocal poles, or — when poles repeat and the Vandermonde matrix
+//! is singular *by definition* — the confluent system of eqs. (26)–(29)
+//! whose extra columns correspond to `t^d/d!·e^{pt}` terms.
+//!
+//! The systems are built in a normalized variable (nodes divided by their
+//! largest magnitude) so GHz-scale poles don't underflow the powers.
+
+use awe_numeric::{CMatrix, Complex};
+
+use crate::error::AweError;
+use crate::terms::ExpTerm;
+
+/// Relative distance below which two poles are treated as one repeated
+/// pole.
+const REPEAT_TOL: f64 = 1e-6;
+
+/// Solves for the exponential-sum terms matching the first `q` entries of
+/// the moment sequence (`moments[0] = m_{-1}`, …) given the `q`
+/// approximating poles (repeats allowed).
+///
+/// The conditions imposed are exactly the paper's eq. (16):
+/// the term sum matches `m_{-1} = x_h(0)` and the Maclaurin moments
+/// `m_0 … m_{q-2}`.
+///
+/// # Errors
+///
+/// * [`AweError::BadOrder`] if `poles.is_empty()` or fewer than
+///   `poles.len()` moments are supplied.
+/// * [`AweError::Numeric`] if the confluent system is singular (should not
+///   happen for distinct grouped poles).
+///
+/// # Examples
+///
+/// ```
+/// use awe::residues::match_residues;
+/// use awe_numeric::Complex;
+///
+/// # fn main() -> Result<(), awe::AweError> {
+/// // Single pole p = -2 with residue k = 3: m_{-1} = 3, m_0 = 3/(-2).
+/// let terms = match_residues(&[Complex::real(-2.0)], &[3.0, -1.5])?;
+/// assert_eq!(terms.len(), 1);
+/// assert!((terms[0].coeff.re - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn match_residues(poles: &[Complex], moments: &[f64]) -> Result<Vec<ExpTerm>, AweError> {
+    let q = poles.len();
+    if q == 0 || moments.len() < q {
+        return Err(AweError::BadOrder { order: q });
+    }
+
+    // Group (nearly) repeated poles.
+    let groups = group_poles(poles);
+
+    // Reciprocal nodes, normalized by the largest magnitude.
+    let nodes: Vec<Complex> = groups.iter().map(|g| g.pole.recip()).collect();
+    let s_hat = nodes.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let y: Vec<Complex> = nodes.iter().map(|x| *x / s_hat).collect();
+
+    // Build the (confluent) system: row r matches moment entry r; the
+    // column for derivative order d of group g has entries
+    //   r == 0: 1 if d == 0 else 0        (initial-value row)
+    //   r >= 1: (-1)^d·C(r-1+d, d)·y^{r+d}
+    // with rhs m-entry r divided by ŝ^r. Solved coefficients are ŝ^d·c_d.
+    let mut a = CMatrix::zeros(q, q);
+    let mut col = 0usize;
+    for (g, yg) in groups.iter().zip(&y) {
+        for d in 0..g.multiplicity {
+            a[(0, col)] = if d == 0 { Complex::ONE } else { Complex::ZERO };
+            let sign = if d % 2 == 0 { 1.0 } else { -1.0 };
+            for r in 1..q {
+                a[(r, col)] =
+                    Complex::real(sign * binomial(r - 1 + d, d)) * yg.powi((r + d) as i32);
+            }
+            col += 1;
+        }
+    }
+    let rhs: Vec<Complex> = (0..q)
+        .map(|r| Complex::real(moments[r] / s_hat.powi(r as i32)))
+        .collect();
+    let solved = a.solve(&rhs)?;
+
+    // Unscale and expand into terms.
+    let mut terms = Vec::with_capacity(q);
+    let mut idx = 0usize;
+    for g in &groups {
+        for d in 0..g.multiplicity {
+            let coeff = solved[idx] / s_hat.powi(d as i32);
+            terms.push(ExpTerm {
+                pole: g.pole,
+                coeff,
+                power: d,
+            });
+            idx += 1;
+        }
+    }
+    symmetrize_term_conjugates(&mut terms);
+    Ok(terms)
+}
+
+/// Solves for simple-pole residues matching the *slope-extended* sequence
+/// of the paper's §4.3: row 0 matches `m_{-2} = ẋ_h(0) = Σ k·p`, row 1
+/// matches `m_{-1} = Σ k`, and rows `2..q-1` match `m_0 …` — i.e. the
+/// Vandermonde rows run over exponents `-1, 0, 1, …` of the reciprocal
+/// poles. `seq[0]` must be `m_{-2}`, `seq[1] = m_{-1}`, etc.
+///
+/// Repeated poles are not supported in slope-matching mode (the paper
+/// introduces `m_{-2}` for simple ramp responses); a repeated group falls
+/// back to an error so the caller can retry without slope matching.
+///
+/// # Errors
+///
+/// * [`AweError::BadOrder`] on an empty pole set or short sequence.
+/// * [`AweError::Numeric`] for singular systems (includes the
+///   repeated-pole case).
+pub fn match_residues_with_slope(
+    poles: &[Complex],
+    seq: &[f64],
+) -> Result<Vec<ExpTerm>, AweError> {
+    let q = poles.len();
+    if q == 0 || seq.len() < q {
+        return Err(AweError::BadOrder { order: q });
+    }
+    // Normalized reciprocal nodes as in `match_residues`.
+    let nodes: Vec<Complex> = poles.iter().map(|p| p.recip()).collect();
+    let s_hat = nodes
+        .iter()
+        .map(|x| x.abs())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let y: Vec<Complex> = nodes.iter().map(|x| *x / s_hat).collect();
+
+    // Row r matches seq[r] with exponent r-1: Σ k·x^{r-1} = seq[r]
+    // → Σ k·y^{r-1}·ŝ^{r-1} = seq[r] → Σ k·y^{r-1} = seq[r]/ŝ^{r-1}.
+    let mut a = CMatrix::zeros(q, q);
+    for (col, yl) in y.iter().enumerate() {
+        for r in 0..q {
+            a[(r, col)] = yl.powi(r as i32 - 1);
+        }
+    }
+    let rhs: Vec<Complex> = (0..q)
+        .map(|r| Complex::real(seq[r] / s_hat.powi(r as i32 - 1)))
+        .collect();
+    let solved = a.solve(&rhs)?;
+    let mut terms: Vec<ExpTerm> = poles
+        .iter()
+        .zip(solved)
+        .map(|(&pole, coeff)| ExpTerm {
+            pole,
+            coeff,
+            power: 0,
+        })
+        .collect();
+    symmetrize_term_conjugates(&mut terms);
+    Ok(terms)
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PoleGroup {
+    pole: Complex,
+    multiplicity: usize,
+}
+
+fn group_poles(poles: &[Complex]) -> Vec<PoleGroup> {
+    let mut groups: Vec<PoleGroup> = Vec::new();
+    for &p in poles {
+        if let Some(g) = groups
+            .iter_mut()
+            .find(|g| (g.pole - p).abs() <= REPEAT_TOL * g.pole.abs().max(p.abs()))
+        {
+            // Running mean keeps the representative centered.
+            let m = g.multiplicity as f64;
+            g.pole = (g.pole * m + p) / (m + 1.0);
+            g.multiplicity += 1;
+        } else {
+            groups.push(PoleGroup {
+                pole: p,
+                multiplicity: 1,
+            });
+        }
+    }
+    groups
+}
+
+/// Forces exact conjugate symmetry on the coefficients of conjugate pole
+/// pairs so the evaluated waveform is exactly real.
+fn symmetrize_term_conjugates(terms: &mut [ExpTerm]) {
+    let n = terms.len();
+    let mut used = vec![false; n];
+    for i in 0..n {
+        if used[i] || terms[i].pole.im == 0.0 {
+            continue;
+        }
+        for j in i + 1..n {
+            if used[j]
+                || terms[j].power != terms[i].power
+                || (terms[j].pole - terms[i].pole.conj()).abs()
+                    > 1e-9 * terms[i].pole.abs().max(1.0)
+            {
+                continue;
+            }
+            let k = (terms[i].coeff + terms[j].coeff.conj()) * 0.5;
+            terms[i].coeff = k;
+            terms[j].coeff = k.conj();
+            used[i] = true;
+            used[j] = true;
+            break;
+        }
+    }
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terms::ExpSum;
+
+    /// Moment entry r of a term sum: Σ over simple terms k·p^{-r} —
+    /// computed numerically from the closed forms for validation.
+    fn moments_of_terms(terms: &[ExpTerm], count: usize) -> Vec<f64> {
+        (0..count)
+            .map(|r| {
+                terms
+                    .iter()
+                    .map(|t| moment_entry(t, r))
+                    .fold(Complex::ZERO, |a, b| a + b)
+                    .re
+            })
+            .collect()
+    }
+
+    /// Moment entry r (r = 0 ↔ m_{-1}) of coeff·t^d/d!·e^{pt}.
+    fn moment_entry(t: &ExpTerm, r: usize) -> Complex {
+        if r == 0 {
+            return if t.power == 0 { t.coeff } else { Complex::ZERO };
+        }
+        let j = r - 1;
+        let sign = if t.power.is_multiple_of(2) { 1.0 } else { -1.0 };
+        t.coeff
+            * Complex::real(sign * binomial(j + t.power, t.power))
+            * t.pole.recip().powi((r + t.power) as i32)
+    }
+
+    #[test]
+    fn simple_real_poles_round_trip() {
+        let truth = vec![
+            ExpTerm::simple(Complex::real(-1.0), Complex::real(2.0)),
+            ExpTerm::simple(Complex::real(-5.0), Complex::real(-0.7)),
+            ExpTerm::simple(Complex::real(-40.0), Complex::real(0.1)),
+        ];
+        let poles: Vec<Complex> = truth.iter().map(|t| t.pole).collect();
+        let m = moments_of_terms(&truth, 3);
+        let got = match_residues(&poles, &m).unwrap();
+        for (g, t) in got.iter().zip(&truth) {
+            assert!((g.coeff - t.coeff).abs() < 1e-10, "{g:?} vs {t:?}");
+            assert_eq!(g.power, 0);
+        }
+    }
+
+    #[test]
+    fn conjugate_pair_residues_are_conjugate() {
+        let p = Complex::new(-2.0, 7.0);
+        let k = Complex::new(0.4, -0.9);
+        let truth = vec![
+            ExpTerm::simple(p, k),
+            ExpTerm::simple(p.conj(), k.conj()),
+        ];
+        let m = moments_of_terms(&truth, 2);
+        let got = match_residues(&[p, p.conj()], &m).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!((got[0].coeff - got[1].coeff.conj()).abs() < 1e-12);
+        assert!((got[0].coeff - k).abs() < 1e-10);
+        // The reconstructed waveform is real and matches.
+        let sum = ExpSum::new(got);
+        let want = ExpSum::new(truth);
+        for &t in &[0.0, 0.1, 0.3, 1.0] {
+            assert!((sum.eval(t) - want.eval(t)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn repeated_pole_confluent_solve() {
+        // Truth: (2 + 3·t)·e^{-4t} → terms (d=0, k=2) and (d=1, k=3).
+        let p = Complex::real(-4.0);
+        let truth = vec![
+            ExpTerm {
+                pole: p,
+                coeff: Complex::real(2.0),
+                power: 0,
+            },
+            ExpTerm {
+                pole: p,
+                coeff: Complex::real(3.0),
+                power: 1,
+            },
+        ];
+        let m = moments_of_terms(&truth, 2);
+        let got = match_residues(&[p, p], &m).unwrap();
+        assert_eq!(got.len(), 2);
+        let k0 = got.iter().find(|t| t.power == 0).unwrap();
+        let k1 = got.iter().find(|t| t.power == 1).unwrap();
+        assert!((k0.coeff.re - 2.0).abs() < 1e-10);
+        assert!((k1.coeff.re - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn triple_pole() {
+        let p = Complex::real(-1.5);
+        let truth: Vec<ExpTerm> = (0..3)
+            .map(|d| ExpTerm {
+                pole: p,
+                coeff: Complex::real(1.0 + d as f64),
+                power: d,
+            })
+            .collect();
+        let m = moments_of_terms(&truth, 3);
+        let got = match_residues(&[p, p, p], &m).unwrap();
+        for d in 0..3 {
+            let t = got.iter().find(|t| t.power == d).unwrap();
+            assert!(
+                (t.coeff.re - (1.0 + d as f64)).abs() < 1e-9,
+                "power {d}: {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stiff_pole_scaling() {
+        // GHz-scale poles: the normalized solve must stay accurate.
+        let truth = vec![
+            ExpTerm::simple(Complex::real(-1.8e9), Complex::real(-5.0)),
+            ExpTerm::simple(Complex::real(-2.6e10), Complex::real(0.9)),
+            ExpTerm::simple(Complex::real(-1.6e13), Complex::real(-0.1)),
+        ];
+        let poles: Vec<Complex> = truth.iter().map(|t| t.pole).collect();
+        let m = moments_of_terms(&truth, 3);
+        let got = match_residues(&poles, &m).unwrap();
+        for (g, t) in got.iter().zip(&truth) {
+            assert!(
+                (g.coeff - t.coeff).abs() < 1e-8 * t.coeff.abs(),
+                "{g:?} vs {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn moment_conservation_property() {
+        // Whatever terms come back, they must reproduce the input moments
+        // exactly — this is the paper's charge-conservation guarantee
+        // (§5.3: "since we match the m_0 term …, the charge transferred is
+        // always exact").
+        let poles = [
+            Complex::real(-1.0),
+            Complex::new(-3.0, 4.0),
+            Complex::new(-3.0, -4.0),
+        ];
+        let m = [0.7, -0.33, 0.11];
+        let got = match_residues(&poles, &m).unwrap();
+        let re = moments_of_terms(&got, 3);
+        for (a, b) in re.iter().zip(&m) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(matches!(
+            match_residues(&[], &[]),
+            Err(AweError::BadOrder { .. })
+        ));
+        assert!(matches!(
+            match_residues(&[Complex::real(-1.0)], &[]),
+            Err(AweError::BadOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn grouping_tolerance() {
+        let p = Complex::real(-2.0);
+        let p_close = Complex::real(-2.0 * (1.0 + 1e-9));
+        let groups = group_poles(&[p, p_close]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].multiplicity, 2);
+        let far = group_poles(&[p, Complex::real(-2.1)]);
+        assert_eq!(far.len(), 2);
+    }
+}

@@ -1,0 +1,344 @@
+//! Exponential-sum terms: the time-domain form of the AWE approximation.
+//!
+//! A `q`-pole AWE model is `x̂(t) = Σ_l k_l·e^{p_l t}` (paper eq. (15)),
+//! generalized for repeated poles to terms `k·t^d/d!·e^{p t}` (the inverse
+//! transforms of `k/(s-p)^{d+1}`, paper eqs. (26)–(29)). This module
+//! provides the term type, real-valued evaluation (conjugate pairs cancel
+//! imaginary parts), and the exact `L²` inner products the accuracy
+//! estimate of §3.4 integrates.
+
+use awe_numeric::Complex;
+
+/// One term `coeff · t^power / power! · e^{pole·t}` of an exponential sum.
+///
+/// Complex terms must appear together with their conjugates for the sum to
+/// be real; [`ExpSum::eval`] takes the real part of the total, so exact
+/// pairing keeps the imaginary residue at rounding level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExpTerm {
+    /// The pole `p` (must have negative real part for a stable term).
+    pub pole: Complex,
+    /// The coefficient `k` (residue for simple poles).
+    pub coeff: Complex,
+    /// The polynomial power `d` (`0` for simple poles; `d ≥ 1` for
+    /// repeated poles of multiplicity `d+1`).
+    pub power: usize,
+}
+
+impl ExpTerm {
+    /// A simple-pole term `k·e^{p t}`.
+    pub fn simple(pole: Complex, coeff: Complex) -> Self {
+        ExpTerm {
+            pole,
+            coeff,
+            power: 0,
+        }
+    }
+
+    /// Complex value of the term at time `t ≥ 0`.
+    pub fn eval_complex(&self, t: f64) -> Complex {
+        let mut poly = 1.0;
+        for d in 1..=self.power {
+            poly *= t / d as f64;
+        }
+        self.coeff * poly * (self.pole * t).exp()
+    }
+
+    /// `true` when the pole lies strictly in the left half plane.
+    pub fn is_stable(&self) -> bool {
+        self.pole.re < 0.0
+    }
+}
+
+/// A finite sum of exponential terms — the transient part of an AWE
+/// approximation.
+///
+/// # Examples
+///
+/// ```
+/// use awe::{ExpSum, ExpTerm};
+/// use awe_numeric::Complex;
+///
+/// // 5·(1 - e^{-t}) has transient part -5·e^{-t}.
+/// let h = ExpSum::new(vec![ExpTerm::simple(
+///     Complex::real(-1.0),
+///     Complex::real(-5.0),
+/// )]);
+/// assert!((h.eval(0.0) + 5.0).abs() < 1e-12);
+/// assert!(h.eval(50.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExpSum {
+    terms: Vec<ExpTerm>,
+}
+
+impl ExpSum {
+    /// Creates a sum from terms.
+    pub fn new(terms: Vec<ExpTerm>) -> Self {
+        ExpSum { terms }
+    }
+
+    /// The empty (identically zero) sum.
+    pub fn zero() -> Self {
+        ExpSum { terms: Vec::new() }
+    }
+
+    /// The terms.
+    pub fn terms(&self) -> &[ExpTerm] {
+        &self.terms
+    }
+
+    /// Real value at time `t ≥ 0` (the imaginary parts of conjugate pairs
+    /// cancel; any rounding residue is discarded).
+    pub fn eval(&self, t: f64) -> f64 {
+        self.terms
+            .iter()
+            .map(|term| term.eval_complex(t))
+            .fold(Complex::ZERO, |a, b| a + b)
+            .re
+    }
+
+    /// Value at `t = 0` (`Σ` of coefficients with `power == 0`).
+    pub fn initial_value(&self) -> f64 {
+        self.terms
+            .iter()
+            .filter(|t| t.power == 0)
+            .map(|t| t.coeff)
+            .fold(Complex::ZERO, |a, b| a + b)
+            .re
+    }
+
+    /// Time derivative at `t = 0`.
+    pub fn initial_slope(&self) -> f64 {
+        // d/dt [k t^d/d! e^{pt}] at 0 = k·p for d = 0, k for d = 1, 0 else.
+        self.terms
+            .iter()
+            .map(|t| match t.power {
+                0 => t.coeff * t.pole,
+                1 => t.coeff,
+                _ => Complex::ZERO,
+            })
+            .fold(Complex::ZERO, |a, b| a + b)
+            .re
+    }
+
+    /// `true` when every pole is strictly stable.
+    pub fn is_stable(&self) -> bool {
+        self.terms.iter().all(ExpTerm::is_stable)
+    }
+
+    /// The slowest (dominant) pole — the one with the largest (least
+    /// negative) real part. `None` for the empty sum.
+    pub fn dominant_pole(&self) -> Option<Complex> {
+        self.terms
+            .iter()
+            .map(|t| t.pole)
+            .max_by(|a, b| a.re.partial_cmp(&b.re).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// A conservative settling horizon: several time constants of the
+    /// dominant pole. Returns `None` for empty or unstable sums.
+    pub fn settle_time(&self, factor: f64) -> Option<f64> {
+        if self.terms.is_empty() || !self.is_stable() {
+            return None;
+        }
+        let dom = self.dominant_pole()?;
+        Some(factor / (-dom.re))
+    }
+
+    /// Exact `∫₀^∞ f(t)·g(t) dt` for two exponential sums whose poles all
+    /// lie in the left half plane — the building block of the paper's
+    /// §3.4 accuracy measure. Uses
+    /// `∫ t^m e^{at}·t^n e^{bt} dt = (m+n)!/(m! n!) · … ` with the terms'
+    /// `1/d!` normalization folded in:
+    /// `∫ (t^m/m!)e^{at}·(t^n/n!)e^{bt} dt = C(m+n, m)·(-(a+b))^{-(m+n+1)}`.
+    ///
+    /// Returns `None` if any pole pair sums to a non-negative real part
+    /// (divergent integral).
+    pub fn inner_product(&self, other: &ExpSum) -> Option<f64> {
+        let mut acc = Complex::ZERO;
+        for a in &self.terms {
+            for b in &other.terms {
+                let s = a.pole + b.pole;
+                if s.re >= 0.0 {
+                    return None;
+                }
+                let mn = a.power + b.power;
+                let binom = binomial(mn, a.power);
+                // ∫ t^{mn} e^{st} dt = mn!/(-s)^{mn+1}; normalization gives
+                // C(mn, m)·(-s)^{-(mn+1)}.
+                acc += a.coeff * b.coeff * binom * (-s).powi(-(mn as i32) - 1);
+            }
+        }
+        Some(acc.re)
+    }
+
+    /// Exact `∫₀^∞ f(t)² dt` (squared `L²` norm of the transient).
+    ///
+    /// Returns `None` for unstable sums.
+    pub fn norm_sqr(&self) -> Option<f64> {
+        self.inner_product(self)
+    }
+
+    /// The difference `self - other` as a new sum (term lists
+    /// concatenated with negated coefficients — no cancellation is
+    /// attempted).
+    pub fn sub(&self, other: &ExpSum) -> ExpSum {
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().map(|t| ExpTerm {
+            pole: t.pole,
+            coeff: -t.coeff,
+            power: t.power,
+        }));
+        ExpSum { terms }
+    }
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn single_exponential() {
+        let s = ExpSum::new(vec![ExpTerm::simple(c(-2.0, 0.0), c(3.0, 0.0))]);
+        assert!((s.eval(0.0) - 3.0).abs() < 1e-15);
+        assert!((s.eval(1.0) - 3.0 * (-2.0f64).exp()).abs() < 1e-15);
+        assert_eq!(s.initial_value(), 3.0);
+        assert_eq!(s.initial_slope(), -6.0);
+        assert!(s.is_stable());
+        assert_eq!(s.dominant_pole(), Some(c(-2.0, 0.0)));
+    }
+
+    #[test]
+    fn conjugate_pair_is_real() {
+        // k e^{pt} + k* e^{p*t} = 2|k| e^{σt} cos(ωt + φ).
+        let p = c(-1.0, 3.0);
+        let k = c(0.5, -0.25);
+        let s = ExpSum::new(vec![
+            ExpTerm::simple(p, k),
+            ExpTerm::simple(p.conj(), k.conj()),
+        ]);
+        for &t in &[0.0, 0.1, 0.5, 2.0] {
+            let direct = 2.0 * (k * (p * t).exp()).re;
+            assert!((s.eval(t) - direct).abs() < 1e-14);
+        }
+        assert!((s.initial_value() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn repeated_pole_term() {
+        // t·e^{-t}: power 1, coeff 1.
+        let s = ExpSum::new(vec![ExpTerm {
+            pole: c(-1.0, 0.0),
+            coeff: c(1.0, 0.0),
+            power: 1,
+        }]);
+        assert_eq!(s.eval(0.0), 0.0);
+        assert!((s.eval(2.0) - 2.0 * (-2.0f64).exp()).abs() < 1e-15);
+        assert_eq!(s.initial_value(), 0.0);
+        assert_eq!(s.initial_slope(), 1.0);
+        // t²/2·e^{-t}: power 2.
+        let s2 = ExpSum::new(vec![ExpTerm {
+            pole: c(-1.0, 0.0),
+            coeff: c(1.0, 0.0),
+            power: 2,
+        }]);
+        assert!((s2.eval(3.0) - 4.5 * (-3.0f64).exp()).abs() < 1e-15);
+        assert_eq!(s2.initial_slope(), 0.0);
+    }
+
+    #[test]
+    fn norm_of_single_exponential() {
+        // ∫ (k e^{pt})² = k²/(-2p).
+        let s = ExpSum::new(vec![ExpTerm::simple(c(-2.0, 0.0), c(3.0, 0.0))]);
+        assert!((s.norm_sqr().unwrap() - 9.0 / 4.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn norm_of_t_exponential() {
+        // ∫ (t e^{-t})² dt = 2!/(2³) = 1/4.
+        let s = ExpSum::new(vec![ExpTerm {
+            pole: c(-1.0, 0.0),
+            coeff: c(1.0, 0.0),
+            power: 1,
+        }]);
+        assert!((s.norm_sqr().unwrap() - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inner_product_matches_pairwise_closed_form() {
+        // The correct closed form of the paper's eq. (45) integral
+        // E = ∫(k e^{pt} - k̂ e^{p̂t})² dt is
+        //   -k²/(2p) - k̂²/(2p̂) + 2 k k̂/(p + p̂)
+        // (the printed eq. (45) drops the factors of two on the self
+        // terms — one of several typographical slips in the paper; the
+        // elementary integral ∫e^{2pt} = -1/(2p) pins the truth).
+        let (k, p) = (2.0, -1.0);
+        let (kh, ph) = (1.5, -3.0);
+        let f = ExpSum::new(vec![ExpTerm::simple(c(p, 0.0), c(k, 0.0))]);
+        let g = ExpSum::new(vec![ExpTerm::simple(c(ph, 0.0), c(kh, 0.0))]);
+        let e = f.sub(&g).norm_sqr().unwrap();
+        let expected = -k * k / (2.0 * p) - kh * kh / (2.0 * ph) + 2.0 * k * kh / (p + ph);
+        assert!((e - expected).abs() < 1e-13, "{e} vs {expected}");
+    }
+
+    #[test]
+    fn norm_numerically_verified() {
+        // Compare the closed form against trapezoidal integration for a
+        // damped oscillation.
+        let p = c(-0.8, 2.5);
+        let k = c(1.0, 0.7);
+        let s = ExpSum::new(vec![
+            ExpTerm::simple(p, k),
+            ExpTerm::simple(p.conj(), k.conj()),
+        ]);
+        let exact = s.norm_sqr().unwrap();
+        let (mut acc, n, t_max) = (0.0, 200_000, 25.0);
+        let dt = t_max / n as f64;
+        for i in 0..n {
+            let t0 = i as f64 * dt;
+            let (f0, f1) = (s.eval(t0), s.eval(t0 + dt));
+            acc += 0.5 * (f0 * f0 + f1 * f1) * dt;
+        }
+        assert!((exact - acc).abs() < 1e-4 * acc.abs().max(1e-3), "{exact} vs {acc}");
+    }
+
+    #[test]
+    fn unstable_integral_rejected() {
+        let s = ExpSum::new(vec![ExpTerm::simple(c(0.5, 0.0), c(1.0, 0.0))]);
+        assert!(!s.is_stable());
+        assert_eq!(s.norm_sqr(), None);
+        assert_eq!(s.settle_time(5.0), None);
+    }
+
+    #[test]
+    fn settle_time_uses_dominant_pole() {
+        let s = ExpSum::new(vec![
+            ExpTerm::simple(c(-1.0, 0.0), c(1.0, 0.0)),
+            ExpTerm::simple(c(-100.0, 0.0), c(1.0, 0.0)),
+        ]);
+        assert!((s.settle_time(7.0).unwrap() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sum() {
+        let s = ExpSum::zero();
+        assert_eq!(s.eval(1.0), 0.0);
+        assert_eq!(s.dominant_pole(), None);
+        assert_eq!(s.norm_sqr(), Some(0.0));
+        assert!(s.is_stable());
+    }
+}

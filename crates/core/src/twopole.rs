@@ -1,0 +1,174 @@
+//! The two-pole baseline (paper §2.3, Chu & Horowitz, refs. 12 and 17).
+//!
+//! Before AWE, the state of the art beyond Elmore was a *two-pole* model
+//! built from low-order transfer moments: the step response transfer
+//! function is approximated by the all-pole form
+//!
+//! ```text
+//! H(s) ≈ 1 / (1 + b₁·s + b₂·s²)
+//! ```
+//!
+//! with `b₁ = -μ₁` and `b₂ = μ₁² - μ₂`, where `μ_j` are the transfer
+//! moments. This is the `[0/2]` Padé, in contrast to AWE's `[q-1/q]`
+//! partial-fraction form; it cannot match initial conditions (`m₋₁`) and
+//! assumes a step input — both limitations §2.4 calls out and AWE lifts.
+
+use awe_circuit::{Circuit, NodeId};
+use awe_numeric::{roots, Polynomial};
+use awe_treelink::TreeAnalysis;
+
+use crate::error::AweError;
+use crate::response::{AweApproximation, ResponsePiece};
+use crate::terms::{ExpSum, ExpTerm};
+
+/// The Horowitz-style two-pole step-response model at `node`.
+///
+/// Works on the R/C/V circuit class of the tree walk (meshes and grounded
+/// resistors included).
+///
+/// # Errors
+///
+/// * Tree/link errors outside the R/C/V class.
+/// * [`AweError::ZeroResponse`] if the node sees no transition.
+/// * [`AweError::Unstable`] if the fitted denominator has right-half-plane
+///   roots (the known failure mode of all-pole low-order fits on
+///   nonmonotone responses — exactly why the paper generalizes).
+pub fn two_pole_approximation(
+    circuit: &Circuit,
+    node: NodeId,
+) -> Result<AweApproximation, AweError> {
+    let ta = TreeAnalysis::new(circuit)?;
+    let mut u0 = Vec::new();
+    let mut jumps = Vec::new();
+    for e in circuit.elements() {
+        if let awe_circuit::Element::VoltageSource { waveform, .. } = e {
+            u0.push(waveform.initial_value());
+            jumps.push(waveform.final_value() - waveform.initial_value());
+        }
+    }
+    let baseline = ta.dc(&u0)?;
+    let m = ta.step_moments(&jumps, 4)?;
+    let (m_m1, m0, m1) = (m[0][node], m[1][node], m[2][node]);
+    if m_m1 == 0.0 {
+        return Err(AweError::ZeroResponse);
+    }
+    // Transfer moments: μ₁ = m₀/m₋₁, μ₂ = m₁/m₋₁ (see the moment
+    // convention notes in awe-mna).
+    let mu1 = m0 / m_m1;
+    let mu2 = m1 / m_m1;
+    let b1 = -mu1;
+    let b2 = mu1 * mu1 - mu2;
+    // Poles: roots of b₂ s² + b₁ s + 1.
+    let denom = Polynomial::new(vec![1.0, b1, b2]);
+    let ps = roots(&denom)?;
+    if ps.iter().any(|p| p.re >= 0.0) {
+        return Err(AweError::Unstable { order: 2 });
+    }
+    // Step response of H: 1 + Σ kᵢ e^{pᵢ t} with
+    // kᵢ = 1 / (pᵢ·(2 b₂ pᵢ + b₁)); scale by the swing -m₋₁.
+    let swing = -m_m1;
+    let terms: Vec<ExpTerm> = ps
+        .iter()
+        .map(|&p| {
+            let k = (p * (p * (2.0 * b2) + b1)).recip();
+            ExpTerm::simple(p, k * swing)
+        })
+        .collect();
+    Ok(AweApproximation {
+        order: 2,
+        baseline: baseline[node],
+        pieces: vec![ResponsePiece {
+            onset: 0.0,
+            a: swing,
+            b: 0.0,
+            transient: ExpSum::new(terms),
+        }],
+        error_estimate: None,
+        condition: 1.0,
+        stable: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awe_circuit::papers::fig4;
+    use awe_circuit::{Waveform, GROUND};
+
+    fn step5() -> Waveform {
+        Waveform::step(0.0, 5.0)
+    }
+
+    #[test]
+    fn single_pole_circuit_handled() {
+        // For a true single-pole circuit the two-pole fit degenerates:
+        // b₂ = μ₁² - μ₂ = τ² - τ² = 0 → denominator is linear and the
+        // model reduces to the exact single exponential.
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, step5()).unwrap();
+        ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+        ckt.add_capacitor("C1", n1, GROUND, 1e-9).unwrap();
+        let tp = two_pole_approximation(&ckt, n1).unwrap();
+        let tau: f64 = 1e-6;
+        for &t in &[0.0, 1e-6, 3e-6] {
+            let exact = 5.0 * (1.0 - (-t / tau).exp());
+            assert!((tp.eval(t) - exact).abs() < 1e-9, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn fig4_two_pole_beats_elmore() {
+        use crate::accuracy::relative_l2_error;
+        use crate::elmore::elmore_approximation;
+        use crate::engine::AweEngine;
+        // Reference: high-order AWE (order 4 is exact for Fig. 4).
+        let p = fig4(step5());
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let exact = engine.approximate(p.output, 4).unwrap();
+        let tp = two_pole_approximation(&p.circuit, p.output).unwrap();
+        let pr = elmore_approximation(&p.circuit, p.output).unwrap();
+        let e_tp =
+            relative_l2_error(&exact.pieces[0].transient, &tp.pieces[0].transient).unwrap();
+        let e_pr =
+            relative_l2_error(&exact.pieces[0].transient, &pr.pieces[0].transient).unwrap();
+        assert!(
+            e_tp < e_pr,
+            "two-pole ({e_tp}) should beat single-pole ({e_pr})"
+        );
+        assert!((tp.final_value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4_two_pole_matches_awe_order2_poles() {
+        // The [0/2] fit and AWE's [1/2] fit see the same circuit; their
+        // dominant poles should be close (not identical — different Padé).
+        use crate::engine::AweEngine;
+        let p = fig4(step5());
+        let tp = two_pole_approximation(&p.circuit, p.output).unwrap();
+        let engine = AweEngine::new(&p.circuit).unwrap();
+        let a2 = engine.approximate(p.output, 2).unwrap();
+        let dom_tp = tp.poles()[0].re;
+        let dom_awe = a2.poles()[0].re;
+        assert!(
+            ((dom_tp - dom_awe) / dom_awe).abs() < 0.5,
+            "{dom_tp} vs {dom_awe}"
+        );
+    }
+
+    #[test]
+    fn zero_response_detected() {
+        // A node whose swing is zero (source never moves).
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0)).unwrap();
+        ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+        ckt.add_capacitor("C1", n1, GROUND, 1e-9).unwrap();
+        assert!(matches!(
+            two_pole_approximation(&ckt, n1),
+            Err(AweError::ZeroResponse)
+        ));
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for MNA assembly and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use awe_numeric::NumericError;
+
+/// Errors from MNA system construction and moment generation.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum MnaError {
+    /// The circuit has no unique DC solution (the paper's §3.1 requirement
+    /// that the A-matrix be nonsingular — e.g. a node connected only
+    /// through capacitors).
+    NoDcSolution,
+    /// A numeric routine failed.
+    Numeric(NumericError),
+    /// A controlled source references a voltage source with no MNA branch
+    /// (should be prevented by circuit validation, but double-checked
+    /// here).
+    MissingControlBranch(String),
+    /// The circuit contains no independent sources and no initial
+    /// conditions — there is nothing to analyze.
+    NoExcitation,
+    /// A requested node is not part of the system (e.g. ground).
+    UnknownNode(usize),
+}
+
+impl fmt::Display for MnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MnaError::NoDcSolution => {
+                write!(f, "circuit has no unique dc solution (singular conductance matrix)")
+            }
+            MnaError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            MnaError::MissingControlBranch(name) => {
+                write!(f, "controlling source {name} has no branch current")
+            }
+            MnaError::NoExcitation => {
+                write!(f, "circuit has no sources and no initial conditions")
+            }
+            MnaError::UnknownNode(n) => write!(f, "node {n} is not an unknown of the system"),
+        }
+    }
+}
+
+impl Error for MnaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MnaError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for MnaError {
+    fn from(e: NumericError) -> Self {
+        match e {
+            NumericError::Singular { .. } => MnaError::NoDcSolution,
+            other => MnaError::Numeric(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MnaError::from(NumericError::Singular { pivot: 2 });
+        assert_eq!(e, MnaError::NoDcSolution);
+        let e2 = MnaError::from(NumericError::NoConvergence { iterations: 5 });
+        assert!(e2.to_string().contains("numeric failure"));
+        use std::error::Error;
+        assert!(e2.source().is_some());
+        assert!(MnaError::NoDcSolution.source().is_none());
+        assert!(MnaError::UnknownNode(3).to_string().contains("node 3"));
+    }
+}

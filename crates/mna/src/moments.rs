@@ -1,0 +1,979 @@
+//! Moment generation (paper §3.2).
+//!
+//! The central cost claim of AWE is that after one LU factorization of the
+//! conductance matrix, *"the major task in computing even higher moments is
+//! repeated forward- and back-substitution of these LU factors"*. The
+//! [`MomentEngine`] implements exactly that: factor `G` once, then each
+//! moment is one `C·x` product and one resubstitution.
+//!
+//! ## Moment convention
+//!
+//! The paper's sign conventions drift between eq. (16) and the worked
+//! example of eqs. (55)–(59); we fix one internally consistent convention
+//! and verify it numerically everywhere:
+//!
+//! For a homogeneous response `x_h(t) = Σ_l k_l·e^{p_l t}` we define
+//!
+//! ```text
+//! m_j = Σ_l k_l · p_l^{-(j+1)},   j = -1, 0, 1, …
+//! ```
+//!
+//! so `m_{-1} = x_h(0)` (the initial value) and `m_0` is the negated
+//! Maclaurin coefficient of `X_h(s)` (for an RC-tree step response,
+//! `m_0 = V_DD·T_D` with `T_D` the Elmore delay — the paper's eq. (56)).
+//! In MNA descriptor form the whole sequence obeys one recursion:
+//!
+//! ```text
+//! m_{-1} = x_h(0),    m_{k+1} = (-G⁻¹C) · m_k .
+//! ```
+//!
+//! ## Excitation decomposition
+//!
+//! General inputs (multiple sources, PWL waveforms, nonequilibrium initial
+//! conditions) superpose (§4.3): the response is a DC baseline plus one
+//! homogeneous-plus-particular piece per input step, per input ramp, and
+//! one for the initial-condition mismatch. [`MomentEngine::decompose`]
+//! produces those pieces with their moment sequences; the AWE core reduces
+//! each piece independently and superposes the waveforms.
+
+use awe_numeric::{Lu, Matrix, NumericError, SparseLu, SparseMatrix};
+
+use crate::error::MnaError;
+use crate::system::MnaSystem;
+
+/// The initial (t = 0⁻) dynamic state of the circuit.
+#[derive(Clone, Debug)]
+pub struct InitialState {
+    /// Initial voltage of each capacitor, in `MnaSystem::caps` order.
+    pub cap_voltages: Vec<f64>,
+    /// Initial current of each inductor, in `MnaSystem::inductors` order.
+    pub inductor_currents: Vec<f64>,
+    /// The pre-transition DC solution (baseline operating point).
+    pub dc_solution: Vec<f64>,
+}
+
+/// What drives one superposition piece.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PieceKind {
+    /// Relaxation of a nonequilibrium initial condition from `t = 0`.
+    InitialCondition,
+    /// An ideal step on one source.
+    Step {
+        /// Source column.
+        source: usize,
+        /// Step magnitude.
+        jump: f64,
+    },
+    /// An infinite ramp on one source.
+    Ramp {
+        /// Source column.
+        source: usize,
+        /// Ramp slope (units/second).
+        slope: f64,
+    },
+    /// Several simultaneous excitations merged into one homogeneous
+    /// response (the paper's eq. (8): `x_h(0) = x₀ + A⁻¹Bu₀ + A⁻²Bu₁`
+    /// combines the initial state with all `t = 0` source activity). A
+    /// merged reduction is far better conditioned than reducing, say, an
+    /// isolated charge-sharing pulse on its own.
+    Combined,
+}
+
+/// One superposition piece: its onset time, its particular solution
+/// (`x_p(t) = a + b·(t - at)` for `t ≥ at`), and the moment sequence of its
+/// homogeneous part (`moments[0] = m_{-1}`, `moments[k+1] = m_k`). All
+/// vectors are full MNA vectors; index by the observed unknown.
+#[derive(Clone, Debug)]
+pub struct Piece {
+    /// What drives this piece.
+    pub kind: PieceKind,
+    /// Onset time (the piece contributes only for `t ≥ at`).
+    pub at: f64,
+    /// Constant part of the particular solution.
+    pub a: Vec<f64>,
+    /// Ramp part of the particular solution (zero for steps/ICs).
+    pub b: Vec<f64>,
+    /// Moment sequence `[m_{-1}, m_0, …, m_{count-2}]` of the homogeneous
+    /// part.
+    pub moments: Vec<Vec<f64>>,
+    /// The paper's `m_{-2}` term — the initial *slope* `ẋ_h(0)` of the
+    /// homogeneous response (§4.3) — when it is finite and computed.
+    /// Present for ramp pieces (a step's homogeneous slope is impulsive);
+    /// merging pieces keeps it only if every member carries one.
+    pub m_minus2: Option<Vec<f64>>,
+}
+
+/// Full superposed description of the response: a DC baseline plus pieces.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// Pre-transition DC operating point (valid for all `t` as the
+    /// baseline the pieces add to).
+    pub baseline: Vec<f64>,
+    /// Superposition pieces sorted by onset time.
+    pub pieces: Vec<Piece>,
+}
+
+/// The conductance factorization: dense LU for small systems, sparse
+/// Gilbert–Peierls LU (with RCM column ordering) once the system is large
+/// and sparse enough for the fill-aware path to win.
+enum Factorization {
+    Dense(Lu),
+    Sparse(SparseLu),
+}
+
+impl Factorization {
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        match self {
+            Factorization::Dense(lu) => lu.solve(b),
+            Factorization::Sparse(lu) => lu.solve(b),
+        }
+    }
+}
+
+/// Unknown-count threshold above which the sparse path is attempted.
+const SPARSE_THRESHOLD: usize = 192;
+
+/// Factored-once moment engine over an [`MnaSystem`].
+pub struct MomentEngine<'a> {
+    system: &'a MnaSystem,
+    lu: Factorization,
+    /// Sparse image of `C̃` kept alongside the sparse factorization so the
+    /// per-moment `C̃·x` products cost `O(nnz)` instead of `O(n²)`.
+    c_tilde_sparse: Option<SparseMatrix>,
+}
+
+impl<'a> MomentEngine<'a> {
+    /// Factors the conductance matrix of `system`.
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::NoDcSolution`] if `G` is singular — the circuit violates
+    /// the paper's §3.1 requirement of a unique DC solution (e.g. a node
+    /// connected only through capacitors).
+    pub fn new(system: &'a MnaSystem) -> Result<Self, MnaError> {
+        // Factor the charge-aware G̃ (identical to G without floating
+        // groups): the §3.1 charge-conservation rows make circuits with
+        // capacitor-only nodes solvable. Large sparse systems go through
+        // the RCM-ordered Gilbert–Peierls factorization; anything else —
+        // including a sparse-path failure — uses dense LU.
+        let n = system.num_unknowns();
+        if n >= SPARSE_THRESHOLD {
+            let sg = SparseMatrix::from_dense(&system.g_tilde);
+            let density = sg.nnz() as f64 / (n as f64 * n as f64);
+            if density < 0.05 {
+                let order = sg.rcm_ordering().ok().map(|new_of_old| {
+                    let mut cols: Vec<usize> = (0..n).collect();
+                    cols.sort_by_key(|&old| new_of_old[old]);
+                    cols
+                });
+                if let Ok(lu) = SparseLu::factor(&sg, order.as_deref()) {
+                    return Ok(MomentEngine {
+                        system,
+                        lu: Factorization::Sparse(lu),
+                        c_tilde_sparse: Some(SparseMatrix::from_dense(&system.c_tilde)),
+                    });
+                }
+            }
+        }
+        let lu = Lu::factor(&system.g_tilde)?;
+        Ok(MomentEngine {
+            system,
+            lu: Factorization::Dense(lu),
+            c_tilde_sparse: None,
+        })
+    }
+
+    /// `C̃·x` through the sparse image when available.
+    fn c_tilde_apply(&self, x: &[f64]) -> Vec<f64> {
+        match &self.c_tilde_sparse {
+            Some(sc) => sc.mul_vec(x),
+            None => self.system.c_tilde_times(x),
+        }
+    }
+
+    /// Solves the charge-aware system: conductive rows take `rhs`, each
+    /// floating group's replaced row takes its entry of `charges`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors.
+    pub fn solve_charge(&self, rhs: &[f64], charges: &[f64]) -> Result<Vec<f64>, MnaError> {
+        if self.system.floating.is_empty() {
+            return Ok(self.lu.solve(rhs)?);
+        }
+        let mut r = rhs.to_vec();
+        for (g, &q) in self.system.floating.iter().zip(charges) {
+            r[g.replaced_row] = q;
+        }
+        Ok(self.lu.solve(&r)?)
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &MnaSystem {
+        self.system
+    }
+
+    /// Solves `G·x = rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors (dimension mismatch).
+    pub fn solve_g(&self, rhs: &[f64]) -> Result<Vec<f64>, MnaError> {
+        Ok(self.lu.solve(rhs)?)
+    }
+
+    /// DC solution for source values `u`: `x = G̃⁻¹·B·u`, with each
+    /// floating group (§3.1) held at its *initial* charge — the operating-
+    /// point semantics. Use [`MomentEngine::dc_with_charges`] to pick the
+    /// group charges explicitly (superposition pieces use zero).
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors.
+    pub fn dc(&self, u: &[f64]) -> Result<Vec<f64>, MnaError> {
+        let q0: Vec<f64> = self
+            .system
+            .floating
+            .iter()
+            .map(|g| g.initial_charge)
+            .collect();
+        self.dc_with_charges(u, &q0)
+    }
+
+    /// DC solution with explicit floating-group charges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors.
+    pub fn dc_with_charges(&self, u: &[f64], charges: &[f64]) -> Result<Vec<f64>, MnaError> {
+        self.solve_charge(&self.system.b_times(u), charges)
+    }
+
+    /// Particular solution `x_p(t) = a + b·t` for the paper's excitation
+    /// class `u(t) = u0 + u1·t` (eq. (6) in descriptor form):
+    /// `b = G⁻¹·B·u1`, `a = G⁻¹·(B·u0 - C·b)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors.
+    pub fn particular(&self, u0: &[f64], u1: &[f64]) -> Result<(Vec<f64>, Vec<f64>), MnaError> {
+        let zeros = vec![0.0; self.system.floating.len()];
+        let b = self.solve_charge(&self.system.b_times(u1), &zeros)?;
+        let mut rhs = self.system.b_times(u0);
+        let cb = self.system.c_times(&b);
+        for (r, c) in rhs.iter_mut().zip(&cb) {
+            *r -= c;
+        }
+        let a = self.solve_charge(&rhs, &zeros)?;
+        Ok((a, b))
+    }
+
+    /// Determines the `t = 0⁻` dynamic state: the DC solution at the
+    /// sources' initial values, with explicit element initial conditions
+    /// (paper §5.2) overriding the equilibrium values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors from the DC solve.
+    pub fn initial_state(&self) -> Result<InitialState, MnaError> {
+        let u_pre = self.system.initial_source_values();
+        let dc = self.dc(&u_pre)?;
+        let cap_voltages = self
+            .system
+            .caps
+            .iter()
+            .map(|cap| cap.initial_voltage.unwrap_or_else(|| self.system.cap_voltage(cap, &dc)))
+            .collect();
+        let inductor_currents = self
+            .system
+            .inductors
+            .iter()
+            .map(|ind| {
+                ind.initial_current
+                    .unwrap_or_else(|| self.system.inductor_current(ind, &dc))
+            })
+            .collect();
+        Ok(InitialState {
+            cap_voltages,
+            inductor_currents,
+            dc_solution: dc,
+        })
+    }
+
+    /// `C·x` where only the *dynamic* components of `x` are known: builds
+    /// the charge/flux vector element-wise from capacitor voltages and
+    /// inductor currents.
+    pub fn charge_vector(&self, cap_voltages: &[f64], inductor_currents: &[f64]) -> Vec<f64> {
+        let mut w = vec![0.0; self.system.num_unknowns()];
+        for (cap, &v) in self.system.caps.iter().zip(cap_voltages) {
+            if let Some(ia) = cap.ia {
+                w[ia] += cap.farads * v;
+            }
+            if let Some(ib) = cap.ib {
+                w[ib] -= cap.farads * v;
+            }
+        }
+        for (ind, &i) in self.system.inductors.iter().zip(inductor_currents) {
+            w[ind.branch] -= ind.henries * i;
+        }
+        w
+    }
+
+    /// Solves the instantaneous (`t = 0⁺`) circuit: capacitor voltages and
+    /// inductor currents are frozen at the given state while the sources
+    /// sit at `u`. Used to obtain the full `x(0⁺)` vector — and hence
+    /// `m_{-1} = x_h(0)` — for nonequilibrium initial conditions.
+    ///
+    /// Capacitor *loops* (e.g. a coupling capacitor bridging two grounded
+    /// ones) make the voltage constraints redundant and the exact
+    /// constrained system singular; the solve then retries with a tiny
+    /// series resistance (`~1e-9` of the smallest circuit resistance) on
+    /// each capacitor branch, which resolves the redundancy with
+    /// negligible perturbation.
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::NoDcSolution`] if the constrained system is singular
+    /// even after regularization.
+    pub fn instantaneous(&self, state: &InitialState, u: &[f64]) -> Result<Vec<f64>, MnaError> {
+        match self.instantaneous_inner(state, u, 0.0) {
+            Ok(x) => Ok(x),
+            Err(MnaError::NoDcSolution) => {
+                // Series-resistance regularization. The resistances must
+                // scale *inversely* with capacitance so that the implied
+                // impulsive currents split in proportion to C — the
+                // physical charge-sharing ratio (a uniform ε would divide
+                // resistively and give the wrong instantaneous voltages
+                // on capacitor dividers).
+                let g_max = self.system.g.max_abs().max(1.0);
+                let pass1 = self.instantaneous_inner(state, u, 1e-9 / g_max)?;
+                // The first pass resolves inconsistent capacitor voltages
+                // through the ε resistances, which leaves impulse-scale
+                // remnants (~V/ε) in the branch-current unknowns. Re-solve
+                // from the now-consistent capacitor voltages so currents
+                // take their finite post-impulse values.
+                let caps2: Vec<f64> = self
+                    .system
+                    .caps
+                    .iter()
+                    .map(|cap| self.system.cap_voltage(cap, &pass1))
+                    .collect();
+                let state2 = InitialState {
+                    cap_voltages: caps2,
+                    inductor_currents: state.inductor_currents.clone(),
+                    dc_solution: state.dc_solution.clone(),
+                };
+                self.instantaneous_inner(&state2, u, 1e-9 / g_max)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn instantaneous_inner(
+        &self,
+        state: &InitialState,
+        u: &[f64],
+        eps: f64,
+    ) -> Result<Vec<f64>, MnaError> {
+        let sys = self.system;
+        let n = sys.num_unknowns();
+        let nc = sys.caps.len();
+        // Augmented system: original unknowns + one current per capacitor.
+        let mut a = Matrix::zeros(n + nc, n + nc);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = sys.g[(i, j)];
+            }
+        }
+        let mut rhs = sys.b_times(u);
+        rhs.resize(n + nc, 0.0);
+        // Inductor branches: replace the voltage equation with i = i_L(0).
+        for (ind, &i0) in sys.inductors.iter().zip(&state.inductor_currents) {
+            let m = ind.branch;
+            for j in 0..n + nc {
+                a[(m, j)] = 0.0;
+            }
+            a[(m, m)] = 1.0;
+            rhs[m] = i0;
+        }
+        // Capacitors: add a branch current unknown and pin the voltage
+        // (minus an optional ε/C·i series term for loop/floating-node
+        // regularization — inverse-capacitance weighting makes the
+        // impulsive currents split ∝ C, the charge-sharing ratio).
+        let c_max = sys
+            .caps
+            .iter()
+            .map(|c| c.farads)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        for (k, (cap, &v0)) in sys.caps.iter().zip(&state.cap_voltages).enumerate() {
+            let col = n + k;
+            if let Some(ia) = cap.ia {
+                a[(ia, col)] += 1.0;
+                a[(col, ia)] += 1.0;
+            }
+            if let Some(ib) = cap.ib {
+                a[(ib, col)] -= 1.0;
+                a[(col, ib)] -= 1.0;
+            }
+            a[(col, col)] -= eps * c_max / cap.farads;
+            rhs[col] = v0;
+        }
+        let lu = Lu::factor(&a)?;
+        let mut x = lu.solve(&rhs)?;
+        x.truncate(n);
+        Ok(x)
+    }
+
+    /// Generates the moment sequence `[m_{-1}, m_0, …]` of a homogeneous
+    /// response with initial vector `m_minus1 = x_h(0)` whose charge image
+    /// is `c_xh0 = C·x_h(0)`. `count` is the total sequence length
+    /// (including `m_{-1}`); an order-`q` AWE match needs `count = 2q`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors.
+    pub fn homogeneous_moments(
+        &self,
+        m_minus1: Vec<f64>,
+        c_xh0: &[f64],
+        count: usize,
+    ) -> Result<Vec<Vec<f64>>, MnaError> {
+        let zeros = vec![0.0; self.system.floating.len()];
+        let mut seq = Vec::with_capacity(count);
+        seq.push(m_minus1);
+        if count == 1 {
+            return Ok(seq);
+        }
+        // m_0 = -G̃⁻¹·(C̃·x_h(0)); the decaying subspace carries zero
+        // group charge, so every floating row is pinned to 0.
+        let mut prev =
+            self.solve_charge(&c_xh0.iter().map(|v| -v).collect::<Vec<_>>(), &zeros)?;
+        seq.push(prev.clone());
+        for _ in 2..count {
+            let cw = self.c_tilde_apply(&prev);
+            prev = self.solve_charge(&cw.iter().map(|v| -v).collect::<Vec<_>>(), &zeros)?;
+            seq.push(prev.clone());
+        }
+        Ok(seq)
+    }
+
+    /// Splits the §3.1 zero-pole (persistent charge) mode out of a
+    /// homogeneous seed: returns `k0` with `G·k0 = 0` on conductive rows
+    /// and `Q(k0) = Q(seed)` per floating group, subtracting it from the
+    /// seed in place. Returns `None` when there are no floating groups or
+    /// the seed carries no group charge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors.
+    fn split_zero_mode(&self, seed: &mut [f64]) -> Result<Option<Vec<f64>>, MnaError> {
+        if self.system.floating.is_empty() {
+            return Ok(None);
+        }
+        let q = self.system.group_charges(seed);
+        if q.iter().all(|v| v.abs() == 0.0) {
+            return Ok(None);
+        }
+        let zeros = vec![0.0; self.system.num_unknowns()];
+        let k0 = self.solve_charge(&zeros, &q)?;
+        for (s, k) in seed.iter_mut().zip(&k0) {
+            *s -= k;
+        }
+        Ok(Some(k0))
+    }
+
+    /// Decomposes the circuit's full excitation (all source PWL waveforms
+    /// plus nonequilibrium initial conditions) into superposition pieces
+    /// with their moment sequences. `count` moments per piece (including
+    /// `m_{-1}`); an order-`q` match needs `count = 2q`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MnaError::NoExcitation`] if there is nothing to analyze.
+    /// * Propagates DC/instantaneous solve failures.
+    pub fn decompose(&self, count: usize) -> Result<Decomposition, MnaError> {
+        let sys = self.system;
+        let state = self.initial_state()?;
+        let mut pieces: Vec<Piece> = Vec::new();
+
+        // Initial-condition piece: only if the explicit ICs differ from
+        // equilibrium.
+        let has_ic_mismatch = {
+            let eq_caps: Vec<f64> = sys
+                .caps
+                .iter()
+                .map(|cap| sys.cap_voltage(cap, &state.dc_solution))
+                .collect();
+            let eq_inds: Vec<f64> = sys
+                .inductors
+                .iter()
+                .map(|ind| sys.inductor_current(ind, &state.dc_solution))
+                .collect();
+            state
+                .cap_voltages
+                .iter()
+                .zip(&eq_caps)
+                .any(|(a, b)| (a - b).abs() > 1e-30)
+                || state
+                    .inductor_currents
+                    .iter()
+                    .zip(&eq_inds)
+                    .any(|(a, b)| (a - b).abs() > 1e-30)
+        };
+        if has_ic_mismatch {
+            let u_pre = sys.initial_source_values();
+            let x0 = self.instantaneous(&state, &u_pre)?;
+            let m_minus1: Vec<f64> = x0
+                .iter()
+                .zip(&state.dc_solution)
+                .map(|(a, b)| a - b)
+                .collect();
+            // Charge image of the homogeneous seed: explicit ICs minus
+            // equilibrium charges.
+            let eq_caps: Vec<f64> = sys
+                .caps
+                .iter()
+                .map(|cap| sys.cap_voltage(cap, &state.dc_solution))
+                .collect();
+            let eq_inds: Vec<f64> = sys
+                .inductors
+                .iter()
+                .map(|ind| sys.inductor_current(ind, &state.dc_solution))
+                .collect();
+            let dv: Vec<f64> = state
+                .cap_voltages
+                .iter()
+                .zip(&eq_caps)
+                .map(|(a, b)| a - b)
+                .collect();
+            let di: Vec<f64> = state
+                .inductor_currents
+                .iter()
+                .zip(&eq_inds)
+                .map(|(a, b)| a - b)
+                .collect();
+            let _ = (&dv, &di); // retained for readers: C̃·m₋₁ equals
+                                 // charge_vector(dv, di) with floating
+                                 // rows zeroed.
+            let n = sys.num_unknowns();
+            let mut m_minus1 = m_minus1;
+            // §3.1: split off the p = 0 charge mode — it persists forever
+            // and belongs to the particular constant, not the transient.
+            let k0 = self.split_zero_mode(&mut m_minus1)?;
+            let a_piece = k0.unwrap_or_else(|| vec![0.0; n]);
+            let w = sys.c_tilde_times(&m_minus1);
+            let moments = self.homogeneous_moments(m_minus1, &w, count)?;
+            pieces.push(Piece {
+                kind: PieceKind::InitialCondition,
+                at: 0.0,
+                a: a_piece,
+                b: vec![0.0; n],
+                moments,
+                m_minus2: None,
+            });
+        }
+
+        // Step and ramp pieces per source.
+        for (col, src) in sys.sources.iter().enumerate() {
+            let (_, ramps, steps) = src.waveform.decompose();
+            for (t0, jump) in steps {
+                let mut u = vec![0.0; sys.sources.len()];
+                u[col] = jump;
+                let zeros_q = vec![0.0; sys.floating.len()];
+                let mut a = self.dc_with_charges(&u, &zeros_q)?;
+                let mut m_minus1: Vec<f64> = if sys.has_floating_groups() {
+                    // A step coupled through capacitors jumps floating
+                    // nodes instantaneously (impulsive charge sharing);
+                    // the homogeneous seed needs the true x(0⁺) from the
+                    // regularized instantaneous solve.
+                    let zero_state = InitialState {
+                        cap_voltages: vec![0.0; sys.caps.len()],
+                        inductor_currents: vec![0.0; sys.inductors.len()],
+                        dc_solution: vec![0.0; sys.num_unknowns()],
+                    };
+                    let x0 = self.instantaneous(&zero_state, &u)?;
+                    x0.iter().zip(&a).map(|(x, aa)| x - aa).collect()
+                } else {
+                    // Resistively separated circuits: x(0⁺) coincides with
+                    // the particular at conductive nodes and with zero at
+                    // capacitively held ones, so x_h(0) = -a directly.
+                    a.iter().map(|v| -v).collect()
+                };
+                if let Some(k0) = self.split_zero_mode(&mut m_minus1)? {
+                    for (aa, kk) in a.iter_mut().zip(&k0) {
+                        *aa += kk;
+                    }
+                }
+                let w = sys.c_tilde_times(&m_minus1);
+                let moments = self.homogeneous_moments(m_minus1, &w, count)?;
+                pieces.push(Piece {
+                    kind: PieceKind::Step { source: col, jump },
+                    at: t0,
+                    a,
+                    b: vec![0.0; sys.num_unknowns()],
+                    moments,
+                    // A step's homogeneous slope at 0⁺ is impulsive for
+                    // voltage-driven nodes; no finite m_{-2} exists.
+                    m_minus2: None,
+                });
+            }
+            for ramp in ramps {
+                let mut u1 = vec![0.0; sys.sources.len()];
+                u1[col] = ramp.slope;
+                let u0 = vec![0.0; sys.sources.len()];
+                let (mut a, b) = self.particular(&u0, &u1)?;
+                let mut m_minus1: Vec<f64> = a.iter().map(|v| -v).collect();
+                if let Some(k0) = self.split_zero_mode(&mut m_minus1)? {
+                    for (aa, kk) in a.iter_mut().zip(&k0) {
+                        *aa += kk;
+                    }
+                }
+                let w = sys.c_tilde_times(&m_minus1);
+                let moments = self.homogeneous_moments(m_minus1, &w, count)?;
+                // §4.3's m_{-2} term: ẋ_h(0) = ẋ(0⁺) - b, where ẋ(0⁺) is
+                // the response rate with every state frozen at zero — the
+                // instantaneous solve against the slope excitation u₁.
+                let zero_state = InitialState {
+                    cap_voltages: vec![0.0; sys.caps.len()],
+                    inductor_currents: vec![0.0; sys.inductors.len()],
+                    dc_solution: vec![0.0; sys.num_unknowns()],
+                };
+                let xdot0 = self.instantaneous(&zero_state, &u1)?;
+                let m_minus2: Vec<f64> =
+                    xdot0.iter().zip(&b).map(|(x, bb)| x - bb).collect();
+                pieces.push(Piece {
+                    kind: PieceKind::Ramp {
+                        source: col,
+                        slope: ramp.slope,
+                    },
+                    at: ramp.start,
+                    a,
+                    b,
+                    moments,
+                    m_minus2: Some(m_minus2),
+                });
+            }
+        }
+
+        if pieces.is_empty() && sys.sources.is_empty() {
+            return Err(MnaError::NoExcitation);
+        }
+        pieces.sort_by(|x, y| x.at.partial_cmp(&y.at).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Merge pieces sharing an onset time into one combined
+        // homogeneous response (paper eq. (8)). Linearity adds the
+        // particular parts and the moment sequences; the merged reduction
+        // matches the paper's single-seed formulation and is much better
+        // conditioned than reducing each fragment alone.
+        let mut merged: Vec<Piece> = Vec::with_capacity(pieces.len());
+        for piece in pieces {
+            match merged.last_mut() {
+                Some(prev) if prev.at == piece.at => {
+                    for (pa, qa) in prev.a.iter_mut().zip(&piece.a) {
+                        *pa += qa;
+                    }
+                    for (pb, qb) in prev.b.iter_mut().zip(&piece.b) {
+                        *pb += qb;
+                    }
+                    for (pm, qm) in prev.moments.iter_mut().zip(&piece.moments) {
+                        for (x, y) in pm.iter_mut().zip(qm) {
+                            *x += y;
+                        }
+                    }
+                    // The merged slope exists only if every member has one.
+                    prev.m_minus2 = match (prev.m_minus2.take(), &piece.m_minus2) {
+                        (Some(mut p), Some(q)) => {
+                            for (x, y) in p.iter_mut().zip(q) {
+                                *x += y;
+                            }
+                            Some(p)
+                        }
+                        _ => None,
+                    };
+                    prev.kind = PieceKind::Combined;
+                }
+                _ => merged.push(piece),
+            }
+        }
+        Ok(Decomposition {
+            baseline: state.dc_solution,
+            pieces: merged,
+        })
+    }
+
+    /// The matrix `M = G̃⁻¹·C̃`, whose nonzero eigenvalues `μ` give the
+    /// circuit's exact *decaying* poles as `p = -1/μ` (used by the
+    /// reference simulator's pole extraction for Tables I and II). The
+    /// §3.1 charge rows remove the persistent `p = 0` modes of floating
+    /// groups from the spectrum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors.
+    pub fn g_inv_c(&self) -> Result<Matrix, MnaError> {
+        let n = self.system.num_unknowns();
+        let mut out = Matrix::zeros(n, self.system.c_tilde.cols());
+        for j in 0..self.system.c_tilde.cols() {
+            let col = self.system.c_tilde.col(j);
+            let x = self.lu.solve(&col)?;
+            for (i, v) in x.into_iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awe_circuit::{Circuit, Waveform, GROUND};
+
+    /// Single-pole RC: V —R— n1 —C— gnd. τ = RC.
+    fn rc1(r: f64, c: f64, wf: Waveform) -> (Circuit, usize) {
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, wf).unwrap();
+        ckt.add_resistor("R1", n_in, n1, r).unwrap();
+        ckt.add_capacitor("C1", n1, GROUND, c).unwrap();
+        (ckt, n1)
+    }
+
+    #[test]
+    fn step_piece_moments_match_single_pole_theory() {
+        // v_h(t) = -5·e^{-t/τ} for a 0→5 step; k = -5, p = -1/τ.
+        // m_{-1} = k = -5; m_j = k·p^{-(j+1)} = -5·(-τ)^{j+1}.
+        let (r, c) = (1e3, 1e-9);
+        let tau = r * c;
+        let (ckt, n1) = rc1(r, c, Waveform::step(0.0, 5.0));
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let dec = eng.decompose(4).unwrap();
+        assert_eq!(dec.pieces.len(), 1);
+        let piece = &dec.pieces[0];
+        assert!(matches!(piece.kind, PieceKind::Step { jump, .. } if jump == 5.0));
+        let i1 = sys.unknown_of_node(n1).unwrap();
+        // Particular = 5 V everywhere after the step.
+        assert!((piece.a[i1] - 5.0).abs() < 1e-9);
+        let m: Vec<f64> = piece.moments.iter().map(|v| v[i1]).collect();
+        assert!((m[0] + 5.0).abs() < 1e-9, "m_-1 = {}", m[0]);
+        assert!((m[1] - 5.0 * tau).abs() < 1e-9 * tau, "m_0 = {}", m[1]);
+        assert!((m[2] + 5.0 * tau * tau).abs() < 1e-6 * tau * tau);
+        assert!((m[3] - 5.0 * tau.powi(3)).abs() < 1e-3 * tau.powi(3));
+    }
+
+    #[test]
+    fn baseline_reflects_pre_transition_dc() {
+        let (ckt, n1) = rc1(1e3, 1e-9, Waveform::step(2.0, 5.0));
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let dec = eng.decompose(2).unwrap();
+        let i1 = sys.unknown_of_node(n1).unwrap();
+        assert!((dec.baseline[i1] - 2.0).abs() < 1e-12);
+        // The step piece jumps by 3.
+        match dec.pieces[0].kind {
+            PieceKind::Step { jump, .. } => assert!((jump - 3.0).abs() < 1e-12),
+            ref k => panic!("unexpected kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn ramp_piece_particular_solution() {
+        // Ramp slope s: particular at the cap node is s·t - s·τ
+        // (the classic RC ramp lag).
+        let (r, c) = (2e3, 0.5e-9);
+        let tau = r * c;
+        let slope = 5.0 / 1e-9;
+        let (ckt, n1) = rc1(r, c, Waveform::rising_step(0.0, 5.0, 1e-9));
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let dec = eng.decompose(2).unwrap();
+        // Two ramps: +slope at 0, -slope at 1 ns.
+        assert_eq!(dec.pieces.len(), 2);
+        let i1 = sys.unknown_of_node(n1).unwrap();
+        let p0 = &dec.pieces[0];
+        assert_eq!(p0.at, 0.0);
+        assert!((p0.b[i1] - slope).abs() < 1e-3);
+        assert!((p0.a[i1] + slope * tau).abs() < 1e-3, "a = {}", p0.a[i1]);
+        // m_{-1} = -a: the homogeneous part starts at +s·τ.
+        assert!((p0.moments[0][i1] - slope * tau).abs() < 1e-3);
+        let p1 = &dec.pieces[1];
+        assert_eq!(p1.at, 1e-9);
+        assert!((p1.b[i1] + slope).abs() < 1e-3);
+    }
+
+    #[test]
+    fn initial_condition_piece() {
+        // No source transition; C1 pre-charged to 3 V while equilibrium is
+        // 0 V (source DC 0). Response is pure exponential decay.
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0)).unwrap();
+        ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(3.0)).unwrap();
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let dec = eng.decompose(4).unwrap();
+        assert_eq!(dec.pieces.len(), 1);
+        let piece = &dec.pieces[0];
+        assert_eq!(piece.kind, PieceKind::InitialCondition);
+        let i1 = sys.unknown_of_node(n1).unwrap();
+        // x_h(0) at n1 = 3 V (k = 3, p = -1/τ): m_0 = k/p = -3·τ.
+        let tau = 1e3 * 1e-9;
+        assert!((piece.moments[0][i1] - 3.0).abs() < 1e-9);
+        assert!((piece.moments[1][i1] + 3.0 * tau).abs() < 1e-9 * tau);
+    }
+
+    #[test]
+    fn equilibrium_ic_produces_no_piece() {
+        // Explicit IC equal to the equilibrium value: no IC piece.
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::step(2.0, 5.0))
+            .unwrap();
+        ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(2.0)).unwrap();
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let dec = eng.decompose(2).unwrap();
+        assert_eq!(dec.pieces.len(), 1); // just the step
+        assert!(matches!(dec.pieces[0].kind, PieceKind::Step { .. }));
+    }
+
+    #[test]
+    fn instantaneous_solve_charge_sharing() {
+        // Two caps on a resistor bridge; freeze cap voltages, check the
+        // instantaneous node voltages equal the frozen values.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.add_resistor("R1", n1, n2, 1e3).unwrap();
+        ckt.add_resistor("R2", n2, GROUND, 1e3).unwrap();
+        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(4.0)).unwrap();
+        ckt.add_capacitor_ic("C2", n2, GROUND, 2e-9, Some(1.0)).unwrap();
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let state = eng.initial_state().unwrap();
+        assert_eq!(state.cap_voltages, vec![4.0, 1.0]);
+        let x0 = eng.instantaneous(&state, &[]).unwrap();
+        let (i1, i2) = (
+            sys.unknown_of_node(n1).unwrap(),
+            sys.unknown_of_node(n2).unwrap(),
+        );
+        assert!((x0[i1] - 4.0).abs() < 1e-12);
+        assert!((x0[i2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inductor_instantaneous_current_frozen() {
+        // V(0)=0 always; L carries 0.5 A initial current into R: at 0+ the
+        // node voltage is forced to -i·R... current flows a→b through L
+        // into n1 then through R to ground: v(n1) = i·R.
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0)).unwrap();
+        ckt.add_inductor_ic("L1", n_in, n1, 1e-9, Some(0.5)).unwrap();
+        ckt.add_resistor("R1", n1, GROUND, 10.0).unwrap();
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let mut state = eng.initial_state().unwrap();
+        state.inductor_currents = vec![0.5];
+        let x0 = eng.instantaneous(&state, &[0.0]).unwrap();
+        let i1 = sys.unknown_of_node(n1).unwrap();
+        assert!((x0[i1] - 5.0).abs() < 1e-12, "v(n1) = {}", x0[i1]);
+    }
+
+    #[test]
+    fn charge_vector_is_c_times_state() {
+        let (ckt, _) = rc1(1e3, 1e-9, Waveform::dc(0.0));
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let w = eng.charge_vector(&[2.0], &[]);
+        // C·x for x with v(n1) = 2: entry at n1 = 2e-9.
+        let nz: Vec<f64> = w.iter().copied().filter(|v| *v != 0.0).collect();
+        assert_eq!(nz, vec![2e-9]);
+    }
+
+    #[test]
+    fn floating_node_solved_by_charge_conservation() {
+        // §3.1: a node connected only through capacitors has no
+        // conductive DC solution; the charge-conservation row supplies
+        // it. Capacitor divider: V steps 0→1 through C1 into floating n2
+        // with C2 to ground → v(n2) jumps to V·C1/(C1+C2) by charge
+        // sharing (from zero stored charge) and stays there.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.add_vsource("V1", n1, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+        ckt.add_capacitor("C1", n1, n2, 3e-12).unwrap();
+        ckt.add_capacitor("C2", n2, GROUND, 1e-12).unwrap();
+        let sys = MnaSystem::build(&ckt).unwrap();
+        assert!(sys.has_floating_groups());
+        assert_eq!(sys.floating.len(), 1);
+        let eng = MomentEngine::new(&sys).unwrap();
+        let dec = eng.decompose(2).unwrap();
+        let i2 = sys.unknown_of_node(n2).unwrap();
+        let piece = &dec.pieces[0];
+        // Settles (instantly) at 3/(3+1) = 0.75 V.
+        let v_final = dec.baseline[i2] + piece.a[i2];
+        assert!((v_final - 0.75).abs() < 1e-6, "v_final = {v_final}");
+        // No decaying transient for a pure capacitor divider.
+        assert!(piece.moments[0][i2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn driven_floating_group_rejected() {
+        // A current source pumping a capacitor-only node accumulates
+        // charge without bound: no DC solution exists.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.add_isource("I1", GROUND, n1, Waveform::dc(1e-3)).unwrap();
+        ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+        assert!(matches!(
+            MnaSystem::build(&ckt),
+            Err(MnaError::NoDcSolution)
+        ));
+    }
+
+    #[test]
+    fn floating_group_initial_charge_from_ics() {
+        // Pre-charged floating capacitor pair: the DC operating point
+        // honors the stored charge.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(0.0)).unwrap();
+        ckt.add_capacitor("C1", n1, n2, 1e-12).unwrap();
+        ckt.add_capacitor_ic("C2", n2, GROUND, 1e-12, Some(2.0)).unwrap();
+        let sys = MnaSystem::build(&ckt).unwrap();
+        // Group charge from the explicit IC: C2·2 V = 2e-12 C.
+        assert!((sys.floating[0].initial_charge - 2e-12).abs() < 1e-24);
+        let eng = MomentEngine::new(&sys).unwrap();
+        let state = eng.initial_state().unwrap();
+        let i2 = sys.unknown_of_node(n2).unwrap();
+        // Charge 2e-12 over total 2e-12 F (n1 held at 0 by V1):
+        // v(n2) = Q/(C1+C2) = 1 V at equilibrium.
+        assert!((state.dc_solution[i2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn g_inv_c_eigenvalue_gives_pole() {
+        let (r, c) = (1e3, 1e-9);
+        let (ckt, _) = rc1(r, c, Waveform::dc(0.0));
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let m = eng.g_inv_c().unwrap();
+        let eig = awe_numeric::eigenvalues(&m).unwrap();
+        // One nonzero eigenvalue μ = τ → pole p = -1/μ = -1/RC.
+        let mu = eig
+            .iter()
+            .map(|z| z.re)
+            .fold(0.0f64, |acc, v| if v.abs() > acc.abs() { v } else { acc });
+        assert!(((-1.0 / mu) + 1.0 / (r * c)).abs() < 1.0, "mu = {mu}");
+    }
+}

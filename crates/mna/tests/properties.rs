@@ -1,0 +1,183 @@
+//! Property-based tests for MNA assembly and moment generation.
+
+use proptest::prelude::*;
+
+use awe_circuit::generators::{random_rc_tree, rc_mesh};
+use awe_circuit::Waveform;
+use awe_mna::{MnaSystem, MomentEngine, PieceKind};
+use awe_numeric::vecops;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The DC solution satisfies `G·x = B·u` to rounding.
+    #[test]
+    fn dc_residual_is_small(n in 1usize..20, seed in 0u64..500) {
+        let g = random_rc_tree(n, (1.0, 1e3), (1e-14, 1e-12), seed, Waveform::dc(3.3));
+        let sys = MnaSystem::build(&g.circuit).expect("builds");
+        let eng = MomentEngine::new(&sys).expect("nonsingular");
+        let u = sys.source_values_at(0.0);
+        let x = eng.dc(&u).expect("dc");
+        let gx = sys.g.mul_vec(&x);
+        let bu = sys.b_times(&u);
+        let r = vecops::norm_inf(&vecops::sub(&gx, &bu));
+        prop_assert!(r < 1e-9 * vecops::norm_inf(&bu).max(1.0), "residual {r}");
+    }
+
+    /// The moment recursion satisfies `G·m_{k+1} = -C·m_k` exactly (this
+    /// is the §3.2 invariant in descriptor form).
+    #[test]
+    fn moment_recursion_invariant(n in 1usize..15, seed in 0u64..500) {
+        let g = random_rc_tree(
+            n,
+            (1.0, 1e3),
+            (1e-14, 1e-12),
+            seed,
+            Waveform::step(0.0, 5.0),
+        );
+        let sys = MnaSystem::build(&g.circuit).expect("builds");
+        let eng = MomentEngine::new(&sys).expect("nonsingular");
+        let dec = eng.decompose(6).expect("moments");
+        let piece = &dec.pieces[0];
+        for k in 1..piece.moments.len() - 1 {
+            let lhs = sys.g.mul_vec(&piece.moments[k + 1]);
+            let rhs: Vec<f64> = sys
+                .c_times(&piece.moments[k])
+                .iter()
+                .map(|v| -v)
+                .collect();
+            let scale = vecops::norm_inf(&rhs).max(1e-300);
+            let r = vecops::norm_inf(&vecops::sub(&lhs, &rhs));
+            prop_assert!(r < 1e-9 * scale, "k={k}: residual {r} vs scale {scale}");
+        }
+    }
+
+    /// For an RC tree driven by a step, the step piece's `m₋₁` equals the
+    /// negated jump at every capacitive node and `m₀` is `jump · T_D ≥ 0`.
+    #[test]
+    fn step_moments_match_elmore_signs(n in 1usize..15, seed in 0u64..500) {
+        let jump = 2.5;
+        let g = random_rc_tree(
+            n,
+            (1.0, 1e3),
+            (1e-14, 1e-12),
+            seed,
+            Waveform::step(0.0, jump),
+        );
+        let sys = MnaSystem::build(&g.circuit).expect("builds");
+        let eng = MomentEngine::new(&sys).expect("nonsingular");
+        let dec = eng.decompose(2).expect("moments");
+        prop_assert_eq!(dec.pieces.len(), 1);
+        let piece = &dec.pieces[0];
+        let is_step = matches!(piece.kind, PieceKind::Step { .. });
+        prop_assert!(is_step);
+        for &node in &g.nodes {
+            let i = sys.unknown_of_node(node).expect("unknown exists");
+            prop_assert!((piece.moments[0][i] + jump).abs() < 1e-9);
+            prop_assert!(piece.moments[1][i] > 0.0, "m_0 must be positive (Elmore)");
+        }
+    }
+
+    /// Meshes (resistor loops) keep the same invariants.
+    #[test]
+    fn mesh_moments_invariant(rows in 1usize..4, cols in 1usize..4) {
+        let g = rc_mesh(rows, cols, 10.0, 1e-13, Waveform::step(0.0, 1.0));
+        let sys = MnaSystem::build(&g.circuit).expect("builds");
+        let eng = MomentEngine::new(&sys).expect("nonsingular");
+        let dec = eng.decompose(4).expect("moments");
+        let piece = &dec.pieces[0];
+        let lhs = sys.g.mul_vec(&piece.moments[2]);
+        let rhs: Vec<f64> = sys.c_times(&piece.moments[1]).iter().map(|v| -v).collect();
+        let r = vecops::norm_inf(&vecops::sub(&lhs, &rhs));
+        prop_assert!(r < 1e-9 * vecops::norm_inf(&rhs).max(1e-300));
+    }
+
+    /// The instantaneous solve honors frozen capacitor voltages.
+    #[test]
+    fn instantaneous_respects_state(n in 2usize..10, seed in 0u64..200, vc in -3.0f64..3.0) {
+        let g = random_rc_tree(
+            n,
+            (1.0, 1e3),
+            (1e-14, 1e-12),
+            seed,
+            Waveform::dc(0.0),
+        );
+        let sys = MnaSystem::build(&g.circuit).expect("builds");
+        let eng = MomentEngine::new(&sys).expect("nonsingular");
+        let mut state = eng.initial_state().expect("state");
+        // Freeze one capacitor at vc.
+        state.cap_voltages[0] = vc;
+        let x = eng.instantaneous(&state, &[0.0]).expect("solvable");
+        let got = sys.cap_voltage(&sys.caps[0], &x);
+        prop_assert!((got - vc).abs() < 1e-9, "{got} vs {vc}");
+    }
+
+    /// Particular solutions satisfy `G·a + C·b = B·u0` and `G·b = B·u1`.
+    #[test]
+    fn particular_solution_invariant(n in 1usize..12, seed in 0u64..200, slope in 0.1f64..10.0) {
+        let g = random_rc_tree(
+            n,
+            (1.0, 1e3),
+            (1e-14, 1e-12),
+            seed,
+            Waveform::dc(0.0),
+        );
+        let sys = MnaSystem::build(&g.circuit).expect("builds");
+        let eng = MomentEngine::new(&sys).expect("nonsingular");
+        let u0 = vec![1.0];
+        let u1 = vec![slope];
+        let (a, b) = eng.particular(&u0, &u1).expect("particular");
+        let r1 = {
+            let mut lhs = sys.g.mul_vec(&b);
+            let rhs = sys.b_times(&u1);
+            for (x, y) in lhs.iter_mut().zip(&rhs) {
+                *x -= y;
+            }
+            vecops::norm_inf(&lhs)
+        };
+        prop_assert!(r1 < 1e-9 * slope.max(1.0));
+        let r2 = {
+            let mut lhs = sys.g.mul_vec(&a);
+            let cb = sys.c_times(&b);
+            let rhs = sys.b_times(&u0);
+            for ((x, y), z) in lhs.iter_mut().zip(&cb).zip(&rhs) {
+                *x += y;
+                *x -= z;
+            }
+            vecops::norm_inf(&lhs)
+        };
+        prop_assert!(r2 < 1e-9);
+    }
+}
+
+/// The sparse path (engaged above the size threshold) must agree with the
+/// tree walk, which is independently validated — a three-way consistency
+/// anchor at scale.
+#[test]
+fn sparse_path_matches_tree_walk_at_scale() {
+    use awe_treelink::TreeAnalysis;
+    let g = random_rc_tree(
+        400, // well beyond the sparse threshold
+        (1.0, 300.0),
+        (1e-14, 1e-12),
+        2024,
+        Waveform::step(0.0, 5.0),
+    );
+    let sys = MnaSystem::build(&g.circuit).expect("builds");
+    let eng = MomentEngine::new(&sys).expect("factors");
+    let dec = eng.decompose(4).expect("moments");
+    let ta = TreeAnalysis::new(&g.circuit).expect("tree");
+    let walk = ta.step_moments(&[5.0], 4).expect("walk");
+    let piece = &dec.pieces[0];
+    for &node in g.nodes.iter().step_by(17) {
+        let i = sys.unknown_of_node(node).expect("unknown");
+        for (k, wk) in walk.iter().enumerate() {
+            let a = wk[node];
+            let b = piece.moments[k][i];
+            assert!(
+                (a - b).abs() <= 1e-8 * b.abs().max(1e-18),
+                "node {node} moment {k}: walk {a} vs sparse-mna {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Dense complex linear systems.
+//!
+//! The residue-determining systems of the paper — the Vandermonde system of
+//! eq. (20) and its confluent variant for repeated poles, eq. (29) — have
+//! *complex* coefficients whenever the approximating poles are complex
+//! (underdamped RLC interconnect, §5.4). The orders involved are tiny
+//! (`q ≤ 8` in practice), so straightforward Gaussian elimination with
+//! partial pivoting over [`Complex`] is both adequate and robust.
+
+use crate::complex::Complex;
+use crate::error::NumericError;
+
+/// A dense, row-major complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use awe_numeric::{CMatrix, Complex};
+///
+/// let mut m = CMatrix::zeros(2, 2);
+/// m[(0, 0)] = Complex::ONE;
+/// m[(1, 1)] = Complex::new(0.0, 1.0);
+/// assert_eq!(m[(1, 1)].im, 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a `rows × cols` complex matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` complex identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex) -> Self {
+        let mut m = CMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[Complex]) -> Vec<Complex> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self[(i, j)] * x[j])
+                    .fold(Complex::ZERO, |a, b| a + b)
+            })
+            .collect()
+    }
+
+    /// Solves `A·x = b` by Gaussian elimination with partial pivoting
+    /// (pivot by magnitude). Consumes a copy of the matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::NotSquare`] if the matrix is not square.
+    /// * [`NumericError::DimensionMismatch`] if `b` has the wrong length.
+    /// * [`NumericError::Singular`] on a zero pivot.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, NumericError> {
+        if self.rows != self.cols {
+            return Err(NumericError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let n = self.rows;
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let mut a = self.clone();
+        let mut x = b.to_vec();
+
+        for k in 0..n {
+            // Partial pivot by magnitude.
+            let mut p = k;
+            let mut pmax = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 {
+                return Err(NumericError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in k..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(p, j)];
+                    a[(p, j)] = tmp;
+                }
+                x.swap(k, p);
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let m = a[(i, k)] / pivot;
+                if m.abs() == 0.0 {
+                    continue;
+                }
+                a[(i, k)] = Complex::ZERO;
+                for j in (k + 1)..n {
+                    let akj = a[(k, j)];
+                    a[(i, j)] -= m * akj;
+                }
+                let xk = x[k];
+                x[i] -= m * xk;
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= a[(i, j)] * x[j];
+            }
+            x[i] = acc / a[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn solve_real_system_embedded() {
+        let a = CMatrix::from_fn(2, 2, |i, j| {
+            Complex::real([[2.0, 1.0], [1.0, 3.0]][i][j])
+        });
+        let x = a.solve(&[Complex::real(3.0), Complex::real(4.0)]).unwrap();
+        assert!((x[0] - Complex::ONE).abs() < 1e-13);
+        assert!((x[1] - Complex::ONE).abs() < 1e-13);
+    }
+
+    #[test]
+    fn solve_complex_system() {
+        // [ 1+j  2 ] [x0]   [ 3+j  ]
+        // [ 0    j ] [x1] = [ 2j   ]  → x1 = 2, x0 = (3+j-4)/(1+j)
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = c(1.0, 1.0);
+        a[(0, 1)] = c(2.0, 0.0);
+        a[(1, 1)] = c(0.0, 1.0);
+        let b = [c(3.0, 1.0), c(0.0, 2.0)];
+        let x = a.solve(&b).unwrap();
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((*ri - *bi).abs() < 1e-13);
+        }
+        assert!((x[1] - c(2.0, 0.0)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn pivoting_required() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 1)] = Complex::ONE;
+        a[(1, 0)] = Complex::ONE;
+        let x = a.solve(&[c(5.0, 0.0), c(7.0, 0.0)]).unwrap();
+        assert!((x[0] - c(7.0, 0.0)).abs() < 1e-15);
+        assert!((x[1] - c(5.0, 0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = CMatrix::zeros(2, 2);
+        assert!(matches!(
+            a.solve(&[Complex::ZERO, Complex::ZERO]),
+            Err(NumericError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = CMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.solve(&[Complex::ZERO; 2]),
+            Err(NumericError::NotSquare { .. })
+        ));
+        let b = CMatrix::identity(3);
+        assert!(matches!(
+            b.solve(&[Complex::ZERO; 2]),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn random_complex_round_trip() {
+        let mut state = 0xdeadbeefu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for n in [1usize, 3, 6, 10] {
+            let a = CMatrix::from_fn(n, n, |i, j| {
+                c(next() + if i == j { 3.0 } else { 0.0 }, next())
+            });
+            let b: Vec<Complex> = (0..n).map(|_| c(next(), next())).collect();
+            let x = a.solve(&b).unwrap();
+            let r = a.mul_vec(&x);
+            for (ri, bi) in r.iter().zip(&b) {
+                assert!((*ri - *bi).abs() < 1e-10, "residual too large for n={n}");
+            }
+        }
+    }
+}

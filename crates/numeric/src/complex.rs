@@ -1,0 +1,509 @@
+//! Complex arithmetic for pole/residue computations.
+//!
+//! AWE's approximating poles and residues (eqs. (14)–(15) of the paper) are
+//! in general complex, so every downstream computation — root finding,
+//! Vandermonde solves, waveform evaluation — is carried out over [`Complex`].
+//! This module provides a small, self-contained `f64` complex type rather
+//! than pulling in an external dependency.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + im·j` over `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use awe_numeric::Complex;
+///
+/// let p = Complex::new(-1.0, 2.0);
+/// let q = p.conj();
+/// assert_eq!((p * q).im, 0.0);
+/// assert_eq!((p * q).re, p.norm_sqr());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The imaginary unit `j`.
+pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = J;
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    ///
+    /// ```
+    /// use awe_numeric::Complex;
+    /// assert_eq!(Complex::real(3.0), Complex::new(3.0, 0.0));
+    /// ```
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{jθ}`.
+    ///
+    /// ```
+    /// use awe_numeric::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15);
+    /// assert!((z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`, computed without intermediate overflow via `hypot`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite value if `z` is zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        // Smith's algorithm: scale by the larger component to avoid
+        // overflow/underflow of norm_sqr for extreme magnitudes.
+        if self.re.abs() >= self.im.abs() {
+            let r = self.im / self.re;
+            let d = self.re + self.im * r;
+            Complex::new(1.0 / d, -r / d)
+        } else {
+            let r = self.re / self.im;
+            let d = self.re * r + self.im;
+            Complex::new(r / d, -1.0 / d)
+        }
+    }
+
+    /// Principal square root.
+    ///
+    /// ```
+    /// use awe_numeric::Complex;
+    /// let z = Complex::new(-4.0, 0.0).sqrt();
+    /// assert!((z - Complex::new(0.0, 2.0)).abs() < 1e-15);
+    /// ```
+    pub fn sqrt(self) -> Self {
+        if self.re == 0.0 && self.im == 0.0 {
+            return Complex::ZERO;
+        }
+        let m = self.abs();
+        let re = ((m + self.re) / 2.0).sqrt();
+        let im = ((m - self.re) / 2.0).sqrt();
+        Complex::new(re, if self.im >= 0.0 { im } else { -im })
+    }
+
+    /// Complex exponential `e^z`.
+    ///
+    /// This is the workhorse of waveform evaluation: each AWE term is
+    /// `k·e^{p·t}` with complex `k`, `p` (paper eq. (15)).
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Self {
+        Complex::new(self.abs().ln(), self.arg())
+    }
+
+    /// Raises to an integer power by repeated squaring.
+    ///
+    /// ```
+    /// use awe_numeric::Complex;
+    /// let z = Complex::new(0.0, 1.0);
+    /// assert!((z.powi(4) - Complex::ONE).abs() < 1e-15);
+    /// assert!((z.powi(-1) - Complex::new(0.0, -1.0)).abs() < 1e-15);
+    /// ```
+    pub fn powi(self, n: i32) -> Self {
+        if n < 0 {
+            return self.recip().powi(-n);
+        }
+        let mut base = self;
+        let mut exp = n as u32;
+        let mut acc = Complex::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Raises to a real power via the polar form.
+    pub fn powf(self, x: f64) -> Self {
+        if self.re == 0.0 && self.im == 0.0 {
+            return if x == 0.0 { Complex::ONE } else { Complex::ZERO };
+        }
+        Complex::from_polar(self.abs().powf(x), self.arg() * x)
+    }
+
+    /// `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// `true` when either part is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` when the imaginary part is negligible relative to the
+    /// magnitude (or absolutely, for tiny numbers).
+    ///
+    /// Pole/residue post-processing uses this to snap nearly-real roots of
+    /// the characteristic polynomial (paper eq. (25)) back onto the real
+    /// axis.
+    #[inline]
+    pub fn is_approx_real(self, tol: f64) -> bool {
+        self.im.abs() <= tol * self.abs().max(1.0)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{}", self.re)
+        } else if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}-{}j", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: f64) -> Complex {
+        Complex::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: f64) -> Complex {
+        Complex::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        rhs + self
+    }
+}
+
+impl Sub<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self - rhs.re, -rhs.im)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        rhs.recip().scale(self)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(Complex::real(2.0), Complex::from(2.0));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(-0.5, 3.0);
+        assert_eq!(a + b - b, a);
+        assert!(close(a * b / b, a, 1e-14));
+        assert_eq!(-(-a), a);
+        assert_eq!(a - a, Complex::ZERO);
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let a = Complex::new(2.0, 1.0);
+        assert_eq!(a + 1.0, Complex::new(3.0, 1.0));
+        assert_eq!(1.0 + a, Complex::new(3.0, 1.0));
+        assert_eq!(a - 1.0, Complex::new(1.0, 1.0));
+        assert_eq!(1.0 - a, Complex::new(-1.0, -1.0));
+        assert_eq!(a * 2.0, Complex::new(4.0, 2.0));
+        assert_eq!(2.0 * a, Complex::new(4.0, 2.0));
+        assert_eq!(a / 2.0, Complex::new(1.0, 0.5));
+        assert!(close(1.0 / a, a.recip(), 1e-15));
+    }
+
+    #[test]
+    fn recip_extreme_magnitudes() {
+        // Smith's algorithm must survive components near the overflow edge.
+        let z = Complex::new(1e300, 1e300);
+        let r = z.recip();
+        assert!(r.is_finite());
+        assert!(close(z * r, Complex::ONE, 1e-12));
+
+        let tiny = Complex::new(1e-300, -1e-300);
+        let r = tiny.recip();
+        assert!(r.is_finite());
+        assert!(close(tiny * r, Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn sqrt_branches() {
+        assert!(close(Complex::real(4.0).sqrt(), Complex::real(2.0), 1e-15));
+        assert!(close(
+            Complex::real(-9.0).sqrt(),
+            Complex::new(0.0, 3.0),
+            1e-15
+        ));
+        let z = Complex::new(3.0, -4.0);
+        let s = z.sqrt();
+        assert!(close(s * s, z, 1e-13));
+        // Principal branch: non-negative real part.
+        assert!(s.re >= 0.0);
+        assert_eq!(Complex::ZERO.sqrt(), Complex::ZERO);
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let z = Complex::new(0.3, -1.2);
+        assert!(close(z.exp().ln(), z, 1e-14));
+        // Euler: e^{jπ} = -1
+        let e = Complex::new(0.0, std::f64::consts::PI).exp();
+        assert!(close(e, Complex::real(-1.0), 1e-15));
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = Complex::new(1.1, -0.7);
+        let mut acc = Complex::ONE;
+        for n in 0..8 {
+            assert!(close(z.powi(n), acc, 1e-12 * acc.abs().max(1.0)));
+            acc *= z;
+        }
+        assert!(close(z.powi(-3) * z.powi(3), Complex::ONE, 1e-13));
+        assert_eq!(Complex::ZERO.powi(0), Complex::ONE);
+    }
+
+    #[test]
+    fn powf_consistency() {
+        let z = Complex::new(2.0, 2.0);
+        assert!(close(z.powf(2.0), z * z, 1e-12));
+        assert!(close(z.powf(0.5), z.sqrt(), 1e-13));
+        assert_eq!(Complex::ZERO.powf(2.0), Complex::ZERO);
+        assert_eq!(Complex::ZERO.powf(0.0), Complex::ONE);
+    }
+
+    #[test]
+    fn approx_real_detection() {
+        assert!(Complex::new(1.0, 1e-12).is_approx_real(1e-9));
+        assert!(!Complex::new(1.0, 1e-3).is_approx_real(1e-9));
+        // Relative: a huge pole with proportionally tiny imaginary part.
+        assert!(Complex::new(1e12, 1.0).is_approx_real(1e-9));
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+        assert_eq!(Complex::real(3.5).to_string(), "3.5");
+    }
+
+    #[test]
+    fn sums_and_products() {
+        let v = [Complex::ONE, J, Complex::new(2.0, -1.0)];
+        let s: Complex = v.iter().copied().sum();
+        assert_eq!(s, Complex::new(3.0, 0.0));
+        let p: Complex = v.iter().copied().product();
+        assert_eq!(p, J * Complex::new(2.0, -1.0));
+    }
+
+    #[test]
+    fn nan_and_finite_flags() {
+        assert!(Complex::new(f64::NAN, 0.0).is_nan());
+        assert!(!Complex::ONE.is_nan());
+        assert!(Complex::ONE.is_finite());
+        assert!(!Complex::new(f64::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,479 @@
+//! Real-matrix eigenvalues via balancing, Hessenberg reduction, and the
+//! Francis double-shift QR iteration.
+//!
+//! AWE's validation path needs the *exact* natural frequencies of a circuit
+//! (the "actual" columns of the paper's Tables I and II). Those are the
+//! eigenvalues of the state matrix `A = -C⁻¹G`, which for the stiff
+//! interconnect circuits of interest spread over many decades — hence the
+//! balancing pass, which equilibrates row/column norms by powers of two
+//! (exact in binary floating point) before iterating.
+
+use crate::complex::Complex;
+use crate::error::NumericError;
+use crate::hessenberg::hessenberg;
+use crate::matrix::Matrix;
+
+/// Maximum QR iterations per eigenvalue before declaring non-convergence.
+const MAX_ITER_PER_EIGENVALUE: usize = 60;
+
+/// Balances a matrix by a diagonal similarity with power-of-two entries
+/// (EISPACK `balanc`-style). Balancing is exact — no rounding — and can
+/// dramatically improve eigenvalue accuracy for stiff circuits whose
+/// element values span many orders of magnitude.
+pub fn balance(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut m = a.clone();
+    let radix: f64 = 2.0;
+    let sqrdx = radix * radix;
+    let mut done = false;
+    while !done {
+        done = true;
+        for i in 0..n {
+            let mut r = 0.0;
+            let mut c = 0.0;
+            for j in 0..n {
+                if j != i {
+                    c += m[(j, i)].abs();
+                    r += m[(i, j)].abs();
+                }
+            }
+            if c != 0.0 && r != 0.0 {
+                let mut g = r / radix;
+                let mut f = 1.0;
+                let s = c + r;
+                let mut c2 = c;
+                while c2 < g {
+                    f *= radix;
+                    c2 *= sqrdx;
+                }
+                g = r * radix;
+                while c2 > g {
+                    f /= radix;
+                    c2 /= sqrdx;
+                }
+                if (c2 + r / f) / f < 0.95 * s {
+                    done = false;
+                    let ginv = 1.0 / f;
+                    for j in 0..n {
+                        m[(i, j)] *= ginv;
+                    }
+                    for j in 0..n {
+                        m[(j, i)] *= f;
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Computes all eigenvalues of a square real matrix.
+///
+/// Eigenvalues are returned sorted by ascending real part, then ascending
+/// imaginary part (so for stable circuits the most negative — fastest —
+/// poles come first; callers interested in the *dominant* pole take the
+/// last entries).
+///
+/// # Errors
+///
+/// * [`NumericError::NotSquare`] for non-square input.
+/// * [`NumericError::NoConvergence`] if the QR iteration stalls.
+///
+/// # Examples
+///
+/// ```
+/// use awe_numeric::{eigenvalues, Matrix};
+/// # fn main() -> Result<(), awe_numeric::NumericError> {
+/// // Companion matrix of λ² - 3λ + 2: eigenvalues 1 and 2.
+/// let a = Matrix::from_rows(&[&[0.0, -2.0], &[1.0, 3.0]]);
+/// let eig = eigenvalues(&a)?;
+/// assert!((eig[0].re - 1.0).abs() < 1e-10);
+/// assert!((eig[1].re - 2.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>, NumericError> {
+    if !a.is_square() {
+        return Err(NumericError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let balanced = balance(a);
+    let h = hessenberg(&balanced)?;
+    let mut eig = hqr(h)?;
+    eig.sort_by(|x, y| {
+        x.re.partial_cmp(&y.re)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.im.partial_cmp(&y.im).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    Ok(eig)
+}
+
+/// Francis double-shift QR on an upper Hessenberg matrix, returning all
+/// eigenvalues. Classic EISPACK `hqr` logic, 0-indexed.
+fn hqr(mut h: Matrix) -> Result<Vec<Complex>, NumericError> {
+    let n = h.rows();
+    let mut eig = Vec::with_capacity(n);
+    if n == 0 {
+        return Ok(eig);
+    }
+
+    // Overall norm used for negligibility tests.
+    let mut anorm = 0.0f64;
+    for i in 0..n {
+        for j in i.saturating_sub(1)..n {
+            anorm += h[(i, j)].abs();
+        }
+    }
+    if anorm == 0.0 {
+        // Zero matrix: all eigenvalues zero.
+        return Ok(vec![Complex::ZERO; n]);
+    }
+
+    let mut nn = n as isize - 1;
+    let mut t = 0.0f64;
+    let mut total_iters = 0usize;
+
+    while nn >= 0 {
+        let mut its = 0;
+        loop {
+            // Find small subdiagonal element: l such that h[l, l-1] negligible.
+            let mut l = nn;
+            while l >= 1 {
+                let s = h[((l - 1) as usize, (l - 1) as usize)].abs()
+                    + h[(l as usize, l as usize)].abs();
+                let s = if s == 0.0 { anorm } else { s };
+                if h[(l as usize, (l - 1) as usize)].abs() <= f64::EPSILON * s {
+                    h[(l as usize, (l - 1) as usize)] = 0.0;
+                    break;
+                }
+                l -= 1;
+            }
+            let x = h[(nn as usize, nn as usize)];
+            if l == nn {
+                // One real root found.
+                eig.push(Complex::real(x + t));
+                nn -= 1;
+                break;
+            }
+            let y = h[((nn - 1) as usize, (nn - 1) as usize)];
+            let w = h[(nn as usize, (nn - 1) as usize)] * h[((nn - 1) as usize, nn as usize)];
+            if l == nn - 1 {
+                // Two roots found: solve the 2x2 block.
+                let p = 0.5 * (y - x);
+                let q = p * p + w;
+                let z = q.abs().sqrt();
+                let x_sh = x + t;
+                if q >= 0.0 {
+                    // Real pair.
+                    let z = p + if p >= 0.0 { z } else { -z };
+                    eig.push(Complex::real(x_sh + z));
+                    if z != 0.0 {
+                        eig.push(Complex::real(x_sh - w / z));
+                    } else {
+                        eig.push(Complex::real(x_sh));
+                    }
+                } else {
+                    // Complex conjugate pair.
+                    eig.push(Complex::new(x_sh + p, z));
+                    eig.push(Complex::new(x_sh + p, -z));
+                }
+                nn -= 2;
+                break;
+            }
+            // No root yet: perform a double-shift QR sweep.
+            if its == MAX_ITER_PER_EIGENVALUE {
+                return Err(NumericError::NoConvergence {
+                    iterations: total_iters,
+                });
+            }
+            let (mut x, mut y, mut w) = (x, y, w);
+            if its == 10 || its == 20 {
+                // Exceptional shift to break cycling.
+                t += x;
+                for i in 0..=(nn as usize) {
+                    h[(i, i)] -= x;
+                }
+                let s = h[(nn as usize, (nn - 1) as usize)].abs()
+                    + h[((nn - 1) as usize, (nn - 2) as usize)].abs();
+                x = 0.75 * s;
+                y = x;
+                w = -0.4375 * s * s;
+            }
+            its += 1;
+            total_iters += 1;
+
+            // Look for two consecutive small subdiagonal elements.
+            let mut m = nn - 2;
+            let (mut p, mut q, mut r) = (0.0f64, 0.0f64, 0.0f64);
+            while m >= l {
+                let mu = m as usize;
+                let z = h[(mu, mu)];
+                let rr = x - z;
+                let ss = y - z;
+                p = (rr * ss - w) / h[(mu + 1, mu)] + h[(mu, mu + 1)];
+                q = h[(mu + 1, mu + 1)] - z - rr - ss;
+                r = h[(mu + 2, mu + 1)];
+                let s = p.abs() + q.abs() + r.abs();
+                p /= s;
+                q /= s;
+                r /= s;
+                if m == l {
+                    break;
+                }
+                let u = h[(mu, mu - 1)].abs() * (q.abs() + r.abs());
+                let v = p.abs()
+                    * (h[(mu - 1, mu - 1)].abs() + z.abs() + h[(mu + 1, mu + 1)].abs());
+                if u <= f64::EPSILON * v {
+                    break;
+                }
+                m -= 1;
+            }
+            let m = m.max(l) as usize;
+            for i in m + 2..=(nn as usize) {
+                h[(i, i - 2)] = 0.0;
+                if i > m + 2 {
+                    h[(i, i - 3)] = 0.0;
+                }
+            }
+            // Double QR step on rows/columns m..=nn.
+            let nnu = nn as usize;
+            for k in m..nnu {
+                if k != m {
+                    p = h[(k, k - 1)];
+                    q = h[(k + 1, k - 1)];
+                    r = if k != nnu - 1 { h[(k + 2, k - 1)] } else { 0.0 };
+                    x = p.abs() + q.abs() + r.abs();
+                    if x != 0.0 {
+                        p /= x;
+                        q /= x;
+                        r /= x;
+                    }
+                }
+                let mut s = (p * p + q * q + r * r).sqrt();
+                if p < 0.0 {
+                    s = -s;
+                }
+                if s == 0.0 {
+                    continue;
+                }
+                if k == m {
+                    if l as usize != m {
+                        h[(k, k - 1)] = -h[(k, k - 1)];
+                    }
+                } else {
+                    h[(k, k - 1)] = -s * x;
+                }
+                p += s;
+                x = p / s;
+                y = q / s;
+                let z = r / s;
+                q /= p;
+                r /= p;
+                // Row modification.
+                for j in k..=nnu {
+                    let mut pj = h[(k, j)] + q * h[(k + 1, j)];
+                    if k != nnu - 1 {
+                        pj += r * h[(k + 2, j)];
+                        h[(k + 2, j)] -= pj * z;
+                    }
+                    h[(k + 1, j)] -= pj * y;
+                    h[(k, j)] -= pj * x;
+                }
+                // Column modification.
+                let mmin = nnu.min(k + 3);
+                for i in l as usize..=mmin {
+                    let mut pi = x * h[(i, k)] + y * h[(i, k + 1)];
+                    if k != nnu - 1 {
+                        pi += z * h[(i, k + 2)];
+                        h[(i, k + 2)] -= pi * r;
+                    }
+                    h[(i, k + 1)] -= pi * q;
+                    h[(i, k)] -= pi;
+                }
+            }
+        }
+    }
+    Ok(eig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let e = eigenvalues(&a).unwrap();
+        let re: Vec<f64> = e.iter().map(|z| z.re).collect();
+        assert!((re[0] + 1.0).abs() < 1e-12);
+        assert!((re[1] - 2.0).abs() < 1e-12);
+        assert!((re[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_pair() {
+        // Rotation-like matrix: eigenvalues ±j.
+        let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
+        let e = eigenvalues(&a).unwrap();
+        assert!((e[0] - Complex::new(0.0, -1.0)).abs() < 1e-12);
+        assert!((e[1] - Complex::new(0.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let e = eigenvalues(&Matrix::zeros(3, 3)).unwrap();
+        assert!(e.iter().all(|z| z.abs() < 1e-15));
+    }
+
+    #[test]
+    fn companion_matrix_known_roots() {
+        // Companion of (λ+1)(λ+2)(λ+5)(λ+10) =
+        // λ⁴ + 18λ³ + 97λ² + 180λ + 100.
+        let coeffs = [100.0, 180.0, 97.0, 18.0];
+        let n = coeffs.len();
+        let mut a = Matrix::zeros(n, n);
+        for i in 1..n {
+            a[(i, i - 1)] = 1.0;
+        }
+        for (i, &c) in coeffs.iter().enumerate() {
+            a[(i, n - 1)] = -c;
+        }
+        let e = eigenvalues(&a).unwrap();
+        for want in [-10.0, -5.0, -2.0, -1.0] {
+            assert!(
+                e.iter()
+                    .any(|z| (z.re - want).abs() < 1e-8 && z.im.abs() < 1e-8),
+                "missing eigenvalue {want}: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stiff_spectrum_with_balancing() {
+        // Diagonal spread over 10 decades, mixed by a similarity that
+        // badly skews the norms; balancing must recover the spectrum.
+        let d = [-1.0, -1e3, -1e6, -1e10];
+        let n = d.len();
+        // A = S·D·S⁻¹ with S unit lower triangular (easy exact inverse).
+        let mut s = Matrix::identity(n);
+        for i in 1..n {
+            for j in 0..i {
+                s[(i, j)] = ((i + j) % 3) as f64 - 1.0;
+            }
+        }
+        let mut s_inv = Matrix::identity(n);
+        // Invert unit lower triangular by forward substitution.
+        for i in 1..n {
+            for j in 0..i {
+                let mut acc = 0.0;
+                for k in j..i {
+                    acc += s[(i, k)] * s_inv[(k, j)];
+                }
+                s_inv[(i, j)] = -acc;
+            }
+        }
+        let a = &(&s * &Matrix::from_diag(&d)) * &s_inv;
+        let e = eigenvalues(&a).unwrap();
+        // Accuracy is relative to the spectral spread (norm ~1e10), so
+        // the smallest eigenvalue carries a few ulps of the largest.
+        for &want in &d {
+            assert!(
+                e.iter().any(|z| ((z.re - want) / want).abs() < 1e-4
+                    && z.im.abs() < 1e-4 * want.abs()),
+                "missing stiff eigenvalue {want}: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn defective_matrix_jordan_block() {
+        // A Jordan block: repeated eigenvalue -2 with multiplicity 3.
+        let mut a = Matrix::from_diag(&[-2.0, -2.0, -2.0]);
+        a[(0, 1)] = 1.0;
+        a[(1, 2)] = 1.0;
+        let e = eigenvalues(&a).unwrap();
+        for z in &e {
+            // Defective eigenvalues are recovered to ~eps^(1/3).
+            assert!((*z - Complex::real(-2.0)).abs() < 1e-4, "{z}");
+        }
+    }
+
+    #[test]
+    fn mixed_real_and_complex() {
+        // Block diagonal: rotation (±2j) ⊕ [-3] ⊕ damped spiral (-1 ± j).
+        let mut a = Matrix::zeros(5, 5);
+        a[(0, 1)] = -2.0;
+        a[(1, 0)] = 2.0;
+        a[(2, 2)] = -3.0;
+        a[(3, 3)] = -1.0;
+        a[(3, 4)] = -1.0;
+        a[(4, 3)] = 1.0;
+        a[(4, 4)] = -1.0;
+        let e = eigenvalues(&a).unwrap();
+        for want in [
+            Complex::new(0.0, 2.0),
+            Complex::new(0.0, -2.0),
+            Complex::real(-3.0),
+            Complex::new(-1.0, 1.0),
+            Complex::new(-1.0, -1.0),
+        ] {
+            assert!(
+                e.iter().any(|z| (*z - want).abs() < 1e-8),
+                "missing {want}: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn balance_preserves_eigenvalues() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 1e8, 0.0],
+            &[1e-8, 2.0, 1e8],
+            &[0.0, 1e-8, 3.0],
+        ]);
+        let b = balance(&a);
+        // Balancing is a similarity: eigenvalue sums (traces) agree.
+        assert!((a.trace().unwrap() - b.trace().unwrap()).abs() < 1e-9);
+        // And the balanced matrix has vastly better norm symmetry.
+        assert!(b.max_abs() < a.max_abs() / 1e3);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let e = eigenvalues(&Matrix::from_rows(&[&[4.5]])).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0], Complex::real(4.5));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(eigenvalues(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn random_trace_determinant_consistency() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for n in [2usize, 4, 7, 10] {
+            let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { 2.0 } else { 0.0 });
+            let e = eigenvalues(&a).unwrap();
+            let sum: f64 = e.iter().map(|z| z.re).sum();
+            assert!(
+                (sum - a.trace().unwrap()).abs() < 1e-7 * a.trace().unwrap().abs().max(1.0),
+                "n={n}"
+            );
+            let prod = e.iter().fold(Complex::ONE, |acc, &z| acc * z);
+            let det = crate::lu::Lu::factor(&a).unwrap().det();
+            assert!(
+                (prod.re - det).abs() < 1e-6 * det.abs().max(1.0),
+                "n={n}: {prod} vs {det}"
+            );
+            assert!(prod.im.abs() < 1e-6 * det.abs().max(1.0));
+        }
+    }
+}

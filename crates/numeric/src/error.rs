@@ -1,0 +1,102 @@
+//! Error types for the numeric substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra and root-finding routines.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// A square matrix was required.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix is singular (or numerically singular) to working precision.
+    ///
+    /// For AWE this typically means the circuit has no unique DC solution
+    /// (paper §3.1: the A-matrix may not be singular), or the moment matrix
+    /// of eq. (24) is ill-conditioned and needs frequency scaling (§3.5).
+    Singular {
+        /// Elimination step at which a zero (or negligible) pivot appeared.
+        pivot: usize,
+    },
+    /// Dimension mismatch between operands.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// An iterative algorithm (QR eigen iteration, Aberth root refinement)
+    /// failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input polynomial or data set was empty or degenerate.
+    Degenerate(&'static str),
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::NotSquare { rows, cols } => {
+                write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+            NumericError::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision at pivot {pivot}")
+            }
+            NumericError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            NumericError::NoConvergence { iterations } => {
+                write!(f, "iteration failed to converge after {iterations} steps")
+            }
+            NumericError::Degenerate(what) => write!(f, "degenerate input: {what}"),
+        }
+    }
+}
+
+impl Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            NumericError::NotSquare { rows: 2, cols: 3 }.to_string(),
+            "expected a square matrix, got 2x3"
+        );
+        assert_eq!(
+            NumericError::Singular { pivot: 4 }.to_string(),
+            "matrix is singular to working precision at pivot 4"
+        );
+        assert_eq!(
+            NumericError::DimensionMismatch {
+                expected: 3,
+                actual: 5
+            }
+            .to_string(),
+            "dimension mismatch: expected 3, got 5"
+        );
+        assert_eq!(
+            NumericError::NoConvergence { iterations: 100 }.to_string(),
+            "iteration failed to converge after 100 steps"
+        );
+        assert_eq!(
+            NumericError::Degenerate("empty polynomial").to_string(),
+            "degenerate input: empty polynomial"
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NumericError>();
+    }
+}

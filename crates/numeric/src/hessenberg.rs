@@ -1,0 +1,192 @@
+//! Householder reduction to upper Hessenberg form.
+//!
+//! Eigenvalue extraction (used to obtain the paper's "actual poles"
+//! columns in Tables I and II) proceeds in two stages: reduce the state
+//! matrix to upper Hessenberg form here, then run the shifted QR iteration
+//! in [`crate::eigen`]. Reduction costs `O(n³)` once and makes every QR
+//! sweep `O(n²)`.
+
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+
+/// Reduces a square matrix to upper Hessenberg form `H = Qᵀ·A·Q` using
+/// Householder reflections. Only `H` is returned; the orthogonal factor is
+/// not accumulated because AWE needs eigenvalues, not eigenvectors.
+///
+/// # Errors
+///
+/// Returns [`NumericError::NotSquare`] if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use awe_numeric::{hessenberg, Matrix};
+/// # fn main() -> Result<(), awe_numeric::NumericError> {
+/// let a = Matrix::from_rows(&[
+///     &[4.0, 1.0, 2.0],
+///     &[1.0, 3.0, 0.0],
+///     &[2.0, 0.0, 1.0],
+/// ]);
+/// let h = hessenberg(&a)?;
+/// assert_eq!(h[(2, 0)], 0.0); // below the first subdiagonal
+/// # Ok(())
+/// # }
+/// ```
+pub fn hessenberg(a: &Matrix) -> Result<Matrix, NumericError> {
+    if !a.is_square() {
+        return Err(NumericError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let mut h = a.clone();
+    if n < 3 {
+        return Ok(h);
+    }
+
+    let mut v = vec![0.0; n];
+    for k in 0..n - 2 {
+        // Build the Householder vector annihilating H[k+2.., k].
+        let mut alpha = 0.0f64;
+        for i in k + 1..n {
+            alpha += h[(i, k)] * h[(i, k)];
+        }
+        alpha = alpha.sqrt();
+        if alpha == 0.0 {
+            continue;
+        }
+        if h[(k + 1, k)] > 0.0 {
+            alpha = -alpha;
+        }
+        let v0 = h[(k + 1, k)] - alpha;
+        v[k + 1] = v0;
+        for i in k + 2..n {
+            v[i] = h[(i, k)];
+        }
+        let vnorm_sqr = alpha * alpha - alpha * h[(k + 1, k)];
+        if vnorm_sqr.abs() < f64::MIN_POSITIVE {
+            continue;
+        }
+        let beta = 1.0 / vnorm_sqr;
+
+        // H ← (I - β v vᵀ) H : for each column j, H[i,j] -= β v_i (vᵀ H[:,j]).
+        for j in k..n {
+            let mut s = 0.0;
+            for i in k + 1..n {
+                s += v[i] * h[(i, j)];
+            }
+            let s = s * beta;
+            for i in k + 1..n {
+                h[(i, j)] -= s * v[i];
+            }
+        }
+        // H ← H (I - β v vᵀ) : for each row i, H[i,j] -= β (H[i,:] v) v_j.
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in k + 1..n {
+                s += h[(i, j)] * v[j];
+            }
+            let s = s * beta;
+            for j in k + 1..n {
+                h[(i, j)] -= s * v[j];
+            }
+        }
+        // Zero out the annihilated entries explicitly to keep H clean.
+        h[(k + 1, k)] = alpha;
+        for i in k + 2..n {
+            h[(i, k)] = 0.0;
+        }
+    }
+    Ok(h)
+}
+
+/// `true` if `m` is upper Hessenberg within `tol` (all entries below the
+/// first subdiagonal have magnitude ≤ `tol`).
+pub fn is_hessenberg(m: &Matrix, tol: f64) -> bool {
+    if !m.is_square() {
+        return false;
+    }
+    let n = m.rows();
+    for i in 2..n {
+        for j in 0..i - 1 {
+            if m[(i, j)].abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn char_invariants(a: &Matrix, h: &Matrix, tol: f64) {
+        // Similarity preserves trace and Frobenius norm (orthogonal Q).
+        assert!((a.trace().unwrap() - h.trace().unwrap()).abs() < tol);
+        assert!((a.norm_frobenius() - h.norm_frobenius()).abs() < tol);
+    }
+
+    #[test]
+    fn small_matrices_pass_through() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let h = hessenberg(&a).unwrap();
+        assert_eq!(h, a);
+        let one = Matrix::from_rows(&[&[7.0]]);
+        assert_eq!(hessenberg(&one).unwrap(), one);
+    }
+
+    #[test]
+    fn reduces_to_hessenberg_form() {
+        let a = Matrix::from_fn(6, 6, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let h = hessenberg(&a).unwrap();
+        assert!(is_hessenberg(&h, 1e-12));
+        char_invariants(&a, &h, 1e-9);
+    }
+
+    #[test]
+    fn symmetric_input_gives_tridiagonal() {
+        let mut a = Matrix::from_fn(5, 5, |i, j| ((i + 1) * (j + 1)) as f64);
+        // Symmetrize.
+        let at = a.transpose();
+        a = &a + &at;
+        let h = hessenberg(&a).unwrap();
+        assert!(is_hessenberg(&h, 1e-10));
+        // For symmetric input the result is tridiagonal: upper triangle
+        // beyond the first superdiagonal is ~0 as well.
+        for i in 0..5 {
+            for j in i + 2..5 {
+                assert!(h[(i, j)].abs() < 1e-9, "h[{i},{j}]={}", h[(i, j)]);
+            }
+        }
+        char_invariants(&a, &h, 1e-9);
+    }
+
+    #[test]
+    fn already_hessenberg_is_stable() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[0.0, 7.0, 8.0],
+        ]);
+        let h = hessenberg(&a).unwrap();
+        assert!(is_hessenberg(&h, 1e-14));
+        char_invariants(&a, &h, 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(hessenberg(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn is_hessenberg_checks() {
+        assert!(is_hessenberg(&Matrix::identity(4), 0.0));
+        let mut m = Matrix::identity(4);
+        m[(3, 0)] = 0.5;
+        assert!(!is_hessenberg(&m, 1e-12));
+        assert!(is_hessenberg(&m, 1.0));
+        assert!(!is_hessenberg(&Matrix::zeros(2, 3), 1.0));
+    }
+}

@@ -1,0 +1,369 @@
+//! Real-coefficient polynomials.
+//!
+//! AWE's characteristic polynomial (paper eq. (25)) is built from the
+//! moment-matrix solution `a₀ + a₁p⁻¹ + … + a_{q-1}p^{-q+1} + p^{-q} = 0`;
+//! its roots are the *reciprocals* of the approximating poles. This module
+//! provides the polynomial type those coefficients live in, plus the
+//! arithmetic the residue and error machinery needs.
+
+use std::fmt;
+
+use crate::complex::Complex;
+
+/// A polynomial with real coefficients, stored low-degree first:
+/// `coeffs[k]` multiplies `xᵏ`.
+///
+/// The representation is kept *normalized*: trailing (highest-degree) zero
+/// coefficients are stripped, so `degree()` is exact. The zero polynomial
+/// is represented by an empty coefficient vector and reports degree 0.
+///
+/// # Examples
+///
+/// ```
+/// use awe_numeric::Polynomial;
+///
+/// // 2 - 3x + x²  =  (x - 1)(x - 2)
+/// let p = Polynomial::new(vec![2.0, -3.0, 1.0]);
+/// assert_eq!(p.degree(), 2);
+/// assert_eq!(p.eval(1.0), 0.0);
+/// assert_eq!(p.eval(2.0), 0.0);
+/// assert_eq!(p.eval(0.0), 2.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients, lowest degree first.
+    /// Trailing zeros are stripped.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Polynomial::new(vec![c])
+    }
+
+    /// The monic polynomial with the given roots:
+    /// `∏ (x - rᵢ)`.
+    ///
+    /// ```
+    /// use awe_numeric::Polynomial;
+    /// let p = Polynomial::from_roots(&[1.0, 2.0]);
+    /// assert_eq!(p.coeffs(), &[2.0, -3.0, 1.0]);
+    /// ```
+    pub fn from_roots(roots: &[f64]) -> Self {
+        let mut coeffs = vec![1.0];
+        for &r in roots {
+            // Multiply by (x - r).
+            let mut next = vec![0.0; coeffs.len() + 1];
+            for (k, &c) in coeffs.iter().enumerate() {
+                next[k + 1] += c;
+                next[k] -= r * c;
+            }
+            coeffs = next;
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Builds the monic polynomial with the given *complex* roots, which
+    /// must occur in conjugate pairs (within `tol`) so the product has real
+    /// coefficients. Used to reconstruct the characteristic polynomial from
+    /// pole sets during verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the roots cannot be grouped into reals and conjugate pairs.
+    pub fn from_conjugate_roots(roots: &[Complex], tol: f64) -> Self {
+        let mut remaining: Vec<Complex> = roots.to_vec();
+        let mut p = Polynomial::constant(1.0);
+        while let Some(r) = remaining.pop() {
+            if r.im.abs() <= tol * r.abs().max(1.0) {
+                p = &p * &Polynomial::new(vec![-r.re, 1.0]);
+            } else {
+                // Find and remove the conjugate partner.
+                let idx = remaining
+                    .iter()
+                    .position(|c| (*c - r.conj()).abs() <= tol * r.abs().max(1.0))
+                    .expect("complex roots must come in conjugate pairs");
+                remaining.swap_remove(idx);
+                // (x - r)(x - r̄) = x² - 2·Re(r)·x + |r|².
+                p = &p * &Polynomial::new(vec![r.norm_sqr(), -2.0 * r.re, 1.0]);
+            }
+        }
+        p
+    }
+
+    fn normalize(&mut self) {
+        while self.coeffs.last().is_some_and(|c| *c == 0.0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Coefficients, lowest degree first (empty for the zero polynomial).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree of the polynomial. The zero polynomial reports 0.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Leading (highest-degree) coefficient, or 0 for the zero polynomial.
+    pub fn leading(&self) -> f64 {
+        self.coeffs.last().copied().unwrap_or(0.0)
+    }
+
+    /// Horner evaluation at a real point.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Horner evaluation at a complex point.
+    pub fn eval_complex(&self, z: Complex) -> Complex {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * z + c)
+    }
+
+    /// First derivative.
+    ///
+    /// ```
+    /// use awe_numeric::Polynomial;
+    /// let p = Polynomial::new(vec![1.0, 2.0, 3.0]); // 1 + 2x + 3x²
+    /// assert_eq!(p.derivative().coeffs(), &[2.0, 6.0]);
+    /// ```
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        Polynomial::new(
+            self.coeffs[1..]
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| (k + 1) as f64 * c)
+                .collect(),
+        )
+    }
+
+    /// Returns the monic version (divides by the leading coefficient).
+    ///
+    /// Returns the zero polynomial unchanged.
+    pub fn monic(&self) -> Polynomial {
+        if self.is_zero() {
+            return self.clone();
+        }
+        let l = self.leading();
+        Polynomial::new(self.coeffs.iter().map(|c| c / l).collect())
+    }
+
+    /// Substitutes `x → k·x` (coefficient `cᵢ → cᵢ·kⁱ`). This is the
+    /// polynomial-level form of AWE's frequency scaling (§3.5): scaling the
+    /// moments by γ scales the reciprocal-pole variable by 1/γ.
+    pub fn scale_variable(&self, k: f64) -> Polynomial {
+        let mut pow = 1.0;
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .map(|&c| {
+                    let v = c * pow;
+                    pow *= k;
+                    v
+                })
+                .collect(),
+        )
+    }
+
+    /// Largest coefficient magnitude, useful for scaling heuristics.
+    pub fn max_coeff_abs(&self) -> f64 {
+        self.coeffs.iter().fold(0.0, |m, c| m.max(c.abs()))
+    }
+}
+
+impl Default for Polynomial {
+    fn default() -> Self {
+        Polynomial::zero()
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c < 0.0 { "-" } else { "+" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            first = false;
+            let a = c.abs();
+            match k {
+                0 => write!(f, "{a}")?,
+                1 => write!(f, "{a}·x")?,
+                _ => write!(f, "{a}·x^{k}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::ops::Add for &Polynomial {
+    type Output = Polynomial;
+    fn add(self, rhs: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = vec![0.0; n];
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            out[k] += c;
+        }
+        for (k, &c) in rhs.coeffs.iter().enumerate() {
+            out[k] += c;
+        }
+        Polynomial::new(out)
+    }
+}
+
+impl std::ops::Sub for &Polynomial {
+    type Output = Polynomial;
+    fn sub(self, rhs: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = vec![0.0; n];
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            out[k] += c;
+        }
+        for (k, &c) in rhs.coeffs.iter().enumerate() {
+            out[k] -= c;
+        }
+        Polynomial::new(out)
+    }
+}
+
+impl std::ops::Mul for &Polynomial {
+    type Output = Polynomial;
+    fn mul(self, rhs: &Polynomial) -> Polynomial {
+        if self.is_zero() || rhs.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut out = vec![0.0; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Polynomial::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_strips_trailing_zeros() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        assert!(Polynomial::new(vec![0.0, 0.0]).is_zero());
+    }
+
+    #[test]
+    fn evaluation_real_and_complex() {
+        let p = Polynomial::new(vec![1.0, -2.0, 1.0]); // (x-1)²
+        assert_eq!(p.eval(1.0), 0.0);
+        assert_eq!(p.eval(3.0), 4.0);
+        let z = Complex::new(1.0, 1.0);
+        let v = p.eval_complex(z); // (z-1)² = (j)² = -1
+        assert!((v - Complex::real(-1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_roots_reconstructs() {
+        let p = Polynomial::from_roots(&[-1.0, -2.0, -3.0]);
+        assert_eq!(p.degree(), 3);
+        for r in [-1.0, -2.0, -3.0] {
+            assert!(p.eval(r).abs() < 1e-12);
+        }
+        assert_eq!(p.leading(), 1.0);
+        assert_eq!(p.eval(0.0), 6.0); // (-(-1))·(-(-2))·(-(-3))
+    }
+
+    #[test]
+    fn from_conjugate_roots_real_coeffs() {
+        let roots = [
+            Complex::new(-1.0, 2.0),
+            Complex::new(-1.0, -2.0),
+            Complex::real(-3.0),
+        ];
+        let p = Polynomial::from_conjugate_roots(&roots, 1e-12);
+        assert_eq!(p.degree(), 3);
+        for r in roots {
+            assert!(p.eval_complex(r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "conjugate pairs")]
+    fn from_conjugate_roots_rejects_unpaired() {
+        let _ = Polynomial::from_conjugate_roots(&[Complex::new(0.0, 1.0)], 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Polynomial::new(vec![1.0, 1.0]); // 1 + x
+        let b = Polynomial::new(vec![-1.0, 1.0]); // -1 + x
+        assert_eq!((&a + &b).coeffs(), &[0.0, 2.0]);
+        assert_eq!((&a - &b).coeffs(), &[2.0]);
+        assert_eq!((&a * &b).coeffs(), &[-1.0, 0.0, 1.0]); // x² - 1
+        assert!((&a * &Polynomial::zero()).is_zero());
+        // Cancellation normalizes degree.
+        assert_eq!((&a - &a).degree(), 0);
+        assert!((&a - &a).is_zero());
+    }
+
+    #[test]
+    fn derivative_and_monic() {
+        let p = Polynomial::new(vec![0.0, 0.0, 0.0, 2.0]); // 2x³
+        assert_eq!(p.derivative().coeffs(), &[0.0, 0.0, 6.0]);
+        assert_eq!(p.monic().coeffs(), &[0.0, 0.0, 0.0, 1.0]);
+        assert!(Polynomial::zero().derivative().is_zero());
+        assert!(Polynomial::zero().monic().is_zero());
+        assert!(Polynomial::constant(5.0).derivative().is_zero());
+    }
+
+    #[test]
+    fn scale_variable_moves_roots() {
+        // p(x) with root r → p(kx) has root r/k.
+        let p = Polynomial::from_roots(&[4.0]);
+        let q = p.scale_variable(2.0);
+        assert!(q.eval(2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        let p = Polynomial::new(vec![1.0, -2.0, 3.0]);
+        assert_eq!(p.to_string(), "1 - 2·x + 3·x^2");
+        assert_eq!(Polynomial::zero().to_string(), "0");
+        assert_eq!(Polynomial::new(vec![-1.5]).to_string(), "-1.5");
+    }
+}

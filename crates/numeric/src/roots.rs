@@ -1,0 +1,580 @@
+//! Polynomial root finding.
+//!
+//! The paper notes (§III, after eq. (25)) that *"for the low orders of
+//! approximation that are needed for the intended application of AWE, the
+//! roots of `a_c` can be obtained explicitly"*. We therefore provide exact
+//! closed forms for degrees 1–3 and resolvent-based degree 4, and fall back
+//! to the Aberth–Ehrlich simultaneous iteration (with Newton polish) for
+//! higher orders, so arbitrary approximation orders remain available.
+
+use crate::complex::Complex;
+use crate::error::NumericError;
+use crate::poly::Polynomial;
+
+/// Maximum Aberth–Ehrlich sweeps before declaring non-convergence.
+const MAX_ABERTH_ITERS: usize = 200;
+
+/// Finds all complex roots of a real-coefficient polynomial.
+///
+/// Roots are returned sorted by ascending real part then imaginary part.
+/// Exactly-zero leading/trailing structure is handled: trailing zero
+/// coefficients never occur (the [`Polynomial`] type is normalized) and
+/// roots at the origin (zero constant term) are deflated exactly.
+///
+/// # Errors
+///
+/// * [`NumericError::Degenerate`] if the polynomial is zero or constant.
+/// * [`NumericError::NoConvergence`] if the iterative fallback stalls.
+///
+/// # Examples
+///
+/// ```
+/// use awe_numeric::{roots, Polynomial};
+/// # fn main() -> Result<(), awe_numeric::NumericError> {
+/// let p = Polynomial::from_roots(&[-1.0, -2.0, -3.0, -4.0, -5.0]);
+/// let r = roots(&p)?;
+/// assert_eq!(r.len(), 5);
+/// assert!((r[0].re + 5.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn roots(p: &Polynomial) -> Result<Vec<Complex>, NumericError> {
+    if p.is_zero() {
+        return Err(NumericError::Degenerate("zero polynomial has no defined roots"));
+    }
+    if p.degree() == 0 {
+        return Err(NumericError::Degenerate("constant polynomial has no roots"));
+    }
+
+    // Deflate exact zero roots.
+    let mut coeffs = p.coeffs().to_vec();
+    let mut zero_roots = 0usize;
+    while coeffs.first() == Some(&0.0) {
+        coeffs.remove(0);
+        zero_roots += 1;
+    }
+
+    let mut out = vec![Complex::ZERO; zero_roots];
+    if coeffs.len() > 1 {
+        let inner = Polynomial::new(coeffs);
+        let mut rs = match inner.degree() {
+            1 => roots_linear(&inner),
+            2 => roots_quadratic(&inner),
+            3 => roots_cubic(&inner),
+            4 => roots_quartic(&inner),
+            _ => roots_aberth(&inner)?,
+        };
+        // Newton polish against the *original* polynomial for uniform accuracy.
+        let dp = inner.derivative();
+        for r in &mut rs {
+            *r = polish(&inner, &dp, *r);
+        }
+        out.append(&mut rs);
+    }
+
+    out.sort_by(|a, b| {
+        a.re.partial_cmp(&b.re)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.im.partial_cmp(&b.im).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    Ok(out)
+}
+
+fn polish(p: &Polynomial, dp: &Polynomial, mut z: Complex) -> Complex {
+    for _ in 0..3 {
+        let f = p.eval_complex(z);
+        let d = dp.eval_complex(z);
+        if d.abs() == 0.0 {
+            break;
+        }
+        let step = f / d;
+        if !step.is_finite() || step.abs() <= 1e-300 {
+            break;
+        }
+        let z_next = z - step;
+        if !z_next.is_finite() {
+            break;
+        }
+        z = z_next;
+    }
+    z
+}
+
+fn roots_linear(p: &Polynomial) -> Vec<Complex> {
+    let c = p.coeffs();
+    vec![Complex::real(-c[0] / c[1])]
+}
+
+/// Numerically-stable quadratic formula (avoids cancellation by computing
+/// the larger-magnitude root first and deriving the other from the product).
+fn roots_quadratic(p: &Polynomial) -> Vec<Complex> {
+    let c = p.coeffs();
+    let (a, b, cc) = (c[2], c[1], c[0]);
+    let disc = b * b - 4.0 * a * cc;
+    if disc >= 0.0 {
+        let sq = disc.sqrt();
+        let q = -0.5 * (b + if b >= 0.0 { sq } else { -sq });
+        let r1 = q / a;
+        let r2 = if q != 0.0 { cc / q } else { -b / a - r1 };
+        vec![Complex::real(r1), Complex::real(r2)]
+    } else {
+        let re = -b / (2.0 * a);
+        let im = (-disc).sqrt() / (2.0 * a);
+        vec![Complex::new(re, -im.abs()), Complex::new(re, im.abs())]
+    }
+}
+
+/// Cubic roots by the trigonometric/Cardano method.
+fn roots_cubic(p: &Polynomial) -> Vec<Complex> {
+    let c = p.coeffs();
+    // Normalize to monic: x³ + a x² + b x + c.
+    let a = c[2] / c[3];
+    let b = c[1] / c[3];
+    let cc = c[0] / c[3];
+
+    // Depressed cubic t³ + pt + q with x = t - a/3.
+    let shift = a / 3.0;
+    let pq_p = b - a * a / 3.0;
+    let pq_q = 2.0 * a * a * a / 27.0 - a * b / 3.0 + cc;
+
+    let disc = (pq_q / 2.0) * (pq_q / 2.0) + (pq_p / 3.0) * (pq_p / 3.0) * (pq_p / 3.0);
+    let mut roots = if disc > 0.0 {
+        // One real root, one conjugate pair (Cardano).
+        let sq = disc.sqrt();
+        let u = cbrt(-pq_q / 2.0 + sq);
+        let v = cbrt(-pq_q / 2.0 - sq);
+        let t1 = u + v;
+        let re = -t1 / 2.0;
+        let im = (u - v) * 3.0_f64.sqrt() / 2.0;
+        vec![
+            Complex::real(t1),
+            Complex::new(re, im.abs()),
+            Complex::new(re, -im.abs()),
+        ]
+    } else {
+        // Three real roots (trigonometric method, robust for disc ≈ 0).
+        let m = (-pq_p / 3.0).max(0.0).sqrt();
+        if m == 0.0 {
+            vec![Complex::ZERO; 3]
+        } else {
+            let arg = (3.0 * pq_q / (2.0 * pq_p * m)).clamp(-1.0, 1.0);
+            let theta = arg.acos() / 3.0;
+            (0..3)
+                .map(|k| {
+                    Complex::real(
+                        2.0 * m * (theta - 2.0 * std::f64::consts::PI * k as f64 / 3.0).cos(),
+                    )
+                })
+                .collect()
+        }
+    };
+    for r in &mut roots {
+        *r = *r - shift;
+    }
+    roots
+}
+
+fn cbrt(x: f64) -> f64 {
+    x.cbrt()
+}
+
+/// Quartic roots via Ferrari's resolvent cubic.
+fn roots_quartic(p: &Polynomial) -> Vec<Complex> {
+    let c = p.coeffs();
+    // Monic: x⁴ + a x³ + b x² + c x + d.
+    let a = c[3] / c[4];
+    let b = c[2] / c[4];
+    let cc = c[1] / c[4];
+    let d = c[0] / c[4];
+
+    // Depressed quartic y⁴ + p y² + q y + r with x = y - a/4.
+    let shift = a / 4.0;
+    let pp = b - 3.0 * a * a / 8.0;
+    let qq = cc - a * b / 2.0 + a * a * a / 8.0;
+    let rr = d - a * cc / 4.0 + a * a * b / 16.0 - 3.0 * a * a * a * a / 256.0;
+
+    let mut roots = if qq.abs() < 1e-14 * (1.0 + pp.abs() + rr.abs()) {
+        // Biquadratic: y⁴ + p y² + r = 0.
+        let z = roots_quadratic(&Polynomial::new(vec![rr, pp, 1.0]));
+        let mut out = Vec::with_capacity(4);
+        for zi in z {
+            let s = zi.sqrt();
+            out.push(s);
+            out.push(-s);
+        }
+        out
+    } else {
+        // Resolvent cubic: m³ + p m² + (p²/4 - r) m - q²/8 = 0.
+        let resolvent = Polynomial::new(vec![
+            -qq * qq / 8.0,
+            pp * pp / 4.0 - rr,
+            pp,
+            1.0,
+        ]);
+        let ms = roots_cubic(&resolvent);
+        // Pick the real root with the largest positive real part for stability.
+        let m = ms
+            .iter()
+            .filter(|z| z.im.abs() < 1e-9 * z.abs().max(1.0) && z.re > 0.0)
+            .map(|z| z.re)
+            .fold(f64::NAN, f64::max);
+        let m = if m.is_nan() {
+            // Fall back to any real root magnitude.
+            ms.iter().map(|z| z.re.abs()).fold(0.0, f64::max).max(1e-300)
+        } else {
+            m
+        };
+        let sqrt2m = (2.0 * m).sqrt();
+        // y⁴ + p y² + q y + r = (y² + sqrt2m·y + t1)(y² - sqrt2m·y + t2)
+        let t1 = pp / 2.0 + m - qq / (2.0 * sqrt2m);
+        let t2 = pp / 2.0 + m + qq / (2.0 * sqrt2m);
+        let mut out = roots_quadratic(&Polynomial::new(vec![t1, sqrt2m, 1.0]));
+        out.extend(roots_quadratic(&Polynomial::new(vec![t2, -sqrt2m, 1.0])));
+        out
+    };
+    for r in &mut roots {
+        *r = *r - shift;
+    }
+    roots
+}
+
+/// Aberth–Ehrlich simultaneous root iteration for arbitrary degree.
+fn roots_aberth(p: &Polynomial) -> Result<Vec<Complex>, NumericError> {
+    let n = p.degree();
+    let dp = p.derivative();
+    let c = p.coeffs();
+
+    // Initial guesses: points on a circle of radius given by the Cauchy
+    // bound, slightly rotated off the real axis to break symmetry.
+    let lead = c[n].abs();
+    let radius = 1.0
+        + c[..n]
+            .iter()
+            .map(|v| (v / lead).abs())
+            .fold(0.0, f64::max);
+    let mut z: Vec<Complex> = (0..n)
+        .map(|k| {
+            let theta = 2.0 * std::f64::consts::PI * (k as f64 + 0.35) / n as f64 + 0.5;
+            Complex::from_polar(radius * 0.8, theta)
+        })
+        .collect();
+
+    for it in 0..MAX_ABERTH_ITERS {
+        let mut max_step = 0.0f64;
+        let snapshot = z.clone();
+        for i in 0..n {
+            let zi = snapshot[i];
+            let f = p.eval_complex(zi);
+            let d = dp.eval_complex(zi);
+            if f.abs() == 0.0 {
+                continue;
+            }
+            let newton = if d.abs() > 0.0 { f / d } else { Complex::new(1e-6, 1e-6) };
+            let mut repulsion = Complex::ZERO;
+            for (j, &zj) in snapshot.iter().enumerate() {
+                if j != i {
+                    let diff = zi - zj;
+                    if diff.abs() > 1e-300 {
+                        repulsion += diff.recip();
+                    }
+                }
+            }
+            let denom = Complex::ONE - newton * repulsion;
+            let step = if denom.abs() > 1e-300 { newton / denom } else { newton };
+            z[i] = zi - step;
+            let rel = step.abs() / zi.abs().max(1.0);
+            max_step = max_step.max(rel);
+        }
+        if max_step < 1e-14 {
+            return Ok(z);
+        }
+        if it == MAX_ABERTH_ITERS - 1 {
+            // Accept if residuals are small relative to coefficient scale.
+            let scale = p.max_coeff_abs();
+            let ok = z
+                .iter()
+                .all(|&zi| p.eval_complex(zi).abs() <= 1e-6 * scale * radius.powi(n as i32));
+            if ok {
+                return Ok(z);
+            }
+        }
+    }
+    Err(NumericError::NoConvergence {
+        iterations: MAX_ABERTH_ITERS,
+    })
+}
+
+/// Pairs nearly-conjugate roots and snaps them into exact conjugate form,
+/// and snaps nearly-real roots onto the real axis.
+///
+/// The QR/Aberth output for real-coefficient polynomials is conjugate only
+/// to rounding; downstream waveform evaluation (paper eq. (15)) relies on
+/// exact pairing so the time response is exactly real.
+pub fn symmetrize_conjugates(roots: &mut [Complex], tol: f64) {
+    let n = roots.len();
+    let mut used = vec![false; n];
+    for i in 0..n {
+        if used[i] {
+            continue;
+        }
+        if roots[i].is_approx_real(tol) {
+            roots[i] = Complex::real(roots[i].re);
+            used[i] = true;
+            continue;
+        }
+        // Find closest conjugate partner.
+        let target = roots[i].conj();
+        let mut best: Option<(usize, f64)> = None;
+        for (j, r) in roots.iter().enumerate().skip(i + 1) {
+            if used[j] {
+                continue;
+            }
+            let d = (*r - target).abs();
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((j, d));
+            }
+        }
+        if let Some((j, d)) = best {
+            if d <= tol * roots[i].abs().max(1.0) * 10.0 {
+                let re = 0.5 * (roots[i].re + roots[j].re);
+                let im = 0.5 * (roots[i].im.abs() + roots[j].im.abs());
+                let sign = roots[i].im.signum();
+                roots[i] = Complex::new(re, sign * im);
+                roots[j] = Complex::new(re, -sign * im);
+                used[i] = true;
+                used[j] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_roots_match(p: &Polynomial, expected: &[Complex], tol: f64) {
+        let mut r = roots(p).unwrap();
+        assert_eq!(r.len(), expected.len(), "root count mismatch: {r:?}");
+        let mut e = expected.to_vec();
+        let key = |z: &Complex| (z.re, z.im);
+        r.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+        e.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+        for (a, b) in r.iter().zip(&e) {
+            assert!(
+                (*a - *b).abs() <= tol * b.abs().max(1.0),
+                "root {a} != expected {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear() {
+        assert_roots_match(
+            &Polynomial::new(vec![6.0, 2.0]),
+            &[Complex::real(-3.0)],
+            1e-14,
+        );
+    }
+
+    #[test]
+    fn quadratic_real_and_complex() {
+        assert_roots_match(
+            &Polynomial::from_roots(&[-1.0, -4.0]),
+            &[Complex::real(-1.0), Complex::real(-4.0)],
+            1e-13,
+        );
+        // x² + 2x + 5 → -1 ± 2j
+        assert_roots_match(
+            &Polynomial::new(vec![5.0, 2.0, 1.0]),
+            &[Complex::new(-1.0, 2.0), Complex::new(-1.0, -2.0)],
+            1e-13,
+        );
+    }
+
+    #[test]
+    fn quadratic_cancellation_stability() {
+        // Roots 1e-8 and 1e8: naive formula loses the small root.
+        let p = Polynomial::new(vec![1.0, -(1e8 + 1e-8), 1.0]);
+        let r = roots(&p).unwrap();
+        assert!((r[0].re - 1e-8).abs() < 1e-16);
+        assert!((r[1].re - 1e8).abs() < 1e-2);
+    }
+
+    #[test]
+    fn cubic_all_real() {
+        assert_roots_match(
+            &Polynomial::from_roots(&[-1.0, -2.0, -5.0]),
+            &[
+                Complex::real(-1.0),
+                Complex::real(-2.0),
+                Complex::real(-5.0),
+            ],
+            1e-11,
+        );
+    }
+
+    #[test]
+    fn cubic_complex_pair() {
+        // (x+1)(x² + 2x + 10): roots -1, -1 ± 3j
+        let quad = Polynomial::new(vec![10.0, 2.0, 1.0]);
+        let p = &Polynomial::new(vec![1.0, 1.0]) * &quad;
+        assert_roots_match(
+            &p,
+            &[
+                Complex::real(-1.0),
+                Complex::new(-1.0, 3.0),
+                Complex::new(-1.0, -3.0),
+            ],
+            1e-11,
+        );
+    }
+
+    #[test]
+    fn cubic_triple_root() {
+        let p = Polynomial::from_roots(&[2.0, 2.0, 2.0]);
+        let r = roots(&p).unwrap();
+        for z in r {
+            assert!((z - Complex::real(2.0)).abs() < 1e-4, "triple root {z}");
+        }
+    }
+
+    #[test]
+    fn quartic_mixed() {
+        // (x²+1)(x²+3x+2): roots ±j, -1, -2.
+        let p = &Polynomial::new(vec![1.0, 0.0, 1.0]) * &Polynomial::from_roots(&[-1.0, -2.0]);
+        assert_roots_match(
+            &p,
+            &[
+                Complex::new(0.0, 1.0),
+                Complex::new(0.0, -1.0),
+                Complex::real(-1.0),
+                Complex::real(-2.0),
+            ],
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn quartic_biquadratic() {
+        // x⁴ - 5x² + 4 = (x²-1)(x²-4).
+        let p = Polynomial::new(vec![4.0, 0.0, -5.0, 0.0, 1.0]);
+        assert_roots_match(
+            &p,
+            &[
+                Complex::real(-2.0),
+                Complex::real(-1.0),
+                Complex::real(1.0),
+                Complex::real(2.0),
+            ],
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn quartic_two_complex_pairs() {
+        // (x²+2x+5)(x²+4x+13): roots -1±2j, -2±3j.
+        let p = &Polynomial::new(vec![5.0, 2.0, 1.0]) * &Polynomial::new(vec![13.0, 4.0, 1.0]);
+        assert_roots_match(
+            &p,
+            &[
+                Complex::new(-1.0, 2.0),
+                Complex::new(-1.0, -2.0),
+                Complex::new(-2.0, 3.0),
+                Complex::new(-2.0, -3.0),
+            ],
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn high_degree_aberth() {
+        let rs: Vec<f64> = (1..=8).map(|k| -(k as f64)).collect();
+        let p = Polynomial::from_roots(&rs);
+        let found = roots(&p).unwrap();
+        for (f, e) in found.iter().zip(rs.iter().rev().map(|&r| Complex::real(r))) {
+            // found sorted ascending (most negative first): -8, -7, ...
+            let _ = e;
+            assert!(f.im.abs() < 1e-6, "unexpected complex root {f}");
+        }
+        for &r in &rs {
+            assert!(
+                found.iter().any(|z| (z.re - r).abs() < 1e-6 && z.im.abs() < 1e-6),
+                "missing root {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_degree_with_complex_pairs() {
+        // Degree 6 with two complex pairs and two real roots.
+        let p1 = Polynomial::new(vec![2.0, 2.0, 1.0]); // -1 ± j
+        let p2 = Polynomial::new(vec![25.0, 6.0, 1.0]); // -3 ± 4j
+        let p3 = Polynomial::from_roots(&[-0.5, -7.0]);
+        let p = &(&p1 * &p2) * &p3;
+        let mut r = roots(&p).unwrap();
+        symmetrize_conjugates(&mut r, 1e-8);
+        assert_eq!(r.len(), 6);
+        for target in [
+            Complex::new(-1.0, 1.0),
+            Complex::new(-3.0, 4.0),
+            Complex::real(-0.5),
+            Complex::real(-7.0),
+        ] {
+            assert!(
+                r.iter().any(|z| (*z - target).abs() < 1e-6),
+                "missing root {target}; got {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_roots_deflated() {
+        // x²(x+3): roots 0, 0, -3.
+        let p = Polynomial::new(vec![0.0, 0.0, 3.0, 1.0]);
+        let r = roots(&p).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().filter(|z| z.abs() == 0.0).count(), 2);
+        assert!(r.iter().any(|z| (z.re + 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(matches!(
+            roots(&Polynomial::zero()),
+            Err(NumericError::Degenerate(_))
+        ));
+        assert!(matches!(
+            roots(&Polynomial::constant(2.0)),
+            Err(NumericError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn symmetrize_snaps_real_and_pairs() {
+        let mut r = vec![
+            Complex::new(-1.0, 1e-13),
+            Complex::new(-2.0, 0.5 + 1e-12),
+            Complex::new(-2.0 + 1e-12, -0.5),
+        ];
+        symmetrize_conjugates(&mut r, 1e-9);
+        assert_eq!(r[0].im, 0.0);
+        assert_eq!(r[1].re, r[2].re);
+        assert_eq!(r[1].im, -r[2].im);
+    }
+
+    #[test]
+    fn widely_spread_roots() {
+        // Time-constant-like spread over 6 decades (stiff circuit poles).
+        let rs = [-1.0, -1e2, -1e4, -1e6];
+        let p = Polynomial::from_roots(&rs);
+        let found = roots(&p).unwrap();
+        for &r in &rs {
+            assert!(
+                found
+                    .iter()
+                    .any(|z| ((z.re - r) / r).abs() < 1e-6 && z.im.abs() < 1e-9 * r.abs()),
+                "missing stiff root {r}: {found:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Sparse matrices in compressed-sparse-column (CSC) form.
+//!
+//! MNA conductance matrices are extremely sparse — a handful of entries
+//! per row regardless of circuit size — and the paper's cost model
+//! (factor once, resubstitute per moment, §3.2) only delivers its `O(n)`
+//! promise when the factorization respects that sparsity. This module
+//! provides the storage type; [`crate::sparse_lu`] provides the
+//! left-looking LU.
+
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+
+/// A sparse matrix in compressed-sparse-column form.
+///
+/// # Examples
+///
+/// ```
+/// use awe_numeric::SparseMatrix;
+///
+/// // [2 0; 1 3] from triplets (duplicates sum).
+/// let m = SparseMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 2.0), (1, 1, 1.0)]);
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![2.0, 4.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// Column pointers: entries of column `j` live at
+    /// `indices/values[col_ptr[j]..col_ptr[j+1]]`, rows sorted ascending.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds from `(row, col, value)` triplets; duplicate coordinates are
+    /// summed, exact zeros (after summing) are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+        }
+        // Count, bucket, sort within columns, sum duplicates.
+        let mut per_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cols];
+        for &(r, c, v) in triplets {
+            per_col[c].push((r, v));
+        }
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        let mut row_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        col_ptr.push(0);
+        for col in &mut per_col {
+            col.sort_by_key(|e| e.0);
+            let mut k = 0;
+            while k < col.len() {
+                let row = col[k].0;
+                let mut acc = 0.0;
+                while k < col.len() && col[k].0 == row {
+                    acc += col[k].1;
+                    k += 1;
+                }
+                if acc != 0.0 {
+                    row_idx.push(row);
+                    values.push(acc);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        SparseMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Converts a dense matrix, dropping exact zeros.
+    pub fn from_dense(m: &Matrix) -> Self {
+        let mut triplets = Vec::new();
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let v = m[(i, j)];
+                if v != 0.0 {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        SparseMatrix::from_triplets(m.rows(), m.cols(), &triplets)
+    }
+
+    /// Expands to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                m[(self.row_idx[k], j)] = self.values[k];
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(row indices, values)` of one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        assert!(j < self.cols, "column out of range");
+        let span = self.col_ptr[j]..self.col_ptr[j + 1];
+        (&self.row_idx[span.clone()], &self.values[span])
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                y[self.row_idx[k]] += self.values[k] * xj;
+            }
+        }
+        y
+    }
+
+    /// Symmetric permutation `P·A·Pᵀ`: entry `(i, j)` moves to
+    /// `(perm_new_of_old[i], perm_new_of_old[j])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the matrix is square and `perm` is a permutation of
+    /// `0..n`.
+    pub fn permute_symmetric(&self, new_of_old: &[usize]) -> SparseMatrix {
+        assert_eq!(self.rows, self.cols, "square required");
+        assert_eq!(new_of_old.len(), self.rows, "permutation length");
+        let mut seen = vec![false; self.rows];
+        for &p in new_of_old {
+            assert!(p < self.rows && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for j in 0..self.cols {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                triplets.push((new_of_old[self.row_idx[k]], new_of_old[j], self.values[k]));
+            }
+        }
+        SparseMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+
+    /// Reverse Cuthill–McKee ordering of the symmetrized sparsity pattern
+    /// — a classic bandwidth/fill-reducing permutation for the tree- and
+    /// mesh-like structures circuit matrices have. Returns `new_of_old`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::NotSquare`] for non-square matrices.
+    pub fn rcm_ordering(&self) -> Result<Vec<usize>, NumericError> {
+        if self.rows != self.cols {
+            return Err(NumericError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let n = self.rows;
+        // Symmetrized adjacency (pattern of A + Aᵀ, sans diagonal).
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for j in 0..n {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                let i = self.row_idx[k];
+                if i != j {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        let degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+
+        let mut order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Process components, starting each from a minimum-degree node.
+        loop {
+            let start = (0..n)
+                .filter(|&v| !visited[v])
+                .min_by_key(|&v| degree[v]);
+            let Some(start) = start else { break };
+            let mut queue = std::collections::VecDeque::new();
+            visited[start] = true;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                order.push(u);
+                let mut nbrs: Vec<usize> = adj[u]
+                    .iter()
+                    .copied()
+                    .filter(|&v| !visited[v])
+                    .collect();
+                nbrs.sort_by_key(|&v| degree[v]);
+                for v in nbrs {
+                    visited[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        // Reverse for RCM; convert old-order list to new_of_old.
+        order.reverse();
+        let mut new_of_old = vec![0usize; n];
+        for (new, &old) in order.iter().enumerate() {
+            new_of_old[old] = new;
+        }
+        Ok(new_of_old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_sum_and_drop_zeros() {
+        let m = SparseMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0), (1, 1, -5.0), (2, 0, 4.0)],
+        );
+        assert_eq!(m.nnz(), 2); // (0,0)=3 and (2,0)=4; (1,1) cancelled
+        let d = m.to_dense();
+        assert_eq!(d[(0, 0)], 3.0);
+        assert_eq!(d[(1, 1)], 0.0);
+        assert_eq!(d[(2, 0)], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn triplets_validate_range() {
+        let _ = SparseMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]]);
+        let s = SparseMatrix::from_dense(&d);
+        assert_eq!(s.nnz(), 5);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let d = Matrix::from_fn(5, 5, |i, j| {
+            if (i + 2 * j) % 3 == 0 {
+                (i + j + 1) as f64
+            } else {
+                0.0
+            }
+        });
+        let s = SparseMatrix::from_dense(&d);
+        let x = [1.0, -2.0, 0.5, 3.0, -1.0];
+        assert_eq!(s.mul_vec(&x), d.mul_vec(&x));
+    }
+
+    #[test]
+    fn column_access() {
+        let m = SparseMatrix::from_triplets(3, 2, &[(0, 1, 7.0), (2, 1, 9.0)]);
+        let (rows, vals) = m.col(1);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[7.0, 9.0]);
+        let (rows0, _) = m.col(0);
+        assert!(rows0.is_empty());
+    }
+
+    #[test]
+    fn symmetric_permutation() {
+        let d = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]]);
+        let s = SparseMatrix::from_dense(&d);
+        // Swap 0 and 2.
+        let p = s.permute_symmetric(&[2, 1, 0]).to_dense();
+        assert_eq!(p[(2, 2)], 1.0);
+        assert_eq!(p[(2, 1)], 2.0);
+        assert_eq!(p[(0, 2)], 4.0);
+        assert_eq!(p[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_of_a_path() {
+        // A path graph numbered badly: 0-4-1-3-2 chain.
+        let edges = [(0usize, 4usize), (4, 1), (1, 3), (3, 2)];
+        let mut t = Vec::new();
+        for &(a, b) in &edges {
+            t.push((a, b, 1.0));
+            t.push((b, a, 1.0));
+        }
+        for i in 0..5 {
+            t.push((i, i, 4.0));
+        }
+        let s = SparseMatrix::from_triplets(5, 5, &t);
+        let perm = s.rcm_ordering().unwrap();
+        let p = s.permute_symmetric(&perm);
+        // Bandwidth of the permuted matrix should be 1 (a path renumbered
+        // consecutively).
+        let d = p.to_dense();
+        let mut bw = 0usize;
+        for i in 0..5 {
+            for j in 0..5 {
+                if d[(i, j)] != 0.0 {
+                    bw = bw.max(i.abs_diff(j));
+                }
+            }
+        }
+        assert_eq!(bw, 1, "permuted matrix should be tridiagonal");
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_components() {
+        let s = SparseMatrix::from_triplets(
+            4,
+            4,
+            &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)],
+        );
+        let perm = s.rcm_ordering().unwrap();
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+}

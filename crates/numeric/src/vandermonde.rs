@@ -1,0 +1,302 @@
+//! Vandermonde systems for residue computation.
+//!
+//! Matching moments to the pole/residue model (paper eqs. (16)–(20)) leads
+//! to the system `∇·k = -m_l`, where `∇` is the Vandermonde matrix in the
+//! *reciprocal* poles (eq. (19)):
+//!
+//! ```text
+//! ⎡ 1        1        …  1       ⎤
+//! ⎢ p₁⁻¹     p₂⁻¹     …  p_q⁻¹   ⎥
+//! ⎢ …                            ⎥
+//! ⎣ p₁^{-q+1} …          p_q^{-q+1} ⎦
+//! ```
+//!
+//! When poles repeat, `∇` is singular by definition and the *confluent*
+//! system of eqs. (26)–(29) applies; [`solve_confluent_vandermonde`]
+//! implements it for arbitrary multiplicities.
+
+use crate::clinalg::CMatrix;
+use crate::complex::Complex;
+use crate::error::NumericError;
+
+/// Builds the Vandermonde matrix of eq. (19): row `j` holds `node_l^j`.
+///
+/// Note the paper's nodes are reciprocal poles `p_l⁻¹`; the caller chooses
+/// what to pass.
+pub fn vandermonde_matrix(nodes: &[Complex]) -> CMatrix {
+    let q = nodes.len();
+    CMatrix::from_fn(q, q, |j, l| nodes[l].powi(j as i32))
+}
+
+/// Solves the (dual) Vandermonde system `Σ_l node_lʲ · x_l = rhs_j` for
+/// `j = 0..q-1`.
+///
+/// # Errors
+///
+/// * [`NumericError::DimensionMismatch`] if `rhs.len() != nodes.len()`.
+/// * [`NumericError::Singular`] if nodes coincide — use
+///   [`solve_confluent_vandermonde`] in that case.
+///
+/// # Examples
+///
+/// ```
+/// use awe_numeric::{solve_vandermonde, Complex};
+/// # fn main() -> Result<(), awe_numeric::NumericError> {
+/// // x₁ + x₂ = 3, 1·x₁ + 2·x₂ = 5  →  x = (1, 2)
+/// let nodes = [Complex::real(1.0), Complex::real(2.0)];
+/// let x = solve_vandermonde(&nodes, &[Complex::real(3.0), Complex::real(5.0)])?;
+/// assert!((x[0].re - 1.0).abs() < 1e-12);
+/// assert!((x[1].re - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_vandermonde(
+    nodes: &[Complex],
+    rhs: &[Complex],
+) -> Result<Vec<Complex>, NumericError> {
+    if nodes.len() != rhs.len() {
+        return Err(NumericError::DimensionMismatch {
+            expected: nodes.len(),
+            actual: rhs.len(),
+        });
+    }
+    if nodes.is_empty() {
+        return Ok(Vec::new());
+    }
+    vandermonde_matrix(nodes).solve(rhs)
+}
+
+/// One group of a confluent system: a node with its multiplicity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfluentNode {
+    /// The (possibly repeated) node value.
+    pub node: Complex,
+    /// Multiplicity ≥ 1.
+    pub multiplicity: usize,
+}
+
+/// Solves the *confluent* Vandermonde system arising for repeated poles
+/// (paper eqs. (26)–(29)).
+///
+/// For a node `x` of multiplicity `r`, the unknowns are the coefficients
+/// `k₁ … k_r` of `k₁/(s-p)^r + … + k_r/(s-p)` and the matched rows are the
+/// Maclaurin coefficients of those terms. Expanding
+/// `1/(s-p)^m = Σ_j C(j+m-1, m-1) · (-1)^m · s^j / p^{j+m}` gives row `j`
+/// entries `(-1)^m · C(j+m-1, m-1) / p^{j+m}` — exactly the pattern of the
+/// paper's eq. (28) for `r = 2` (up to the common sign convention chosen by
+/// the caller).
+///
+/// Here we solve the generic moment form: find `x` such that for
+/// `j = 0..q-1`:
+///
+/// ```text
+/// Σ_groups Σ_{m=1..r}  x_{g,m} · C(j + m - 1, m - 1) · node_g^{j} = rhs_j
+/// ```
+///
+/// i.e. the repeated-node columns are derivatives of the plain Vandermonde
+/// column (the standard confluent construction). For multiplicity 1 this
+/// reduces exactly to [`solve_vandermonde`].
+///
+/// # Errors
+///
+/// * [`NumericError::DimensionMismatch`] if `Σ multiplicities ≠ rhs.len()`.
+/// * [`NumericError::Singular`] if distinct groups share a node.
+pub fn solve_confluent_vandermonde(
+    groups: &[ConfluentNode],
+    rhs: &[Complex],
+) -> Result<Vec<Complex>, NumericError> {
+    let q: usize = groups.iter().map(|g| g.multiplicity).sum();
+    if q != rhs.len() {
+        return Err(NumericError::DimensionMismatch {
+            expected: q,
+            actual: rhs.len(),
+        });
+    }
+    if q == 0 {
+        return Ok(Vec::new());
+    }
+    let mut m = CMatrix::zeros(q, q);
+    let mut col = 0usize;
+    for g in groups {
+        for d in 0..g.multiplicity {
+            // Column is the d-th "derivative-style" column:
+            // entry_j = C(j, d) · node^{j - d}  (zero for j < d).
+            for j in 0..q {
+                m[(j, col)] = if j < d {
+                    Complex::ZERO
+                } else {
+                    Complex::real(binomial(j, d)) * g.node.powi((j - d) as i32)
+                };
+            }
+            col += 1;
+        }
+    }
+    m.solve(rhs)
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_solve_matches_interpolation_moments() {
+        // Known weights: x = (2, -1, 0.5) at nodes (0.5, -1, 3).
+        let nodes = [
+            Complex::real(0.5),
+            Complex::real(-1.0),
+            Complex::real(3.0),
+        ];
+        let x_true = [
+            Complex::real(2.0),
+            Complex::real(-1.0),
+            Complex::real(0.5),
+        ];
+        let rhs: Vec<Complex> = (0..3)
+            .map(|j| {
+                nodes
+                    .iter()
+                    .zip(&x_true)
+                    .map(|(n, x)| n.powi(j) * *x)
+                    .sum()
+            })
+            .collect();
+        let x = solve_vandermonde(&nodes, &rhs).unwrap();
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn complex_nodes() {
+        let nodes = [Complex::new(-1.0, 2.0), Complex::new(-1.0, -2.0)];
+        let x_true = [Complex::new(0.5, -0.25), Complex::new(0.5, 0.25)];
+        let rhs: Vec<Complex> = (0..2)
+            .map(|j| {
+                nodes
+                    .iter()
+                    .zip(&x_true)
+                    .map(|(n, x)| n.powi(j) * *x)
+                    .sum()
+            })
+            .collect();
+        let x = solve_vandermonde(&nodes, &rhs).unwrap();
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+        // Conjugate weights on conjugate nodes → real moments.
+        assert!(rhs.iter().all(|r| r.im.abs() < 1e-12));
+    }
+
+    #[test]
+    fn repeated_nodes_are_singular() {
+        let nodes = [Complex::real(1.0), Complex::real(1.0)];
+        assert!(matches!(
+            solve_vandermonde(&nodes, &[Complex::ONE, Complex::ONE]),
+            Err(NumericError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        assert!(solve_vandermonde(&[Complex::ONE], &[]).is_err());
+        assert!(solve_confluent_vandermonde(
+            &[ConfluentNode {
+                node: Complex::ONE,
+                multiplicity: 2
+            }],
+            &[Complex::ONE]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_system() {
+        assert!(solve_vandermonde(&[], &[]).unwrap().is_empty());
+        assert!(solve_confluent_vandermonde(&[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn confluent_reduces_to_plain_for_simple_nodes() {
+        let nodes = [Complex::real(0.5), Complex::real(2.0)];
+        let rhs = [Complex::real(1.0), Complex::real(-1.0)];
+        let plain = solve_vandermonde(&nodes, &rhs).unwrap();
+        let groups: Vec<ConfluentNode> = nodes
+            .iter()
+            .map(|&n| ConfluentNode {
+                node: n,
+                multiplicity: 1,
+            })
+            .collect();
+        let conf = solve_confluent_vandermonde(&groups, &rhs).unwrap();
+        for (a, b) in plain.iter().zip(&conf) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn confluent_double_node() {
+        // Verify against a directly-built 3x3 system with a double node at
+        // x=2 (cols: [x^j], [j·x^{j-1}]) and a simple node at x=-1.
+        let groups = [
+            ConfluentNode {
+                node: Complex::real(2.0),
+                multiplicity: 2,
+            },
+            ConfluentNode {
+                node: Complex::real(-1.0),
+                multiplicity: 1,
+            },
+        ];
+        let x_true = [
+            Complex::real(1.0),
+            Complex::real(0.5),
+            Complex::real(-2.0),
+        ];
+        // rhs_j = x0·2^j + x1·C(j,1)·2^{j-1} + x2·(-1)^j
+        let rhs: Vec<Complex> = (0..3)
+            .map(|j| {
+                let t0 = Complex::real(2.0).powi(j) * x_true[0];
+                let t1 = if j >= 1 {
+                    Complex::real(j as f64) * Complex::real(2.0).powi(j - 1) * x_true[1]
+                } else {
+                    Complex::ZERO
+                };
+                let t2 = Complex::real(-1.0).powi(j) * x_true[2];
+                t0 + t1 + t2
+            })
+            .collect();
+        let x = solve_confluent_vandermonde(&groups, &rhs).unwrap();
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((*a - *b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(3, 4), 0.0);
+        assert_eq!(binomial(10, 5), 252.0);
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let m = vandermonde_matrix(&[Complex::real(2.0), Complex::real(3.0)]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m[(0, 0)], Complex::ONE);
+        assert_eq!(m[(1, 1)], Complex::real(3.0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Waveform comparison metrics: AWE versus the reference simulation.
+//!
+//! The paper reports per-figure error terms (§3.4) and delay agreements;
+//! these helpers measure the same quantities against the simulated
+//! waveform so EXPERIMENTS.md can print paper-vs-measured rows.
+
+use awe_circuit::NodeId;
+
+use crate::transient::TransientResult;
+
+/// Relative `L²` error of an approximation `f` against the simulated
+/// waveform of `node`, integrated over the simulated samples with the
+/// trapezoidal rule and normalized by the waveform's *transition energy*
+/// (deviation from its final value, which is the transient the paper's
+/// error term measures).
+///
+/// Returns `None` if the reference transition energy is zero.
+pub fn relative_l2_vs_sim(
+    sim: &TransientResult,
+    node: NodeId,
+    f: impl Fn(f64) -> f64,
+) -> Option<f64> {
+    let wave = sim.waveform(node);
+    if wave.len() < 2 {
+        return None;
+    }
+    let v_final = wave.last().expect("non-empty").1;
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for w in wave.windows(2) {
+        let ((t0, v0), (t1, v1)) = (w[0], w[1]);
+        let dt = t1 - t0;
+        let d0 = v0 - f(t0);
+        let d1 = v1 - f(t1);
+        num += 0.5 * (d0 * d0 + d1 * d1) * dt;
+        let e0 = v0 - v_final;
+        let e1 = v1 - v_final;
+        den += 0.5 * (e0 * e0 + e1 * e1) * dt;
+    }
+    if den <= 0.0 {
+        return None;
+    }
+    Some((num / den).sqrt())
+}
+
+/// Maximum absolute deviation between `f` and the simulated waveform over
+/// the simulated samples.
+pub fn max_abs_vs_sim(sim: &TransientResult, node: NodeId, f: impl Fn(f64) -> f64) -> f64 {
+    sim.waveform(node)
+        .iter()
+        .map(|&(t, v)| (v - f(t)).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::{simulate, TransientOptions};
+    use awe_circuit::{Circuit, Waveform, GROUND};
+
+    fn rc() -> (Circuit, NodeId, f64) {
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 5.0)).unwrap();
+        ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+        ckt.add_capacitor("C1", n1, GROUND, 1e-9).unwrap();
+        (ckt, n1, 1e-6)
+    }
+
+    #[test]
+    fn analytic_model_scores_near_zero() {
+        let (ckt, n1, tau) = rc();
+        let sim = simulate(&ckt, TransientOptions::new(6.0 * tau)).unwrap();
+        let err = relative_l2_vs_sim(&sim, n1, |t| 5.0 * (1.0 - (-t / tau).exp())).unwrap();
+        assert!(err < 1e-3, "err = {err}");
+        let worst = max_abs_vs_sim(&sim, n1, |t| 5.0 * (1.0 - (-t / tau).exp()));
+        assert!(worst < 5e-3, "worst = {worst}");
+    }
+
+    #[test]
+    fn wrong_model_scores_large() {
+        let (ckt, n1, tau) = rc();
+        let sim = simulate(&ckt, TransientOptions::new(6.0 * tau)).unwrap();
+        // Model with 3x too slow a time constant.
+        let err =
+            relative_l2_vs_sim(&sim, n1, |t| 5.0 * (1.0 - (-t / (3.0 * tau)).exp())).unwrap();
+        assert!(err > 0.3, "err = {err}");
+    }
+
+    #[test]
+    fn flat_reference_rejected() {
+        let (ckt, _, tau) = rc();
+        let sim = simulate(&ckt, TransientOptions::new(6.0 * tau)).unwrap();
+        // Ground is identically zero → zero transition energy.
+        assert_eq!(relative_l2_vs_sim(&sim, GROUND, |_| 0.0), None);
+    }
+}

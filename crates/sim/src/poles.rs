@@ -1,0 +1,146 @@
+//! Exact natural frequencies of a circuit.
+//!
+//! The "actual" pole columns of the paper's Tables I and II come from the
+//! full eigen-spectrum of the circuit. In descriptor form the natural
+//! frequencies are the finite generalized eigenvalues of the pencil
+//! `(G, C)`: from `(G + sC)x = 0`, a nonzero eigenvalue `μ` of
+//! `M = G⁻¹·C` corresponds to the pole `s = -1/μ`, while `μ ≈ 0`
+//! eigenvalues are the "infinitely fast" modes of non-dynamic unknowns.
+
+use awe_circuit::Circuit;
+use awe_mna::{MnaSystem, MomentEngine};
+use awe_numeric::{eigenvalues, Complex};
+
+use crate::error::SimError;
+
+/// Computes all finite poles (natural frequencies) of the circuit, sorted
+/// dominant-first (largest real part first).
+///
+/// Eigenvalues of `G⁻¹C` whose magnitude is below `1e-12` of the largest
+/// are treated as the infinite modes of algebraic (non-state) unknowns and
+/// dropped.
+///
+/// # Errors
+///
+/// * [`SimError::Mna`] if the circuit has no DC solution.
+/// * [`SimError::Numeric`] if the eigen iteration fails.
+///
+/// # Examples
+///
+/// ```
+/// use awe_circuit::{Circuit, Waveform, GROUND};
+/// use awe_sim::exact_poles;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ckt = Circuit::new();
+/// let n_in = ckt.node("in");
+/// let n1 = ckt.node("n1");
+/// ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 5.0))?;
+/// ckt.add_resistor("R1", n_in, n1, 1e3)?;
+/// ckt.add_capacitor("C1", n1, GROUND, 1e-9)?;
+/// let poles = exact_poles(&ckt)?;
+/// assert_eq!(poles.len(), 1);
+/// assert!((poles[0].re + 1e6).abs() < 1.0); // -1/RC
+/// # Ok(())
+/// # }
+/// ```
+pub fn exact_poles(circuit: &Circuit) -> Result<Vec<Complex>, SimError> {
+    let sys = MnaSystem::build(circuit)?;
+    let engine = MomentEngine::new(&sys)?;
+    let m = engine.g_inv_c()?;
+    let eig = eigenvalues(&m)?;
+    let max_mu = eig.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+    if max_mu == 0.0 {
+        return Ok(Vec::new());
+    }
+    let mut poles: Vec<Complex> = eig
+        .into_iter()
+        .filter(|mu| mu.abs() > 1e-12 * max_mu)
+        .map(|mu| -mu.recip())
+        .collect();
+    awe_numeric::symmetrize_conjugates(&mut poles, 1e-7);
+    poles.sort_by(|a, b| {
+        b.re.partial_cmp(&a.re)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.im.partial_cmp(&b.im).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    Ok(poles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awe_circuit::papers::{fig16, fig25, fig4};
+    use awe_circuit::Waveform;
+
+    fn step5() -> Waveform {
+        Waveform::step(0.0, 5.0)
+    }
+
+    #[test]
+    fn fig4_has_four_real_poles() {
+        let p = fig4(step5());
+        let poles = exact_poles(&p.circuit).unwrap();
+        assert_eq!(poles.len(), 4);
+        for z in &poles {
+            assert!(z.im == 0.0, "RC circuits have real poles: {z}");
+            assert!(z.re < 0.0);
+        }
+        // Dominant pole near -1/T_D (T_D = 0.7 ms) but not equal: Elmore
+        // is an approximation.
+        let dom = poles[0].re;
+        assert!((-2.5e3..-1.0e3).contains(&dom), "dominant {dom}");
+    }
+
+    #[test]
+    fn fig16_pole_spread_matches_table1_shape() {
+        // Table I's actual poles run -1.78e9 … -1.64e13: four decades.
+        let p = fig16(step5(), None);
+        let poles = exact_poles(&p.circuit).unwrap();
+        assert_eq!(poles.len(), 10);
+        let dom = poles[0].re.abs();
+        let fastest = poles.last().unwrap().re.abs();
+        assert!(
+            (5e8..6e9).contains(&dom),
+            "dominant pole {dom} out of the paper's regime"
+        );
+        assert!(
+            fastest / dom > 1e3,
+            "stiffness ratio {} too small",
+            fastest / dom
+        );
+    }
+
+    #[test]
+    fn fig25_three_complex_pairs() {
+        let p = fig25(step5());
+        let poles = exact_poles(&p.circuit).unwrap();
+        assert_eq!(poles.len(), 6);
+        let complex_count = poles.iter().filter(|z| z.im != 0.0).count();
+        assert_eq!(complex_count, 6, "expected all-complex spectrum: {poles:?}");
+        // Conjugate symmetry.
+        for z in &poles {
+            assert!(
+                poles.iter().any(|w| (*w - z.conj()).abs() < 1e-3 * z.abs()),
+                "unpaired pole {z}"
+            );
+        }
+        // Ring frequencies spread by several octaves (Table II shape:
+        // 2.6e9 → 1.6e10).
+        let mut freqs: Vec<f64> = poles.iter().map(|z| z.im.abs()).collect();
+        freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(freqs[5] / freqs[0] > 3.0, "frequency spread {freqs:?}");
+    }
+
+    #[test]
+    fn pure_resistive_circuit_has_no_poles() {
+        use awe_circuit::GROUND;
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0)).unwrap();
+        let n2 = ckt.node("n2");
+        ckt.add_resistor("R1", n1, n2, 1.0).unwrap();
+        ckt.add_resistor("R2", n2, GROUND, 1.0).unwrap();
+        assert!(exact_poles(&ckt).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,459 @@
+//! Reference transient simulation.
+//!
+//! This is the workspace's substitute for the paper's SPICE2 comparator
+//! (DESIGN.md §4): for *linear* circuits, trapezoidal integration of the
+//! MNA descriptor system is exactly the algorithm SPICE applies, so a
+//! tight-tolerance run here is a faithful "exact" waveform. Adaptive step
+//! doubling controls the local truncation error; the implicit system
+//! matrix `G + (2/h)·C` is LU-factored once per step size and reused.
+
+use awe_circuit::{Circuit, NodeId};
+use awe_mna::{MnaSystem, MomentEngine};
+use awe_numeric::Lu;
+
+use crate::error::SimError;
+
+/// Integration method.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Method {
+    /// Trapezoidal rule (A-stable, second order) — SPICE2's default.
+    #[default]
+    Trapezoidal,
+    /// Backward Euler (L-stable, first order) — useful to damp
+    /// trapezoidal ringing on ideal discontinuities.
+    BackwardEuler,
+}
+
+/// Options for a transient run.
+#[derive(Clone, Copy, Debug)]
+pub struct TransientOptions {
+    /// End time of the simulation (start is always `t = 0`).
+    pub t_stop: f64,
+    /// Relative local-truncation-error tolerance per step.
+    pub tol: f64,
+    /// Integration method.
+    pub method: Method,
+    /// Maximum number of accepted steps (safety valve).
+    pub max_steps: usize,
+}
+
+impl TransientOptions {
+    /// Tight-tolerance defaults for a given stop time.
+    pub fn new(t_stop: f64) -> Self {
+        TransientOptions {
+            t_stop,
+            tol: 1e-6,
+            method: Method::Trapezoidal,
+            max_steps: 2_000_000,
+        }
+    }
+}
+
+/// Result of a transient run: time points and all node voltages.
+#[derive(Clone, Debug)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// `values[k][node]` = voltage of `node` at `times[k]` (ground
+    /// included, always 0).
+    values: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// The accepted time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of accepted steps.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when the run produced no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Waveform of one node as `(t, v)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn waveform(&self, node: NodeId) -> Vec<(f64, f64)> {
+        self.times
+            .iter()
+            .zip(&self.values)
+            .map(|(&t, row)| (t, row[node]))
+            .collect()
+    }
+
+    /// Linearly interpolated voltage of `node` at time `t` (clamped to
+    /// the simulated range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or the result is empty.
+    pub fn value_at(&self, node: NodeId, t: f64) -> f64 {
+        assert!(!self.times.is_empty(), "empty transient result");
+        if t <= self.times[0] {
+            return self.values[0][node];
+        }
+        if t >= *self.times.last().expect("non-empty") {
+            return self.values.last().expect("non-empty")[node];
+        }
+        // Binary search for the bracketing interval.
+        let mut lo = 0usize;
+        let mut hi = self.times.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.times[mid] <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (t0, t1) = (self.times[lo], self.times[hi]);
+        let (v0, v1) = (self.values[lo][node], self.values[hi][node]);
+        if t1 == t0 {
+            v1
+        } else {
+            v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        }
+    }
+
+    /// First time the node's waveform crosses `level` (linear
+    /// interpolation between samples), or `None`.
+    pub fn threshold_crossing(&self, node: NodeId, level: f64) -> Option<f64> {
+        let mut prev: Option<(f64, f64)> = None;
+        for (&t, row) in self.times.iter().zip(&self.values) {
+            let v = row[node];
+            if let Some((tp, vp)) = prev {
+                if (vp - level) == 0.0 {
+                    return Some(tp);
+                }
+                if (vp - level).signum() != (v - level).signum() {
+                    let frac = (level - vp) / (v - vp);
+                    return Some(tp + frac * (t - tp));
+                }
+            }
+            prev = Some((t, v));
+        }
+        None
+    }
+
+    /// Measured 50 % delay of the node: first crossing of the midpoint
+    /// between the initial and final simulated values.
+    pub fn delay_50(&self, node: NodeId) -> Option<f64> {
+        let v0 = self.values.first()?[node];
+        let vf = self.values.last()?[node];
+        if vf == v0 {
+            return None;
+        }
+        self.threshold_crossing(node, v0 + 0.5 * (vf - v0))
+    }
+}
+
+/// Runs a transient simulation of the circuit from `t = 0` (initial
+/// conditions and the sources' `t = 0⁺` values applied) to
+/// `options.t_stop`.
+///
+/// # Errors
+///
+/// * [`SimError::Mna`] for assembly/DC failures (no DC solution, …).
+/// * [`SimError::StepLimit`] if the step budget is exhausted.
+/// * [`SimError::StepUnderflow`] if LTE control drives the step below
+///   `~1e-18·t_stop` (a pathological circuit).
+pub fn simulate(circuit: &Circuit, options: TransientOptions) -> Result<TransientResult, SimError> {
+    let sys = MnaSystem::build(circuit)?;
+    let engine = MomentEngine::new(&sys)?;
+    let state = engine.initial_state()?;
+    let u0 = sys.source_values_at(0.0);
+    let mut x = engine.instantaneous(&state, &u0)?;
+    let n = sys.num_unknowns();
+
+    // Breakpoints of all source waveforms inside (0, t_stop): steps must
+    // land on them exactly.
+    let mut breakpoints: Vec<f64> = sys
+        .sources
+        .iter()
+        .flat_map(|s| s.waveform.points().iter().map(|p| p.0))
+        .filter(|&t| t > 0.0 && t < options.t_stop)
+        .collect();
+    breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    breakpoints.dedup();
+    breakpoints.push(options.t_stop);
+
+    let mut times = vec![0.0];
+    let node_count = circuit.num_nodes();
+    let extract = |x: &[f64]| -> Vec<f64> {
+        (0..node_count)
+            .map(|node| sys.unknown_of_node(node).map_or(0.0, |i| x[i]))
+            .collect()
+    };
+    let mut values = vec![extract(&x)];
+
+    let mut t = 0.0f64;
+    let mut h = options.t_stop / 1e4;
+    let h_min = options.t_stop * 1e-18;
+    let mut steps = 0usize;
+    let mut cache: StepCache = StepCache::new();
+
+    let mut bp_iter = breakpoints.into_iter();
+    let mut next_bp = bp_iter.next().unwrap_or(options.t_stop);
+
+    while t < options.t_stop {
+        if steps >= options.max_steps {
+            return Err(SimError::StepLimit {
+                steps: options.max_steps,
+            });
+        }
+        steps += 1;
+        // Clamp to the next breakpoint.
+        let h_eff = h.min(next_bp - t).max(h_min);
+
+        // One full step vs two half steps for LTE estimation.
+        let x_full = step(&sys, &mut cache, options.method, &x, t, h_eff)?;
+        let x_half = step(&sys, &mut cache, options.method, &x, t, h_eff / 2.0)?;
+        let x_two = step(&sys, &mut cache, options.method, &x_half, t + h_eff / 2.0, h_eff / 2.0)?;
+
+        // LTE estimate: difference between the two solutions.
+        let mut err = 0.0f64;
+        let mut scale = 1e-9f64;
+        for i in 0..n {
+            err = err.max((x_full[i] - x_two[i]).abs());
+            scale = scale.max(x_two[i].abs());
+        }
+        let rel = err / scale;
+
+        if rel > options.tol && h_eff > h_min * 2.0 {
+            // Reject and retry with half the step.
+            h = (h_eff / 2.0).max(h_min);
+            if h <= h_min {
+                return Err(SimError::StepUnderflow { at: t });
+            }
+            continue;
+        }
+
+        // Accept (use the more accurate two-half-steps solution).
+        t += h_eff;
+        x = x_two;
+        times.push(t);
+        values.push(extract(&x));
+        if (t - next_bp).abs() <= f64::EPSILON * options.t_stop {
+            t = next_bp;
+            next_bp = bp_iter.next().unwrap_or(options.t_stop);
+        }
+        // Grow the step when comfortably under tolerance.
+        if rel < options.tol / 4.0 {
+            h = (h_eff * 2.0).min(options.t_stop / 100.0);
+        } else {
+            h = h_eff;
+        }
+    }
+
+    Ok(TransientResult { times, values })
+}
+
+/// Cached implicit-matrix factorizations keyed by step size.
+struct StepCache {
+    entries: Vec<(f64, Method, Lu)>,
+}
+
+impl StepCache {
+    fn new() -> Self {
+        StepCache {
+            entries: Vec::new(),
+        }
+    }
+
+    fn factor(
+        &mut self,
+        sys: &MnaSystem,
+        method: Method,
+        h: f64,
+    ) -> Result<&Lu, SimError> {
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|(hh, mm, _)| *hh == h && *mm == method)
+        {
+            return Ok(&self.entries[pos].2);
+        }
+        let k = match method {
+            Method::Trapezoidal => 2.0 / h,
+            Method::BackwardEuler => 1.0 / h,
+        };
+        let a = &sys.g + &sys.c.scaled(k);
+        let lu = Lu::factor(&a).map_err(awe_mna::MnaError::from)?;
+        if self.entries.len() >= 8 {
+            self.entries.remove(0);
+        }
+        self.entries.push((h, method, lu));
+        Ok(&self.entries.last().expect("just pushed").2)
+    }
+}
+
+/// One implicit integration step from `(t, x)` over `h`.
+fn step(
+    sys: &MnaSystem,
+    cache: &mut StepCache,
+    method: Method,
+    x: &[f64],
+    t: f64,
+    h: f64,
+) -> Result<Vec<f64>, SimError> {
+    let u_next = sys.source_values_at(t + h);
+    let mut rhs = sys.b_times(&u_next);
+    match method {
+        Method::Trapezoidal => {
+            // (G + 2C/h)x₊ = B u₊ + (2/h)C x + (B u − G x).
+            let cx = sys.c_times(x);
+            let u_now = sys.source_values_at(t);
+            let bu = sys.b_times(&u_now);
+            let gx = sys.g.mul_vec(x);
+            for i in 0..rhs.len() {
+                rhs[i] += 2.0 / h * cx[i] + bu[i] - gx[i];
+            }
+        }
+        Method::BackwardEuler => {
+            // (G + C/h)x₊ = B u₊ + (1/h)C x.
+            let cx = sys.c_times(x);
+            for i in 0..rhs.len() {
+                rhs[i] += cx[i] / h;
+            }
+        }
+    }
+    let lu = cache.factor(sys, method, h)?;
+    Ok(lu.solve(&rhs).map_err(awe_mna::MnaError::from)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awe_circuit::{Waveform, GROUND};
+
+    fn rc_circuit(r: f64, c: f64, wf: Waveform) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, wf).unwrap();
+        ckt.add_resistor("R1", n_in, n1, r).unwrap();
+        ckt.add_capacitor("C1", n1, GROUND, c).unwrap();
+        (ckt, n1)
+    }
+
+    #[test]
+    fn rc_step_matches_analytic() {
+        let tau = 1e-6;
+        let (ckt, n1) = rc_circuit(1e3, 1e-9, Waveform::step(0.0, 5.0));
+        // 12τ window so the final sample is settled and the measured 50 %
+        // level is the true midpoint.
+        let res = simulate(&ckt, TransientOptions::new(12.0 * tau)).unwrap();
+        for &t in &[0.2e-6, 1e-6, 3e-6] {
+            let exact = 5.0 * (1.0 - (-t / tau).exp());
+            let got = res.value_at(n1, t);
+            assert!((got - exact).abs() < 5e-4 * 5.0, "t={t}: {got} vs {exact}");
+        }
+        let d = res.delay_50(n1).unwrap();
+        assert!((d - tau * 2.0f64.ln()).abs() < 2e-9, "d = {d}");
+    }
+
+    #[test]
+    fn backward_euler_also_converges() {
+        let tau = 1e-6;
+        let (ckt, n1) = rc_circuit(1e3, 1e-9, Waveform::step(0.0, 5.0));
+        let mut opts = TransientOptions::new(5.0 * tau);
+        opts.method = Method::BackwardEuler;
+        opts.tol = 1e-5;
+        let res = simulate(&ckt, opts).unwrap();
+        let exact = 5.0 * (1.0 - (-1.0f64).exp());
+        assert!((res.value_at(n1, tau) - exact).abs() < 0.02);
+    }
+
+    #[test]
+    fn ramp_input_tracks_breakpoints() {
+        let (ckt, n1) = rc_circuit(1e3, 1e-9, Waveform::rising_step(0.0, 5.0, 1e-6));
+        let res = simulate(&ckt, TransientOptions::new(10e-6)).unwrap();
+        // A breakpoint sample exists at exactly t = 1 µs.
+        assert!(res.times().iter().any(|&t| (t - 1e-6).abs() < 1e-18));
+        // Analytic ramp response: v = s(t - τ + τ e^{-t/τ}) during ramp.
+        let (tau, s): (f64, f64) = (1e-6, 5e6);
+        let t = 0.7e-6;
+        let exact = s * (t - tau + tau * (-t / tau).exp());
+        assert!((res.value_at(n1, t) - exact).abs() < 5e-3);
+        // Settles at 5 V (9 τ after the ramp ends).
+        assert!((res.value_at(n1, 10e-6) - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn initial_condition_decay() {
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0)).unwrap();
+        ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(3.0)).unwrap();
+        let res = simulate(&ckt, TransientOptions::new(5e-6)).unwrap();
+        assert!((res.value_at(n1, 0.0) - 3.0).abs() < 1e-9);
+        let exact = 3.0 * (-1.0f64).exp();
+        assert!((res.value_at(n1, 1e-6) - exact).abs() < 2e-3);
+    }
+
+    #[test]
+    fn rlc_ringing_conserves_shape() {
+        // Series RLC, underdamped: check frequency and decay of ringing.
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let na = ckt.node("na");
+        let n1 = ckt.node("n1");
+        let (r, l, c) = (1.0, 1e-9, 1e-12);
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+        ckt.add_resistor("R1", n_in, na, r).unwrap();
+        ckt.add_inductor("L1", na, n1, l).unwrap();
+        ckt.add_capacitor("C1", n1, GROUND, c).unwrap();
+        let w0 = 1.0 / (l * c).sqrt();
+        let res = simulate(&ckt, TransientOptions::new(20.0 / w0 * std::f64::consts::TAU)).unwrap();
+        // Analytic: v = 1 - e^{-αt}(cos ωd t + α/ωd sin ωd t).
+        let alpha = r / (2.0 * l);
+        let wd = (w0 * w0 - alpha * alpha).sqrt();
+        for &t in &[0.5e-10, 2e-10, 1e-9] {
+            let exact =
+                1.0 - (-alpha * t).exp() * ((wd * t).cos() + alpha / wd * (wd * t).sin());
+            let got = res.value_at(n1, t);
+            assert!((got - exact).abs() < 5e-3, "t={t}: {got} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn stiff_circuit_completes() {
+        // Widely separated time constants (the Fig. 16 regime).
+        use awe_circuit::papers::fig16;
+        let p = fig16(Waveform::rising_step(0.0, 5.0, 1e-9), None);
+        let res = simulate(&p.circuit, TransientOptions::new(5e-9)).unwrap();
+        assert!((res.value_at(p.output, 5e-9) - 5.0).abs() < 0.05);
+        assert!(res.len() > 100);
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let (ckt, n1) = rc_circuit(1e3, 1e-9, Waveform::step(0.0, 1.0));
+        let res = simulate(&ckt, TransientOptions::new(1e-6)).unwrap();
+        // Clamps outside the range.
+        assert_eq!(res.value_at(n1, -1.0), res.value_at(n1, 0.0));
+        let last = res.value_at(n1, 1e-6);
+        assert_eq!(res.value_at(n1, 1.0), last);
+        assert!(!res.is_empty());
+        assert!(res.waveform(n1).len() == res.len());
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let (ckt, _) = rc_circuit(1e3, 1e-9, Waveform::step(0.0, 1.0));
+        let mut opts = TransientOptions::new(1e-6);
+        opts.max_steps = 3;
+        assert!(matches!(
+            simulate(&ckt, opts),
+            Err(SimError::StepLimit { steps: 3 })
+        ));
+    }
+}

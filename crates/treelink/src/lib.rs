@@ -1,0 +1,809 @@
+//! # awe-treelink
+//!
+//! Tree/link analysis (paper §IV): the `O(n)` *tree walk* computation of
+//! steady states and moments for RC trees, generalized — exactly as the
+//! paper describes — to circuits whose DC solution is *inexplicit* because
+//! resistors form loops or run to ground (§4.2). In that case the handful
+//! of resistor *links* get their currents from a small dense solve
+//! (eq. (61)) layered on top of the linear-time walk.
+//!
+//! Floating capacitors are supported too: replacing a floating capacitor
+//! by a current source simply injects current at *two* nodes, and the walk
+//! is oblivious to where injections come from — this is the paper's point
+//! that *"tree link analysis continues to apply without loss of
+//! generality"*.
+//!
+//! Inductors and controlled sources are outside this crate's scope (use
+//! `awe-mna` for those); the constructor rejects them.
+//!
+//! ## Example
+//!
+//! Elmore delays of the paper's Fig. 4 tree by pure tree walking:
+//!
+//! ```
+//! use awe_circuit::papers::fig4;
+//! use awe_circuit::Waveform;
+//! use awe_treelink::TreeAnalysis;
+//!
+//! # fn main() -> Result<(), awe_treelink::TreeLinkError> {
+//! let p = fig4(Waveform::step(0.0, 5.0));
+//! let ta = TreeAnalysis::new(&p.circuit)?;
+//! let t_d = ta.elmore_delays()?;
+//! // T_D at n4 = (R1+R3+R4)C4 + (R1+R3)C3 + R1C2 + R1C1 = 7e-4 s.
+//! assert!((t_d[p.output] - 7e-4).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops mirror the matrix algebra they implement; iterator
+// rewrites would obscure the numerics.
+#![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
+
+use std::error::Error;
+use std::fmt;
+
+use awe_circuit::{Circuit, Element, NodeId, SpanningTree, GROUND};
+use awe_numeric::{Matrix, NumericError};
+
+/// Errors from tree/link analysis.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum TreeLinkError {
+    /// The circuit contains element kinds the tree walk cannot handle
+    /// (inductors, current sources, controlled sources).
+    UnsupportedElement {
+        /// Name of the offending element.
+        element: String,
+        /// Its kind tag.
+        kind: char,
+    },
+    /// Some node is not spanned by the resistor/source tree.
+    Disconnected {
+        /// An unreachable node.
+        node: NodeId,
+    },
+    /// A capacitor ended up as a tree branch (no resistive path spans its
+    /// terminals) — the DC solution does not exist.
+    CapacitorInTree(String),
+    /// Elmore delays require a *strict* RC tree (no resistor links); this
+    /// circuit has them.
+    NotRcTree,
+    /// Numeric failure in the link-current solve.
+    Numeric(NumericError),
+}
+
+impl fmt::Display for TreeLinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeLinkError::UnsupportedElement { element, kind } => {
+                write!(
+                    f,
+                    "element {element} of kind {kind} is not supported by tree/link analysis"
+                )
+            }
+            TreeLinkError::Disconnected { node } => {
+                write!(f, "node {node} is not spanned by the resistor/source tree")
+            }
+            TreeLinkError::CapacitorInTree(name) => {
+                write!(f, "capacitor {name} became a tree branch; dc solution is undefined")
+            }
+            TreeLinkError::NotRcTree => {
+                write!(f, "circuit is not a strict RC tree (resistor links present)")
+            }
+            TreeLinkError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl Error for TreeLinkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TreeLinkError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for TreeLinkError {
+    fn from(e: NumericError) -> Self {
+        TreeLinkError::Numeric(e)
+    }
+}
+
+/// How a tree edge conducts.
+#[derive(Clone, Copy, Debug)]
+enum EdgeKind {
+    /// Resistor with the given resistance and its element index.
+    Resistor {
+        /// Resistance in ohms.
+        ohms: f64,
+        /// Index into the circuit's element list.
+        element: usize,
+    },
+    /// Voltage source with the given column into the source vector and
+    /// polarity `+1` if the child node is the source's `pos` terminal.
+    Source { index: usize, sign: f64 },
+}
+
+/// Tree/link analyzer for R/C/V circuits.
+///
+/// Construction is `O(n)`; every [`TreeAnalysis::solve`] is
+/// `O(n + n·L + L³)` where `L` is the (typically tiny) number of resistor
+/// links.
+pub struct TreeAnalysis<'a> {
+    circuit: &'a Circuit,
+    /// Pre-order over nodes (parents before children), rooted at ground.
+    preorder: Vec<NodeId>,
+    /// Parent and connecting edge for each node (`None` for ground).
+    up: Vec<Option<(NodeId, EdgeKind)>>,
+    /// Resistor elements that became links: `(element_idx, a, b, ohms)`.
+    resistor_links: Vec<(usize, NodeId, NodeId, f64)>,
+    /// Independent source count (columns of the source vector).
+    num_sources: usize,
+    /// Precomputed unit-link responses `v^{(l)} = walk(e_b - e_a)`.
+    link_responses: Vec<Vec<f64>>,
+    /// Precomputed dense link system LU (left-hand side of eq. (61)).
+    link_lu: Option<awe_numeric::Lu>,
+}
+
+impl<'a> TreeAnalysis<'a> {
+    /// Builds the analyzer.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeLinkError::UnsupportedElement`] for L/I/controlled elements.
+    /// * [`TreeLinkError::Disconnected`] if the R/V tree does not span all
+    ///   nodes.
+    /// * [`TreeLinkError::CapacitorInTree`] if a capacitor had to enter
+    ///   the tree (no DC solution).
+    pub fn new(circuit: &'a Circuit) -> Result<Self, TreeLinkError> {
+        // Validate the element class and count sources.
+        let mut num_sources = 0usize;
+        let mut source_index = vec![usize::MAX; circuit.elements().len()];
+        for (i, e) in circuit.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { .. } | Element::Capacitor { .. } => {}
+                Element::VoltageSource { .. } => {
+                    source_index[i] = num_sources;
+                    num_sources += 1;
+                }
+                other => {
+                    return Err(TreeLinkError::UnsupportedElement {
+                        element: other.name().to_owned(),
+                        kind: other.kind(),
+                    })
+                }
+            }
+        }
+
+        let st = SpanningTree::build(circuit);
+        let n = circuit.num_nodes();
+        // Every node any element touches must be reachable from ground.
+        for e in circuit.elements() {
+            for node in e.nodes() {
+                if st.depth[node] == usize::MAX {
+                    return Err(TreeLinkError::Disconnected { node });
+                }
+            }
+        }
+
+        // Classify tree edges.
+        let mut up: Vec<Option<(NodeId, EdgeKind)>> = vec![None; n];
+        for node in 0..n {
+            if let Some((parent, eidx)) = st.parent[node] {
+                let e = &circuit.elements()[eidx];
+                let kind = match e {
+                    Element::Resistor { ohms, .. } => EdgeKind::Resistor {
+                        ohms: *ohms,
+                        element: eidx,
+                    },
+                    Element::VoltageSource { pos, .. } => {
+                        let sign = if node == *pos { 1.0 } else { -1.0 };
+                        EdgeKind::Source {
+                            index: source_index[eidx],
+                            sign,
+                        }
+                    }
+                    Element::Capacitor { name, .. } => {
+                        return Err(TreeLinkError::CapacitorInTree(name.clone()))
+                    }
+                    _ => unreachable!("validated above"),
+                };
+                up[node] = Some((parent, kind));
+            }
+        }
+
+        let mut resistor_links = Vec::new();
+        for &l in &st.link_edges {
+            match &circuit.elements()[l] {
+                Element::Resistor { a, b, ohms, .. } => {
+                    resistor_links.push((l, *a, *b, *ohms));
+                }
+                Element::Capacitor { .. } => {} // expected links
+                Element::VoltageSource { name, .. } => {
+                    // A V-source link means a source loop; reject (MNA
+                    // handles that case).
+                    return Err(TreeLinkError::UnsupportedElement {
+                        element: name.clone(),
+                        kind: 'V',
+                    });
+                }
+                _ => unreachable!("validated above"),
+            }
+        }
+
+        // Pre-order traversal: parents before children.
+        let mut preorder: Vec<NodeId> = (0..n).filter(|&v| st.depth[v] != usize::MAX).collect();
+        preorder.sort_by_key(|&v| st.depth[v]);
+
+        let mut ta = TreeAnalysis {
+            circuit,
+            preorder,
+            up,
+            resistor_links,
+            num_sources,
+            link_responses: Vec::new(),
+            link_lu: None,
+        };
+
+        // Precompute link machinery (eq. (61)): unit responses and the
+        // L×L system matrix M[l][k] = v^{(k)}_a - v^{(k)}_b - δ_lk·R_l.
+        if !ta.resistor_links.is_empty() {
+            let nl = ta.resistor_links.len();
+            let zero_u = vec![0.0; ta.num_sources];
+            let mut responses = Vec::with_capacity(nl);
+            for &(_, a, b, _) in &ta.resistor_links {
+                let mut w = vec![0.0; n];
+                // Unit link current a→b: leaves a, enters b.
+                w[a] -= 1.0;
+                w[b] += 1.0;
+                responses.push(ta.walk(&w, &zero_u));
+            }
+            let mut m = Matrix::zeros(nl, nl);
+            for (l, &(_, a, b, r)) in ta.resistor_links.iter().enumerate() {
+                for (k, resp) in responses.iter().enumerate() {
+                    m[(l, k)] = resp[a] - resp[b];
+                    if l == k {
+                        m[(l, k)] -= r;
+                    }
+                }
+            }
+            ta.link_responses = responses;
+            ta.link_lu = Some(awe_numeric::Lu::factor(&m)?);
+        }
+        Ok(ta)
+    }
+
+    /// `true` when the circuit is a strict RC tree (no resistor links), so
+    /// the walk alone solves it and Elmore delays are defined.
+    pub fn is_strict_tree(&self) -> bool {
+        self.resistor_links.is_empty()
+    }
+
+    /// Number of resistor links (the `L` in the solve cost `O(n + L³)`).
+    pub fn num_resistor_links(&self) -> usize {
+        self.resistor_links.len()
+    }
+
+    /// Raw two-pass tree walk: node voltages for current injections `w`
+    /// (positive = into the node) and source values `u`, ignoring links.
+    fn walk(&self, w: &[f64], u: &[f64]) -> Vec<f64> {
+        let n = self.circuit.num_nodes();
+        debug_assert_eq!(w.len(), n);
+        // Pass 1 (post-order): subtree injection sums.
+        let mut subtree = w.to_vec();
+        for &node in self.preorder.iter().rev() {
+            if let Some((parent, _)) = self.up[node] {
+                subtree[parent] += subtree[node];
+            }
+        }
+        // Pass 2 (pre-order): voltages from the root down. Injections exit
+        // through the root, so the current flowing child→parent through a
+        // tree resistor equals the subtree sum and
+        // v_child = v_parent + R·S_child.
+        let mut v = vec![0.0; n];
+        for &node in &self.preorder {
+            if let Some((parent, kind)) = self.up[node] {
+                v[node] = match kind {
+                    EdgeKind::Resistor { ohms, .. } => v[parent] + ohms * subtree[node],
+                    EdgeKind::Source { index, sign } => v[parent] + sign * u[index],
+                };
+            }
+        }
+        v
+    }
+
+    /// Solves for all node voltages given current injections `w` (indexed
+    /// by node, positive into the node) and independent source values `u`.
+    ///
+    /// This is the paper's generalized tree walk: `O(n)` for a strict
+    /// tree, plus a small dense correction when resistor links exist
+    /// (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric failures from the link solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `u` have the wrong length.
+    pub fn solve(&self, w: &[f64], u: &[f64]) -> Result<Vec<f64>, TreeLinkError> {
+        assert_eq!(w.len(), self.circuit.num_nodes(), "injection vector length");
+        assert_eq!(u.len(), self.num_sources, "source vector length");
+        let mut v = self.walk(w, u);
+        if let Some(lu) = &self.link_lu {
+            // Solve M·i = -(v0_a - v0_b) per link so the corrected
+            // voltages satisfy v_a - v_b = R·i.
+            let rhs: Vec<f64> = self
+                .resistor_links
+                .iter()
+                .map(|&(_, a, b, _)| -(v[a] - v[b]))
+                .collect();
+            let currents = lu.solve(&rhs)?;
+            for (i_l, resp) in currents.iter().zip(&self.link_responses) {
+                for (vi, ri) in v.iter_mut().zip(resp) {
+                    *vi += i_l * ri;
+                }
+            }
+        }
+        Ok(v)
+    }
+
+    /// DC steady state: capacitors open (zero injections), sources at `u`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric failures from the link solve.
+    pub fn dc(&self, u: &[f64]) -> Result<Vec<f64>, TreeLinkError> {
+        self.solve(&vec![0.0; self.circuit.num_nodes()], u)
+    }
+
+    /// Injection image of a node-voltage vector under the capacitance
+    /// operator: `w = C·v` evaluated element-wise (handles floating
+    /// capacitors: both terminals receive opposite contributions).
+    pub fn apply_capacitance(&self, v: &[f64]) -> Vec<f64> {
+        let mut w = vec![0.0; self.circuit.num_nodes()];
+        for e in self.circuit.elements() {
+            if let Element::Capacitor { a, b, farads, .. } = e {
+                let va = if *a == GROUND { 0.0 } else { v[*a] };
+                let vb = if *b == GROUND { 0.0 } else { v[*b] };
+                let q = farads * (va - vb);
+                if *a != GROUND {
+                    w[*a] += q;
+                }
+                if *b != GROUND {
+                    w[*b] -= q;
+                }
+            }
+        }
+        w[GROUND] = 0.0;
+        w
+    }
+
+    /// Moment sequence `[m_{-1}, m_0, …]` (same convention as
+    /// `awe_mna::MomentEngine`) for a *step* piece with per-source jumps
+    /// `u_jump`. `count` entries are produced (an order-`q` match needs
+    /// `2q`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric failures from the link solve.
+    pub fn step_moments(
+        &self,
+        u_jump: &[f64],
+        count: usize,
+    ) -> Result<Vec<Vec<f64>>, TreeLinkError> {
+        let zero_w = vec![0.0; self.circuit.num_nodes()];
+        let a = self.solve(&zero_w, u_jump)?;
+        let m_minus1: Vec<f64> = a.iter().map(|x| -x).collect();
+        let mut seq = Vec::with_capacity(count);
+        seq.push(m_minus1.clone());
+        let mut prev = m_minus1;
+        let zero_u = vec![0.0; self.num_sources];
+        for _ in 1..count {
+            // m_k = -G⁻¹·C·m_{k-1}: inject C·m_{k-1}, negate the solution.
+            let w = self.apply_capacitance(&prev);
+            let sol = self.solve(&w, &zero_u)?;
+            prev = sol.into_iter().map(|x| -x).collect();
+            seq.push(prev.clone());
+        }
+        Ok(seq)
+    }
+
+    /// Elmore delays `T_D` for every node of a strict RC tree, by one
+    /// `O(n)` walk (the paper's eq. (56): `m_0 = V·T_D` for a unit step,
+    /// so `T_D = m_0` at unit swing).
+    ///
+    /// # Errors
+    ///
+    /// [`TreeLinkError::NotRcTree`] if resistor links exist — use
+    /// [`TreeAnalysis::step_moments`] and the §2.2 scaling (eq. (3))
+    /// instead.
+    pub fn elmore_delays(&self) -> Result<Vec<f64>, TreeLinkError> {
+        if !self.is_strict_tree() {
+            return Err(TreeLinkError::NotRcTree);
+        }
+        let ones = vec![1.0; self.num_sources];
+        let moments = self.step_moments(&ones, 2)?;
+        Ok(moments[1].clone())
+    }
+
+    /// First-order sensitivities of the Elmore delay at `node` to every
+    /// capacitance and tree resistance — the primitive of wire-sizing and
+    /// buffering optimizations:
+    ///
+    /// * `∂T_D(i)/∂C_k = R(path(i) ∩ path(k))`, the shared path
+    ///   resistance, obtained for *all* k from one unit-injection walk;
+    /// * `∂T_D(i)/∂R_e = Σ_{k downstream of e} C_k` when `e` lies on the
+    ///   path to `i` (zero otherwise), obtained from one subtree
+    ///   accumulation.
+    ///
+    /// Returns `(element_name, derivative)` pairs — seconds/farad for
+    /// capacitors, seconds/ohm for resistors.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeLinkError::NotRcTree`] when resistor links exist (the
+    /// closed-form derivatives require the strict tree structure).
+    pub fn elmore_sensitivities(
+        &self,
+        node: NodeId,
+    ) -> Result<ElmoreSensitivities, TreeLinkError> {
+        if !self.is_strict_tree() {
+            return Err(TreeLinkError::NotRcTree);
+        }
+        let n = self.circuit.num_nodes();
+        // Shared path resistances: unit injection at `node`, sources off.
+        let mut w = vec![0.0; n];
+        if node < n && node != GROUND {
+            w[node] = 1.0;
+        }
+        let r_common = self.solve(&w, &vec![0.0; self.num_sources])?;
+        let mut wrt_capacitance = Vec::new();
+        for e in self.circuit.elements() {
+            if let Element::Capacitor { name, a, b, .. } = e {
+                // For a (possibly floating) capacitor the delay moment
+                // contribution differentiates to R_common(a) - R_common(b).
+                let ra = if *a == GROUND { 0.0 } else { r_common[*a] };
+                let rb = if *b == GROUND { 0.0 } else { r_common[*b] };
+                wrt_capacitance.push((name.clone(), ra - rb));
+            }
+        }
+
+        // Downstream capacitance per tree edge: one reverse accumulation.
+        let mut subtree_cap = vec![0.0; n];
+        for e in self.circuit.elements() {
+            if let Element::Capacitor { a, b, farads, .. } = e {
+                if *a != GROUND {
+                    subtree_cap[*a] += farads;
+                }
+                if *b != GROUND {
+                    subtree_cap[*b] -= farads;
+                }
+            }
+        }
+        for &nd in self.preorder.iter().rev() {
+            if let Some((parent, _)) = self.up[nd] {
+                subtree_cap[parent] += subtree_cap[nd];
+            }
+        }
+        // Walk the path from `node` to the root: each resistor edge on it
+        // carries derivative = its subtree capacitance.
+        let mut wrt_resistance = Vec::new();
+        let mut cur = node;
+        while let Some((parent, kind)) = self.up.get(cur).copied().flatten() {
+            if let EdgeKind::Resistor { element, .. } = kind {
+                let name = self.circuit.elements()[element].name().to_owned();
+                wrt_resistance.push((name, subtree_cap[cur]));
+            }
+            cur = parent;
+        }
+        Ok(ElmoreSensitivities {
+            wrt_capacitance,
+            wrt_resistance,
+        })
+    }
+}
+
+/// First-order Elmore delay derivatives at one node; see
+/// [`TreeAnalysis::elmore_sensitivities`].
+#[derive(Clone, Debug)]
+pub struct ElmoreSensitivities {
+    /// `(capacitor name, ∂T_D/∂C)` in seconds per farad.
+    pub wrt_capacitance: Vec<(String, f64)>,
+    /// `(resistor name, ∂T_D/∂R)` in seconds per ohm, for resistors on
+    /// the path from the source to the node (others are zero and
+    /// omitted).
+    pub wrt_resistance: Vec<(String, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awe_circuit::papers::{fig4, fig9};
+    use awe_circuit::Waveform;
+
+    fn step5() -> Waveform {
+        Waveform::step(0.0, 5.0)
+    }
+
+    #[test]
+    fn fig4_elmore_matches_closed_form() {
+        let p = fig4(step5());
+        let ta = TreeAnalysis::new(&p.circuit).unwrap();
+        assert!(ta.is_strict_tree());
+        let t_d = ta.elmore_delays().unwrap();
+        // Closed forms from the paper's eq. (56) with R = 1 Ω, C = 1e-4 F:
+        // T_D¹ = R1(C1+C2+C3+C4)            = 4e-4
+        // T_D² = T_D¹ + R2·C2               = 5e-4
+        // T_D³ = T_D¹ + R3(C3+C4)           = 6e-4
+        // T_D⁴ = T_D³ + R4·C4               = 7e-4
+        let n = &p.nodes;
+        assert!((t_d[n[0]] - 4e-4).abs() < 1e-15);
+        assert!((t_d[n[1]] - 5e-4).abs() < 1e-15);
+        assert!((t_d[n[2]] - 6e-4).abs() < 1e-15);
+        assert!((t_d[n[3]] - 7e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dc_is_flat_for_strict_tree() {
+        let p = fig4(step5());
+        let ta = TreeAnalysis::new(&p.circuit).unwrap();
+        let v = ta.dc(&[5.0]).unwrap();
+        for &node in &p.nodes {
+            assert!((v[node] - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig9_grounded_resistor_dc() {
+        // R5 = 4 Ω at n1: steady state 5·4/(1+4) = 4 V at every tree node.
+        let p = fig9(step5());
+        let ta = TreeAnalysis::new(&p.circuit).unwrap();
+        assert_eq!(ta.num_resistor_links(), 1);
+        assert!(!ta.is_strict_tree());
+        let v = ta.dc(&[5.0]).unwrap();
+        for &node in &p.nodes {
+            assert!((v[node] - 4.0).abs() < 1e-12, "v = {}", v[node]);
+        }
+        assert!(matches!(ta.elmore_delays(), Err(TreeLinkError::NotRcTree)));
+    }
+
+    #[test]
+    fn moments_match_mna_engine() {
+        // The O(n) walk and the dense MNA engine must agree moment by
+        // moment (on the grounded-resistor circuit, exercising the link
+        // correction).
+        use awe_mna::{MnaSystem, MomentEngine};
+        let p = fig9(step5());
+        let ta = TreeAnalysis::new(&p.circuit).unwrap();
+        let walk_m = ta.step_moments(&[5.0], 6).unwrap();
+
+        let sys = MnaSystem::build(&p.circuit).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let dec = eng.decompose(6).unwrap();
+        assert_eq!(dec.pieces.len(), 1);
+        let piece = &dec.pieces[0];
+        for &node in &p.nodes {
+            let iu = sys.unknown_of_node(node).unwrap();
+            for k in 0..6 {
+                let a = walk_m[k][node];
+                let b = piece.moments[k][iu];
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1e-12),
+                    "node {node} moment {k}: walk {a} vs mna {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn floating_cap_injections() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0)).unwrap();
+        ckt.add_resistor("R1", n1, n2, 1.0).unwrap();
+        ckt.add_capacitor("Cf", n1, n2, 2.0).unwrap();
+        let ta = TreeAnalysis::new(&ckt).unwrap();
+        let mut v = vec![0.0; ckt.num_nodes()];
+        v[n1] = 3.0;
+        v[n2] = 1.0;
+        let w = ta.apply_capacitance(&v);
+        assert_eq!(w[n1], 4.0);
+        assert_eq!(w[n2], -4.0);
+    }
+
+    #[test]
+    fn floating_cap_moments_match_mna() {
+        use awe_circuit::papers::fig22;
+        use awe_mna::{MnaSystem, MomentEngine};
+        let p = fig22(step5(), None);
+        let ta = TreeAnalysis::new(&p.circuit).unwrap();
+        let walk_m = ta.step_moments(&[5.0], 4).unwrap();
+        let sys = MnaSystem::build(&p.circuit).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let dec = eng.decompose(4).unwrap();
+        let piece = &dec.pieces[0];
+        for &node in &p.nodes {
+            let iu = sys.unknown_of_node(node).unwrap();
+            for k in 0..4 {
+                let a = walk_m[k][node];
+                let b = piece.moments[k][iu];
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1e-15),
+                    "node {node} moment {k}: walk {a} vs mna {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_elements() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0)).unwrap();
+        let n2 = ckt.node("n2");
+        ckt.add_inductor("L1", n1, n2, 1e-9).unwrap();
+        ckt.add_resistor("R1", n2, GROUND, 1.0).unwrap();
+        assert!(matches!(
+            TreeAnalysis::new(&ckt),
+            Err(TreeLinkError::UnsupportedElement { kind: 'L', .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.add_resistor("R1", n1, GROUND, 1.0).unwrap();
+        let na = ckt.node("a");
+        let nb = ckt.node("b");
+        ckt.add_capacitor("Cx", na, nb, 1e-12).unwrap();
+        assert!(TreeAnalysis::new(&ckt).is_err());
+    }
+
+    #[test]
+    fn mesh_multiple_links() {
+        use awe_circuit::generators::rc_mesh;
+        use awe_mna::{MnaSystem, MomentEngine};
+        let g = rc_mesh(3, 3, 2.0, 1e-12, step5());
+        let ta = TreeAnalysis::new(&g.circuit).unwrap();
+        assert!(ta.num_resistor_links() >= 3);
+        // DC must be flat 5 V (no grounded R in the mesh).
+        let v = ta.dc(&[5.0]).unwrap();
+        for &node in &g.nodes {
+            assert!((v[node] - 5.0).abs() < 1e-9);
+        }
+        // And must agree with MNA on the step moments.
+        let sys = MnaSystem::build(&g.circuit).unwrap();
+        let eng = MomentEngine::new(&sys).unwrap();
+        let dec = eng.decompose(2).unwrap();
+        let walk_m = ta.step_moments(&[5.0], 2).unwrap();
+        for &node in &g.nodes {
+            let iu = sys.unknown_of_node(node).unwrap();
+            let a = walk_m[1][node];
+            let b = dec.pieces[0].moments[1][iu];
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1e-15), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TreeLinkError::Disconnected { node: 7 };
+        assert!(e.to_string().contains("node 7"));
+        let e2 = TreeLinkError::CapacitorInTree("C9".into());
+        assert!(e2.to_string().contains("C9"));
+    }
+}
+
+#[cfg(test)]
+mod sensitivity_tests {
+    use super::*;
+    use awe_circuit::papers::fig4;
+    use awe_circuit::Waveform;
+
+    #[test]
+    fn fig4_sensitivities_match_closed_form() {
+        // T_D⁴ = (R1+R3+R4)C4 + (R1+R3)C3 + R1C2 + R1C1 with R = 1 Ω:
+        // ∂/∂C4 = 3, ∂/∂C3 = 2, ∂/∂C2 = ∂/∂C1 = 1;
+        // ∂/∂R4 = C4 = 1e-4, ∂/∂R3 = C3+C4 = 2e-4, ∂/∂R1 = ΣC = 4e-4.
+        let p = fig4(Waveform::step(0.0, 5.0));
+        let ta = TreeAnalysis::new(&p.circuit).unwrap();
+        let s = ta.elmore_sensitivities(p.output).unwrap();
+        let cap = |name: &str| {
+            s.wrt_capacitance
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!((cap("C4") - 3.0).abs() < 1e-12);
+        assert!((cap("C3") - 2.0).abs() < 1e-12);
+        assert!((cap("C2") - 1.0).abs() < 1e-12);
+        assert!((cap("C1") - 1.0).abs() < 1e-12);
+        let res = |name: &str| {
+            s.wrt_resistance
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!((res("R4") - 1e-4).abs() < 1e-16);
+        assert!((res("R3") - 2e-4).abs() < 1e-16);
+        assert!((res("R1") - 4e-4).abs() < 1e-16);
+        // R2 is off the path to n4: omitted.
+        assert!(s.wrt_resistance.iter().all(|(n, _)| n != "R2"));
+    }
+
+    #[test]
+    fn sensitivities_match_finite_differences() {
+        use awe_circuit::generators::random_rc_tree;
+        use awe_circuit::parse_deck;
+        let g = random_rc_tree(
+            8,
+            (10.0, 200.0),
+            (0.1e-12, 0.5e-12),
+            11,
+            Waveform::step(0.0, 1.0),
+        );
+        let ta = TreeAnalysis::new(&g.circuit).unwrap();
+        let t0 = ta.elmore_delays().unwrap()[g.output];
+        let s = ta.elmore_sensitivities(g.output).unwrap();
+        let out_name = g.circuit.node_name(g.output).to_owned();
+
+        // Perturb each element by 1 % through a deck round trip and
+        // compare the recomputed Elmore delay against the first-order
+        // prediction (exact for Elmore, which is multilinear in R and C).
+        let deck = g.circuit.to_deck();
+        let perturbed_delay = |elem: &str, factor: f64| -> f64 {
+            let new_deck: String = deck
+                .lines()
+                .map(|line| {
+                    if line.starts_with(&format!("{elem} ")) {
+                        let mut parts: Vec<String> =
+                            line.split_whitespace().map(str::to_owned).collect();
+                        let v: f64 = parts[3].parse().unwrap();
+                        parts[3] = format!("{:e}", v * factor);
+                        parts.join(" ")
+                    } else {
+                        line.to_owned()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let ckt = parse_deck(&new_deck).unwrap();
+            let node = ckt.find_node(&out_name).unwrap();
+            let ta2 = TreeAnalysis::new(&ckt).unwrap();
+            ta2.elmore_delays().unwrap()[node]
+        };
+
+        for (name, d) in s.wrt_capacitance.iter().chain(&s.wrt_resistance) {
+            let v_old = match g.circuit.element(name).unwrap() {
+                Element::Capacitor { farads, .. } => *farads,
+                Element::Resistor { ohms, .. } => *ohms,
+                _ => unreachable!(),
+            };
+            let dv = v_old * 0.01;
+            let t1 = perturbed_delay(name, 1.01);
+            let predicted = t0 + d * dv;
+            assert!(
+                (t1 - predicted).abs() <= 1e-6 * t0,
+                "{name}: {t1} vs predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn sensitivities_require_strict_tree() {
+        use awe_circuit::papers::fig9;
+        let p = fig9(Waveform::step(0.0, 5.0));
+        let ta = TreeAnalysis::new(&p.circuit).unwrap();
+        assert!(matches!(
+            ta.elmore_sensitivities(p.output),
+            Err(TreeLinkError::NotRcTree)
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the moment-sequence algebra
+
+//! Property-based tests: the O(n) tree walk agrees with the dense MNA
+//! engine on arbitrary generated circuits of its supported class.
+
+use proptest::prelude::*;
+
+use awe_circuit::generators::{coupled_rc_lines, random_rc_tree, rc_mesh};
+use awe_circuit::Waveform;
+use awe_mna::{MnaSystem, MomentEngine};
+use awe_treelink::TreeAnalysis;
+
+/// Compare walk moments against MNA moments at every signal node.
+fn assert_walk_matches_mna(
+    circuit: &awe_circuit::Circuit,
+    nodes: &[awe_circuit::NodeId],
+    jump: f64,
+    count: usize,
+) -> Result<(), TestCaseError> {
+    let ta = TreeAnalysis::new(circuit).expect("supported class");
+    let walk = ta.step_moments(&[jump], count).expect("moments");
+    let sys = MnaSystem::build(circuit).expect("builds");
+    let eng = MomentEngine::new(&sys).expect("nonsingular");
+    let dec = eng.decompose(count).expect("moments");
+    let piece = &dec.pieces[0];
+    for &node in nodes {
+        let i = sys.unknown_of_node(node).expect("unknown");
+        for k in 0..count {
+            let a = walk[k][node];
+            let b = piece.moments[k][i];
+            prop_assert!(
+                (a - b).abs() <= 1e-8 * b.abs().max(1e-18),
+                "node {node} moment {k}: walk {a} vs mna {b}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn walk_matches_mna_on_random_trees(n in 1usize..25, seed in 0u64..400) {
+        let g = random_rc_tree(
+            n,
+            (1.0, 500.0),
+            (1e-14, 1e-12),
+            seed,
+            Waveform::step(0.0, 5.0),
+        );
+        assert_walk_matches_mna(&g.circuit, &g.nodes, 5.0, 4)?;
+    }
+
+    #[test]
+    fn walk_matches_mna_on_meshes(rows in 1usize..4, cols in 1usize..4) {
+        let g = rc_mesh(rows, cols, 7.0, 2e-13, Waveform::step(0.0, 5.0));
+        assert_walk_matches_mna(&g.circuit, &g.nodes, 5.0, 4)?;
+    }
+
+    #[test]
+    fn walk_matches_mna_with_coupling(segments in 1usize..6) {
+        // Floating caps: the walk handles two-node injections. The quiet
+        // victim line's source makes two sources; drive both with the
+        // same jump for the comparison.
+        let g = coupled_rc_lines(segments, 20.0, 1e-13, 4e-14, Waveform::step(0.0, 5.0));
+        let ta = TreeAnalysis::new(&g.circuit).expect("supported");
+        let walk = ta.step_moments(&[5.0, 0.0], 4).expect("moments");
+        let sys = MnaSystem::build(&g.circuit).expect("builds");
+        let eng = MomentEngine::new(&sys).expect("nonsingular");
+        let dec = eng.decompose(4).expect("moments");
+        let piece = &dec.pieces[0];
+        for &node in &g.nodes {
+            let i = sys.unknown_of_node(node).expect("unknown");
+            for k in 0..4 {
+                let a = walk[k][node];
+                let b = piece.moments[k][i];
+                prop_assert!(
+                    (a - b).abs() <= 1e-8 * b.abs().max(1e-18),
+                    "node {node} moment {k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// Elmore delays are positive and monotone along any root path.
+    #[test]
+    fn elmore_monotone_along_paths(n in 1usize..25, seed in 0u64..400) {
+        let g = random_rc_tree(
+            n,
+            (1.0, 500.0),
+            (1e-14, 1e-12),
+            seed,
+            Waveform::step(0.0, 1.0),
+        );
+        let ta = TreeAnalysis::new(&g.circuit).expect("tree");
+        let t_d = ta.elmore_delays().expect("strict tree");
+        let st = awe_circuit::SpanningTree::build(&g.circuit);
+        for &node in &g.nodes {
+            prop_assert!(t_d[node] > 0.0);
+            // Delay never decreases moving away from the source.
+            for (_, from, to) in st.path_to_root(node) {
+                if to != awe_circuit::GROUND {
+                    prop_assert!(
+                        t_d[from] >= t_d[to] - 1e-18,
+                        "T_D({from})={} < T_D({to})={}",
+                        t_d[from],
+                        t_d[to]
+                    );
+                }
+            }
+        }
+    }
+
+    /// The link-corrected DC solve satisfies KCL: pushing the voltages
+    /// back through G (via MNA) reproduces the injections.
+    #[test]
+    fn link_corrected_solve_satisfies_kcl(rows in 2usize..4, cols in 2usize..4) {
+        let g = rc_mesh(rows, cols, 3.0, 1e-13, Waveform::step(0.0, 2.0));
+        let ta = TreeAnalysis::new(&g.circuit).expect("mesh");
+        prop_assert!(ta.num_resistor_links() > 0);
+        let v = ta.dc(&[2.0]).expect("dc");
+        // All nodes at the rail (no grounded R in a mesh).
+        for &node in &g.nodes {
+            prop_assert!((v[node] - 2.0).abs() < 1e-9);
+        }
+    }
+}

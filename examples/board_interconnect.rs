@@ -1,0 +1,71 @@
+//! Board-level RLC interconnect with finite input rise times (paper §I,
+//! §4.3, §5.4).
+//!
+//! At the printed-circuit-board level, inductance makes interconnect ring,
+//! and the *input rise time* can dominate the timing of a net. This
+//! example sweeps the driver rise time over an RLC trace model and reports
+//! the overshoot and 50 % delay AWE predicts — the faster the edge, the
+//! more the trace rings.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example board_interconnect
+//! ```
+
+use awesim::circuit::generators::rlc_ladder;
+use awesim::circuit::Waveform;
+use awesim::core::AweEngine;
+use awesim::sim::{exact_poles, simulate, TransientOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-section RLC trace: 30 Ω driver, 5 nH + 3 pF per section.
+    let sections = 4;
+    let (rs, l, c) = (30.0, 5e-9, 3e-12);
+
+    // The natural frequencies of the trace (once per topology).
+    let probe = rlc_ladder(sections, rs, l, c, Waveform::step(0.0, 5.0));
+    let poles = exact_poles(&probe.circuit)?;
+    println!("trace poles (dominant first):");
+    for p in poles.iter().take(4) {
+        if p.im >= 0.0 {
+            println!("  {:+.3e} {:+.3e}j rad/s", p.re, p.im);
+        }
+    }
+
+    println!("\n  rise [ps]   overshoot [%]   50% delay [ps]   sim delay [ps]");
+    for rise_ps in [0.0, 100.0, 300.0, 1000.0, 3000.0] {
+        let rise = rise_ps * 1e-12;
+        let input = if rise == 0.0 {
+            Waveform::step(0.0, 5.0)
+        } else {
+            Waveform::rising_step(0.0, 5.0, rise)
+        };
+        let g = rlc_ladder(sections, rs, l, c, input);
+        let engine = AweEngine::new(&g.circuit)?;
+        let approx = engine.approximate(g.output, 6)?;
+
+        let horizon = approx.horizon();
+        let peak = (0..4000)
+            .map(|i| approx.eval(horizon * i as f64 / 4000.0))
+            .fold(0.0f64, f64::max);
+        let overshoot = ((peak / 5.0 - 1.0) * 100.0).max(0.0);
+        let delay = approx.delay_50().expect("rising response");
+
+        let sim = simulate(&g.circuit, TransientOptions::new(horizon))?;
+        let d_sim = sim.delay_50(g.output).expect("rising waveform");
+
+        println!(
+            "  {rise_ps:9.0}   {overshoot:13.1}   {:14.1}   {:14.1}",
+            delay * 1e12,
+            d_sim * 1e12
+        );
+    }
+
+    println!(
+        "\nSlower edges suppress the ringing (smaller overshoot) and the delay\n\
+         approaches input-half-rise + trace delay — the §4.3 superposition of\n\
+         two ramps handles every case with the same machinery."
+    );
+    Ok(())
+}

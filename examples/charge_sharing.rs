@@ -1,0 +1,98 @@
+//! Charge-sharing (dynamic-node droop) analysis — the paper's §5.2/§5.3
+//! regime.
+//!
+//! A dynamic-logic stage precharges its output node high; when a pass
+//! device opens, the stored charge redistributes into previously
+//! discharged internal capacitance and the output *droops*. Whether the
+//! droop crosses the receiver's threshold is a correctness question, and
+//! a single Elmore number cannot answer it — the response is nonmonotone.
+//! AWE with nonequilibrium initial conditions predicts the full droop
+//! waveform, and the `m₀`-matching property makes the redistributed
+//! charge exact at any order.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example charge_sharing
+//! ```
+
+use awesim::circuit::{Circuit, Waveform, GROUND};
+use awesim::core::rational::zeros;
+use awesim::core::AweEngine;
+use awesim::sim::{relative_l2_vs_sim, simulate, TransientOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("dynamic node droop: precharged output vs. internal capacitance\n");
+    println!("  Cint/Cout   droop floor [V]   AWE-3 floor [V]   sim floor [V]   err");
+
+    for ratio in [0.1, 0.25, 0.5, 1.0] {
+        let c_out = 50e-15;
+        let c_int = c_out * ratio;
+
+        // Precharged output (5 V) connects through the opened pass
+        // device's on-resistance to an internal node at 0 V. A weak
+        // keeper (large resistor to the rail) eventually restores the
+        // level — the droop is the transient dip.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        let mid = ckt.node("mid");
+        ckt.add_vsource("Vdd", vdd, GROUND, Waveform::dc(5.0))?;
+        ckt.add_resistor("Rkeeper", vdd, out, 50e3)?;
+        ckt.add_resistor("Rpass", out, mid, 500.0)?;
+        ckt.add_capacitor_ic("Cout", out, GROUND, c_out, Some(5.0))?;
+        ckt.add_capacitor_ic("Cint", mid, GROUND, c_int, Some(0.0))?;
+
+        // Pure charge sharing predicts the instantaneous-redistribution
+        // floor V·Cout/(Cout+Cint); the keeper then pulls back up.
+        let floor_pred = 5.0 * c_out / (c_out + c_int);
+
+        let engine = AweEngine::new(&ckt)?;
+        let approx = engine.approximate(out, 3)?;
+        let horizon = 5.0 * 500.0 * (c_out + c_int); // pass-device τ ×5
+        let awe_floor = (0..4000)
+            .map(|i| approx.eval(horizon * i as f64 / 4000.0))
+            .fold(f64::INFINITY, f64::min);
+
+        let sim = simulate(&ckt, TransientOptions::new(horizon))?;
+        let sim_floor = sim
+            .waveform(out)
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min);
+        let err = relative_l2_vs_sim(&sim, out, |t| approx.eval(t)).unwrap_or(f64::NAN);
+
+        println!(
+            "  {ratio:9.2}   {floor_pred:15.3}   {awe_floor:15.3}   {sim_floor:13.3}   {:.2} %",
+            err * 100.0
+        );
+    }
+
+    // The §5.2 signature in the reduced model: the initial condition
+    // introduces a low-frequency zero.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let out = ckt.node("out");
+    let mid = ckt.node("mid");
+    ckt.add_vsource("Vdd", vdd, GROUND, Waveform::dc(5.0))?;
+    ckt.add_resistor("Rkeeper", vdd, out, 50e3)?;
+    ckt.add_resistor("Rpass", out, mid, 500.0)?;
+    ckt.add_capacitor_ic("Cout", out, GROUND, 50e-15, Some(5.0))?;
+    ckt.add_capacitor_ic("Cint", mid, GROUND, 25e-15, Some(0.0))?;
+    let engine = AweEngine::new(&ckt)?;
+    let approx = engine.approximate(out, 2)?;
+    println!("\nreduced model at the output (order 2):");
+    for p in approx.poles() {
+        println!("  pole {:+.4e} rad/s", p.re);
+    }
+    for z in zeros(&approx.pieces[0].transient)? {
+        println!("  zero {:+.4e} rad/s  (the §5.2 IC-induced zero)", z.re);
+    }
+    println!(
+        "\nThe droop floor tracks the charge-sharing ratio Cout/(Cout+Cint);\n\
+         the keeper recovery that follows is the slow pole, and the initial\n\
+         condition shows up as a low-frequency zero in the reduced model —\n\
+         the same mechanism behind the paper's Table I (IC column)."
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Crosstalk analysis with floating coupling capacitors (paper §5.3).
+//!
+//! Two parallel RC lines: the aggressor switches 0 → 5 V, the victim is
+//! held quiet by its driver. The coupling capacitors dump charge onto the
+//! victim; AWE predicts the noise pulse at the victim's far end without a
+//! transient simulation, and the `m₀`-matching property guarantees the
+//! *transferred charge* (the area under the noise pulse) is exact at any
+//! order.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example crosstalk
+//! ```
+
+use awesim::circuit::generators::coupled_rc_lines;
+use awesim::circuit::Waveform;
+use awesim::core::AweEngine;
+use awesim::sim::{simulate, TransientOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let segments = 8;
+    let (r, c) = (40.0, 0.25e-12);
+    println!("coupled {segments}-segment lines, R = {r} Ω/seg, C = {c:e} F/seg");
+    println!("\n  Cc/C    AWE peak [V]   sim peak [V]   AWE t_peak [ps]");
+
+    for ratio in [0.1, 0.25, 0.5, 1.0, 2.0] {
+        let coupling = c * ratio;
+        let g = coupled_rc_lines(
+            segments,
+            r,
+            c,
+            coupling,
+            Waveform::rising_step(0.0, 5.0, 50e-12),
+        );
+        let engine = AweEngine::new(&g.circuit)?;
+        let victim = engine.approximate(g.output, 4)?;
+
+        // Scan the noise pulse.
+        let horizon = victim.horizon();
+        let n = 2000;
+        let (mut peak, mut t_peak) = (0.0f64, 0.0f64);
+        for i in 0..n {
+            let t = horizon * i as f64 / n as f64;
+            let v = victim.eval(t);
+            if v > peak {
+                peak = v;
+                t_peak = t;
+            }
+        }
+
+        let sim = simulate(&g.circuit, TransientOptions::new(horizon))?;
+        let sim_peak = sim
+            .waveform(g.output)
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max);
+
+        println!(
+            "  {ratio:4.2}   {peak:12.4}   {sim_peak:12.4}   {:15.1}",
+            t_peak * 1e12
+        );
+    }
+
+    println!(
+        "\nThe victim noise grows with the coupling ratio; AWE (order 4) tracks\n\
+         the simulated peak. Charge transferred is exact by construction: the\n\
+         paper's §5.3 'area under these voltage curves … is always exact'."
+    );
+    Ok(())
+}

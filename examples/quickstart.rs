@@ -1,0 +1,74 @@
+//! Quickstart: parse a SPICE-like deck, run AWE, and compare against the
+//! classical Elmore estimate and the reference simulator.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use awesim::circuit::parse_deck;
+use awesim::core::elmore::elmore_delay;
+use awesim::core::AweEngine;
+use awesim::sim::{simulate, TransientOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-stage RC interconnect: driver resistance, two wire segments,
+    // a branch load — the paper's Fig. 1 "stage" in miniature.
+    let deck = "
+* quickstart stage: driver -> wire -> branch
+V1 in 0 STEP 0 5
+Rdrv in n1 120
+C1 n1 0 0.4p
+Rw1 n1 n2 80
+C2 n2 0 0.3p
+Rw2 n2 out 60
+Cout out 0 0.5p
+Rbr n2 br 150
+Cbr br 0 0.2p
+.end";
+    let ckt = parse_deck(deck)?;
+    let out = ckt.find_node("out").expect("deck defines `out`");
+
+    // --- AWE, orders 1..3 -------------------------------------------------
+    let engine = AweEngine::new(&ckt)?;
+    println!("AWE at node `out`:");
+    for order in 1..=3 {
+        let approx = engine.approximate(out, order)?;
+        let delay = approx.delay_50().expect("rising response");
+        println!(
+            "  order {order}: 50% delay = {:.1} ps, error estimate = {}",
+            delay * 1e12,
+            approx
+                .error_estimate
+                .map_or("n/a".to_owned(), |e| format!("{:.2} %", e * 100.0)),
+        );
+    }
+
+    // --- Classical Elmore bound -------------------------------------------
+    let t_d = elmore_delay(&ckt, out)?;
+    println!("Elmore delay (T_D): {:.1} ps", t_d * 1e12);
+    println!(
+        "Penfield-Rubinstein 50% estimate (T_D·ln2): {:.1} ps",
+        t_d * 2f64.ln() * 1e12
+    );
+
+    // --- Reference simulation ----------------------------------------------
+    let sim = simulate(&ckt, TransientOptions::new(10.0 * t_d))?;
+    let d_sim = sim.delay_50(out).expect("rising waveform");
+    println!("simulated 50% delay:  {:.1} ps", d_sim * 1e12);
+
+    // --- Waveform table ----------------------------------------------------
+    let awe2 = engine.approximate(out, 2)?;
+    println!("\n   t [ps]   AWE-2 [V]   sim [V]");
+    for i in 0..=10 {
+        let t = i as f64 * t_d / 2.0;
+        println!(
+            "  {:7.1}   {:9.4}   {:7.4}",
+            t * 1e12,
+            awe2.eval(t),
+            sim.value_at(out, t)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! A miniature timing analyzer over a synthetic clock-tree net (paper §II:
+//! the intended application).
+//!
+//! Generates a random RC tree (a clock net with many sinks), then reports
+//! per-sink delays three ways:
+//!
+//! * the classical Elmore bound (one `O(n)` tree walk for *all* sinks),
+//! * first-order AWE (identical to Elmore's single-exponential, §IV),
+//! * auto-order AWE, escalating until the §3.4 error estimate drops below
+//!   1 % (the paper's "increase the order until an acceptable error term
+//!   exists", §4.4).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example timing_report
+//! ```
+
+use awesim::circuit::generators::random_rc_tree;
+use awesim::circuit::Waveform;
+use awesim::core::elmore::elmore_delays;
+use awesim::core::{AweEngine, AweOptions};
+use awesim::sim::{simulate, TransientOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 24;
+    let g = random_rc_tree(
+        n,
+        (20.0, 400.0),
+        (0.05e-12, 0.8e-12),
+        7,
+        Waveform::step(0.0, 1.0),
+    );
+    println!("random RC tree: {n} capacitive nodes (seed 7)\n");
+
+    // Elmore for every node in one walk.
+    let t_d = elmore_delays(&g.circuit)?;
+    let engine = AweEngine::new(&g.circuit)?;
+
+    // Reference simulation once, for the whole net.
+    let worst_td = g.nodes.iter().map(|&nd| t_d[nd]).fold(0.0f64, f64::max);
+    let sim = simulate(&g.circuit, TransientOptions::new(12.0 * worst_td))?;
+
+    println!("  sink   T_D [ps]   AWE-auto q   delay [ps]   est.err [%]   sim delay [ps]");
+    let mut worst: Option<(String, f64)> = None;
+    for &node in g.nodes.iter().rev().take(8) {
+        let name = g.circuit.node_name(node).to_owned();
+        let (approx, _trail) =
+            engine.approximate_auto(node, 0.01, 6, AweOptions::default())?;
+        let delay = approx.delay_50().expect("rising response");
+        let d_sim = sim.delay_50(node).expect("rising waveform");
+        println!(
+            "  {name:>5}   {:8.1}   {:10}   {:10.1}   {:11.3}   {:14.1}",
+            t_d[node] * 1e12,
+            approx.order,
+            delay * 1e12,
+            approx.error_estimate.unwrap_or(f64::NAN) * 100.0,
+            d_sim * 1e12,
+        );
+        if worst.as_ref().is_none_or(|(_, d)| delay > *d) {
+            worst = Some((name, delay));
+        }
+    }
+
+    if let Some((name, delay)) = worst {
+        println!("\ncritical sink: {name} at {:.1} ps", delay * 1e12);
+    }
+    println!(
+        "\nElmore's T_D bounds the 50% delay from above on monotone RC-tree\n\
+         responses; auto-order AWE refines each sink to the requested accuracy\n\
+         with a handful of extra tree walks."
+    );
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Greedy wire sizing driven by Elmore sensitivities.
+//!
+//! The classic post-layout optimization: widen the wire segment whose
+//! resistance hurts the critical sink the most, paying for it with added
+//! capacitance. The Elmore sensitivities `∂T_D/∂R` and `∂T_D/∂C` from the
+//! `O(n)` tree walk rank the candidates; AWE order-3 confirms each move
+//! with an accurate delay.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example wire_sizing
+//! ```
+
+use awesim::circuit::{parse_deck, Circuit};
+use awesim::core::AweEngine;
+use awesim::treelink::TreeAnalysis;
+
+/// Widening a segment by `k` divides its resistance by `k` and multiplies
+/// its (area) capacitance by `k`.
+fn widen(circuit: &Circuit, segment: &str, k: f64) -> Circuit {
+    let deck = circuit.to_deck();
+    let cap_name = segment.replace('R', "C");
+    let new_deck: String = deck
+        .lines()
+        .map(|line| {
+            let mut parts: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+            if parts.first().is_some_and(|p| p == segment) {
+                let v: f64 = parts[3].parse().expect("numeric value");
+                parts[3] = format!("{:e}", v / k);
+                parts.join(" ")
+            } else if parts.first().is_some_and(|p| *p == cap_name) {
+                let v: f64 = parts[3].parse().expect("numeric value");
+                parts[3] = format!("{:e}", v * k);
+                parts.join(" ")
+            } else {
+                line.to_owned()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    parse_deck(&new_deck).expect("perturbed deck parses")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A long thin net: driver, five skinny segments, a heavy sink load.
+    let ckt = parse_deck(
+        "V1 in 0 STEP 0 5
+Rdrv in w0 120
+R1 w0 w1 180
+C1 w1 0 0.08p
+R2 w1 w2 180
+C2 w2 0 0.08p
+R3 w2 w3 180
+C3 w3 0 0.08p
+R4 w3 w4 180
+C4 w4 0 0.08p
+R5 w4 sink 180
+C5 sink 0 0.08p
+Cpin sink 0 0.15p",
+    )?;
+
+    let delay_of = |c: &Circuit| -> f64 {
+        let node = c.find_node("sink").expect("sink");
+        let engine = AweEngine::new(c).expect("builds");
+        engine
+            .approximate(node, 3)
+            .expect("order 3")
+            .delay_50()
+            .expect("rising")
+    };
+
+    println!("greedy wire widening (each step: widen the best segment 2x)\n");
+    println!("  step   widened   dT/dR [ps/Ω]   AWE-3 delay [ps]");
+    let mut current = ckt.clone();
+    let d0 = delay_of(&current);
+    println!("  {:4}   {:7}   {:12}   {:15.1}", 0, "-", "-", d0 * 1e12);
+
+    for step in 1..=6 {
+        // Rank candidates by net first-order benefit of widening 2×:
+        // ΔT ≈ ∂T/∂R·(R/2 − R) + ∂T/∂C·(C·2 − C).
+        let ta = TreeAnalysis::new(&current)?;
+        let node = current.find_node("sink").expect("sink");
+        let s = ta.elmore_sensitivities(node)?;
+        let mut best: Option<(String, f64, f64)> = None;
+        for (rname, d_r) in &s.wrt_resistance {
+            if rname == "Rdrv" {
+                continue; // the driver is not a wire
+            }
+            let cname = rname.replace('R', "C");
+            let d_c = s
+                .wrt_capacitance
+                .iter()
+                .find(|(n, _)| *n == cname)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0);
+            let (r, c) = match (current.element(rname), current.element(&cname)) {
+                (
+                    Some(awesim::circuit::Element::Resistor { ohms, .. }),
+                    Some(awesim::circuit::Element::Capacitor { farads, .. }),
+                ) => (*ohms, *farads),
+                _ => continue,
+            };
+            let benefit = d_r * (r / 2.0 - r) + d_c * c; // ΔT for 2× widening
+            if best.as_ref().is_none_or(|(_, b, _)| benefit < *b) {
+                best = Some((rname.clone(), benefit, *d_r));
+            }
+        }
+        let (segment, benefit, d_r) = best.expect("candidates exist");
+        if benefit >= 0.0 {
+            println!("  {step:4}   (stop: no segment predicts further improvement)");
+            break;
+        }
+        current = widen(&current, &segment, 2.0);
+        let d = delay_of(&current);
+        println!(
+            "  {step:4}   {segment:7}   {:12.3}   {:15.1}",
+            d_r * 1e12,
+            d * 1e12
+        );
+    }
+
+    let d_final = delay_of(&current);
+    println!(
+        "\ndelay improved {:.1} ps -> {:.1} ps ({:.0} %) by sensitivity-guided\n\
+         widening; each ranking costs one O(n) tree walk, each check one AWE run.",
+        d0 * 1e12,
+        d_final * 1e12,
+        (1.0 - d_final / d0) * 100.0
+    );
+    // Sanity: the greedy loop must actually help.
+    assert!(d_final < d0, "widening should not hurt the critical sink");
+    Ok(())
+}

@@ -1,0 +1,226 @@
+//! `awesim` — command-line AWE timing analysis for SPICE-like decks.
+//!
+//! ```text
+//! awesim analyze <deck> --node <name> [--order N | --auto ERR] [--threshold V]
+//! awesim poles   <deck> [--order N]
+//! awesim sim     <deck> --node <name> --tstop SECONDS [--samples N]
+//! awesim elmore  <deck>
+//! awesim check   <deck>
+//! awesim export  <deck> --node <name> [--order N] [--pwl N]
+//! ```
+//!
+//! The deck format is documented in `awesim::circuit::parse_deck`.
+
+use std::fs;
+use std::process::ExitCode;
+
+use awesim::circuit::{analyze as classify, parse_deck, Circuit, NodeId};
+use awesim::core::elmore::elmore_delays;
+use awesim::core::{AweEngine, AweOptions};
+use awesim::sim::{exact_poles, simulate, TransientOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  awesim analyze <deck> --node <name> [--order N | --auto ERR] [--threshold V]
+  awesim poles   <deck> [--max N]
+  awesim sim     <deck> --node <name> --tstop SECONDS [--samples N]
+  awesim elmore  <deck>
+  awesim check   <deck>
+  awesim export  <deck> --node <name> [--order N] [--pwl N]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    let deck_path = args.get(1).ok_or("missing deck path")?;
+    let deck = fs::read_to_string(deck_path)
+        .map_err(|e| format!("cannot read {deck_path}: {e}"))?;
+    let circuit = parse_deck(&deck).map_err(|e| e.to_string())?;
+
+    match cmd.as_str() {
+        "analyze" => cmd_analyze(&circuit, &args[2..]),
+        "poles" => cmd_poles(&circuit, &args[2..]),
+        "sim" => cmd_sim(&circuit, &args[2..]),
+        "elmore" => cmd_elmore(&circuit),
+        "check" => cmd_check(&circuit),
+        "export" => cmd_export(&circuit, &args[2..]),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn node_arg(circuit: &Circuit, args: &[String]) -> Result<NodeId, String> {
+    let name = flag(args, "--node").ok_or("missing --node <name>")?;
+    circuit
+        .find_node(&name)
+        .ok_or_else(|| format!("node `{name}` not found in the deck"))
+}
+
+fn cmd_analyze(circuit: &Circuit, args: &[String]) -> Result<(), String> {
+    let node = node_arg(circuit, args)?;
+    let engine = AweEngine::new(circuit).map_err(|e| e.to_string())?;
+
+    let approx = if let Some(target) = flag(args, "--auto") {
+        let target: f64 = target.parse().map_err(|_| "bad --auto value")?;
+        let (a, trail) = engine
+            .approximate_auto(node, target, 8, AweOptions::default())
+            .map_err(|e| e.to_string())?;
+        println!("auto order selection (target {:.2} %):", target * 100.0);
+        for r in &trail {
+            println!(
+                "  q={}: est. error {}, stable={}",
+                r.order,
+                r.error
+                    .map_or("n/a".to_owned(), |e| format!("{:.3} %", e * 100.0)),
+                r.stable
+            );
+        }
+        a
+    } else {
+        let order: usize = flag(args, "--order")
+            .map(|s| s.parse().map_err(|_| "bad --order value"))
+            .transpose()?
+            .unwrap_or(2);
+        engine.approximate(node, order).map_err(|e| e.to_string())?
+    };
+
+    println!("order: {}", approx.order);
+    println!("stable: {}", approx.stable);
+    println!("initial value: {:.6} V", approx.initial_value());
+    println!("final value:   {:.6} V", approx.final_value());
+    if let Some(e) = approx.error_estimate {
+        println!("error estimate: {:.3} %", e * 100.0);
+    }
+    println!("poles:");
+    for p in approx.poles() {
+        if p.im == 0.0 {
+            println!("  {:.6e} rad/s", p.re);
+        } else {
+            println!("  {:.6e} {:+.6e}j rad/s", p.re, p.im);
+        }
+    }
+    if let Some(d) = approx.delay_50() {
+        println!("50% delay: {:.6e} s", d);
+    }
+    if let Some(thr) = flag(args, "--threshold") {
+        let level: f64 = thr.parse().map_err(|_| "bad --threshold value")?;
+        match approx.delay_to_threshold(level) {
+            Some(t) => println!("{level} V threshold: {t:.6e} s"),
+            None => println!("{level} V threshold: never crossed"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_poles(circuit: &Circuit, args: &[String]) -> Result<(), String> {
+    let poles = exact_poles(circuit).map_err(|e| e.to_string())?;
+    let max: usize = flag(args, "--max")
+        .map(|s| s.parse().map_err(|_| "bad --max value"))
+        .transpose()?
+        .unwrap_or(poles.len());
+    println!("{} natural frequencies (dominant first):", poles.len());
+    for p in poles.iter().take(max) {
+        if p.im == 0.0 {
+            println!("  {:.6e} rad/s", p.re);
+        } else {
+            println!("  {:.6e} {:+.6e}j rad/s", p.re, p.im);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sim(circuit: &Circuit, args: &[String]) -> Result<(), String> {
+    let node = node_arg(circuit, args)?;
+    let t_stop: f64 = flag(args, "--tstop")
+        .ok_or("missing --tstop SECONDS")?
+        .parse()
+        .map_err(|_| "bad --tstop value")?;
+    let samples: usize = flag(args, "--samples")
+        .map(|s| s.parse().map_err(|_| "bad --samples value"))
+        .transpose()?
+        .unwrap_or(20);
+
+    let result = simulate(circuit, TransientOptions::new(t_stop)).map_err(|e| e.to_string())?;
+    println!("{:>16} {:>12}", "t [s]", "v [V]");
+    for i in 0..=samples {
+        let t = t_stop * i as f64 / samples as f64;
+        println!("{t:>16.6e} {:>12.6}", result.value_at(node, t));
+    }
+    if let Some(d) = result.delay_50(node) {
+        println!("50% delay: {d:.6e} s");
+    }
+    Ok(())
+}
+
+fn cmd_elmore(circuit: &Circuit) -> Result<(), String> {
+    let delays = elmore_delays(circuit).map_err(|e| e.to_string())?;
+    println!("{:>10} {:>16}", "node", "T_D [s]");
+    for (node, &t_d) in delays.iter().enumerate().skip(1) {
+        if t_d > 0.0 {
+            println!("{:>10} {:>16.6e}", circuit.node_name(node), t_d);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_export(circuit: &Circuit, args: &[String]) -> Result<(), String> {
+    use awesim::core::macromodel::{to_pole_residue_text, to_pwl};
+    let node = node_arg(circuit, args)?;
+    let order: usize = flag(args, "--order")
+        .map(|s| s.parse().map_err(|_| "bad --order value"))
+        .transpose()?
+        .unwrap_or(2);
+    let engine = AweEngine::new(circuit).map_err(|e| e.to_string())?;
+    let approx = engine.approximate(node, order).map_err(|e| e.to_string())?;
+    if let Some(n) = flag(args, "--pwl") {
+        let n: usize = n.parse().map_err(|_| "bad --pwl value")?;
+        if n < 2 {
+            return Err("--pwl needs at least 2 samples".into());
+        }
+        // SPICE-compatible PWL list.
+        print!("PWL(");
+        for (i, (t, v)) in to_pwl(&approx, n).iter().enumerate() {
+            if i > 0 {
+                print!(" ");
+            }
+            print!("{t:.6e} {v:.6e}");
+        }
+        println!(")");
+    } else {
+        print!("{}", to_pole_residue_text(&approx));
+    }
+    Ok(())
+}
+
+fn cmd_check(circuit: &Circuit) -> Result<(), String> {
+    let report = classify(circuit);
+    println!("nodes: {}", circuit.num_nodes() - 1);
+    println!("elements: {}", circuit.elements().len());
+    println!("states (C + L): {}", circuit.num_states());
+    println!("is RC tree: {}", report.is_rc_tree());
+    println!("is RC mesh: {}", report.is_rc_mesh());
+    println!("explicit steady state: {}", report.has_explicit_steady_state());
+    println!("inductors: {}", report.has_inductors);
+    println!("floating capacitors: {}", report.has_floating_capacitors);
+    println!("grounded resistors: {}", report.has_grounded_resistors);
+    println!("resistor loops: {}", report.has_resistor_loops);
+    println!("controlled sources: {}", report.has_controlled_sources);
+    println!("initial conditions: {}", report.has_initial_conditions);
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # awesim
+//!
+//! Facade crate for the AWEsim workspace — a Rust reproduction of
+//! Pillage & Rohrer, *Asymptotic Waveform Evaluation for Timing Analysis*
+//! (DAC 1989 / IEEE TCAD 1990).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`numeric`] — linear algebra / eigen / polynomial substrate.
+//! * [`circuit`] — netlists, parsing, topology, paper circuits, generators.
+//! * [`mna`] — modified nodal analysis and moment generation.
+//! * [`treelink`] — `O(n)` tree-walk analysis for RC trees.
+//! * [`core`] — the AWE engine, baselines, and waveform metrics.
+//! * [`sim`] — reference transient simulator and exact poles.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use awesim::circuit::{parse_deck, Waveform};
+//! use awesim::core::AweEngine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ckt = parse_deck(
+//!     "V1 in 0 STEP 0 5
+//!      R1 in n1 100
+//!      C1 n1 0 1p
+//!      R2 n1 n2 200
+//!      C2 n2 0 0.5p",
+//! )?;
+//! let out = ckt.find_node("n2").expect("node exists");
+//! let engine = AweEngine::new(&ckt)?;
+//! let approx = engine.approximate(out, 2)?;
+//! println!("50% delay: {:?}", approx.delay_50());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use awe as core;
+pub use awe_circuit as circuit;
+pub use awe_mna as mna;
+pub use awe_numeric as numeric;
+pub use awe_sim as sim;
+pub use awe_treelink as treelink;

@@ -1,0 +1,170 @@
+//! Integration tests for the `awesim` command-line tool, driving the real
+//! binary via `CARGO_BIN_EXE`.
+
+use std::io::Write;
+use std::process::Command;
+
+fn awesim(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_awesim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn write_deck(content: &str) -> tempfile::NamedTempPath {
+    tempfile::NamedTempPath::new(content)
+}
+
+/// Minimal self-contained temp-file helper (no external crates).
+mod tempfile {
+    use std::path::PathBuf;
+
+    pub struct NamedTempPath(PathBuf);
+
+    impl NamedTempPath {
+        pub fn new(content: &str) -> Self {
+            let mut path = std::env::temp_dir();
+            let unique = format!(
+                "awesim-test-{}-{:?}.sp",
+                std::process::id(),
+                std::thread::current().id()
+            );
+            path.push(unique);
+            std::fs::write(&path, content).expect("temp write");
+            NamedTempPath(path)
+        }
+
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().expect("utf8 path")
+        }
+    }
+
+    impl Drop for NamedTempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+const DECK: &str = "V1 in 0 STEP 0 5
+Rdrv in n1 100
+C1 n1 0 1p
+Rw n1 out 200
+Cout out 0 0.5p
+.end
+";
+
+#[test]
+fn check_reports_topology() {
+    let deck = write_deck(DECK);
+    let (ok, stdout, _) = awesim(&["check", deck.as_str()]);
+    assert!(ok);
+    assert!(stdout.contains("is RC tree: true"));
+    assert!(stdout.contains("states (C + L): 2"));
+}
+
+#[test]
+fn analyze_prints_poles_and_delay() {
+    let deck = write_deck(DECK);
+    let (ok, stdout, _) = awesim(&[
+        "analyze",
+        deck.as_str(),
+        "--node",
+        "out",
+        "--order",
+        "2",
+        "--threshold",
+        "4.0",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("order: 2"));
+    assert!(stdout.contains("stable: true"));
+    assert!(stdout.contains("50% delay:"));
+    assert!(stdout.contains("4 V threshold:"));
+    // Two poles listed.
+    assert_eq!(stdout.matches("rad/s").count(), 2, "{stdout}");
+}
+
+#[test]
+fn analyze_auto_escalates() {
+    let deck = write_deck(DECK);
+    let (ok, stdout, _) = awesim(&["analyze", deck.as_str(), "--node", "out", "--auto", "0.001"]);
+    assert!(ok);
+    assert!(stdout.contains("auto order selection"));
+    assert!(stdout.contains("q=1"));
+}
+
+#[test]
+fn poles_and_elmore_agree_with_analyze() {
+    let deck = write_deck(DECK);
+    let (ok, poles_out, _) = awesim(&["poles", deck.as_str()]);
+    assert!(ok);
+    assert!(poles_out.contains("2 natural frequencies"));
+    let (ok, elmore_out, _) = awesim(&["elmore", deck.as_str()]);
+    assert!(ok);
+    assert!(elmore_out.contains("out"));
+    assert!(elmore_out.contains("T_D"));
+}
+
+#[test]
+fn sim_prints_waveform() {
+    let deck = write_deck(DECK);
+    let (ok, stdout, _) = awesim(&[
+        "sim",
+        deck.as_str(),
+        "--node",
+        "out",
+        "--tstop",
+        "2e-9",
+        "--samples",
+        "4",
+    ]);
+    assert!(ok);
+    assert!(stdout.lines().count() >= 6, "{stdout}");
+    assert!(stdout.contains("50% delay:"));
+}
+
+#[test]
+fn export_macromodel_round_trips() {
+    let deck = write_deck(DECK);
+    let (ok, text, _) = awesim(&["export", deck.as_str(), "--node", "out"]);
+    assert!(ok);
+    assert!(text.starts_with("awe-macromodel v1"));
+    let model = awesim::core::macromodel::parse_pole_residue_text(&text).expect("parses");
+    assert!((model.final_value() - 5.0).abs() < 1e-6);
+    // PWL form too.
+    let (ok, pwl, _) = awesim(&["export", deck.as_str(), "--node", "out", "--pwl", "8"]);
+    assert!(ok);
+    assert!(pwl.trim().starts_with("PWL("));
+    assert!(pwl.trim().ends_with(')'));
+}
+
+#[test]
+fn errors_are_clean() {
+    let (ok, _, stderr) = awesim(&["bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+
+    let (ok, _, stderr) = awesim(&["analyze", "/nonexistent/deck.sp", "--node", "x"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+
+    let deck = write_deck(DECK);
+    let (ok, _, stderr) = awesim(&["analyze", deck.as_str(), "--node", "missing"]);
+    assert!(!ok);
+    assert!(stderr.contains("not found"));
+
+    let mut bad = std::env::temp_dir();
+    bad.push(format!("awesim-bad-{}.sp", std::process::id()));
+    let mut f = std::fs::File::create(&bad).unwrap();
+    writeln!(f, "Q1 a b 1k").unwrap();
+    let (ok, _, stderr) = awesim(&["check", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+    let _ = std::fs::remove_file(&bad);
+}

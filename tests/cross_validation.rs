@@ -1,0 +1,222 @@
+//! Cross-validation of the AWE engine against the reference simulator on
+//! generated workloads — beyond the paper's hand-built figures.
+
+use awesim::circuit::generators::{coupled_rc_lines, random_rc_tree, rc_mesh, rlc_ladder};
+use awesim::circuit::stage::StageBuilder;
+use awesim::circuit::{Circuit, Waveform, GROUND};
+use awesim::core::AweEngine;
+use awesim::sim::{relative_l2_vs_sim, simulate, TransientOptions};
+
+/// AWE order-3 delays on random RC trees agree with the simulator within
+/// a few percent across seeds.
+#[test]
+fn random_tree_delays_match_sim() {
+    for seed in [1u64, 17, 99, 256] {
+        let g = random_rc_tree(
+            12,
+            (10.0, 300.0),
+            (0.05e-12, 0.5e-12),
+            seed,
+            Waveform::step(0.0, 1.0),
+        );
+        let engine = AweEngine::new(&g.circuit).expect("builds");
+        let approx = engine.approximate(g.output, 3).expect("order 3");
+        let horizon = approx.horizon();
+        let sim = simulate(&g.circuit, TransientOptions::new(horizon)).expect("sim");
+        let d_awe = approx.delay_50().expect("rising");
+        let d_sim = sim.delay_50(g.output).expect("rising");
+        assert!(
+            ((d_awe - d_sim) / d_sim).abs() < 0.03,
+            "seed {seed}: {d_awe} vs {d_sim}"
+        );
+        let err = relative_l2_vs_sim(&sim, g.output, |t| approx.eval(t)).expect("err");
+        assert!(err < 0.05, "seed {seed}: waveform error {err}");
+    }
+}
+
+/// Meshes (the Lin–Mead regime): AWE handles resistor loops through the
+/// same pipeline.
+#[test]
+fn mesh_waveforms_match_sim() {
+    let g = rc_mesh(3, 3, 25.0, 0.2e-12, Waveform::step(0.0, 5.0));
+    let engine = AweEngine::new(&g.circuit).expect("builds");
+    let approx = engine.approximate(g.output, 3).expect("order 3");
+    let sim = simulate(&g.circuit, TransientOptions::new(approx.horizon())).expect("sim");
+    let err = relative_l2_vs_sim(&sim, g.output, |t| approx.eval(t)).expect("err");
+    assert!(err < 0.03, "mesh error {err}");
+}
+
+/// Crosstalk victims (floating caps at scale): the coupled-line victim
+/// noise waveform matches the simulation.
+#[test]
+fn coupled_line_victim_matches_sim() {
+    let g = coupled_rc_lines(6, 30.0, 0.2e-12, 0.1e-12, Waveform::rising_step(0.0, 5.0, 30e-12));
+    let engine = AweEngine::new(&g.circuit).expect("builds");
+    let approx = engine.approximate(g.output, 4).expect("order 4");
+    let t_stop = 3e-9;
+    let sim = simulate(&g.circuit, TransientOptions::new(t_stop)).expect("sim");
+    let sim_peak = sim
+        .waveform(g.output)
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max);
+    let awe_peak = (0..3000)
+        .map(|i| approx.eval(t_stop * i as f64 / 3000.0))
+        .fold(0.0f64, f64::max);
+    assert!(sim_peak > 0.05, "coupling should disturb the victim");
+    assert!(
+        ((awe_peak - sim_peak) / sim_peak).abs() < 0.05,
+        "victim peak {awe_peak} vs {sim_peak}"
+    );
+}
+
+/// RLC ladders at several damping levels: order 6 tracks the ringing.
+#[test]
+fn rlc_ladders_match_sim() {
+    for (rs, label) in [(60.0, "damped"), (20.0, "ringing")] {
+        let g = rlc_ladder(3, rs, 4e-9, 2e-12, Waveform::step(0.0, 5.0));
+        let engine = AweEngine::new(&g.circuit).expect("builds");
+        let approx = engine.approximate(g.output, 6).expect("order 6");
+        assert!(approx.stable, "{label}: unstable");
+        let sim = simulate(&g.circuit, TransientOptions::new(6e-9)).expect("sim");
+        let err = relative_l2_vs_sim(&sim, g.output, |t| approx.eval(t)).expect("err");
+        assert!(err < 0.10, "{label}: error {err}");
+    }
+}
+
+/// Controlled sources: a VCCS-loaded stage (a linearized active load)
+/// runs through the same AWE pipeline and matches the simulator.
+#[test]
+fn vccs_circuit_matches_sim() {
+    let mut ckt = Circuit::new();
+    let n_in = ckt.node("in");
+    let n1 = ckt.node("n1");
+    let n2 = ckt.node("n2");
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+    ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+    ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+    // Transconductance stage: output current into n2's RC load.
+    ckt.add_vccs("G1", GROUND, n2, n1, GROUND, 2e-3).unwrap();
+    ckt.add_resistor("R2", n2, GROUND, 2e3).unwrap();
+    ckt.add_capacitor("C2", n2, GROUND, 0.5e-12).unwrap();
+
+    let engine = AweEngine::new(&ckt).expect("builds");
+    let approx = engine.approximate(n2, 2).expect("order 2");
+    // DC gain: gm·R2 = 4.
+    assert!((approx.final_value() - 4.0).abs() < 1e-6);
+    let sim = simulate(&ckt, TransientOptions::new(2e-8)).expect("sim");
+    let err = relative_l2_vs_sim(&sim, n2, |t| approx.eval(t)).expect("err");
+    assert!(err < 0.02, "vccs error {err}");
+}
+
+/// VCVS buffering: an ideal buffer isolating two RC sections.
+#[test]
+fn vcvs_circuit_matches_sim() {
+    let mut ckt = Circuit::new();
+    let n_in = ckt.node("in");
+    let n1 = ckt.node("n1");
+    let nb = ckt.node("nb");
+    let n2 = ckt.node("n2");
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 2.0)).unwrap();
+    ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+    ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+    ckt.add_vcvs("E1", nb, GROUND, n1, GROUND, 1.0).unwrap();
+    ckt.add_resistor("R2", nb, n2, 2e3).unwrap();
+    ckt.add_capacitor("C2", n2, GROUND, 1e-12).unwrap();
+
+    let engine = AweEngine::new(&ckt).expect("builds");
+    let approx = engine.approximate(n2, 2).expect("order 2");
+    assert!((approx.final_value() - 2.0).abs() < 1e-6);
+    let sim = simulate(&ckt, TransientOptions::new(3e-8)).expect("sim");
+    let err = relative_l2_vs_sim(&sim, n2, |t| approx.eval(t)).expect("err");
+    assert!(err < 0.02, "vcvs error {err}");
+}
+
+/// The stage builder feeds straight into the engine; per-receiver delays
+/// are ordered by their Elmore delays.
+#[test]
+fn stage_builder_end_to_end() {
+    let stage = StageBuilder::new(Waveform::rising_step(0.0, 5.0, 40e-12))
+        .driver_resistance(140.0)
+        .wire("root", "a", 60.0, 0.25e-12)
+        .wire("a", "near", 20.0, 0.1e-12)
+        .wire("a", "far", 200.0, 0.4e-12)
+        .receiver("near", 20e-15)
+        .receiver("far", 50e-15)
+        .build()
+        .expect("valid stage");
+    let engine = AweEngine::new(&stage.circuit).expect("builds");
+    let mut delays = Vec::new();
+    for (name, node) in &stage.receivers {
+        let a = engine.approximate(*node, 3).expect("order 3");
+        delays.push((name.clone(), a.delay_50().expect("rising")));
+    }
+    assert!(delays[0].1 < delays[1].1, "near must beat far: {delays:?}");
+    // And both agree with simulation.
+    let sim = simulate(&stage.circuit, TransientOptions::new(5e-9)).expect("sim");
+    for (name, node) in &stage.receivers {
+        let d_sim = sim.delay_50(*node).expect("rising");
+        let d_awe = delays
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("present")
+            .1;
+        assert!(
+            ((d_awe - d_sim) / d_sim).abs() < 0.03,
+            "{name}: {d_awe} vs {d_sim}"
+        );
+    }
+}
+
+/// Nonzero pre-transition bias plus a downward step: falling edges work
+/// symmetrically.
+#[test]
+fn falling_edge_symmetric() {
+    let g = random_rc_tree(
+        8,
+        (10.0, 200.0),
+        (0.1e-12, 0.4e-12),
+        5,
+        Waveform::step(5.0, 0.0),
+    );
+    let engine = AweEngine::new(&g.circuit).expect("builds");
+    let approx = engine.approximate(g.output, 2).expect("order 2");
+    assert!((approx.initial_value() - 5.0).abs() < 1e-6);
+    assert!(approx.final_value().abs() < 1e-6);
+    let d = approx.delay_50().expect("falling");
+    let sim = simulate(&g.circuit, TransientOptions::new(approx.horizon())).expect("sim");
+    let d_sim = sim.delay_50(g.output).expect("falling");
+    assert!(((d - d_sim) / d_sim).abs() < 0.05, "{d} vs {d_sim}");
+}
+
+/// Multi-source superposition: two drivers switching at different times.
+#[test]
+fn two_drivers_superpose() {
+    let mut ckt = Circuit::new();
+    let a_in = ckt.node("a_in");
+    let b_in = ckt.node("b_in");
+    let n1 = ckt.node("n1");
+    ckt.add_vsource("Va", a_in, GROUND, Waveform::pwl(vec![(0.0, 0.0), (1e-9, 2.0)]))
+        .unwrap();
+    ckt.add_vsource(
+        "Vb",
+        b_in,
+        GROUND,
+        Waveform::pwl(vec![(2e-9, 0.0), (3e-9, 3.0)]),
+    )
+    .unwrap();
+    ckt.add_resistor("Ra", a_in, n1, 1e3).unwrap();
+    ckt.add_resistor("Rb", b_in, n1, 1e3).unwrap();
+    ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+
+    let engine = AweEngine::new(&ckt).expect("builds");
+    let approx = engine.approximate(n1, 2).expect("order 2");
+    // Final: superposition of both dividers = (2 + 3)/2.
+    assert!((approx.final_value() - 2.5).abs() < 1e-6);
+    let sim = simulate(&ckt, TransientOptions::new(10e-9)).expect("sim");
+    for i in 0..20 {
+        let t = i as f64 * 0.5e-9;
+        let (a, s) = (approx.eval(t), sim.value_at(n1, t));
+        assert!((a - s).abs() < 0.02, "t={t}: {a} vs {s}");
+    }
+}

@@ -1,0 +1,387 @@
+//! End-to-end reproduction checks for every figure experiment of the
+//! paper's evaluation (§IV–§V), AWE versus the reference simulator.
+//!
+//! Each test is one figure: it builds the paper circuit, runs AWE at the
+//! order the paper uses, simulates the "exact" waveform, and asserts the
+//! relationships the paper reports — who is accurate at which order, how
+//! the error falls, where the delays land.
+
+use awesim::circuit::papers::{fig16, fig22, fig22_victim, fig25, fig4, fig8, fig9, VDD};
+use awesim::circuit::Waveform;
+use awesim::core::elmore::elmore_approximation;
+use awesim::core::AweEngine;
+use awesim::sim::{relative_l2_vs_sim, simulate, TransientOptions};
+
+fn step5() -> Waveform {
+    Waveform::step(0.0, VDD)
+}
+
+/// Fig. 7: first-order AWE vs SPICE for the Fig. 4 RC tree step response.
+/// The shape matches but visible error remains (the paper's §4.4 reports
+/// 36 %); the 50 % delay is nonetheless captured to a few percent.
+#[test]
+fn fig07_first_order_step() {
+    let p = fig4(step5());
+    let engine = AweEngine::new(&p.circuit).unwrap();
+    let awe1 = engine.approximate(p.output, 1).unwrap();
+    let sim = simulate(&p.circuit, TransientOptions::new(8e-3)).unwrap();
+
+    let err = relative_l2_vs_sim(&sim, p.output, |t| awe1.eval(t)).unwrap();
+    assert!(
+        (0.01..0.6).contains(&err),
+        "1st-order error {err} outside the paper's visible-but-usable regime"
+    );
+    let d_awe = awe1.delay_50().unwrap();
+    let d_sim = sim.delay_50(p.output).unwrap();
+    assert!(
+        ((d_awe - d_sim) / d_sim).abs() < 0.10,
+        "delay {d_awe} vs sim {d_sim}"
+    );
+}
+
+/// Fig. 15: the second-order approximation is indistinguishable from
+/// SPICE at plot resolution (paper: error 36 % → 1.6 %).
+#[test]
+fn fig15_second_order_step() {
+    let p = fig4(step5());
+    let engine = AweEngine::new(&p.circuit).unwrap();
+    let awe1 = engine.approximate(p.output, 1).unwrap();
+    let awe2 = engine.approximate(p.output, 2).unwrap();
+    let sim = simulate(&p.circuit, TransientOptions::new(8e-3)).unwrap();
+
+    let e1 = relative_l2_vs_sim(&sim, p.output, |t| awe1.eval(t)).unwrap();
+    let e2 = relative_l2_vs_sim(&sim, p.output, |t| awe2.eval(t)).unwrap();
+    assert!(e2 < e1 / 5.0, "order 2 ({e2}) must collapse order-1 error ({e1})");
+    assert!(e2 < 0.05, "e2 = {e2}");
+    // §3.4's internal estimate should agree with the measured error in
+    // order of magnitude.
+    let est1 = awe1.error_estimate.unwrap();
+    assert!(est1 > e2, "internal estimate {est1} vs measured order-2 {e2}");
+}
+
+/// Fig. 12: grounded resistor (Fig. 9) — steady state scales to 4 V and
+/// the first-order AWE tracks the simulated response.
+#[test]
+fn fig12_grounded_resistor() {
+    let p = fig9(step5());
+    let engine = AweEngine::new(&p.circuit).unwrap();
+    let awe1 = engine.approximate(p.output, 1).unwrap();
+    let sim = simulate(&p.circuit, TransientOptions::new(6e-3)).unwrap();
+
+    assert!((awe1.final_value() - 4.0).abs() < 1e-6);
+    assert!((sim.value_at(p.output, 6e-3) - 4.0).abs() < 5e-3);
+    let err = relative_l2_vs_sim(&sim, p.output, |t| awe1.eval(t)).unwrap();
+    assert!(err < 0.6, "err = {err}");
+    let d_awe = awe1.delay_50().unwrap();
+    let d_sim = sim.delay_50(p.output).unwrap();
+    assert!(((d_awe - d_sim) / d_sim).abs() < 0.12, "{d_awe} vs {d_sim}");
+}
+
+/// Fig. 14: 1 ms-rise ramp input on the Fig. 4 tree, handled by the
+/// two-ramp superposition of §4.3. First-order AWE predicts the delay
+/// well; the worst deviation sits near t = 0 exactly as the paper notes.
+#[test]
+fn fig14_ramp_response() {
+    let p = fig4(Waveform::rising_step(0.0, VDD, 1e-3));
+    let engine = AweEngine::new(&p.circuit).unwrap();
+    let awe1 = engine.approximate(p.output, 1).unwrap();
+    let sim = simulate(&p.circuit, TransientOptions::new(8e-3)).unwrap();
+
+    let d_awe = awe1.delay_50().unwrap();
+    let d_sim = sim.delay_50(p.output).unwrap();
+    assert!(
+        ((d_awe - d_sim) / d_sim).abs() < 0.05,
+        "ramp delay {d_awe} vs {d_sim}"
+    );
+    // Ramp responses approximate better than steps (§5.4's remark): the
+    // error must be below the step-response error.
+    let err_ramp = relative_l2_vs_sim(&sim, p.output, |t| awe1.eval(t)).unwrap();
+    let p_step = fig4(step5());
+    let engine_step = AweEngine::new(&p_step.circuit).unwrap();
+    let awe1_step = engine_step.approximate(p_step.output, 1).unwrap();
+    let sim_step = simulate(&p_step.circuit, TransientOptions::new(8e-3)).unwrap();
+    let err_step = relative_l2_vs_sim(&sim_step, p_step.output, |t| awe1_step.eval(t)).unwrap();
+    assert!(
+        err_ramp < err_step,
+        "ramp error {err_ramp} should be below step error {err_step}"
+    );
+}
+
+/// Figs. 17–18: the stiff Fig. 16 tree with a 1 ns input ramp — first
+/// order is already close (paper: 4.4 %), second order collapses the
+/// error (paper: 0.15 %).
+#[test]
+fn fig17_18_stiff_tree_orders() {
+    let p = fig16(Waveform::rising_step(0.0, VDD, 1e-9), None);
+    let engine = AweEngine::new(&p.circuit).unwrap();
+    let awe1 = engine.approximate(p.output, 1).unwrap();
+    let awe2 = engine.approximate(p.output, 2).unwrap();
+    let sim = simulate(&p.circuit, TransientOptions::new(6e-9)).unwrap();
+
+    let e1 = relative_l2_vs_sim(&sim, p.output, |t| awe1.eval(t)).unwrap();
+    let e2 = relative_l2_vs_sim(&sim, p.output, |t| awe2.eval(t)).unwrap();
+    assert!(e1 < 0.30, "first order on a ramp is already decent: {e1}");
+    assert!(e2 < e1, "order 2 ({e2}) must improve on order 1 ({e1})");
+    assert!(e2 < 0.05, "e2 = {e2}");
+}
+
+/// Figs. 20–21: nonequilibrium initial condition `V_C6(0) = 5 V` makes
+/// the response nonmonotone; a first-order model cannot represent it
+/// (paper: 150 % error) while second order nails it (0.65 %).
+#[test]
+fn fig20_21_nonequilibrium_ic() {
+    // Part 1 — ideal step + IC: the C6-node response is a pure charge-
+    // sharing pulse (starts at 5 V, dips, returns to 5 V). Its initial
+    // homogeneous value m₋₁ is exactly zero, so the strict first-order
+    // match degenerates to a flat line: 100 % error — the paper's
+    // "single exponential cannot be used" case (§5.2/§3.3).
+    let strict = awesim::core::AweOptions {
+        max_escalation: 0,
+        allow_order_bump: false,
+        ..Default::default()
+    };
+    let p_step = fig16(step5(), Some(VDD));
+    let n6 = p_step.nodes[5];
+    let engine_step = AweEngine::new(&p_step.circuit).unwrap();
+    let sim_step = simulate(&p_step.circuit, TransientOptions::new(8e-9)).unwrap();
+    let w = sim_step.waveform(n6);
+    let v_min = w.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+    assert!(v_min < 4.0, "expected a nonmonotone dip, min = {v_min}");
+    match engine_step.approximate_with(n6, 1, strict) {
+        // Preferred outcome: the exact §3.3 "no solution" report — the
+        // pulse's m₋₁ is exactly zero, so no one-pole model can match.
+        Err(awesim::core::AweError::MomentMatrixSingular { .. }) => {}
+        // Rounding may let a degenerate (flat) model through; it must
+        // then miss the response essentially completely.
+        Ok(awe1_step) => {
+            let e1_step =
+                relative_l2_vs_sim(&sim_step, n6, |t| awe1_step.eval(t)).unwrap();
+            assert!(
+                e1_step > 0.9,
+                "first order on the pure IC pulse should fail at ~100 %: {e1_step}"
+            );
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+
+    // Part 2 — 1 ns ramp + IC (the §5.1/§5.2 input): first order is poor,
+    // second order captures the dip, third is better still.
+    let p = fig16(Waveform::rising_step(0.0, VDD, 1e-9), Some(VDD));
+    let n6 = p.nodes[5];
+    let engine = AweEngine::new(&p.circuit).unwrap();
+    let sim = simulate(&p.circuit, TransientOptions::new(8e-9)).unwrap();
+    let e: Vec<f64> = (1..=3)
+        .map(|q| {
+            let a = engine.approximate_with(n6, q, strict).unwrap();
+            assert!(a.stable, "order {q} should be stable");
+            relative_l2_vs_sim(&sim, n6, |t| a.eval(t)).unwrap()
+        })
+        .collect();
+    assert!(e[0] > 4.0 * e[1], "q1 ({}) should dwarf q2 ({})", e[0], e[1]);
+    assert!(e[1] < 0.10, "q2 error {}", e[1]);
+    assert!(e[2] <= e[1] * 1.05, "q3 ({}) should not regress q2 ({})", e[2], e[1]);
+    // The order-2 model reproduces the dip itself, not just the L2 score.
+    let awe2 = engine.approximate_with(n6, 2, strict).unwrap();
+    let dip_awe = (0..800)
+        .map(|i| awe2.eval(i as f64 * 1e-11))
+        .fold(f64::INFINITY, f64::min);
+    let dip_sim = sim
+        .waveform(n6)
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        (dip_awe - dip_sim).abs() < 1.0,
+        "dip depth: awe {dip_awe} vs sim {dip_sim}"
+    );
+}
+
+/// Figs. 23–24: floating coupling capacitor (Fig. 22). The coupling
+/// slows the output delay and dumps charge onto the victim; the victim
+/// waveform's peak is captured and the delay shift is positive.
+#[test]
+fn fig23_24_floating_cap() {
+    let base = fig16(step5(), None);
+    let coupled = fig22(step5(), None);
+    let eng_base = AweEngine::new(&base.circuit).unwrap();
+    let eng_coupled = AweEngine::new(&coupled.circuit).unwrap();
+
+    // Delay at the 4.0 V logic threshold (the paper's §5.3 metric)
+    // lengthens when the coupling cap is added (1.6 → 1.7 ns there).
+    let a_base = eng_base.approximate(base.output, 3).unwrap();
+    let a_coup = eng_coupled.approximate(coupled.output, 3).unwrap();
+    let d_base = a_base.delay_to_threshold(4.0).unwrap();
+    let d_coup = a_coup.delay_to_threshold(4.0).unwrap();
+    assert!(
+        d_coup > d_base * 1.01,
+        "coupling must slow the output: {d_base} vs {d_coup}"
+    );
+
+    // Victim waveform: rises then decays; AWE order 3 tracks the sim.
+    let victim = fig22_victim(&coupled);
+    let sim = simulate(&coupled.circuit, TransientOptions::new(6e-9)).unwrap();
+    let a_victim = eng_coupled.approximate(victim, 3).unwrap();
+    let peak_sim = sim
+        .waveform(victim)
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max);
+    assert!(peak_sim > 0.05, "coupling should disturb the victim: {peak_sim}");
+    let peak_awe = (0..600)
+        .map(|i| a_victim.eval(i as f64 * 1e-11))
+        .fold(0.0f64, f64::max);
+    assert!(
+        ((peak_awe - peak_sim) / peak_sim).abs() < 0.25,
+        "victim peak {peak_awe} vs sim {peak_sim}"
+    );
+}
+
+/// Fig. 26: the underdamped RLC circuit. Second order sees the ringing
+/// but with sizeable error (paper: 22 %); fourth order matches (< 1 %).
+#[test]
+fn fig26_rlc_orders() {
+    let p = fig25(step5());
+    let engine = AweEngine::new(&p.circuit).unwrap();
+    let sim = simulate(&p.circuit, TransientOptions::new(2e-8)).unwrap();
+
+    let awe2 = engine
+        .approximate_with(
+            p.output,
+            2,
+            awesim::core::AweOptions {
+                max_escalation: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let awe4 = engine.approximate(p.output, 4).unwrap();
+    let e2 = relative_l2_vs_sim(&sim, p.output, |t| awe2.eval(t)).unwrap();
+    let e4 = relative_l2_vs_sim(&sim, p.output, |t| awe4.eval(t)).unwrap();
+    assert!(e4 < e2 / 2.0, "order 4 ({e4}) must collapse order 2 ({e2})");
+    assert!(e4 < 0.08, "e4 = {e4}");
+
+    // Overshoot: the simulated response rings above the 5 V rail, and
+    // second order already detects the overshoot (paper's observation).
+    let peak_sim = sim
+        .waveform(p.output)
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max);
+    assert!(peak_sim > VDD * 1.05, "underdamped peak {peak_sim}");
+    let peak_awe2 = (0..2000)
+        .map(|i| awe2.eval(i as f64 * 1e-11))
+        .fold(0.0f64, f64::max);
+    assert!(peak_awe2 > VDD * 1.02, "order 2 must see overshoot: {peak_awe2}");
+}
+
+/// Fig. 27: RLC with a 1 ns input rise — the residues shift so one pair
+/// dominates, and the low-order approximation improves versus the ideal
+/// step (the paper's closing observation in §5.4).
+#[test]
+fn fig27_rlc_ramp() {
+    let ramp = fig25(Waveform::rising_step(0.0, VDD, 1e-9));
+    let engine = AweEngine::new(&ramp.circuit).unwrap();
+    let sim = simulate(&ramp.circuit, TransientOptions::new(2e-8)).unwrap();
+    let awe2 = engine
+        .approximate_with(
+            ramp.output,
+            2,
+            awesim::core::AweOptions {
+                max_escalation: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let e2_ramp = relative_l2_vs_sim(&sim, ramp.output, |t| awe2.eval(t)).unwrap();
+
+    let step = fig25(step5());
+    let engine_s = AweEngine::new(&step.circuit).unwrap();
+    let sim_s = simulate(&step.circuit, TransientOptions::new(2e-8)).unwrap();
+    let awe2_s = engine_s
+        .approximate_with(
+            step.output,
+            2,
+            awesim::core::AweOptions {
+                max_escalation: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let e2_step = relative_l2_vs_sim(&sim_s, step.output, |t| awe2_s.eval(t)).unwrap();
+    assert!(
+        e2_ramp < e2_step,
+        "finite rise time must help order 2: ramp {e2_ramp} vs step {e2_step}"
+    );
+}
+
+/// Fig. 8's ladder: trivial steady state, and AWE's final value is exact
+/// by construction (m₀ matching ⇒ stability, §3.3).
+#[test]
+fn fig08_lc_ladder_final_value() {
+    let p = fig8(step5());
+    let engine = AweEngine::new(&p.circuit).unwrap();
+    let awe4 = engine.approximate(p.output, 4).unwrap();
+    assert!((awe4.final_value() - VDD).abs() < 1e-6);
+}
+
+/// §IV sanity: the Elmore baseline and first-order AWE agree on the
+/// simulated circuit, and both are near the simulator's measured delay.
+#[test]
+fn elmore_awe_sim_triangle() {
+    let p = fig4(step5());
+    let engine = AweEngine::new(&p.circuit).unwrap();
+    let awe1 = engine.approximate(p.output, 1).unwrap();
+    let pr = elmore_approximation(&p.circuit, p.output).unwrap();
+    let sim = simulate(&p.circuit, TransientOptions::new(8e-3)).unwrap();
+    let (d_awe, d_pr) = (awe1.delay_50().unwrap(), pr.delay_50().unwrap());
+    let d_sim = sim.delay_50(p.output).unwrap();
+    assert!(((d_awe - d_pr) / d_pr).abs() < 1e-9, "AWE-1 == Elmore model");
+    assert!(((d_awe - d_sim) / d_sim).abs() < 0.10);
+}
+
+/// Fig. 24 with a *truly floating* victim (§3.1): the coupling capacitor
+/// dumps charge onto `C12` and — with no conductive leak — the victim
+/// voltage rises to a permanent plateau at exactly the capacitor-divider
+/// share. AWE's charge-conservation handling and the simulator agree.
+#[test]
+fn fig24_floating_victim_plateau() {
+    use awesim::circuit::papers::fig22_floating;
+    let p = fig22_floating(step5(), None);
+    let victim = fig22_victim(&p);
+    let engine = AweEngine::new(&p.circuit).unwrap();
+    let approx = engine.approximate(victim, 3).unwrap();
+
+    // Plateau value: the aggressor settles at 5 V; the victim divider is
+    // C11/(C11+C12) of that = 5·2/7 ≈ 1.4286 V (starting uncharged).
+    let plateau = 5.0 * 2.0e-13 / (2.0e-13 + 5.0e-13);
+    assert!(
+        (approx.final_value() - plateau).abs() < 1e-6,
+        "final {} vs plateau {plateau}",
+        approx.final_value()
+    );
+
+    let sim = simulate(&p.circuit, TransientOptions::new(8e-9)).unwrap();
+    assert!(
+        (sim.value_at(victim, 8e-9) - plateau).abs() < 2e-3,
+        "sim end {}",
+        sim.value_at(victim, 8e-9)
+    );
+    let err = relative_l2_vs_sim(&sim, victim, |t| approx.eval(t)).unwrap();
+    assert!(err < 0.10, "victim waveform error {err}");
+
+    // The output (n7) threshold delay still slips versus the uncoupled
+    // tree, as in the resistively-held variant.
+    let base = fig16(step5(), None);
+    let eng_base = AweEngine::new(&base.circuit).unwrap();
+    let d_base = eng_base
+        .approximate(base.output, 3)
+        .unwrap()
+        .delay_to_threshold(4.0)
+        .unwrap();
+    let d_coup = engine
+        .approximate(p.output, 3)
+        .unwrap()
+        .delay_to_threshold(4.0)
+        .unwrap();
+    assert!(d_coup > d_base, "coupling must slow the output");
+}

@@ -1,0 +1,194 @@
+//! Robustness and failure-injection tests: malformed decks, degenerate
+//! circuits, and hostile inputs must produce errors, never panics or
+//! wrong-but-plausible answers.
+
+use proptest::prelude::*;
+
+use awesim::circuit::{parse_deck, Circuit, Waveform, GROUND};
+use awesim::core::{AweEngine, AweError};
+use awesim::mna::MnaError;
+use awesim::sim::{simulate, TransientOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The deck parser never panics, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics(deck in "\\PC{0,200}") {
+        let _ = parse_deck(&deck);
+    }
+
+    /// Structured-looking garbage either parses or errors cleanly.
+    #[test]
+    fn parser_handles_structured_garbage(
+        kind in "[RCLVIGEFHQXZ]",
+        a in "[a-z0-9]{1,4}",
+        b in "[a-z0-9]{1,4}",
+        value in "[0-9a-zA-Z.+-]{1,10}",
+    ) {
+        let deck = format!("{kind}1 {a} {b} {value}");
+        let _ = parse_deck(&deck);
+    }
+}
+
+/// A capacitor-only island (a §3.1 floating node) resolves by charge
+/// conservation: the capacitor divider answer, in AWE and in the
+/// simulator alike.
+#[test]
+fn floating_island_charge_conservation() {
+    let mut ckt = Circuit::new();
+    let n1 = ckt.node("n1");
+    let n2 = ckt.node("n2");
+    ckt.add_vsource("V1", n1, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+    ckt.add_capacitor("C1", n1, n2, 1e-12).unwrap();
+    ckt.add_capacitor("C2", n2, GROUND, 3e-12).unwrap();
+    let engine = AweEngine::new(&ckt).unwrap();
+    let approx = engine.approximate(n2, 1).unwrap();
+    // Divider: 1·C1/(C1+C2) = 0.25, immediately and forever.
+    assert!((approx.final_value() - 0.25).abs() < 1e-6);
+    assert!((approx.eval(1e-12) - 0.25).abs() < 1e-4);
+    let sim = simulate(&ckt, TransientOptions::new(1e-9)).unwrap();
+    assert!((sim.value_at(n2, 0.5e-9) - 0.25).abs() < 1e-3);
+}
+
+/// A current source pumping a capacitor-only island has no DC solution
+/// and is rejected at assembly.
+#[test]
+fn driven_floating_island_rejected() {
+    let mut ckt = Circuit::new();
+    let n1 = ckt.node("n1");
+    ckt.add_isource("I1", GROUND, n1, Waveform::dc(1e-6)).unwrap();
+    ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+    assert!(matches!(
+        AweEngine::new(&ckt),
+        Err(AweError::Mna(MnaError::NoDcSolution))
+    ));
+}
+
+/// A source shorted by an ideal wire loop (two V sources in parallel
+/// disagreeing) is singular and must error.
+#[test]
+fn conflicting_sources_rejected() {
+    let mut ckt = Circuit::new();
+    let n1 = ckt.node("n1");
+    ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0)).unwrap();
+    ckt.add_vsource("V2", n1, GROUND, Waveform::dc(2.0)).unwrap();
+    ckt.add_resistor("R1", n1, GROUND, 1.0).unwrap();
+    let engine = AweEngine::new(&ckt).unwrap();
+    assert!(engine.approximate(n1, 1).is_err());
+}
+
+/// Purely resistive circuits have no transient: order-1 AWE returns the
+/// flat DC waveform (zero transient), not an error.
+#[test]
+fn resistive_circuit_flat_response() {
+    let mut ckt = Circuit::new();
+    let n_in = ckt.node("in");
+    let n1 = ckt.node("n1");
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 2.0)).unwrap();
+    ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+    ckt.add_resistor("R2", n1, GROUND, 1e3).unwrap();
+    let engine = AweEngine::new(&ckt).unwrap();
+    let approx = engine.approximate(n1, 1).unwrap();
+    assert!((approx.eval(0.0) - 1.0).abs() < 1e-9);
+    assert!((approx.final_value() - 1.0).abs() < 1e-9);
+    assert!(approx.stable);
+}
+
+/// A quiet circuit (DC source, equilibrium ICs) yields a flat waveform.
+#[test]
+fn quiet_circuit_flat() {
+    let mut ckt = Circuit::new();
+    let n_in = ckt.node("in");
+    let n1 = ckt.node("n1");
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(3.0)).unwrap();
+    ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+    ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+    let engine = AweEngine::new(&ckt).unwrap();
+    let approx = engine.approximate(n1, 2).unwrap();
+    for i in 0..5 {
+        assert!((approx.eval(i as f64 * 1e-9) - 3.0).abs() < 1e-9);
+    }
+    assert_eq!(approx.delay_50(), None);
+}
+
+/// Extreme element magnitudes (attofarad against kilofarad) survive the
+/// frequency-scaled pipeline.
+#[test]
+fn extreme_value_spread() {
+    let mut ckt = Circuit::new();
+    let n_in = ckt.node("in");
+    let n1 = ckt.node("n1");
+    let n2 = ckt.node("n2");
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+    ckt.add_resistor("R1", n_in, n1, 1e-3).unwrap();
+    ckt.add_capacitor("C1", n1, GROUND, 1e-18).unwrap();
+    ckt.add_resistor("R2", n1, n2, 1e9).unwrap();
+    ckt.add_capacitor("C2", n2, GROUND, 1e3).unwrap();
+    let engine = AweEngine::new(&ckt).unwrap();
+    let approx = engine.approximate(n2, 2).unwrap();
+    assert!(approx.stable);
+    assert!((approx.final_value() - 1.0).abs() < 1e-6);
+    // The dominant time constant is a colossal 1e12 seconds; the pole
+    // must reflect it rather than underflow.
+    let dom = approx.poles()[0].re;
+    assert!(dom < 0.0 && dom > -1e-11, "dominant pole {dom}");
+}
+
+/// Requesting absurd orders degrades gracefully to the achievable order.
+#[test]
+fn absurd_order_backs_off() {
+    let mut ckt = Circuit::new();
+    let n_in = ckt.node("in");
+    let n1 = ckt.node("n1");
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+    ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+    ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+    let engine = AweEngine::new(&ckt).unwrap();
+    let approx = engine.approximate(n1, 7).unwrap();
+    assert!(approx.stable);
+    let tau = 1e-9;
+    for i in 0..10 {
+        let t = i as f64 * 0.5e-9;
+        let exact = 1.0 - (-t / tau).exp();
+        assert!((approx.eval(t) - exact).abs() < 1e-6, "t={t}");
+    }
+}
+
+/// Zero-duration simulations and degenerate sampling do not divide by
+/// zero.
+#[test]
+fn sim_tiny_windows() {
+    let mut ckt = Circuit::new();
+    let n_in = ckt.node("in");
+    let n1 = ckt.node("n1");
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+    ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
+    ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+    // A window far shorter than the time constant still works.
+    let r = simulate(&ckt, TransientOptions::new(1e-15)).unwrap();
+    assert!(!r.is_empty());
+    assert!(r.value_at(n1, 1e-15) < 0.01);
+}
+
+/// Deck-level IC plumbing: explicit ICs round-trip through parse, AWE and
+/// the simulator consistently.
+#[test]
+fn deck_level_initial_conditions() {
+    let deck = "
+V1 in 0 DC 0
+R1 in n1 1k
+C1 n1 0 1p IC=2
+.end";
+    let ckt = parse_deck(deck).unwrap();
+    let n1 = ckt.find_node("n1").unwrap();
+    let engine = AweEngine::new(&ckt).unwrap();
+    let approx = engine.approximate(n1, 1).unwrap();
+    assert!((approx.eval(0.0) - 2.0).abs() < 1e-9);
+    assert!(approx.final_value().abs() < 1e-9);
+    let sim = simulate(&ckt, TransientOptions::new(5e-9)).unwrap();
+    for i in 0..10 {
+        let t = i as f64 * 0.5e-9;
+        assert!((approx.eval(t) - sim.value_at(n1, t)).abs() < 5e-3, "t={t}");
+    }
+}
