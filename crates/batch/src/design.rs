@@ -1,0 +1,354 @@
+//! The design model: many independent nets analyzed as one batch, plus
+//! the structural net hash that keys the incremental-reanalysis cache.
+
+use std::time::{Duration, Instant};
+
+use awe_circuit::generators::random_rc_tree;
+use awe_circuit::{parse_multi_deck, Circuit, CircuitError, Element, NodeId, Waveform};
+
+/// One net of a design: an independent circuit with a chosen observation
+/// node.
+#[derive(Clone, Debug)]
+pub struct NetSpec {
+    /// Net name, unique within the design.
+    pub name: String,
+    /// The net's circuit (its own node space).
+    pub circuit: Circuit,
+    /// The node whose voltage waveform the analysis reports.
+    pub output: NodeId,
+}
+
+impl NetSpec {
+    /// Structural hash of this net (see [`structural_hash`]).
+    pub fn hash(&self) -> u64 {
+        structural_hash(&self.circuit, self.output)
+    }
+}
+
+/// A design: a named, ordered collection of independent nets.
+///
+/// Order is the *reporting* order — batch results are always returned in
+/// design order regardless of how the scheduler interleaves the work.
+#[derive(Clone, Debug)]
+pub struct Design {
+    /// Design name (deck stem or `synthetic-<n>`).
+    pub name: String,
+    nets: Vec<NetSpec>,
+    /// Wall time spent parsing or generating the nets.
+    pub parse_time: Duration,
+}
+
+impl Design {
+    /// Builds a design from explicit nets.
+    pub fn from_nets(name: impl Into<String>, nets: Vec<NetSpec>) -> Self {
+        Design {
+            name: name.into(),
+            nets,
+            parse_time: Duration::ZERO,
+        }
+    }
+
+    /// Parses a multi-net deck (see
+    /// [`parse_multi_deck`](awe_circuit::parse_multi_deck)) into a design.
+    ///
+    /// Observation node per net: the node named `out` if present,
+    /// otherwise the highest-numbered node (the generators' and decks'
+    /// far-end convention).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors, including duplicate net names.
+    pub fn from_deck(name: impl Into<String>, deck: &str) -> Result<Self, CircuitError> {
+        let start = Instant::now();
+        let nets = parse_multi_deck(deck)?
+            .into_iter()
+            .map(|net| {
+                let output = default_output(&net.circuit);
+                NetSpec {
+                    name: net.name,
+                    circuit: net.circuit,
+                    output,
+                }
+            })
+            .collect();
+        Ok(Design {
+            name: name.into(),
+            nets,
+            parse_time: start.elapsed(),
+        })
+    }
+
+    /// A synthetic design of `n` random RC-tree nets (sizes cycle through
+    /// a small/medium/large mix), deterministic per `seed`. This is the
+    /// batch bench workload.
+    pub fn synthetic(n: usize, seed: u64) -> Self {
+        let start = Instant::now();
+        let sizes = [8usize, 12, 16, 24, 32];
+        let nets = (0..n)
+            .map(|i| {
+                let nodes = sizes[i % sizes.len()];
+                let g = random_rc_tree(
+                    nodes,
+                    (10.0, 500.0),
+                    (0.05e-12, 2e-12),
+                    seed.wrapping_add(i as u64),
+                    Waveform::step(0.0, 5.0),
+                );
+                NetSpec {
+                    name: format!("net{:04}", i + 1),
+                    circuit: g.circuit,
+                    output: g.output,
+                }
+            })
+            .collect();
+        Design {
+            name: format!("synthetic-{n}"),
+            nets,
+            parse_time: start.elapsed(),
+        }
+    }
+
+    /// The nets, in reporting order.
+    pub fn nets(&self) -> &[NetSpec] {
+        &self.nets
+    }
+
+    /// Number of nets.
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Whether the design has no nets.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Replaces the net named `name` (an ECO-style edit), returning `true`
+    /// if it existed.
+    pub fn replace_net(&mut self, name: &str, circuit: Circuit, output: NodeId) -> bool {
+        match self.nets.iter_mut().find(|n| n.name == name) {
+            Some(net) => {
+                net.circuit = circuit;
+                net.output = output;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Default observation node: `out` if the deck names one, else the
+/// highest-numbered node.
+fn default_output(circuit: &Circuit) -> NodeId {
+    circuit
+        .find_node("out")
+        .unwrap_or_else(|| circuit.num_nodes().saturating_sub(1))
+}
+
+/// Structural hash of a net: invariant under element reordering and node
+/// *id* renumbering (ids are insertion-order artifacts; names are
+/// structure), sensitive to any element value, terminal, waveform,
+/// initial-condition, or observation-node change.
+///
+/// Each element is rendered to a canonical card (names, node names,
+/// shortest-round-trip value formatting) and FNV-1a hashed; the per-card
+/// hashes are combined with wrapping addition, which is
+/// permutation-invariant. The observation node's name seeds the
+/// accumulator so the same circuit observed elsewhere caches separately.
+pub fn structural_hash(circuit: &Circuit, output: NodeId) -> u64 {
+    let mut acc = fnv1a(b"awe-batch-net-v1").wrapping_add(fnv1a(
+        circuit
+            .node_name(output.min(circuit.num_nodes().saturating_sub(1)))
+            .as_bytes(),
+    ));
+    for e in circuit.elements() {
+        acc = acc.wrapping_add(fnv1a(canonical_card(circuit, e).as_bytes()));
+    }
+    acc
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Canonical card text for one element: like `Circuit::to_deck` but with
+/// node *names* for every element kind (including controlled sources).
+fn canonical_card(c: &Circuit, e: &Element) -> String {
+    let n = |id: &NodeId| c.node_name(*id);
+    match e {
+        Element::Resistor { name, a, b, ohms } => format!("R {name} {} {} {ohms}", n(a), n(b)),
+        Element::Capacitor {
+            name,
+            a,
+            b,
+            farads,
+            initial_voltage,
+        } => match initial_voltage {
+            Some(ic) => format!("C {name} {} {} {farads} IC={ic}", n(a), n(b)),
+            None => format!("C {name} {} {} {farads}", n(a), n(b)),
+        },
+        Element::Inductor {
+            name,
+            a,
+            b,
+            henries,
+            initial_current,
+        } => match initial_current {
+            Some(ic) => format!("L {name} {} {} {henries} IC={ic}", n(a), n(b)),
+            None => format!("L {name} {} {} {henries}", n(a), n(b)),
+        },
+        Element::VoltageSource {
+            name,
+            pos,
+            neg,
+            waveform,
+        } => format!("V {name} {} {} {waveform}", n(pos), n(neg)),
+        Element::CurrentSource {
+            name,
+            from,
+            to,
+            waveform,
+        } => format!("I {name} {} {} {waveform}", n(from), n(to)),
+        Element::Vccs {
+            name,
+            from,
+            to,
+            cpos,
+            cneg,
+            gm,
+        } => format!(
+            "G {name} {} {} {} {} {gm}",
+            n(from),
+            n(to),
+            n(cpos),
+            n(cneg)
+        ),
+        Element::Vcvs {
+            name,
+            pos,
+            neg,
+            cpos,
+            cneg,
+            gain,
+        } => format!(
+            "E {name} {} {} {} {} {gain}",
+            n(pos),
+            n(neg),
+            n(cpos),
+            n(cneg)
+        ),
+        Element::Cccs {
+            name,
+            from,
+            to,
+            control,
+            gain,
+        } => format!("F {name} {} {} {control} {gain}", n(from), n(to)),
+        Element::Ccvs {
+            name,
+            pos,
+            neg,
+            control,
+            r,
+        } => format!("H {name} {} {} {control} {r}", n(pos), n(neg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awe_circuit::GROUND;
+
+    type Card = Box<dyn Fn(&mut Circuit)>;
+
+    fn stage(order: &[usize]) -> (Circuit, NodeId) {
+        // Builds the same two-stage RC net with elements added in the
+        // order given by `order` (a permutation of 0..3).
+        let cards: Vec<Card> = vec![
+            Box::new(|c: &mut Circuit| {
+                let (i, _) = (c.node("in"), c.node("n1"));
+                c.add_vsource("V1", i, GROUND, Waveform::step(0.0, 5.0))
+                    .unwrap();
+            }),
+            Box::new(|c: &mut Circuit| {
+                let (i, n1) = (c.node("in"), c.node("n1"));
+                c.add_resistor("R1", i, n1, 1e3).unwrap();
+            }),
+            Box::new(|c: &mut Circuit| {
+                let n1 = c.node("n1");
+                c.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+            }),
+        ];
+        let mut c = Circuit::new();
+        for &k in order {
+            cards[k](&mut c);
+        }
+        let out = c.node("n1");
+        (c, out)
+    }
+
+    #[test]
+    fn hash_invariant_under_element_and_node_order() {
+        let (c1, o1) = stage(&[0, 1, 2]);
+        let (c2, o2) = stage(&[2, 1, 0]);
+        // Node ids differ (n1 first vs in first), element order differs —
+        // the structural hash must not.
+        assert_eq!(structural_hash(&c1, o1), structural_hash(&c2, o2));
+    }
+
+    #[test]
+    fn hash_sensitive_to_values_and_output() {
+        let (c1, o1) = stage(&[0, 1, 2]);
+        let mut c2 = Circuit::new();
+        let i = c2.node("in");
+        let n1 = c2.node("n1");
+        c2.add_vsource("V1", i, GROUND, Waveform::step(0.0, 5.0))
+            .unwrap();
+        c2.add_resistor("R1", i, n1, 1.001e3).unwrap(); // value edit
+        c2.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+        assert_ne!(structural_hash(&c1, o1), structural_hash(&c2, n1));
+        // Same circuit, different observation point.
+        assert_ne!(
+            structural_hash(&c1, o1),
+            structural_hash(&c1, c1.find_node("in").unwrap())
+        );
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let d1 = Design::synthetic(10, 42);
+        let d2 = Design::synthetic(10, 42);
+        for (a, b) in d1.nets().iter().zip(d2.nets()) {
+            assert_eq!(a.hash(), b.hash());
+        }
+        let d3 = Design::synthetic(10, 43);
+        assert_ne!(d1.nets()[0].hash(), d3.nets()[0].hash());
+    }
+
+    #[test]
+    fn deck_design_uses_out_node() {
+        let d = Design::from_deck(
+            "t",
+            "* NET a\nV1 in 0 STEP 0 5\nR1 in out 1k\nC1 out 0 1p\n.end",
+        )
+        .unwrap();
+        assert_eq!(d.len(), 1);
+        let net = &d.nets()[0];
+        assert_eq!(net.circuit.node_name(net.output), "out");
+    }
+
+    #[test]
+    fn eco_edit_replaces_net() {
+        let mut d = Design::synthetic(3, 1);
+        let (c, o) = stage(&[0, 1, 2]);
+        let before = d.nets()[1].hash();
+        assert!(d.replace_net("net0002", c, o));
+        assert_ne!(d.nets()[1].hash(), before);
+        assert!(!d.replace_net("nope", Circuit::new(), 0));
+    }
+}

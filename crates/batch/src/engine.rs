@@ -1,0 +1,397 @@
+//! The batch engine: scheduling, the incremental-reanalysis cache, and
+//! the per-net result/timing split.
+//!
+//! Results are split into [`NetResult`] (deterministic analysis outputs —
+//! identical bytes for identical nets regardless of thread count or cache
+//! state) and [`NetTiming`] (wall times, which are not). Reports that
+//! must be byte-comparable across thread counts render only the former.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use awe::{AweApproximation, AweEngine, AweError, AweOptions, StageTimings};
+
+use crate::design::{Design, NetSpec};
+use crate::pool::{run_indexed, PoolStats};
+
+/// Options for one batch run.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOptions {
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+    /// Requested AWE order in fixed-order mode.
+    pub order: usize,
+    /// Automatic order selection: escalate per net until the §3.4 error
+    /// estimate drops below this target (overrides `order`).
+    pub auto_target: Option<f64>,
+    /// Order ceiling in automatic mode.
+    pub max_order: usize,
+    /// Per-solve AWE options.
+    pub awe: AweOptions,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            threads: 0,
+            order: 2,
+            auto_target: None,
+            max_order: 8,
+            awe: AweOptions::default(),
+        }
+    }
+}
+
+/// Deterministic analysis outputs for one net.
+#[derive(Clone, Debug)]
+pub struct NetResult {
+    /// Net name.
+    pub name: String,
+    /// Structural hash (the cache key).
+    pub hash: u64,
+    /// Node count (including ground).
+    pub nodes: usize,
+    /// Element count.
+    pub elements: usize,
+    /// Order asked for (the starting order in automatic mode).
+    pub requested_order: usize,
+    /// Order actually used.
+    pub order: usize,
+    /// §3.3 order escalations performed beyond the requested/starting
+    /// order (extra orders tried in automatic mode).
+    pub escalations: usize,
+    /// Whether every approximating pole was stable.
+    pub stable: bool,
+    /// §3.4 relative error estimate, when computed.
+    pub error_estimate: Option<f64>,
+    /// 50 % delay of the observed response, when defined.
+    pub delay_50: Option<f64>,
+    /// Final value of the observed response.
+    pub final_value: f64,
+    /// Approximating poles as `(re, im)` pairs, dominant first.
+    pub poles: Vec<(f64, f64)>,
+    /// Whether this result came from the cache (no AWE solve performed).
+    pub cache_hit: bool,
+    /// Analysis failure, if the net could not be solved.
+    pub error: Option<String>,
+}
+
+/// Wall times for one net (excluded from deterministic reports).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetTiming {
+    /// End-to-end latency of the net's job (cache lookup included).
+    pub latency: Duration,
+    /// Per-stage breakdown of the solve (zero on cache hits).
+    pub stages: StageTimings,
+}
+
+/// Everything one [`BatchEngine::run`] produced.
+#[derive(Clone, Debug)]
+pub struct BatchRun {
+    /// Design name.
+    pub design: String,
+    /// Wall time spent parsing/generating the design.
+    pub parse_time: Duration,
+    /// End-to-end wall time of the run (scheduling included).
+    pub wall: Duration,
+    /// Per-net results, in design order.
+    pub results: Vec<NetResult>,
+    /// Per-net timings, in design order.
+    pub timings: Vec<NetTiming>,
+    /// Scheduler stats.
+    pub pool: PoolStats,
+    /// AWE solves actually performed (cache misses).
+    pub solves: usize,
+    /// Results served from the cache.
+    pub cache_hits: usize,
+}
+
+/// Concurrent batch analyzer with a persistent incremental-reanalysis
+/// cache.
+///
+/// The cache is keyed by each net's [structural
+/// hash](crate::design::structural_hash) and lives for the engine's
+/// lifetime: re-running a design after an ECO edit re-solves only the
+/// touched nets.
+#[derive(Debug, Default)]
+pub struct BatchEngine {
+    cache: Mutex<HashMap<u64, NetResult>>,
+}
+
+impl BatchEngine {
+    /// A batch engine with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached net count.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Drops all cached results.
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    /// Analyzes every net of `design`, fanning out across
+    /// `opts.threads` workers. Results come back in design order
+    /// regardless of scheduling; nets whose structural hash is already
+    /// cached are served without an AWE solve.
+    pub fn run(&self, design: &Design, opts: &BatchOptions) -> BatchRun {
+        let start = Instant::now();
+        let solves = AtomicUsize::new(0);
+        let hits = AtomicUsize::new(0);
+        let (pairs, pool) = run_indexed(design.len(), opts.threads, |i| {
+            let spec = &design.nets()[i];
+            let hash = spec.hash();
+            let t0 = Instant::now();
+            let cached = self.cache.lock().expect("cache lock").get(&hash).cloned();
+            if let Some(mut hit) = cached {
+                hits.fetch_add(1, Ordering::Relaxed);
+                hit.name.clone_from(&spec.name);
+                hit.cache_hit = true;
+                return (
+                    hit,
+                    NetTiming {
+                        latency: t0.elapsed(),
+                        stages: StageTimings::default(),
+                    },
+                );
+            }
+            solves.fetch_add(1, Ordering::Relaxed);
+            let (result, stages) = solve_net(spec, hash, opts);
+            self.cache
+                .lock()
+                .expect("cache lock")
+                .insert(hash, result.clone());
+            (
+                result,
+                NetTiming {
+                    latency: t0.elapsed(),
+                    stages,
+                },
+            )
+        });
+        let (results, timings) = pairs.into_iter().unzip();
+        BatchRun {
+            design: design.name.clone(),
+            parse_time: design.parse_time,
+            wall: start.elapsed(),
+            results,
+            timings,
+            pool,
+            solves: solves.into_inner(),
+            cache_hits: hits.into_inner(),
+        }
+    }
+}
+
+/// One full AWE solve of a net, with stage times.
+fn solve_net(spec: &NetSpec, hash: u64, opts: &BatchOptions) -> (NetResult, StageTimings) {
+    let requested = if opts.auto_target.is_some() {
+        1
+    } else {
+        opts.order
+    };
+    let mut result = NetResult {
+        name: spec.name.clone(),
+        hash,
+        nodes: spec.circuit.num_nodes(),
+        elements: spec.circuit.elements().len(),
+        requested_order: requested,
+        order: 0,
+        escalations: 0,
+        stable: false,
+        error_estimate: None,
+        delay_50: None,
+        final_value: 0.0,
+        poles: Vec::new(),
+        cache_hit: false,
+        error: None,
+    };
+    let engine = match AweEngine::new(&spec.circuit) {
+        Ok(e) => e,
+        Err(e) => {
+            result.error = Some(e.to_string());
+            return (result, StageTimings::default());
+        }
+    };
+    let mut stages = StageTimings {
+        mna: engine.assembly_time(),
+        ..StageTimings::default()
+    };
+
+    let outcome = match opts.auto_target {
+        None => match engine.approximate_timed(spec.output, opts.order, opts.awe) {
+            Ok((approx, clock)) => {
+                accumulate(&mut stages, &clock);
+                result.escalations = approx.order.saturating_sub(opts.order);
+                Ok(approx)
+            }
+            Err(e) => Err(e),
+        },
+        Some(target) => auto_solve(&engine, spec, target, opts, &mut stages, &mut result),
+    };
+    match outcome {
+        Ok(approx) => fill(&mut result, &approx),
+        Err(e) => result.error = Some(e.to_string()),
+    }
+    (result, stages)
+}
+
+/// Automatic order selection with stage-time accounting: the
+/// [`AweEngine::approximate_auto`] policy, inlined so every reduction's
+/// wall time lands in `stages`.
+fn auto_solve(
+    engine: &AweEngine,
+    spec: &NetSpec,
+    target: f64,
+    opts: &BatchOptions,
+    stages: &mut StageTimings,
+    result: &mut NetResult,
+) -> Result<AweApproximation, AweError> {
+    let per_order = AweOptions {
+        max_escalation: 0,
+        ..opts.awe
+    };
+    let mut best: Option<AweApproximation> = None;
+    let mut tried = 0usize;
+    for q in 1..=opts.max_order.max(1) {
+        match engine.approximate_timed(spec.output, q, per_order) {
+            Ok((approx, clock)) => {
+                accumulate(stages, &clock);
+                tried += 1;
+                let done = approx.stable && approx.error_estimate.is_some_and(|e| e <= target);
+                if approx.stable {
+                    best = Some(approx);
+                }
+                if done {
+                    break;
+                }
+            }
+            // True system order reached; stop escalating.
+            Err(AweError::MomentMatrixSingular { .. }) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    result.escalations = tried.saturating_sub(1);
+    best.ok_or(AweError::Unstable {
+        order: opts.max_order,
+    })
+}
+
+fn accumulate(stages: &mut StageTimings, clock: &StageTimings) {
+    stages.moments += clock.moments;
+    stages.pade += clock.pade;
+    stages.residues += clock.residues;
+}
+
+fn fill(result: &mut NetResult, approx: &AweApproximation) {
+    result.order = approx.order;
+    result.stable = approx.stable;
+    result.error_estimate = approx.error_estimate;
+    result.delay_50 = approx.delay_50();
+    result.final_value = approx.final_value();
+    result.poles = approx.poles().iter().map(|p| (p.re, p.im)).collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+
+    #[test]
+    fn run_solves_all_nets_in_order() {
+        let design = Design::synthetic(20, 7);
+        let engine = BatchEngine::new();
+        let run = engine.run(&design, &BatchOptions::default());
+        assert_eq!(run.results.len(), 20);
+        assert_eq!(run.solves, 20);
+        assert_eq!(run.cache_hits, 0);
+        for (net, r) in design.nets().iter().zip(&run.results) {
+            assert_eq!(net.name, r.name);
+            assert!(r.error.is_none(), "{}: {:?}", r.name, r.error);
+            assert!(r.stable);
+            assert!(r.delay_50.is_some());
+        }
+    }
+
+    #[test]
+    fn second_run_is_all_cache_hits() {
+        let design = Design::synthetic(8, 3);
+        let engine = BatchEngine::new();
+        let first = engine.run(&design, &BatchOptions::default());
+        assert_eq!(first.solves, 8);
+        let second = engine.run(&design, &BatchOptions::default());
+        assert_eq!(second.solves, 0);
+        assert_eq!(second.cache_hits, 8);
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a.order, b.order);
+            assert_eq!(a.delay_50, b.delay_50);
+            assert!(b.cache_hit);
+        }
+    }
+
+    #[test]
+    fn eco_edit_recomputes_only_touched_net() {
+        let mut design = Design::synthetic(6, 11);
+        let engine = BatchEngine::new();
+        engine.run(&design, &BatchOptions::default());
+        let replacement = Design::synthetic(1, 999).nets()[0].clone();
+        assert!(design.replace_net("net0003", replacement.circuit, replacement.output));
+        let rerun = engine.run(&design, &BatchOptions::default());
+        assert_eq!(rerun.solves, 1, "only the edited net re-solves");
+        assert_eq!(rerun.cache_hits, 5);
+        assert!(!rerun.results[2].cache_hit);
+    }
+
+    #[test]
+    fn auto_mode_meets_target() {
+        let design = Design::synthetic(5, 21);
+        let engine = BatchEngine::new();
+        let run = engine.run(
+            &design,
+            &BatchOptions {
+                auto_target: Some(0.01),
+                ..BatchOptions::default()
+            },
+        );
+        for r in &run.results {
+            assert!(r.error.is_none(), "{}: {:?}", r.name, r.error);
+            assert!(
+                r.error_estimate.is_none_or(|e| e <= 0.01) || r.order == 8,
+                "{}: err {:?} at order {}",
+                r.name,
+                r.error_estimate,
+                r.order
+            );
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let design = Design::synthetic(24, 5);
+        let runs: Vec<BatchRun> = [1usize, 4]
+            .iter()
+            .map(|&t| {
+                BatchEngine::new().run(
+                    &design,
+                    &BatchOptions {
+                        threads: t,
+                        ..BatchOptions::default()
+                    },
+                )
+            })
+            .collect();
+        for (a, b) in runs[0].results.iter().zip(&runs[1].results) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.hash, b.hash);
+            assert_eq!(a.order, b.order);
+            assert_eq!(a.delay_50, b.delay_50);
+            assert_eq!(a.poles, b.poles);
+        }
+    }
+}

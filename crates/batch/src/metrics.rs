@@ -1,0 +1,134 @@
+//! Run metrics: aggregate throughput, latency percentiles, and the
+//! per-stage wall-time breakdown of a batch run.
+
+use std::time::Duration;
+
+use awe::StageTimings;
+
+use crate::engine::BatchRun;
+
+/// Aggregate metrics of one [`BatchRun`].
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Net count.
+    pub nets: usize,
+    /// AWE solves performed (cache misses).
+    pub solves: usize,
+    /// Results served from the cache.
+    pub cache_hits: usize,
+    /// Nets whose analysis failed.
+    pub failures: usize,
+    /// Nets that escalated past their requested/starting order.
+    pub escalated: usize,
+    /// Worst §3.4 error estimate across solved nets, when any.
+    pub worst_error: Option<f64>,
+    /// Wall time spent parsing/generating the design.
+    pub parse_time: Duration,
+    /// End-to-end wall time of the analysis run.
+    pub wall: Duration,
+    /// Throughput in nets per second of wall time.
+    pub nets_per_sec: f64,
+    /// Median per-net latency (nearest-rank).
+    pub p50: Duration,
+    /// 95th-percentile per-net latency (nearest-rank).
+    pub p95: Duration,
+    /// 99th-percentile per-net latency (nearest-rank).
+    pub p99: Duration,
+    /// Per-stage CPU time summed across all solves (MNA assembly →
+    /// moments → Padé → residues). Exceeds `wall` when workers overlap.
+    pub stages: StageTimings,
+}
+
+impl RunMetrics {
+    /// Computes the metrics of a finished run.
+    pub fn of(run: &BatchRun) -> Self {
+        let mut latencies: Vec<Duration> = run.timings.iter().map(|t| t.latency).collect();
+        latencies.sort_unstable();
+        let mut stages = StageTimings::default();
+        for t in &run.timings {
+            stages.mna += t.stages.mna;
+            stages.moments += t.stages.moments;
+            stages.pade += t.stages.pade;
+            stages.residues += t.stages.residues;
+        }
+        let secs = run.wall.as_secs_f64();
+        RunMetrics {
+            nets: run.results.len(),
+            solves: run.solves,
+            cache_hits: run.cache_hits,
+            failures: run.results.iter().filter(|r| r.error.is_some()).count(),
+            escalated: run.results.iter().filter(|r| r.escalations > 0).count(),
+            worst_error: run
+                .results
+                .iter()
+                .filter_map(|r| r.error_estimate)
+                .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e)))),
+            parse_time: run.parse_time,
+            wall: run.wall,
+            nets_per_sec: if secs > 0.0 {
+                run.results.len() as f64 / secs
+            } else {
+                0.0
+            },
+            p50: percentile(&latencies, 50.0),
+            p95: percentile(&latencies, 95.0),
+            p99: percentile(&latencies, 99.0),
+            stages,
+        }
+    }
+
+    /// Cache hit rate in `[0, 1]` (zero for an empty run).
+    pub fn hit_rate(&self) -> f64 {
+        if self.nets == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.nets as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile of sorted latencies (`Duration::ZERO` when
+/// empty).
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+    use crate::engine::{BatchEngine, BatchOptions};
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 95.0), Duration::from_millis(95));
+        assert_eq!(percentile(&ms, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&ms[..1], 99.0), Duration::from_millis(1));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn metrics_of_a_run() {
+        let design = Design::synthetic(10, 2);
+        let engine = BatchEngine::new();
+        let run = engine.run(&design, &BatchOptions::default());
+        let m = RunMetrics::of(&run);
+        assert_eq!(m.nets, 10);
+        assert_eq!(m.solves, 10);
+        assert_eq!(m.failures, 0);
+        assert!(m.nets_per_sec > 0.0);
+        assert!(m.p50 <= m.p95 && m.p95 <= m.p99);
+        assert!(m.stages.total() > Duration::ZERO);
+
+        let rerun = engine.run(&design, &BatchOptions::default());
+        let m2 = RunMetrics::of(&rerun);
+        assert_eq!(m2.cache_hits, 10);
+        assert!((m2.hit_rate() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,297 @@
+//! Rendering a batch run as a text report and as machine-readable JSON.
+//!
+//! The text report has two parts: a *deterministic* per-net section
+//! (identical bytes for identical inputs regardless of thread count or
+//! cache temperature) and an optional timing section. Determinism tests
+//! render with `include_timings = false` and compare bytes.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::engine::{BatchRun, NetResult};
+use crate::metrics::RunMetrics;
+
+/// Renders the run as a human-readable text report.
+///
+/// With `include_timings = false` only the deterministic section is
+/// emitted: design name, per-net results, and the result census. Wall
+/// times, throughput, latency percentiles, and scheduler stats (thread
+/// and steal counts) are all timing-dependent and only appear with
+/// `include_timings = true`.
+pub fn text_report(run: &BatchRun, include_timings: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "batch report: {}", run.design);
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} {:>5} {:>3} {:>4} {:>6} {:>12} {:>12}  status",
+        "net", "nodes", "elems", "q", "esc", "stable", "err-est", "delay-50"
+    );
+    for r in &run.results {
+        let _ = writeln!(out, "{}", net_line(r));
+    }
+    let m = RunMetrics::of(run);
+    let _ = writeln!(
+        out,
+        "nets {}  solves {}  cache-hits {} ({:.1} %)  failures {}  escalated {}",
+        m.nets,
+        m.solves,
+        m.cache_hits,
+        100.0 * m.hit_rate(),
+        m.failures,
+        m.escalated
+    );
+    if let Some(worst) = m.worst_error {
+        let _ = writeln!(out, "worst error estimate {}", sci(worst));
+    }
+    if include_timings {
+        let _ = writeln!(
+            out,
+            "wall {}  parse {}  throughput {:.1} nets/s",
+            dur(m.wall),
+            dur(m.parse_time),
+            m.nets_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "latency p50 {}  p95 {}  p99 {}",
+            dur(m.p50),
+            dur(m.p95),
+            dur(m.p99)
+        );
+        let _ = writeln!(
+            out,
+            "stages: mna {}  moments {}  pade {}  residues {}",
+            dur(m.stages.mna),
+            dur(m.stages.moments),
+            dur(m.stages.pade),
+            dur(m.stages.residues)
+        );
+        let _ = writeln!(
+            out,
+            "threads {}  steals {}  per-worker {:?}",
+            run.pool.threads,
+            run.pool.total_steals(),
+            run.pool.executed
+        );
+    }
+    out
+}
+
+fn net_line(r: &NetResult) -> String {
+    let status = match (&r.error, r.cache_hit) {
+        (Some(e), _) => format!("FAIL: {e}"),
+        (None, true) => "cached".to_string(),
+        (None, false) => "solved".to_string(),
+    };
+    format!(
+        "{:<10} {:>5} {:>5} {:>3} {:>4} {:>6} {:>12} {:>12}  {}",
+        r.name,
+        r.nodes,
+        r.elements,
+        r.order,
+        r.escalations,
+        if r.stable { "yes" } else { "NO" },
+        r.error_estimate.map_or("-".to_string(), sci),
+        r.delay_50.map_or("-".to_string(), sci),
+        status
+    )
+}
+
+/// Renders the run as machine-readable JSON (hand-rolled — the workspace
+/// carries no serde).
+///
+/// Timing fields (`wall_s`, per-stage seconds, latency percentiles,
+/// scheduler stats) are included only with `include_timings = true`; the
+/// remainder is deterministic.
+pub fn json_report(run: &BatchRun, include_timings: bool) -> String {
+    let m = RunMetrics::of(run);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"design\": {},", json_str(&run.design));
+    let _ = writeln!(out, "  \"nets\": {},", m.nets);
+    let _ = writeln!(out, "  \"solves\": {},", m.solves);
+    let _ = writeln!(out, "  \"cache_hits\": {},", m.cache_hits);
+    let _ = writeln!(out, "  \"failures\": {},", m.failures);
+    let _ = writeln!(out, "  \"escalated\": {},", m.escalated);
+    let _ = writeln!(out, "  \"worst_error\": {},", json_opt_f64(m.worst_error));
+    if include_timings {
+        let _ = writeln!(out, "  \"wall_s\": {},", json_f64(m.wall.as_secs_f64()));
+        let _ = writeln!(
+            out,
+            "  \"parse_s\": {},",
+            json_f64(m.parse_time.as_secs_f64())
+        );
+        let _ = writeln!(out, "  \"nets_per_sec\": {},", json_f64(m.nets_per_sec));
+        let _ = writeln!(
+            out,
+            "  \"latency_s\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},",
+            json_f64(m.p50.as_secs_f64()),
+            json_f64(m.p95.as_secs_f64()),
+            json_f64(m.p99.as_secs_f64())
+        );
+        let _ = writeln!(
+            out,
+            "  \"stages_s\": {{\"mna\": {}, \"moments\": {}, \"pade\": {}, \"residues\": {}}},",
+            json_f64(m.stages.mna.as_secs_f64()),
+            json_f64(m.stages.moments.as_secs_f64()),
+            json_f64(m.stages.pade.as_secs_f64()),
+            json_f64(m.stages.residues.as_secs_f64())
+        );
+        let _ = writeln!(
+            out,
+            "  \"pool\": {{\"threads\": {}, \"steals\": {}}},",
+            run.pool.threads,
+            run.pool.total_steals()
+        );
+    }
+    out.push_str("  \"results\": [\n");
+    for (i, r) in run.results.iter().enumerate() {
+        let comma = if i + 1 < run.results.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{comma}", net_json(r));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn net_json(r: &NetResult) -> String {
+    let poles: Vec<String> = r
+        .poles
+        .iter()
+        .map(|(re, im)| format!("[{}, {}]", json_f64(*re), json_f64(*im)))
+        .collect();
+    format!(
+        "{{\"name\": {}, \"hash\": \"{:016x}\", \"nodes\": {}, \"elements\": {}, \
+         \"requested_order\": {}, \"order\": {}, \"escalations\": {}, \"stable\": {}, \
+         \"error_estimate\": {}, \"delay_50\": {}, \"final_value\": {}, \
+         \"poles\": [{}], \"cache_hit\": {}, \"error\": {}}}",
+        json_str(&r.name),
+        r.hash,
+        r.nodes,
+        r.elements,
+        r.requested_order,
+        r.order,
+        r.escalations,
+        r.stable,
+        json_opt_f64(r.error_estimate),
+        json_opt_f64(r.delay_50),
+        json_f64(r.final_value),
+        poles.join(", "),
+        r.cache_hit,
+        r.error.as_deref().map_or("null".to_string(), json_str)
+    )
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number from an `f64` (shortest round-trip; non-finite → null,
+/// which JSON cannot represent as a number).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or("null".to_string(), json_f64)
+}
+
+/// Scientific notation with fixed precision (deterministic).
+fn sci(v: f64) -> String {
+    format!("{v:.4e}")
+}
+
+/// Human duration: µs/ms/s with three significant-ish digits.
+fn dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+    use crate::engine::{BatchEngine, BatchOptions};
+
+    #[test]
+    fn deterministic_report_is_stable_across_threads() {
+        let design = Design::synthetic(16, 9);
+        let report = |threads| {
+            let run = BatchEngine::new().run(
+                &design,
+                &BatchOptions {
+                    threads,
+                    ..BatchOptions::default()
+                },
+            );
+            text_report(&run, false)
+        };
+        assert_eq!(report(1), report(4));
+    }
+
+    #[test]
+    fn timing_section_gated() {
+        let design = Design::synthetic(3, 1);
+        let run = BatchEngine::new().run(&design, &BatchOptions::default());
+        let bare = text_report(&run, false);
+        let full = text_report(&run, true);
+        assert!(!bare.contains("latency"));
+        assert!(!bare.contains("threads"));
+        assert!(full.contains("latency"));
+        assert!(full.contains("nets/s"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let design = Design::synthetic(2, 4);
+        let run = BatchEngine::new().run(&design, &BatchOptions::default());
+        let j = json_report(&run, true);
+        assert!(j.contains("\"design\": \"synthetic-2\""));
+        assert!(j.contains("\"nets\": 2"));
+        assert!(j.contains("\"nets_per_sec\""));
+        assert!(j.contains("\"name\": \"net0001\""));
+        let bare = json_report(&run, false);
+        assert!(!bare.contains("nets_per_sec"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                j.matches(open).count(),
+                j.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_opt_f64(None), "null");
+        assert_eq!(json_opt_f64(Some(0.5)), "0.5");
+    }
+}

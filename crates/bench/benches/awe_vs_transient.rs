@@ -37,8 +37,8 @@ fn bench_awe_vs_sim(c: &mut Criterion) {
         });
         group.bench_function(format!("transient_{name}"), |b| {
             b.iter(|| {
-                let r = simulate(black_box(&p.circuit), TransientOptions::new(t_stop))
-                    .expect("sim");
+                let r =
+                    simulate(black_box(&p.circuit), TransientOptions::new(t_stop)).expect("sim");
                 black_box(r)
             })
         });

@@ -1,0 +1,91 @@
+//! Batch engine throughput: full-design AWE over a 1k-net random RC-tree
+//! workload, swept across worker thread counts.
+//!
+//! Besides the Criterion timings, the bench writes `BENCH_batch.json` at
+//! the workspace root: nets/s and speedup-vs-1-thread per thread count,
+//! which is the artifact CI and the README table consume.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use awe_batch::{BatchEngine, BatchOptions, Design};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn opts(threads: usize) -> BatchOptions {
+    BatchOptions {
+        threads,
+        ..BatchOptions::default()
+    }
+}
+
+fn bench_batch(c: &mut Criterion) {
+    // Under `cargo test` the harness only smoke-runs each body once;
+    // shrink the workload so the suite stays fast.
+    let quick = std::env::args().any(|a| a == "--test");
+    let nets = if quick { 64 } else { 1000 };
+    let design = Design::synthetic(nets, 42);
+
+    // Direct cold-cache measurement for the JSON artifact: a fresh engine
+    // per run so the cache never serves a net, best-of-`reps` per thread
+    // count.
+    let reps = if quick { 1 } else { 3 };
+    let mut rows = Vec::new();
+    for &t in &THREADS {
+        let mut best = f64::MAX;
+        for _ in 0..reps {
+            let engine = BatchEngine::new();
+            let start = Instant::now();
+            let run = engine.run(&design, &opts(t));
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(run.solves, nets, "cold cache must solve every net");
+            best = best.min(secs);
+        }
+        rows.push((t, nets as f64 / best));
+    }
+    write_json(&rows, nets);
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    for &t in &THREADS {
+        group.bench_with_input(BenchmarkId::new("threads", t), &t, |b, &t| {
+            b.iter(|| {
+                let engine = BatchEngine::new();
+                black_box(engine.run(&design, &opts(t)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn write_json(rows: &[(usize, f64)], nets: usize) {
+    let base = rows.first().map_or(0.0, |&(_, r)| r);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"batch_throughput\",");
+    let _ = writeln!(out, "  \"nets\": {nets},");
+    out.push_str("  \"results\": [\n");
+    for (i, &(threads, nps)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"threads\": {threads}, \"nets_per_sec\": {nps:.1}, \"speedup\": {:.2}}}{comma}",
+            if base > 0.0 { nps / base } else { 0.0 }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_batch
+}
+criterion_main!(benches);

@@ -44,7 +44,10 @@ pub fn fig07() -> String {
 
     let err = relative_l2_vs_sim(&sim, p.output, |t| awe1.eval(t)).unwrap_or(f64::NAN);
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 7 — first-order AWE step response, Fig. 4 RC tree");
+    let _ = writeln!(
+        out,
+        "Fig. 7 — first-order AWE step response, Fig. 4 RC tree"
+    );
     let _ = writeln!(out, "paper: visible error at first order (error term 36 %)");
     let _ = writeln!(out, "measured relative L2 error vs sim: {}", percent(err));
     let _ = writeln!(
@@ -119,7 +122,10 @@ pub fn fig14() -> String {
     let sim_v: Vec<f64> = times.iter().map(|&t| sim.value_at(p.output, t)).collect();
 
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 14 — ramp response (5 V / 1 ms rise), Fig. 4 tree");
+    let _ = writeln!(
+        out,
+        "Fig. 14 — ramp response (5 V / 1 ms rise), Fig. 4 tree"
+    );
     let _ = writeln!(
         out,
         "paper: good delay prediction; largest error near t = 0 (initial slope \
@@ -174,8 +180,7 @@ pub fn fig15() -> String {
     let _ = writeln!(out, "paper: error term 36 % (q=1) -> 1.6 % (q=2)");
     for q in 1..=2 {
         let a = engine.approximate(p.output, q).expect("approximation");
-        let measured =
-            relative_l2_vs_sim(&sim, p.output, |t| a.eval(t)).unwrap_or(f64::NAN);
+        let measured = relative_l2_vs_sim(&sim, p.output, |t| a.eval(t)).unwrap_or(f64::NAN);
         let _ = writeln!(
             out,
             "q={q}: internal error estimate {} | measured vs sim {}",
@@ -268,8 +273,7 @@ pub fn fig17_18() -> String {
     let mut curves = Vec::new();
     for q in 1..=2 {
         let a = engine.approximate(p.output, q).expect("approximation");
-        let measured =
-            relative_l2_vs_sim(&sim, p.output, |t| a.eval(t)).unwrap_or(f64::NAN);
+        let measured = relative_l2_vs_sim(&sim, p.output, |t| a.eval(t)).unwrap_or(f64::NAN);
         let _ = writeln!(
             out,
             "q={q}: internal estimate {} | measured vs sim {}",
@@ -330,8 +334,16 @@ pub fn fig19() -> String {
         "paper: the second-order increment is a fraction of the first-order\n\
          setup (moments dominate; each extra moment is one resubstitution)"
     );
-    let _ = writeln!(out, "first-order setup + m_-1..m_0:  {}", seconds(first_order));
-    let _ = writeln!(out, "incremental m_1..m_2 (order 2): {}", seconds(incremental));
+    let _ = writeln!(
+        out,
+        "first-order setup + m_-1..m_0:  {}",
+        seconds(first_order)
+    );
+    let _ = writeln!(
+        out,
+        "incremental m_1..m_2 (order 2): {}",
+        seconds(incremental)
+    );
     let _ = writeln!(
         out,
         "ratio incremental/first = {:.2}",
@@ -440,12 +452,19 @@ pub fn fig23_24() -> String {
             .approximate_with(coup.output, q, strict(true))
             .expect("approximation");
         let e = relative_l2_vs_sim(&sim, coup.output, |t| a.eval(t)).unwrap_or(f64::NAN);
-        let _ = writeln!(out, "coupled output, {label}: measured error {}", percent(e));
+        let _ = writeln!(
+            out,
+            "coupled output, {label}: measured error {}",
+            percent(e)
+        );
     }
     let times: Vec<f64> = (0..=12).map(|i| i as f64 * 0.4e-9).collect();
     let av: Vec<f64> = times.iter().map(|&t| a_victim.eval(t)).collect();
     let sv: Vec<f64> = times.iter().map(|&t| sim.value_at(victim, t)).collect();
-    let _ = writeln!(out, "victim (C12) dumped-charge waveform (resistively held):");
+    let _ = writeln!(
+        out,
+        "victim (C12) dumped-charge waveform (resistively held):"
+    );
     out.push_str(&waveform_table(
         &["t", "AWE-3 [V]", "sim [V]"],
         &times,
@@ -583,7 +602,9 @@ pub fn fig27() -> String {
     let p = fig25(Waveform::rising_step(0.0, VDD, 1e-9));
     let engine = AweEngine::new(&p.circuit).expect("fig25 builds");
     let sim = simulate(&p.circuit, TransientOptions::new(2e-8)).expect("sim");
-    let a2 = engine.approximate_with(p.output, 2, strict(true)).expect("q2");
+    let a2 = engine
+        .approximate_with(p.output, 2, strict(true))
+        .expect("q2");
     let times: Vec<f64> = (0..=16).map(|i| i as f64 * 0.5e-9).collect();
     let av: Vec<f64> = times.iter().map(|&t| a2.eval(t)).collect();
     let sv: Vec<f64> = times.iter().map(|&t| sim.value_at(p.output, t)).collect();
@@ -611,7 +632,11 @@ pub fn ablation_scaling() -> String {
         "paper: without scaling the moment matrix becomes numerically\n\
          unstable before an accurate solution may be reached\n"
     );
-    let _ = writeln!(out, "{:>5} {:>28} {:>28}", "q", "cond (scaled)", "cond (unscaled)");
+    let _ = writeln!(
+        out,
+        "{:>5} {:>28} {:>28}",
+        "q", "cond (scaled)", "cond (unscaled)"
+    );
     for q in 1..=5usize {
         let scaled = engine.approximate_with(p.output, q, strict(true));
         let unscaled = engine.approximate_with(
@@ -640,7 +665,11 @@ pub fn ablation_order_sweep() -> String {
 
     let mut out = String::new();
     let _ = writeln!(out, "Ablation — order sweep at C7, Fig. 16 with 1 ns ramp");
-    let _ = writeln!(out, "{:>3} {:>16} {:>16} {:>8}", "q", "est. error", "measured", "stable");
+    let _ = writeln!(
+        out,
+        "{:>3} {:>16} {:>16} {:>8}",
+        "q", "est. error", "measured", "stable"
+    );
     for q in 1..=6usize {
         match engine.approximate_with(p.output, q, strict(true)) {
             Ok(a) => {

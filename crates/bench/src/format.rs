@@ -44,11 +44,7 @@ pub fn seconds(t: f64) -> String {
 }
 
 /// A fixed-width two-column waveform table (time, several series).
-pub fn waveform_table(
-    header: &[&str],
-    times: &[f64],
-    series: &[Vec<f64>],
-) -> String {
+pub fn waveform_table(header: &[&str], times: &[f64], series: &[Vec<f64>]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{:>12}", header[0]));
     for h in &header[1..] {

@@ -105,13 +105,7 @@ pub fn render(series: &[Series], width: usize, height: usize) -> String {
     ));
     let legend: Vec<String> = series
         .iter()
-        .map(|s| {
-            format!(
-                "{} = {}",
-                s.label.chars().next().unwrap_or('?'),
-                s.label
-            )
-        })
+        .map(|s| format!("{} = {}", s.label.chars().next().unwrap_or('?'), s.label))
         .collect();
     out.push_str(&format!("{:>10} [{}]\n", "", legend.join(", ")));
     out
@@ -140,10 +134,10 @@ mod tests {
         let plot = render(&[a, b], 40, 10);
         // Identical curves: the later glyph wins everywhere.
         assert!(plot.contains('s'));
-        assert!(!plot
-            .lines()
-            .take(10)
-            .any(|l| l.contains('m')), "overlapped glyphs should be overwritten:\n{plot}");
+        assert!(
+            !plot.lines().take(10).any(|l| l.contains('m')),
+            "overlapped glyphs should be overwritten:\n{plot}"
+        );
     }
 
     #[test]

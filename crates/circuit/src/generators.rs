@@ -51,7 +51,8 @@ pub fn rc_line(segments: usize, r: f64, c: f64, input: Waveform) -> Generated {
     let mut nodes = Vec::with_capacity(segments);
     for i in 1..=segments {
         let n = ckt.node(&format!("n{i}"));
-        ckt.add_resistor(&format!("R{i}"), prev, n, r).expect("valid");
+        ckt.add_resistor(&format!("R{i}"), prev, n, r)
+            .expect("valid");
         ckt.add_capacitor(&format!("C{i}"), n, GROUND, c)
             .expect("valid");
         nodes.push(n);
@@ -106,7 +107,11 @@ pub fn random_rc_tree(
         } else {
             // Attach to input or any earlier node.
             let k = rng.gen_range(0..=nodes.len());
-            if k == 0 { n_in } else { nodes[k - 1] }
+            if k == 0 {
+                n_in
+            } else {
+                nodes[k - 1]
+            }
         };
         let node = ckt.node(&format!("n{i}"));
         let r = log_uniform(r_range, &mut rng);
@@ -143,7 +148,8 @@ pub fn rc_mesh(rows: usize, cols: usize, r: f64, c: f64, input: Waveform) -> Gen
             *cell = ckt.node(&format!("m{i}_{j}"));
         }
     }
-    ckt.add_resistor("Rdrv", n_in, grid[0][0], r).expect("valid");
+    ckt.add_resistor("Rdrv", n_in, grid[0][0], r)
+        .expect("valid");
     let mut ridx = 0;
     for i in 0..rows {
         for j in 0..cols {
@@ -202,10 +208,14 @@ pub fn coupled_rc_lines(
     for i in 1..=segments {
         let a = ckt.node(&format!("a{i}"));
         let v = ckt.node(&format!("v{i}"));
-        ckt.add_resistor(&format!("Ra{i}"), a_prev, a, r).expect("valid");
-        ckt.add_resistor(&format!("Rv{i}"), v_prev, v, r).expect("valid");
-        ckt.add_capacitor(&format!("Ca{i}"), a, GROUND, c).expect("valid");
-        ckt.add_capacitor(&format!("Cv{i}"), v, GROUND, c).expect("valid");
+        ckt.add_resistor(&format!("Ra{i}"), a_prev, a, r)
+            .expect("valid");
+        ckt.add_resistor(&format!("Rv{i}"), v_prev, v, r)
+            .expect("valid");
+        ckt.add_capacitor(&format!("Ca{i}"), a, GROUND, c)
+            .expect("valid");
+        ckt.add_capacitor(&format!("Cv{i}"), v, GROUND, c)
+            .expect("valid");
         ckt.add_capacitor(&format!("Cc{i}"), a, v, coupling)
             .expect("valid");
         a_nodes.push(a);
@@ -230,13 +240,7 @@ pub fn coupled_rc_lines(
 /// # Panics
 ///
 /// Panics if `sections == 0`.
-pub fn rlc_ladder(
-    sections: usize,
-    rs: f64,
-    l: f64,
-    c: f64,
-    input: Waveform,
-) -> Generated {
+pub fn rlc_ladder(sections: usize, rs: f64, l: f64, c: f64, input: Waveform) -> Generated {
     assert!(sections > 0, "need at least one section");
     let mut ckt = Circuit::new();
     let n_in = ckt.node("in");
@@ -247,7 +251,8 @@ pub fn rlc_ladder(
     let mut nodes = Vec::with_capacity(sections);
     for i in 1..=sections {
         let n = ckt.node(&format!("n{i}"));
-        ckt.add_inductor(&format!("L{i}"), prev, n, l).expect("valid");
+        ckt.add_inductor(&format!("L{i}"), prev, n, l)
+            .expect("valid");
         ckt.add_capacitor(&format!("C{i}"), n, GROUND, c)
             .expect("valid");
         nodes.push(n);

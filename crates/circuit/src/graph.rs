@@ -222,7 +222,10 @@ mod tests {
         let path = st.path_to_root(n4);
         // n4 → n3 → n1 → in → ground: 4 hops.
         assert_eq!(path.len(), 4);
-        let names: Vec<&str> = path.iter().map(|&(e, _, _)| c.elements()[e].name()).collect();
+        let names: Vec<&str> = path
+            .iter()
+            .map(|&(e, _, _)| c.elements()[e].name())
+            .collect();
         assert_eq!(names, vec!["R4", "R3", "R1", "V1"]);
         assert!(st.path_to_root(GROUND).is_empty());
     }
@@ -250,11 +253,7 @@ mod tests {
         let c = fig4_like();
         let st = SpanningTree::build(&c);
         // C4's loop: n4 → R4 → n3 → R3 → n1 → R1 → in → V1 → ground.
-        let c4 = c
-            .elements()
-            .iter()
-            .position(|e| e.name() == "C4")
-            .unwrap();
+        let c4 = c.elements().iter().position(|e| e.name() == "C4").unwrap();
         let lp = st.fundamental_loop(&c, c4).unwrap();
         let names: Vec<&str> = lp.iter().map(|&(e, _, _)| c.elements()[e].name()).collect();
         assert_eq!(names, vec!["R4", "R3", "R1", "V1"]);
@@ -272,11 +271,7 @@ mod tests {
         let (n2, n4) = (c.find_node("2").unwrap(), c.find_node("4").unwrap());
         c.add_capacitor("C11", n2, n4, 1e-7).unwrap();
         let st = SpanningTree::build(&c);
-        let c11 = c
-            .elements()
-            .iter()
-            .position(|e| e.name() == "C11")
-            .unwrap();
+        let c11 = c.elements().iter().position(|e| e.name() == "C11").unwrap();
         let lp = st.fundamental_loop(&c, c11).unwrap();
         let names: Vec<&str> = lp.iter().map(|&(e, _, _)| c.elements()[e].name()).collect();
         assert_eq!(names, vec!["R2", "R3", "R4"]);

@@ -58,7 +58,10 @@ impl fmt::Display for CircuitError {
                 write!(f, "element {element} references unknown node {node}")
             }
             CircuitError::UnknownControl { element, control } => {
-                write!(f, "element {element} references unknown controlling source {control}")
+                write!(
+                    f,
+                    "element {element} references unknown controlling source {control}"
+                )
             }
             CircuitError::ShortedElement(name) => {
                 write!(f, "element {name} has both terminals on the same node")
@@ -122,7 +125,11 @@ impl Circuit {
     /// Returns the id for a named node, creating it if necessary.
     /// The names `"0"`, `"gnd"` and `"GND"` all map to ground.
     pub fn node(&mut self, name: &str) -> NodeId {
-        let canonical = if name.eq_ignore_ascii_case("gnd") { "0" } else { name };
+        let canonical = if name.eq_ignore_ascii_case("gnd") {
+            "0"
+        } else {
+            name
+        };
         if let Some(&id) = self.name_to_id.get(canonical) {
             return id;
         }
@@ -134,7 +141,11 @@ impl Circuit {
 
     /// Looks up an existing node id by name without creating it.
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
-        let canonical = if name.eq_ignore_ascii_case("gnd") { "0" } else { name };
+        let canonical = if name.eq_ignore_ascii_case("gnd") {
+            "0"
+        } else {
+            name
+        };
         self.name_to_id.get(canonical).copied()
     }
 
@@ -201,7 +212,8 @@ impl Circuit {
     }
 
     fn push(&mut self, e: Element) {
-        self.element_names.insert(e.name().to_owned(), self.elements.len());
+        self.element_names
+            .insert(e.name().to_owned(), self.elements.len());
         self.elements.push(e);
     }
 
@@ -481,7 +493,11 @@ impl Circuit {
             // Re-map ids to names for readability.
             let line = match e {
                 Element::Resistor { name, a, b, ohms } => {
-                    format!("{name} {} {} {ohms}", self.node_name(*a), self.node_name(*b))
+                    format!(
+                        "{name} {} {} {ohms}",
+                        self.node_name(*a),
+                        self.node_name(*b)
+                    )
                 }
                 Element::Capacitor {
                     name,

@@ -69,6 +69,127 @@ pub fn parse_deck(deck: &str) -> Result<Circuit, CircuitError> {
     Ok(c)
 }
 
+/// A named net parsed from a multi-net deck.
+///
+/// Produced by [`parse_multi_deck`]; `name` comes from a `* NET <name>`
+/// header or is synthesized as `net<k>` (1-based position) for unnamed
+/// segments.
+#[derive(Clone, Debug)]
+pub struct NamedNet {
+    /// Net name, unique within the deck.
+    pub name: String,
+    /// The net's own circuit (independent node space).
+    pub circuit: Circuit,
+}
+
+/// Parses a deck containing *many* independent nets into a vector of
+/// [`NamedNet`]s.
+///
+/// Two conventions, freely mixable, delimit nets:
+///
+/// * a `* NET <name>` comment header starts a new net with that name;
+/// * a `.end` directive terminates the current net, and any following
+///   cards start the next one.
+///
+/// Nets with no `* NET` header are named `net<k>` by 1-based position.
+/// Segments containing no element cards (e.g. trailing comments after the
+/// final `.end`) are dropped.
+///
+/// # Errors
+///
+/// * [`CircuitError::Parse`] with the *global* deck line number for
+///   malformed cards — and for duplicate net names, which are rejected
+///   rather than silently shadowed.
+///
+/// # Examples
+///
+/// ```
+/// use awe_circuit::parse_multi_deck;
+///
+/// # fn main() -> Result<(), awe_circuit::CircuitError> {
+/// let nets = parse_multi_deck(
+///     "* NET bitline
+///      V1 in 0 STEP 0 5
+///      R1 in out 1k
+///      C1 out 0 1p
+///      .end
+///      * NET wordline
+///      V1 in 0 STEP 0 3
+///      R1 in out 2k
+///      C1 out 0 2p
+///      .end",
+/// )?;
+/// assert_eq!(nets.len(), 2);
+/// assert_eq!(nets[0].name, "bitline");
+/// assert_eq!(nets[1].name, "wordline");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_multi_deck(deck: &str) -> Result<Vec<NamedNet>, CircuitError> {
+    let mut nets: Vec<NamedNet> = Vec::new();
+    let mut current = Circuit::new();
+    let mut current_name: Option<(String, usize)> = None;
+    let mut current_has_cards = false;
+
+    let finish = |nets: &mut Vec<NamedNet>,
+                  circuit: Circuit,
+                  name: Option<(String, usize)>,
+                  has_cards: bool|
+     -> Result<(), CircuitError> {
+        if !has_cards {
+            return Ok(());
+        }
+        let (name, line) = name.unwrap_or_else(|| (format!("net{}", nets.len() + 1), 0));
+        if nets.iter().any(|n| n.name == name) {
+            return Err(perr(line, format!("duplicate net name `{name}`")));
+        }
+        nets.push(NamedNet { name, circuit });
+        Ok(())
+    };
+
+    for (lineno, raw) in deck.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        // `* NET <name>` headers delimit nets; all other comments pass.
+        if let Some(rest) = text.strip_prefix('*') {
+            let mut words = rest.split_whitespace();
+            if words.next().is_some_and(|w| w.eq_ignore_ascii_case("net")) {
+                if let Some(name) = words.next() {
+                    finish(
+                        &mut nets,
+                        std::mem::replace(&mut current, Circuit::new()),
+                        current_name.take(),
+                        current_has_cards,
+                    )?;
+                    current_name = Some((name.to_owned(), line));
+                    current_has_cards = false;
+                }
+            }
+            continue;
+        }
+        if text.starts_with('.') {
+            let directive = text.split_whitespace().next().unwrap_or("");
+            if directive.eq_ignore_ascii_case(".end") {
+                finish(
+                    &mut nets,
+                    std::mem::replace(&mut current, Circuit::new()),
+                    current_name.take(),
+                    current_has_cards,
+                )?;
+                current_has_cards = false;
+            }
+            continue;
+        }
+        parse_card(&mut current, text, line)?;
+        current_has_cards = true;
+    }
+    finish(&mut nets, current, current_name, current_has_cards)?;
+    Ok(nets)
+}
+
 fn perr(line: usize, message: impl Into<String>) -> CircuitError {
     CircuitError::Parse {
         line,
@@ -91,9 +212,8 @@ fn parse_card(c: &mut Circuit, text: &str, line: usize) -> Result<(), CircuitErr
             }
             let a = c.node(tokens[1]);
             let b = c.node(tokens[2]);
-            let value = parse_value(tokens[3]).ok_or_else(|| {
-                perr(line, format!("{name}: bad value `{}`", tokens[3]))
-            })?;
+            let value = parse_value(tokens[3])
+                .ok_or_else(|| perr(line, format!("{name}: bad value `{}`", tokens[3])))?;
             let ic = parse_ic(&tokens[4..], line, name)?;
             match kind {
                 'R' => {
@@ -180,18 +300,18 @@ fn parse_source(tokens: &[&str], line: usize, name: &str) -> Result<Waveform, Ci
         if tokens.len() != 2 {
             return Err(perr(line, format!("{name}: DC expects one value")));
         }
-        let v = parse_value(tokens[1])
-            .ok_or_else(|| perr(line, format!("{name}: bad DC value")))?;
+        let v =
+            parse_value(tokens[1]).ok_or_else(|| perr(line, format!("{name}: bad DC value")))?;
         return Ok(Waveform::dc(v));
     }
     if head == "STEP" {
         if tokens.len() != 3 {
             return Err(perr(line, format!("{name}: STEP expects v0 v1")));
         }
-        let v0 = parse_value(tokens[1])
-            .ok_or_else(|| perr(line, format!("{name}: bad STEP v0")))?;
-        let v1 = parse_value(tokens[2])
-            .ok_or_else(|| perr(line, format!("{name}: bad STEP v1")))?;
+        let v0 =
+            parse_value(tokens[1]).ok_or_else(|| perr(line, format!("{name}: bad STEP v0")))?;
+        let v1 =
+            parse_value(tokens[2]).ok_or_else(|| perr(line, format!("{name}: bad STEP v1")))?;
         return Ok(Waveform::step(v0, v1));
     }
     if head.starts_with("PWL") {
@@ -231,7 +351,10 @@ fn parse_source(tokens: &[&str], line: usize, name: &str) -> Result<Waveform, Ci
             return Ok(Waveform::dc(v));
         }
     }
-    Err(perr(line, format!("{name}: unrecognized source `{}`", tokens.join(" "))))
+    Err(perr(
+        line,
+        format!("{name}: unrecognized source `{}`", tokens.join(" ")),
+    ))
 }
 
 /// Parses a SPICE value with optional magnitude suffix:
@@ -428,6 +551,81 @@ H1 h 0 V1 100",
         assert!(parse_deck("C1 a 0 1p garbage").is_err());
         assert!(parse_deck("G1 a 0 1m").is_err());
         assert!(parse_deck("F1 a 0 V9 1").is_err()); // unknown control
+    }
+
+    #[test]
+    fn multi_deck_named_and_anonymous() {
+        let deck = "
+* NET first
+V1 in 0 STEP 0 5
+R1 in out 1k
+C1 out 0 1p
+.end
+V1 in 0 STEP 0 3   ; anonymous net after bare .end
+R1 in out 2k
+C1 out 0 2p
+.end
+* NET third
+V1 in 0 DC 1
+R1 in out 1k
+";
+        let nets = parse_multi_deck(deck).unwrap();
+        assert_eq!(nets.len(), 3);
+        assert_eq!(nets[0].name, "first");
+        assert_eq!(nets[1].name, "net2");
+        assert_eq!(nets[2].name, "third");
+        assert_eq!(nets[0].circuit.elements().len(), 3);
+        assert_eq!(nets[2].circuit.elements().len(), 2);
+    }
+
+    #[test]
+    fn multi_deck_single_net_matches_parse_deck() {
+        let deck = "V1 in 0 STEP 0 5\nR1 in out 1k\nC1 out 0 1p\n.end\n";
+        let nets = parse_multi_deck(deck).unwrap();
+        assert_eq!(nets.len(), 1);
+        assert_eq!(nets[0].name, "net1");
+        let single = parse_deck(deck).unwrap();
+        assert_eq!(nets[0].circuit.to_deck(), single.to_deck());
+    }
+
+    #[test]
+    fn multi_deck_rejects_duplicate_names() {
+        let deck = "
+* NET dup
+R1 a 0 1k
+.end
+* NET dup
+R1 a 0 2k
+";
+        let err = parse_multi_deck(deck).unwrap_err();
+        match err {
+            CircuitError::Parse { line, message } => {
+                assert_eq!(line, 5, "line of the duplicate `* NET` header");
+                assert!(message.contains("duplicate net name `dup`"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_deck_reports_global_line_numbers() {
+        let deck = "* NET a\nR1 x 0 1k\n.end\n* NET b\nR1 x 0 bogus\n";
+        let err = parse_multi_deck(deck).unwrap_err();
+        match err {
+            CircuitError::Parse { line, .. } => assert_eq!(line, 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_deck_skips_empty_segments() {
+        assert!(parse_multi_deck("").unwrap().is_empty());
+        assert!(parse_multi_deck("* just a comment\n.end\n")
+            .unwrap()
+            .is_empty());
+        // Trailing `.end` + comments produce no phantom net.
+        let nets = parse_multi_deck("R1 a 0 1\n.end\n* trailing words\n").unwrap();
+        assert_eq!(nets.len(), 1);
     }
 
     #[test]

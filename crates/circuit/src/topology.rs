@@ -294,7 +294,8 @@ mod tests {
         let n4 = c.node("4");
         let n2 = c.find_node("2").unwrap();
         c.add_resistor("R7", n2, n4, 1.0).unwrap();
-        c.add_capacitor_ic("C4", n4, GROUND, 1e-6, Some(5.0)).unwrap();
+        c.add_capacitor_ic("C4", n4, GROUND, 1e-6, Some(5.0))
+            .unwrap();
         let r = analyze(&c);
         assert!(r.has_initial_conditions);
         assert!(r.is_rc_tree()); // ICs don't break tree structure

@@ -234,7 +234,13 @@ mod tests {
         assert_eq!(init, 0.0);
         assert!(steps.is_empty());
         assert_eq!(ramps.len(), 2);
-        assert_eq!(ramps[0], Ramp { start: 0.0, slope: 5e3 });
+        assert_eq!(
+            ramps[0],
+            Ramp {
+                start: 0.0,
+                slope: 5e3
+            }
+        );
         assert_eq!(
             ramps[1],
             Ramp {

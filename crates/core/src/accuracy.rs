@@ -50,7 +50,11 @@ pub fn cauchy_error_bound(reference: &ExpSum, approx: &ExpSum) -> Option<f64> {
     let ref_units = units(reference);
     let apx_units = units(approx);
     if ref_units.is_empty() {
-        return Some(if apx_units.is_empty() { 0.0 } else { f64::INFINITY });
+        return Some(if apx_units.is_empty() {
+            0.0
+        } else {
+            f64::INFINITY
+        });
     }
 
     let mut total = 0.0f64;
@@ -85,9 +89,7 @@ pub fn cauchy_error_bound(reference: &ExpSum, approx: &ExpSum) -> Option<f64> {
         for unit in &ref_units[shared..] {
             extra.extend(unit.iter().copied());
         }
-        total += ExpSum::new(extra)
-            .sub(&ExpSum::new(leftover))
-            .norm_sqr()?;
+        total += ExpSum::new(extra).sub(&ExpSum::new(leftover)).norm_sqr()?;
     } else {
         // Extra approximating units (rare): count them whole.
         for unit in &apx_units[shared..] {
@@ -150,7 +152,11 @@ fn scale_unit(unit: &[ExpTerm], k: Complex) -> Vec<ExpTerm> {
         .enumerate()
         .map(|(i, t)| ExpTerm {
             pole: t.pole,
-            coeff: if i == 0 { t.coeff * k } else { t.coeff * k.conj() },
+            coeff: if i == 0 {
+                t.coeff * k
+            } else {
+                t.coeff * k.conj()
+            },
             power: t.power,
         })
         .collect()

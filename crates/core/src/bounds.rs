@@ -151,7 +151,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let n_in = ckt.node("in");
         let n1 = ckt.node("n1");
-        ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
         ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
         ckt.add_capacitor("C1", n1, GROUND, 1e-9).unwrap();
         let b = StepBounds::for_node(&ckt, n1).unwrap();

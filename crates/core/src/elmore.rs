@@ -46,10 +46,7 @@ pub fn elmore_delay(circuit: &Circuit, node: NodeId) -> Result<f64, AweError> {
 /// # Errors
 ///
 /// Tree/link errors for circuits outside the R/C/V class.
-pub fn elmore_approximation(
-    circuit: &Circuit,
-    node: NodeId,
-) -> Result<AweApproximation, AweError> {
+pub fn elmore_approximation(circuit: &Circuit, node: NodeId) -> Result<AweApproximation, AweError> {
     let ta = TreeAnalysis::new(circuit)?;
     // Source jumps: final minus initial values.
     let mut u0 = Vec::new();
@@ -145,10 +142,7 @@ mod tests {
         let awe1 = engine.approximate(p.output, 1).unwrap();
         let d_pr = pr.delay_50().unwrap();
         let d_awe = awe1.delay_50().unwrap();
-        assert!(
-            ((d_pr - d_awe) / d_awe).abs() < 1e-6,
-            "{d_pr} vs {d_awe}"
-        );
+        assert!(((d_pr - d_awe) / d_awe).abs() < 1e-6, "{d_pr} vs {d_awe}");
     }
 
     #[test]

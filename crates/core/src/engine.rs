@@ -6,6 +6,8 @@
 //! [`AweApproximation`] with the §3.4 error estimate and the §3.3
 //! stability/order-escalation policy.
 
+use std::time::{Duration, Instant};
+
 use awe_circuit::{Circuit, NodeId};
 use awe_mna::{MnaSystem, MomentEngine, Piece};
 
@@ -85,6 +87,34 @@ impl Default for AweOptions {
 /// ```
 pub struct AweEngine {
     system: MnaSystem,
+    assembly: Duration,
+}
+
+/// Wall time spent in each stage of one AWE solve, for profiling and the
+/// batch subsystem's run metrics.
+///
+/// `mna` is the MNA assembly time of the engine that produced the solve
+/// (recorded once at [`AweEngine::new`] and reported with every solve);
+/// the other stages are accumulated across every reduction the solve
+/// performed, including §3.3 order escalations and the §3.4 `(q+1)`
+/// error-reference model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// MNA system assembly ([`AweEngine::new`]).
+    pub mna: Duration,
+    /// Excitation decomposition and moment generation (§3.2, §4.3).
+    pub moments: Duration,
+    /// Moment matching for poles (§III, eq. (24)).
+    pub pade: Duration,
+    /// Residue computation (eq. (20)/(29)).
+    pub residues: Duration,
+}
+
+impl StageTimings {
+    /// Sum over all stages.
+    pub fn total(&self) -> Duration {
+        self.mna + self.moments + self.pade + self.residues
+    }
 }
 
 /// One row of an automatic order sweep: the order tried and its error
@@ -107,14 +137,22 @@ impl AweEngine {
     ///
     /// Propagates MNA assembly failures.
     pub fn new(circuit: &Circuit) -> Result<Self, AweError> {
+        let start = Instant::now();
+        let system = MnaSystem::build(circuit)?;
         Ok(AweEngine {
-            system: MnaSystem::build(circuit)?,
+            system,
+            assembly: start.elapsed(),
         })
     }
 
     /// The underlying MNA system (for inspection and the benches).
     pub fn system(&self) -> &MnaSystem {
         &self.system
+    }
+
+    /// Wall time [`AweEngine::new`] spent assembling the MNA system.
+    pub fn assembly_time(&self) -> Duration {
+        self.assembly
     }
 
     /// Order-`q` AWE approximation of the voltage at `node`, with default
@@ -147,6 +185,26 @@ impl AweEngine {
         order: usize,
         options: AweOptions,
     ) -> Result<AweApproximation, AweError> {
+        self.approximate_timed(node, order, options).map(|(a, _)| a)
+    }
+
+    /// [`AweEngine::approximate_with`], also returning per-stage wall
+    /// times — MNA assembly, moment generation, Padé pole matching, and
+    /// residue computation — for profiling and batch run metrics.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`AweEngine::approximate_with`].
+    pub fn approximate_timed(
+        &self,
+        node: NodeId,
+        order: usize,
+        options: AweOptions,
+    ) -> Result<(AweApproximation, StageTimings), AweError> {
+        let mut clock = StageTimings {
+            mna: self.assembly,
+            ..StageTimings::default()
+        };
         if order == 0 {
             return Err(AweError::BadOrder { order });
         }
@@ -154,15 +212,24 @@ impl AweEngine {
             .system
             .unknown_of_node(node)
             .ok_or(AweError::BadNode(node))?;
+        let moments_start = Instant::now();
         let engine = MomentEngine::new(&self.system)?;
         // Enough moments for the highest escalated order plus the (q+1)
         // error reference.
         let top = order + options.max_escalation + 1;
         let dec = engine.decompose(2 * top)?;
+        clock.moments = moments_start.elapsed();
 
         let mut last: Option<AweApproximation> = None;
         for q in order..=(order + options.max_escalation) {
-            let approx = self.reduce_at(&dec.pieces, dec.baseline[..].to_vec(), idx, q, options)?;
+            let approx = self.reduce_at(
+                &dec.pieces,
+                dec.baseline[..].to_vec(),
+                idx,
+                q,
+                options,
+                &mut clock,
+            )?;
             let stable = approx.stable;
             last = Some(approx);
             if stable {
@@ -183,13 +250,14 @@ impl AweEngine {
                     max_escalation: 0,
                     ..options
                 },
+                &mut clock,
             ) {
                 if reference.stable {
                     approx.error_estimate = aggregate_error(&reference, &approx);
                 }
             }
         }
-        Ok(approx)
+        Ok((approx, clock))
     }
 
     /// Builds the order-`q` approximation at unknown `idx` from decomposed
@@ -201,6 +269,7 @@ impl AweEngine {
         idx: usize,
         q: usize,
         options: AweOptions,
+        clock: &mut StageTimings,
     ) -> Result<AweApproximation, AweError> {
         let pade_opts = PadeOptions {
             frequency_scaling: options.frequency_scaling,
@@ -229,17 +298,16 @@ impl AweEngine {
                 // the order off.
                 // §4.3 slope matching: prepend m₋₂ to the sequence so the
                 // Hankel window shifts one step toward the initial slope.
-                let slope_seq: Option<Vec<f64>> =
-                    if options.match_initial_slope {
-                        piece.m_minus2.as_ref().map(|m2| {
-                            let mut seq = Vec::with_capacity(moments.len() + 1);
-                            seq.push(m2[idx]);
-                            seq.extend_from_slice(&moments);
-                            seq
-                        })
-                    } else {
-                        None
-                    };
+                let slope_seq: Option<Vec<f64>> = if options.match_initial_slope {
+                    piece.m_minus2.as_ref().map(|m2| {
+                        let mut seq = Vec::with_capacity(moments.len() + 1);
+                        seq.push(m2[idx]);
+                        seq.extend_from_slice(&moments);
+                        seq
+                    })
+                } else {
+                    None
+                };
                 let max_q = moments.len() / 2;
                 let mut q_eff = q.min(max_q);
                 let mut visited = vec![false; max_q + 1];
@@ -251,26 +319,30 @@ impl AweEngine {
                         });
                     }
                     visited[q_eff] = true;
-                    let attempt = match slope_seq.as_deref() {
-                        Some(seq) => match_poles(seq, q_eff, pade_opts).and_then(|p| {
-                            match_residues_with_slope(&p.poles, seq).map(|t| (p, t))
-                        }),
-                        None => match_poles(&moments, q_eff, pade_opts)
-                            .and_then(|p| match_residues(&p.poles, &moments).map(|t| (p, t))),
+                    let pade_start = Instant::now();
+                    let poles_attempt = match slope_seq.as_deref() {
+                        Some(seq) => match_poles(seq, q_eff, pade_opts),
+                        None => match_poles(&moments, q_eff, pade_opts),
                     };
+                    clock.pade += pade_start.elapsed();
+                    let attempt = poles_attempt.and_then(|p| {
+                        let residues_start = Instant::now();
+                        let terms = match slope_seq.as_deref() {
+                            Some(seq) => match_residues_with_slope(&p.poles, seq),
+                            None => match_residues(&p.poles, &moments),
+                        };
+                        clock.residues += residues_start.elapsed();
+                        terms.map(|t| (p, t))
+                    });
                     match attempt {
                         Ok(ok) => break ok,
                         Err(AweError::MomentMatrixSingular { achievable, .. })
-                            if achievable > 0
-                                && achievable < q_eff
-                                && !visited[achievable] =>
+                            if achievable > 0 && achievable < q_eff && !visited[achievable] =>
                         {
                             q_eff = achievable;
                         }
                         Err(AweError::MomentMatrixSingular { .. })
-                            if options.allow_order_bump
-                                && q_eff < max_q
-                                && !visited[q_eff + 1] =>
+                            if options.allow_order_bump && q_eff < max_q && !visited[q_eff + 1] =>
                         {
                             q_eff += 1;
                         }
@@ -297,9 +369,7 @@ impl AweEngine {
                 let kept: Vec<_> = terms
                     .into_iter()
                     .filter(|t| {
-                        t.pole.is_finite()
-                            && t.coeff.is_finite()
-                            && magnitude(t) > 1e-8 * max_mag
+                        t.pole.is_finite() && t.coeff.is_finite() && magnitude(t) > 1e-8 * max_mag
                     })
                     .collect();
                 used_order = used_order.max(kept.len());
@@ -401,7 +471,6 @@ fn aggregate_error(reference: &AweApproximation, approx: &AweApproximation) -> O
     // Piece count plays the role of the term count in Cauchy's bound.
     Some((num / den).sqrt())
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -519,21 +588,32 @@ mod tests {
         let p = fig4(Waveform::rising_step(0.0, 5.0, 1e-3));
         let engine = AweEngine::new(&p.circuit).unwrap();
         let plain = engine
-            .approximate_with(p.output, 1, AweOptions {
-                error_estimate: false,
-                ..Default::default()
-            })
+            .approximate_with(
+                p.output,
+                1,
+                AweOptions {
+                    error_estimate: false,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let dt = 1e-7;
         let slope_plain = (plain.eval(dt) - plain.eval(0.0)) / dt;
-        assert!(slope_plain < 0.0, "expected the documented glitch: {slope_plain}");
+        assert!(
+            slope_plain < 0.0,
+            "expected the documented glitch: {slope_plain}"
+        );
 
         let matched = engine
-            .approximate_with(p.output, 1, AweOptions {
-                error_estimate: false,
-                match_initial_slope: true,
-                ..Default::default()
-            })
+            .approximate_with(
+                p.output,
+                1,
+                AweOptions {
+                    error_estimate: false,
+                    match_initial_slope: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let slope_matched = (matched.eval(dt) - matched.eval(0.0)) / dt;
         assert!(
@@ -553,10 +633,14 @@ mod tests {
         let engine = AweEngine::new(&p.circuit).unwrap();
         let a = engine.approximate(p.output, 2).unwrap();
         let b = engine
-            .approximate_with(p.output, 2, AweOptions {
-                match_initial_slope: true,
-                ..Default::default()
-            })
+            .approximate_with(
+                p.output,
+                2,
+                AweOptions {
+                    match_initial_slope: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         for i in 0..10 {
             let t = i as f64 * 5e-4;

@@ -53,9 +53,9 @@
 pub mod accuracy;
 pub mod bounds;
 pub mod elmore;
-pub mod macromodel;
 mod engine;
 mod error;
+pub mod macromodel;
 pub mod pade;
 pub mod rational;
 pub mod residues;
@@ -63,7 +63,7 @@ mod response;
 mod terms;
 pub mod twopole;
 
-pub use engine::{AweEngine, AweOptions, OrderReport};
+pub use engine::{AweEngine, AweOptions, OrderReport, StageTimings};
 pub use error::AweError;
 pub use response::{AweApproximation, ResponsePiece};
 pub use terms::{ExpSum, ExpTerm};

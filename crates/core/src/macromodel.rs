@@ -33,7 +33,10 @@ use crate::terms::{ExpSum, ExpTerm};
 /// ```
 pub fn to_pole_residue_text(approx: &AweApproximation) -> String {
     let mut out = String::from("awe-macromodel v1\n");
-    out.push_str(&format!("# order {} stable {}\n", approx.order, approx.stable));
+    out.push_str(&format!(
+        "# order {} stable {}\n",
+        approx.order, approx.stable
+    ));
     out.push_str(&format!("baseline {:.17e}\n", approx.baseline));
     for piece in &approx.pieces {
         out.push_str(&format!(
@@ -67,17 +70,17 @@ pub fn parse_pole_residue_text(text: &str) -> Result<AweApproximation, AweError>
     let mut baseline = 0.0f64;
     let mut pieces: Vec<ResponsePiece> = Vec::new();
     let mut current: Option<(f64, f64, f64, Vec<ExpTerm>)> = None;
-    let finish =
-        |cur: &mut Option<(f64, f64, f64, Vec<ExpTerm>)>, pieces: &mut Vec<ResponsePiece>| {
-            if let Some((onset, a, b, terms)) = cur.take() {
-                pieces.push(ResponsePiece {
-                    onset,
-                    a,
-                    b,
-                    transient: ExpSum::new(terms),
-                });
-            }
-        };
+    let finish = |cur: &mut Option<(f64, f64, f64, Vec<ExpTerm>)>,
+                  pieces: &mut Vec<ResponsePiece>| {
+        if let Some((onset, a, b, terms)) = cur.take() {
+            pieces.push(ResponsePiece {
+                onset,
+                a,
+                b,
+                transient: ExpSum::new(terms),
+            });
+        }
+    };
     for line in lines {
         if line.starts_with('#') {
             continue;
@@ -212,7 +215,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let n_in = ckt.node("in");
         let n1 = ckt.node("n1");
-        ckt.add_vsource("V1", n_in, GROUND, Waveform::pwl(pwl)).unwrap();
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::pwl(pwl))
+            .unwrap();
         ckt.add_resistor("R1", n_in, n1, 100.0).unwrap();
         ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
         let engine = AweEngine::new(&ckt).unwrap();

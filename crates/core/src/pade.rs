@@ -217,11 +217,13 @@ mod tests {
         // Conjugate pair: moments of 2·Re(k e^{pt}).
         let p = Complex::new(-1.0, 5.0);
         let k = Complex::new(0.5, 0.3);
-        let m: Vec<f64> = (0..4)
-            .map(|r| 2.0 * (k * p.powi(-r)).re)
-            .collect();
+        let m: Vec<f64> = (0..4).map(|r| 2.0 * (k * p.powi(-r)).re).collect();
         let r = match_poles(&m, 2, PadeOptions::default()).unwrap();
-        assert!(r.poles.iter().any(|z| (*z - p).abs() < 1e-8), "{:?}", r.poles);
+        assert!(
+            r.poles.iter().any(|z| (*z - p).abs() < 1e-8),
+            "{:?}",
+            r.poles
+        );
         assert!(r.poles.iter().any(|z| (*z - p.conj()).abs() < 1e-8));
         // Exact conjugate symmetry after snapping.
         assert_eq!(r.poles[0].re, r.poles[1].re);
@@ -276,7 +278,10 @@ mod tests {
     fn order_above_rank_reports_achievable() {
         let m = moments_of(&[1.0], &[-2.0], 8);
         match match_poles(&m, 3, PadeOptions::default()) {
-            Err(AweError::MomentMatrixSingular { order: 3, achievable }) => {
+            Err(AweError::MomentMatrixSingular {
+                order: 3,
+                achievable,
+            }) => {
                 assert_eq!(achievable, 1);
             }
             Ok(r) => {

@@ -122,11 +122,7 @@ mod tests {
         let s = sum(&[(-1.0, 2.0), (-5.0, -0.7)]);
         let (num, den) = rational_form(&s).unwrap();
         for &x in &[0.0, 1.0, -0.3, 2.5] {
-            let direct: f64 = s
-                .terms()
-                .iter()
-                .map(|t| t.coeff.re / (x - t.pole.re))
-                .sum();
+            let direct: f64 = s.terms().iter().map(|t| t.coeff.re / (x - t.pole.re)).sum();
             let rat = num.eval(x) / den.eval(x);
             assert!((rat - direct).abs() < 1e-10, "x={x}: {rat} vs {direct}");
         }

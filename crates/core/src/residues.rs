@@ -58,7 +58,11 @@ pub fn match_residues(poles: &[Complex], moments: &[f64]) -> Result<Vec<ExpTerm>
 
     // Reciprocal nodes, normalized by the largest magnitude.
     let nodes: Vec<Complex> = groups.iter().map(|g| g.pole.recip()).collect();
-    let s_hat = nodes.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let s_hat = nodes
+        .iter()
+        .map(|x| x.abs())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
     let y: Vec<Complex> = nodes.iter().map(|x| *x / s_hat).collect();
 
     // Build the (confluent) system: row r matches moment entry r; the
@@ -117,10 +121,7 @@ pub fn match_residues(poles: &[Complex], moments: &[f64]) -> Result<Vec<ExpTerm>
 /// * [`AweError::BadOrder`] on an empty pole set or short sequence.
 /// * [`AweError::Numeric`] for singular systems (includes the
 ///   repeated-pole case).
-pub fn match_residues_with_slope(
-    poles: &[Complex],
-    seq: &[f64],
-) -> Result<Vec<ExpTerm>, AweError> {
+pub fn match_residues_with_slope(poles: &[Complex], seq: &[f64]) -> Result<Vec<ExpTerm>, AweError> {
     let q = poles.len();
     if q == 0 || seq.len() < q {
         return Err(AweError::BadOrder { order: q });
@@ -273,10 +274,7 @@ mod tests {
     fn conjugate_pair_residues_are_conjugate() {
         let p = Complex::new(-2.0, 7.0);
         let k = Complex::new(0.4, -0.9);
-        let truth = vec![
-            ExpTerm::simple(p, k),
-            ExpTerm::simple(p.conj(), k.conj()),
-        ];
+        let truth = vec![ExpTerm::simple(p, k), ExpTerm::simple(p.conj(), k.conj())];
         let m = moments_of_terms(&truth, 2);
         let got = match_residues(&[p, p.conj()], &m).unwrap();
         assert_eq!(got.len(), 2);

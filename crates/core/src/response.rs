@@ -106,12 +106,8 @@ impl AweApproximation {
     /// zero for bounded inputs).
     pub fn final_value(&self) -> f64 {
         let total_slope: f64 = self.pieces.iter().map(|p| p.b).sum();
-        let base: f64 = self.baseline
-            + self
-                .pieces
-                .iter()
-                .map(|p| p.a - p.b * p.onset)
-                .sum::<f64>();
+        let base: f64 =
+            self.baseline + self.pieces.iter().map(|p| p.a - p.b * p.onset).sum::<f64>();
         if total_slope.abs() > 0.0 {
             // Unbounded ramp: report the value at the settling horizon.
             base + total_slope * self.horizon()
@@ -150,11 +146,7 @@ impl AweApproximation {
     /// A settling horizon: the last onset plus several dominant time
     /// constants.
     pub fn horizon(&self) -> f64 {
-        let last_onset = self
-            .pieces
-            .iter()
-            .map(|p| p.onset)
-            .fold(0.0f64, f64::max);
+        let last_onset = self.pieces.iter().map(|p| p.onset).fold(0.0f64, f64::max);
         let settle = self
             .pieces
             .iter()

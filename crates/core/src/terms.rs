@@ -313,7 +313,10 @@ mod tests {
             let (f0, f1) = (s.eval(t0), s.eval(t0 + dt));
             acc += 0.5 * (f0 * f0 + f1 * f1) * dt;
         }
-        assert!((exact - acc).abs() < 1e-4 * acc.abs().max(1e-3), "{exact} vs {acc}");
+        assert!(
+            (exact - acc).abs() < 1e-4 * acc.abs().max(1e-3),
+            "{exact} vs {acc}"
+        );
     }
 
     #[test]

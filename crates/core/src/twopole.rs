@@ -129,10 +129,8 @@ mod tests {
         let exact = engine.approximate(p.output, 4).unwrap();
         let tp = two_pole_approximation(&p.circuit, p.output).unwrap();
         let pr = elmore_approximation(&p.circuit, p.output).unwrap();
-        let e_tp =
-            relative_l2_error(&exact.pieces[0].transient, &tp.pieces[0].transient).unwrap();
-        let e_pr =
-            relative_l2_error(&exact.pieces[0].transient, &pr.pieces[0].transient).unwrap();
+        let e_tp = relative_l2_error(&exact.pieces[0].transient, &tp.pieces[0].transient).unwrap();
+        let e_pr = relative_l2_error(&exact.pieces[0].transient, &pr.pieces[0].transient).unwrap();
         assert!(
             e_tp < e_pr,
             "two-pole ({e_tp}) should beat single-pole ({e_pr})"
@@ -163,7 +161,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let n_in = ckt.node("in");
         let n1 = ckt.node("n1");
-        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0)).unwrap();
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0))
+            .unwrap();
         ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
         ckt.add_capacitor("C1", n1, GROUND, 1e-9).unwrap();
         assert!(matches!(

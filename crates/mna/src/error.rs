@@ -30,7 +30,10 @@ impl fmt::Display for MnaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MnaError::NoDcSolution => {
-                write!(f, "circuit has no unique dc solution (singular conductance matrix)")
+                write!(
+                    f,
+                    "circuit has no unique dc solution (singular conductance matrix)"
+                )
             }
             MnaError::Numeric(e) => write!(f, "numeric failure: {e}"),
             MnaError::MissingControlBranch(name) => {

@@ -282,7 +282,10 @@ impl<'a> MomentEngine<'a> {
             .system
             .caps
             .iter()
-            .map(|cap| cap.initial_voltage.unwrap_or_else(|| self.system.cap_voltage(cap, &dc)))
+            .map(|cap| {
+                cap.initial_voltage
+                    .unwrap_or_else(|| self.system.cap_voltage(cap, &dc))
+            })
             .collect();
         let inductor_currents = self
             .system
@@ -447,8 +450,7 @@ impl<'a> MomentEngine<'a> {
         }
         // m_0 = -G̃⁻¹·(C̃·x_h(0)); the decaying subspace carries zero
         // group charge, so every floating row is pinned to 0.
-        let mut prev =
-            self.solve_charge(&c_xh0.iter().map(|v| -v).collect::<Vec<_>>(), &zeros)?;
+        let mut prev = self.solve_charge(&c_xh0.iter().map(|v| -v).collect::<Vec<_>>(), &zeros)?;
         seq.push(prev.clone());
         for _ in 2..count {
             let cw = self.c_tilde_apply(&prev);
@@ -554,8 +556,8 @@ impl<'a> MomentEngine<'a> {
                 .map(|(a, b)| a - b)
                 .collect();
             let _ = (&dv, &di); // retained for readers: C̃·m₋₁ equals
-                                 // charge_vector(dv, di) with floating
-                                 // rows zeroed.
+                                // charge_vector(dv, di) with floating
+                                // rows zeroed.
             let n = sys.num_unknowns();
             let mut m_minus1 = m_minus1;
             // §3.1: split off the p = 0 charge mode — it persists forever
@@ -640,8 +642,7 @@ impl<'a> MomentEngine<'a> {
                     dc_solution: vec![0.0; sys.num_unknowns()],
                 };
                 let xdot0 = self.instantaneous(&zero_state, &u1)?;
-                let m_minus2: Vec<f64> =
-                    xdot0.iter().zip(&b).map(|(x, bb)| x - bb).collect();
+                let m_minus2: Vec<f64> = xdot0.iter().zip(&b).map(|(x, bb)| x - bb).collect();
                 pieces.push(Piece {
                     kind: PieceKind::Ramp {
                         source: col,
@@ -811,9 +812,11 @@ mod tests {
         let mut ckt = Circuit::new();
         let n_in = ckt.node("in");
         let n1 = ckt.node("n1");
-        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0)).unwrap();
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0))
+            .unwrap();
         ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
-        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(3.0)).unwrap();
+        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(3.0))
+            .unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
         let eng = MomentEngine::new(&sys).unwrap();
         let dec = eng.decompose(4).unwrap();
@@ -836,7 +839,8 @@ mod tests {
         ckt.add_vsource("V1", n_in, GROUND, Waveform::step(2.0, 5.0))
             .unwrap();
         ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
-        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(2.0)).unwrap();
+        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(2.0))
+            .unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
         let eng = MomentEngine::new(&sys).unwrap();
         let dec = eng.decompose(2).unwrap();
@@ -853,8 +857,10 @@ mod tests {
         let n2 = ckt.node("n2");
         ckt.add_resistor("R1", n1, n2, 1e3).unwrap();
         ckt.add_resistor("R2", n2, GROUND, 1e3).unwrap();
-        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(4.0)).unwrap();
-        ckt.add_capacitor_ic("C2", n2, GROUND, 2e-9, Some(1.0)).unwrap();
+        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(4.0))
+            .unwrap();
+        ckt.add_capacitor_ic("C2", n2, GROUND, 2e-9, Some(1.0))
+            .unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
         let eng = MomentEngine::new(&sys).unwrap();
         let state = eng.initial_state().unwrap();
@@ -876,8 +882,10 @@ mod tests {
         let mut ckt = Circuit::new();
         let n_in = ckt.node("in");
         let n1 = ckt.node("n1");
-        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0)).unwrap();
-        ckt.add_inductor_ic("L1", n_in, n1, 1e-9, Some(0.5)).unwrap();
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0))
+            .unwrap();
+        ckt.add_inductor_ic("L1", n_in, n1, 1e-9, Some(0.5))
+            .unwrap();
         ckt.add_resistor("R1", n1, GROUND, 10.0).unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
         let eng = MomentEngine::new(&sys).unwrap();
@@ -909,7 +917,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let n1 = ckt.node("n1");
         let n2 = ckt.node("n2");
-        ckt.add_vsource("V1", n1, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+        ckt.add_vsource("V1", n1, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
         ckt.add_capacitor("C1", n1, n2, 3e-12).unwrap();
         ckt.add_capacitor("C2", n2, GROUND, 1e-12).unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
@@ -932,7 +941,8 @@ mod tests {
         // charge without bound: no DC solution exists.
         let mut ckt = Circuit::new();
         let n1 = ckt.node("n1");
-        ckt.add_isource("I1", GROUND, n1, Waveform::dc(1e-3)).unwrap();
+        ckt.add_isource("I1", GROUND, n1, Waveform::dc(1e-3))
+            .unwrap();
         ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
         assert!(matches!(
             MnaSystem::build(&ckt),
@@ -947,9 +957,11 @@ mod tests {
         let mut ckt = Circuit::new();
         let n1 = ckt.node("n1");
         let n2 = ckt.node("n2");
-        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(0.0)).unwrap();
+        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(0.0))
+            .unwrap();
         ckt.add_capacitor("C1", n1, n2, 1e-12).unwrap();
-        ckt.add_capacitor_ic("C2", n2, GROUND, 1e-12, Some(2.0)).unwrap();
+        ckt.add_capacitor_ic("C2", n2, GROUND, 1e-12, Some(2.0))
+            .unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
         // Group charge from the explicit IC: C2·2 V = 2e-12 C.
         assert!((sys.floating[0].initial_charge - 2e-12).abs() < 1e-24);

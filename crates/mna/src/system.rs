@@ -395,8 +395,7 @@ impl MnaSystem {
         let mut c_tilde = c.clone();
         let mut floating = Vec::new();
         for (_, members) in groups_by_root {
-            let member_set: std::collections::HashSet<usize> =
-                members.iter().copied().collect();
+            let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
             // Charge functional: boundary capacitors only (internal ones
             // cancel); equals the sum of the members' C rows.
             let mut charge_row = vec![0.0; n];
@@ -423,10 +422,8 @@ impl MnaSystem {
                     Element::CurrentSource { from, to, .. }
                     | Element::Vccs { from, to, .. }
                     | Element::Cccs { from, to, .. } => {
-                        let f_in = node_unknown[*from]
-                            .is_some_and(|i| member_set.contains(&i));
-                        let t_in =
-                            node_unknown[*to].is_some_and(|i| member_set.contains(&i));
+                        let f_in = node_unknown[*from].is_some_and(|i| member_set.contains(&i));
+                        let t_in = node_unknown[*to].is_some_and(|i| member_set.contains(&i));
                         f_in != t_in
                     }
                     _ => false,
@@ -627,7 +624,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let n1 = ckt.node("n1");
         let n2 = ckt.node("n2");
-        ckt.add_capacitor_ic("C1", n1, n2, 2e-12, Some(1.5)).unwrap();
+        ckt.add_capacitor_ic("C1", n1, n2, 2e-12, Some(1.5))
+            .unwrap();
         ckt.add_resistor("R1", n1, GROUND, 1.0).unwrap();
         ckt.add_resistor("R2", n2, GROUND, 1.0).unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
@@ -653,7 +651,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let n_in = ckt.node("in");
         let n1 = ckt.node("n1");
-        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(2.0)).unwrap();
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(2.0))
+            .unwrap();
         ckt.add_inductor("L1", n_in, n1, 1e-9).unwrap();
         ckt.add_resistor("R1", n1, GROUND, 4.0).unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
@@ -674,7 +673,8 @@ mod tests {
         // I = 1 mA from ground into n1, R = 1k to ground: v(n1) = +1 V.
         let mut ckt = Circuit::new();
         let n1 = ckt.node("n1");
-        ckt.add_isource("I1", GROUND, n1, Waveform::dc(1e-3)).unwrap();
+        ckt.add_isource("I1", GROUND, n1, Waveform::dc(1e-3))
+            .unwrap();
         ckt.add_resistor("R1", n1, GROUND, 1e3).unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
         let u = sys.source_values_at(0.0);
@@ -689,7 +689,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let nc = ckt.node("nc");
         let n1 = ckt.node("n1");
-        ckt.add_vsource("V1", nc, GROUND, Waveform::dc(1.0)).unwrap();
+        ckt.add_vsource("V1", nc, GROUND, Waveform::dc(1.0))
+            .unwrap();
         ckt.add_vccs("G1", GROUND, n1, nc, GROUND, 2e-3).unwrap();
         ckt.add_resistor("R1", n1, GROUND, 1e3).unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
@@ -704,7 +705,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let nc = ckt.node("nc");
         let no = ckt.node("no");
-        ckt.add_vsource("V1", nc, GROUND, Waveform::dc(1.5)).unwrap();
+        ckt.add_vsource("V1", nc, GROUND, Waveform::dc(1.5))
+            .unwrap();
         ckt.add_vcvs("E1", no, GROUND, nc, GROUND, -4.0).unwrap();
         ckt.add_resistor("R1", no, GROUND, 1e3).unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
@@ -723,7 +725,8 @@ mod tests {
         let na = ckt.node("na");
         let nb = ckt.node("nb");
         let nh = ckt.node("nh");
-        ckt.add_vsource("V1", na, GROUND, Waveform::dc(1.0)).unwrap();
+        ckt.add_vsource("V1", na, GROUND, Waveform::dc(1.0))
+            .unwrap();
         ckt.add_resistor("R1", na, GROUND, 1e3).unwrap();
         ckt.add_cccs("F1", GROUND, nb, "V1", 2.0).unwrap();
         ckt.add_resistor("R2", nb, GROUND, 1e3).unwrap();
@@ -763,7 +766,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let n1 = ckt.node("n1");
         let n2 = ckt.node("n2");
-        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0)).unwrap();
+        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0))
+            .unwrap();
         ckt.add_capacitor("C1", n1, n2, 1e-12).unwrap();
         let sys = MnaSystem::build(&ckt).unwrap();
         assert!(awe_numeric::Lu::factor(&sys.g).is_err());

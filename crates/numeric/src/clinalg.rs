@@ -188,9 +188,7 @@ mod tests {
 
     #[test]
     fn solve_real_system_embedded() {
-        let a = CMatrix::from_fn(2, 2, |i, j| {
-            Complex::real([[2.0, 1.0], [1.0, 3.0]][i][j])
-        });
+        let a = CMatrix::from_fn(2, 2, |i, j| Complex::real([[2.0, 1.0], [1.0, 3.0]][i][j]));
         let x = a.solve(&[Complex::real(3.0), Complex::real(4.0)]).unwrap();
         assert!((x[0] - Complex::ONE).abs() < 1e-13);
         assert!((x[1] - Complex::ONE).abs() < 1e-13);

@@ -173,7 +173,11 @@ impl Complex {
     /// Raises to a real power via the polar form.
     pub fn powf(self, x: f64) -> Self {
         if self.re == 0.0 && self.im == 0.0 {
-            return if x == 0.0 { Complex::ONE } else { Complex::ZERO };
+            return if x == 0.0 {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            };
         }
         Complex::from_polar(self.abs().powf(x), self.arg() * x)
     }

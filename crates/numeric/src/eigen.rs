@@ -223,8 +223,7 @@ fn hqr(mut h: Matrix) -> Result<Vec<Complex>, NumericError> {
                     break;
                 }
                 let u = h[(mu, mu - 1)].abs() * (q.abs() + r.abs());
-                let v = p.abs()
-                    * (h[(mu - 1, mu - 1)].abs() + z.abs() + h[(mu + 1, mu + 1)].abs());
+                let v = p.abs() * (h[(mu - 1, mu - 1)].abs() + z.abs() + h[(mu + 1, mu + 1)].abs());
                 if u <= f64::EPSILON * v {
                     break;
                 }
@@ -380,8 +379,8 @@ mod tests {
         // the smallest eigenvalue carries a few ulps of the largest.
         for &want in &d {
             assert!(
-                e.iter().any(|z| ((z.re - want) / want).abs() < 1e-4
-                    && z.im.abs() < 1e-4 * want.abs()),
+                e.iter()
+                    .any(|z| ((z.re - want) / want).abs() < 1e-4 && z.im.abs() < 1e-4 * want.abs()),
                 "missing stiff eigenvalue {want}: {e:?}"
             );
         }
@@ -428,11 +427,7 @@ mod tests {
 
     #[test]
     fn balance_preserves_eigenvalues() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 1e8, 0.0],
-            &[1e-8, 2.0, 1e8],
-            &[0.0, 1e-8, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 1e8, 0.0], &[1e-8, 2.0, 1e8], &[0.0, 1e-8, 3.0]]);
         let b = balance(&a);
         // Balancing is a similarity: eigenvalue sums (traces) agree.
         assert!((a.trace().unwrap() - b.trace().unwrap()).abs() < 1e-9);

@@ -47,7 +47,10 @@ impl fmt::Display for NumericError {
                 write!(f, "expected a square matrix, got {rows}x{cols}")
             }
             NumericError::Singular { pivot } => {
-                write!(f, "matrix is singular to working precision at pivot {pivot}")
+                write!(
+                    f,
+                    "matrix is singular to working precision at pivot {pivot}"
+                )
             }
             NumericError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")

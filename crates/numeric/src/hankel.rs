@@ -142,10 +142,7 @@ mod tests {
         let mut poles: Vec<f64> = r.iter().map(|z| z.recip().re).collect();
         poles.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (got, want) in poles.iter().zip(&[-20.0, -4.0, -1.0]) {
-            assert!(
-                ((got - want) / want).abs() < 1e-8,
-                "pole {got} vs {want}"
-            );
+            assert!(((got - want) / want).abs() < 1e-8, "pole {got} vs {want}");
         }
     }
 

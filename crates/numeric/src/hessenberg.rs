@@ -165,11 +165,7 @@ mod tests {
 
     #[test]
     fn already_hessenberg_is_stable() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-            &[0.0, 7.0, 8.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[0.0, 7.0, 8.0]]);
         let h = hessenberg(&a).unwrap();
         assert!(is_hessenberg(&h, 1e-14));
         char_invariants(&a, &h, 1e-12);

@@ -241,7 +241,10 @@ impl Lu {
                 Err(_) => return f64::INFINITY,
             };
             est = y.iter().map(|v| v.abs()).sum();
-            let xi: Vec<f64> = y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
+            let xi: Vec<f64> = y
+                .iter()
+                .map(|v| if *v >= 0.0 { 1.0 } else { -1.0 })
+                .collect();
             let z = match self.solve_transposed(&xi) {
                 Ok(z) => z,
                 Err(_) => return f64::INFINITY,
@@ -339,7 +342,10 @@ mod tests {
         let lu = Lu::factor(&Matrix::identity(3)).unwrap();
         assert!(matches!(
             lu.solve(&[1.0, 2.0]),
-            Err(NumericError::DimensionMismatch { expected: 3, actual: 2 })
+            Err(NumericError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
         ));
         assert!(lu.solve_transposed(&[1.0]).is_err());
         assert!(lu.solve_matrix(&Matrix::zeros(2, 2)).is_err());
@@ -399,7 +405,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible without rand.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for n in [1usize, 2, 5, 10, 20] {

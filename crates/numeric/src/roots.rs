@@ -40,7 +40,9 @@ const MAX_ABERTH_ITERS: usize = 200;
 /// ```
 pub fn roots(p: &Polynomial) -> Result<Vec<Complex>, NumericError> {
     if p.is_zero() {
-        return Err(NumericError::Degenerate("zero polynomial has no defined roots"));
+        return Err(NumericError::Degenerate(
+            "zero polynomial has no defined roots",
+        ));
     }
     if p.degree() == 0 {
         return Err(NumericError::Degenerate("constant polynomial has no roots"));
@@ -205,12 +207,7 @@ fn roots_quartic(p: &Polynomial) -> Vec<Complex> {
         out
     } else {
         // Resolvent cubic: m³ + p m² + (p²/4 - r) m - q²/8 = 0.
-        let resolvent = Polynomial::new(vec![
-            -qq * qq / 8.0,
-            pp * pp / 4.0 - rr,
-            pp,
-            1.0,
-        ]);
+        let resolvent = Polynomial::new(vec![-qq * qq / 8.0, pp * pp / 4.0 - rr, pp, 1.0]);
         let ms = roots_cubic(&resolvent);
         // Pick the real root with the largest positive real part for stability.
         let m = ms
@@ -220,7 +217,10 @@ fn roots_quartic(p: &Polynomial) -> Vec<Complex> {
             .fold(f64::NAN, f64::max);
         let m = if m.is_nan() {
             // Fall back to any real root magnitude.
-            ms.iter().map(|z| z.re.abs()).fold(0.0, f64::max).max(1e-300)
+            ms.iter()
+                .map(|z| z.re.abs())
+                .fold(0.0, f64::max)
+                .max(1e-300)
         } else {
             m
         };
@@ -247,11 +247,7 @@ fn roots_aberth(p: &Polynomial) -> Result<Vec<Complex>, NumericError> {
     // Initial guesses: points on a circle of radius given by the Cauchy
     // bound, slightly rotated off the real axis to break symmetry.
     let lead = c[n].abs();
-    let radius = 1.0
-        + c[..n]
-            .iter()
-            .map(|v| (v / lead).abs())
-            .fold(0.0, f64::max);
+    let radius = 1.0 + c[..n].iter().map(|v| (v / lead).abs()).fold(0.0, f64::max);
     let mut z: Vec<Complex> = (0..n)
         .map(|k| {
             let theta = 2.0 * std::f64::consts::PI * (k as f64 + 0.35) / n as f64 + 0.5;
@@ -269,7 +265,11 @@ fn roots_aberth(p: &Polynomial) -> Result<Vec<Complex>, NumericError> {
             if f.abs() == 0.0 {
                 continue;
             }
-            let newton = if d.abs() > 0.0 { f / d } else { Complex::new(1e-6, 1e-6) };
+            let newton = if d.abs() > 0.0 {
+                f / d
+            } else {
+                Complex::new(1e-6, 1e-6)
+            };
             let mut repulsion = Complex::ZERO;
             for (j, &zj) in snapshot.iter().enumerate() {
                 if j != i {
@@ -280,7 +280,11 @@ fn roots_aberth(p: &Polynomial) -> Result<Vec<Complex>, NumericError> {
                 }
             }
             let denom = Complex::ONE - newton * repulsion;
-            let step = if denom.abs() > 1e-300 { newton / denom } else { newton };
+            let step = if denom.abs() > 1e-300 {
+                newton / denom
+            } else {
+                newton
+            };
             z[i] = zi - step;
             let rel = step.abs() / zi.abs().max(1.0);
             max_step = max_step.max(rel);
@@ -498,7 +502,9 @@ mod tests {
         }
         for &r in &rs {
             assert!(
-                found.iter().any(|z| (z.re - r).abs() < 1e-6 && z.im.abs() < 1e-6),
+                found
+                    .iter()
+                    .any(|z| (z.re - r).abs() < 1e-6 && z.im.abs() < 1e-6),
                 "missing root {r}"
             );
         }

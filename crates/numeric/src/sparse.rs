@@ -212,20 +212,15 @@ impl SparseMatrix {
         let mut visited = vec![false; n];
         // Process components, starting each from a minimum-degree node.
         loop {
-            let start = (0..n)
-                .filter(|&v| !visited[v])
-                .min_by_key(|&v| degree[v]);
+            let start = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| degree[v]);
             let Some(start) = start else { break };
             let mut queue = std::collections::VecDeque::new();
             visited[start] = true;
             queue.push_back(start);
             while let Some(u) = queue.pop_front() {
                 order.push(u);
-                let mut nbrs: Vec<usize> = adj[u]
-                    .iter()
-                    .copied()
-                    .filter(|&v| !visited[v])
-                    .collect();
+                let mut nbrs: Vec<usize> =
+                    adj[u].iter().copied().filter(|&v| !visited[v]).collect();
                 nbrs.sort_by_key(|&v| degree[v]);
                 for v in nbrs {
                     visited[v] = true;
@@ -252,7 +247,13 @@ mod tests {
         let m = SparseMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0), (1, 1, -5.0), (2, 0, 4.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 0, 2.0),
+                (1, 1, 5.0),
+                (1, 1, -5.0),
+                (2, 0, 4.0),
+            ],
         );
         assert_eq!(m.nnz(), 2); // (0,0)=3 and (2,0)=4; (1,1) cancelled
         let d = m.to_dense();

@@ -303,7 +303,10 @@ mod tests {
     use crate::matrix::Matrix;
 
     fn solve_both(d: &Matrix, b: &[f64]) -> (Vec<f64>, Vec<f64>) {
-        let dense = Lu::factor(d).expect("dense factors").solve(b).expect("dense solves");
+        let dense = Lu::factor(d)
+            .expect("dense factors")
+            .solve(b)
+            .expect("dense solves");
         let s = SparseMatrix::from_dense(d);
         let sparse = SparseLu::factor(&s, None)
             .expect("sparse factors")
@@ -330,11 +333,7 @@ mod tests {
     #[test]
     fn pivoting_handles_zero_diagonal() {
         // MNA-like: V-source branch rows have structural zero diagonals.
-        let d = Matrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[1.0, 0.0, 2.0],
-            &[0.0, 2.0, 1.0],
-        ]);
+        let d = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 2.0], &[0.0, 2.0, 1.0]]);
         let b = [1.0, 2.0, 3.0];
         let (dense, sparse) = solve_both(&d, &b);
         for (a, s) in dense.iter().zip(&sparse) {

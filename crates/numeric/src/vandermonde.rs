@@ -50,10 +50,7 @@ pub fn vandermonde_matrix(nodes: &[Complex]) -> CMatrix {
 /// # Ok(())
 /// # }
 /// ```
-pub fn solve_vandermonde(
-    nodes: &[Complex],
-    rhs: &[Complex],
-) -> Result<Vec<Complex>, NumericError> {
+pub fn solve_vandermonde(nodes: &[Complex], rhs: &[Complex]) -> Result<Vec<Complex>, NumericError> {
     if nodes.len() != rhs.len() {
         return Err(NumericError::DimensionMismatch {
             expected: nodes.len(),
@@ -153,24 +150,10 @@ mod tests {
     #[test]
     fn plain_solve_matches_interpolation_moments() {
         // Known weights: x = (2, -1, 0.5) at nodes (0.5, -1, 3).
-        let nodes = [
-            Complex::real(0.5),
-            Complex::real(-1.0),
-            Complex::real(3.0),
-        ];
-        let x_true = [
-            Complex::real(2.0),
-            Complex::real(-1.0),
-            Complex::real(0.5),
-        ];
+        let nodes = [Complex::real(0.5), Complex::real(-1.0), Complex::real(3.0)];
+        let x_true = [Complex::real(2.0), Complex::real(-1.0), Complex::real(0.5)];
         let rhs: Vec<Complex> = (0..3)
-            .map(|j| {
-                nodes
-                    .iter()
-                    .zip(&x_true)
-                    .map(|(n, x)| n.powi(j) * *x)
-                    .sum()
-            })
+            .map(|j| nodes.iter().zip(&x_true).map(|(n, x)| n.powi(j) * *x).sum())
             .collect();
         let x = solve_vandermonde(&nodes, &rhs).unwrap();
         for (a, b) in x.iter().zip(&x_true) {
@@ -183,13 +166,7 @@ mod tests {
         let nodes = [Complex::new(-1.0, 2.0), Complex::new(-1.0, -2.0)];
         let x_true = [Complex::new(0.5, -0.25), Complex::new(0.5, 0.25)];
         let rhs: Vec<Complex> = (0..2)
-            .map(|j| {
-                nodes
-                    .iter()
-                    .zip(&x_true)
-                    .map(|(n, x)| n.powi(j) * *x)
-                    .sum()
-            })
+            .map(|j| nodes.iter().zip(&x_true).map(|(n, x)| n.powi(j) * *x).sum())
             .collect();
         let x = solve_vandermonde(&nodes, &rhs).unwrap();
         for (a, b) in x.iter().zip(&x_true) {
@@ -259,11 +236,7 @@ mod tests {
                 multiplicity: 1,
             },
         ];
-        let x_true = [
-            Complex::real(1.0),
-            Complex::real(0.5),
-            Complex::real(-2.0),
-        ];
+        let x_true = [Complex::real(1.0), Complex::real(0.5), Complex::real(-2.0)];
         // rhs_j = x0·2^j + x1·C(j,1)·2^{j-1} + x2·(-1)^j
         let rhs: Vec<Complex> = (0..3)
             .map(|j| {

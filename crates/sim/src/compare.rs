@@ -62,7 +62,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let n_in = ckt.node("in");
         let n1 = ckt.node("n1");
-        ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 5.0)).unwrap();
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 5.0))
+            .unwrap();
         ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
         ckt.add_capacitor("C1", n1, GROUND, 1e-9).unwrap();
         (ckt, n1, 1e-6)
@@ -83,8 +84,7 @@ mod tests {
         let (ckt, n1, tau) = rc();
         let sim = simulate(&ckt, TransientOptions::new(6.0 * tau)).unwrap();
         // Model with 3x too slow a time constant.
-        let err =
-            relative_l2_vs_sim(&sim, n1, |t| 5.0 * (1.0 - (-t / (3.0 * tau)).exp())).unwrap();
+        let err = relative_l2_vs_sim(&sim, n1, |t| 5.0 * (1.0 - (-t / (3.0 * tau)).exp())).unwrap();
         assert!(err > 0.3, "err = {err}");
     }
 

@@ -137,7 +137,8 @@ mod tests {
         use awe_circuit::GROUND;
         let mut ckt = Circuit::new();
         let n1 = ckt.node("n1");
-        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0)).unwrap();
+        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0))
+            .unwrap();
         let n2 = ckt.node("n2");
         ckt.add_resistor("R1", n1, n2, 1.0).unwrap();
         ckt.add_resistor("R2", n2, GROUND, 1.0).unwrap();

@@ -214,7 +214,14 @@ pub fn simulate(circuit: &Circuit, options: TransientOptions) -> Result<Transien
         // One full step vs two half steps for LTE estimation.
         let x_full = step(&sys, &mut cache, options.method, &x, t, h_eff)?;
         let x_half = step(&sys, &mut cache, options.method, &x, t, h_eff / 2.0)?;
-        let x_two = step(&sys, &mut cache, options.method, &x_half, t + h_eff / 2.0, h_eff / 2.0)?;
+        let x_two = step(
+            &sys,
+            &mut cache,
+            options.method,
+            &x_half,
+            t + h_eff / 2.0,
+            h_eff / 2.0,
+        )?;
 
         // LTE estimate: difference between the two solutions.
         let mut err = 0.0f64;
@@ -266,12 +273,7 @@ impl StepCache {
         }
     }
 
-    fn factor(
-        &mut self,
-        sys: &MnaSystem,
-        method: Method,
-        h: f64,
-    ) -> Result<&Lu, SimError> {
+    fn factor(&mut self, sys: &MnaSystem, method: Method, h: f64) -> Result<&Lu, SimError> {
         if let Some(pos) = self
             .entries
             .iter()
@@ -390,9 +392,11 @@ mod tests {
         let mut ckt = Circuit::new();
         let n_in = ckt.node("in");
         let n1 = ckt.node("n1");
-        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0)).unwrap();
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(0.0))
+            .unwrap();
         ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
-        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(3.0)).unwrap();
+        ckt.add_capacitor_ic("C1", n1, GROUND, 1e-9, Some(3.0))
+            .unwrap();
         let res = simulate(&ckt, TransientOptions::new(5e-6)).unwrap();
         assert!((res.value_at(n1, 0.0) - 3.0).abs() < 1e-9);
         let exact = 3.0 * (-1.0f64).exp();
@@ -407,18 +411,22 @@ mod tests {
         let na = ckt.node("na");
         let n1 = ckt.node("n1");
         let (r, l, c) = (1.0, 1e-9, 1e-12);
-        ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+        ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
         ckt.add_resistor("R1", n_in, na, r).unwrap();
         ckt.add_inductor("L1", na, n1, l).unwrap();
         ckt.add_capacitor("C1", n1, GROUND, c).unwrap();
         let w0 = 1.0 / (l * c).sqrt();
-        let res = simulate(&ckt, TransientOptions::new(20.0 / w0 * std::f64::consts::TAU)).unwrap();
+        let res = simulate(
+            &ckt,
+            TransientOptions::new(20.0 / w0 * std::f64::consts::TAU),
+        )
+        .unwrap();
         // Analytic: v = 1 - e^{-αt}(cos ωd t + α/ωd sin ωd t).
         let alpha = r / (2.0 * l);
         let wd = (w0 * w0 - alpha * alpha).sqrt();
         for &t in &[0.5e-10, 2e-10, 1e-9] {
-            let exact =
-                1.0 - (-alpha * t).exp() * ((wd * t).cos() + alpha / wd * (wd * t).sin());
+            let exact = 1.0 - (-alpha * t).exp() * ((wd * t).cos() + alpha / wd * (wd * t).sin());
             let got = res.value_at(n1, t);
             assert!((got - exact).abs() < 5e-3, "t={t}: {got} vs {exact}");
         }

@@ -87,10 +87,16 @@ impl fmt::Display for TreeLinkError {
                 write!(f, "node {node} is not spanned by the resistor/source tree")
             }
             TreeLinkError::CapacitorInTree(name) => {
-                write!(f, "capacitor {name} became a tree branch; dc solution is undefined")
+                write!(
+                    f,
+                    "capacitor {name} became a tree branch; dc solution is undefined"
+                )
             }
             TreeLinkError::NotRcTree => {
-                write!(f, "circuit is not a strict RC tree (resistor links present)")
+                write!(
+                    f,
+                    "circuit is not a strict RC tree (resistor links present)"
+                )
             }
             TreeLinkError::Numeric(e) => write!(f, "numeric failure: {e}"),
         }
@@ -447,10 +453,7 @@ impl<'a> TreeAnalysis<'a> {
     ///
     /// [`TreeLinkError::NotRcTree`] when resistor links exist (the
     /// closed-form derivatives require the strict tree structure).
-    pub fn elmore_sensitivities(
-        &self,
-        node: NodeId,
-    ) -> Result<ElmoreSensitivities, TreeLinkError> {
+    pub fn elmore_sensitivities(&self, node: NodeId) -> Result<ElmoreSensitivities, TreeLinkError> {
         if !self.is_strict_tree() {
             return Err(TreeLinkError::NotRcTree);
         }
@@ -604,7 +607,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let n1 = ckt.node("n1");
         let n2 = ckt.node("n2");
-        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0)).unwrap();
+        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0))
+            .unwrap();
         ckt.add_resistor("R1", n1, n2, 1.0).unwrap();
         ckt.add_capacitor("Cf", n1, n2, 2.0).unwrap();
         let ta = TreeAnalysis::new(&ckt).unwrap();
@@ -644,7 +648,8 @@ mod tests {
     fn rejects_unsupported_elements() {
         let mut ckt = Circuit::new();
         let n1 = ckt.node("n1");
-        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0)).unwrap();
+        ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0))
+            .unwrap();
         let n2 = ckt.node("n2");
         ckt.add_inductor("L1", n1, n2, 1e-9).unwrap();
         ckt.add_resistor("R1", n2, GROUND, 1.0).unwrap();

@@ -45,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut worst: Option<(String, f64)> = None;
     for &node in g.nodes.iter().rev().take(8) {
         let name = g.circuit.node_name(node).to_owned();
-        let (approx, _trail) =
-            engine.approximate_auto(node, 0.01, 6, AweOptions::default())?;
+        let (approx, _trail) = engine.approximate_auto(node, 0.01, 6, AweOptions::default())?;
         let delay = approx.delay_50().expect("rising response");
         let d_sim = sim.delay_50(node).expect("rising waveform");
         println!(

@@ -7,13 +7,17 @@
 //! awesim elmore  <deck>
 //! awesim check   <deck>
 //! awesim export  <deck> --node <name> [--order N] [--pwl N]
+//! awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
+//!                [--seed N] [--repeat K] [--json] [--no-timings]
 //! ```
 //!
-//! The deck format is documented in `awesim::circuit::parse_deck`.
+//! The deck format is documented in `awesim::circuit::parse_deck`; `batch`
+//! accepts the multi-net variant (`awesim::circuit::parse_multi_deck`).
 
 use std::fs;
 use std::process::ExitCode;
 
+use awesim::batch::{json_report, text_report, BatchEngine, BatchOptions, Design};
 use awesim::circuit::{analyze as classify, parse_deck, Circuit, NodeId};
 use awesim::core::elmore::elmore_delays;
 use awesim::core::{AweEngine, AweOptions};
@@ -38,13 +42,20 @@ const USAGE: &str = "usage:
   awesim sim     <deck> --node <name> --tstop SECONDS [--samples N]
   awesim elmore  <deck>
   awesim check   <deck>
-  awesim export  <deck> --node <name> [--order N] [--pwl N]";
+  awesim export  <deck> --node <name> [--order N] [--pwl N]
+  awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
+                 [--seed N] [--repeat K] [--json] [--no-timings]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
+    if cmd == "batch" {
+        // Full-design mode: its input is a multi-net deck or a synthetic
+        // workload, not the single-net deck the other subcommands share.
+        return cmd_batch(&args[1..]);
+    }
     let deck_path = args.get(1).ok_or("missing deck path")?;
-    let deck = fs::read_to_string(deck_path)
-        .map_err(|e| format!("cannot read {deck_path}: {e}"))?;
+    let deck =
+        fs::read_to_string(deck_path).map_err(|e| format!("cannot read {deck_path}: {e}"))?;
     let circuit = parse_deck(&deck).map_err(|e| e.to_string())?;
 
     match cmd.as_str() {
@@ -208,6 +219,61 @@ fn cmd_export(circuit: &Circuit, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let design = if let Some(n) = flag(args, "--synthetic") {
+        let n: usize = n.parse().map_err(|_| "bad --synthetic value")?;
+        let seed: u64 = flag(args, "--seed")
+            .map(|s| s.parse().map_err(|_| "bad --seed value"))
+            .transpose()?
+            .unwrap_or(42);
+        Design::synthetic(n, seed)
+    } else {
+        let path = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .ok_or("missing deck path (or --synthetic N)")?;
+        let deck = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+        Design::from_deck(stem, &deck).map_err(|e| e.to_string())?
+    };
+
+    let mut opts = BatchOptions::default();
+    if let Some(t) = flag(args, "--threads") {
+        opts.threads = t.parse().map_err(|_| "bad --threads value")?;
+    }
+    if let Some(o) = flag(args, "--order") {
+        opts.order = o.parse().map_err(|_| "bad --order value")?;
+    }
+    if let Some(target) = flag(args, "--auto") {
+        opts.auto_target = Some(target.parse().map_err(|_| "bad --auto value")?);
+    }
+    let repeat: usize = flag(args, "--repeat")
+        .map(|s| s.parse().map_err(|_| "bad --repeat value"))
+        .transpose()?
+        .unwrap_or(1)
+        .max(1);
+    let json = args.iter().any(|a| a == "--json");
+    let timings = !args.iter().any(|a| a == "--no-timings");
+
+    let engine = BatchEngine::new();
+    for pass in 1..=repeat {
+        // Repeat passes share the engine's cache: with an unchanged
+        // design, pass 2+ reports 100 % cache hits and zero AWE solves.
+        let run = engine.run(&design, &opts);
+        if repeat > 1 && !json {
+            println!("--- pass {pass}/{repeat} ---");
+        }
+        if json {
+            print!("{}", json_report(&run, timings));
+        } else {
+            print!("{}", text_report(&run, timings));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_check(circuit: &Circuit) -> Result<(), String> {
     let report = classify(circuit);
     println!("nodes: {}", circuit.num_nodes() - 1);
@@ -215,7 +281,10 @@ fn cmd_check(circuit: &Circuit) -> Result<(), String> {
     println!("states (C + L): {}", circuit.num_states());
     println!("is RC tree: {}", report.is_rc_tree());
     println!("is RC mesh: {}", report.is_rc_mesh());
-    println!("explicit steady state: {}", report.has_explicit_steady_state());
+    println!(
+        "explicit steady state: {}",
+        report.has_explicit_steady_state()
+    );
     println!("inductors: {}", report.has_inductors);
     println!("floating capacitors: {}", report.has_floating_capacitors);
     println!("grounded resistors: {}", report.has_grounded_resistors);

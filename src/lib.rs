@@ -12,6 +12,8 @@
 //! * [`treelink`] — `O(n)` tree-walk analysis for RC trees.
 //! * [`core`] — the AWE engine, baselines, and waveform metrics.
 //! * [`sim`] — reference transient simulator and exact poles.
+//! * [`batch`] — concurrent full-design analysis with result caching and
+//!   run metrics.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub use awe as core;
+pub use awe_batch as batch;
 pub use awe_circuit as circuit;
 pub use awe_mna as mna;
 pub use awe_numeric as numeric;

@@ -1,0 +1,254 @@
+//! Integration tests for the batch subsystem: deterministic results
+//! across thread counts, incremental-reanalysis cache behavior, the
+//! structural-hash invariants, and the `awesim batch` CLI.
+
+use std::process::Command;
+
+use proptest::prelude::*;
+
+use awesim::batch::{
+    json_report, structural_hash, text_report, BatchEngine, BatchOptions, Design, RunMetrics,
+};
+use awesim::circuit::{Circuit, NodeId, Waveform, GROUND};
+
+fn run_with(design: &Design, threads: usize) -> awesim::batch::BatchRun {
+    BatchEngine::new().run(
+        design,
+        &BatchOptions {
+            threads,
+            ..BatchOptions::default()
+        },
+    )
+}
+
+/// The headline determinism guarantee: the timing-free report of a run is
+/// byte-identical whether one worker or eight did the solving.
+#[test]
+fn reports_byte_identical_across_thread_counts() {
+    let design = Design::synthetic(40, 17);
+    let base_text = text_report(&run_with(&design, 1), false);
+    let base_json = json_report(&run_with(&design, 1), false);
+    for threads in [2, 8] {
+        let run = run_with(&design, threads);
+        assert_eq!(
+            base_text,
+            text_report(&run, false),
+            "text report differs at {threads} threads"
+        );
+        assert_eq!(
+            base_json,
+            json_report(&run, false),
+            "json report differs at {threads} threads"
+        );
+    }
+}
+
+/// Second run of an unchanged design: 100 % cache hits, zero AWE solves.
+#[test]
+fn unchanged_design_rerun_hits_cache_everywhere() {
+    let design = Design::synthetic(15, 4);
+    let engine = BatchEngine::new();
+    let first = engine.run(&design, &BatchOptions::default());
+    assert_eq!(first.solves, 15);
+    assert_eq!(first.cache_hits, 0);
+
+    let second = engine.run(&design, &BatchOptions::default());
+    assert_eq!(second.solves, 0, "no AWE solve may run on a warm cache");
+    assert_eq!(second.cache_hits, 15);
+    assert!((RunMetrics::of(&second).hit_rate() - 1.0).abs() < 1e-12);
+    // Cached results carry the same analysis outputs.
+    for (a, b) in first.results.iter().zip(&second.results) {
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.delay_50, b.delay_50);
+        assert_eq!(a.poles, b.poles);
+        assert!(b.cache_hit);
+    }
+}
+
+/// ECO flow: edit one net, re-run, and only that net is recomputed.
+#[test]
+fn eco_rerun_solves_only_touched_nets() {
+    let mut design = Design::synthetic(10, 33);
+    let engine = BatchEngine::new();
+    engine.run(&design, &BatchOptions::default());
+
+    let edited = Design::synthetic(1, 12345).nets()[0].clone();
+    assert!(design.replace_net("net0007", edited.circuit, edited.output));
+    let rerun = engine.run(&design, &BatchOptions::default());
+    assert_eq!(rerun.solves, 1);
+    assert_eq!(rerun.cache_hits, 9);
+    assert!(!rerun.results[6].cache_hit, "the edited net must re-solve");
+    assert!(rerun.results[5].cache_hit);
+}
+
+/// Parallel speedup where the hardware can show it. On single-core
+/// runners the assertion degrades to "completes correctly".
+#[test]
+fn multithreaded_run_is_not_slower_where_cores_exist() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let design = Design::synthetic(300, 8);
+    let t1 = std::time::Instant::now();
+    let r1 = run_with(&design, 1);
+    let d1 = t1.elapsed();
+    let t4 = std::time::Instant::now();
+    let r4 = run_with(&design, 4);
+    let d4 = t4.elapsed();
+    assert_eq!(r1.results.len(), 300);
+    assert_eq!(r4.results.len(), 300);
+    if cores >= 4 {
+        // Loose bound (2x would be the bench target) to keep CI stable.
+        assert!(
+            d4.as_secs_f64() < d1.as_secs_f64() / 1.5,
+            "expected parallel speedup on {cores} cores: 1 thread {d1:?}, 4 threads {d4:?}"
+        );
+    }
+}
+
+/// Builds a ladder circuit from `specs`, inserting the element cards
+/// rotated by `rot` — same structure, different insertion (and node-id)
+/// order.
+fn ladder(specs: &[(usize, f64)], rot: usize) -> (Circuit, NodeId) {
+    type Card = Box<dyn Fn(&mut Circuit)>;
+    let mut cards: Vec<Card> = vec![Box::new(|c: &mut Circuit| {
+        let n0 = c.node("n0");
+        c.add_vsource("V1", n0, GROUND, Waveform::step(0.0, 5.0))
+            .unwrap();
+    })];
+    for (i, &(kind, value)) in specs.iter().enumerate() {
+        cards.push(Box::new(move |c: &mut Circuit| {
+            let a = c.node(&format!("n{i}"));
+            let b = c.node(&format!("n{}", i + 1));
+            if kind == 0 {
+                c.add_resistor(&format!("R{i}"), a, b, value).unwrap();
+            } else {
+                c.add_capacitor(&format!("C{i}"), b, GROUND, value * 1e-12)
+                    .unwrap();
+            }
+        }));
+    }
+    let mut c = Circuit::new();
+    let n = cards.len();
+    for j in 0..n {
+        cards[(j + rot) % n](&mut c);
+    }
+    let out = c.node(&format!("n{}", specs.len()));
+    (c, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache key is structural: element insertion order (and the node
+    /// renumbering it causes) must not change the hash.
+    #[test]
+    fn structural_hash_invariant_under_element_reordering(
+        specs in proptest::collection::vec((0usize..2, 1.0..100.0f64), 1..12),
+        rot in 0usize..16,
+    ) {
+        let (c0, o0) = ladder(&specs, 0);
+        let (cr, or) = ladder(&specs, rot % (specs.len() + 1));
+        prop_assert_eq!(structural_hash(&c0, o0), structural_hash(&cr, or));
+    }
+
+    /// …but any element-value edit does change it.
+    #[test]
+    fn structural_hash_sensitive_to_value_edits(
+        specs in proptest::collection::vec((0usize..2, 1.0..100.0f64), 1..12),
+        touch in 0usize..12,
+    ) {
+        let (c0, o0) = ladder(&specs, 0);
+        let mut edited = specs.clone();
+        let k = touch % edited.len();
+        edited[k].1 *= 2.0;
+        let (c1, o1) = ladder(&edited, 0);
+        prop_assert!(structural_hash(&c0, o0) != structural_hash(&c1, o1));
+    }
+}
+
+// ---------------------------------------------------------------------
+// CLI: `awesim batch`
+// ---------------------------------------------------------------------
+
+fn awesim(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_awesim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn cli_synthetic_deterministic_across_threads() {
+    let run = |threads: &str| {
+        let (ok, stdout, stderr) = awesim(&[
+            "batch",
+            "--synthetic",
+            "12",
+            "--threads",
+            threads,
+            "--no-timings",
+        ]);
+        assert!(ok, "batch failed: {stderr}");
+        stdout
+    };
+    let one = run("1");
+    assert_eq!(one, run("8"), "CLI output differs across thread counts");
+    assert!(one.contains("batch report: synthetic-12"));
+    assert!(one.contains("net0012"));
+    assert!(!one.contains("latency"), "timings must be suppressed");
+}
+
+#[test]
+fn cli_repeat_reports_full_cache_hits() {
+    let (ok, stdout, stderr) =
+        awesim(&["batch", "--synthetic", "6", "--repeat", "2", "--no-timings"]);
+    assert!(ok, "batch failed: {stderr}");
+    assert!(stdout.contains("--- pass 1/2 ---"));
+    assert!(stdout.contains("--- pass 2/2 ---"));
+    assert!(stdout.contains("solves 6  cache-hits 0"));
+    assert!(stdout.contains("solves 0  cache-hits 6 (100.0 %)"));
+}
+
+#[test]
+fn cli_multi_net_deck_and_json() {
+    let deck = "* NET left
+V1 in 0 STEP 0 5
+R1 in out 1k
+C1 out 0 1p
+.end
+* NET right
+V1 in 0 STEP 0 5
+R1 in mid 2k
+C1 mid 0 2p
+R2 mid out 1k
+C2 out 0 1p
+.end
+";
+    let path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("awesim-batch-{}.sp", std::process::id()));
+        std::fs::write(&p, deck).expect("temp write");
+        p
+    };
+    let (ok, stdout, stderr) = awesim(&["batch", path.to_str().unwrap(), "--json"]);
+    let _ = std::fs::remove_file(&path);
+    assert!(ok, "batch failed: {stderr}");
+    assert!(stdout.contains("\"name\": \"left\""));
+    assert!(stdout.contains("\"name\": \"right\""));
+    assert!(stdout.contains("\"solves\": 2"));
+    assert!(stdout.contains("\"cache_hit\": false"));
+}
+
+#[test]
+fn cli_batch_rejects_bad_input() {
+    let (ok, _, stderr) = awesim(&["batch"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing deck path"));
+    let (ok, _, stderr) = awesim(&["batch", "--synthetic", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --synthetic value"));
+}

@@ -50,7 +50,13 @@ fn mesh_waveforms_match_sim() {
 /// noise waveform matches the simulation.
 #[test]
 fn coupled_line_victim_matches_sim() {
-    let g = coupled_rc_lines(6, 30.0, 0.2e-12, 0.1e-12, Waveform::rising_step(0.0, 5.0, 30e-12));
+    let g = coupled_rc_lines(
+        6,
+        30.0,
+        0.2e-12,
+        0.1e-12,
+        Waveform::rising_step(0.0, 5.0, 30e-12),
+    );
     let engine = AweEngine::new(&g.circuit).expect("builds");
     let approx = engine.approximate(g.output, 4).expect("order 4");
     let t_stop = 3e-9;
@@ -92,7 +98,8 @@ fn vccs_circuit_matches_sim() {
     let n_in = ckt.node("in");
     let n1 = ckt.node("n1");
     let n2 = ckt.node("n2");
-    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0))
+        .unwrap();
     ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
     ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
     // Transconductance stage: output current into n2's RC load.
@@ -117,7 +124,8 @@ fn vcvs_circuit_matches_sim() {
     let n1 = ckt.node("n1");
     let nb = ckt.node("nb");
     let n2 = ckt.node("n2");
-    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 2.0)).unwrap();
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 2.0))
+        .unwrap();
     ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
     ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
     ckt.add_vcvs("E1", nb, GROUND, n1, GROUND, 1.0).unwrap();
@@ -156,11 +164,7 @@ fn stage_builder_end_to_end() {
     let sim = simulate(&stage.circuit, TransientOptions::new(5e-9)).expect("sim");
     for (name, node) in &stage.receivers {
         let d_sim = sim.delay_50(*node).expect("rising");
-        let d_awe = delays
-            .iter()
-            .find(|(n, _)| n == name)
-            .expect("present")
-            .1;
+        let d_awe = delays.iter().find(|(n, _)| n == name).expect("present").1;
         assert!(
             ((d_awe - d_sim) / d_sim).abs() < 0.03,
             "{name}: {d_awe} vs {d_sim}"
@@ -196,8 +200,13 @@ fn two_drivers_superpose() {
     let a_in = ckt.node("a_in");
     let b_in = ckt.node("b_in");
     let n1 = ckt.node("n1");
-    ckt.add_vsource("Va", a_in, GROUND, Waveform::pwl(vec![(0.0, 0.0), (1e-9, 2.0)]))
-        .unwrap();
+    ckt.add_vsource(
+        "Va",
+        a_in,
+        GROUND,
+        Waveform::pwl(vec![(0.0, 0.0), (1e-9, 2.0)]),
+    )
+    .unwrap();
     ckt.add_vsource(
         "Vb",
         b_in,

@@ -51,12 +51,18 @@ fn fig15_second_order_step() {
 
     let e1 = relative_l2_vs_sim(&sim, p.output, |t| awe1.eval(t)).unwrap();
     let e2 = relative_l2_vs_sim(&sim, p.output, |t| awe2.eval(t)).unwrap();
-    assert!(e2 < e1 / 5.0, "order 2 ({e2}) must collapse order-1 error ({e1})");
+    assert!(
+        e2 < e1 / 5.0,
+        "order 2 ({e2}) must collapse order-1 error ({e1})"
+    );
     assert!(e2 < 0.05, "e2 = {e2}");
     // §3.4's internal estimate should agree with the measured error in
     // order of magnitude.
     let est1 = awe1.error_estimate.unwrap();
-    assert!(est1 > e2, "internal estimate {est1} vs measured order-2 {e2}");
+    assert!(
+        est1 > e2,
+        "internal estimate {est1} vs measured order-2 {e2}"
+    );
 }
 
 /// Fig. 12: grounded resistor (Fig. 9) — steady state scales to 4 V and
@@ -154,8 +160,7 @@ fn fig20_21_nonequilibrium_ic() {
         // Rounding may let a degenerate (flat) model through; it must
         // then miss the response essentially completely.
         Ok(awe1_step) => {
-            let e1_step =
-                relative_l2_vs_sim(&sim_step, n6, |t| awe1_step.eval(t)).unwrap();
+            let e1_step = relative_l2_vs_sim(&sim_step, n6, |t| awe1_step.eval(t)).unwrap();
             assert!(
                 e1_step > 0.9,
                 "first order on the pure IC pulse should fail at ~100 %: {e1_step}"
@@ -177,9 +182,19 @@ fn fig20_21_nonequilibrium_ic() {
             relative_l2_vs_sim(&sim, n6, |t| a.eval(t)).unwrap()
         })
         .collect();
-    assert!(e[0] > 4.0 * e[1], "q1 ({}) should dwarf q2 ({})", e[0], e[1]);
+    assert!(
+        e[0] > 4.0 * e[1],
+        "q1 ({}) should dwarf q2 ({})",
+        e[0],
+        e[1]
+    );
     assert!(e[1] < 0.10, "q2 error {}", e[1]);
-    assert!(e[2] <= e[1] * 1.05, "q3 ({}) should not regress q2 ({})", e[2], e[1]);
+    assert!(
+        e[2] <= e[1] * 1.05,
+        "q3 ({}) should not regress q2 ({})",
+        e[2],
+        e[1]
+    );
     // The order-2 model reproduces the dip itself, not just the L2 score.
     let awe2 = engine.approximate_with(n6, 2, strict).unwrap();
     let dip_awe = (0..800)
@@ -226,7 +241,10 @@ fn fig23_24_floating_cap() {
         .iter()
         .map(|&(_, v)| v)
         .fold(0.0f64, f64::max);
-    assert!(peak_sim > 0.05, "coupling should disturb the victim: {peak_sim}");
+    assert!(
+        peak_sim > 0.05,
+        "coupling should disturb the victim: {peak_sim}"
+    );
     let peak_awe = (0..600)
         .map(|i| a_victim.eval(i as f64 * 1e-11))
         .fold(0.0f64, f64::max);
@@ -271,7 +289,10 @@ fn fig26_rlc_orders() {
     let peak_awe2 = (0..2000)
         .map(|i| awe2.eval(i as f64 * 1e-11))
         .fold(0.0f64, f64::max);
-    assert!(peak_awe2 > VDD * 1.02, "order 2 must see overshoot: {peak_awe2}");
+    assert!(
+        peak_awe2 > VDD * 1.02,
+        "order 2 must see overshoot: {peak_awe2}"
+    );
 }
 
 /// Fig. 27: RLC with a 1 ns input rise — the residues shift so one pair
@@ -335,7 +356,10 @@ fn elmore_awe_sim_triangle() {
     let sim = simulate(&p.circuit, TransientOptions::new(8e-3)).unwrap();
     let (d_awe, d_pr) = (awe1.delay_50().unwrap(), pr.delay_50().unwrap());
     let d_sim = sim.delay_50(p.output).unwrap();
-    assert!(((d_awe - d_pr) / d_pr).abs() < 1e-9, "AWE-1 == Elmore model");
+    assert!(
+        ((d_awe - d_pr) / d_pr).abs() < 1e-9,
+        "AWE-1 == Elmore model"
+    );
     assert!(((d_awe - d_sim) / d_sim).abs() < 0.10);
 }
 

@@ -39,7 +39,8 @@ fn floating_island_charge_conservation() {
     let mut ckt = Circuit::new();
     let n1 = ckt.node("n1");
     let n2 = ckt.node("n2");
-    ckt.add_vsource("V1", n1, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+    ckt.add_vsource("V1", n1, GROUND, Waveform::step(0.0, 1.0))
+        .unwrap();
     ckt.add_capacitor("C1", n1, n2, 1e-12).unwrap();
     ckt.add_capacitor("C2", n2, GROUND, 3e-12).unwrap();
     let engine = AweEngine::new(&ckt).unwrap();
@@ -57,7 +58,8 @@ fn floating_island_charge_conservation() {
 fn driven_floating_island_rejected() {
     let mut ckt = Circuit::new();
     let n1 = ckt.node("n1");
-    ckt.add_isource("I1", GROUND, n1, Waveform::dc(1e-6)).unwrap();
+    ckt.add_isource("I1", GROUND, n1, Waveform::dc(1e-6))
+        .unwrap();
     ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
     assert!(matches!(
         AweEngine::new(&ckt),
@@ -71,8 +73,10 @@ fn driven_floating_island_rejected() {
 fn conflicting_sources_rejected() {
     let mut ckt = Circuit::new();
     let n1 = ckt.node("n1");
-    ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0)).unwrap();
-    ckt.add_vsource("V2", n1, GROUND, Waveform::dc(2.0)).unwrap();
+    ckt.add_vsource("V1", n1, GROUND, Waveform::dc(1.0))
+        .unwrap();
+    ckt.add_vsource("V2", n1, GROUND, Waveform::dc(2.0))
+        .unwrap();
     ckt.add_resistor("R1", n1, GROUND, 1.0).unwrap();
     let engine = AweEngine::new(&ckt).unwrap();
     assert!(engine.approximate(n1, 1).is_err());
@@ -85,7 +89,8 @@ fn resistive_circuit_flat_response() {
     let mut ckt = Circuit::new();
     let n_in = ckt.node("in");
     let n1 = ckt.node("n1");
-    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 2.0)).unwrap();
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 2.0))
+        .unwrap();
     ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
     ckt.add_resistor("R2", n1, GROUND, 1e3).unwrap();
     let engine = AweEngine::new(&ckt).unwrap();
@@ -101,7 +106,8 @@ fn quiet_circuit_flat() {
     let mut ckt = Circuit::new();
     let n_in = ckt.node("in");
     let n1 = ckt.node("n1");
-    ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(3.0)).unwrap();
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::dc(3.0))
+        .unwrap();
     ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
     ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
     let engine = AweEngine::new(&ckt).unwrap();
@@ -120,7 +126,8 @@ fn extreme_value_spread() {
     let n_in = ckt.node("in");
     let n1 = ckt.node("n1");
     let n2 = ckt.node("n2");
-    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0))
+        .unwrap();
     ckt.add_resistor("R1", n_in, n1, 1e-3).unwrap();
     ckt.add_capacitor("C1", n1, GROUND, 1e-18).unwrap();
     ckt.add_resistor("R2", n1, n2, 1e9).unwrap();
@@ -141,7 +148,8 @@ fn absurd_order_backs_off() {
     let mut ckt = Circuit::new();
     let n_in = ckt.node("in");
     let n1 = ckt.node("n1");
-    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0))
+        .unwrap();
     ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
     ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
     let engine = AweEngine::new(&ckt).unwrap();
@@ -162,7 +170,8 @@ fn sim_tiny_windows() {
     let mut ckt = Circuit::new();
     let n_in = ckt.node("in");
     let n1 = ckt.node("n1");
-    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0)).unwrap();
+    ckt.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0))
+        .unwrap();
     ckt.add_resistor("R1", n_in, n1, 1e3).unwrap();
     ckt.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
     // A window far shorter than the time constant still works.

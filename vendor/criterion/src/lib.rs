@@ -1,0 +1,294 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds in containers without network access, so the external
+//! `criterion` dev-dependency is replaced by this std-only harness exposing
+//! the subset of the API the workspace benches use: [`Criterion`],
+//! [`criterion_group!`] (both syntaxes), [`criterion_main!`],
+//! [`BenchmarkId`], benchmark groups, and [`Bencher::iter`].
+//!
+//! Measurement model: each `iter` closure is warmed up, then timed over
+//! `sample_size` samples of adaptively-chosen iteration batches; the mean,
+//! minimum, and maximum per-iteration times are printed. When the binary is
+//! invoked in cargo's test mode (`--test`), every benchmark body runs exactly
+//! once so `cargo test --benches` stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus an
+/// input parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    /// Mean/min/max per-iteration, filled by [`Bencher::iter`].
+    result: Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.result = Some(Sample {
+                mean: Duration::ZERO,
+                min: Duration::ZERO,
+                max: Duration::ZERO,
+                iters: 1,
+            });
+            return;
+        }
+        // Warm up and size the batch so one sample costs ≳ 1 ms.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            let per_iter = elapsed / batch as u32;
+            total += elapsed;
+            iters += batch;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+        }
+        self.result = Some(Sample {
+            mean: total / iters.max(1) as u32,
+            min,
+            max,
+            iters,
+        });
+    }
+
+    /// `iter_batched` with per-iteration setup (small-input flavor).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut f: F,
+        _size: BatchSize,
+    ) {
+        self.iter(|| f(setup()));
+    }
+}
+
+/// Batch sizing hint (accepted, not interpreted, by this stub).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            result: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.result, b.test_mode);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        self.run(id.to_string(), f);
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, result: Option<Sample>, test_mode: bool) {
+    match result {
+        Some(s) if !test_mode => println!(
+            "{id:<48} mean {:>12?}  min {:>12?}  max {:>12?}  ({} iters)",
+            s.mean, s.min, s.max, s.iters
+        ),
+        Some(_) => println!("{id}: ok (test mode, 1 iter)"),
+        None => println!("{id}: no measurement (closure never called iter)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--test` in `cargo test` mode;
+        // honor it so benches stay cheap there.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Benchmarks `f` under `name` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.test_mode,
+            result: None,
+        };
+        f(&mut b);
+        report(name, b.result, b.test_mode);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a ^ b.wrapping_mul(0x9e3779b9))
+    }
+
+    #[test]
+    fn group_api_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        for &n in &[1u64, 2] {
+            group.bench_with_input(BenchmarkId::new("work", n), &n, |b, &n| {
+                b.iter(|| work(n));
+            });
+        }
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| work(3)));
+    }
+}
