@@ -481,18 +481,20 @@ this line is after .end and ignored
     #[test]
     fn parses_ic() {
         let c = parse_deck("C1 a 0 1p IC=5\nL1 a b 1n IC=-0.5m").unwrap();
-        match c.element("C1") {
+        assert!(matches!(
+            c.element("C1"),
             Some(Element::Capacitor {
-                initial_voltage, ..
-            }) => assert_eq!(*initial_voltage, Some(5.0)),
-            other => panic!("{other:?}"),
-        }
-        match c.element("L1") {
+                initial_voltage: Some(v),
+                ..
+            }) if *v == 5.0
+        ));
+        assert!(matches!(
+            c.element("L1"),
             Some(Element::Inductor {
-                initial_current, ..
-            }) => assert_eq!(*initial_current, Some(-5e-4)),
-            other => panic!("{other:?}"),
-        }
+                initial_current: Some(i),
+                ..
+            }) if *i == -5e-4
+        ));
     }
 
     #[test]
@@ -504,18 +506,14 @@ V3 c 0 PWL(0 0 1n 5 2n 5)
 I1 0 a 1m",
         )
         .unwrap();
-        match c.element("V3") {
-            Some(Element::VoltageSource { waveform, .. }) => {
-                assert_eq!(waveform.eval(0.5e-9), 2.5);
-            }
-            other => panic!("{other:?}"),
-        }
-        match c.element("I1") {
-            Some(Element::CurrentSource { waveform, .. }) => {
-                assert_eq!(waveform.eval(0.0), 1e-3);
-            }
-            other => panic!("{other:?}"),
-        }
+        assert!(matches!(
+            c.element("V3"),
+            Some(Element::VoltageSource { waveform, .. }) if waveform.eval(0.5e-9) == 2.5
+        ));
+        assert!(matches!(
+            c.element("I1"),
+            Some(Element::CurrentSource { waveform, .. }) if waveform.eval(0.0) == 1e-3
+        ));
     }
 
     #[test]
@@ -534,10 +532,10 @@ H1 h 0 V1 100",
     #[test]
     fn reports_line_numbers() {
         let err = parse_deck("R1 a 0 1k\nR2 a 0 bogus").unwrap_err();
-        match err {
-            CircuitError::Parse { line, .. } => assert_eq!(line, 2),
-            other => panic!("{other:?}"),
-        }
+        assert!(
+            matches!(err, CircuitError::Parse { line: 2, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -551,6 +549,58 @@ H1 h 0 V1 100",
         assert!(parse_deck("C1 a 0 1p garbage").is_err());
         assert!(parse_deck("G1 a 0 1m").is_err());
         assert!(parse_deck("F1 a 0 V9 1").is_err()); // unknown control
+    }
+
+    #[test]
+    fn rejects_malformed_element_lines_with_line_numbers() {
+        // Each malformed card reports the line it sits on, even after
+        // valid cards.
+        for (deck, line) in [
+            ("R1 a 0 1k\nC7 a", 2),                 // too few fields
+            ("R1 a 0 1k\nC1 a 0 1p\nL1 a b 5x", 3), // bad value suffix
+            ("V1 a 0 STEP 0 5 extra", 1),           // trailing junk
+        ] {
+            let err = parse_deck(deck).unwrap_err();
+            assert!(
+                matches!(err, CircuitError::Parse { line: l, .. } if l == line),
+                "{deck:?} -> {err:?}"
+            );
+        }
+        // Semantic rejections carry the offending element, not a line.
+        let err = parse_deck("R1 a 0 -0").unwrap_err();
+        assert!(
+            matches!(&err, CircuitError::NonPositiveValue { element, .. } if element == "R1"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_element_names() {
+        let err = parse_deck("R1 a 0 1k\nR1 b 0 2k").unwrap_err();
+        assert!(
+            matches!(&err, CircuitError::DuplicateName(name) if name == "R1"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn ground_aliases_share_one_node() {
+        // `0`, `gnd` and `GND` are the same node: mixing them must not
+        // mint extra nodes or split the return path.
+        let c = parse_deck("R1 a 0 1k\nR2 a gnd 2k\nC1 a GND 1p").unwrap();
+        assert_eq!(c.num_nodes(), 2, "ground + `a` only");
+        // A non-ground name that collides only by case stays distinct.
+        let c = parse_deck("R1 a 0 1k\nR2 A 0 1k").unwrap();
+        assert_eq!(c.num_nodes(), 3, "`a` and `A` are different nodes");
+    }
+
+    #[test]
+    fn empty_decks_parse_to_empty_circuits() {
+        for deck in ["", "\n\n", "* comment only\n", ".end\n", "* c\n.end\n"] {
+            let c = parse_deck(deck).unwrap_or_else(|e| panic!("{deck:?}: {e}"));
+            assert!(c.elements().is_empty(), "{deck:?}");
+            assert_eq!(c.num_nodes(), 1, "ground only for {deck:?}");
+        }
     }
 
     #[test]
@@ -598,23 +648,24 @@ R1 a 0 1k
 R1 a 0 2k
 ";
         let err = parse_multi_deck(deck).unwrap_err();
-        match err {
-            CircuitError::Parse { line, message } => {
-                assert_eq!(line, 5, "line of the duplicate `* NET` header");
-                assert!(message.contains("duplicate net name `dup`"), "{message}");
-            }
-            other => panic!("{other:?}"),
-        }
+        // Line 5 is the duplicate `* NET` header.
+        assert!(
+            matches!(
+                &err,
+                CircuitError::Parse { line: 5, message } if message.contains("duplicate net name `dup`")
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn multi_deck_reports_global_line_numbers() {
         let deck = "* NET a\nR1 x 0 1k\n.end\n* NET b\nR1 x 0 bogus\n";
         let err = parse_multi_deck(deck).unwrap_err();
-        match err {
-            CircuitError::Parse { line, .. } => assert_eq!(line, 5),
-            other => panic!("{other:?}"),
-        }
+        assert!(
+            matches!(err, CircuitError::Parse { line: 5, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

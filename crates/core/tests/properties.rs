@@ -176,3 +176,65 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Penfield–Rubinstein bounds bracket the exact response of a random
+    /// RC tree: the progress floor never overstates how far along the
+    /// true (full-order, hence exact) response is, and the delay ceiling
+    /// is never beaten by the exact threshold crossing.
+    #[test]
+    fn pr_bounds_bracket_exact_response(
+        n in 1usize..6,
+        seed in 0u64..500,
+        r_hi in 10.0f64..1000.0,
+    ) {
+        use awe::bounds::StepBounds;
+
+        let g = random_rc_tree(
+            n,
+            (1.0, r_hi),
+            (1e-14, 1e-12),
+            seed,
+            Waveform::step(0.0, 3.3),
+        );
+        let engine = AweEngine::new(&g.circuit).expect("builds");
+        // Full order on <= 5 states: the model is the exact response.
+        let exact = engine.approximate(g.output, n).expect("full order");
+        prop_assert!(exact.stable, "full-order RC model must be stable");
+        let b = StepBounds::for_node(&g.circuit, g.output).expect("strict tree");
+
+        // Envelope: guaranteed progress never exceeds actual progress.
+        let horizon = exact.horizon();
+        for i in 0..=50 {
+            let t = horizon * i as f64 / 50.0;
+            let actual = (exact.eval(t) - b.v0) / b.swing;
+            let floor = b.progress_floor(t);
+            prop_assert!(
+                floor <= actual + 1e-9,
+                "t={t:.3e}: floor {floor:.6} > actual {actual:.6}"
+            );
+        }
+
+        // Delay ceilings: the exact crossing never arrives later than the
+        // moment-only guarantee, at any threshold depth.
+        for theta in [0.1, 0.5, 0.9] {
+            let ceiling = b.delay_ceiling(theta).expect("theta < 1");
+            let level = b.v0 + theta * b.swing;
+            let crossing = exact
+                .delay_to_threshold(level)
+                .expect("monotone rising response crosses every level");
+            prop_assert!(
+                crossing <= ceiling * (1.0 + 1e-9),
+                "theta={theta}: crossing {crossing:.6e} > ceiling {ceiling:.6e}"
+            );
+        }
+
+        // The ceiling is anchored on the Elmore delay: at theta = 0.5 it
+        // can never exceed 2 * T_D (the Markov term with rem = 0.5).
+        let t_d = b.elmore_delay();
+        let c50 = b.delay_ceiling(0.5).expect("theta < 1");
+        prop_assert!(c50 <= 2.0 * t_d * (1.0 + 1e-12));
+    }
+}

@@ -263,3 +263,135 @@ proptest! {
         prop_assert_eq!(p.nnz(), s.nnz());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sparse LU *with the RCM elimination order* matches dense LU on
+    /// random SPD systems — the exact pairing the verify subsystem's
+    /// sparse-lu oracle runs on MNA matrices, here on synthetic
+    /// diagonally-dominant graph Laplacians where SPD-ness is by
+    /// construction.
+    #[test]
+    fn sparse_lu_rcm_matches_dense_on_spd(n in 2usize..25, seed in 0u64..5_000) {
+        use awe_numeric::{SparseLu, SparseMatrix};
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 // in [0, 1)
+        };
+        // Weighted ring + random chords; diagonal = incident weight sum
+        // plus a positive shift => symmetric strictly diagonally dominant
+        // with positive diagonal, hence SPD.
+        let mut off = vec![vec![0.0f64; n]; n];
+        #[allow(clippy::needless_range_loop)] // symmetric writes to rows i and j
+        for i in 0..n {
+            let j = (i + 1) % n;
+            if i != j {
+                let w = 0.1 + next();
+                off[i][j] += w;
+                off[j][i] += w;
+            }
+            let far = ((i as u64).wrapping_mul(seed | 1) % n as u64) as usize;
+            if far != i {
+                let w = 0.1 + next();
+                off[i][far] += w;
+                off[far][i] += w;
+            }
+        }
+        let mut triplets = Vec::new();
+        for (i, row) in off.iter().enumerate() {
+            let mut diag = 0.5 + next();
+            for (j, &w) in row.iter().enumerate() {
+                if w != 0.0 {
+                    triplets.push((i, j, -w));
+                    diag += w;
+                }
+            }
+            triplets.push((i, i, diag));
+        }
+        let s = SparseMatrix::from_triplets(n, n, &triplets);
+        let new_of_old = s.rcm_ordering().expect("square matrix");
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&old| new_of_old[old]);
+
+        let b: Vec<f64> = (0..n).map(|_| next() - 0.5).collect();
+        let dense = lu_solve(&s.to_dense(), &b).expect("SPD is nonsingular");
+        let sparse = SparseLu::factor(&s, Some(&order))
+            .expect("SPD factors under any symmetric order")
+            .solve(&b)
+            .expect("solves");
+        for (a, q) in dense.iter().zip(&sparse) {
+            prop_assert!((a - q).abs() < 1e-8, "{a} vs {q}");
+        }
+        let r = s.mul_vec(&sparse);
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-8, "residual {ri} vs {bi}");
+        }
+    }
+
+    /// Exactly singular systems (a duplicated row) are rejected by BOTH
+    /// factorizations — neither silently returns garbage, and they agree
+    /// on solvability just as the verify oracle demands of MNA matrices.
+    #[test]
+    fn singular_systems_rejected_by_both(n in 3usize..20, seed in 0u64..2_000) {
+        use awe_numeric::{NumericError, SparseLu, SparseMatrix};
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = 2.0 + ((seed.wrapping_add(i as u64) % 7) as f64) * 0.25;
+            if i + 1 < n {
+                d[(i, i + 1)] = -1.0;
+                d[(i + 1, i)] = -1.0;
+            }
+        }
+        // Duplicate one row: exact rank deficiency, exact zero pivot.
+        let dup = (seed as usize) % (n - 1);
+        for j in 0..n {
+            d[(dup + 1, j)] = d[(dup, j)];
+        }
+        let b = vec![1.0; n];
+        let dense = lu_solve(&d, &b);
+        prop_assert!(
+            matches!(dense, Err(NumericError::Singular { .. })),
+            "dense accepted a singular system: {dense:?}"
+        );
+        let s = SparseMatrix::from_dense(&d);
+        let sparse = SparseLu::factor(&s, None).and_then(|f| f.solve(&b));
+        prop_assert!(
+            matches!(sparse, Err(NumericError::Singular { .. })),
+            "sparse accepted a singular system: {sparse:?}"
+        );
+    }
+
+    /// Near-singular (ill-conditioned) systems are *detectable*: the
+    /// factorization may succeed, but the Hager condition estimate and
+    /// the minimum pivot both flag the system so callers can reject it
+    /// (the verify harness caps trustworthy models at cond 1e14).
+    #[test]
+    fn ill_conditioned_systems_are_flagged(n in 3usize..20, eps_exp in 12i32..15) {
+        let eps = 10f64.powi(-eps_exp);
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = 2.0;
+            if i + 1 < n {
+                d[(i, i + 1)] = -1.0;
+                d[(i + 1, i)] = -1.0;
+            }
+        }
+        // Two nearly identical rows: rank deficiency up to eps.
+        for j in 0..n {
+            let v = d[(0, j)];
+            d[(1, j)] = v * (1.0 + if j == 0 { eps } else { 0.0 });
+        }
+        let norm_one = (0..n)
+            .map(|j| (0..n).map(|i| d[(i, j)].abs()).sum::<f64>())
+            .fold(0.0f64, f64::max);
+        let f = Lu::factor(&d).expect("near-singular still factors");
+        let cond = f.condition_estimate(norm_one);
+        prop_assert!(
+            cond > 1e10,
+            "condition estimate {cond:.3e} misses eps={eps:.0e} rank gap"
+        );
+        prop_assert!(f.min_pivot() < 1e-9 * norm_one, "min pivot {:.3e}", f.min_pivot());
+    }
+}

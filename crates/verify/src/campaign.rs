@@ -1,0 +1,482 @@
+//! Campaign driver: runs many fuzz cases through the oracle stack in
+//! parallel (on `awe_batch`'s work-stealing pool), minimizes failures, and
+//! renders a census as text or JSON.
+//!
+//! Determinism contract: the set of cases — and therefore every verdict —
+//! is a pure function of `(master_seed, count, class filter)`. Thread
+//! count only changes wall time. A failure is replayed with
+//! `awesim verify --seed <master> --count <i+1> [--class <c>]` (the
+//! failing index is printed) or, once minimized and committed, by running
+//! the corpus deck.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use awe_batch::pool::run_indexed;
+use awe_circuit::parse_deck;
+
+use crate::fuzz::{CaseParams, TopologyClass, WaveKind};
+use crate::minimize::{corpus_deck, minimize};
+use crate::oracle::{Artifacts, OracleKind, OracleReport, Verdict};
+
+/// What to run.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignOptions {
+    /// Master seed: case `i` derives from `(master_seed, i)`.
+    pub master_seed: u64,
+    /// Number of cases.
+    pub count: usize,
+    /// Restrict to one topology class (`None` cycles through all four).
+    pub class: Option<TopologyClass>,
+    /// Worker threads (`0` = available parallelism).
+    pub threads: usize,
+    /// Shrink failing cases (costs extra oracle runs per failure).
+    pub minimize_failures: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            master_seed: 0,
+            count: 100,
+            class: None,
+            threads: 0,
+            minimize_failures: true,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// The topology class of case `index` under these options.
+    pub fn class_of(&self, index: u64) -> TopologyClass {
+        self.class
+            .unwrap_or(TopologyClass::ALL[(index % TopologyClass::ALL.len() as u64) as usize])
+    }
+}
+
+/// All verdicts for one case.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// Case index within the campaign.
+    pub index: u64,
+    /// The regenerable parameters.
+    pub params: CaseParams,
+    /// One report per oracle, in [`OracleKind::ALL`] order.
+    pub reports: Vec<OracleReport>,
+}
+
+impl CaseOutcome {
+    /// Whether any oracle failed.
+    pub fn failed(&self) -> bool {
+        self.reports.iter().any(|r| r.verdict.is_fail())
+    }
+}
+
+/// A failing case, minimized and rendered as a corpus deck.
+#[derive(Clone, Debug)]
+pub struct FailureRecord {
+    /// Index of the original failing case.
+    pub index: u64,
+    /// Oracle that failed.
+    pub oracle: OracleKind,
+    /// Failure detail on the *original* case.
+    pub detail: String,
+    /// Shrunk parameters (`None` when minimization was disabled).
+    pub minimized: Option<CaseParams>,
+    /// Ready-to-commit corpus deck for the smallest failing circuit.
+    pub deck: String,
+}
+
+/// Pass/fail/skip counts for one oracle.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tally {
+    /// Cases that passed.
+    pub pass: usize,
+    /// Cases that failed.
+    pub fail: usize,
+    /// Cases where the oracle's premise did not apply.
+    pub skip: usize,
+}
+
+/// The campaign result: every outcome, the failure records, and timing.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// The options that produced this result.
+    pub options: CampaignOptions,
+    /// Per-case outcomes, in index order.
+    pub outcomes: Vec<CaseOutcome>,
+    /// Minimized failures (empty on a clean run).
+    pub failures: Vec<FailureRecord>,
+    /// Wall time for the whole campaign.
+    pub wall: Duration,
+}
+
+impl CampaignResult {
+    /// Per-oracle tallies, in [`OracleKind::ALL`] order.
+    pub fn tallies(&self) -> Vec<(OracleKind, Tally)> {
+        OracleKind::ALL
+            .iter()
+            .map(|&oracle| {
+                let mut t = Tally::default();
+                for o in &self.outcomes {
+                    for r in &o.reports {
+                        if r.oracle != oracle {
+                            continue;
+                        }
+                        match r.verdict {
+                            Verdict::Pass => t.pass += 1,
+                            Verdict::Fail { .. } => t.fail += 1,
+                            Verdict::Skip { .. } => t.skip += 1,
+                        }
+                    }
+                }
+                (oracle, t)
+            })
+            .collect()
+    }
+
+    /// Worst transient waveform error (fraction of swing) across passing
+    /// and failing cases, with the index it occurred at.
+    pub fn worst_waveform_error(&self) -> Option<(f64, u64)> {
+        let mut worst: Option<(f64, u64)> = None;
+        for o in &self.outcomes {
+            for r in &o.reports {
+                if r.oracle != OracleKind::Transient {
+                    continue;
+                }
+                if let Some(m) = r.metric {
+                    if worst.is_none_or(|(w, _)| m > w) {
+                        worst = Some((m, o.index));
+                    }
+                }
+            }
+        }
+        worst
+    }
+
+    /// Total failing cases.
+    pub fn failed_cases(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.failed()).count()
+    }
+}
+
+/// Runs a campaign.
+pub fn run_campaign(options: &CampaignOptions) -> CampaignResult {
+    let start = Instant::now();
+    let (outcomes, _pool) = run_indexed(options.count, options.threads, |i| {
+        let index = i as u64;
+        let params = CaseParams::generate(options.class_of(index), options.master_seed, index);
+        let case = params.build();
+        let reports = Artifacts::build(&case).run_all();
+        CaseOutcome {
+            index,
+            params,
+            reports,
+        }
+    });
+
+    // Minimization is rare and recursive; run it after the pool drains.
+    let mut failures = Vec::new();
+    for o in &outcomes {
+        for r in &o.reports {
+            let Verdict::Fail { detail } = &r.verdict else {
+                continue;
+            };
+            let record = if options.minimize_failures {
+                let m = minimize(&o.params, r.oracle);
+                let case = m.params.build();
+                FailureRecord {
+                    index: o.index,
+                    oracle: r.oracle,
+                    detail: detail.clone(),
+                    minimized: Some(m.params),
+                    deck: corpus_deck(&m, &case),
+                }
+            } else {
+                let m = crate::minimize::Minimized {
+                    params: o.params,
+                    oracle: r.oracle,
+                    detail: detail.clone(),
+                    steps: 0,
+                };
+                let case = o.params.build();
+                FailureRecord {
+                    index: o.index,
+                    oracle: r.oracle,
+                    detail: detail.clone(),
+                    minimized: None,
+                    deck: corpus_deck(&m, &case),
+                }
+            };
+            failures.push(record);
+        }
+    }
+
+    CampaignResult {
+        options: *options,
+        outcomes,
+        failures,
+        wall: start.elapsed(),
+    }
+}
+
+/// Replays a committed corpus deck: parses the netlist and the metadata
+/// header written by [`corpus_deck`](crate::minimize::corpus_deck), then
+/// re-runs the recorded oracle. Returns the oracle's report.
+///
+/// # Errors
+///
+/// Returns a message when the deck does not parse or the metadata header
+/// is missing/invalid.
+pub fn replay_deck(text: &str) -> Result<OracleReport, String> {
+    let mut oracle = None;
+    let mut class = TopologyClass::RcTree;
+    let mut wave = WaveKind::Step;
+    let mut output_name = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("* oracle=") {
+            // "* oracle=<o> class=<c> wave=<w>"
+            for field in rest.split_whitespace() {
+                if let Some(v) = field.strip_prefix("class=") {
+                    class = v.parse()?;
+                } else if let Some(v) = field.strip_prefix("wave=") {
+                    wave = parse_wave_tag(v)?;
+                } else {
+                    oracle = Some(parse_oracle_name(field)?);
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix("* output ") {
+            output_name = Some(rest.trim().to_owned());
+        }
+    }
+    let oracle = oracle.ok_or("corpus deck is missing the `* oracle=` header")?;
+    let output_name = output_name.ok_or("corpus deck is missing the `* output` header")?;
+    let circuit = parse_deck(text).map_err(|e| e.to_string())?;
+    let output = circuit
+        .find_node(&output_name)
+        .ok_or_else(|| format!("output node `{output_name}` not in deck"))?;
+    let artifacts = Artifacts::for_circuit(circuit, output, class, wave);
+    Ok(artifacts.run(oracle))
+}
+
+fn parse_oracle_name(s: &str) -> Result<OracleKind, String> {
+    OracleKind::ALL
+        .into_iter()
+        .find(|o| o.name() == s)
+        .ok_or_else(|| format!("unknown oracle `{s}`"))
+}
+
+fn parse_wave_tag(s: &str) -> Result<WaveKind, String> {
+    match s {
+        "step" => Ok(WaveKind::Step),
+        "falling-step" => Ok(WaveKind::FallingStep),
+        // The ratio knobs only matter for generation; replay works off the
+        // concrete waveform already in the deck.
+        "ramp" => Ok(WaveKind::Ramp { rise_ratio: 1.0 }),
+        "pulse" => Ok(WaveKind::Pulse { width_ratio: 1.0 }),
+        other => Err(format!("unknown wave tag `{other}`")),
+    }
+}
+
+/// Renders the campaign census as a human-readable report. Failure lines
+/// include the exact replay recipe.
+pub fn text_report(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    let o = &result.options;
+    let _ = writeln!(
+        out,
+        "verify campaign: seed {} count {} class {}",
+        o.master_seed,
+        o.count,
+        o.class.map_or("all".into(), |c| c.to_string())
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>6} {:>6}",
+        "oracle", "pass", "fail", "skip"
+    );
+    for (oracle, t) in result.tallies() {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>6} {:>6}",
+            oracle.name(),
+            t.pass,
+            t.fail,
+            t.skip
+        );
+    }
+    if let Some((err, index)) = result.worst_waveform_error() {
+        let _ = writeln!(
+            out,
+            "worst waveform error {:.4}% of swing (case {index})",
+            err * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "cases {}  failed {}  wall {:.3}s",
+        result.outcomes.len(),
+        result.failed_cases(),
+        result.wall.as_secs_f64()
+    );
+    for f in &result.failures {
+        let _ = writeln!(
+            out,
+            "FAIL case {} [{}] {} — replay: awesim verify --seed {} --count {}{}",
+            f.index,
+            f.oracle,
+            f.detail,
+            o.master_seed,
+            f.index + 1,
+            o.class.map_or(String::new(), |c| format!(" --class {c}"))
+        );
+    }
+    out
+}
+
+/// Renders the campaign census as JSON (hand-rolled; the workspace has no
+/// serde).
+pub fn json_report(result: &CampaignResult) -> String {
+    let o = &result.options;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"seed\": {},", o.master_seed);
+    let _ = writeln!(out, "  \"count\": {},", o.count);
+    let _ = writeln!(
+        out,
+        "  \"class\": \"{}\",",
+        o.class.map_or("all".into(), |c| c.to_string())
+    );
+    let _ = writeln!(out, "  \"failed_cases\": {},", result.failed_cases());
+    match result.worst_waveform_error() {
+        Some((err, index)) => {
+            let _ = writeln!(out, "  \"worst_waveform_error\": {err:e},");
+            let _ = writeln!(out, "  \"worst_waveform_case\": {index},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"worst_waveform_error\": null,");
+        }
+    }
+    out.push_str("  \"oracles\": {\n");
+    let tallies = result.tallies();
+    for (i, (oracle, t)) in tallies.iter().enumerate() {
+        let comma = if i + 1 < tallies.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"pass\": {}, \"fail\": {}, \"skip\": {}}}{comma}",
+            oracle.name(),
+            t.pass,
+            t.fail,
+            t.skip
+        );
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"failures\": [\n");
+    for (i, f) in result.failures.iter().enumerate() {
+        let comma = if i + 1 < result.failures.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"case\": {}, \"oracle\": \"{}\", \"detail\": \"{}\"}}{comma}",
+            f.index,
+            f.oracle,
+            escape(&f.detail)
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"wall_seconds\": {:.6}", result.wall.as_secs_f64());
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CampaignOptions {
+        CampaignOptions {
+            master_seed: 0,
+            count: 12,
+            class: None,
+            threads: 1,
+            minimize_failures: false,
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let r1 = run_campaign(&small());
+        let r2 = run_campaign(&CampaignOptions {
+            threads: 4,
+            ..small()
+        });
+        assert_eq!(text_census(&r1), text_census(&r2));
+    }
+
+    fn text_census(r: &CampaignResult) -> Vec<(usize, usize, usize)> {
+        r.tallies()
+            .into_iter()
+            .map(|(_, t)| (t.pass, t.fail, t.skip))
+            .collect()
+    }
+
+    #[test]
+    fn class_filter_restricts_classes() {
+        let r = run_campaign(&CampaignOptions {
+            class: Some(TopologyClass::RlcLadder),
+            count: 6,
+            ..small()
+        });
+        for o in &r.outcomes {
+            assert_eq!(o.params.class, TopologyClass::RlcLadder);
+        }
+    }
+
+    #[test]
+    fn reports_render() {
+        let r = run_campaign(&small());
+        let text = text_report(&r);
+        assert!(text.contains("verify campaign: seed 0 count 12"));
+        let json = json_report(&r);
+        assert!(json.contains("\"oracles\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn corpus_round_trip_replays_the_recorded_oracle() {
+        // Fabricate a failure record for a healthy case: the deck must
+        // parse and the recorded oracle must run (to a Pass here).
+        let p = CaseParams::generate(TopologyClass::RcTree, 0, 0);
+        let case = p.build();
+        let m = crate::minimize::Minimized {
+            params: p,
+            oracle: OracleKind::Transient,
+            detail: "fabricated".into(),
+            steps: 0,
+        };
+        let deck = crate::minimize::corpus_deck(&m, &case);
+        let report = replay_deck(&deck).expect("replay");
+        assert_eq!(report.oracle, OracleKind::Transient);
+        assert!(
+            matches!(report.verdict, Verdict::Pass),
+            "{:?}",
+            report.verdict
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Differential-oracle verification for the AWE engine.
+//!
+//! The paper's central claim (§III–§V) — a q-pole Padé model tracks the
+//! exact lumped-RLC response to within tight waveform error — is checked
+//! here by *machine-generated* evidence rather than hand-picked cases:
+//!
+//! 1. [`fuzz`] — a seeded, deterministic circuit fuzzer over the
+//!    `circuit::generators` families, sweeping topology class, size,
+//!    element-value spread and stimulus waveform. Every case regenerates
+//!    from `(class, master_seed, index)`.
+//! 2. [`oracle`] — a stack of independent oracles (trapezoidal transient,
+//!    dense eigensolve, Penfield–Rubinstein bounds, dense-vs-sparse LU,
+//!    tree-walk-vs-MNA moments), each with a documented tolerance ladder.
+//! 3. [`minimize`] — parameter-level shrinking of failing cases down to
+//!    minimal SPICE decks for `tests/corpus/`.
+//! 4. [`campaign`] — parallel fuzz campaigns (on `awe_batch`'s pool) with
+//!    pass/fail census, worst-case waveform error, and corpus replay.
+//!
+//! The `awesim verify` subcommand is a thin wrapper over [`campaign`].
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod fuzz;
+pub mod minimize;
+pub mod oracle;
+
+pub use campaign::{
+    json_report, replay_deck, run_campaign, text_report, CampaignOptions, CampaignResult,
+    CaseOutcome, FailureRecord, Tally,
+};
+pub use fuzz::{CaseParams, FuzzCase, TopologyClass, WaveKind};
+pub use minimize::{corpus_deck, minimize, Minimized};
+pub use oracle::{Artifacts, OracleKind, OracleReport, Verdict};

@@ -1,0 +1,224 @@
+//! Failure minimization.
+//!
+//! When an oracle fails, the raw case is rarely the smallest circuit that
+//! exhibits the disagreement. The minimizer shrinks at the *parameter*
+//! level — the case is regenerated from its [`CaseParams`] after every
+//! candidate reduction, so the shrunk circuit is still a deterministic,
+//! seed-replayable member of the fuzzed family (netlist-level mutation
+//! would lose that property). Greedy policy: try reductions in order of
+//! how much they simplify the case, keep any reduction that still fails
+//! the same oracle, and stop when no candidate fails.
+//!
+//! The result is rendered as a standalone SPICE deck with a metadata
+//! header, suitable for committing to `tests/corpus/` as a permanent
+//! regression.
+
+use crate::fuzz::{CaseParams, FuzzCase, WaveKind};
+use crate::oracle::{Artifacts, OracleKind, Verdict};
+
+/// A minimized failing case.
+#[derive(Clone, Debug)]
+pub struct Minimized {
+    /// The shrunk parameters (regenerate with `params.build()`).
+    pub params: CaseParams,
+    /// The oracle that still fails on the shrunk case.
+    pub oracle: OracleKind,
+    /// The failure detail on the shrunk case.
+    pub detail: String,
+    /// Number of accepted reductions.
+    pub steps: usize,
+}
+
+/// Does `params` still fail `oracle`? Returns the failure detail if so.
+fn still_fails(params: &CaseParams, oracle: OracleKind) -> Option<String> {
+    let case = params.build();
+    let report = Artifacts::build(&case).run(oracle);
+    match report.verdict {
+        Verdict::Fail { detail } => Some(detail),
+        _ => None,
+    }
+}
+
+/// Shrinks a failing case to a (locally) minimal one that still fails the
+/// same oracle. `params` must currently fail `oracle`; if it does not, the
+/// original parameters come back with `steps == 0`.
+pub fn minimize(params: &CaseParams, oracle: OracleKind) -> Minimized {
+    let mut best = *params;
+    let mut detail = still_fails(&best, oracle).unwrap_or_default();
+    let mut steps = 0usize;
+    // Each accepted reduction restarts the candidate scan; the budget
+    // bounds total oracle invocations on pathological cases.
+    let mut budget = 200usize;
+    'outer: loop {
+        for candidate in reductions(&best) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Some(d) = still_fails(&candidate, oracle) {
+                best = candidate;
+                detail = d;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Minimized {
+        params: best,
+        oracle,
+        detail,
+        steps,
+    }
+}
+
+/// Candidate reductions for one greedy round, most aggressive first.
+fn reductions(p: &CaseParams) -> Vec<CaseParams> {
+    let mut out = Vec::new();
+    // Structural: fewer nodes dominates everything else.
+    if p.size > 1 {
+        out.push(CaseParams {
+            size: p.size / 2,
+            ..*p
+        });
+        out.push(CaseParams {
+            size: p.size - 1,
+            ..*p
+        });
+    }
+    // Stimulus: an ideal step is the simplest waveform.
+    if p.wave != WaveKind::Step {
+        out.push(CaseParams {
+            wave: WaveKind::Step,
+            ..*p
+        });
+    }
+    // Value spread: pull both ranges toward their geometric means.
+    if p.r_hi / p.r_lo > 1.01 {
+        let gm = (p.r_lo * p.r_hi).sqrt();
+        out.push(CaseParams {
+            r_lo: (p.r_lo * gm).sqrt(),
+            r_hi: (p.r_hi * gm).sqrt(),
+            ..*p
+        });
+    }
+    if p.c_hi / p.c_lo > 1.01 {
+        let gm = (p.c_lo * p.c_hi).sqrt();
+        out.push(CaseParams {
+            c_lo: (p.c_lo * gm).sqrt(),
+            c_hi: (p.c_hi * gm).sqrt(),
+            ..*p
+        });
+    }
+    // Canonical round values, one knob at a time.
+    for canon in [
+        CaseParams {
+            r_lo: 100.0,
+            r_hi: 100.0,
+            ..*p
+        },
+        CaseParams {
+            c_lo: 1e-12,
+            c_hi: 1e-12,
+            ..*p
+        },
+        CaseParams { l: 1e-9, ..*p },
+        CaseParams { rs: 10.0, ..*p },
+        CaseParams {
+            coupling_ratio: 0.5,
+            ..*p
+        },
+        CaseParams { vdd: 1.0, ..*p },
+    ] {
+        if !same_knobs(&canon, p) {
+            out.push(canon);
+        }
+    }
+    out
+}
+
+fn same_knobs(a: &CaseParams, b: &CaseParams) -> bool {
+    a.r_lo == b.r_lo
+        && a.r_hi == b.r_hi
+        && a.c_lo == b.c_lo
+        && a.c_hi == b.c_hi
+        && a.l == b.l
+        && a.rs == b.rs
+        && a.coupling_ratio == b.coupling_ratio
+        && a.vdd == b.vdd
+}
+
+/// Renders a minimized failure as a standalone corpus deck: metadata
+/// comments (oracle, class, wave, full parameters, failure detail,
+/// observation node) followed by the netlist. The deck re-parses with
+/// `circuit::parse_deck`; `campaign::replay_deck` reads the metadata back.
+pub fn corpus_deck(m: &Minimized, case: &FuzzCase) -> String {
+    let mut out = String::new();
+    out.push_str("* awe-verify minimized regression\n");
+    out.push_str(&format!(
+        "* oracle={} class={} wave={}\n",
+        m.oracle,
+        m.params.class,
+        wave_tag(&m.params.wave)
+    ));
+    out.push_str(&format!("* params: {}\n", m.params.describe()));
+    for line in m.detail.lines() {
+        out.push_str(&format!("* detail: {line}\n"));
+    }
+    out.push_str(&format!(
+        "* output {}\n",
+        case.circuit.node_name(case.output)
+    ));
+    out.push_str(&case.circuit.to_deck());
+    out
+}
+
+fn wave_tag(wave: &WaveKind) -> &'static str {
+    match wave {
+        WaveKind::Step => "step",
+        WaveKind::FallingStep => "falling-step",
+        WaveKind::Ramp { .. } => "ramp",
+        WaveKind::Pulse { .. } => "pulse",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::TopologyClass;
+
+    #[test]
+    fn non_failing_case_is_returned_unchanged() {
+        let p = CaseParams::generate(TopologyClass::RcTree, 0, 0);
+        let m = minimize(&p, OracleKind::Transient);
+        assert_eq!(m.steps, 0);
+        assert_eq!(m.params.size, p.size);
+    }
+
+    #[test]
+    fn reductions_only_shrink() {
+        let p = CaseParams::generate(TopologyClass::CoupledLines, 3, 5);
+        for r in reductions(&p) {
+            assert!(r.size <= p.size);
+            assert!(r.r_hi / r.r_lo <= p.r_hi / p.r_lo * 1.000001);
+            assert!(r.c_hi / r.c_lo <= p.c_hi / p.c_lo * 1.000001);
+        }
+    }
+
+    #[test]
+    fn corpus_deck_reparses() {
+        let p = CaseParams::generate(TopologyClass::RcTree, 1, 2);
+        let case = p.build();
+        let m = Minimized {
+            params: p,
+            oracle: OracleKind::Transient,
+            detail: "synthetic detail".into(),
+            steps: 0,
+        };
+        let deck = corpus_deck(&m, &case);
+        let parsed = awe_circuit::parse_deck(&deck).expect("corpus deck must re-parse");
+        assert_eq!(parsed.num_states(), case.circuit.num_states());
+        assert!(deck.contains("* oracle=transient"));
+        assert!(deck.contains("* output "));
+    }
+}

@@ -9,10 +9,14 @@
 //! awesim export  <deck> --node <name> [--order N] [--pwl N]
 //! awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
 //!                [--seed N] [--repeat K] [--json] [--no-timings]
+//! awesim verify  [--seed N] [--count N] [--class C] [--threads N]
+//!                [--corpus-dir DIR] [--json] [--no-minimize]
 //! ```
 //!
 //! The deck format is documented in `awesim::circuit::parse_deck`; `batch`
 //! accepts the multi-net variant (`awesim::circuit::parse_multi_deck`).
+//! `verify` runs the differential-oracle fuzz campaign from
+//! `awesim::verify` and exits nonzero if any case fails its oracles.
 
 use std::fs;
 use std::process::ExitCode;
@@ -26,7 +30,7 @@ use awesim::sim::{exact_poles, simulate, TransientOptions};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -44,14 +48,21 @@ const USAGE: &str = "usage:
   awesim check   <deck>
   awesim export  <deck> --node <name> [--order N] [--pwl N]
   awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
-                 [--seed N] [--repeat K] [--json] [--no-timings]";
+                 [--seed N] [--repeat K] [--json] [--no-timings]
+  awesim verify  [--seed N] [--count N] [--class C] [--threads N]
+                 [--corpus-dir DIR] [--json] [--no-minimize]";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or("missing subcommand")?;
     if cmd == "batch" {
         // Full-design mode: its input is a multi-net deck or a synthetic
         // workload, not the single-net deck the other subcommands share.
-        return cmd_batch(&args[1..]);
+        return cmd_batch(&args[1..]).map(|()| ExitCode::SUCCESS);
+    }
+    if cmd == "verify" {
+        // Fuzz-campaign mode: generates its own circuits; a failing
+        // campaign is a nonzero exit, not a usage error.
+        return cmd_verify(&args[1..]);
     }
     let deck_path = args.get(1).ok_or("missing deck path")?;
     let deck =
@@ -67,6 +78,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "export" => cmd_export(&circuit, &args[2..]),
         other => Err(format!("unknown subcommand `{other}`")),
     }
+    .map(|()| ExitCode::SUCCESS)
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -272,6 +284,56 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
+    use awesim::verify::{
+        json_report as verify_json, run_campaign, text_report as verify_text, CampaignOptions,
+        TopologyClass,
+    };
+
+    let mut opts = CampaignOptions::default();
+    if let Some(s) = flag(args, "--seed") {
+        opts.master_seed = s.parse().map_err(|_| "bad --seed value")?;
+    }
+    if let Some(c) = flag(args, "--count") {
+        opts.count = c.parse().map_err(|_| "bad --count value")?;
+    }
+    if let Some(c) = flag(args, "--class") {
+        let class: TopologyClass = c.parse()?;
+        opts.class = Some(class);
+    }
+    if let Some(t) = flag(args, "--threads") {
+        opts.threads = t.parse().map_err(|_| "bad --threads value")?;
+    }
+    if args.iter().any(|a| a == "--no-minimize") {
+        opts.minimize_failures = false;
+    }
+    let json = args.iter().any(|a| a == "--json");
+
+    let result = run_campaign(&opts);
+    if json {
+        print!("{}", verify_json(&result));
+    } else {
+        print!("{}", verify_text(&result));
+    }
+    if let Some(dir) = flag(args, "--corpus-dir") {
+        let dir = std::path::Path::new(&dir);
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for f in &result.failures {
+            let path = dir.join(format!("case-{}-{}.sp", f.index, f.oracle));
+            fs::write(&path, &f.deck)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            if !json {
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+    Ok(if result.failed_cases() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_check(circuit: &Circuit) -> Result<(), String> {

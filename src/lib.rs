@@ -14,6 +14,8 @@
 //! * [`sim`] — reference transient simulator and exact poles.
 //! * [`batch`] — concurrent full-design analysis with result caching and
 //!   run metrics.
+//! * [`verify`] — differential-oracle fuzzing, failure minimization, and
+//!   corpus replay.
 //!
 //! ## Quickstart
 //!
@@ -47,3 +49,4 @@ pub use awe_mna as mna;
 pub use awe_numeric as numeric;
 pub use awe_sim as sim;
 pub use awe_treelink as treelink;
+pub use awe_verify as verify;

@@ -1,0 +1,72 @@
+//! Replays every committed corpus deck through its named oracle.
+//!
+//! Each `tests/corpus/*.sp` deck is a fuzz finding frozen in place: the
+//! header names the oracle that originally disagreed and carries a
+//! tracking note explaining the root cause and the harness/engine change
+//! that resolved it. Replay must not regress to `Fail` — a deck whose
+//! finding was an expected limitation replays as `Skip` with a documented
+//! reason, one whose cause was fixed replays as `Pass`.
+
+use awesim::verify::{replay_deck, Verdict};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_decks_replay_clean() {
+    let dir = corpus_dir();
+    if !dir.is_dir() {
+        // An empty corpus is a healthy corpus; the test only guards the
+        // decks that exist.
+        return;
+    }
+    let mut decks: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("corpus dir must be readable")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "sp"))
+        .collect();
+    decks.sort();
+    let mut failures = Vec::new();
+    for path in &decks {
+        let text = std::fs::read_to_string(path).expect("deck must be readable");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        match replay_deck(&text) {
+            Ok(report) => {
+                println!("{name}: {} -> {}", report.oracle, report.verdict);
+                if let Verdict::Fail { detail } = &report.verdict {
+                    failures.push(format!("{name}: {} regressed: {detail}", report.oracle));
+                }
+            }
+            Err(e) => failures.push(format!("{name}: replay error: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus regressions:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_decks_have_tracking_notes() {
+    let dir = corpus_dir();
+    if !dir.is_dir() {
+        return;
+    }
+    for entry in std::fs::read_dir(&dir).expect("corpus dir must be readable") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|x| x != "sp") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("deck must be readable");
+        for header in ["* oracle=", "* output ", "* detail:"] {
+            assert!(
+                text.contains(header),
+                "{} is missing the `{header}` header",
+                path.display()
+            );
+        }
+    }
+}

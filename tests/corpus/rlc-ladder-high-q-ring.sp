@@ -1,0 +1,14 @@
+* awe-verify regression (master seed 0, case 442)
+* oracle=transient class=rlc-ladder wave=step
+* params: class=rlc-ladder seed=8428451280643810750 size=1 r=2.962e3:1.244e4 c=1.077e-17:7.181e-12 l=1.162e-8 rs=3.389e-1 k=1.283 vdd=5 wave=step
+* detail: Series RLC with Q ~ 3400: rings ~13000 cycles inside the settling
+* detail: horizon. The full-order 2-pole Pade model is the exact transfer
+* detail: function, but the trapezoidal reference accumulates per-step phase
+* detail: error over those cycles and 'disagrees' by 14% L2. The transient
+* detail: oracle must skip (reference drift), not fail; replay checks that.
+* output n1
+V1 in 0 PWL(0 0 0 5)
+Rs in nr 0.3388606819989418
+L1 nr n1 0.0000000116157410805227
+C1 n1 0 0.000000000000008793425979168952
+.end
