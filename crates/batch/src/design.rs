@@ -23,6 +23,11 @@ impl NetSpec {
     pub fn hash(&self) -> u64 {
         structural_hash(&self.circuit, self.output)
     }
+
+    /// Topology-only pattern key of this net (see [`pattern_key`]).
+    pub fn pattern_key(&self) -> u64 {
+        pattern_key(&self.circuit)
+    }
 }
 
 /// A design: a named, ordered collection of independent nets.
@@ -165,6 +170,74 @@ pub fn structural_hash(circuit: &Circuit, output: NodeId) -> u64 {
         acc = acc.wrapping_add(fnv1a(canonical_card(circuit, e).as_bytes()));
     }
     acc
+}
+
+/// Topology-only pattern key of a net: like [`structural_hash`] but with
+/// every element *value* (resistances, capacitances, gains, waveforms,
+/// initial conditions) excluded — only the element kind and its terminal
+/// node names contribute. Two nets with equal keys assemble MNA systems
+/// with the same unknown layout and the same `G̃` sparsity structure, so
+/// one symbolic LU analysis serves them all; the numeric values are free
+/// to differ (that is the factor-once, solve-many premise). The
+/// observation node does not matter to the factorization and is excluded
+/// too.
+///
+/// The key is advisory: a stale or colliding key costs one rejected
+/// refactorization (the numeric layer fingerprints the actual pattern and
+/// falls back to a cold factor), never a wrong answer.
+pub fn pattern_key(circuit: &Circuit) -> u64 {
+    let mut acc = fnv1a(b"awe-batch-pattern-v1");
+    for e in circuit.elements() {
+        acc = acc.wrapping_add(fnv1a(pattern_card(circuit, e).as_bytes()));
+    }
+    acc
+}
+
+/// Value-free card for one element: kind letter, element name, and
+/// terminal node names only.
+fn pattern_card(c: &Circuit, e: &Element) -> String {
+    let n = |id: &NodeId| c.node_name(*id);
+    match e {
+        Element::Resistor { name, a, b, .. } => format!("R {name} {} {}", n(a), n(b)),
+        Element::Capacitor { name, a, b, .. } => format!("C {name} {} {}", n(a), n(b)),
+        Element::Inductor { name, a, b, .. } => format!("L {name} {} {}", n(a), n(b)),
+        Element::VoltageSource { name, pos, neg, .. } => {
+            format!("V {name} {} {}", n(pos), n(neg))
+        }
+        Element::CurrentSource { name, from, to, .. } => {
+            format!("I {name} {} {}", n(from), n(to))
+        }
+        Element::Vccs {
+            name,
+            from,
+            to,
+            cpos,
+            cneg,
+            ..
+        } => format!("G {name} {} {} {} {}", n(from), n(to), n(cpos), n(cneg)),
+        Element::Vcvs {
+            name,
+            pos,
+            neg,
+            cpos,
+            cneg,
+            ..
+        } => format!("E {name} {} {} {} {}", n(pos), n(neg), n(cpos), n(cneg)),
+        Element::Cccs {
+            name,
+            from,
+            to,
+            control,
+            ..
+        } => format!("F {name} {} {} {control}", n(from), n(to)),
+        Element::Ccvs {
+            name,
+            pos,
+            neg,
+            control,
+            ..
+        } => format!("H {name} {} {} {control}", n(pos), n(neg)),
+    }
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -317,6 +390,27 @@ mod tests {
             structural_hash(&c1, o1),
             structural_hash(&c1, c1.find_node("in").unwrap())
         );
+    }
+
+    #[test]
+    fn pattern_key_ignores_values_not_topology() {
+        let (c1, o1) = stage(&[0, 1, 2]);
+        let mut c2 = Circuit::new();
+        let i = c2.node("in");
+        let n1 = c2.node("n1");
+        c2.add_vsource("V1", i, GROUND, Waveform::rising_step(0.0, 3.3, 1e-9))
+            .unwrap();
+        c2.add_resistor("R1", i, n1, 4.7e3).unwrap();
+        c2.add_capacitor("C1", n1, GROUND, 5e-13).unwrap();
+        // Same topology, every value different: structural hashes differ,
+        // pattern keys agree.
+        assert_ne!(structural_hash(&c1, o1), structural_hash(&c2, n1));
+        assert_eq!(pattern_key(&c1), pattern_key(&c2));
+        // A topology edit (extra capacitor) changes the key.
+        let mut c3 = c2.clone();
+        let i3 = c3.find_node("in").unwrap();
+        c3.add_capacitor("C2", i3, GROUND, 1e-12).unwrap();
+        assert_ne!(pattern_key(&c2), pattern_key(&c3));
     }
 
     #[test]

@@ -8,10 +8,10 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use awe::{AweApproximation, AweEngine, AweError, AweOptions, StageTimings};
+use awe::{AweApproximation, AweEngine, AweError, AweOptions, SharedSymbolic, StageTimings};
 
 use crate::design::{Design, NetSpec};
 use crate::pool::{run_indexed, PoolStats};
@@ -106,6 +106,9 @@ pub struct BatchRun {
     pub solves: usize,
     /// Results served from the cache.
     pub cache_hits: usize,
+    /// Solves that reused a cached symbolic LU pattern (numeric
+    /// refactorization instead of a cold symbolic+numeric factor).
+    pub pattern_hits: usize,
 }
 
 /// Concurrent batch analyzer with a persistent incremental-reanalysis
@@ -118,6 +121,11 @@ pub struct BatchRun {
 #[derive(Debug, Default)]
 pub struct BatchEngine {
     cache: Mutex<HashMap<u64, NetResult>>,
+    /// Symbolic LU patterns keyed by each net's topology-only
+    /// [`pattern_key`](crate::design::pattern_key): structurally identical
+    /// nets (same topology, any values) factor their elimination pattern
+    /// exactly once, then refactor numerically.
+    patterns: Mutex<HashMap<u64, SharedSymbolic>>,
 }
 
 impl BatchEngine {
@@ -131,9 +139,15 @@ impl BatchEngine {
         self.cache.lock().expect("cache lock").len()
     }
 
-    /// Drops all cached results.
+    /// Cached symbolic-pattern count.
+    pub fn pattern_len(&self) -> usize {
+        self.patterns.lock().expect("pattern lock").len()
+    }
+
+    /// Drops all cached results and symbolic patterns.
     pub fn clear_cache(&self) {
         self.cache.lock().expect("cache lock").clear();
+        self.patterns.lock().expect("pattern lock").clear();
     }
 
     /// Analyzes every net of `design`, fanning out across
@@ -144,9 +158,85 @@ impl BatchEngine {
         let start = Instant::now();
         let solves = AtomicUsize::new(0);
         let hits = AtomicUsize::new(0);
+        let pattern_hits = AtomicUsize::new(0);
+
+        // Deterministic pattern seeding: nets group by their topology-only
+        // pattern key; any group with at least two nets that will actually
+        // solve gets its first such net (in design order) solved *here*,
+        // sequentially, so the group's shared symbolic pattern never
+        // depends on scheduling. That matters because threshold pivoting
+        // is value-dependent — *which* net's pivot order a group shares is
+        // observable in the last bits of its siblings' factors, and batch
+        // results must stay byte-identical across thread counts. Groups
+        // whose pattern is already cached (an earlier run) skip straight
+        // to refactoring; singleton groups pay nothing here.
+        let hashes: Vec<u64> = design.nets().iter().map(NetSpec::hash).collect();
+        let keys: Vec<u64> = design.nets().iter().map(NetSpec::pattern_key).collect();
+        let mut group_size: HashMap<u64, usize> = HashMap::new();
+        {
+            let cache = self.cache.lock().expect("cache lock");
+            for (i, h) in hashes.iter().enumerate() {
+                if !cache.contains_key(h) {
+                    *group_size.entry(keys[i]).or_insert(0) += 1;
+                }
+            }
+        }
+        let presolved: Mutex<HashMap<usize, (NetResult, NetTiming)>> = Mutex::new(HashMap::new());
+        for (i, spec) in design.nets().iter().enumerate() {
+            if group_size.get(&keys[i]).is_none_or(|&c| c < 2) {
+                continue;
+            }
+            if self
+                .patterns
+                .lock()
+                .expect("pattern lock")
+                .contains_key(&keys[i])
+            {
+                continue;
+            }
+            if self
+                .cache
+                .lock()
+                .expect("cache lock")
+                .contains_key(&hashes[i])
+            {
+                continue;
+            }
+            // One donor attempt per group, whether or not it yields a
+            // pattern (dense nets never do — their siblings then factor
+            // independently, which is the pre-split behavior).
+            group_size.remove(&keys[i]);
+            let t0 = Instant::now();
+            solves.fetch_add(1, Ordering::Relaxed);
+            let (result, stages, pattern) = solve_net(spec, hashes[i], opts, None);
+            if let Some(p) = pattern {
+                self.patterns
+                    .lock()
+                    .expect("pattern lock")
+                    .insert(keys[i], p);
+            }
+            self.cache
+                .lock()
+                .expect("cache lock")
+                .insert(hashes[i], result.clone());
+            presolved.lock().expect("presolve lock").insert(
+                i,
+                (
+                    result,
+                    NetTiming {
+                        latency: t0.elapsed(),
+                        stages,
+                    },
+                ),
+            );
+        }
+
         let (pairs, pool) = run_indexed(design.len(), opts.threads, |i| {
+            if let Some(pair) = presolved.lock().expect("presolve lock").remove(&i) {
+                return pair;
+            }
             let spec = &design.nets()[i];
-            let hash = spec.hash();
+            let hash = hashes[i];
             let t0 = Instant::now();
             let cached = self.cache.lock().expect("cache lock").get(&hash).cloned();
             if let Some(mut hit) = cached {
@@ -162,7 +252,30 @@ impl BatchEngine {
                 );
             }
             solves.fetch_add(1, Ordering::Relaxed);
-            let (result, stages) = solve_net(spec, hash, opts);
+            let seed = self
+                .patterns
+                .lock()
+                .expect("pattern lock")
+                .get(&keys[i])
+                .cloned();
+            let (result, stages, pattern) = solve_net(spec, hash, opts, seed.as_ref());
+            match (&seed, &pattern) {
+                // The engine kept the seeded Arc ⇔ the solve refactored
+                // against it (a cold fallback records a fresh analysis).
+                (Some(s), Some(p)) if Arc::ptr_eq(s, p) => {
+                    pattern_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                // Unseeded sparse net: record its pattern for future runs
+                // (ECO edits of this net refactor instead of re-analysing).
+                (None, Some(p)) => {
+                    self.patterns
+                        .lock()
+                        .expect("pattern lock")
+                        .entry(keys[i])
+                        .or_insert_with(|| p.clone());
+                }
+                _ => {}
+            }
             self.cache
                 .lock()
                 .expect("cache lock")
@@ -185,12 +298,22 @@ impl BatchEngine {
             pool,
             solves: solves.into_inner(),
             cache_hits: hits.into_inner(),
+            pattern_hits: pattern_hits.into_inner(),
         }
     }
 }
 
-/// One full AWE solve of a net, with stage times.
-fn solve_net(spec: &NetSpec, hash: u64, opts: &BatchOptions) -> (NetResult, StageTimings) {
+/// One full AWE solve of a net, with stage times. A `seed` pattern is
+/// handed to the AWE engine so the factorization can skip its symbolic
+/// analysis; the pattern the engine ends up with (the seed if the
+/// refactorization succeeded, a freshly analysed one otherwise, `None` on
+/// the dense path) is returned for the caches.
+fn solve_net(
+    spec: &NetSpec,
+    hash: u64,
+    opts: &BatchOptions,
+    seed: Option<&SharedSymbolic>,
+) -> (NetResult, StageTimings, Option<SharedSymbolic>) {
     let requested = if opts.auto_target.is_some() {
         1
     } else {
@@ -216,9 +339,10 @@ fn solve_net(spec: &NetSpec, hash: u64, opts: &BatchOptions) -> (NetResult, Stag
         Ok(e) => e,
         Err(e) => {
             result.error = Some(e.to_string());
-            return (result, StageTimings::default());
+            return (result, StageTimings::default(), None);
         }
     };
+    engine.set_factor_pattern(seed.cloned());
     let mut stages = StageTimings {
         mna: engine.assembly_time(),
         ..StageTimings::default()
@@ -239,7 +363,8 @@ fn solve_net(spec: &NetSpec, hash: u64, opts: &BatchOptions) -> (NetResult, Stag
         Ok(approx) => fill(&mut result, &approx),
         Err(e) => result.error = Some(e.to_string()),
     }
-    (result, stages)
+    let pattern = engine.factor_pattern();
+    (result, stages, pattern)
 }
 
 /// Automatic order selection with stage-time accounting: the
@@ -284,6 +409,8 @@ fn auto_solve(
 }
 
 fn accumulate(stages: &mut StageTimings, clock: &StageTimings) {
+    stages.factor += clock.factor;
+    stages.refactor += clock.refactor;
     stages.moments += clock.moments;
     stages.pade += clock.pade;
     stages.residues += clock.residues;

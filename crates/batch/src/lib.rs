@@ -45,7 +45,7 @@ pub mod metrics;
 pub mod pool;
 pub mod report;
 
-pub use design::{structural_hash, Design, NetSpec};
+pub use design::{pattern_key, structural_hash, Design, NetSpec};
 pub use engine::{BatchEngine, BatchOptions, BatchRun, NetResult, NetTiming};
 pub use metrics::RunMetrics;
 pub use pool::PoolStats;

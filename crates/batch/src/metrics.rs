@@ -16,6 +16,9 @@ pub struct RunMetrics {
     pub solves: usize,
     /// Results served from the cache.
     pub cache_hits: usize,
+    /// Solves that reused a cached symbolic LU pattern (numeric
+    /// refactorization instead of a full symbolic+numeric factor).
+    pub pattern_hits: usize,
     /// Nets whose analysis failed.
     pub failures: usize,
     /// Nets that escalated past their requested/starting order.
@@ -35,7 +38,8 @@ pub struct RunMetrics {
     /// 99th-percentile per-net latency (nearest-rank).
     pub p99: Duration,
     /// Per-stage CPU time summed across all solves (MNA assembly →
-    /// moments → Padé → residues). Exceeds `wall` when workers overlap.
+    /// LU factor/refactor → moments → Padé → residues). Exceeds `wall`
+    /// when workers overlap.
     pub stages: StageTimings,
 }
 
@@ -47,6 +51,8 @@ impl RunMetrics {
         let mut stages = StageTimings::default();
         for t in &run.timings {
             stages.mna += t.stages.mna;
+            stages.factor += t.stages.factor;
+            stages.refactor += t.stages.refactor;
             stages.moments += t.stages.moments;
             stages.pade += t.stages.pade;
             stages.residues += t.stages.residues;
@@ -56,6 +62,7 @@ impl RunMetrics {
             nets: run.results.len(),
             solves: run.solves,
             cache_hits: run.cache_hits,
+            pattern_hits: run.pattern_hits,
             failures: run.results.iter().filter(|r| r.error.is_some()).count(),
             escalated: run.results.iter().filter(|r| r.escalations > 0).count(),
             worst_error: run

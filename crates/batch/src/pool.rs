@@ -39,10 +39,13 @@ impl PoolStats {
 /// Runs `f(0..jobs)` across `threads` workers, returning results in job
 /// order plus scheduler stats.
 ///
-/// `threads == 0` uses [`std::thread::available_parallelism`]. The worker
-/// count is clamped to the job count; `threads == 1` runs inline on the
-/// caller thread (no spawn), so single-threaded runs are exactly
-/// sequential.
+/// `threads == 0` uses [`std::thread::available_parallelism`]; explicit
+/// requests are *capped* at the available parallelism too — the jobs are
+/// CPU-bound, so oversubscribed workers only add context-switch and
+/// steal-contention overhead (requesting 8 workers on a 4-core host
+/// measurably ran slower than 4). The worker count is clamped to the job
+/// count; one effective worker runs inline on the caller thread (no
+/// spawn), so single-threaded runs are exactly sequential.
 ///
 /// # Panics
 ///
@@ -52,7 +55,18 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = effective_threads(threads, jobs);
+    run_indexed_with(jobs, effective_threads(threads, jobs), f)
+}
+
+/// [`run_indexed`] with the worker count taken verbatim (callers resolve
+/// and cap it). Kept separate so scheduler tests can force a specific
+/// worker count regardless of the host's core count.
+fn run_indexed_with<T, F>(jobs: usize, threads: usize, f: F) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, jobs.max(1));
     if jobs == 0 {
         return (
             Vec::new(),
@@ -130,7 +144,7 @@ where
                             .map(|(_, v)| v);
                         if let Some(v) = victim {
                             let mut dq = deques[v].lock().expect("deque lock");
-                            let take = chunk_size(dq.len());
+                            let take = steal_size(dq.len());
                             let split = dq.len() - take;
                             local.extend(dq.drain(split..));
                             lens[v].store(dq.len(), Ordering::Release);
@@ -189,11 +203,24 @@ fn chunk_size(len: usize) -> usize {
     }
 }
 
-fn effective_threads(requested: usize, jobs: usize) -> usize {
-    let t = if requested == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+/// How many jobs a steal takes: half the victim's deque (the classic
+/// split — the victim keeps the cache-warm front, the thief takes the
+/// far-from-owner back), capped at 8 so one thief cannot hide a long run
+/// of jobs from the others.
+fn steal_size(len: usize) -> usize {
+    if len == 0 {
+        0
     } else {
-        requested
+        (len / 2).clamp(1, 8)
+    }
+}
+
+fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t = if requested == 0 {
+        cores
+    } else {
+        requested.min(cores)
     };
     t.clamp(1, jobs.max(1))
 }
@@ -232,7 +259,7 @@ mod tests {
         // work completes and the slow chunk did not serialize the run into
         // worker 0 executing everything while others idle — i.e. every
         // worker executed something.
-        let (results, stats) = run_indexed(64, 4, |i| {
+        let (results, stats) = run_indexed_with(64, 4, |i| {
             let spins = if i < 16 { 2_000_000 } else { 1_000 };
             (0..spins).fold(i as u64, |a, b| a ^ (b as u64).wrapping_mul(31))
         });
@@ -262,10 +289,29 @@ mod tests {
     }
 
     #[test]
+    fn steal_size_takes_half_bounded() {
+        assert_eq!(steal_size(0), 0);
+        assert_eq!(steal_size(1), 1); // a thief always makes progress
+        assert_eq!(steal_size(6), 3);
+        assert_eq!(steal_size(10_000), 8); // cap bounds hidden work
+    }
+
+    #[test]
+    fn explicit_requests_capped_at_available_parallelism() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Oversubscription is never granted…
+        assert!(effective_threads(1024, 1 << 20) <= cores);
+        // …and the job-count clamp still applies.
+        assert_eq!(effective_threads(1024, 2), 2.min(cores));
+        assert_eq!(effective_threads(0, 0), 1);
+        assert_eq!(effective_threads(1, 100), 1);
+    }
+
+    #[test]
     fn steals_are_counted_per_job() {
         // One worker's chunk is heavy; the others must pull jobs across,
         // and the steal counter tallies jobs (not chunks).
-        let (results, stats) = run_indexed(64, 4, |i| {
+        let (results, stats) = run_indexed_with(64, 4, |i| {
             let spins = if i < 16 { 1_000_000 } else { 100 };
             (0..spins).fold(i as u64, |a, b| a ^ (b as u64).wrapping_mul(31))
         });

@@ -60,12 +60,15 @@ pub fn text_report(run: &BatchRun, include_timings: bool) -> String {
         );
         let _ = writeln!(
             out,
-            "stages: mna {}  moments {}  pade {}  residues {}",
+            "stages: mna {}  factor {}  refactor {}  moments {}  pade {}  residues {}",
             dur(m.stages.mna),
+            dur(m.stages.factor),
+            dur(m.stages.refactor),
             dur(m.stages.moments),
             dur(m.stages.pade),
             dur(m.stages.residues)
         );
+        let _ = writeln!(out, "pattern-hits {}", m.pattern_hits);
         let _ = writeln!(
             out,
             "threads {}  steals {}  per-worker {:?}",
@@ -131,12 +134,16 @@ pub fn json_report(run: &BatchRun, include_timings: bool) -> String {
         );
         let _ = writeln!(
             out,
-            "  \"stages_s\": {{\"mna\": {}, \"moments\": {}, \"pade\": {}, \"residues\": {}}},",
+            "  \"stages_s\": {{\"mna\": {}, \"factor\": {}, \"refactor\": {}, \
+             \"moments\": {}, \"pade\": {}, \"residues\": {}}},",
             json_f64(m.stages.mna.as_secs_f64()),
+            json_f64(m.stages.factor.as_secs_f64()),
+            json_f64(m.stages.refactor.as_secs_f64()),
             json_f64(m.stages.moments.as_secs_f64()),
             json_f64(m.stages.pade.as_secs_f64()),
             json_f64(m.stages.residues.as_secs_f64())
         );
+        let _ = writeln!(out, "  \"pattern_hits\": {},", m.pattern_hits);
         let _ = writeln!(
             out,
             "  \"pool\": {{\"threads\": {}, \"steals\": {}}},",

@@ -1,0 +1,127 @@
+//! Factor-once, solve-many at design scale: a batch of structurally
+//! identical nets must perform exactly one symbolic LU analysis, with
+//! every other net refactoring numerically against the shared pattern —
+//! and the sharing must not perturb results or determinism.
+
+use awe_batch::{BatchEngine, BatchOptions, Design, NetSpec, RunMetrics};
+use awe_circuit::generators::rc_line;
+use awe_circuit::Waveform;
+
+/// 500 RC chains with identical topology (same node/element names, same
+/// connectivity) and per-net perturbed values: every structural hash is
+/// distinct (all 500 solve), every pattern key is equal (one symbolic
+/// analysis serves all).
+fn chains(n: usize, segments: usize) -> Design {
+    let nets: Vec<NetSpec> = (0..n)
+        .map(|i| {
+            let g = rc_line(
+                segments,
+                100.0 * (1.0 + i as f64 * 1e-4),
+                1e-12 * (1.0 + i as f64 * 3e-5),
+                Waveform::step(0.0, 5.0),
+            );
+            NetSpec {
+                name: format!("chain{i:04}"),
+                circuit: g.circuit,
+                output: g.output,
+            }
+        })
+        .collect();
+    Design::from_nets(format!("chains-{n}"), nets)
+}
+
+#[test]
+fn five_hundred_identical_structures_analyse_once() {
+    // 200 segments ≈ 202 unknowns — comfortably past the sparse-path
+    // threshold, so every net factors through the symbolic/numeric split.
+    let design = chains(500, 200);
+    let engine = BatchEngine::new();
+    let run = engine.run(
+        &design,
+        &BatchOptions {
+            threads: 1,
+            ..BatchOptions::default()
+        },
+    );
+    assert_eq!(run.solves, 500, "each perturbed net must solve");
+    assert_eq!(run.cache_hits, 0);
+    assert_eq!(
+        run.pattern_hits, 499,
+        "exactly one symbolic analysis across the whole batch"
+    );
+    assert_eq!(engine.pattern_len(), 1, "one shared pattern recorded");
+    for r in &run.results {
+        assert!(r.error.is_none(), "{}: {:?}", r.name, r.error);
+        assert!(r.stable, "{}", r.name);
+        assert!(r.delay_50.is_some(), "{}", r.name);
+    }
+    let m = RunMetrics::of(&run);
+    assert_eq!(m.pattern_hits, 499);
+}
+
+#[test]
+fn pattern_sharing_does_not_change_results() {
+    // The same nets solved in isolation (fresh engine per net: no donor,
+    // no seeding) must agree exactly with the shared-pattern batch: the
+    // refactorization replays the donor's pivot order, which for an
+    // identical sparsity structure is a valid elimination order, and the
+    // solve is deterministic either way.
+    let design = chains(24, 200);
+    let engine = BatchEngine::new();
+    let batched = engine.run(
+        &design,
+        &BatchOptions {
+            threads: 1,
+            ..BatchOptions::default()
+        },
+    );
+    assert_eq!(batched.pattern_hits, 23);
+    for (spec, r) in design.nets().iter().zip(&batched.results) {
+        let solo = BatchEngine::new().run(
+            &Design::from_nets("solo", vec![spec.clone()]),
+            &BatchOptions {
+                threads: 1,
+                ..BatchOptions::default()
+            },
+        );
+        let s = &solo.results[0];
+        assert_eq!(s.order, r.order, "{}", r.name);
+        assert_eq!(s.delay_50, r.delay_50, "{}", r.name);
+        assert_eq!(s.final_value, r.final_value, "{}", r.name);
+        assert_eq!(s.poles, r.poles, "{}", r.name);
+    }
+}
+
+#[test]
+fn pattern_cache_survives_eco_rerun() {
+    // ECO flow: re-running after editing one net's *values* re-solves
+    // only that net, and the re-solve refactors against the pattern
+    // recorded by the first run — no new symbolic analysis.
+    let mut design = chains(8, 200);
+    let engine = BatchEngine::new();
+    let first = engine.run(
+        &design,
+        &BatchOptions {
+            threads: 1,
+            ..BatchOptions::default()
+        },
+    );
+    assert_eq!(first.pattern_hits, 7);
+
+    let edited = rc_line(200, 333.0, 2e-12, Waveform::step(0.0, 5.0));
+    assert!(design.replace_net("chain0003", edited.circuit, edited.output));
+    let rerun = engine.run(
+        &design,
+        &BatchOptions {
+            threads: 1,
+            ..BatchOptions::default()
+        },
+    );
+    assert_eq!(rerun.solves, 1);
+    assert_eq!(rerun.cache_hits, 7);
+    assert_eq!(
+        rerun.pattern_hits, 1,
+        "the edited net must reuse the stored pattern"
+    );
+    assert_eq!(engine.pattern_len(), 1);
+}

@@ -1,0 +1,275 @@
+//! Single-net AWE latency with a factor/refactor/solve stage breakdown.
+//!
+//! For each workload (random RC tree, RC mesh, RLC ladder; small → large)
+//! the bench measures
+//!
+//! * the **cold** path: MNA assembly + full LU factorization (symbolic
+//!   analysis included) + moment recursion + Padé + residues, and
+//! * the **warm** path: the same solve on an engine that already holds
+//!   the symbolic pattern and a warm moment workspace, so the
+//!   factorization is a numeric *refactorization* and the recursion
+//!   allocates nothing.
+//!
+//! It writes `BENCH_awe.json` at the workspace root and then re-reads and
+//! validates it, exiting nonzero if the artifact is malformed or any
+//! stage that must have run reports a zero/negative wall time — that
+//! validation is what the CI bench-smoke job relies on.
+//!
+//! `AWE_BENCH_TINY=1` (or the harness's `--test` flag) shrinks the sweep
+//! to one case per topology for smoke runs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use awe::{AweEngine, AweOptions, StageTimings};
+use awe_circuit::generators::{random_rc_tree, rc_mesh, rlc_ladder};
+use awe_circuit::{Circuit, NodeId, Waveform};
+
+const ORDER: usize = 2;
+
+struct Case {
+    name: String,
+    circuit: Circuit,
+    output: NodeId,
+}
+
+struct Row {
+    name: String,
+    unknowns: usize,
+    cold: StageTimings,
+    cold_latency: f64,
+    refactor_s: f64,
+    warm_latency: f64,
+    refactored: bool,
+}
+
+fn cases(tiny: bool) -> Vec<Case> {
+    let step = || Waveform::step(0.0, 5.0);
+    let mut out = Vec::new();
+    let tree_sizes: &[usize] = if tiny { &[32] } else { &[32, 256, 1024] };
+    for &n in tree_sizes {
+        let g = random_rc_tree(n, (10.0, 500.0), (0.05e-12, 2e-12), 42, step());
+        out.push(Case {
+            name: format!("rc-tree-{n}"),
+            circuit: g.circuit,
+            output: g.output,
+        });
+    }
+    // 16×16 stays in the tiny sweep: it is the acceptance case for the
+    // sparse refactor path (≈258 unknowns, past the sparse threshold).
+    let mesh_sizes: &[usize] = if tiny { &[16] } else { &[8, 16, 24] };
+    for &m in mesh_sizes {
+        let g = rc_mesh(m, m, 100.0, 0.5e-12, step());
+        out.push(Case {
+            name: format!("rc-mesh-{m}x{m}"),
+            circuit: g.circuit,
+            output: g.output,
+        });
+    }
+    let ladder_sizes: &[usize] = if tiny { &[16] } else { &[16, 64, 128] };
+    for &s in ladder_sizes {
+        let g = rlc_ladder(s, 50.0, 1e-9, 1e-12, step());
+        out.push(Case {
+            name: format!("rlc-ladder-{s}"),
+            circuit: g.circuit,
+            output: g.output,
+        });
+    }
+    out
+}
+
+fn measure(case: &Case, reps: usize) -> Row {
+    let opts = AweOptions::default();
+
+    // Cold: fresh engine per rep (assembly + symbolic + numeric factor).
+    // Keep the stage clocks of the rep with the smallest total latency.
+    let mut cold: Option<(f64, StageTimings, usize)> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let engine = AweEngine::new(&case.circuit).expect("assembles");
+        let (_, clock) = engine
+            .approximate_timed(case.output, ORDER, opts)
+            .expect("solves");
+        let latency = t0.elapsed().as_secs_f64();
+        let n = engine.system().num_unknowns();
+        if cold.as_ref().is_none_or(|(best, _, _)| latency < *best) {
+            cold = Some((latency, clock, n));
+        }
+    }
+    let (cold_latency, cold_clock, unknowns) = cold.expect("at least one rep");
+
+    // Warm: one engine, one priming solve (records the pattern, warms the
+    // workspace), then timed re-solves that refactor.
+    let engine = AweEngine::new(&case.circuit).expect("assembles");
+    engine
+        .approximate_timed(case.output, ORDER, opts)
+        .expect("solves");
+    let mut warm_latency = f64::MAX;
+    let mut refactor_s = f64::MAX;
+    let mut refactored = false;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (_, clock) = engine
+            .approximate_timed(case.output, ORDER, opts)
+            .expect("solves");
+        warm_latency = warm_latency.min(t0.elapsed().as_secs_f64());
+        let r = clock.refactor.as_secs_f64();
+        if r > 0.0 {
+            refactored = true;
+            refactor_s = refactor_s.min(r);
+        }
+    }
+    Row {
+        name: case.name.clone(),
+        unknowns,
+        cold: cold_clock,
+        cold_latency,
+        refactor_s: if refactored { refactor_s } else { 0.0 },
+        warm_latency,
+        refactored,
+    }
+}
+
+fn render(rows: &[Row], tiny: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"awe_latency\",");
+    let _ = writeln!(out, "  \"order\": {ORDER},");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if tiny { "tiny" } else { "full" }
+    );
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let speedup = if r.refactored && r.refactor_s > 0.0 {
+            format!("{:.2}", r.cold.factor.as_secs_f64() / r.refactor_s)
+        } else {
+            "null".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"unknowns\": {}, \"refactored\": {}, \
+             \"mna_s\": {:e}, \"factor_s\": {:e}, \"refactor_s\": {:e}, \
+             \"moments_s\": {:e}, \"pade_s\": {:e}, \"residues_s\": {:e}, \
+             \"cold_latency_s\": {:e}, \"warm_latency_s\": {:e}, \
+             \"refactor_speedup\": {speedup}}}{comma}",
+            r.name,
+            r.unknowns,
+            r.refactored,
+            r.cold.mna.as_secs_f64(),
+            r.cold.factor.as_secs_f64(),
+            r.refactor_s,
+            r.cold.moments.as_secs_f64(),
+            r.cold.pade.as_secs_f64(),
+            r.cold.residues.as_secs_f64(),
+            r.cold_latency,
+            r.warm_latency,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts `"key": <number>` from a one-case JSON line.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Validates the written artifact: well-formed (balanced, expected case
+/// count) and physically sensible (every stage that ran took strictly
+/// positive wall time; refactor time present exactly when refactoring
+/// happened). Returns the failures found.
+fn validate(json: &str, expected_cases: usize) -> Vec<String> {
+    let mut errs = Vec::new();
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        if json.matches(open).count() != json.matches(close).count() {
+            errs.push(format!("unbalanced {open}{close}"));
+        }
+    }
+    let case_lines: Vec<&str> = json
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"name\""))
+        .collect();
+    if case_lines.len() != expected_cases {
+        errs.push(format!(
+            "expected {expected_cases} cases, artifact has {}",
+            case_lines.len()
+        ));
+    }
+    for line in case_lines {
+        let name =
+            field_f64(line, "unknowns").map_or_else(|| "?".to_string(), |n| format!("case n={n}"));
+        for key in [
+            "mna_s",
+            "factor_s",
+            "moments_s",
+            "pade_s",
+            "residues_s",
+            "cold_latency_s",
+            "warm_latency_s",
+        ] {
+            match field_f64(line, key) {
+                Some(v) if v > 0.0 => {}
+                Some(v) => errs.push(format!("{name}: {key} = {v} (must be > 0)")),
+                None => errs.push(format!("{name}: missing {key}")),
+            }
+        }
+        let refactored = line.contains("\"refactored\": true");
+        match field_f64(line, "refactor_s") {
+            Some(v) if refactored && v <= 0.0 => {
+                errs.push(format!("{name}: refactored but refactor_s = {v}"));
+            }
+            Some(v) if !refactored && v != 0.0 => {
+                errs.push(format!("{name}: not refactored but refactor_s = {v}"));
+            }
+            Some(_) => {}
+            None => errs.push(format!("{name}: missing refactor_s")),
+        }
+    }
+    errs
+}
+
+fn main() {
+    let tiny = std::env::var("AWE_BENCH_TINY").is_ok() || std::env::args().any(|a| a == "--test");
+    let reps = if tiny { 2 } else { 5 };
+
+    let cases = cases(tiny);
+    let mut rows = Vec::with_capacity(cases.len());
+    for case in &cases {
+        let row = measure(case, reps);
+        println!(
+            "{:<14} n={:<5} cold {:>9.1} us (factor {:>8.1} us)  warm {:>9.1} us \
+             (refactor {:>7.1} us)",
+            row.name,
+            row.unknowns,
+            row.cold_latency * 1e6,
+            row.cold.factor.as_secs_f64() * 1e6,
+            row.warm_latency * 1e6,
+            row.refactor_s * 1e6,
+        );
+        rows.push(row);
+    }
+
+    let json = render(&rows, tiny);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_awe.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+
+    let written = std::fs::read_to_string(path).unwrap_or_default();
+    let errs = validate(&written, rows.len());
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("BENCH_awe.json validation: {e}");
+        }
+        std::process::exit(1);
+    }
+    println!("BENCH_awe.json validated: {} cases", rows.len());
+}

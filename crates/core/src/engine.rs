@@ -6,10 +6,12 @@
 //! [`AweApproximation`] with the §3.4 error estimate and the §3.3
 //! stability/order-escalation policy.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use awe_circuit::{Circuit, NodeId};
-use awe_mna::{MnaSystem, MomentEngine, Piece};
+use awe_mna::{MnaSystem, MomentEngine, MomentWorkspace, Piece};
+use awe_numeric::SharedSymbolic;
 
 use crate::error::AweError;
 use crate::pade::{match_poles, PadeOptions};
@@ -88,6 +90,13 @@ impl Default for AweOptions {
 pub struct AweEngine {
     system: MnaSystem,
     assembly: Duration,
+    /// Symbolic LU pattern shared across solves: the first sparse factor
+    /// records it, later solves (and sibling engines seeded via
+    /// [`AweEngine::set_factor_pattern`]) refactor against it.
+    pattern: Mutex<Option<SharedSymbolic>>,
+    /// Recycled moment-recursion buffers: after the first solve the
+    /// recursion runs without per-moment heap allocation.
+    workspace: Mutex<MomentWorkspace>,
 }
 
 /// Wall time spent in each stage of one AWE solve, for profiling and the
@@ -102,6 +111,14 @@ pub struct AweEngine {
 pub struct StageTimings {
     /// MNA system assembly ([`AweEngine::new`]).
     pub mna: Duration,
+    /// Cold LU factorization of `G̃`, including the symbolic analysis
+    /// (column ordering and elimination-pattern discovery). Zero when the
+    /// solve reused a stored pattern (see `refactor`) or took the dense
+    /// path.
+    pub factor: Duration,
+    /// Numeric refactorization against a previously analysed pattern —
+    /// the factor-once, solve-many fast path. Zero on a cold factor.
+    pub refactor: Duration,
     /// Excitation decomposition and moment generation (§3.2, §4.3).
     pub moments: Duration,
     /// Moment matching for poles (§III, eq. (24)).
@@ -113,7 +130,7 @@ pub struct StageTimings {
 impl StageTimings {
     /// Sum over all stages.
     pub fn total(&self) -> Duration {
-        self.mna + self.moments + self.pade + self.residues
+        self.mna + self.factor + self.refactor + self.moments + self.pade + self.residues
     }
 }
 
@@ -142,7 +159,25 @@ impl AweEngine {
         Ok(AweEngine {
             system,
             assembly: start.elapsed(),
+            pattern: Mutex::new(None),
+            workspace: Mutex::new(MomentWorkspace::new()),
         })
+    }
+
+    /// Seeds the sparse-LU pattern cache: a symbolic analysis recorded by
+    /// a structurally identical system (same unknown count and `G̃`
+    /// sparsity pattern) lets the first solve skip straight to numeric
+    /// refactorization. A pattern that does not match is ignored — the
+    /// solve falls back to a cold factor and records its own.
+    pub fn set_factor_pattern(&self, pattern: Option<SharedSymbolic>) {
+        *self.pattern.lock().expect("pattern lock") = pattern;
+    }
+
+    /// The symbolic LU pattern recorded by the most recent sparse-path
+    /// solve (or seeded via [`AweEngine::set_factor_pattern`]); `None`
+    /// until a sparse factor has run.
+    pub fn factor_pattern(&self) -> Option<SharedSymbolic> {
+        self.pattern.lock().expect("pattern lock").clone()
     }
 
     /// The underlying MNA system (for inspection and the benches).
@@ -212,13 +247,38 @@ impl AweEngine {
             .system
             .unknown_of_node(node)
             .ok_or(AweError::BadNode(node))?;
-        let moments_start = Instant::now();
-        let engine = MomentEngine::new(&self.system)?;
+        // Factor G̃, reusing a stored symbolic pattern when one matches
+        // (factor-once, solve-many): the cold factor and the numeric
+        // refactorization are timed as their own stages.
+        let seed = self.factor_pattern();
+        let factor_start = Instant::now();
+        let engine = MomentEngine::with_pattern(&self.system, seed.as_ref())?;
+        let factor_time = factor_start.elapsed();
+        if engine.refactored() {
+            clock.refactor = factor_time;
+        } else {
+            clock.factor = factor_time;
+        }
+        if let Some(sym) = engine.lu_symbolic() {
+            *self.pattern.lock().expect("pattern lock") = Some(sym.clone());
+        }
         // Enough moments for the highest escalated order plus the (q+1)
-        // error reference.
+        // error reference. The workspace persists across solves so the
+        // recursion reuses warm buffers instead of allocating per moment.
+        let mut ws = std::mem::take(&mut *self.workspace.lock().expect("workspace lock"));
         let top = order + options.max_escalation + 1;
-        let dec = engine.decompose(2 * top)?;
-        clock.moments = moments_start.elapsed();
+        let moments_start = Instant::now();
+        let dec = match engine.decompose_with(&mut ws, 2 * top) {
+            Ok(dec) => {
+                clock.moments = moments_start.elapsed();
+                *self.workspace.lock().expect("workspace lock") = ws;
+                dec
+            }
+            Err(e) => {
+                *self.workspace.lock().expect("workspace lock") = ws;
+                return Err(e.into());
+            }
+        };
 
         let mut last: Option<AweApproximation> = None;
         for q in order..=(order + options.max_escalation) {
@@ -257,6 +317,9 @@ impl AweEngine {
                 }
             }
         }
+        // Return the decomposition's vectors to the pool so the next
+        // solve's recursion starts warm.
+        self.workspace.lock().expect("workspace lock").recycle(dec);
         Ok((approx, clock))
     }
 

@@ -45,5 +45,5 @@ mod moments;
 mod system;
 
 pub use error::MnaError;
-pub use moments::{Decomposition, InitialState, MomentEngine, Piece, PieceKind};
+pub use moments::{Decomposition, InitialState, MomentEngine, MomentWorkspace, Piece, PieceKind};
 pub use system::{CapEntry, IndEntry, MnaSystem, SourceEntry};

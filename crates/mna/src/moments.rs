@@ -36,7 +36,9 @@
 //! produces those pieces with their moment sequences; the AWE core reduces
 //! each piece independently and superposes the waveforms.
 
-use awe_numeric::{Lu, Matrix, NumericError, SparseLu, SparseMatrix};
+use std::sync::Arc;
+
+use awe_numeric::{Lu, LuSymbolic, Matrix, NumericError, SolveScratch, SparseLu, SparseMatrix};
 
 use crate::error::MnaError;
 use crate::system::MnaSystem;
@@ -128,10 +130,89 @@ impl Factorization {
             Factorization::Sparse(lu) => lu.solve(b),
         }
     }
+
+    fn solve_into(
+        &self,
+        b: &[f64],
+        scratch: &mut SolveScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), NumericError> {
+        match self {
+            Factorization::Dense(lu) => lu.solve_into(b, out),
+            Factorization::Sparse(lu) => lu.solve_into(b, scratch, out),
+        }
+    }
 }
 
 /// Unknown-count threshold above which the sparse path is attempted.
 const SPARSE_THRESHOLD: usize = 192;
+
+/// Caller-owned scratch space for the moment recursion.
+///
+/// Threading one workspace through repeated
+/// [`MomentEngine::decompose_with`] /
+/// [`MomentEngine::homogeneous_moments_with`] calls makes the steady-state
+/// recursion allocation-free per moment: right-hand-side, product and
+/// solve buffers are reused in place, and finished moment vectors can be
+/// returned to the internal pool with [`MomentWorkspace::recycle`] so the
+/// next decomposition reuses their storage.
+#[derive(Default)]
+pub struct MomentWorkspace {
+    /// Triangular-solve scratch for the sparse path.
+    scratch: SolveScratch,
+    /// Stacked block right-hand sides (`pieces × n`).
+    rhs: Vec<f64>,
+    /// Stacked block solutions.
+    blk: Vec<f64>,
+    /// `C̃·x` product buffer.
+    cw: Vec<f64>,
+    /// Dense-path per-chunk solve output.
+    tmp: Vec<f64>,
+    /// Recycled moment-sized vectors.
+    pool: Vec<Vec<f64>>,
+}
+
+impl MomentWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a vector from the pool (or a fresh one), cleared.
+    fn take(&mut self) -> Vec<f64> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a vector's storage to the pool for reuse.
+    pub fn give(&mut self, mut v: Vec<f64>) {
+        if v.capacity() > 0 {
+            v.clear();
+            self.pool.push(v);
+        }
+    }
+
+    /// Returns every vector owned by a finished [`Decomposition`] to the
+    /// pool, so the next [`MomentEngine::decompose_with`] call on a
+    /// same-sized system allocates nothing per moment.
+    pub fn recycle(&mut self, dec: Decomposition) {
+        self.give(dec.baseline);
+        for piece in dec.pieces {
+            self.give(piece.a);
+            self.give(piece.b);
+            if let Some(m) = piece.m_minus2 {
+                self.give(m);
+            }
+            for m in piece.moments {
+                self.give(m);
+            }
+        }
+    }
+
+    /// Vectors currently pooled (diagnostic; used by reuse tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
 
 /// Factored-once moment engine over an [`MnaSystem`].
 pub struct MomentEngine<'a> {
@@ -140,6 +221,9 @@ pub struct MomentEngine<'a> {
     /// Sparse image of `C̃` kept alongside the sparse factorization so the
     /// per-moment `C̃·x` products cost `O(nnz)` instead of `O(n²)`.
     c_tilde_sparse: Option<SparseMatrix>,
+    /// Whether the factorization reused a stored symbolic pattern
+    /// (numeric refactorization) instead of a full analysis.
+    refactored: bool,
 }
 
 impl<'a> MomentEngine<'a> {
@@ -151,12 +235,42 @@ impl<'a> MomentEngine<'a> {
     /// the paper's §3.1 requirement of a unique DC solution (e.g. a node
     /// connected only through capacitors).
     pub fn new(system: &'a MnaSystem) -> Result<Self, MnaError> {
+        Self::with_pattern(system, None)
+    }
+
+    /// Like [`MomentEngine::new`], but first tries a numeric
+    /// refactorization against a stored symbolic pattern (recorded from a
+    /// structurally identical system, e.g. by a batch run's pattern
+    /// cache). Falls back to the normal analyze-and-factor path when no
+    /// pattern is given, the pattern does not match, or the new values
+    /// make a stored pivot inadmissible.
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::NoDcSolution`] if `G` is singular.
+    pub fn with_pattern(
+        system: &'a MnaSystem,
+        pattern: Option<&Arc<LuSymbolic>>,
+    ) -> Result<Self, MnaError> {
         // Factor the charge-aware G̃ (identical to G without floating
         // groups): the §3.1 charge-conservation rows make circuits with
         // capacitor-only nodes solvable. Large sparse systems go through
         // the RCM-ordered Gilbert–Peierls factorization; anything else —
         // including a sparse-path failure — uses dense LU.
         let n = system.num_unknowns();
+        if let Some(sym) = pattern {
+            if sym.dim() == n {
+                let sg = SparseMatrix::from_dense(&system.g_tilde);
+                if let Ok(lu) = SparseLu::refactor(sym, &sg) {
+                    return Ok(MomentEngine {
+                        system,
+                        lu: Factorization::Sparse(lu),
+                        c_tilde_sparse: Some(SparseMatrix::from_dense(&system.c_tilde)),
+                        refactored: true,
+                    });
+                }
+            }
+        }
         if n >= SPARSE_THRESHOLD {
             let sg = SparseMatrix::from_dense(&system.g_tilde);
             let density = sg.nnz() as f64 / (n as f64 * n as f64);
@@ -171,6 +285,7 @@ impl<'a> MomentEngine<'a> {
                         system,
                         lu: Factorization::Sparse(lu),
                         c_tilde_sparse: Some(SparseMatrix::from_dense(&system.c_tilde)),
+                        refactored: false,
                     });
                 }
             }
@@ -180,14 +295,34 @@ impl<'a> MomentEngine<'a> {
             system,
             lu: Factorization::Dense(lu),
             c_tilde_sparse: None,
+            refactored: false,
         })
     }
 
-    /// `C̃·x` through the sparse image when available.
-    fn c_tilde_apply(&self, x: &[f64]) -> Vec<f64> {
+    /// Whether this engine's factorization was a numeric refactorization
+    /// against a stored symbolic pattern (vs. a full symbolic+numeric
+    /// factorization).
+    #[inline]
+    pub fn refactored(&self) -> bool {
+        self.refactored
+    }
+
+    /// The shared symbolic analysis, when the sparse path is in use —
+    /// hand this to [`MomentEngine::with_pattern`] for a structurally
+    /// identical system to skip its symbolic analysis entirely.
+    pub fn lu_symbolic(&self) -> Option<&Arc<LuSymbolic>> {
+        match &self.lu {
+            Factorization::Sparse(lu) => Some(lu.symbolic()),
+            Factorization::Dense(_) => None,
+        }
+    }
+
+    /// `C̃·x` through the sparse image when available, into a
+    /// caller-owned buffer (no allocation at capacity).
+    fn c_tilde_apply_into(&self, x: &[f64], out: &mut Vec<f64>) {
         match &self.c_tilde_sparse {
-            Some(sc) => sc.mul_vec(x),
-            None => self.system.c_tilde_times(x),
+            Some(sc) => sc.mul_vec_into(x, out),
+            None => self.system.c_tilde.mul_vec_into(x, out),
         }
     }
 
@@ -208,6 +343,33 @@ impl<'a> MomentEngine<'a> {
         Ok(self.lu.solve(&r)?)
     }
 
+    /// [`Self::solve_charge`] against caller-owned buffers: `pinned`
+    /// carries the row-pinned copy of `rhs`, `out` the solution. No
+    /// allocation once the buffers are at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors.
+    pub fn solve_charge_into(
+        &self,
+        rhs: &[f64],
+        charges: &[f64],
+        ws: &mut MomentWorkspace,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MnaError> {
+        if self.system.floating.is_empty() {
+            self.lu.solve_into(rhs, &mut ws.scratch, out)?;
+            return Ok(());
+        }
+        ws.tmp.clear();
+        ws.tmp.extend_from_slice(rhs);
+        for (g, &q) in self.system.floating.iter().zip(charges) {
+            ws.tmp[g.replaced_row] = q;
+        }
+        self.lu.solve_into(&ws.tmp, &mut ws.scratch, out)?;
+        Ok(())
+    }
+
     /// The underlying system.
     pub fn system(&self) -> &MnaSystem {
         self.system
@@ -220,6 +382,22 @@ impl<'a> MomentEngine<'a> {
     /// Propagates numeric errors (dimension mismatch).
     pub fn solve_g(&self, rhs: &[f64]) -> Result<Vec<f64>, MnaError> {
         Ok(self.lu.solve(rhs)?)
+    }
+
+    /// Solves `G·x = rhs` into a caller-owned buffer (see
+    /// [`Self::solve_g`]; no allocation once buffers are at capacity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors (dimension mismatch).
+    pub fn solve_g_into(
+        &self,
+        rhs: &[f64],
+        ws: &mut MomentWorkspace,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MnaError> {
+        self.lu.solve_into(rhs, &mut ws.scratch, out)?;
+        Ok(())
     }
 
     /// DC solution for source values `u`: `x = G̃⁻¹·B·u`, with each
@@ -442,22 +620,60 @@ impl<'a> MomentEngine<'a> {
         c_xh0: &[f64],
         count: usize,
     ) -> Result<Vec<Vec<f64>>, MnaError> {
-        let zeros = vec![0.0; self.system.floating.len()];
+        self.homogeneous_moments_with(&mut MomentWorkspace::new(), m_minus1, c_xh0, count)
+    }
+
+    /// [`Self::homogeneous_moments`] against a caller-owned workspace: the
+    /// right-hand-side / product buffers are reused in place and each new
+    /// moment vector comes out of the workspace pool, so a warm workspace
+    /// makes the recursion's steady state allocate nothing per moment.
+    /// Results are identical to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors.
+    pub fn homogeneous_moments_with(
+        &self,
+        ws: &mut MomentWorkspace,
+        m_minus1: Vec<f64>,
+        c_xh0: &[f64],
+        count: usize,
+    ) -> Result<Vec<Vec<f64>>, MnaError> {
         let mut seq = Vec::with_capacity(count);
         seq.push(m_minus1);
         if count == 1 {
             return Ok(seq);
         }
-        // m_0 = -G̃⁻¹·(C̃·x_h(0)); the decaying subspace carries zero
-        // group charge, so every floating row is pinned to 0.
-        let mut prev = self.solve_charge(&c_xh0.iter().map(|v| -v).collect::<Vec<_>>(), &zeros)?;
-        seq.push(prev.clone());
-        for _ in 2..count {
-            let cw = self.c_tilde_apply(&prev);
-            prev = self.solve_charge(&cw.iter().map(|v| -v).collect::<Vec<_>>(), &zeros)?;
-            seq.push(prev.clone());
-        }
-        Ok(seq)
+        let n_float = self.system.floating.len();
+        // Buffers borrowed out of the workspace for the duration (the
+        // inner solves also need `&mut ws`), restored before returning.
+        let mut rhs = std::mem::take(&mut ws.rhs);
+        let mut zeros = std::mem::take(&mut ws.blk);
+        zeros.clear();
+        zeros.resize(n_float, 0.0);
+        let outcome = (|| {
+            // m_0 = -G̃⁻¹·(C̃·x_h(0)); the decaying subspace carries zero
+            // group charge, so every floating row is pinned to 0.
+            rhs.clear();
+            rhs.extend(c_xh0.iter().map(|v| -v));
+            let mut prev = ws.take();
+            self.solve_charge_into(&rhs, &zeros, ws, &mut prev)?;
+            for _ in 2..count {
+                let mut cw = std::mem::take(&mut ws.cw);
+                self.c_tilde_apply_into(&prev, &mut cw);
+                rhs.clear();
+                rhs.extend(cw.iter().map(|v| -v));
+                ws.cw = cw;
+                let mut next = ws.take();
+                self.solve_charge_into(&rhs, &zeros, ws, &mut next)?;
+                seq.push(std::mem::replace(&mut prev, next));
+            }
+            seq.push(prev);
+            Ok(())
+        })();
+        ws.rhs = rhs;
+        ws.blk = zeros;
+        outcome.map(|()| seq)
     }
 
     /// Splits the §3.1 zero-pole (persistent charge) mode out of a
@@ -495,9 +711,37 @@ impl<'a> MomentEngine<'a> {
     /// * [`MnaError::NoExcitation`] if there is nothing to analyze.
     /// * Propagates DC/instantaneous solve failures.
     pub fn decompose(&self, count: usize) -> Result<Decomposition, MnaError> {
+        self.decompose_with(&mut MomentWorkspace::new(), count)
+    }
+
+    /// [`Self::decompose`] against a caller-owned workspace. All pieces'
+    /// moment recursions run in lockstep as one blocked multi-RHS
+    /// resubstitution per moment (amortizing each L/U traversal across
+    /// the pieces), with every recurring buffer drawn from the workspace —
+    /// a warm workspace makes the recursion allocate nothing per moment.
+    /// Results are identical to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// * [`MnaError::NoExcitation`] if there is nothing to analyze.
+    /// * Propagates DC/instantaneous solve failures.
+    pub fn decompose_with(
+        &self,
+        ws: &mut MomentWorkspace,
+        count: usize,
+    ) -> Result<Decomposition, MnaError> {
+        // A piece awaiting its moment sequence: everything but `moments`.
+        struct Proto {
+            kind: PieceKind,
+            at: f64,
+            a: Vec<f64>,
+            b: Vec<f64>,
+            m_minus1: Vec<f64>,
+            m_minus2: Option<Vec<f64>>,
+        }
         let sys = self.system;
         let state = self.initial_state()?;
-        let mut pieces: Vec<Piece> = Vec::new();
+        let mut protos: Vec<Proto> = Vec::new();
 
         // Initial-condition piece: only if the explicit ICs differ from
         // equilibrium.
@@ -564,14 +808,12 @@ impl<'a> MomentEngine<'a> {
             // and belongs to the particular constant, not the transient.
             let k0 = self.split_zero_mode(&mut m_minus1)?;
             let a_piece = k0.unwrap_or_else(|| vec![0.0; n]);
-            let w = sys.c_tilde_times(&m_minus1);
-            let moments = self.homogeneous_moments(m_minus1, &w, count)?;
-            pieces.push(Piece {
+            protos.push(Proto {
                 kind: PieceKind::InitialCondition,
                 at: 0.0,
                 a: a_piece,
                 b: vec![0.0; n],
-                moments,
+                m_minus1,
                 m_minus2: None,
             });
         }
@@ -607,14 +849,12 @@ impl<'a> MomentEngine<'a> {
                         *aa += kk;
                     }
                 }
-                let w = sys.c_tilde_times(&m_minus1);
-                let moments = self.homogeneous_moments(m_minus1, &w, count)?;
-                pieces.push(Piece {
+                protos.push(Proto {
                     kind: PieceKind::Step { source: col, jump },
                     at: t0,
                     a,
                     b: vec![0.0; sys.num_unknowns()],
-                    moments,
+                    m_minus1,
                     // A step's homogeneous slope at 0⁺ is impulsive for
                     // voltage-driven nodes; no finite m_{-2} exists.
                     m_minus2: None,
@@ -631,8 +871,6 @@ impl<'a> MomentEngine<'a> {
                         *aa += kk;
                     }
                 }
-                let w = sys.c_tilde_times(&m_minus1);
-                let moments = self.homogeneous_moments(m_minus1, &w, count)?;
                 // §4.3's m_{-2} term: ẋ_h(0) = ẋ(0⁺) - b, where ẋ(0⁺) is
                 // the response rate with every state frozen at zero — the
                 // instantaneous solve against the slope excitation u₁.
@@ -643,7 +881,7 @@ impl<'a> MomentEngine<'a> {
                 };
                 let xdot0 = self.instantaneous(&zero_state, &u1)?;
                 let m_minus2: Vec<f64> = xdot0.iter().zip(&b).map(|(x, bb)| x - bb).collect();
-                pieces.push(Piece {
+                protos.push(Proto {
                     kind: PieceKind::Ramp {
                         source: col,
                         slope: ramp.slope,
@@ -651,15 +889,108 @@ impl<'a> MomentEngine<'a> {
                     at: ramp.start,
                     a,
                     b,
-                    moments,
+                    m_minus1,
                     m_minus2: Some(m_minus2),
                 });
             }
         }
 
-        if pieces.is_empty() && sys.sources.is_empty() {
+        if protos.is_empty() && sys.sources.is_empty() {
             return Err(MnaError::NoExcitation);
         }
+
+        // --- Blocked lockstep moment recursion (§3.2, "solve many"). ---
+        // Every piece advances one moment per block solve: the right-hand
+        // sides stack into one multi-RHS resubstitution, so each L/U
+        // traversal is paid once per moment instead of once per piece.
+        // Per-column arithmetic matches the single-RHS recursion exactly.
+        let n = sys.num_unknowns();
+        let np = protos.len();
+        // Sequence length mirrors `homogeneous_moments`: `count == 1`
+        // yields just `m_{-1}`, otherwise `m_{-1}` plus
+        // `1 + (count - 2)` recursion steps.
+        let extra = if count == 1 {
+            0
+        } else {
+            1 + count.saturating_sub(2)
+        };
+        let mut seqs: Vec<Vec<Vec<f64>>> = protos
+            .iter_mut()
+            .map(|p| {
+                let mut seq = Vec::with_capacity(1 + extra);
+                seq.push(std::mem::take(&mut p.m_minus1));
+                seq
+            })
+            .collect();
+        if np > 0 && extra > 0 {
+            let mut rhs = std::mem::take(&mut ws.rhs);
+            let mut blk = std::mem::take(&mut ws.blk);
+            let mut cw = std::mem::take(&mut ws.cw);
+            let mut tmp = std::mem::take(&mut ws.tmp);
+            let outcome = (|| {
+                rhs.clear();
+                rhs.resize(np * n, 0.0);
+                for step in 0..extra {
+                    for (p, seq) in seqs.iter().enumerate() {
+                        let prev = seq.last().expect("seeded sequence");
+                        // The seed's charge image uses the dense C̃ (as
+                        // the single-RHS path does via `c_tilde_times`);
+                        // later steps go through the sparse image.
+                        if step == 0 {
+                            sys.c_tilde.mul_vec_into(prev, &mut cw);
+                        } else {
+                            self.c_tilde_apply_into(prev, &mut cw);
+                        }
+                        let chunk = &mut rhs[p * n..(p + 1) * n];
+                        for (d, v) in chunk.iter_mut().zip(&cw) {
+                            *d = -v;
+                        }
+                        // Decaying subspace carries zero group charge:
+                        // pin every floating row to 0.
+                        for g in &sys.floating {
+                            chunk[g.replaced_row] = 0.0;
+                        }
+                    }
+                    match &self.lu {
+                        Factorization::Sparse(lu) => {
+                            lu.solve_multi_into(&rhs, np, &mut ws.scratch, &mut blk)?;
+                        }
+                        Factorization::Dense(lu) => {
+                            blk.clear();
+                            blk.resize(np * n, 0.0);
+                            for p in 0..np {
+                                lu.solve_into(&rhs[p * n..(p + 1) * n], &mut tmp)?;
+                                blk[p * n..(p + 1) * n].copy_from_slice(&tmp);
+                            }
+                        }
+                    }
+                    for (p, seq) in seqs.iter_mut().enumerate() {
+                        let mut m = ws.take();
+                        m.clear();
+                        m.extend_from_slice(&blk[p * n..(p + 1) * n]);
+                        seq.push(m);
+                    }
+                }
+                Ok::<(), NumericError>(())
+            })();
+            ws.rhs = rhs;
+            ws.blk = blk;
+            ws.cw = cw;
+            ws.tmp = tmp;
+            outcome?;
+        }
+        let mut pieces: Vec<Piece> = protos
+            .into_iter()
+            .zip(seqs)
+            .map(|(p, moments)| Piece {
+                kind: p.kind,
+                at: p.at,
+                a: p.a,
+                b: p.b,
+                moments,
+                m_minus2: p.m_minus2,
+            })
+            .collect();
         pieces.sort_by(|x, y| x.at.partial_cmp(&y.at).unwrap_or(std::cmp::Ordering::Equal));
 
         // Merge pieces sharing an onset time into one combined

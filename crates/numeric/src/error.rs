@@ -38,6 +38,18 @@ pub enum NumericError {
     },
     /// The input polynomial or data set was empty or degenerate.
     Degenerate(&'static str),
+    /// A numeric refactorization was handed a matrix whose sparsity
+    /// pattern differs from the one recorded by the symbolic analysis.
+    ///
+    /// Refactorization (the "solve-many" half of the paper's §3.2 cost
+    /// model) is only valid when the elimination pattern is byte-identical
+    /// to the analysed one; re-run the full factorization instead.
+    PatternMismatch {
+        /// Fingerprint recorded at symbolic-analysis time.
+        expected: u64,
+        /// Fingerprint of the matrix handed to `refactor`.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for NumericError {
@@ -59,6 +71,12 @@ impl fmt::Display for NumericError {
                 write!(f, "iteration failed to converge after {iterations} steps")
             }
             NumericError::Degenerate(what) => write!(f, "degenerate input: {what}"),
+            NumericError::PatternMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "sparsity pattern {actual:#018x} does not match the analysed pattern {expected:#018x}"
+                )
+            }
         }
     }
 }
@@ -94,6 +112,14 @@ mod tests {
         assert_eq!(
             NumericError::Degenerate("empty polynomial").to_string(),
             "degenerate input: empty polynomial"
+        );
+        assert_eq!(
+            NumericError::PatternMismatch {
+                expected: 1,
+                actual: 2
+            }
+            .to_string(),
+            "sparsity pattern 0x0000000000000002 does not match the analysed pattern 0x0000000000000001"
         );
     }
 

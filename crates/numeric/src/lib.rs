@@ -58,6 +58,7 @@ mod poly;
 mod roots;
 mod sparse;
 mod sparse_lu;
+mod symbolic;
 mod vandermonde;
 
 pub use clinalg::CMatrix;
@@ -72,6 +73,7 @@ pub use poly::Polynomial;
 pub use roots::{roots, symmetrize_conjugates};
 pub use sparse::SparseMatrix;
 pub use sparse_lu::SparseLu;
+pub use symbolic::{LuSymbolic, SharedSymbolic, SolveScratch};
 pub use vandermonde::{
     solve_confluent_vandermonde, solve_vandermonde, vandermonde_matrix, ConfluentNode,
 };

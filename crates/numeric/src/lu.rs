@@ -110,6 +110,19 @@ impl Lu {
     ///
     /// [`NumericError::DimensionMismatch`] if `b.len() != dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let mut out = Vec::new();
+        self.solve_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `A·x = b` into a caller-owned buffer. `out` is cleared and
+    /// refilled in place, so a reused buffer at capacity makes repeated
+    /// solves (the moment recursion's steady state) allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve_into(&self, b: &[f64], out: &mut Vec<f64>) -> Result<(), NumericError> {
         let n = self.dim();
         if b.len() != n {
             return Err(NumericError::DimensionMismatch {
@@ -118,7 +131,9 @@ impl Lu {
             });
         }
         // Apply permutation: y = P·b.
-        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        out.clear();
+        out.extend(self.perm.iter().map(|&pi| b[pi]));
+        let x = out;
         // Forward substitution with unit-diagonal L.
         for i in 1..n {
             let mut acc = x[i];
@@ -135,7 +150,7 @@ impl Lu {
             }
             x[i] = acc / self.lu[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `Aᵀ·x = b`.
@@ -309,6 +324,19 @@ mod tests {
         assert!((x[0] - 2.0).abs() < 1e-12);
         assert!((x[1] - 3.0).abs() < 1e-12);
         assert!((x[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_into_matches_solve_on_a_reused_buffer() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let mut out = Vec::with_capacity(3);
+        for trial in 0..3 {
+            let b = [8.0 - trial as f64, -11.0, trial as f64];
+            lu.solve_into(&b, &mut out).unwrap();
+            assert_eq!(out, lu.solve(&b).unwrap());
+        }
+        assert!(lu.solve_into(&[1.0], &mut out).is_err());
     }
 
     #[test]

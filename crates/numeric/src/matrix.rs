@@ -183,8 +183,21 @@ impl Matrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product `A·x` into a caller-owned buffer (cleared and
+    /// resized in place; no allocation once the buffer is at capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut Vec<f64>) {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
-        let mut y = vec![0.0; self.rows];
+        y.clear();
+        y.resize(self.rows, 0.0);
         for i in 0..self.rows {
             let row = self.row(i);
             let mut acc = 0.0;
@@ -193,7 +206,6 @@ impl Matrix {
             }
             y[i] = acc;
         }
-        y
     }
 
     /// Transposed matrix–vector product `Aᵀ·x`.

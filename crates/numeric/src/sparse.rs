@@ -139,8 +139,22 @@ impl SparseMatrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product `A·x` into a caller-owned output, so the
+    /// moment recursion's steady state allocates nothing (`y` is cleared
+    /// and resized; with sufficient capacity no allocation occurs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut Vec<f64>) {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
-        let mut y = vec![0.0; self.rows];
+        y.clear();
+        y.resize(self.rows, 0.0);
         for (j, &xj) in x.iter().enumerate() {
             if xj == 0.0 {
                 continue;
@@ -149,7 +163,24 @@ impl SparseMatrix {
                 y[self.row_idx[k]] += self.values[k] * xj;
             }
         }
-        y
+    }
+
+    /// FNV-1a hash of the sparsity pattern (dimensions, column pointers,
+    /// row indices — values excluded). Two matrices share a fingerprint
+    /// exactly when they have byte-identical CSC structure, which is the
+    /// precondition for numeric refactorization against a stored symbolic
+    /// analysis.
+    pub fn pattern_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fnv1a(h, self.rows as u64);
+        h = fnv1a(h, self.cols as u64);
+        for &p in &self.col_ptr {
+            h = fnv1a(h, p as u64);
+        }
+        for &r in &self.row_idx {
+            h = fnv1a(h, r as u64);
+        }
+        h
     }
 
     /// Symmetric permutation `P·A·Pᵀ`: entry `(i, j)` moves to
@@ -236,6 +267,15 @@ impl SparseMatrix {
         }
         Ok(new_of_old)
     }
+}
+
+/// One FNV-1a step over the eight bytes of `v`.
+fn fnv1a(mut h: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -339,6 +379,37 @@ mod tests {
             }
         }
         assert_eq!(bw, 1, "permuted matrix should be tridiagonal");
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_values() {
+        let a = SparseMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)]);
+        let same_structure =
+            SparseMatrix::from_triplets(3, 3, &[(0, 0, 9.0), (1, 1, -4.0), (2, 0, 0.5)]);
+        let different = SparseMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 2.0), (2, 1, 3.0)]);
+        assert_eq!(
+            a.pattern_fingerprint(),
+            same_structure.pattern_fingerprint()
+        );
+        assert_ne!(a.pattern_fingerprint(), different.pattern_fingerprint());
+        // Dimensions participate even with identical entry lists.
+        let wider = SparseMatrix::from_triplets(3, 4, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)]);
+        assert_ne!(a.pattern_fingerprint(), wider.pattern_fingerprint());
+    }
+
+    #[test]
+    fn mul_vec_into_matches_and_reuses_capacity() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]]);
+        let s = SparseMatrix::from_dense(&d);
+        let x = [1.0, -2.0, 0.5];
+        let mut y = Vec::with_capacity(8);
+        let cap = y.capacity();
+        s.mul_vec_into(&x, &mut y);
+        assert_eq!(y, s.mul_vec(&x));
+        assert_eq!(y.capacity(), cap, "reused buffer must not reallocate");
+        // Stale contents are overwritten on reuse.
+        s.mul_vec_into(&[0.0, 0.0, 0.0], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Sparse LU factorization (left-looking Gilbert–Peierls with threshold
-//! partial pivoting).
+//! partial pivoting), split KLU-style into a reusable symbolic analysis
+//! and a numeric sweep.
 //!
 //! This is the factorization that honors the paper's §3.2 cost model on
 //! general circuits: MNA matrices carry only a few entries per row, and a
@@ -7,17 +8,41 @@
 //! fill — found by depth-first reachability instead of dense scans — keeps
 //! both the one-time factorization and every moment resubstitution near
 //! linear for tree- and mesh-like interconnect.
+//!
+//! [`SparseLu::factor`] records the value-independent elimination pattern
+//! in an [`LuSymbolic`]; [`SparseLu::refactor`] replays only the numeric
+//! sweep against a stored pattern, which is what lets a batch of
+//! structurally identical nets pay for symbolic analysis exactly once.
+
+use std::sync::Arc;
 
 use crate::error::NumericError;
 use crate::sparse::SparseMatrix;
+use crate::symbolic::{LuSymbolic, SolveScratch};
 
 const NONE: usize = usize::MAX;
+
+/// Diagonal-preference threshold: the structural diagonal is kept as the
+/// pivot when its magnitude is within this factor of the column maximum,
+/// trading a bounded growth factor for less fill (and for a pivot
+/// sequence that survives value perturbations).
+const PIVOT_THRESHOLD: f64 = 0.1;
+
+/// Refactorization admissibility floor, relative to the column maximum:
+/// below this the stored pivot order no longer controls element growth
+/// for the new values and the refactor is rejected as singular.
+const REFACTOR_ADMISSIBILITY: f64 = 1e-10;
 
 /// Sparse LU factors `P·A·Q = L·U` with threshold partial pivoting.
 ///
 /// `P` comes from the pivoting, `Q` is the caller-supplied (or identity)
 /// column order — pass an RCM order from
 /// [`SparseMatrix::rcm_ordering`] to keep fill low on circuit matrices.
+///
+/// The factorization is two-phase: the symbolic half (pattern, pivot
+/// order) lives in a shared [`LuSymbolic`], the numeric half (values) in
+/// this struct. [`SparseLu::refactor`] rebuilds the numeric half against
+/// an existing pattern without any symbolic re-analysis.
 ///
 /// # Examples
 ///
@@ -33,35 +58,46 @@ const NONE: usize = usize::MAX;
 /// let lu = SparseLu::factor(&a, None)?;
 /// let x = lu.solve(&[3.0, 4.0])?;
 /// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+///
+/// // Same structure, new values: numeric sweep only.
+/// let a2 = SparseMatrix::from_triplets(
+///     2,
+///     2,
+///     &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 5.0)],
+/// );
+/// let lu2 = SparseLu::refactor(lu.symbolic(), &a2)?;
+/// let x2 = lu2.solve(&[5.0, 6.0])?;
+/// assert!((x2[0] - 1.0).abs() < 1e-12 && (x2[1] - 1.0).abs() < 1e-12);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Clone, Debug)]
 pub struct SparseLu {
-    n: usize,
-    /// Column order: `q[k]` is the original column eliminated at step `k`.
-    q: Vec<usize>,
-    /// `prow[k]` = original row chosen as pivot at step `k`.
-    prow: Vec<usize>,
-    /// L columns (unit diagonal implicit): original row indices + values.
-    l_ptr: Vec<usize>,
-    l_rows: Vec<usize>,
+    /// Shared value-independent pattern (column order, pivot sequence,
+    /// L/U fill).
+    symbolic: Arc<LuSymbolic>,
+    /// L values, aligned with `symbolic.l_rows` (unit diagonal implicit).
     l_vals: Vec<f64>,
-    /// U columns: entries at pivot positions `< k`, plus the diagonal
-    /// stored separately in `u_diag`.
-    u_ptr: Vec<usize>,
-    u_pos: Vec<usize>,
+    /// U values, aligned with `symbolic.u_pos`.
     u_vals: Vec<f64>,
+    /// U diagonal (the pivots), one per elimination step.
     u_diag: Vec<f64>,
 }
 
 impl SparseLu {
-    /// Factors a square sparse matrix. `col_order`, if given, lists the
-    /// original columns in elimination order (length `n`, a permutation).
+    /// Factors a square sparse matrix, recording the symbolic analysis
+    /// for later reuse. `col_order`, if given, lists the original columns
+    /// in elimination order (length `n`, a permutation).
     ///
     /// Pivoting is threshold-based: the diagonal candidate is kept when
     /// its magnitude is within a factor 10 of the column maximum,
     /// trading a bounded growth factor for less fill.
+    ///
+    /// The emitted L/U patterns are *structural*: an entry reachable by
+    /// the elimination graph is stored even when its value cancels to
+    /// exact zero, so the pattern depends only on the matrix structure
+    /// and the pivot sequence — the invariant [`SparseLu::refactor`]
+    /// relies on.
     ///
     /// # Errors
     ///
@@ -104,13 +140,13 @@ impl SparseLu {
         let mut marked = vec![false; n]; // rows present in the pattern
         let mut pattern: Vec<usize> = Vec::new();
         let mut visited = vec![false; n]; // pivot positions seen by DFS
-        let mut topo: Vec<usize> = Vec::new(); // post-order stack
+        let mut reach: Vec<usize> = Vec::new(); // reached pivot columns
         let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
 
         for k in 0..n {
             let j = q[k];
-            // --- Symbolic: reachable pivot columns, topological order. ---
-            topo.clear();
+            // --- Symbolic: pivot columns reachable from A(:,j). ---
+            reach.clear();
             let (a_rows, a_vals) = a.col(j);
             for &i in a_rows {
                 let start = pinv[i];
@@ -133,14 +169,22 @@ impl SparseLu {
                             }
                         }
                         if !descended {
-                            topo.push(node);
+                            reach.push(node);
                             dfs_stack.pop();
                         }
                     }
                 }
             }
+            for &m in &reach {
+                visited[m] = false; // reset for the next column
+            }
+            // Ascending pivot order is a valid schedule (every updater of
+            // row `prow[m]` is a column < m) and — unlike DFS post-order —
+            // is reproducible from the stored U pattern alone, which is
+            // what lets `refactor` skip the DFS entirely.
+            reach.sort_unstable();
 
-            // --- Numeric: scatter A(:,j), apply updates in topo order. ---
+            // --- Structural pattern: A(:,j) rows ∪ L rows of the reach. ---
             pattern.clear();
             for (&i, &v) in a_rows.iter().zip(a_vals) {
                 x[i] = v;
@@ -149,20 +193,7 @@ impl SparseLu {
                     pattern.push(i);
                 }
             }
-            // topo holds post-order (dependencies later); process in
-            // reverse so each column's multiplier is final before use.
-            for &m in topo.iter().rev() {
-                visited[m] = false; // reset for the next column
-                let pr = prow[m];
-                if !marked[pr] {
-                    // Can happen only through exact cancellation upstream;
-                    // the multiplier is then zero.
-                    continue;
-                }
-                let xm = x[pr];
-                if xm == 0.0 {
-                    continue;
-                }
+            for &m in &reach {
                 for idx in l_ptr[m]..l_ptr[m + 1] {
                     let r = l_rows[idx];
                     if !marked[r] {
@@ -170,7 +201,20 @@ impl SparseLu {
                         pattern.push(r);
                         x[r] = 0.0;
                     }
-                    x[r] -= xm * l_vals[idx];
+                }
+            }
+
+            // --- Numeric: apply reached-column updates, emit U. ---
+            for &m in &reach {
+                // x[prow[m]] is final here: its remaining updaters are all
+                // columns < m, already processed in ascending order.
+                let xm = x[prow[m]];
+                u_pos.push(m);
+                u_vals.push(xm);
+                if xm != 0.0 {
+                    for idx in l_ptr[m]..l_ptr[m + 1] {
+                        x[l_rows[idx]] -= xm * l_vals[idx];
+                    }
                 }
             }
 
@@ -199,18 +243,17 @@ impl SparseLu {
                 return Err(NumericError::Singular { pivot: k });
             }
             // Threshold preference for the structural diagonal.
-            let piv_row = if diag_mag >= 0.1 * best_mag { j } else { best };
+            let piv_row = if diag_mag >= PIVOT_THRESHOLD * best_mag {
+                j
+            } else {
+                best
+            };
             let piv_val = x[piv_row];
 
-            // --- Emit U column k and L column k. ---
+            // --- Emit L column k (structurally: every non-pivotal
+            // pattern row except the pivot, zeros included). ---
             for &i in &pattern {
-                let pos = pinv[i];
-                if pos != NONE {
-                    if x[i] != 0.0 {
-                        u_pos.push(pos);
-                        u_vals.push(x[i]);
-                    }
-                } else if i != piv_row && x[i] != 0.0 {
+                if pinv[i] == NONE && i != piv_row {
                     l_rows.push(i);
                     l_vals.push(x[i] / piv_val);
                 }
@@ -229,70 +272,291 @@ impl SparseLu {
         }
 
         Ok(SparseLu {
-            n,
-            q,
-            prow,
-            l_ptr,
-            l_rows,
+            symbolic: Arc::new(LuSymbolic {
+                n,
+                q,
+                prow,
+                l_ptr,
+                l_rows,
+                u_ptr,
+                u_pos,
+                fingerprint: a.pattern_fingerprint(),
+                pivot_threshold: PIVOT_THRESHOLD,
+            }),
             l_vals,
-            u_ptr,
-            u_pos,
             u_vals,
             u_diag,
         })
     }
 
+    /// Numeric-only refactorization: rebuilds the L/U values for a matrix
+    /// with the *same sparsity pattern* as the one `symbolic` was
+    /// recorded from, replaying the stored column order, pivot sequence
+    /// and fill pattern. No DFS, no pattern discovery, no pivot search —
+    /// the whole symbolic phase is skipped.
+    ///
+    /// Update order matches [`SparseLu::factor`] (ascending pivot
+    /// position), so when the values would lead a fresh factorization to
+    /// the same pivot choices the two produce bit-identical factors.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::NotSquare`] / [`NumericError::DimensionMismatch`]
+    ///   for shape changes.
+    /// * [`NumericError::PatternMismatch`] when `a`'s sparsity pattern
+    ///   differs from the analysed one.
+    /// * [`NumericError::Singular`] when the new values make a stored
+    ///   pivot inadmissible (zero, or negligible against its column), i.e.
+    ///   the pattern no longer admits the stored pivot order.
+    pub fn refactor(
+        symbolic: &Arc<LuSymbolic>,
+        a: &SparseMatrix,
+    ) -> Result<SparseLu, NumericError> {
+        symbolic.check_matches(a)?;
+        let s = &**symbolic;
+        let n = s.n;
+        let mut l_vals = vec![0.0f64; s.l_rows.len()];
+        let mut u_vals = vec![0.0f64; s.u_pos.len()];
+        let mut u_diag = vec![0.0f64; n];
+        let mut x = vec![0.0f64; n];
+
+        for k in 0..n {
+            let (a_rows, a_vals) = a.col(s.q[k]);
+            for (&i, &v) in a_rows.iter().zip(a_vals) {
+                x[i] = v;
+            }
+            // Replay updates straight off the stored U pattern (ascending
+            // pivot order — see `factor`).
+            for idx in s.u_ptr[k]..s.u_ptr[k + 1] {
+                let m = s.u_pos[idx];
+                let xm = x[s.prow[m]];
+                u_vals[idx] = xm;
+                if xm != 0.0 {
+                    for t in s.l_ptr[m]..s.l_ptr[m + 1] {
+                        x[s.l_rows[t]] -= xm * l_vals[t];
+                    }
+                }
+            }
+            // Stored pivot row, new value: admissible only while it still
+            // dominates its column enough to bound growth.
+            let piv_row = s.prow[k];
+            let piv = x[piv_row];
+            let mut col_max = piv.abs();
+            for t in s.l_ptr[k]..s.l_ptr[k + 1] {
+                col_max = col_max.max(x[s.l_rows[t]].abs());
+            }
+            if piv == 0.0 || piv.abs() < REFACTOR_ADMISSIBILITY * col_max {
+                // Clean the accumulator before reporting.
+                for idx in s.u_ptr[k]..s.u_ptr[k + 1] {
+                    x[s.prow[s.u_pos[idx]]] = 0.0;
+                }
+                x[piv_row] = 0.0;
+                for t in s.l_ptr[k]..s.l_ptr[k + 1] {
+                    x[s.l_rows[t]] = 0.0;
+                }
+                return Err(NumericError::Singular { pivot: k });
+            }
+            for t in s.l_ptr[k]..s.l_ptr[k + 1] {
+                l_vals[t] = x[s.l_rows[t]] / piv;
+            }
+            u_diag[k] = piv;
+            // Reset exactly the pattern rows of this column: the pivot
+            // rows behind each U entry, the pivot itself, and the L rows.
+            for idx in s.u_ptr[k]..s.u_ptr[k + 1] {
+                x[s.prow[s.u_pos[idx]]] = 0.0;
+            }
+            x[piv_row] = 0.0;
+            for t in s.l_ptr[k]..s.l_ptr[k + 1] {
+                x[s.l_rows[t]] = 0.0;
+            }
+        }
+
+        Ok(SparseLu {
+            symbolic: Arc::clone(symbolic),
+            l_vals,
+            u_vals,
+            u_diag,
+        })
+    }
+
+    /// The shared symbolic analysis this factorization was built on.
+    #[inline]
+    pub fn symbolic(&self) -> &Arc<LuSymbolic> {
+        &self.symbolic
+    }
+
     /// Dimension of the factored matrix.
     #[inline]
     pub fn dim(&self) -> usize {
-        self.n
+        self.symbolic.n
     }
 
     /// Stored entries in `L` plus `U` (a fill measure).
     pub fn factor_nnz(&self) -> usize {
-        self.l_vals.len() + self.u_vals.len() + self.n
+        self.l_vals.len() + self.u_vals.len() + self.symbolic.n
     }
 
     /// Solves `A·x = b` by permuted forward/back substitution.
+    ///
+    /// Allocates the result and internal workspaces; hot paths should
+    /// prefer [`SparseLu::solve_into`] with a reused [`SolveScratch`].
     ///
     /// # Errors
     ///
     /// [`NumericError::DimensionMismatch`] if `b.len() != dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
-        if b.len() != self.n {
+        let mut scratch = SolveScratch::new();
+        let mut out = Vec::new();
+        self.solve_into(b, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `A·x = b` into a caller-owned output using caller-owned
+    /// scratch space. After warm-up (buffers at capacity) this performs
+    /// zero heap allocations — the shape the 2q-1 moment
+    /// resubstitutions of the paper's §3.2 want.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve_into(
+        &self,
+        b: &[f64],
+        scratch: &mut SolveScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), NumericError> {
+        let s = &*self.symbolic;
+        let n = s.n;
+        if b.len() != n {
             return Err(NumericError::DimensionMismatch {
-                expected: self.n,
+                expected: n,
                 actual: b.len(),
             });
         }
+        let SolveScratch { w, y } = scratch;
         // Forward: y = L⁻¹·P·b, working over original row indices.
-        let mut w = b.to_vec();
-        let mut y = vec![0.0f64; self.n];
-        for k in 0..self.n {
-            let t = w[self.prow[k]];
+        w.clear();
+        w.extend_from_slice(b);
+        y.clear();
+        y.resize(n, 0.0);
+        for k in 0..n {
+            let t = w[s.prow[k]];
             y[k] = t;
             if t != 0.0 {
-                for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
-                    w[self.l_rows[idx]] -= t * self.l_vals[idx];
+                for idx in s.l_ptr[k]..s.l_ptr[k + 1] {
+                    w[s.l_rows[idx]] -= t * self.l_vals[idx];
                 }
             }
         }
         // Back: z = U⁻¹·y (column-oriented).
-        for k in (0..self.n).rev() {
+        for k in (0..n).rev() {
             let zk = y[k] / self.u_diag[k];
             y[k] = zk;
             if zk != 0.0 {
-                for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
-                    y[self.u_pos[idx]] -= zk * self.u_vals[idx];
+                for idx in s.u_ptr[k]..s.u_ptr[k + 1] {
+                    y[s.u_pos[idx]] -= zk * self.u_vals[idx];
                 }
             }
         }
         // Undo the column permutation: x[q[k]] = z[k].
-        let mut out = vec![0.0f64; self.n];
-        for k in 0..self.n {
-            out[self.q[k]] = y[k];
+        out.clear();
+        out.resize(n, 0.0);
+        for k in 0..n {
+            out[s.q[k]] = y[k];
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Blocked multi-RHS solve: `rhs` holds `nrhs` right-hand sides as
+    /// consecutive length-`n` chunks, and `out` receives the solutions in
+    /// the same layout. Internally the block is interleaved so one pass
+    /// over the L/U patterns serves every column — the index/value loads
+    /// of the triangular sweep amortize across the block, which is what
+    /// makes the simultaneous moment recursions of several superposition
+    /// pieces cheaper than solving them one by one.
+    ///
+    /// Each column's result is bit-identical to a standalone
+    /// [`SparseLu::solve_into`] on that column.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] if `rhs.len() != dim() * nrhs`.
+    pub fn solve_multi_into(
+        &self,
+        rhs: &[f64],
+        nrhs: usize,
+        scratch: &mut SolveScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), NumericError> {
+        let s = &*self.symbolic;
+        let n = s.n;
+        if rhs.len() != n * nrhs {
+            return Err(NumericError::DimensionMismatch {
+                expected: n * nrhs,
+                actual: rhs.len(),
+            });
+        }
+        if nrhs == 0 {
+            out.clear();
+            return Ok(());
+        }
+        let SolveScratch { w, y } = scratch;
+        // Interleave: w[i*nrhs + c] = rhs column c, row i. Row-major over
+        // original rows so each L/U entry touches one contiguous stripe.
+        w.clear();
+        w.resize(n * nrhs, 0.0);
+        for c in 0..nrhs {
+            let col = &rhs[c * n..(c + 1) * n];
+            for (i, &v) in col.iter().enumerate() {
+                w[i * nrhs + c] = v;
+            }
+        }
+        y.clear();
+        y.resize(n * nrhs, 0.0);
+        // Forward: per L entry, update the whole stripe.
+        for k in 0..n {
+            let pr = s.prow[k];
+            y[k * nrhs..(k + 1) * nrhs].copy_from_slice(&w[pr * nrhs..(pr + 1) * nrhs]);
+            for idx in s.l_ptr[k]..s.l_ptr[k + 1] {
+                let r = s.l_rows[idx];
+                let lv = self.l_vals[idx];
+                for c in 0..nrhs {
+                    let t = y[k * nrhs + c];
+                    if t != 0.0 {
+                        w[r * nrhs + c] -= t * lv;
+                    }
+                }
+            }
+        }
+        // Back: stripes of y only; u_pos entries are all < k, so split.
+        for k in (0..n).rev() {
+            let (lo, hi) = y.split_at_mut(k * nrhs);
+            let yk = &mut hi[..nrhs];
+            let d = self.u_diag[k];
+            for v in yk.iter_mut() {
+                *v /= d;
+            }
+            for idx in s.u_ptr[k]..s.u_ptr[k + 1] {
+                let p = s.u_pos[idx];
+                let uv = self.u_vals[idx];
+                for c in 0..nrhs {
+                    let zk = yk[c];
+                    if zk != 0.0 {
+                        lo[p * nrhs + c] -= zk * uv;
+                    }
+                }
+            }
+        }
+        // De-interleave, undoing the column permutation per RHS.
+        out.clear();
+        out.resize(n * nrhs, 0.0);
+        for k in 0..n {
+            let dst = s.q[k];
+            for c in 0..nrhs {
+                out[c * n + dst] = y[k * nrhs + c];
+            }
+        }
+        Ok(())
     }
 }
 
@@ -367,6 +631,11 @@ mod tests {
         ));
         let lu = SparseLu::factor(&sq, None).unwrap();
         assert!(lu.solve(&[1.0]).is_err());
+        let mut scratch = SolveScratch::new();
+        let mut out = Vec::new();
+        assert!(lu
+            .solve_multi_into(&[1.0, 2.0, 3.0], 2, &mut scratch, &mut out)
+            .is_err());
     }
 
     #[test]
@@ -465,5 +734,138 @@ mod tests {
             assert!((p - bb).abs() < 1e-9);
             assert!((q - bb).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn refactor_reproduces_factor_bitwise() {
+        // Same matrix through both paths: identical pivots, identical
+        // update order, so the factors must agree bit for bit.
+        let d = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.0, 2.0],
+            &[1.0, 5.0, 1.0, 0.0],
+            &[0.0, 1.0, 6.0, 1.0],
+            &[2.0, 0.0, 1.0, 7.0],
+        ]);
+        let s = SparseMatrix::from_dense(&d);
+        let fresh = SparseLu::factor(&s, None).unwrap();
+        let re = SparseLu::refactor(fresh.symbolic(), &s).unwrap();
+        assert_eq!(fresh.l_vals, re.l_vals);
+        assert_eq!(fresh.u_vals, re.u_vals);
+        assert_eq!(fresh.u_diag, re.u_diag);
+        assert!(Arc::ptr_eq(fresh.symbolic(), re.symbolic()));
+    }
+
+    #[test]
+    fn refactor_solves_perturbed_values() {
+        let base = SparseMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 4.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 5.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 6.0),
+            ],
+        );
+        let lu = SparseLu::factor(&base, None).unwrap();
+        let perturbed = SparseMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 4.5),
+                (0, 1, 0.9),
+                (1, 0, 1.1),
+                (1, 1, 5.5),
+                (1, 2, 0.8),
+                (2, 1, 1.2),
+                (2, 2, 6.5),
+            ],
+        );
+        let re = SparseLu::refactor(lu.symbolic(), &perturbed).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = re.solve(&b).unwrap();
+        let r = perturbed.mul_vec(&x);
+        for (got, want) in r.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_structural_and_pivot_failures() {
+        let base = SparseMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)],
+        );
+        let lu = SparseLu::factor(&base, None).unwrap();
+        // Different pattern.
+        let other = SparseMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0)]);
+        assert!(matches!(
+            SparseLu::refactor(lu.symbolic(), &other),
+            Err(NumericError::PatternMismatch { .. })
+        ));
+        // Same pattern, but the stored pivot row is now vanishing against
+        // its column: the recorded pivot order no longer bounds growth.
+        let bad = SparseMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1e-30), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)],
+        );
+        assert!(matches!(
+            SparseLu::refactor(lu.symbolic(), &bad),
+            Err(NumericError::Singular { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn solve_into_matches_solve_and_reuses_buffers() {
+        let d = Matrix::from_rows(&[&[3.0, 1.0, 0.0], &[1.0, 4.0, 1.0], &[0.0, 1.0, 5.0]]);
+        let s = SparseMatrix::from_dense(&d);
+        let lu = SparseLu::factor(&s, None).unwrap();
+        let mut scratch = SolveScratch::with_dim(3);
+        let mut out = Vec::with_capacity(3);
+        for trial in 0..4 {
+            let b = [1.0 + trial as f64, -2.0, 0.5 * trial as f64];
+            lu.solve_into(&b, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, lu.solve(&b).unwrap(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn solve_multi_matches_columnwise_solves_bitwise() {
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(97);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let n = 24;
+        let mut dm = Matrix::zeros(n, n);
+        for i in 0..n {
+            dm[(i, i)] = 5.0 + next();
+            if i + 1 < n {
+                dm[(i, i + 1)] = next();
+                dm[(i + 1, i)] = next();
+            }
+        }
+        let s = SparseMatrix::from_dense(&dm);
+        let lu = SparseLu::factor(&s, None).unwrap();
+        let nrhs = 3;
+        let rhs: Vec<f64> = (0..n * nrhs).map(|_| next()).collect();
+        let mut scratch = SolveScratch::new();
+        let mut block = Vec::new();
+        lu.solve_multi_into(&rhs, nrhs, &mut scratch, &mut block)
+            .unwrap();
+        assert_eq!(block.len(), n * nrhs);
+        for c in 0..nrhs {
+            let single = lu.solve(&rhs[c * n..(c + 1) * n]).unwrap();
+            assert_eq!(&block[c * n..(c + 1) * n], &single[..], "rhs {c}");
+        }
+        // nrhs == 0 is a no-op.
+        lu.solve_multi_into(&[], 0, &mut scratch, &mut block)
+            .unwrap();
+        assert!(block.is_empty());
     }
 }

@@ -1,0 +1,181 @@
+//! Property-based tests for the symbolic/numeric LU split: a numeric
+//! refactorization on perturbed values must reproduce a fresh
+//! factorization's pattern bit-for-bit and its solutions to rounding
+//! level, and must reject matrices the stored analysis no longer fits.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use awe_numeric::{NumericError, SparseLu, SparseMatrix};
+
+/// Collapses raw `(row, col, magnitude, sign)` draws into off-diagonal
+/// placements inside an `n×n` matrix (indices taken modulo `n`).
+fn offdiag_of(n: usize, raw: &[(usize, usize, f64, usize)]) -> Vec<(usize, usize, f64)> {
+    raw.iter()
+        .map(|&(r, c, mag, sgn)| (r % n, c % n, if sgn == 0 { mag } else { -mag }))
+        .collect()
+}
+
+/// Assembles the matrix: collapsed off-diagonal entries plus a diagonal
+/// that dominates every column (so threshold pivoting keeps it, and the
+/// pivot sequence survives small value perturbations). `scale` applies a
+/// per-entry relative factor — identity for the base matrix, `1 + ε` for
+/// the perturbed one — over an identical sparsity structure.
+fn assemble(
+    n: usize,
+    offdiag: &[(usize, usize, f64)],
+    scale: impl Fn(usize) -> f64,
+) -> SparseMatrix {
+    let mut entries: HashMap<(usize, usize), f64> = HashMap::new();
+    for &(r, c, v) in offdiag {
+        if r != c {
+            *entries.entry((r, c)).or_insert(0.0) += v;
+        }
+    }
+    // Deterministic entry order so `scale(k)` hits the same entry in the
+    // base and perturbed assemblies.
+    let mut keys: Vec<(usize, usize)> = entries.keys().copied().collect();
+    keys.sort_unstable();
+    let mut colsum = vec![0.0f64; n];
+    for (&(_, c), v) in &entries {
+        colsum[c] += v.abs();
+    }
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(keys.len() + n);
+    for (k, &(r, c)) in keys.iter().enumerate() {
+        triplets.push((r, c, entries[&(r, c)] * scale(k + n)));
+    }
+    for (j, sum) in colsum.iter().enumerate() {
+        triplets.push((j, j, (sum + 1.0) * scale(j)));
+    }
+    SparseMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Re-extracts a matrix as triplets with one entry's value mapped.
+fn remap(m: &SparseMatrix, f: impl Fn(usize, usize, f64) -> f64) -> Vec<(usize, usize, f64)> {
+    let mut triplets = Vec::new();
+    for j in 0..m.cols() {
+        let (rows, vals) = m.col(j);
+        for (&i, &v) in rows.iter().zip(vals) {
+            triplets.push((i, j, f(i, j, v)));
+        }
+    }
+    triplets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Refactor on perturbed values == fresh factor, bit for bit: the
+    /// reused pattern fingerprints identically to the one a cold factor
+    /// of the perturbed matrix discovers, and every solution component
+    /// agrees within 1e-12 relative.
+    #[test]
+    fn refactor_matches_fresh_factor(
+        n in 3usize..24,
+        raw in proptest::collection::vec(
+            (0usize..4096, 0usize..4096, 0.1f64..1.0, 0usize..2), 0..72),
+        eps in proptest::collection::vec(-1e-3f64..1e-3, 97),
+    ) {
+        let offdiag = offdiag_of(n, &raw);
+        let base = assemble(n, &offdiag, |_| 1.0);
+        let perturbed = assemble(n, &offdiag, |k| 1.0 + eps[k % eps.len()]);
+
+        let cold = SparseLu::factor(&base, None).expect("diagonally dominant");
+        let sym = cold.symbolic().clone();
+        let re = SparseLu::refactor(&sym, &perturbed).expect("same pattern, dominant diagonal");
+        let fresh = SparseLu::factor(&perturbed, Some(sym.col_order()))
+            .expect("diagonally dominant");
+
+        // Bit-for-bit pattern agreement: the fresh symbolic analysis of
+        // the perturbed matrix rediscovers exactly the stored pattern.
+        prop_assert_eq!(fresh.symbolic().fingerprint(), sym.fingerprint());
+        prop_assert_eq!(fresh.symbolic().pattern_nnz(), sym.pattern_nnz());
+        prop_assert_eq!(fresh.factor_nnz(), re.factor_nnz());
+
+        // Numeric agreement within 1e-12 (the two paths run the same
+        // update schedule, so they are typically *exactly* equal; the
+        // tolerance guards the comparison, not the algorithm).
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.1).collect();
+        let x_re = re.solve(&b).expect("solvable");
+        let x_fresh = fresh.solve(&b).expect("solvable");
+        for (p, q) in x_re.iter().zip(&x_fresh) {
+            prop_assert!(
+                (p - q).abs() <= 1e-12 * q.abs().max(1.0),
+                "refactor {} vs fresh {}", p, q
+            );
+        }
+
+        // And both actually solve the perturbed system.
+        let ax = perturbed.mul_vec(&x_re);
+        for (p, q) in ax.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-8, "residual {} vs {}", p, q);
+        }
+    }
+
+    /// A structural edit (new entry outside the analysed pattern) must be
+    /// rejected as a pattern mismatch, never silently misfactored.
+    #[test]
+    fn refactor_rejects_structural_edits(
+        n in 3usize..16,
+        raw in proptest::collection::vec(
+            (0usize..4096, 0usize..4096, 0.1f64..1.0, 0usize..2), 0..32),
+    ) {
+        let offdiag = offdiag_of(n, &raw);
+        let base = assemble(n, &offdiag, |_| 1.0);
+        let cold = SparseLu::factor(&base, None).expect("diagonally dominant");
+        let sym = cold.symbolic().clone();
+
+        // Find a zero slot to fill (skip fully dense draws).
+        let dense = base.to_dense();
+        let mut slot = None;
+        'scan: for r in 0..n {
+            for c in 0..n {
+                if dense[(r, c)] == 0.0 {
+                    slot = Some((r, c));
+                    break 'scan;
+                }
+            }
+        }
+        prop_assume!(slot.is_some());
+        let (r, c) = slot.unwrap();
+        let mut triplets = remap(&base, |_, _, v| v);
+        triplets.push((r, c, 0.5));
+        let edited = SparseMatrix::from_triplets(n, n, &triplets);
+
+        match SparseLu::refactor(&sym, &edited) {
+            Err(NumericError::PatternMismatch { expected, actual }) => {
+                prop_assert!(expected != actual);
+            }
+            other => prop_assert!(false, "expected PatternMismatch, got {:?}", other),
+        }
+    }
+
+    /// Values that break the stored pivot order (a pivot collapsed to
+    /// rounding level below its column) must be rejected as singular at
+    /// that pivot, not propagated into a garbage factorization.
+    #[test]
+    fn refactor_rejects_inadmissible_pivots(
+        n in 3usize..16,
+        raw in proptest::collection::vec(
+            (0usize..4096, 0usize..4096, 0.1f64..1.0, 0usize..2), 0..32),
+    ) {
+        // Force at least one off-diagonal in column 0 so the collapsed
+        // diagonal pivot is dominated (a single-entry column is its own
+        // maximum and stays admissible at any magnitude).
+        let mut offdiag = offdiag_of(n, &raw);
+        offdiag.push((n - 1, 0, 0.7));
+        let base = assemble(n, &offdiag, |_| 1.0);
+        let cold = SparseLu::factor(&base, None).expect("diagonally dominant");
+        let sym = cold.symbolic().clone();
+
+        // Same pattern, but the (0,0) pivot shrinks to ~zero.
+        let triplets = remap(&base, |i, j, v| if i == 0 && j == 0 { v * 1e-30 } else { v });
+        let collapsed = SparseMatrix::from_triplets(n, n, &triplets);
+
+        match SparseLu::refactor(&sym, &collapsed) {
+            Err(NumericError::Singular { pivot }) => prop_assert_eq!(pivot, 0),
+            other => prop_assert!(false, "expected Singular at pivot 0, got {:?}", other),
+        }
+    }
+}
