@@ -16,6 +16,17 @@ use awe::{AweApproximation, AweEngine, AweError, AweOptions, SharedSymbolic, Sta
 use crate::design::{Design, NetSpec};
 use crate::pool::{run_indexed, PoolStats};
 
+/// Results served from the incremental cache without an AWE solve.
+static CACHE_HITS: awe_obs::Counter = awe_obs::Counter::new("batch.cache_hits");
+/// Solves that refactored against a shared symbolic LU pattern.
+static PATTERN_HITS: awe_obs::Counter = awe_obs::Counter::new("batch.pattern_hits");
+/// Full AWE solves performed (cache misses, donor presolves included).
+static SOLVES: awe_obs::Counter = awe_obs::Counter::new("batch.solves");
+
+/// Sentinel worker index for work done on the caller thread before the
+/// pool starts (the sequential donor-presolve pass).
+pub const CALLER_WORKER: usize = usize::MAX;
+
 /// Options for one batch run.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchOptions {
@@ -85,6 +96,11 @@ pub struct NetTiming {
     pub latency: Duration,
     /// Per-stage breakdown of the solve (zero on cache hits).
     pub stages: StageTimings,
+    /// Pool worker that ran the job, or [`CALLER_WORKER`] for nets solved
+    /// by the sequential donor-presolve pass on the caller thread. Stage
+    /// times attributed to the same worker are serialized; across workers
+    /// they overlap.
+    pub worker: usize,
 }
 
 /// Everything one [`BatchEngine::run`] produced.
@@ -207,8 +223,12 @@ impl BatchEngine {
             // independently, which is the pre-split behavior).
             group_size.remove(&keys[i]);
             let t0 = Instant::now();
+            let mut presolve_span = awe_obs::span("batch.presolve");
+            presolve_span.note(i as f64, 0.0);
             solves.fetch_add(1, Ordering::Relaxed);
+            SOLVES.incr();
             let (result, stages, pattern) = solve_net(spec, hashes[i], opts, None);
+            drop(presolve_span);
             if let Some(p) = pattern {
                 self.patterns
                     .lock()
@@ -226,12 +246,15 @@ impl BatchEngine {
                     NetTiming {
                         latency: t0.elapsed(),
                         stages,
+                        worker: CALLER_WORKER,
                     },
                 ),
             );
         }
 
-        let (pairs, pool) = run_indexed(design.len(), opts.threads, |i| {
+        let (pairs, pool) = run_indexed(design.len(), opts.threads, |i, w| {
+            let mut net_span = awe_obs::span("batch.net");
+            net_span.note(i as f64, w as f64);
             if let Some(pair) = presolved.lock().expect("presolve lock").remove(&i) {
                 return pair;
             }
@@ -241,6 +264,7 @@ impl BatchEngine {
             let cached = self.cache.lock().expect("cache lock").get(&hash).cloned();
             if let Some(mut hit) = cached {
                 hits.fetch_add(1, Ordering::Relaxed);
+                CACHE_HITS.incr();
                 hit.name.clone_from(&spec.name);
                 hit.cache_hit = true;
                 return (
@@ -248,10 +272,12 @@ impl BatchEngine {
                     NetTiming {
                         latency: t0.elapsed(),
                         stages: StageTimings::default(),
+                        worker: w,
                     },
                 );
             }
             solves.fetch_add(1, Ordering::Relaxed);
+            SOLVES.incr();
             let seed = self
                 .patterns
                 .lock()
@@ -264,6 +290,7 @@ impl BatchEngine {
                 // against it (a cold fallback records a fresh analysis).
                 (Some(s), Some(p)) if Arc::ptr_eq(s, p) => {
                     pattern_hits.fetch_add(1, Ordering::Relaxed);
+                    PATTERN_HITS.incr();
                 }
                 // Unseeded sparse net: record its pattern for future runs
                 // (ECO edits of this net refactor instead of re-analysing).
@@ -285,6 +312,7 @@ impl BatchEngine {
                 NetTiming {
                     latency: t0.elapsed(),
                     stages,
+                    worker: w,
                 },
             )
         });

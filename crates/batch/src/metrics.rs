@@ -1,11 +1,25 @@
 //! Run metrics: aggregate throughput, latency percentiles, and the
-//! per-stage wall-time breakdown of a batch run.
+//! per-stage time breakdown of a batch run.
+//!
+//! Stage times come in two views. *CPU* time sums every net's stage
+//! breakdown regardless of which worker ran it — total compute burned per
+//! stage, which exceeds the run's wall time once workers overlap. *Wall*
+//! time first attributes each net's stages to the worker that ran it
+//! (`NetTiming::worker`), then takes the per-stage maximum across pool
+//! workers: work on one worker is serialized, work on different workers
+//! overlaps, so the busiest worker's stage total is the stage's wall-time
+//! contribution. The sequential donor-presolve pass
+//! ([`CALLER_WORKER`](crate::engine::CALLER_WORKER)) runs strictly
+//! *before* the pool, so its stage sums add on top of the maximum instead
+//! of competing in it — which also makes the two views coincide exactly
+//! on single-threaded runs.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use awe::StageTimings;
 
-use crate::engine::BatchRun;
+use crate::engine::{BatchRun, CALLER_WORKER};
 
 /// Aggregate metrics of one [`BatchRun`].
 #[derive(Clone, Debug)]
@@ -40,7 +54,13 @@ pub struct RunMetrics {
     /// Per-stage CPU time summed across all solves (MNA assembly →
     /// LU factor/refactor → moments → Padé → residues). Exceeds `wall`
     /// when workers overlap.
-    pub stages: StageTimings,
+    pub stages_cpu: StageTimings,
+    /// Per-stage wall-time estimate: each net's stages are attributed to
+    /// the worker that ran it; each stage takes the busiest pool worker's
+    /// total plus the sequential presolve pass's sum (which runs before
+    /// the pool). Never exceeds `stages_cpu`; the two coincide on
+    /// single-threaded runs.
+    pub stages_wall: StageTimings,
 }
 
 impl RunMetrics {
@@ -48,15 +68,26 @@ impl RunMetrics {
     pub fn of(run: &BatchRun) -> Self {
         let mut latencies: Vec<Duration> = run.timings.iter().map(|t| t.latency).collect();
         latencies.sort_unstable();
-        let mut stages = StageTimings::default();
+        let mut stages_cpu = StageTimings::default();
+        let mut per_worker: BTreeMap<usize, StageTimings> = BTreeMap::new();
         for t in &run.timings {
-            stages.mna += t.stages.mna;
-            stages.factor += t.stages.factor;
-            stages.refactor += t.stages.refactor;
-            stages.moments += t.stages.moments;
-            stages.pade += t.stages.pade;
-            stages.residues += t.stages.residues;
+            add_stages(&mut stages_cpu, &t.stages);
+            add_stages(per_worker.entry(t.worker).or_default(), &t.stages);
         }
+        // The presolve pass is serialized before the pool: its stage sums
+        // add to the wall estimate, while concurrent pool workers compete
+        // (per-stage maximum over workers).
+        let presolve = per_worker.remove(&CALLER_WORKER).unwrap_or_default();
+        let mut stages_wall = StageTimings::default();
+        for s in per_worker.values() {
+            stages_wall.mna = stages_wall.mna.max(s.mna);
+            stages_wall.factor = stages_wall.factor.max(s.factor);
+            stages_wall.refactor = stages_wall.refactor.max(s.refactor);
+            stages_wall.moments = stages_wall.moments.max(s.moments);
+            stages_wall.pade = stages_wall.pade.max(s.pade);
+            stages_wall.residues = stages_wall.residues.max(s.residues);
+        }
+        add_stages(&mut stages_wall, &presolve);
         let secs = run.wall.as_secs_f64();
         RunMetrics {
             nets: run.results.len(),
@@ -80,7 +111,8 @@ impl RunMetrics {
             p50: percentile(&latencies, 50.0),
             p95: percentile(&latencies, 95.0),
             p99: percentile(&latencies, 99.0),
-            stages,
+            stages_cpu,
+            stages_wall,
         }
     }
 
@@ -92,6 +124,15 @@ impl RunMetrics {
             self.cache_hits as f64 / self.nets as f64
         }
     }
+}
+
+fn add_stages(dst: &mut StageTimings, src: &StageTimings) {
+    dst.mna += src.mna;
+    dst.factor += src.factor;
+    dst.refactor += src.refactor;
+    dst.moments += src.moments;
+    dst.pade += src.pade;
+    dst.residues += src.residues;
 }
 
 /// Nearest-rank percentile of sorted latencies (`Duration::ZERO` when
@@ -131,11 +172,45 @@ mod tests {
         assert_eq!(m.failures, 0);
         assert!(m.nets_per_sec > 0.0);
         assert!(m.p50 <= m.p95 && m.p95 <= m.p99);
-        assert!(m.stages.total() > Duration::ZERO);
+        assert!(m.stages_cpu.total() > Duration::ZERO);
+        assert!(m.stages_wall.total() > Duration::ZERO);
+        assert!(m.stages_wall.total() <= m.stages_cpu.total());
 
         let rerun = engine.run(&design, &BatchOptions::default());
         let m2 = RunMetrics::of(&rerun);
         assert_eq!(m2.cache_hits, 10);
         assert!((m2.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_thread_wall_equals_cpu() {
+        // With one worker everything is serialized on the caller thread
+        // (presolve pass included), so the wall view degenerates to the
+        // cpu view exactly.
+        let design = Design::synthetic(9, 13);
+        let run = BatchEngine::new().run(
+            &design,
+            &BatchOptions {
+                threads: 1,
+                ..BatchOptions::default()
+            },
+        );
+        let m = RunMetrics::of(&run);
+        assert_eq!(m.stages_cpu.total(), m.stages_wall.total());
+    }
+
+    #[test]
+    fn multi_thread_wall_bounded_by_cpu() {
+        let design = Design::synthetic(24, 3);
+        let run = BatchEngine::new().run(
+            &design,
+            &BatchOptions {
+                threads: 4,
+                ..BatchOptions::default()
+            },
+        );
+        let m = RunMetrics::of(&run);
+        assert!(m.stages_wall.total() <= m.stages_cpu.total());
+        assert!(m.stages_wall.total() > Duration::ZERO);
     }
 }

@@ -18,6 +18,12 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Jobs obtained by stealing, across all pool runs of a recording.
+static POOL_STEALS: awe_obs::Counter = awe_obs::Counter::new("pool.steals");
+/// Deque length observed at each refill (owner's own deque, before the
+/// drain) — the live-queue-depth distribution of a run.
+static QUEUE_DEPTH: awe_obs::Histogram = awe_obs::Histogram::new("pool.queue_depth");
+
 /// Scheduler observability for one pool run.
 #[derive(Clone, Debug, Default)]
 pub struct PoolStats {
@@ -36,8 +42,11 @@ impl PoolStats {
     }
 }
 
-/// Runs `f(0..jobs)` across `threads` workers, returning results in job
-/// order plus scheduler stats.
+/// Runs `f(job, worker)` for `job` in `0..jobs` across `threads` workers,
+/// returning results in job order plus scheduler stats. The closure's
+/// second argument is the index of the worker running the job, so callers
+/// can attribute per-job work (times, counters) to the worker that
+/// actually did it.
 ///
 /// `threads == 0` uses [`std::thread::available_parallelism`]; explicit
 /// requests are *capped* at the available parallelism too — the jobs are
@@ -47,13 +56,19 @@ impl PoolStats {
 /// count; one effective worker runs inline on the caller thread (no
 /// spawn), so single-threaded runs are exactly sequential.
 ///
+/// When an [`awe_obs`] recording is live, each spawned worker labels its
+/// trace lane `worker-N` (the inline single-worker path labels the caller
+/// thread `worker-0`), steals feed the `pool.steals` counter, and the
+/// owner-deque length at every refill feeds the `pool.queue_depth`
+/// histogram.
+///
 /// # Panics
 ///
 /// Propagates a panic from `f` (the scope joins all workers first).
 pub fn run_indexed<T, F>(jobs: usize, threads: usize, f: F) -> (Vec<T>, PoolStats)
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize, usize) -> T + Sync,
 {
     run_indexed_with(jobs, effective_threads(threads, jobs), f)
 }
@@ -64,7 +79,7 @@ where
 fn run_indexed_with<T, F>(jobs: usize, threads: usize, f: F) -> (Vec<T>, PoolStats)
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize, usize) -> T + Sync,
 {
     let threads = threads.clamp(1, jobs.max(1));
     if jobs == 0 {
@@ -78,7 +93,10 @@ where
         );
     }
     if threads == 1 {
-        let results = (0..jobs).map(&f).collect();
+        if awe_obs::enabled() {
+            awe_obs::set_lane_label("worker-0");
+        }
+        let results = (0..jobs).map(|i| f(i, 0)).collect();
         return (
             results,
             PoolStats {
@@ -119,6 +137,9 @@ where
             let steals = &steals;
             let f = &f;
             scope.spawn(move || {
+                if awe_obs::enabled() {
+                    awe_obs::set_lane_label(&format!("worker-{w}"));
+                }
                 // Jobs claimed but not yet run. Buffered jobs are invisible
                 // to stealers, so the chunk size is capped: large enough to
                 // amortize the lock, small enough that a heavy tail can
@@ -129,6 +150,7 @@ where
                         // Refill: drain a chunk off the front of our deque
                         // under one lock.
                         let mut dq = deques[w].lock().expect("deque lock");
+                        QUEUE_DEPTH.record(dq.len() as f64);
                         let take = chunk_size(dq.len());
                         local.extend(dq.drain(..take));
                         lens[w].store(dq.len(), Ordering::Release);
@@ -150,13 +172,14 @@ where
                             lens[v].store(dq.len(), Ordering::Release);
                             drop(dq);
                             steals[w].fetch_add(local.len(), Ordering::Relaxed);
+                            POOL_STEALS.add(local.len() as u64);
                             // Stolen back-half jobs run oldest-first to
                             // preserve rough job-order locality.
                         }
                     }
                     match local.pop_front() {
                         Some(idx) => {
-                            let result = f(idx);
+                            let result = f(idx, w);
                             *slots[idx].lock().expect("slot lock") = Some(result);
                             executed[w].fetch_add(1, Ordering::Relaxed);
                             remaining.fetch_sub(1, Ordering::AcqRel);
@@ -232,7 +255,7 @@ mod tests {
     #[test]
     fn results_in_job_order() {
         for threads in [1, 2, 4, 8] {
-            let (results, stats) = run_indexed(100, threads, |i| i * i);
+            let (results, stats) = run_indexed(100, threads, |i, _w| i * i);
             assert_eq!(results, (0..100).map(|i| i * i).collect::<Vec<_>>());
             assert_eq!(stats.executed.iter().sum::<usize>(), 100);
         }
@@ -240,14 +263,14 @@ mod tests {
 
     #[test]
     fn zero_jobs() {
-        let (results, stats) = run_indexed(0, 4, |i| i);
+        let (results, stats) = run_indexed(0, 4, |i, _w| i);
         assert!(results.is_empty());
         assert_eq!(stats.executed.iter().sum::<usize>(), 0);
     }
 
     #[test]
     fn more_threads_than_jobs() {
-        let (results, stats) = run_indexed(3, 16, |i| i + 1);
+        let (results, stats) = run_indexed(3, 16, |i, _w| i + 1);
         assert_eq!(results, vec![1, 2, 3]);
         assert!(stats.threads <= 3);
     }
@@ -259,7 +282,7 @@ mod tests {
         // work completes and the slow chunk did not serialize the run into
         // worker 0 executing everything while others idle — i.e. every
         // worker executed something.
-        let (results, stats) = run_indexed_with(64, 4, |i| {
+        let (results, stats) = run_indexed_with(64, 4, |i, _w| {
             let spins = if i < 16 { 2_000_000 } else { 1_000 };
             (0..spins).fold(i as u64, |a, b| a ^ (b as u64).wrapping_mul(31))
         });
@@ -311,7 +334,7 @@ mod tests {
     fn steals_are_counted_per_job() {
         // One worker's chunk is heavy; the others must pull jobs across,
         // and the steal counter tallies jobs (not chunks).
-        let (results, stats) = run_indexed_with(64, 4, |i| {
+        let (results, stats) = run_indexed_with(64, 4, |i, _w| {
             let spins = if i < 16 { 1_000_000 } else { 100 };
             (0..spins).fold(i as u64, |a, b| a ^ (b as u64).wrapping_mul(31))
         });
@@ -324,7 +347,7 @@ mod tests {
     #[test]
     fn single_thread_runs_inline() {
         let id = std::thread::current().id();
-        let (results, _) = run_indexed(5, 1, move |i| {
+        let (results, _) = run_indexed(5, 1, move |i, _w| {
             assert_eq!(std::thread::current().id(), id);
             i
         });

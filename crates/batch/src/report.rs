@@ -58,16 +58,8 @@ pub fn text_report(run: &BatchRun, include_timings: bool) -> String {
             dur(m.p95),
             dur(m.p99)
         );
-        let _ = writeln!(
-            out,
-            "stages: mna {}  factor {}  refactor {}  moments {}  pade {}  residues {}",
-            dur(m.stages.mna),
-            dur(m.stages.factor),
-            dur(m.stages.refactor),
-            dur(m.stages.moments),
-            dur(m.stages.pade),
-            dur(m.stages.residues)
-        );
+        let _ = writeln!(out, "stages (cpu):  {}", stage_line(&m.stages_cpu));
+        let _ = writeln!(out, "stages (wall): {}", stage_line(&m.stages_wall));
         let _ = writeln!(out, "pattern-hits {}", m.pattern_hits);
         let _ = writeln!(
             out,
@@ -78,6 +70,18 @@ pub fn text_report(run: &BatchRun, include_timings: bool) -> String {
         );
     }
     out
+}
+
+fn stage_line(s: &awe::StageTimings) -> String {
+    format!(
+        "mna {}  factor {}  refactor {}  moments {}  pade {}  residues {}",
+        dur(s.mna),
+        dur(s.factor),
+        dur(s.refactor),
+        dur(s.moments),
+        dur(s.pade),
+        dur(s.residues)
+    )
 }
 
 fn net_line(r: &NetResult) -> String {
@@ -132,17 +136,8 @@ pub fn json_report(run: &BatchRun, include_timings: bool) -> String {
             json_f64(m.p95.as_secs_f64()),
             json_f64(m.p99.as_secs_f64())
         );
-        let _ = writeln!(
-            out,
-            "  \"stages_s\": {{\"mna\": {}, \"factor\": {}, \"refactor\": {}, \
-             \"moments\": {}, \"pade\": {}, \"residues\": {}}},",
-            json_f64(m.stages.mna.as_secs_f64()),
-            json_f64(m.stages.factor.as_secs_f64()),
-            json_f64(m.stages.refactor.as_secs_f64()),
-            json_f64(m.stages.moments.as_secs_f64()),
-            json_f64(m.stages.pade.as_secs_f64()),
-            json_f64(m.stages.residues.as_secs_f64())
-        );
+        let _ = writeln!(out, "  \"stages_cpu_s\": {},", stage_json(&m.stages_cpu));
+        let _ = writeln!(out, "  \"stages_wall_s\": {},", stage_json(&m.stages_wall));
         let _ = writeln!(out, "  \"pattern_hits\": {},", m.pattern_hits);
         let _ = writeln!(
             out,
@@ -158,6 +153,19 @@ pub fn json_report(run: &BatchRun, include_timings: bool) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+fn stage_json(s: &awe::StageTimings) -> String {
+    format!(
+        "{{\"mna\": {}, \"factor\": {}, \"refactor\": {}, \
+         \"moments\": {}, \"pade\": {}, \"residues\": {}}}",
+        json_f64(s.mna.as_secs_f64()),
+        json_f64(s.factor.as_secs_f64()),
+        json_f64(s.refactor.as_secs_f64()),
+        json_f64(s.moments.as_secs_f64()),
+        json_f64(s.pade.as_secs_f64()),
+        json_f64(s.residues.as_secs_f64())
+    )
 }
 
 fn net_json(r: &NetResult) -> String {

@@ -15,6 +15,22 @@
 //! stage that must have run reports a zero/negative wall time — that
 //! validation is what the CI bench-smoke job relies on.
 //!
+//! The bench is also the enforcement point for two observability
+//! guarantees:
+//!
+//! * **Tracing-off overhead < 2%.** Each warm solve is replayed once
+//!   under a recording to count the instrumentation sites it crosses
+//!   (events + counter bumps + histogram records); a separate probe loop
+//!   measures the per-site cost with tracing *off* (one relaxed atomic
+//!   load and a branch). The projected overhead — sites × per-site cost
+//!   ÷ warm latency — lands in the artifact per case and the validator
+//!   fails the run if any case reaches 2%.
+//! * **Trace schema.** The smallest case's recorded solve is exported as
+//!   `TRACE_awe.json` (Chrome trace-event JSON, Perfetto-loadable) and
+//!   re-read through a schema check: well-formed array, only expected
+//!   phases, paired `B`/`E` if any ever appear, non-negative and
+//!   globally monotone timestamps. Malformed output exits nonzero.
+//!
 //! `AWE_BENCH_TINY=1` (or the harness's `--test` flag) shrinks the sweep
 //! to one case per topology for smoke runs.
 
@@ -24,8 +40,12 @@ use std::time::Instant;
 use awe::{AweEngine, AweOptions, StageTimings};
 use awe_circuit::generators::{random_rc_tree, rc_mesh, rlc_ladder};
 use awe_circuit::{Circuit, NodeId, Waveform};
+use awe_obs::{Counter, Histogram, Profile, Recording};
 
 const ORDER: usize = 2;
+
+/// Hard ceiling on the projected tracing-off overhead per warm solve.
+const OVERHEAD_BUDGET: f64 = 0.02;
 
 struct Case {
     name: String,
@@ -41,6 +61,10 @@ struct Row {
     refactor_s: f64,
     warm_latency: f64,
     refactored: bool,
+    /// Instrumentation sites one warm solve crosses (events recorded +
+    /// counter bumps + histogram observations, tallied under a
+    /// recording).
+    obs_sites: u64,
 }
 
 fn cases(tiny: bool) -> Vec<Case> {
@@ -78,7 +102,7 @@ fn cases(tiny: bool) -> Vec<Case> {
     out
 }
 
-fn measure(case: &Case, reps: usize) -> Row {
+fn measure(case: &Case, reps: usize) -> (Row, Profile) {
     let opts = AweOptions::default();
 
     // Cold: fresh engine per rep (assembly + symbolic + numeric factor).
@@ -119,7 +143,23 @@ fn measure(case: &Case, reps: usize) -> Row {
             refactor_s = refactor_s.min(r);
         }
     }
-    Row {
+    // One more warm solve under a recording: its event/counter/histogram
+    // tally is the instrumentation-site count a solve crosses, which the
+    // tracing-off overhead projection multiplies by the per-site cost.
+    let rec = Recording::start().expect("no other recording active in the bench");
+    engine
+        .approximate_timed(case.output, ORDER, opts)
+        .expect("solves");
+    let profile = rec.finish();
+    let obs_sites = profile
+        .lanes
+        .iter()
+        .map(|l| l.events.len() as u64 + l.dropped)
+        .sum::<u64>()
+        + profile.counters.iter().map(|c| c.value).sum::<u64>()
+        + profile.histograms.iter().map(|h| h.count).sum::<u64>();
+
+    let row = Row {
         name: case.name.clone(),
         unknowns,
         cold: cold_clock,
@@ -127,10 +167,41 @@ fn measure(case: &Case, reps: usize) -> Row {
         refactor_s: if refactored { refactor_s } else { 0.0 },
         warm_latency,
         refactored,
-    }
+        obs_sites,
+    };
+    (row, profile)
 }
 
-fn render(rows: &[Row], tiny: bool) -> String {
+/// Measures the cost of one instrumentation site with tracing **off**:
+/// the minimum over a few passes of a span-create/note/drop plus a
+/// counter bump plus a histogram record, none of which may do more than
+/// a relaxed load and a branch while no recording is active.
+fn disabled_site_cost_s() -> f64 {
+    static PROBE: Counter = Counter::new("bench.probe");
+    static PROBE_HIST: Histogram = Histogram::new("bench.probe_hist");
+    assert!(
+        !awe_obs::enabled(),
+        "the tracing-off probe must run with no recording active"
+    );
+    const SITES_PER_ITER: usize = 3;
+    const ITERS: usize = 1 << 20;
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for i in 0..ITERS {
+            let mut s = awe_obs::span("bench.probe_span");
+            s.note(i as f64, 0.0);
+            std::hint::black_box(s.is_live());
+            drop(s);
+            PROBE.incr();
+            PROBE_HIST.record(i as f64);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best / (SITES_PER_ITER * ITERS) as f64
+}
+
+fn render(rows: &[Row], tiny: bool, site_cost_s: f64) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"awe_latency\",");
     let _ = writeln!(out, "  \"order\": {ORDER},");
@@ -139,6 +210,7 @@ fn render(rows: &[Row], tiny: bool) -> String {
         "  \"mode\": \"{}\",",
         if tiny { "tiny" } else { "full" }
     );
+    let _ = writeln!(out, "  \"tracing_off_site_cost_s\": {site_cost_s:e},");
     out.push_str("  \"cases\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
@@ -147,12 +219,14 @@ fn render(rows: &[Row], tiny: bool) -> String {
         } else {
             "null".to_string()
         };
+        let overhead = r.obs_sites as f64 * site_cost_s / r.warm_latency;
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"unknowns\": {}, \"refactored\": {}, \
              \"mna_s\": {:e}, \"factor_s\": {:e}, \"refactor_s\": {:e}, \
              \"moments_s\": {:e}, \"pade_s\": {:e}, \"residues_s\": {:e}, \
              \"cold_latency_s\": {:e}, \"warm_latency_s\": {:e}, \
+             \"obs_sites_per_solve\": {}, \"tracing_off_overhead_frac\": {overhead:e}, \
              \"refactor_speedup\": {speedup}}}{comma}",
             r.name,
             r.unknowns,
@@ -165,6 +239,7 @@ fn render(rows: &[Row], tiny: bool) -> String {
             r.cold.residues.as_secs_f64(),
             r.cold_latency,
             r.warm_latency,
+            r.obs_sites,
         );
     }
     out.push_str("  ]\n}\n");
@@ -230,6 +305,104 @@ fn validate(json: &str, expected_cases: usize) -> Vec<String> {
             Some(_) => {}
             None => errs.push(format!("{name}: missing refactor_s")),
         }
+        match field_f64(line, "obs_sites_per_solve") {
+            Some(v) if v >= 1.0 => {}
+            Some(v) => errs.push(format!(
+                "{name}: obs_sites_per_solve = {v} (an instrumented solve crosses sites)"
+            )),
+            None => errs.push(format!("{name}: missing obs_sites_per_solve")),
+        }
+        // The tracing-off overhead budget is a release gate, not advice:
+        // a case at or past 2% fails the bench.
+        match field_f64(line, "tracing_off_overhead_frac") {
+            Some(v) if (0.0..OVERHEAD_BUDGET).contains(&v) => {}
+            Some(v) => errs.push(format!(
+                "{name}: projected tracing-off overhead {:.3}% breaches the {:.0}% budget",
+                v * 100.0,
+                OVERHEAD_BUDGET * 100.0
+            )),
+            None => errs.push(format!("{name}: missing tracing_off_overhead_frac")),
+        }
+    }
+    errs
+}
+
+/// Extracts `"key": "<string>"` from a one-event JSON line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Validates the Chrome trace-event artifact: a well-formed JSON array
+/// of one-line event objects; phases limited to complete (`X`), instant
+/// (`i`), metadata (`M`) and — should the sink ever emit them — paired
+/// begin/end (`B`/`E`); timestamps and durations non-negative; event
+/// order globally monotone in `ts` (the sink sorts before writing).
+fn validate_trace(json: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let body = json.trim();
+    if !body.starts_with('[') || !body.ends_with(']') {
+        errs.push("not a JSON array".to_string());
+        return errs;
+    }
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        if json.matches(open).count() != json.matches(close).count() {
+            errs.push(format!("unbalanced {open}{close}"));
+        }
+    }
+    let (mut begins, mut ends, mut spans, mut meta) = (0usize, 0usize, 0usize, 0usize);
+    let mut last_ts = 0.0f64;
+    for (i, raw) in json.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let row = i + 1;
+        let Some(ph) = field_str(line, "ph") else {
+            errs.push(format!("line {row}: event without a ph field"));
+            continue;
+        };
+        match ph {
+            "M" => {
+                meta += 1;
+                continue; // metadata events carry no timestamp
+            }
+            "X" => spans += 1,
+            "i" => {}
+            "B" => begins += 1,
+            "E" => ends += 1,
+            other => errs.push(format!("line {row}: unexpected phase {other:?}")),
+        }
+        match field_f64(line, "ts") {
+            Some(ts) if ts >= 0.0 => {
+                if ts < last_ts {
+                    errs.push(format!(
+                        "line {row}: ts {ts} breaks monotone order (previous {last_ts})"
+                    ));
+                }
+                last_ts = ts;
+            }
+            Some(ts) => errs.push(format!("line {row}: negative ts {ts}")),
+            None => errs.push(format!("line {row}: missing ts")),
+        }
+        if ph == "X" {
+            match field_f64(line, "dur") {
+                Some(d) if d >= 0.0 => {}
+                Some(d) => errs.push(format!("line {row}: negative dur {d}")),
+                None => errs.push(format!("line {row}: complete event missing dur")),
+            }
+        }
+    }
+    if begins != ends {
+        errs.push(format!("{begins} B events but {ends} E events (unpaired)"));
+    }
+    if spans == 0 {
+        errs.push("no complete (X) span events".to_string());
+    }
+    if meta == 0 {
+        errs.push("no metadata (M) events — lanes would be unnamed".to_string());
     }
     errs
 }
@@ -238,24 +411,34 @@ fn main() {
     let tiny = std::env::var("AWE_BENCH_TINY").is_ok() || std::env::args().any(|a| a == "--test");
     let reps = if tiny { 2 } else { 5 };
 
+    // Per-site tracing-off cost, measured before any recording runs.
+    let site_cost = disabled_site_cost_s();
+    println!("tracing-off probe: {:.2} ns per site", site_cost * 1e9);
+
     let cases = cases(tiny);
     let mut rows = Vec::with_capacity(cases.len());
+    let mut trace_profile: Option<Profile> = None;
     for case in &cases {
-        let row = measure(case, reps);
+        let (row, profile) = measure(case, reps);
         println!(
             "{:<14} n={:<5} cold {:>9.1} us (factor {:>8.1} us)  warm {:>9.1} us \
-             (refactor {:>7.1} us)",
+             (refactor {:>7.1} us)  obs {:>4} sites ({:.3}% off-overhead)",
             row.name,
             row.unknowns,
             row.cold_latency * 1e6,
             row.cold.factor.as_secs_f64() * 1e6,
             row.warm_latency * 1e6,
             row.refactor_s * 1e6,
+            row.obs_sites,
+            row.obs_sites as f64 * site_cost / row.warm_latency * 100.0,
         );
+        // The first (smallest) case's recorded solve becomes the trace
+        // artifact.
+        trace_profile.get_or_insert(profile);
         rows.push(row);
     }
 
-    let json = render(&rows, tiny);
+    let json = render(&rows, tiny, site_cost);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_awe.json");
     if let Err(e) = std::fs::write(path, &json) {
         eprintln!("cannot write {path}: {e}");
@@ -272,4 +455,28 @@ fn main() {
         std::process::exit(1);
     }
     println!("BENCH_awe.json validated: {} cases", rows.len());
+
+    let trace = trace_profile.expect("at least one case ran").chrome_trace();
+    let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TRACE_awe.json");
+    if let Err(e) = std::fs::write(trace_path, &trace) {
+        eprintln!("cannot write {trace_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {trace_path}");
+
+    let written = std::fs::read_to_string(trace_path).unwrap_or_default();
+    let errs = validate_trace(&written);
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("TRACE_awe.json validation: {e}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "TRACE_awe.json validated: {} events",
+        written
+            .lines()
+            .filter(|l| l.trim().starts_with('{'))
+            .count()
+    );
 }

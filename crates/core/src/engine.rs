@@ -12,12 +12,22 @@ use std::time::{Duration, Instant};
 use awe_circuit::{Circuit, NodeId};
 use awe_mna::{MnaSystem, MomentEngine, MomentWorkspace, Piece};
 use awe_numeric::SharedSymbolic;
+use awe_obs::Health;
 
 use crate::error::AweError;
 use crate::pade::{match_poles, PadeOptions};
 use crate::residues::{match_residues, match_residues_with_slope};
 use crate::response::{AweApproximation, ResponsePiece};
 use crate::terms::ExpSum;
+
+/// Moment-matrix condition above which a delivered model's residues can
+/// no longer be trusted. Mirrors the verify harness's `CONDITION_CAP`
+/// (1e14, documented there from seed-0 fuzz evidence); a solve whose
+/// final condition exceeds it emits a `condition_warning` health event.
+const CONDITION_WARN: f64 = 1e14;
+
+/// Moment-matrix condition estimates observed per reduction.
+static CONDITION_HIST: awe_obs::Histogram = awe_obs::Histogram::new("engine.condition");
 
 /// Options controlling an AWE run.
 #[derive(Clone, Copy, Debug)]
@@ -107,6 +117,14 @@ pub struct AweEngine {
 /// the other stages are accumulated across every reduction the solve
 /// performed, including §3.3 order escalations and the §3.4 `(q+1)`
 /// error-reference model.
+///
+/// This struct is now a compatibility shim over the `awe-obs` spans the
+/// same regions emit: `factor`/`refactor` mirror the `lu.factor` /
+/// `lu.refactor` / `lu.dense_factor` spans, `moments` mirrors
+/// `mna.decompose`, and `pade`/`residues` mirror the spans of the same
+/// names. The struct stays because the batch report machinery sums it
+/// per worker; a trace recording gives the same regions per thread with
+/// full timing structure.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StageTimings {
     /// MNA system assembly ([`AweEngine::new`]).
@@ -236,6 +254,8 @@ impl AweEngine {
         order: usize,
         options: AweOptions,
     ) -> Result<(AweApproximation, StageTimings), AweError> {
+        let mut solve_span = awe_obs::span("engine.solve");
+        solve_span.note(order as f64, self.system.num_unknowns() as f64);
         let mut clock = StageTimings {
             mna: self.assembly,
             ..StageTimings::default()
@@ -320,6 +340,19 @@ impl AweEngine {
         // Return the decomposition's vectors to the pool so the next
         // solve's recursion starts warm.
         self.workspace.lock().expect("workspace lock").recycle(dec);
+        if awe_obs::enabled() {
+            if approx.order != order {
+                awe_obs::health(Health::PadeOrder {
+                    requested: order,
+                    chosen: approx.order,
+                });
+            }
+            if approx.condition > CONDITION_WARN {
+                awe_obs::health(Health::ConditionWarning {
+                    condition: approx.condition,
+                });
+            }
+        }
         Ok((approx, clock))
     }
 
@@ -383,17 +416,21 @@ impl AweEngine {
                     }
                     visited[q_eff] = true;
                     let pade_start = Instant::now();
+                    let pade_span = awe_obs::span("pade");
                     let poles_attempt = match slope_seq.as_deref() {
                         Some(seq) => match_poles(seq, q_eff, pade_opts),
                         None => match_poles(&moments, q_eff, pade_opts),
                     };
+                    drop(pade_span);
                     clock.pade += pade_start.elapsed();
                     let attempt = poles_attempt.and_then(|p| {
                         let residues_start = Instant::now();
+                        let residues_span = awe_obs::span("residues");
                         let terms = match slope_seq.as_deref() {
                             Some(seq) => match_residues_with_slope(&p.poles, seq),
                             None => match_residues(&p.poles, &moments),
                         };
+                        drop(residues_span);
                         clock.residues += residues_start.elapsed();
                         terms.map(|t| (p, t))
                     });
@@ -402,6 +439,10 @@ impl AweEngine {
                         Err(AweError::MomentMatrixSingular { achievable, .. })
                             if achievable > 0 && achievable < q_eff && !visited[achievable] =>
                         {
+                            awe_obs::health(Health::OrderFallback {
+                                from: q_eff,
+                                to: achievable,
+                            });
                             q_eff = achievable;
                         }
                         Err(AweError::MomentMatrixSingular { .. })
@@ -410,6 +451,10 @@ impl AweEngine {
                             q_eff += 1;
                         }
                         Err(AweError::Numeric(_)) if q_eff > 1 && !visited[q_eff - 1] => {
+                            awe_obs::health(Health::OrderFallback {
+                                from: q_eff,
+                                to: q_eff - 1,
+                            });
                             q_eff -= 1;
                         }
                         Err(e) => return Err(e),
@@ -450,6 +495,13 @@ impl AweEngine {
             });
         }
 
+        if awe_obs::enabled() && condition > 0.0 {
+            CONDITION_HIST.record(condition);
+            awe_obs::health(Health::Condition {
+                stage: "pade",
+                estimate: condition,
+            });
+        }
         Ok(AweApproximation {
             order: if used_order == 0 { q } else { used_order },
             baseline: baseline[idx],

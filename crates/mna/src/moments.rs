@@ -43,6 +43,11 @@ use awe_numeric::{Lu, LuSymbolic, Matrix, NumericError, SolveScratch, SparseLu, 
 use crate::error::MnaError;
 use crate::system::MnaSystem;
 
+/// Workspace-pool reuse across a recording: a hit recycles a finished
+/// moment vector's storage, a miss allocates.
+static POOL_HIT: awe_obs::Counter = awe_obs::Counter::new("mna.workspace.pool_hit");
+static POOL_MISS: awe_obs::Counter = awe_obs::Counter::new("mna.workspace.pool_miss");
+
 /// The initial (t = 0⁻) dynamic state of the circuit.
 #[derive(Clone, Debug)]
 pub struct InitialState {
@@ -180,7 +185,16 @@ impl MomentWorkspace {
 
     /// Takes a vector from the pool (or a fresh one), cleared.
     fn take(&mut self) -> Vec<f64> {
-        self.pool.pop().unwrap_or_default()
+        match self.pool.pop() {
+            Some(v) => {
+                POOL_HIT.incr();
+                v
+            }
+            None => {
+                POOL_MISS.incr();
+                Vec::new()
+            }
+        }
     }
 
     /// Returns a vector's storage to the pool for reuse.
@@ -290,6 +304,8 @@ impl<'a> MomentEngine<'a> {
                 }
             }
         }
+        let mut sp = awe_obs::span("lu.dense_factor");
+        sp.note(n as f64, 0.0);
         let lu = Lu::factor(&system.g_tilde)?;
         Ok(MomentEngine {
             system,
@@ -730,6 +746,8 @@ impl<'a> MomentEngine<'a> {
         ws: &mut MomentWorkspace,
         count: usize,
     ) -> Result<Decomposition, MnaError> {
+        let mut dec_span = awe_obs::span("mna.decompose");
+        dec_span.note(count as f64, self.system.num_unknowns() as f64);
         // A piece awaiting its moment sequence: everything but `moments`.
         struct Proto {
             kind: PieceKind,
@@ -931,6 +949,10 @@ impl<'a> MomentEngine<'a> {
                 rhs.clear();
                 rhs.resize(np * n, 0.0);
                 for step in 0..extra {
+                    // One span per blocked moment solve: all pieces
+                    // advance one moment in this region.
+                    let mut step_span = awe_obs::span("moment.solve");
+                    step_span.note(step as f64, np as f64);
                     for (p, seq) in seqs.iter().enumerate() {
                         let prev = seq.last().expect("seeded sequence");
                         // The seed's charge image uses the dense C̃ (as

@@ -16,11 +16,49 @@
 
 use std::sync::Arc;
 
+use awe_obs::Health;
+
 use crate::error::NumericError;
 use crate::sparse::SparseMatrix;
 use crate::symbolic::{LuSymbolic, SolveScratch};
 
 const NONE: usize = usize::MAX;
+
+/// Element growth observed across numeric (re)factorizations — max |U|
+/// over max |A| per factorization. Large growth flags a pivot order gone
+/// stale for the current values.
+static PIVOT_GROWTH: awe_obs::Histogram = awe_obs::Histogram::new("lu.pivot_growth");
+
+/// Refactorization admissibility outcomes across a recording.
+static REFACTOR_ACCEPTED: awe_obs::Counter = awe_obs::Counter::new("lu.refactor.accepted");
+static REFACTOR_REJECTED: awe_obs::Counter = awe_obs::Counter::new("lu.refactor.rejected");
+
+/// Records the pivot-growth health event for a finished factorization:
+/// `max |U| / max |A|`, the classic stability monitor for a fixed pivot
+/// sequence. Only called when a recording is active, so the extra pass
+/// over the values costs nothing in normal runs.
+fn note_pivot_growth(a: &SparseMatrix, u_vals: &[f64], u_diag: &[f64]) {
+    let mut a_max = 0.0f64;
+    for j in 0..a.cols() {
+        let (_, vals) = a.col(j);
+        for &v in vals {
+            a_max = a_max.max(v.abs());
+        }
+    }
+    if a_max == 0.0 {
+        return;
+    }
+    let mut u_max = 0.0f64;
+    for &v in u_vals {
+        u_max = u_max.max(v.abs());
+    }
+    for &v in u_diag {
+        u_max = u_max.max(v.abs());
+    }
+    let growth = u_max / a_max;
+    PIVOT_GROWTH.record(growth);
+    awe_obs::health(Health::PivotGrowth { growth });
+}
 
 /// Diagonal-preference threshold: the structural diagonal is kept as the
 /// pivot when its magnitude is within this factor of the column maximum,
@@ -105,6 +143,7 @@ impl SparseLu {
     /// * [`NumericError::DimensionMismatch`] for a bad `col_order` length.
     /// * [`NumericError::Singular`] when a column has no usable pivot.
     pub fn factor(a: &SparseMatrix, col_order: Option<&[usize]>) -> Result<SparseLu, NumericError> {
+        let mut sp = awe_obs::span("lu.factor");
         if a.rows() != a.cols() {
             return Err(NumericError::NotSquare {
                 rows: a.rows(),
@@ -271,6 +310,10 @@ impl SparseLu {
             }
         }
 
+        if sp.is_live() {
+            sp.note(n as f64, (l_vals.len() + u_vals.len() + n) as f64);
+            note_pivot_growth(a, &u_vals, &u_diag);
+        }
         Ok(SparseLu {
             symbolic: Arc::new(LuSymbolic {
                 n,
@@ -312,6 +355,7 @@ impl SparseLu {
         symbolic: &Arc<LuSymbolic>,
         a: &SparseMatrix,
     ) -> Result<SparseLu, NumericError> {
+        let mut sp = awe_obs::span("lu.refactor");
         symbolic.check_matches(a)?;
         let s = &**symbolic;
         let n = s.n;
@@ -354,6 +398,8 @@ impl SparseLu {
                 for t in s.l_ptr[k]..s.l_ptr[k + 1] {
                     x[s.l_rows[t]] = 0.0;
                 }
+                REFACTOR_REJECTED.incr();
+                awe_obs::health(Health::RefactorRejected { pivot: k });
                 return Err(NumericError::Singular { pivot: k });
             }
             for t in s.l_ptr[k]..s.l_ptr[k + 1] {
@@ -371,6 +417,12 @@ impl SparseLu {
             }
         }
 
+        if sp.is_live() {
+            sp.note(n as f64, (l_vals.len() + u_vals.len() + n) as f64);
+            REFACTOR_ACCEPTED.incr();
+            awe_obs::health(Health::RefactorAccepted);
+            note_pivot_growth(a, &u_vals, &u_diag);
+        }
         Ok(SparseLu {
             symbolic: Arc::clone(symbolic),
             l_vals,

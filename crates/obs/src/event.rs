@@ -1,0 +1,142 @@
+//! Event model: what a lane records.
+//!
+//! Everything is a flat [`Event`] — a `&'static str` name, an optional
+//! `&'static str` detail, two `f64` payload slots and nanosecond
+//! timestamps — so recording never allocates. The typed [`Health`] enum
+//! is the public face of the numerical-health taxonomy; it encodes down
+//! to the same flat shape.
+
+/// What kind of record an [`Event`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed region (`ph: "X"` in the Chrome trace).
+    Span,
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+    /// A numerical-health marker (`ph: "i"`, named per [`Health`]).
+    Health,
+}
+
+/// One recorded event. Flat and `Copy` so the ring buffer never chases
+/// pointers; the payload meaning of `a`/`b` depends on `name` (see
+/// [`Health::encode`] and the span `note` API).
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Nanoseconds since the recorder epoch at which the event started.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds; zero for instant and health events.
+    pub dur_ns: u64,
+    /// Span, instant or health.
+    pub kind: EventKind,
+    /// Event name, e.g. `"lu.refactor"` or `"condition_warning"`.
+    pub name: &'static str,
+    /// Optional static qualifier, e.g. a stage or oracle name.
+    pub detail: &'static str,
+    /// First payload slot (meaning depends on `name`).
+    pub a: f64,
+    /// Second payload slot (meaning depends on `name`).
+    pub b: f64,
+}
+
+/// Typed numerical-health events — the signals that decide whether an
+/// AWE model can be trusted, surfaced where they happen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Health {
+    /// A moment-matrix condition estimate observed at `stage`.
+    Condition {
+        /// Where the estimate was formed (e.g. `"pade"`).
+        stage: &'static str,
+        /// The condition estimate itself.
+        estimate: f64,
+    },
+    /// Element growth observed in a numeric (re)factorization: max |U|
+    /// over max |A|. Large growth means the pivot order has gone stale.
+    PivotGrowth {
+        /// The growth factor.
+        growth: f64,
+    },
+    /// A Gilbert–Peierls refactorization reused the symbolic pattern
+    /// and pivot order successfully.
+    RefactorAccepted,
+    /// A refactorization was rejected by the admissibility test — the
+    /// pivot at column `pivot` collapsed under the recycled ordering.
+    RefactorRejected {
+        /// Column index of the offending pivot.
+        pivot: usize,
+    },
+    /// A Padé model was delivered at `chosen` order after `requested`
+    /// was asked for (they differ when the moment matrix is singular at
+    /// the requested order or a pole count fell short).
+    PadeOrder {
+        /// Order the caller asked for.
+        requested: usize,
+        /// Order actually delivered.
+        chosen: usize,
+    },
+    /// An order step-down: order `from` was abandoned for `to` because
+    /// the higher-order model was unstable or untrustworthy (§3.3).
+    OrderFallback {
+        /// The abandoned order.
+        from: usize,
+        /// The order tried next.
+        to: usize,
+    },
+    /// A delivered model's moment-matrix condition exceeds the trust
+    /// cap (1e14, the verify harness convention) — its residues may be
+    /// garbage even if every pole is stable.
+    ConditionWarning {
+        /// The offending condition estimate.
+        condition: f64,
+    },
+    /// A verify oracle returned `Fail` — the engine and the oracle's
+    /// independent reference disagree.
+    OracleDisagreement {
+        /// Oracle name, e.g. `"transient"`.
+        oracle: &'static str,
+    },
+}
+
+impl Health {
+    /// The event name this health record is filed under.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Health::Condition { .. } => "condition_estimate",
+            Health::PivotGrowth { .. } => "pivot_growth",
+            Health::RefactorAccepted => "refactor_accepted",
+            Health::RefactorRejected { .. } => "refactor_rejected",
+            Health::PadeOrder { .. } => "pade_order",
+            Health::OrderFallback { .. } => "order_fallback",
+            Health::ConditionWarning { .. } => "condition_warning",
+            Health::OracleDisagreement { .. } => "oracle_disagreement",
+        }
+    }
+
+    /// Flattens to `(name, detail, a, b)` — the [`Event`] payload shape.
+    pub fn encode(&self) -> (&'static str, &'static str, f64, f64) {
+        let name = self.name();
+        match *self {
+            Health::Condition { stage, estimate } => (name, stage, estimate, 0.0),
+            Health::PivotGrowth { growth } => (name, "", growth, 0.0),
+            Health::RefactorAccepted => (name, "", 0.0, 0.0),
+            Health::RefactorRejected { pivot } => (name, "", pivot as f64, 0.0),
+            Health::PadeOrder { requested, chosen } => (name, "", requested as f64, chosen as f64),
+            Health::OrderFallback { from, to } => (name, "", from as f64, to as f64),
+            Health::ConditionWarning { condition } => (name, "", condition, 0.0),
+            Health::OracleDisagreement { oracle } => (name, oracle, 0.0, 0.0),
+        }
+    }
+}
+
+/// Human-facing names for the two payload slots of a given event name;
+/// used by the sinks to label Chrome-trace `args`.
+pub(crate) fn arg_names(name: &str) -> (&'static str, &'static str) {
+    match name {
+        "condition_estimate" => ("estimate", "b"),
+        "pivot_growth" => ("growth", "b"),
+        "refactor_rejected" => ("pivot", "b"),
+        "pade_order" => ("requested", "chosen"),
+        "order_fallback" => ("from", "to"),
+        "condition_warning" => ("condition", "b"),
+        _ => ("a", "b"),
+    }
+}

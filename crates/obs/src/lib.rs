@@ -1,0 +1,56 @@
+//! # awe-obs
+//!
+//! Std-only, zero-dependency observability substrate for the AWEsim
+//! workspace: structured spans, monotonic counters, log-scale histograms
+//! and typed **numerical-health** events, recorded into per-thread ring
+//! buffers and exported through three sinks from one recording.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-zero cost when off.** Every entry point starts with one
+//!    relaxed atomic load ([`enabled`]). With no [`Recording`] active a
+//!    span is an inert `Option::None` guard and a counter bump is a
+//!    load + branch. The `awe_latency` bench asserts this stays under
+//!    2% of the warm solve latency.
+//! 2. **No contention on the hot path.** Events go to the calling
+//!    thread's own lane (a bounded ring buffer) under a mutex only that
+//!    thread touches while recording, so the lock is uncontended until
+//!    the moment [`Recording::finish`] drains it. Lanes register with
+//!    the session at birth, which is what makes `finish` complete and
+//!    race-free no matter how the recording threads were scheduled or
+//!    joined (see the recorder module docs for why flush-on-thread-exit
+//!    cannot give that guarantee under `std::thread::scope`).
+//! 3. **Bounded memory.** Each lane holds at most [`LANE_CAPACITY`]
+//!    events; on overflow the oldest event is dropped and a per-lane
+//!    drop counter reports the loss instead of hiding it.
+//!
+//! One recording, three sinks (see [`Profile`]):
+//!
+//! * [`Profile::chrome_trace`] — Chrome trace-event JSON, loadable in
+//!   `chrome://tracing` or Perfetto, one lane per pool worker;
+//! * [`Profile::text_report`] — human-readable summary;
+//! * [`Profile::metrics_json`] — flat metrics JSON for report tooling.
+//!
+//! The typed [`Health`] events carry the numerical signals that decide
+//! AWE quality: moment-matrix condition estimates, pivot growth in the
+//! Gilbert–Peierls refactor path, refactor accept/reject, Padé order
+//! chosen vs. requested (§3.3 instability fallbacks) and verify-oracle
+//! disagreements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod recorder;
+mod sinks;
+
+pub use event::{Event, EventKind, Health};
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, CounterSnapshot, Histogram, HistogramSnapshot,
+    HIST_BUCKETS,
+};
+pub use recorder::{
+    enabled, health, instant, set_lane_label, span, span_labeled, LaneData, Profile, Recording,
+    Span, LANE_CAPACITY,
+};

@@ -1,0 +1,267 @@
+//! Counters and log-scale histograms.
+//!
+//! Both are designed to live in `static` items at the instrumentation
+//! site, so the hot path is a relaxed atomic op with no lookup:
+//!
+//! ```
+//! static PATTERN_HITS: awe_obs::Counter = awe_obs::Counter::new("batch.pattern_hits");
+//! PATTERN_HITS.incr();
+//! ```
+//!
+//! A metric registers itself in a global registry the first time it is
+//! touched while a recording is active (one `swap` on an `AtomicBool`,
+//! then once through a mutex); [`crate::Recording::start`] resets every
+//! registered metric so values never leak across sessions.
+//!
+//! Histogram buckets are powers of two keyed directly off the IEEE-754
+//! exponent bits — not `log2().floor()`, whose rounding near bucket
+//! edges would misfile values — so `bucket_bounds(bucket_index(v))`
+//! brackets `v` *exactly* for every positive finite `v` (property-tested
+//! in `tests/primitives.rs`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::recorder::enabled;
+
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+/// Resets every registered counter and histogram to zero. Called by
+/// [`crate::Recording::start`].
+pub(crate) fn reset_registered() {
+    if let Ok(counters) = COUNTERS.lock() {
+        for c in counters.iter() {
+            c.value.store(0, Ordering::Relaxed);
+        }
+    }
+    if let Ok(histograms) = HISTOGRAMS.lock() {
+        for h in histograms.iter() {
+            h.count.store(0, Ordering::Relaxed);
+            h.sum_bits.store(0, Ordering::Relaxed);
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A monotonic counter. Construct as a `static`; updates are relaxed
+/// atomic adds and no-ops while no recording is active.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new counter named `name` (use a dotted path, e.g.
+    /// `"pool.steals"`).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n`. No-op when no recording is active.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one. No-op when no recording is active.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            if let Ok(mut reg) = COUNTERS.lock() {
+                reg.push(self);
+            }
+        }
+    }
+}
+
+/// A counter's value at [`crate::Recording::finish`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// The counter's name.
+    pub name: &'static str,
+    /// Its accumulated value for the recording.
+    pub value: u64,
+}
+
+pub(crate) fn snapshot_counters() -> Vec<CounterSnapshot> {
+    let mut out: Vec<CounterSnapshot> = COUNTERS
+        .lock()
+        .map(|reg| {
+            reg.iter()
+                .map(|c| CounterSnapshot {
+                    name: c.name,
+                    value: c.value.load(Ordering::Relaxed),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    out.retain(|c| c.value > 0);
+    out.sort_by(|x, y| x.name.cmp(y.name));
+    out
+}
+
+/// Bucket count of a [`Histogram`]: one underflow bucket, 128
+/// power-of-two buckets spanning `[2^-64, 2^64)`, one overflow bucket.
+pub const HIST_BUCKETS: usize = 130;
+
+/// The bucket a value lands in. Non-positive, NaN and sub-`2^-64`
+/// values land in the underflow bucket (0); `2^64` and above (including
+/// `+inf`) in the overflow bucket (`HIST_BUCKETS - 1`).
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    if v == f64::INFINITY {
+        return HIST_BUCKETS - 1;
+    }
+    // Biased exponent straight from the bits: exact bucketing, immune
+    // to the rounding of log2().floor() near bucket edges. Subnormals
+    // read as e = -1023 and clamp into the underflow bucket.
+    let e = ((v.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+    if e < -64 {
+        0
+    } else if e > 63 {
+        HIST_BUCKETS - 1
+    } else {
+        (e + 65) as usize
+    }
+}
+
+/// The half-open range `[lo, hi)` of values bucket `i` holds. The
+/// underflow bucket reports `(-inf, 2^-64)`, the overflow bucket
+/// `[2^64, +inf]`.
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    assert!(i < HIST_BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        (f64::NEG_INFINITY, (-64f64).exp2())
+    } else if i == HIST_BUCKETS - 1 {
+        (64f64.exp2(), f64::INFINITY)
+    } else {
+        let e = i as f64 - 65.0;
+        (e.exp2(), (e + 1.0).exp2())
+    }
+}
+
+/// A fixed-bucket log-scale histogram (powers of two). Construct as a
+/// `static`; recording is lock-free (relaxed atomics plus a CAS loop
+/// for the `f64` sum) and a no-op while no recording is active.
+pub struct Histogram {
+    name: &'static str,
+    registered: AtomicBool,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// A new histogram named `name`.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            registered: AtomicBool::new(false),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+
+    /// Records one observation. No-op when no recording is active.
+    #[inline]
+    pub fn record(&'static self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            if let Ok(mut reg) = HISTOGRAMS.lock() {
+                reg.push(self);
+            }
+        }
+    }
+}
+
+/// A histogram's contents at [`crate::Recording::finish`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// The histogram's name.
+    pub name: &'static str,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// `(bucket index, observations)` for every non-empty bucket, in
+    /// bucket order. Decode ranges with [`bucket_bounds`].
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+pub(crate) fn snapshot_histograms() -> Vec<HistogramSnapshot> {
+    let mut out: Vec<HistogramSnapshot> = HISTOGRAMS
+        .lock()
+        .map(|reg| {
+            reg.iter()
+                .map(|h| HistogramSnapshot {
+                    name: h.name,
+                    count: h.count.load(Ordering::Relaxed),
+                    sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| {
+                            let n = b.load(Ordering::Relaxed);
+                            (n > 0).then_some((i, n))
+                        })
+                        .collect(),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    out.retain(|h| h.count > 0);
+    out.sort_by(|x, y| x.name.cmp(y.name));
+    out
+}

@@ -1,0 +1,371 @@
+//! The recorder: a global on/off switch, per-thread event lanes and the
+//! [`Recording`] session that collects them into a [`Profile`].
+//!
+//! ## Hot path
+//!
+//! Every public entry point ([`span`], [`instant`], [`health`], counter
+//! and histogram updates) begins with a relaxed load of one
+//! `AtomicBool`. When no recording is active that load-and-branch is the
+//! whole cost — no lock is ever touched. When recording, events append
+//! to the calling thread's private lane slot under that slot's mutex;
+//! the mutex is thread-private, so it is uncontended for the entire run
+//! and only ever contested for the instant [`Recording::finish`] drains
+//! it. No allocation happens after the ring warms up.
+//!
+//! ## Lanes and generations
+//!
+//! A lane is born the first time a thread records during a given
+//! recording *generation* and is registered with the session
+//! immediately, so [`Recording::finish`] collects every event recorded
+//! before it ran no matter how the recording threads were scheduled or
+//! joined. (An earlier design flushed lanes from thread-local
+//! destructors; `std::thread::scope` unblocks when a spawned closure
+//! returns, *before* that thread's TLS destructors run, so a lane could
+//! flush after `finish` had already drained — a lost lane. Registration
+//! at birth has no such race.) A global generation counter lets a thread
+//! detect that its lane handle belongs to a finished recording: the
+//! stale handle is dropped and a fresh lane is registered with the live
+//! session. Events recorded by a thread that outlives `finish` land in
+//! the drained slot — lost, by design, rather than blocking or
+//! corrupting the next recording.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use crate::event::{Event, EventKind, Health};
+use crate::metrics::{reset_registered, snapshot_counters, snapshot_histograms};
+use crate::{CounterSnapshot, HistogramSnapshot};
+
+/// Maximum events a single lane retains; beyond this the oldest event
+/// is dropped and the lane's drop counter grows.
+pub const LANE_CAPACITY: usize = 1 << 14;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static SESSION: Mutex<Option<Arc<SessionState>>> = Mutex::new(None);
+
+/// True when a [`Recording`] is active. One relaxed atomic load — this
+/// is the guard every instrumentation site checks first.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn now_ns() -> u64 {
+    EPOCH.get().map_or(0, |e| e.elapsed().as_nanos() as u64)
+}
+
+struct SessionState {
+    generation: u64,
+    next_lane: AtomicU64,
+    /// Every lane born in this session, registered at creation. The
+    /// recording thread keeps an `Arc` to its own slot; `finish` drains
+    /// the registry without waiting on any thread's exit.
+    lanes: Mutex<Vec<Arc<LaneSlot>>>,
+}
+
+/// One thread's shared lane storage. The mutex is thread-private in
+/// steady state (only the owning thread records into it), so every lock
+/// on the record path is uncontended.
+struct LaneSlot {
+    buf: Mutex<LaneBuf>,
+}
+
+struct LaneBuf {
+    label: String,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// A finished lane: one thread's events for one recording.
+#[derive(Clone, Debug)]
+pub struct LaneData {
+    /// Lane label — `"worker-N"` for pool workers (see
+    /// [`set_lane_label`]), `"thread-N"` (birth order) otherwise.
+    pub label: String,
+    /// The retained events, in record order.
+    pub events: Vec<Event>,
+    /// Events lost to ring overflow.
+    pub dropped: u64,
+}
+
+/// The calling thread's handle onto its registered lane slot.
+struct LocalLane {
+    generation: u64,
+    slot: Arc<LaneSlot>,
+}
+
+thread_local! {
+    static LANE: RefCell<Option<LocalLane>> = const { RefCell::new(None) };
+}
+
+fn new_lane(generation: u64) -> Option<LocalLane> {
+    let guard = SESSION.lock().ok()?;
+    let state = guard.as_ref()?;
+    if state.generation != generation {
+        return None;
+    }
+    let id = state.next_lane.fetch_add(1, Ordering::Relaxed);
+    let slot = Arc::new(LaneSlot {
+        buf: Mutex::new(LaneBuf {
+            label: format!("thread-{id}"),
+            events: VecDeque::with_capacity(256),
+            dropped: 0,
+        }),
+    });
+    state
+        .lanes
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(Arc::clone(&slot));
+    Some(LocalLane { generation, slot })
+}
+
+/// Runs `f` on the calling thread's live lane buffer, creating (and, if
+/// stale, recycling) the lane as needed. Silently a no-op during thread
+/// teardown or if no session is live.
+fn with_lane(f: impl FnOnce(&mut LaneBuf)) {
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let _ = LANE.try_with(|cell| {
+        let Ok(mut handle) = cell.try_borrow_mut() else {
+            return;
+        };
+        let stale = !matches!(&*handle, Some(lane) if lane.generation == generation);
+        if stale {
+            // The stale handle's slot already lives in (or was drained
+            // from) its old session; just drop the Arc.
+            *handle = new_lane(generation);
+        }
+        if let Some(lane) = handle.as_ref() {
+            let mut buf = lane.slot.buf.lock().unwrap_or_else(PoisonError::into_inner);
+            f(&mut buf);
+        }
+    });
+}
+
+fn record(event: Event) {
+    with_lane(|buf| {
+        if buf.events.len() >= LANE_CAPACITY {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(event);
+    });
+}
+
+/// Names the calling thread's lane in every sink (e.g. `"worker-3"`).
+/// No-op when disabled.
+pub fn set_lane_label(label: &str) {
+    if !enabled() {
+        return;
+    }
+    with_lane(|buf| {
+        buf.label.clear();
+        buf.label.push_str(label);
+    });
+}
+
+/// A timed-region guard. Created by [`span`]; records one
+/// [`EventKind::Span`] event covering its lifetime when dropped. Inert
+/// (a `None`) when no recording is active.
+#[must_use = "a span records the region it is alive for; dropping it immediately times nothing"]
+pub struct Span(Option<OpenSpan>);
+
+struct OpenSpan {
+    name: &'static str,
+    detail: &'static str,
+    start_ns: u64,
+    a: f64,
+    b: f64,
+}
+
+/// Opens a span named `name` covering the guard's lifetime.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    span_labeled(name, "")
+}
+
+/// Opens a span with a static `detail` qualifier (e.g. a stage name).
+#[inline]
+pub fn span_labeled(name: &'static str, detail: &'static str) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    Span(Some(OpenSpan {
+        name,
+        detail,
+        start_ns: now_ns(),
+        a: 0.0,
+        b: 0.0,
+    }))
+}
+
+impl Span {
+    /// Attaches two numeric payload slots to the span (e.g. a net index
+    /// and an unknown count). No-op on an inert span.
+    pub fn note(&mut self, a: f64, b: f64) {
+        if let Some(open) = &mut self.0 {
+            open.a = a;
+            open.b = b;
+        }
+    }
+
+    /// True when the span is actually recording (a recording was active
+    /// at creation).
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(open) = self.0.take() {
+            let end = now_ns();
+            record(Event {
+                ts_ns: open.start_ns,
+                dur_ns: end.saturating_sub(open.start_ns),
+                kind: EventKind::Span,
+                name: open.name,
+                detail: open.detail,
+                a: open.a,
+                b: open.b,
+            });
+        }
+    }
+}
+
+/// Records a point-in-time marker. No-op when disabled.
+#[inline]
+pub fn instant(name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        kind: EventKind::Instant,
+        name,
+        detail: "",
+        a: 0.0,
+        b: 0.0,
+    });
+}
+
+/// Records a typed numerical-health event. No-op when disabled.
+#[inline]
+pub fn health(h: Health) {
+    if !enabled() {
+        return;
+    }
+    let (name, detail, a, b) = h.encode();
+    record(Event {
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        kind: EventKind::Health,
+        name,
+        detail,
+        a,
+        b,
+    });
+}
+
+/// An active recording session. At most one exists at a time;
+/// [`Recording::start`] returns `None` if another is live. Dropping a
+/// recording without [`Recording::finish`] discards its events.
+pub struct Recording {
+    state: Option<Arc<SessionState>>,
+}
+
+impl Recording {
+    /// Starts recording, resetting all registered counters and
+    /// histograms. Returns `None` if a recording is already active.
+    pub fn start() -> Option<Recording> {
+        let mut guard = SESSION.lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.is_some() {
+            return None;
+        }
+        EPOCH.get_or_init(Instant::now);
+        let generation = GENERATION.fetch_add(1, Ordering::Relaxed) + 1;
+        reset_registered();
+        let state = Arc::new(SessionState {
+            generation,
+            next_lane: AtomicU64::new(0),
+            lanes: Mutex::new(Vec::new()),
+        });
+        *guard = Some(Arc::clone(&state));
+        ENABLED.store(true, Ordering::Release);
+        Some(Recording { state: Some(state) })
+    }
+
+    /// Stops recording and returns the collected [`Profile`]. Every
+    /// event recorded before this call is collected, regardless of
+    /// whether the recording threads are still alive or how they were
+    /// joined.
+    pub fn finish(mut self) -> Profile {
+        self.teardown();
+        let state = self.state.take().expect("teardown keeps state for finish");
+        let slots =
+            std::mem::take(&mut *state.lanes.lock().unwrap_or_else(PoisonError::into_inner));
+        let mut lanes: Vec<LaneData> = slots
+            .iter()
+            .map(|slot| {
+                let mut buf = slot.buf.lock().unwrap_or_else(PoisonError::into_inner);
+                LaneData {
+                    label: std::mem::take(&mut buf.label),
+                    events: std::mem::take(&mut buf.events).into(),
+                    dropped: std::mem::take(&mut buf.dropped),
+                }
+            })
+            .filter(|lane| !lane.events.is_empty() || lane.dropped > 0)
+            .collect();
+        // Deterministic lane order regardless of thread scheduling.
+        lanes.sort_by(|x, y| x.label.cmp(&y.label));
+        Profile {
+            lanes,
+            counters: snapshot_counters(),
+            histograms: snapshot_histograms(),
+        }
+    }
+
+    /// Disables recording, invalidates outstanding lane handles and
+    /// releases the calling thread's handle. Leaves `self.state` in
+    /// place so `finish` can still drain it.
+    fn teardown(&mut self) {
+        ENABLED.store(false, Ordering::Release);
+        GENERATION.fetch_add(1, Ordering::Relaxed);
+        // Release this thread's handle so the slot Arcs die with the
+        // session (other threads release theirs on next use).
+        let _ = LANE.try_with(|cell| {
+            if let Ok(mut slot) = cell.try_borrow_mut() {
+                *slot = None;
+            }
+        });
+        *SESSION.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+}
+
+impl Drop for Recording {
+    fn drop(&mut self) {
+        if self.state.is_some() {
+            self.teardown();
+        }
+    }
+}
+
+/// Everything one recording captured: per-thread lanes (sorted by
+/// label), counter values and histogram contents. Render it with the
+/// sink methods ([`Profile::chrome_trace`], [`Profile::text_report`],
+/// [`Profile::metrics_json`]).
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Per-thread lanes, sorted by label.
+    pub lanes: Vec<LaneData>,
+    /// Registered-counter values, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Registered-histogram contents, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}

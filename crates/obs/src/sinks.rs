@@ -1,0 +1,302 @@
+//! Three sinks over one [`Profile`]: Chrome trace-event JSON, a
+//! human-readable text report, and flat metrics JSON.
+//!
+//! All JSON is hand-rolled (the workspace has no serde); numbers are
+//! emitted with `{:e}` which is valid JSON exponent notation, and
+//! non-finite values degrade to `null` rather than producing invalid
+//! output.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{arg_names, EventKind};
+use crate::recorder::Profile;
+use crate::{bucket_bounds, Event};
+
+/// Escapes a string for a JSON literal (quotes, backslashes, control
+/// characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite `f64` as a JSON number (`{:e}` notation), `null` otherwise.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Microseconds with nanosecond precision from a nanosecond count.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e3)
+}
+
+/// Per-name span aggregate used by the text and metrics sinks.
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+}
+
+fn aggregate(profile: &Profile) -> (BTreeMap<&'static str, SpanAgg>, BTreeMap<&'static str, u64>) {
+    let mut spans: BTreeMap<&'static str, SpanAgg> = BTreeMap::new();
+    let mut marks: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for lane in &profile.lanes {
+        for e in &lane.events {
+            match e.kind {
+                EventKind::Span => {
+                    let agg = spans.entry(e.name).or_insert(SpanAgg {
+                        count: 0,
+                        total_ns: 0,
+                    });
+                    agg.count += 1;
+                    agg.total_ns += e.dur_ns;
+                }
+                EventKind::Instant | EventKind::Health => {
+                    *marks.entry(e.name).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    (spans, marks)
+}
+
+fn event_args(e: &Event) -> String {
+    let mut parts = Vec::new();
+    if !e.detail.is_empty() {
+        parts.push(format!("\"detail\": \"{}\"", json_escape(e.detail)));
+    }
+    let (an, bn) = arg_names(e.name);
+    if e.a != 0.0 {
+        parts.push(format!("\"{an}\": {}", json_f64(e.a)));
+    }
+    if e.b != 0.0 {
+        parts.push(format!("\"{bn}\": {}", json_f64(e.b)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(", \"args\": {{{}}}", parts.join(", "))
+    }
+}
+
+impl Profile {
+    /// Renders the recording as a Chrome trace-event JSON array
+    /// (`chrome://tracing` / Perfetto loadable). One lane (`tid`) per
+    /// recorded thread in label order; spans become complete (`"X"`)
+    /// events, instants and health events become thread-scoped instant
+    /// (`"i"`) events. Timestamps are rebased so the earliest event
+    /// sits at `ts: 0` and are globally monotone.
+    pub fn chrome_trace(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        lines.push(
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+             \"args\": {\"name\": \"awesim\"}}"
+                .to_string(),
+        );
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let tid = i + 1;
+            lines.push(format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                json_escape(&lane.label)
+            ));
+            lines.push(format!(
+                "{{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                 \"args\": {{\"sort_index\": {tid}}}}}"
+            ));
+        }
+
+        let mut timed: Vec<(usize, &Event)> = Vec::new();
+        for (i, lane) in self.lanes.iter().enumerate() {
+            for e in &lane.events {
+                timed.push((i + 1, e));
+            }
+        }
+        let t0 = timed.iter().map(|(_, e)| e.ts_ns).min().unwrap_or(0);
+        timed.sort_by_key(|(tid, e)| (e.ts_ns, *tid));
+        for (tid, e) in timed {
+            let ts = us(e.ts_ns - t0);
+            let args = event_args(e);
+            match e.kind {
+                EventKind::Span => lines.push(format!(
+                    "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {tid}, \
+                     \"ts\": {ts}, \"dur\": {}{args}}}",
+                    json_escape(e.name),
+                    us(e.dur_ns),
+                )),
+                EventKind::Instant | EventKind::Health => lines.push(format!(
+                    "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \
+                     \"tid\": {tid}, \"ts\": {ts}{args}}}",
+                    json_escape(e.name),
+                )),
+            }
+        }
+
+        let mut out = String::from("[\n");
+        for (i, line) in lines.iter().enumerate() {
+            let comma = if i + 1 < lines.len() { "," } else { "" };
+            let _ = writeln!(out, "  {line}{comma}");
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Renders a human-readable summary: lanes, span totals, health
+    /// and instant event counts, counters, histograms.
+    pub fn text_report(&self) -> String {
+        let (spans, marks) = aggregate(self);
+        let mut out = String::from("obs report\n");
+        let _ = writeln!(out, "  lanes ({}):", self.lanes.len());
+        for lane in &self.lanes {
+            let _ = writeln!(
+                out,
+                "    {:<12} {:>7} events, {} dropped",
+                lane.label,
+                lane.events.len(),
+                lane.dropped
+            );
+        }
+        if !spans.is_empty() {
+            let mut by_time: Vec<_> = spans.iter().collect();
+            by_time.sort_by(|x, y| y.1.total_ns.cmp(&x.1.total_ns).then(x.0.cmp(y.0)));
+            out.push_str("  spans (by total time):\n");
+            for (name, agg) in by_time {
+                let _ = writeln!(
+                    out,
+                    "    {:<20} count {:>7}  total {:>10.3} ms",
+                    name,
+                    agg.count,
+                    agg.total_ns as f64 / 1e6
+                );
+            }
+        }
+        if !marks.is_empty() {
+            out.push_str("  events:\n");
+            for (name, n) in &marks {
+                let _ = writeln!(out, "    {name:<20} {n}");
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("  counters:\n");
+            for c in &self.counters {
+                let _ = writeln!(out, "    {:<24} {}", c.name, c.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("  histograms:\n");
+            for h in &self.histograms {
+                let peak = h
+                    .buckets
+                    .iter()
+                    .max_by_key(|(_, n)| *n)
+                    .map(|&(i, _)| bucket_bounds(i))
+                    .unwrap_or((0.0, 0.0));
+                let _ = writeln!(
+                    out,
+                    "    {:<24} count {:>7}  mean {:.4e}  mode [{:.3e}, {:.3e})",
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    peak.0,
+                    peak.1
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders a flat metrics JSON object: lane sizes, per-name span
+    /// aggregates, event counts, counters and histogram summaries. Key
+    /// order is deterministic (sorted names).
+    pub fn metrics_json(&self) -> String {
+        let (spans, marks) = aggregate(self);
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"awe-obs-metrics-v1\",\n");
+
+        out.push_str("  \"lanes\": [");
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let comma = if i + 1 < self.lanes.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"label\": \"{}\", \"events\": {}, \"dropped\": {}}}{comma}",
+                json_escape(&lane.label),
+                lane.events.len(),
+                lane.dropped
+            );
+        }
+        out.push_str(if self.lanes.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+
+        out.push_str("  \"spans\": {");
+        let n = spans.len();
+        for (i, (name, agg)) in spans.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"total_s\": {}}}{comma}",
+                json_escape(name),
+                agg.count,
+                json_f64(agg.total_ns as f64 / 1e9)
+            );
+        }
+        out.push_str(if spans.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"events\": {");
+        let n = marks.len();
+        for (i, (name, count)) in marks.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = write!(out, "\n    \"{}\": {count}{comma}", json_escape(name));
+        }
+        out.push_str(if marks.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"counters\": {");
+        let n = self.counters.len();
+        for (i, c) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = write!(out, "\n    \"{}\": {}{comma}", json_escape(c.name), c.value);
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"histograms\": {");
+        let n = self.histograms.len();
+        for (i, h) in self.histograms.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}}}{comma}",
+                json_escape(h.name),
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.mean())
+            );
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+
+        out.push_str("}\n");
+        out
+    }
+}

@@ -1,0 +1,243 @@
+//! Tests for the obs primitives: histogram bucketing (property-tested),
+//! ring-buffer overflow accounting, span ordering, and sink shape.
+//!
+//! A recording is process-global, so every test that records serializes
+//! on [`record_lock`].
+
+use std::sync::{Mutex, PoisonError};
+
+use awe_obs::{
+    bucket_bounds, bucket_index, health, instant, span, Counter, EventKind, Health, Histogram,
+    Recording, HIST_BUCKETS, LANE_CAPACITY,
+};
+use proptest::prelude::*;
+
+static RECORD_LOCK: Mutex<()> = Mutex::new(());
+
+fn record_lock() -> std::sync::MutexGuard<'static, ()> {
+    RECORD_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn bucket_edges_are_exact_powers_of_two() {
+    // Exact powers of two sit on bucket boundaries; the exponent-bit
+    // bucketing must put each in the bucket it *opens*, not the one it
+    // closes.
+    for e in -64i32..=63 {
+        let v = (e as f64).exp2();
+        let i = bucket_index(v);
+        let (lo, hi) = bucket_bounds(i);
+        assert!(lo <= v && v < hi, "2^{e} -> bucket {i} [{lo:e}, {hi:e})");
+        assert_eq!(lo, v, "2^{e} must open its bucket");
+    }
+    // Degenerate inputs go to the clamp buckets.
+    assert_eq!(bucket_index(0.0), 0);
+    assert_eq!(bucket_index(-1.0), 0);
+    assert_eq!(bucket_index(f64::NAN), 0);
+    assert_eq!(bucket_index(5e-324), 0, "subnormal underflows");
+    assert_eq!(bucket_index(f64::INFINITY), HIST_BUCKETS - 1);
+    assert_eq!(bucket_index(64f64.exp2()), HIST_BUCKETS - 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any batch of positive finite values across the full bucket
+    /// range: the histogram preserves count and sum exactly (same
+    /// addition order as the reference sum), every value's bucket
+    /// brackets it, and per-bucket counts re-add to the total.
+    #[test]
+    fn histogram_preserves_count_sum_and_brackets(
+        samples in proptest::collection::vec((0.5f64..2.0, -70i32..70), 1..200),
+    ) {
+        static HIST: Histogram = Histogram::new("test.prop");
+        let _guard = record_lock();
+        let values: Vec<f64> = samples
+            .iter()
+            .map(|&(m, e)| m * (e as f64).exp2())
+            .collect();
+
+        let rec = Recording::start().expect("no other recording under the lock");
+        for &v in &values {
+            HIST.record(v);
+        }
+        let profile = rec.finish();
+
+        let snap = profile
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.prop")
+            .expect("histogram registered");
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let reference: f64 = values.iter().fold(0.0, |acc, v| acc + v);
+        prop_assert!(
+            snap.sum == reference,
+            "sum {} != reference {} (identical addition order)",
+            snap.sum,
+            reference
+        );
+        let bucketed: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucketed, snap.count, "no observation lost between buckets");
+        for &v in &values {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            prop_assert!(lo <= v && v < hi, "{v:e} outside its bucket [{lo:e}, {hi:e})");
+        }
+    }
+}
+
+#[test]
+fn ring_overflow_drops_oldest_and_counts() {
+    let _guard = record_lock();
+    let extra = 37u64;
+    let rec = Recording::start().expect("no other recording under the lock");
+    for i in 0..(LANE_CAPACITY as u64 + extra) {
+        health(Health::Condition {
+            stage: "overflow-test",
+            estimate: i as f64,
+        });
+    }
+    let profile = rec.finish();
+
+    assert_eq!(profile.lanes.len(), 1);
+    let lane = &profile.lanes[0];
+    assert_eq!(lane.dropped, extra, "every overflowed event is counted");
+    assert_eq!(lane.events.len(), LANE_CAPACITY, "memory stays bounded");
+    // Overwrite-oldest: the survivors are exactly the most recent
+    // LANE_CAPACITY events, still in record order.
+    assert_eq!(lane.events[0].a, extra as f64);
+    assert_eq!(
+        lane.events.last().unwrap().a,
+        (LANE_CAPACITY as u64 + extra - 1) as f64
+    );
+}
+
+#[test]
+fn span_ordering_within_a_thread_is_deterministic() {
+    let _guard = record_lock();
+    let rec = Recording::start().expect("no other recording under the lock");
+    {
+        let _a = span("a");
+    }
+    {
+        let _b = span("b");
+    }
+    {
+        let _outer = span("outer");
+        let _inner = span("inner");
+        // Locals drop in reverse declaration order: inner closes first.
+    }
+    let profile = rec.finish();
+
+    let lane = &profile.lanes[0];
+    let names: Vec<&str> = lane.events.iter().map(|e| e.name).collect();
+    // Events land in completion order, deterministically.
+    assert_eq!(names, ["a", "b", "inner", "outer"]);
+    for pair in lane.events.windows(2) {
+        assert!(
+            pair[0].ts_ns + pair[0].dur_ns <= pair[1].ts_ns + pair[1].dur_ns,
+            "completion times are monotone within a lane"
+        );
+    }
+    let inner = lane.events.iter().find(|e| e.name == "inner").unwrap();
+    let outer = lane.events.iter().find(|e| e.name == "outer").unwrap();
+    assert!(inner.ts_ns >= outer.ts_ns, "inner opens after outer");
+}
+
+#[test]
+fn disabled_instrumentation_records_nothing() {
+    let _guard = record_lock();
+    static QUIET: Counter = Counter::new("test.quiet");
+    // No recording active: all entry points must be inert.
+    let mut s = span("dead");
+    assert!(!s.is_live());
+    s.note(1.0, 2.0);
+    drop(s);
+    instant("dead");
+    QUIET.add(5);
+
+    let rec = Recording::start().expect("no other recording under the lock");
+    let profile = rec.finish();
+    assert!(profile.lanes.is_empty(), "nothing recorded while disabled");
+    assert!(
+        profile.counters.iter().all(|c| c.name != "test.quiet"),
+        "disabled counter bumps must not surface"
+    );
+}
+
+#[test]
+fn counters_reset_between_recordings() {
+    let _guard = record_lock();
+    static AGAIN: Counter = Counter::new("test.again");
+
+    let rec = Recording::start().expect("no other recording under the lock");
+    AGAIN.add(41);
+    let first = rec.finish();
+    assert_eq!(
+        first
+            .counters
+            .iter()
+            .find(|c| c.name == "test.again")
+            .map(|c| c.value),
+        Some(41)
+    );
+
+    let rec = Recording::start().expect("previous recording finished");
+    AGAIN.incr();
+    let second = rec.finish();
+    assert_eq!(
+        second
+            .counters
+            .iter()
+            .find(|c| c.name == "test.again")
+            .map(|c| c.value),
+        Some(1),
+        "a new recording starts from zero"
+    );
+}
+
+#[test]
+fn sinks_render_all_event_kinds() {
+    let _guard = record_lock();
+    static SINK_HITS: Counter = Counter::new("test.sink_hits");
+    static SINK_HIST: Histogram = Histogram::new("test.sink_hist");
+    let rec = Recording::start().expect("no other recording under the lock");
+    {
+        let mut s = span("stage");
+        s.note(3.0, 0.0);
+    }
+    instant("tick");
+    health(Health::PadeOrder {
+        requested: 5,
+        chosen: 4,
+    });
+    SINK_HITS.add(2);
+    SINK_HIST.record(0.25);
+    let profile = rec.finish();
+
+    let trace = profile.chrome_trace();
+    assert!(trace.trim_start().starts_with('['));
+    assert!(trace.trim_end().ends_with(']'));
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        assert_eq!(trace.matches(open).count(), trace.matches(close).count());
+    }
+    assert!(trace.contains("\"ph\": \"X\"") && trace.contains("\"name\": \"stage\""));
+    assert!(trace.contains("\"ph\": \"i\"") && trace.contains("\"name\": \"pade_order\""));
+    assert!(trace.contains("\"requested\": 5e0") && trace.contains("\"chosen\": 4e0"));
+    assert!(trace.contains("\"thread_name\""));
+
+    let text = profile.text_report();
+    assert!(text.contains("stage") && text.contains("pade_order"));
+    assert!(text.contains("test.sink_hits"));
+
+    let json = profile.metrics_json();
+    assert!(json.contains("\"schema\": \"awe-obs-metrics-v1\""));
+    assert!(json.contains("\"test.sink_hits\": 2"));
+    assert!(json.contains("\"test.sink_hist\""));
+    assert!(json.contains("\"pade_order\": 1"));
+
+    // Span events across kinds stay typed.
+    let lane = &profile.lanes[0];
+    assert!(lane.events.iter().any(|e| e.kind == EventKind::Span));
+    assert!(lane.events.iter().any(|e| e.kind == EventKind::Instant));
+    assert!(lane.events.iter().any(|e| e.kind == EventKind::Health));
+}

@@ -163,7 +163,7 @@ impl CampaignResult {
 /// Runs a campaign.
 pub fn run_campaign(options: &CampaignOptions) -> CampaignResult {
     let start = Instant::now();
-    let (outcomes, _pool) = run_indexed(options.count, options.threads, |i| {
+    let (outcomes, _pool) = run_indexed(options.count, options.threads, |i, _worker| {
         let index = i as u64;
         let params = CaseParams::generate(options.class_of(index), options.master_seed, index);
         let case = params.build();

@@ -205,7 +205,12 @@ impl Artifacts {
                     // Remember the highest-order attempt so the oracles
                     // can still classify a circuit with *no* trustworthy
                     // model (every order unstable or degenerate).
-                    other => fallback = fallback.or(Some(other)),
+                    other => {
+                        if awe_obs::enabled() && q > 1 {
+                            awe_obs::health(awe_obs::Health::OrderFallback { from: q, to: q - 1 });
+                        }
+                        fallback = fallback.or(Some(other));
+                    }
                 }
             }
             fallback.expect("order_cap >= 1, loop ran at least once")
@@ -233,15 +238,24 @@ impl Artifacts {
         OracleKind::ALL.iter().map(|&o| self.run(o)).collect()
     }
 
-    /// Runs one oracle.
+    /// Runs one oracle. Under an [`awe_obs`] recording the check gets a
+    /// `verify.oracle` span labeled with the oracle's name, and every
+    /// `Fail` verdict emits an `oracle_disagreement` health event.
     pub fn run(&self, oracle: OracleKind) -> OracleReport {
-        match oracle {
+        let _span = awe_obs::span_labeled("verify.oracle", oracle.name());
+        let report = match oracle {
             OracleKind::Transient => self.transient_oracle(),
             OracleKind::Eigen => self.eigen_oracle(),
             OracleKind::Bounds => self.bounds_oracle(),
             OracleKind::SparseLu => self.sparse_lu_oracle(),
             OracleKind::Moments => self.moments_oracle(),
+        };
+        if awe_obs::enabled() && matches!(report.verdict, Verdict::Fail { .. }) {
+            awe_obs::health(awe_obs::Health::OracleDisagreement {
+                oracle: oracle.name(),
+            });
         }
+        report
     }
 
     fn report(

@@ -9,6 +9,7 @@
 //! awesim export  <deck> --node <name> [--order N] [--pwl N]
 //! awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
 //!                [--seed N] [--repeat K] [--json] [--no-timings]
+//!                [--trace FILE] [--metrics FILE]
 //! awesim verify  [--seed N] [--count N] [--class C] [--threads N]
 //!                [--corpus-dir DIR] [--json] [--no-minimize]
 //! ```
@@ -49,6 +50,7 @@ const USAGE: &str = "usage:
   awesim export  <deck> --node <name> [--order N] [--pwl N]
   awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
                  [--seed N] [--repeat K] [--json] [--no-timings]
+                 [--trace FILE] [--metrics FILE]
   awesim verify  [--seed N] [--count N] [--class C] [--threads N]
                  [--corpus-dir DIR] [--json] [--no-minimize]";
 
@@ -57,7 +59,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if cmd == "batch" {
         // Full-design mode: its input is a multi-net deck or a synthetic
         // workload, not the single-net deck the other subcommands share.
-        return cmd_batch(&args[1..]).map(|()| ExitCode::SUCCESS);
+        // A design member that fails to parse is an input problem, not a
+        // usage error: cmd_batch reports the offending deck itself and
+        // returns a nonzero exit without the usage dump.
+        return cmd_batch(&args[1..]);
     }
     if cmd == "verify" {
         // Fuzz-campaign mode: generates its own circuits; a failing
@@ -231,7 +236,7 @@ fn cmd_export(circuit: &Circuit, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_batch(args: &[String]) -> Result<(), String> {
+fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let design = if let Some(n) = flag(args, "--synthetic") {
         let n: usize = n.parse().map_err(|_| "bad --synthetic value")?;
         let seed: u64 = flag(args, "--seed")
@@ -248,7 +253,15 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         let stem = std::path::Path::new(path)
             .file_stem()
             .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
-        Design::from_deck(stem, &deck).map_err(|e| e.to_string())?
+        match Design::from_deck(stem, &deck) {
+            Ok(d) => d,
+            // Name the offending deck so a scripted caller knows which
+            // input to fix; this is a data error, not a usage error.
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        }
     };
 
     let mut opts = BatchOptions::default();
@@ -268,6 +281,16 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .max(1);
     let json = args.iter().any(|a| a == "--json");
     let timings = !args.iter().any(|a| a == "--no-timings");
+    let trace_path = flag(args, "--trace");
+    let metrics_path = flag(args, "--metrics");
+    let recording = if trace_path.is_some() || metrics_path.is_some() {
+        Some(
+            awesim::obs::Recording::start()
+                .ok_or("an observability recording is already active")?,
+        )
+    } else {
+        None
+    };
 
     let engine = BatchEngine::new();
     for pass in 1..=repeat {
@@ -283,7 +306,23 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             print!("{}", text_report(&run, timings));
         }
     }
-    Ok(())
+
+    if let Some(rec) = recording {
+        let profile = rec.finish();
+        if let Some(p) = &trace_path {
+            fs::write(p, profile.chrome_trace()).map_err(|e| format!("cannot write {p}: {e}"))?;
+            if !json {
+                println!("wrote trace {p}");
+            }
+        }
+        if let Some(p) = &metrics_path {
+            fs::write(p, profile.metrics_json()).map_err(|e| format!("cannot write {p}: {e}"))?;
+            if !json {
+                println!("wrote metrics {p}");
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {

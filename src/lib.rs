@@ -16,6 +16,8 @@
 //!   run metrics.
 //! * [`verify`] — differential-oracle fuzzing, failure minimization, and
 //!   corpus replay.
+//! * [`obs`] — std-only structured tracing, numerical-health events, and
+//!   Chrome-trace export.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use awe_batch as batch;
 pub use awe_circuit as circuit;
 pub use awe_mna as mna;
 pub use awe_numeric as numeric;
+pub use awe_obs as obs;
 pub use awe_sim as sim;
 pub use awe_treelink as treelink;
 pub use awe_verify as verify;

@@ -145,6 +145,66 @@ fn export_macromodel_round_trips() {
 }
 
 #[test]
+fn batch_parse_failure_names_deck_and_exits_nonzero() {
+    // A multi-net deck whose second member is garbage: the run must fail
+    // with the offending deck path on stderr, and must not dump usage
+    // (the invocation was fine; the data was not).
+    let deck = write_deck(
+        "* NET good\n\
+         V1 in 0 STEP 0 1\n\
+         R1 in out 100\n\
+         C1 out 0 1p\n\
+         * NET bad\n\
+         Q1 a b 1k\n",
+    );
+    let (ok, _, stderr) = awesim(&["batch", deck.as_str()]);
+    assert!(!ok, "parse failure must exit nonzero");
+    assert!(
+        stderr.contains(deck.as_str()),
+        "stderr must name the offending deck: {stderr}"
+    );
+    assert!(
+        !stderr.contains("usage:"),
+        "data errors must not dump usage: {stderr}"
+    );
+}
+
+#[test]
+fn batch_trace_and_metrics_flags_write_files() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("awesim-trace-{}.json", std::process::id()));
+    let metrics = dir.join(format!("awesim-metrics-{}.json", std::process::id()));
+    let (ok, stdout, stderr) = awesim(&[
+        "batch",
+        "--synthetic",
+        "6",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("wrote trace"), "{stdout}");
+
+    let t = std::fs::read_to_string(&trace).expect("trace written");
+    // Chrome trace-event JSON array with thread metadata and complete
+    // ("X") span events; the bench schema check does the deep validation.
+    assert!(t.trim_start().starts_with('['), "not a JSON array");
+    assert!(t.trim_end().ends_with(']'), "unterminated array");
+    assert!(t.contains("\"ph\": \"M\""), "missing metadata events");
+    assert!(t.contains("\"ph\": \"X\""), "missing span events");
+    assert!(t.contains("thread_name"), "missing lane names");
+    assert!(t.contains("batch.net"), "missing per-net spans");
+
+    let m = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(m.contains("awe-obs-metrics-v1"), "{m}");
+    assert!(m.contains("engine.solve"), "{m}");
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
 fn errors_are_clean() {
     let (ok, _, stderr) = awesim(&["bogus"]);
     assert!(!ok);

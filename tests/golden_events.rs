@@ -1,0 +1,101 @@
+//! Golden numerical-health events for a frozen, numerically marginal net.
+//!
+//! `tests/corpus/rc-mesh-residue-breakdown.sp` is the fuzzer's seed-0
+//! case 461: a 10-state RC mesh whose q = 5 Padé model is stable but has
+//! moment-matrix condition ≈ 6e19 — garbage residues — while q = 4
+//! (condition ≈ 4e10) matches the reference to 1e-5. Building the verify
+//! artifacts for it walks the trustworthy-order step-down, and the
+//! observability layer must report that walk faithfully: each rejected
+//! order is an `order_fallback` event, each solve whose condition tops
+//! the 1e14 cap is a `condition_warning`. The exact counts are frozen
+//! here; a change means the engine's numerical behavior on this net
+//! changed and must be re-justified, not waved through.
+//!
+//! The counts must also be thread-placement-insensitive: N concurrent
+//! replays under one recording see exactly N× the single-replay counts,
+//! regardless of which lane each event landed in.
+
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::Mutex;
+
+use awesim::circuit::parse_deck;
+use awesim::obs::Recording;
+use awesim::verify::{Artifacts, TopologyClass, WaveKind};
+
+/// One global recording at a time: tests in this binary must not race on
+/// the process-wide subscriber.
+static RECORD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Frozen event counts for one artifact build of the mesh deck.
+/// `for_circuit` walks orders 6 → 4 and accepts q = 4: orders 6 and 5
+/// are each one fallback, and both of their solves (condition ≫ 1e14)
+/// warn; the accepted q = 4 solve stays under the cap.
+const GOLDEN_ORDER_FALLBACKS: usize = 2;
+const GOLDEN_CONDITION_WARNINGS: usize = 2;
+
+fn replay_once() {
+    let deck = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/rc-mesh-residue-breakdown.sp"),
+    )
+    .expect("corpus deck readable");
+    let circuit = parse_deck(&deck).expect("corpus deck parses");
+    let output = circuit.find_node("m1_4").expect("output node exists");
+    let artifacts = Artifacts::for_circuit(
+        circuit,
+        output,
+        TopologyClass::from_str("rc-mesh").unwrap(),
+        WaveKind::Pulse { width_ratio: 0.059 },
+    );
+    let approx = artifacts.approx.as_ref().expect("a trustworthy order");
+    assert_eq!(approx.order, 4, "step-down must settle on q = 4");
+}
+
+/// Counts `(order_fallback, condition_warning)` events across all lanes.
+fn health_counts(profile: &awesim::obs::Profile) -> (usize, usize) {
+    let mut fallbacks = 0;
+    let mut warnings = 0;
+    for lane in &profile.lanes {
+        for e in &lane.events {
+            match e.name {
+                "order_fallback" => fallbacks += 1,
+                "condition_warning" => warnings += 1,
+                _ => {}
+            }
+        }
+    }
+    (fallbacks, warnings)
+}
+
+#[test]
+fn marginal_mesh_emits_golden_health_events() {
+    let _guard = RECORD_LOCK.lock().unwrap();
+    let rec = Recording::start().expect("no other recording active");
+    replay_once();
+    let profile = rec.finish();
+    let (fallbacks, warnings) = health_counts(&profile);
+    assert_eq!(
+        fallbacks, GOLDEN_ORDER_FALLBACKS,
+        "order_fallback count changed — the trustworthy-order walk moved"
+    );
+    assert_eq!(
+        warnings, GOLDEN_CONDITION_WARNINGS,
+        "condition_warning count changed — moment-matrix conditioning moved"
+    );
+}
+
+#[test]
+fn golden_counts_are_order_insensitive_across_threads() {
+    let _guard = RECORD_LOCK.lock().unwrap();
+    const REPLAYS: usize = 3;
+    let rec = Recording::start().expect("no other recording active");
+    std::thread::scope(|scope| {
+        for _ in 0..REPLAYS {
+            scope.spawn(replay_once);
+        }
+    });
+    let profile = rec.finish();
+    let (fallbacks, warnings) = health_counts(&profile);
+    assert_eq!(fallbacks, REPLAYS * GOLDEN_ORDER_FALLBACKS);
+    assert_eq!(warnings, REPLAYS * GOLDEN_CONDITION_WARNINGS);
+}
