@@ -75,6 +75,9 @@ pub struct NetResult {
     pub escalations: usize,
     /// Whether every approximating pole was stable.
     pub stable: bool,
+    /// Whether the model needed a partial-Padé rescue (one or more RHP or
+    /// spurious poles discarded and the residues refit).
+    pub rescued: bool,
     /// §3.4 relative error estimate, when computed.
     pub error_estimate: Option<f64>,
     /// 50 % delay of the observed response, when defined.
@@ -356,6 +359,7 @@ fn solve_net(
         order: 0,
         escalations: 0,
         stable: false,
+        rescued: false,
         error_estimate: None,
         delay_50: None,
         final_value: 0.0,
@@ -397,7 +401,10 @@ fn solve_net(
 
 /// Automatic order selection with stage-time accounting: the
 /// [`AweEngine::approximate_auto`] policy, inlined so every reduction's
-/// wall time lands in `stages`.
+/// wall time lands in `stages`. Mirrors the engine's trust gates: only
+/// stable, well-conditioned models are candidates, the §3.4 early stop
+/// additionally requires the moment-tail check, and when no order meets
+/// the target the highest trusted order wins (un-rescued preferred).
 fn auto_solve(
     engine: &AweEngine,
     spec: &NetSpec,
@@ -410,19 +417,28 @@ fn auto_solve(
         max_escalation: 0,
         ..opts.awe
     };
-    let mut best: Option<AweApproximation> = None;
+    let mut best_clean: Option<AweApproximation> = None;
+    let mut best_rescued: Option<AweApproximation> = None;
     let mut tried = 0usize;
     for q in 1..=opts.max_order.max(1) {
         match engine.approximate_timed(spec.output, q, per_order) {
             Ok((approx, clock)) => {
                 accumulate(stages, &clock);
                 tried += 1;
-                let done = approx.stable && approx.error_estimate.is_some_and(|e| e <= target);
-                if approx.stable {
-                    best = Some(approx);
+                if !approx.trusted() {
+                    continue;
                 }
+                let done = approx.tail_converged()
+                    && target > 0.0
+                    && approx.error_estimate.is_some_and(|e| e <= target);
                 if done {
-                    break;
+                    result.escalations = tried.saturating_sub(1);
+                    return Ok(approx);
+                }
+                if approx.discarded == 0 {
+                    best_clean = Some(approx);
+                } else {
+                    best_rescued = Some(approx);
                 }
             }
             // True system order reached; stop escalating.
@@ -431,7 +447,7 @@ fn auto_solve(
         }
     }
     result.escalations = tried.saturating_sub(1);
-    best.ok_or(AweError::Unstable {
+    best_clean.or(best_rescued).ok_or(AweError::Unstable {
         order: opts.max_order,
     })
 }
@@ -447,6 +463,7 @@ fn accumulate(stages: &mut StageTimings, clock: &StageTimings) {
 fn fill(result: &mut NetResult, approx: &AweApproximation) {
     result.order = approx.order;
     result.stable = approx.stable;
+    result.rescued = approx.discarded > 0;
     result.error_estimate = approx.error_estimate;
     result.delay_50 = approx.delay_50();
     result.final_value = approx.final_value();

@@ -37,6 +37,9 @@ pub struct RunMetrics {
     pub failures: usize,
     /// Nets that escalated past their requested/starting order.
     pub escalated: usize,
+    /// Nets whose model needed a partial-Padé rescue (bad poles discarded
+    /// and residues refit).
+    pub rescued: usize,
     /// Worst §3.4 error estimate across solved nets, when any.
     pub worst_error: Option<f64>,
     /// Wall time spent parsing/generating the design.
@@ -96,6 +99,7 @@ impl RunMetrics {
             pattern_hits: run.pattern_hits,
             failures: run.results.iter().filter(|r| r.error.is_some()).count(),
             escalated: run.results.iter().filter(|r| r.escalations > 0).count(),
+            rescued: run.results.iter().filter(|r| r.rescued).count(),
             worst_error: run
                 .results
                 .iter()

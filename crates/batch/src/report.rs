@@ -32,13 +32,14 @@ pub fn text_report(run: &BatchRun, include_timings: bool) -> String {
     let m = RunMetrics::of(run);
     let _ = writeln!(
         out,
-        "nets {}  solves {}  cache-hits {} ({:.1} %)  failures {}  escalated {}",
+        "nets {}  solves {}  cache-hits {} ({:.1} %)  failures {}  escalated {}  rescued {}",
         m.nets,
         m.solves,
         m.cache_hits,
         100.0 * m.hit_rate(),
         m.failures,
-        m.escalated
+        m.escalated,
+        m.rescued
     );
     if let Some(worst) = m.worst_error {
         let _ = writeln!(out, "worst error estimate {}", sci(worst));
@@ -120,6 +121,7 @@ pub fn json_report(run: &BatchRun, include_timings: bool) -> String {
     let _ = writeln!(out, "  \"cache_hits\": {},", m.cache_hits);
     let _ = writeln!(out, "  \"failures\": {},", m.failures);
     let _ = writeln!(out, "  \"escalated\": {},", m.escalated);
+    let _ = writeln!(out, "  \"rescued\": {},", m.rescued);
     let _ = writeln!(out, "  \"worst_error\": {},", json_opt_f64(m.worst_error));
     if include_timings {
         let _ = writeln!(out, "  \"wall_s\": {},", json_f64(m.wall.as_secs_f64()));
@@ -177,7 +179,7 @@ fn net_json(r: &NetResult) -> String {
     format!(
         "{{\"name\": {}, \"hash\": \"{:016x}\", \"nodes\": {}, \"elements\": {}, \
          \"requested_order\": {}, \"order\": {}, \"escalations\": {}, \"stable\": {}, \
-         \"error_estimate\": {}, \"delay_50\": {}, \"final_value\": {}, \
+         \"rescued\": {}, \"error_estimate\": {}, \"delay_50\": {}, \"final_value\": {}, \
          \"poles\": [{}], \"cache_hit\": {}, \"error\": {}}}",
         json_str(&r.name),
         r.hash,
@@ -187,6 +189,7 @@ fn net_json(r: &NetResult) -> String {
         r.order,
         r.escalations,
         r.stable,
+        r.rescued,
         json_opt_f64(r.error_estimate),
         json_opt_f64(r.delay_50),
         json_f64(r.final_value),

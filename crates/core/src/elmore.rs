@@ -89,6 +89,8 @@ pub fn elmore_approximation(circuit: &Circuit, node: NodeId) -> Result<AweApprox
         error_estimate: None,
         condition: 1.0,
         stable: true,
+        discarded: 0,
+        moment_tail: None,
     })
 }
 

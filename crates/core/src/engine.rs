@@ -16,15 +16,31 @@ use awe_obs::Health;
 
 use crate::error::AweError;
 use crate::pade::{match_poles, PadeOptions};
-use crate::residues::{match_residues, match_residues_with_slope};
+use crate::residues::{match_residues, match_residues_with_slope, term_moment};
 use crate::response::{AweApproximation, ResponsePiece};
-use crate::terms::ExpSum;
+use crate::terms::{ExpSum, ExpTerm};
 
 /// Moment-matrix condition above which a delivered model's residues can
 /// no longer be trusted. Mirrors the verify harness's `CONDITION_CAP`
 /// (1e14, documented there from seed-0 fuzz evidence); a solve whose
 /// final condition exceeds it emits a `condition_warning` health event.
-const CONDITION_WARN: f64 = 1e14;
+/// [`AweEngine::approximate_auto`] refuses to deliver a model above it.
+pub(crate) const CONDITION_WARN: f64 = 1e14;
+
+/// Partial-Padé spurious-pole gate: a pole this many times faster than
+/// the slowest stable pole of the same piece is rounding debris from a
+/// near-singular Hankel solve, not a circuit mode — the exact moment
+/// recursion cannot resolve time constants eight decades under the
+/// dominant one in f64.
+const SPURIOUS_POLE_RATIO: f64 = 1e8;
+
+/// Moment-tail trust gate for [`AweEngine::approximate_auto`]: if the
+/// delivered model's *predicted* unmatched moments (entries `2q`, `2q+1`
+/// of the sequence) disagree with the actual recursion output by more
+/// than this relative amount, a mode the truncation cannot represent is
+/// still live (the high-Q ring case), and the §3.4 early stop must not
+/// fire even when the q-vs-(q+1) estimate looks converged.
+pub(crate) const TAIL_TOL: f64 = 0.1;
 
 /// Moment-matrix condition estimates observed per reduction.
 static CONDITION_HIST: awe_obs::Histogram = awe_obs::Histogram::new("engine.condition");
@@ -308,6 +324,7 @@ impl AweEngine {
                 idx,
                 q,
                 options,
+                false,
                 &mut clock,
             )?;
             let stable = approx.stable;
@@ -317,6 +334,35 @@ impl AweEngine {
             }
         }
         let mut approx = last.expect("at least one attempt");
+
+        // §3.3 exhausted and the model is still unstable: last resort is
+        // partial Padé at the requested order — discard the RHP and
+        // spurious poles and refit the surviving residues against the
+        // leading moments (m₋₁/m₀ conservation kept exact, §5.3). The
+        // rescued model keeps the original Hankel condition: filtering
+        // poles does not make the solve that produced them any better.
+        if !approx.stable {
+            match self.reduce_at(
+                &dec.pieces,
+                dec.baseline[..].to_vec(),
+                idx,
+                order,
+                options,
+                true,
+                &mut clock,
+            ) {
+                Ok(rescued) if rescued.stable => {
+                    awe_obs::health(Health::PadeRescued {
+                        order,
+                        kept: rescued.order,
+                    });
+                    approx = rescued;
+                }
+                _ => {
+                    awe_obs::health(Health::PadeRejected { order });
+                }
+            }
+        }
 
         if options.error_estimate && approx.stable {
             let q1 = approx.order + 1;
@@ -330,9 +376,15 @@ impl AweEngine {
                     max_escalation: 0,
                     ..options
                 },
+                false,
                 &mut clock,
             ) {
-                if reference.stable {
+                // An untrustworthy (q+1) reference — unstable, or solved
+                // through a moment matrix past the condition cap — would
+                // make the §3.4 estimate pure noise; leave `None` so
+                // callers know no estimate exists rather than handing
+                // them garbage that happens to look small.
+                if reference.stable && reference.condition <= CONDITION_WARN {
                     approx.error_estimate = aggregate_error(&reference, &approx);
                 }
             }
@@ -357,7 +409,10 @@ impl AweEngine {
     }
 
     /// Builds the order-`q` approximation at unknown `idx` from decomposed
-    /// pieces.
+    /// pieces. With `rescue` set, an unstable piece model goes through the
+    /// partial-Padé filter (see [`rescue_terms`]) instead of being
+    /// delivered as-is.
+    #[allow(clippy::too_many_arguments)]
     fn reduce_at(
         &self,
         pieces: &[Piece],
@@ -365,6 +420,7 @@ impl AweEngine {
         idx: usize,
         q: usize,
         options: AweOptions,
+        rescue: bool,
         clock: &mut StageTimings,
     ) -> Result<AweApproximation, AweError> {
         let pade_opts = PadeOptions {
@@ -375,6 +431,8 @@ impl AweEngine {
         let mut condition = 0.0f64;
         let mut stable = true;
         let mut used_order = 0usize;
+        let mut discarded = 0usize;
+        let mut moment_tail: Option<f64> = None;
 
         for piece in pieces {
             let moments: Vec<f64> = piece.moments.iter().map(|m| m[idx]).collect();
@@ -461,6 +519,12 @@ impl AweEngine {
                     }
                 };
                 condition = condition.max(pade.condition);
+                if awe_obs::enabled() {
+                    awe_obs::health(Health::MomentScale {
+                        gamma: pade.gamma,
+                        condition: pade.condition,
+                    });
+                }
                 // Drop ghost terms: non-finite poles (exactly-deflated
                 // fast modes) and residues at rounding level relative to
                 // the largest — they contribute nothing but can carry
@@ -480,10 +544,41 @@ impl AweEngine {
                         t.pole.is_finite() && t.coeff.is_finite() && magnitude(t) > 1e-8 * max_mag
                     })
                     .collect();
-                used_order = used_order.max(kept.len());
-                let sum = ExpSum::new(kept);
+                let mut sum = ExpSum::new(kept);
+                if rescue && !sum.is_stable() {
+                    if let Some((refit, dropped)) = rescue_terms(sum.terms(), &moments) {
+                        discarded += dropped;
+                        sum = refit;
+                    }
+                }
+                used_order = used_order.max(sum.terms().len());
                 if !sum.is_stable() {
                     stable = false;
+                }
+                // Moment-tail check: the model was fit to sequence entries
+                // 0..2q; entries 2q and 2q+1 came out of the exact
+                // recursion but were never imposed. A model that also
+                // predicts them has captured every mode the output sees; a
+                // large relative miss means a truncated mode is still
+                // live. Recorded here, gated on in `approximate_auto`.
+                for r in [2 * q_eff, 2 * q_eff + 1] {
+                    if r >= moments.len() {
+                        continue;
+                    }
+                    let pred = sum
+                        .terms()
+                        .iter()
+                        .map(|t| term_moment(t, r))
+                        .fold(awe_numeric::Complex::ZERO, |a, b| a + b)
+                        .re;
+                    let actual = moments[r];
+                    let mag = actual.abs().max(pred.abs());
+                    let rel = if mag > 0.0 {
+                        (pred - actual).abs() / mag
+                    } else {
+                        0.0
+                    };
+                    moment_tail = Some(moment_tail.map_or(rel, |m| m.max(rel)));
                 }
                 sum
             };
@@ -509,16 +604,32 @@ impl AweEngine {
             error_estimate: None,
             condition,
             stable,
+            discarded,
+            moment_tail,
         })
     }
 
-    /// Automatic order selection: starting from order 1, escalate until
-    /// the §3.4 error estimate drops below `target` or `max_order` is
-    /// reached. Returns the chosen approximation and the per-order trail.
+    /// Automatic order selection with the trust gates the §3.4 stop needs
+    /// to be safe: starting from order 1, sweep upward and return the
+    /// first model that is *trustworthy* — stable, moment-matrix condition
+    /// within [`CONDITION_WARN`], and passing the moment-tail check — with
+    /// a §3.4 error estimate at or below `target`. The old policy stopped
+    /// on the raw q-vs-(q+1) estimate alone, which waves through exactly
+    /// the failures the corpus decks document: a near-singular Hankel
+    /// solve whose garbage residues agree with the next order's garbage,
+    /// and a truncated ring mode invisible to the estimate.
+    ///
+    /// If no order meets `target` (or `target <= 0`, which disables the
+    /// early stop entirely), the highest trustworthy order tried is
+    /// returned — preferring models that needed no partial-Padé rescue
+    /// over rescued ones.
     ///
     /// # Errors
     ///
-    /// Propagates the same failures as [`AweEngine::approximate_with`].
+    /// * [`AweError::Unstable`] if no trustworthy order exists up to
+    ///   `max_order`.
+    /// * Otherwise propagates the same failures as
+    ///   [`AweEngine::approximate_with`].
     pub fn approximate_auto(
         &self,
         node: NodeId,
@@ -527,7 +638,8 @@ impl AweEngine {
         options: AweOptions,
     ) -> Result<(AweApproximation, Vec<OrderReport>), AweError> {
         let mut trail = Vec::new();
-        let mut best: Option<AweApproximation> = None;
+        let mut best_clean: Option<AweApproximation> = None;
+        let mut best_rescued: Option<AweApproximation> = None;
         for q in 1..=max_order.max(1) {
             let attempt = self.approximate_with(
                 node,
@@ -544,14 +656,17 @@ impl AweEngine {
                         error: approx.error_estimate,
                         stable: approx.stable,
                     });
-                    let err = approx.error_estimate;
-                    let stable = approx.stable;
-                    let done = stable && err.is_some_and(|e| e <= target);
-                    if stable {
-                        best = Some(approx);
+                    if !approx.trusted() {
+                        continue;
                     }
-                    if done {
-                        break;
+                    let met = target > 0.0 && approx.error_estimate.is_some_and(|e| e <= target);
+                    if approx.tail_converged() && met {
+                        return Ok((approx, trail));
+                    }
+                    if approx.discarded == 0 {
+                        best_clean = Some(approx);
+                    } else {
+                        best_rescued = Some(approx);
                     }
                 }
                 Err(AweError::MomentMatrixSingular { .. }) => {
@@ -561,11 +676,56 @@ impl AweEngine {
                 Err(e) => return Err(e),
             }
         }
-        match best {
+        match best_clean.or(best_rescued) {
             Some(approx) => Ok((approx, trail)),
             None => Err(AweError::Unstable { order: max_order }),
         }
     }
+}
+
+/// Partial Padé (the rescue path): classify each term's pole as RHP
+/// (`re ≥ 0`), spurious (faster than the slowest stable pole by
+/// [`SPURIOUS_POLE_RATIO`]), or keep-able; drop the bad ones with a
+/// `pole_discarded` health event each and refit the surviving residues
+/// against the leading moments, which keeps `m₋₁` and `m₀` — initial
+/// value and transferred charge (§5.3) — exact. Returns `None` when
+/// nothing was dropped, nothing survived, or the refit itself fails or
+/// stays unstable; the caller then delivers the original unstable model.
+fn rescue_terms(terms: &[ExpTerm], moments: &[f64]) -> Option<(ExpSum, usize)> {
+    let slowest_stable = terms
+        .iter()
+        .filter(|t| t.pole.re < 0.0)
+        .map(|t| t.pole.abs())
+        .fold(f64::INFINITY, f64::min);
+    let mut keep = Vec::with_capacity(terms.len());
+    let mut dropped = 0usize;
+    for t in terms {
+        let reason = if t.pole.re >= 0.0 {
+            Some("rhp")
+        } else if t.pole.abs() > SPURIOUS_POLE_RATIO * slowest_stable {
+            Some("spurious")
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => {
+                dropped += 1;
+                awe_obs::health(Health::PoleDiscarded {
+                    reason,
+                    re: t.pole.re,
+                    im: t.pole.im,
+                });
+            }
+            None => keep.push(t.pole),
+        }
+    }
+    if dropped == 0 || keep.is_empty() || moments.len() < keep.len() {
+        return None;
+    }
+    let refit = match_residues(&keep, moments).ok()?;
+    let sum = ExpSum::new(refit);
+    (sum.is_stable() && sum.terms().iter().all(|t| t.coeff.abs().is_finite()))
+        .then_some((sum, dropped))
 }
 
 /// Aggregated §3.4 error across pieces: compares the piece transients of

@@ -146,6 +146,8 @@ pub fn parse_pole_residue_text(text: &str) -> Result<AweApproximation, AweError>
         error_estimate: None,
         condition: f64::NAN,
         stable,
+        discarded: 0,
+        moment_tail: None,
     })
 }
 

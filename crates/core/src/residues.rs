@@ -86,7 +86,7 @@ pub fn match_residues(poles: &[Complex], moments: &[f64]) -> Result<Vec<ExpTerm>
     let rhs: Vec<Complex> = (0..q)
         .map(|r| Complex::real(moments[r] / s_hat.powi(r as i32)))
         .collect();
-    let solved = a.solve(&rhs)?;
+    let solved = a.solve_equilibrated(&rhs)?;
 
     // Unscale and expand into terms.
     let mut terms = Vec::with_capacity(q);
@@ -146,7 +146,7 @@ pub fn match_residues_with_slope(poles: &[Complex], seq: &[f64]) -> Result<Vec<E
     let rhs: Vec<Complex> = (0..q)
         .map(|r| Complex::real(seq[r] / s_hat.powi(r as i32 - 1)))
         .collect();
-    let solved = a.solve(&rhs)?;
+    let solved = a.solve_equilibrated(&rhs)?;
     let mut terms: Vec<ExpTerm> = poles
         .iter()
         .zip(solved)
@@ -223,6 +223,21 @@ fn binomial(n: usize, k: usize) -> f64 {
     acc
 }
 
+/// Moment entry `r` (`r = 0` ↔ `m_{-1}`) of the term `coeff·t^d/d!·e^{pt}`
+/// — the closed form the matching conditions impose. The engine's
+/// moment-tail check uses it to ask whether a delivered model also
+/// predicts the moments it was *not* fit to; the tests use it to verify
+/// round trips.
+pub(crate) fn term_moment(t: &ExpTerm, r: usize) -> Complex {
+    if r == 0 {
+        return if t.power == 0 { t.coeff } else { Complex::ZERO };
+    }
+    let sign = if t.power.is_multiple_of(2) { 1.0 } else { -1.0 };
+    t.coeff
+        * Complex::real(sign * binomial(r - 1 + t.power, t.power))
+        * t.pole.recip().powi((r + t.power) as i32)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,23 +250,11 @@ mod tests {
             .map(|r| {
                 terms
                     .iter()
-                    .map(|t| moment_entry(t, r))
+                    .map(|t| term_moment(t, r))
                     .fold(Complex::ZERO, |a, b| a + b)
                     .re
             })
             .collect()
-    }
-
-    /// Moment entry r (r = 0 ↔ m_{-1}) of coeff·t^d/d!·e^{pt}.
-    fn moment_entry(t: &ExpTerm, r: usize) -> Complex {
-        if r == 0 {
-            return if t.power == 0 { t.coeff } else { Complex::ZERO };
-        }
-        let j = r - 1;
-        let sign = if t.power.is_multiple_of(2) { 1.0 } else { -1.0 };
-        t.coeff
-            * Complex::real(sign * binomial(j + t.power, t.power))
-            * t.pole.recip().powi((r + t.power) as i32)
     }
 
     #[test]

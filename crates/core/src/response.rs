@@ -47,15 +47,45 @@ pub struct AweApproximation {
     /// Superposition pieces.
     pub pieces: Vec<ResponsePiece>,
     /// §3.4 relative error estimate versus the `(q+1)`-order model, when
-    /// computed and finite.
+    /// computed and finite. `None` also when the `(q+1)` reference was
+    /// itself untrustworthy (unstable or ill-conditioned) — a garbage
+    /// reference must not masquerade as an error bound.
     pub error_estimate: Option<f64>,
-    /// Worst moment-matrix condition estimate across pieces.
+    /// Worst moment-matrix condition estimate across pieces, measured on
+    /// the frequency-scaled, equilibrated Hankel system.
     pub condition: f64,
     /// `true` when every approximating pole is strictly stable.
     pub stable: bool,
+    /// Poles discarded by the partial-Padé filter (right-half-plane or
+    /// spuriously fast); `0` means the model was delivered un-rescued.
+    pub discarded: usize,
+    /// Moment-tail mismatch: worst relative disagreement between the
+    /// delivered model's predicted high moments (entries beyond the
+    /// matched `2q` window) and the actually computed ones. Large values
+    /// mean the model dropped modes the moment sequence still carries —
+    /// the §3.4 auto-order blind spot. `None` when no unmatched moments
+    /// were available to check.
+    pub moment_tail: Option<f64>,
 }
 
 impl AweApproximation {
+    /// Whether the model can be trusted for timing: every pole stable and
+    /// the moment-matrix condition within the engine's trust cap (1e14,
+    /// the fuzz-calibrated cliff past which residues are garbage even
+    /// when the poles look fine). [`crate::AweEngine::approximate_auto`]
+    /// and the batch auto-order policy both gate on this.
+    pub fn trusted(&self) -> bool {
+        self.stable && self.condition <= crate::engine::CONDITION_WARN
+    }
+
+    /// Whether the moment-tail check passed (or had nothing to check):
+    /// the model also predicts the moments it was *not* fit to, so no
+    /// truncated mode is hiding from the §3.4 q-vs-(q+1) error estimate.
+    pub fn tail_converged(&self) -> bool {
+        self.moment_tail
+            .is_none_or(|t| t <= crate::engine::TAIL_TOL)
+    }
+
     /// Response value at time `t`.
     ///
     /// ```
@@ -77,6 +107,8 @@ impl AweApproximation {
     ///     error_estimate: None,
     ///     condition: 1.0,
     ///     stable: true,
+    ///     discarded: 0,
+    ///     moment_tail: None,
     /// };
     /// assert!((approx.eval(0.0)).abs() < 1e-12);
     /// assert!((approx.final_value() - 5.0).abs() < 1e-12);
@@ -283,6 +315,8 @@ mod tests {
             error_estimate: None,
             condition: 1.0,
             stable: true,
+            discarded: 0,
+            moment_tail: None,
         }
     }
 
@@ -332,6 +366,8 @@ mod tests {
             error_estimate: None,
             condition: 1.0,
             stable: true,
+            discarded: 0,
+            moment_tail: None,
         };
         assert!((a.eval(0.5) - (0.5 + 1.5)).abs() < 1e-12);
         assert!((a.eval(4.0) - 3.5).abs() < 1e-12);
@@ -356,6 +392,8 @@ mod tests {
             error_estimate: None,
             condition: 1.0,
             stable: true,
+            discarded: 0,
+            moment_tail: None,
         };
         assert!(a.eval(0.05) < 0.0, "initial dip expected");
         let t = a.threshold_crossing(2.5).unwrap();
@@ -420,6 +458,8 @@ mod tests {
             error_estimate: None,
             condition: 1.0,
             stable: true,
+            discarded: 0,
+            moment_tail: None,
         };
         let os = a.overshoot();
         // Analytic first-peak overshoot ≈ e^{-ζπ/√(1-ζ²)} with ζ≈0.196.
@@ -436,6 +476,8 @@ mod tests {
             error_estimate: None,
             condition: 1.0,
             stable: true,
+            discarded: 0,
+            moment_tail: None,
         };
         assert_eq!(a.delay_50(), None);
         assert_eq!(a.final_value(), 2.0);

@@ -86,6 +86,8 @@ pub fn two_pole_approximation(
         error_estimate: None,
         condition: 1.0,
         stable: true,
+        discarded: 0,
+        moment_tail: None,
     })
 }
 

@@ -159,6 +159,62 @@ impl CMatrix {
         }
         Ok(x)
     }
+
+    /// [`CMatrix::solve`] with row/column equilibration: rows and columns
+    /// are brought to unit inf-norm by exact powers of two (no rounding
+    /// introduced) before elimination, and the solution is unscaled on the
+    /// way out. Residue (Vandermonde/confluent) systems in reciprocal
+    /// poles have rows that shrink geometrically with the moment index;
+    /// equilibration keeps the partial-pivot choices meaningful there.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`CMatrix::solve`].
+    pub fn solve_equilibrated(&self, b: &[Complex]) -> Result<Vec<Complex>, NumericError> {
+        if self.rows != self.cols {
+            return Err(NumericError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let n = self.rows;
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let pow2 = |v: f64| -> f64 {
+            if v > 0.0 && v.is_finite() {
+                (-v.log2().floor()).exp2()
+            } else {
+                1.0
+            }
+        };
+        let r: Vec<f64> = (0..n)
+            .map(|i| pow2((0..n).map(|j| self[(i, j)].abs()).fold(0.0, f64::max)))
+            .collect();
+        let c: Vec<f64> = (0..n)
+            .map(|j| {
+                pow2(
+                    (0..n)
+                        .map(|i| r[i] * self[(i, j)].abs())
+                        .fold(0.0, f64::max),
+                )
+            })
+            .collect();
+        let scaled = CMatrix::from_fn(n, n, |i, j| self[(i, j)] * Complex::real(r[i] * c[j]));
+        let rb: Vec<Complex> = b
+            .iter()
+            .zip(&r)
+            .map(|(v, ri)| *v * Complex::real(*ri))
+            .collect();
+        let y = scaled.solve(&rb)?;
+        Ok(y.into_iter()
+            .zip(&c)
+            .map(|(v, cj)| v * Complex::real(*cj))
+            .collect())
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for CMatrix {

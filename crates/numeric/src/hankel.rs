@@ -15,11 +15,49 @@
 //! anti-diagonals). We solve it densely via LU — the paper itself endorses
 //! `O(q³)` here — and expose the condition estimate that drives the
 //! frequency-scaling decision of §3.5.
+//!
+//! The solve is *equilibrated*: rows and columns are scaled to unit
+//! inf-norm by exact powers of two (no rounding introduced) before
+//! factoring, and the condition estimate is reported on the scaled
+//! system. Frequency scaling (§3.5) removes the τ^k growth of the moment
+//! *sequence*; equilibration additionally removes whatever residual
+//! row/column imbalance the Hankel arrangement leaves behind, so the
+//! condition number measures the intrinsic rank structure of the moment
+//! system rather than an artifact of its units.
 
 use crate::error::NumericError;
 use crate::lu::Lu;
 use crate::matrix::Matrix;
 use crate::poly::Polynomial;
+
+/// The nearest power of two below `v`'s magnitude, inverted — the exact
+/// scale that brings a row or column of inf-norm `v` to `[1, 2)`.
+/// Returns `1.0` for zero or non-finite norms.
+fn pow2_scale(v: f64) -> f64 {
+    if v > 0.0 && v.is_finite() {
+        (-v.log2().floor()).exp2()
+    } else {
+        1.0
+    }
+}
+
+/// Row/column equilibration scales for `m`, each an exact power of two:
+/// rows first (to unit inf-norm), then columns of the row-scaled matrix.
+pub(crate) fn equilibrate(m: &Matrix, rows: usize, cols: usize) -> (Vec<f64>, Vec<f64>) {
+    let r: Vec<f64> = (0..rows)
+        .map(|i| pow2_scale((0..cols).map(|j| m[(i, j)].abs()).fold(0.0, f64::max)))
+        .collect();
+    let c: Vec<f64> = (0..cols)
+        .map(|j| {
+            pow2_scale(
+                (0..rows)
+                    .map(|i| (r[i] * m[(i, j)]).abs())
+                    .fold(0.0, f64::max),
+            )
+        })
+        .collect();
+    (r, c)
+}
 
 /// Builds the `q×q` moment matrix of eq. (24) from moments indexed
 /// `m[0] = m₋₁, m[1] = m₀, …` (i.e. shifted by one so slices are natural).
@@ -74,9 +112,15 @@ pub fn solve_char_poly(moments: &[f64], q: usize) -> Result<CharPoly, NumericErr
     }
     let m = moment_matrix(moments, q);
     let rhs: Vec<f64> = moments[q..2 * q].to_vec();
-    let lu = Lu::factor(&m)?;
-    let neg_a = lu.solve(&rhs)?;
-    let condition = lu.condition_estimate(m.norm_one());
+    // Equilibrated solve: factor R·M·C (unit inf-norm rows and columns,
+    // power-of-two scales) and report the condition of *that* system.
+    let (r, c) = equilibrate(&m, q, q);
+    let scaled = Matrix::from_fn(q, q, |i, j| r[i] * m[(i, j)] * c[j]);
+    let scaled_rhs: Vec<f64> = rhs.iter().zip(&r).map(|(v, ri)| v * ri).collect();
+    let lu = Lu::factor(&scaled)?;
+    let y = lu.solve(&scaled_rhs)?;
+    let condition = lu.condition_estimate(scaled.norm_one());
+    let neg_a: Vec<f64> = y.iter().zip(&c).map(|(v, cj)| v * cj).collect();
 
     // neg_a[i] = -a_i; assemble a₀ … a_{q-1}, a_q = 1.
     let mut coeffs: Vec<f64> = neg_a.iter().map(|v| -v).collect();
@@ -127,7 +171,7 @@ mod tests {
         let cp = solve_char_poly(&m, 2).unwrap();
         let r = roots(&cp.poly).unwrap();
         let mut poles: Vec<f64> = r.iter().map(|z| z.recip().re).collect();
-        poles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        poles.sort_by(f64::total_cmp);
         assert!((poles[0] + 10.0).abs() < 1e-9);
         assert!((poles[1] + 1.0).abs() < 1e-10);
     }
@@ -140,7 +184,7 @@ mod tests {
         let cp = solve_char_poly(&m, 3).unwrap();
         let r = roots(&cp.poly).unwrap();
         let mut poles: Vec<f64> = r.iter().map(|z| z.recip().re).collect();
-        poles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        poles.sort_by(f64::total_cmp);
         for (got, want) in poles.iter().zip(&[-20.0, -4.0, -1.0]) {
             assert!(((got - want) / want).abs() < 1e-8, "pole {got} vs {want}");
         }
@@ -190,6 +234,47 @@ mod tests {
     #[should_panic(expected = "need 3 moments")]
     fn moment_matrix_panics_short() {
         let _ = moment_matrix(&[1.0, 2.0], 2);
+    }
+
+    #[test]
+    fn equilibration_tames_graded_rows() {
+        // Moments growing ~τ^k (τ = 1e-3): the raw Hankel rows span six
+        // decades each; equilibration must keep the solve exact and report
+        // a condition that reflects the rank structure, not the grading.
+        let ks = [1.0, -0.4];
+        let ps = [-1e3, -8e3];
+        let m = exp_moments(&ks, &ps, 4);
+        let cp = solve_char_poly(&m, 2).unwrap();
+        let r = roots(&cp.poly).unwrap();
+        let mut poles: Vec<f64> = r.iter().map(|z| z.recip().re).collect();
+        poles.sort_by(f64::total_cmp);
+        assert!(((poles[0] + 8e3) / 8e3).abs() < 1e-9, "pole {}", poles[0]);
+        assert!(((poles[1] + 1e3) / 1e3).abs() < 1e-9, "pole {}", poles[1]);
+        // Raw condition of the unscaled matrix for comparison.
+        let raw = moment_matrix(&m, 2);
+        let raw_cond = Lu::factor(&raw).unwrap().condition_estimate(raw.norm_one());
+        assert!(
+            cp.condition < raw_cond,
+            "equilibrated {} vs raw {}",
+            cp.condition,
+            raw_cond
+        );
+    }
+
+    #[test]
+    fn equilibration_scales_are_powers_of_two() {
+        let m = moment_matrix(&[3.0, 1e-7, 40.0, 2e5, 0.11], 3);
+        let (r, c) = equilibrate(&m, 3, 3);
+        for s in r.iter().chain(&c) {
+            assert!(s.log2().fract() == 0.0, "scale {s} not a power of two");
+        }
+        // Scaled matrix has unit-ish inf-norm rows.
+        for i in 0..3 {
+            let norm = (0..3)
+                .map(|j| (r[i] * m[(i, j)] * c[j]).abs())
+                .fold(0.0f64, f64::max);
+            assert!((0.25..4.0).contains(&norm), "row {i} norm {norm}");
+        }
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub fn solve_vandermonde(nodes: &[Complex], rhs: &[Complex]) -> Result<Vec<Compl
     if nodes.is_empty() {
         return Ok(Vec::new());
     }
-    vandermonde_matrix(nodes).solve(rhs)
+    vandermonde_matrix(nodes).solve_equilibrated(rhs)
 }
 
 /// One group of a confluent system: a node with its multiplicity.
@@ -128,7 +128,7 @@ pub fn solve_confluent_vandermonde(
             col += 1;
         }
     }
-    m.solve(rhs)
+    m.solve_equilibrated(rhs)
 }
 
 fn binomial(n: usize, k: usize) -> f64 {

@@ -94,6 +94,43 @@ pub enum Health {
         /// Oracle name, e.g. `"transient"`.
         oracle: &'static str,
     },
+    /// Partial Padé discarded an approximating pole: right-half-plane
+    /// (`detail = "rhp"`) or spuriously fast relative to the dominant
+    /// time constant (`detail = "spurious"`). The surviving residues are
+    /// refit against the leading moments, so m₋₁/m₀ conservation (§5.3)
+    /// is preserved.
+    PoleDiscarded {
+        /// Why the pole was dropped: `"rhp"` or `"spurious"`.
+        reason: &'static str,
+        /// Real part of the discarded pole.
+        re: f64,
+        /// Imaginary part of the discarded pole.
+        im: f64,
+    },
+    /// The frequency scale γ (reciprocal characteristic time τ, §3.5)
+    /// applied to the moment sequence before the Hankel solve, with the
+    /// condition estimate of the *scaled, equilibrated* system.
+    MomentScale {
+        /// The scale applied (`1.0` when scaling was disabled or moot).
+        gamma: f64,
+        /// Condition estimate of the scaled Hankel system.
+        condition: f64,
+    },
+    /// A partial-Padé rescue succeeded: an unstable order-`order` model
+    /// was repaired by discarding bad poles and refitting `kept` residues.
+    PadeRescued {
+        /// The order whose raw model was unstable.
+        order: usize,
+        /// Surviving pole count after the filter.
+        kept: usize,
+    },
+    /// A partial-Padé rescue failed: no stable model survived the filter
+    /// at order `order`; the unstable result is delivered as-is
+    /// (`stable == false`).
+    PadeRejected {
+        /// The order that could not be rescued.
+        order: usize,
+    },
 }
 
 impl Health {
@@ -108,6 +145,10 @@ impl Health {
             Health::OrderFallback { .. } => "order_fallback",
             Health::ConditionWarning { .. } => "condition_warning",
             Health::OracleDisagreement { .. } => "oracle_disagreement",
+            Health::PoleDiscarded { .. } => "pole_discarded",
+            Health::MomentScale { .. } => "moment_scale",
+            Health::PadeRescued { .. } => "pade_rescued",
+            Health::PadeRejected { .. } => "pade_rejected",
         }
     }
 
@@ -123,6 +164,10 @@ impl Health {
             Health::OrderFallback { from, to } => (name, "", from as f64, to as f64),
             Health::ConditionWarning { condition } => (name, "", condition, 0.0),
             Health::OracleDisagreement { oracle } => (name, oracle, 0.0, 0.0),
+            Health::PoleDiscarded { reason, re, im } => (name, reason, re, im),
+            Health::MomentScale { gamma, condition } => (name, "", gamma, condition),
+            Health::PadeRescued { order, kept } => (name, "", order as f64, kept as f64),
+            Health::PadeRejected { order } => (name, "", order as f64, 0.0),
         }
     }
 }
@@ -137,6 +182,10 @@ pub(crate) fn arg_names(name: &str) -> (&'static str, &'static str) {
         "pade_order" => ("requested", "chosen"),
         "order_fallback" => ("from", "to"),
         "condition_warning" => ("condition", "b"),
+        "pole_discarded" => ("re", "im"),
+        "moment_scale" => ("gamma", "condition"),
+        "pade_rescued" => ("order", "kept"),
+        "pade_rejected" => ("order", "b"),
         _ => ("a", "b"),
     }
 }

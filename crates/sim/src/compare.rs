@@ -4,9 +4,39 @@
 //! these helpers measure the same quantities against the simulated
 //! waveform so EXPERIMENTS.md can print paper-vs-measured rows.
 
+use std::fmt;
+
 use awe_circuit::NodeId;
 
 use crate::transient::TransientResult;
+
+/// Why a comparison metric could not be computed.
+///
+/// `NonFinite` exists so no caller can repeat the original silent-pass
+/// bug: a divergent model makes the trapezoidal L² sum overflow to `inf`
+/// and then NaN (`inf × 0` at degenerate samples), and `NaN > tol` is
+/// `false` — the comparison must *fail loudly* instead of returning a
+/// number that waves everything through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompareError {
+    /// The reference waveform has zero transition energy (flat response);
+    /// a relative error is undefined.
+    ZeroEnergy,
+    /// The error integral is not finite — the model or the reference
+    /// produced `inf`/NaN samples over the comparison window.
+    NonFinite,
+}
+
+impl fmt::Display for CompareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompareError::ZeroEnergy => write!(f, "reference transition energy is zero"),
+            CompareError::NonFinite => write!(f, "comparison produced non-finite samples"),
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
 
 /// Relative `L²` error of an approximation `f` against the simulated
 /// waveform of `node`, integrated over the simulated samples with the
@@ -14,15 +44,21 @@ use crate::transient::TransientResult;
 /// (deviation from its final value, which is the transient the paper's
 /// error term measures).
 ///
-/// Returns `None` if the reference transition energy is zero.
+/// # Errors
+///
+/// * [`CompareError::ZeroEnergy`] if the reference transition energy is
+///   zero (nothing to compare against).
+/// * [`CompareError::NonFinite`] if either waveform contributes
+///   `inf`/NaN samples — the result is tagged rather than silently
+///   propagated so `err > tol` checks cannot pass vacuously.
 pub fn relative_l2_vs_sim(
     sim: &TransientResult,
     node: NodeId,
     f: impl Fn(f64) -> f64,
-) -> Option<f64> {
+) -> Result<f64, CompareError> {
     let wave = sim.waveform(node);
     if wave.len() < 2 {
-        return None;
+        return Err(CompareError::ZeroEnergy);
     }
     let v_final = wave.last().expect("non-empty").1;
     let mut num = 0.0f64;
@@ -37,18 +73,30 @@ pub fn relative_l2_vs_sim(
         let e1 = v1 - v_final;
         den += 0.5 * (e0 * e0 + e1 * e1) * dt;
     }
-    if den <= 0.0 {
-        return None;
+    if !num.is_finite() || !den.is_finite() {
+        return Err(CompareError::NonFinite);
     }
-    Some((num / den).sqrt())
+    if den <= 0.0 {
+        return Err(CompareError::ZeroEnergy);
+    }
+    Ok((num / den).sqrt())
 }
 
 /// Maximum absolute deviation between `f` and the simulated waveform over
-/// the simulated samples.
+/// the simulated samples. A non-finite deviation at any sample reports as
+/// `inf` — `f64::max` would otherwise silently drop NaN operands and hide
+/// a divergent model.
 pub fn max_abs_vs_sim(sim: &TransientResult, node: NodeId, f: impl Fn(f64) -> f64) -> f64 {
     sim.waveform(node)
         .iter()
-        .map(|&(t, v)| (v - f(t)).abs())
+        .map(|&(t, v)| {
+            let d = (v - f(t)).abs();
+            if d.is_finite() {
+                d
+            } else {
+                f64::INFINITY
+            }
+        })
         .fold(0.0, f64::max)
 }
 
@@ -93,6 +141,35 @@ mod tests {
         let (ckt, _, tau) = rc();
         let sim = simulate(&ckt, TransientOptions::new(6.0 * tau)).unwrap();
         // Ground is identically zero → zero transition energy.
-        assert_eq!(relative_l2_vs_sim(&sim, GROUND, |_| 0.0), None);
+        assert_eq!(
+            relative_l2_vs_sim(&sim, GROUND, |_| 0.0),
+            Err(CompareError::ZeroEnergy)
+        );
+    }
+
+    #[test]
+    fn divergent_model_is_tagged_not_nan() {
+        let (ckt, n1, tau) = rc();
+        let sim = simulate(&ckt, TransientOptions::new(6.0 * tau)).unwrap();
+        // A model that blows up mid-window: the old code returned NaN here
+        // and `NaN > tol` silently passed every tolerance check.
+        let diverging = |t: f64| {
+            if t > 2.0 * tau {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        };
+        assert_eq!(
+            relative_l2_vs_sim(&sim, n1, diverging),
+            Err(CompareError::NonFinite)
+        );
+        assert_eq!(max_abs_vs_sim(&sim, n1, diverging), f64::INFINITY);
+        let nan_model = |_: f64| f64::NAN;
+        assert_eq!(
+            relative_l2_vs_sim(&sim, n1, nan_model),
+            Err(CompareError::NonFinite)
+        );
+        assert_eq!(max_abs_vs_sim(&sim, n1, nan_model), f64::INFINITY);
     }
 }

@@ -36,7 +36,7 @@ mod error;
 mod poles;
 mod transient;
 
-pub use compare::{max_abs_vs_sim, relative_l2_vs_sim};
+pub use compare::{max_abs_vs_sim, relative_l2_vs_sim, CompareError};
 pub use error::SimError;
 pub use poles::exact_poles;
 pub use transient::{simulate, Method, TransientOptions, TransientResult};

@@ -128,7 +128,7 @@ mod tests {
         // Ring frequencies spread by several octaves (Table II shape:
         // 2.6e9 → 1.6e10).
         let mut freqs: Vec<f64> = poles.iter().map(|z| z.im.abs()).collect();
-        freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        freqs.sort_by(f64::total_cmp);
         assert!(freqs[5] / freqs[0] > 3.0, "frequency spread {freqs:?}");
     }
 

@@ -179,8 +179,13 @@ pub fn simulate(circuit: &Circuit, options: TransientOptions) -> Result<Transien
         .flat_map(|s| s.waveform.points().iter().map(|p| p.0))
         .filter(|&t| t > 0.0 && t < options.t_stop)
         .collect();
-    breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    breakpoints.dedup();
+    // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN waveform point
+    // must not panic the sort (it sorts last and is clamped away by the
+    // stepper). Dedup with a relative epsilon on the horizon scale —
+    // breakpoints closer than ~1e-12·t_stop produce a zero-width step
+    // whose trapezoidal weights degenerate to `inf × 0` NaN samples.
+    breakpoints.sort_by(f64::total_cmp);
+    breakpoints.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * options.t_stop);
     breakpoints.push(options.t_stop);
 
     let mut times = vec![0.0];

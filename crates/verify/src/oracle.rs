@@ -27,7 +27,8 @@ use awe_circuit::{Circuit, Element, NodeId};
 use awe_mna::{MnaSystem, MomentEngine};
 use awe_numeric::{Lu, Matrix, NumericError, SparseLu, SparseMatrix};
 use awe_sim::{
-    exact_poles, max_abs_vs_sim, relative_l2_vs_sim, simulate, TransientOptions, TransientResult,
+    exact_poles, max_abs_vs_sim, relative_l2_vs_sim, simulate, CompareError, TransientOptions,
+    TransientResult,
 };
 use awe_treelink::TreeAnalysis;
 
@@ -177,43 +178,26 @@ impl Artifacts {
         wave: WaveKind,
     ) -> Artifacts {
         // The oracles test AWE's *representation* claim — a q-pole Padé
-        // model matches the exact response — so the harness asks for the
-        // best *trustworthy* order: the highest q ≤ min(states, 6) whose
-        // model is stable with a well-conditioned moment matrix. Stepping
-        // down past degenerate high orders is deliberate; two engine
-        // behaviors found by fuzzing make the top order untrustworthy:
-        //
-        // * §3.3 Padé instability — q = 5 on a 16-state pure RC tree
-        //   yields a pole at +1.04e13 (seed 0 case 224) even though every
-        //   true pole is negative real;
-        // * residue breakdown — a stable q = 5 mesh model with moment
-        //   matrix cond 6e19 overshoots the true response 1400× while
-        //   q = 4 (cond 4e10) matches to 1e-5 (case 461).
-        //
-        // The §3.4 auto-stop heuristic is a separate (weaker) claim: on
-        // resonant RLC ladders the q-vs-(q+1) estimate is blind to dropped
-        // ring modes and stops at q = 2 with a sub-percent self-estimate
-        // while the true waveform error is > 50 % (see DESIGN.md,
-        // "auto-order blindness"); gating the oracles on the auto path
-        // would only rediscover that documented finding on every run.
+        // model matches the exact response — through the engine's own
+        // automatic order selection, exactly as a timing-analysis caller
+        // would get it. The trust policy (stability, the condition cap,
+        // the moment-tail check, partial-Padé rescue) lives in
+        // `AweEngine::approximate_auto`: the findings that once justified
+        // a harness-side order descent here (q = 5 instability on a
+        // 16-state RC tree, seed 0 case 224; the cond-6e19 mesh residue
+        // breakdown of case 461; the auto-stop blindness to truncated
+        // ring modes) were engine bugs and are fixed in the engine — a
+        // harness that silently routes around the default path stops
+        // testing it. `target = 0` disables the §3.4 early stop, so the
+        // harness receives the highest trustworthy order ≤ min(states, 6)
+        // — the same model the old descent selected, now via the public
+        // API. A circuit with *no* trustworthy order at all surfaces as
+        // `AweError::Unstable`, which the oracles classify as a finding.
         let order_cap = circuit.num_states().clamp(1, MAX_ORDER);
         let approx = AweEngine::new(&circuit).and_then(|engine| {
-            let mut fallback = None;
-            for q in (1..=order_cap).rev() {
-                match engine.approximate_with(output, q, AweOptions::default()) {
-                    Ok(a) if a.stable && a.condition <= CONDITION_CAP => return Ok(a),
-                    // Remember the highest-order attempt so the oracles
-                    // can still classify a circuit with *no* trustworthy
-                    // model (every order unstable or degenerate).
-                    other => {
-                        if awe_obs::enabled() && q > 1 {
-                            awe_obs::health(awe_obs::Health::OrderFallback { from: q, to: q - 1 });
-                        }
-                        fallback = fallback.or(Some(other));
-                    }
-                }
-            }
-            fallback.expect("order_cap >= 1, loop ran at least once")
+            engine
+                .approximate_auto(output, 0.0, order_cap, AweOptions::default())
+                .map(|(a, _)| a)
         });
         let horizon = match &approx {
             Ok(a) => a.horizon(),
@@ -326,8 +310,28 @@ impl Artifacts {
         // every stiff circuit; L² plus a 50 % delay check captures the
         // paper's actual claim (waveform shape and timing agree).
         let max_abs = max_abs_vs_sim(sim, self.output, |t| approx.eval(t)) / swing;
-        let Some(l2) = relative_l2_vs_sim(sim, self.output, |t| approx.eval(t)) else {
-            return Artifacts::skip(O, "zero transition energy in reference");
+        let l2 = match relative_l2_vs_sim(sim, self.output, |t| approx.eval(t)) {
+            Ok(l2) => l2,
+            Err(CompareError::ZeroEnergy) => {
+                return Artifacts::skip(O, "zero transition energy in reference");
+            }
+            // A tagged non-finite comparison is a divergent model (or a
+            // blown-up reference) — the failure the old NaN-propagating
+            // metric silently waved through. Always a finding.
+            Err(CompareError::NonFinite) => {
+                return Artifacts::report(
+                    O,
+                    Verdict::Fail {
+                        detail: format!(
+                            "waveform comparison is non-finite (order {}, stable={}, \
+                             condition={:.3e}): model or reference diverges over the horizon",
+                            approx.order, approx.stable, approx.condition
+                        ),
+                    },
+                    None,
+                    None,
+                );
+            }
         };
 
         // Tolerance ladder, rung by rung:
@@ -394,10 +398,9 @@ impl Artifacts {
         let tol = (3.0 * claimed).max(base).max(allowance);
 
         let mut fail = None;
-        // `is_nan` guard: a divergent model makes the trapezoidal L² sum
-        // overflow to inf and then NaN (inf · 0 at duplicate breakpoint
-        // samples), and `NaN > tol` is false — never wave that through.
-        if l2.is_nan() || l2 > tol {
+        // `l2` is guaranteed finite here — non-finite comparisons were
+        // tagged `CompareError::NonFinite` above and already failed.
+        if l2 > tol {
             fail = Some(format!(
                 "relative L2 error {:.3}% exceeds {:.3}% (order {} of {} states, \
                  model estimate {:.3}%, max-abs {:.3}% of swing)",

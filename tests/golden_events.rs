@@ -1,14 +1,21 @@
-//! Golden numerical-health events for a frozen, numerically marginal net.
+//! Golden numerical-health events for frozen, numerically marginal nets.
 //!
 //! `tests/corpus/rc-mesh-residue-breakdown.sp` is the fuzzer's seed-0
-//! case 461: a 10-state RC mesh whose q = 5 Padé model is stable but has
-//! moment-matrix condition ≈ 6e19 — garbage residues — while q = 4
-//! (condition ≈ 4e10) matches the reference to 1e-5. Building the verify
-//! artifacts for it walks the trustworthy-order step-down, and the
-//! observability layer must report that walk faithfully: each rejected
-//! order is an `order_fallback` event, each solve whose condition tops
-//! the 1e14 cap is a `condition_warning`. The exact counts are frozen
-//! here; a change means the engine's numerical behavior on this net
+//! case 461: a 10-state RC mesh whose q = 5 Padé model used to carry a
+//! moment-matrix condition ≈ 6e19 — garbage residues overshooting the
+//! reference 1400×. The engine's automatic order selection now walks
+//! orders 1..6 through the equilibrated Hankel solver: the q = 5 and
+//! q = 6 solves honestly report conditions past the 1e14 trust cap (one
+//! `condition_warning` each) and auto-order settles on q = 4 without any
+//! harness-side step-down (zero `order_fallback` events — the old walk
+//! lived in `awe-verify` and emitted two).
+//!
+//! `tests/corpus/rc-tree-unstable-q5.sp` is seed-0 case 224: a 16-state
+//! RC tree whose q = 5 model grows a right-half-plane pole at +1.04e13.
+//! The partial-Padé rescue now discards that pole (`pole_discarded`) and
+//! refits the residues (`pade_rescued`) at q = 5 and q = 6; auto-order
+//! still prefers the un-rescued q = 4 model. The exact counts are frozen
+//! here; a change means the engine's numerical behavior on these nets
 //! changed and must be re-justified, not waved through.
 //!
 //! The counts must also be thread-placement-insensitive: N concurrent
@@ -27,60 +34,125 @@ use awesim::verify::{Artifacts, TopologyClass, WaveKind};
 /// the process-wide subscriber.
 static RECORD_LOCK: Mutex<()> = Mutex::new(());
 
-/// Frozen event counts for one artifact build of the mesh deck.
-/// `for_circuit` walks orders 6 → 4 and accepts q = 4: orders 6 and 5
-/// are each one fallback, and both of their solves (condition ≫ 1e14)
-/// warn; the accepted q = 4 solve stays under the cap.
-const GOLDEN_ORDER_FALLBACKS: usize = 2;
-const GOLDEN_CONDITION_WARNINGS: usize = 2;
+/// Frozen event counts for one artifact build of the mesh deck: the
+/// q = 5 and q = 6 sweep steps exceed the condition cap (one warning
+/// each); nothing falls back, nothing is rescued.
+const MESH_ORDER_FALLBACKS: usize = 0;
+const MESH_CONDITION_WARNINGS: usize = 2;
+const MESH_POLE_DISCARDED: usize = 0;
+const MESH_PADE_RESCUED: usize = 0;
 
-fn replay_once() {
+/// Frozen event counts for one artifact build of the tree deck: the
+/// q = 5 and q = 6 models each shed one RHP pole through the partial-Padé
+/// rescue; only the q = 6 rescue stays past the condition cap.
+const TREE_ORDER_FALLBACKS: usize = 0;
+const TREE_CONDITION_WARNINGS: usize = 1;
+const TREE_POLE_DISCARDED: usize = 2;
+const TREE_PADE_RESCUED: usize = 2;
+
+fn replay_deck(file: &str, node: &str, class: &str, wave: WaveKind, want_order: usize) {
     let deck = std::fs::read_to_string(
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/rc-mesh-residue-breakdown.sp"),
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/corpus/{file}")),
     )
     .expect("corpus deck readable");
     let circuit = parse_deck(&deck).expect("corpus deck parses");
-    let output = circuit.find_node("m1_4").expect("output node exists");
+    let output = circuit.find_node(node).expect("output node exists");
     let artifacts = Artifacts::for_circuit(
         circuit,
         output,
-        TopologyClass::from_str("rc-mesh").unwrap(),
-        WaveKind::Pulse { width_ratio: 0.059 },
+        TopologyClass::from_str(class).unwrap(),
+        wave,
     );
     let approx = artifacts.approx.as_ref().expect("a trustworthy order");
-    assert_eq!(approx.order, 4, "step-down must settle on q = 4");
+    assert_eq!(
+        approx.order, want_order,
+        "auto-order must settle on q = {want_order}"
+    );
+    assert_eq!(approx.discarded, 0, "the delivered model needed no rescue");
 }
 
-/// Counts `(order_fallback, condition_warning)` events across all lanes.
-fn health_counts(profile: &awesim::obs::Profile) -> (usize, usize) {
-    let mut fallbacks = 0;
-    let mut warnings = 0;
+fn replay_mesh() {
+    replay_deck(
+        "rc-mesh-residue-breakdown.sp",
+        "m1_4",
+        "rc-mesh",
+        WaveKind::Pulse { width_ratio: 0.059 },
+        4,
+    );
+}
+
+fn replay_tree() {
+    replay_deck(
+        "rc-tree-unstable-q5.sp",
+        "n16",
+        "rc-tree",
+        WaveKind::Step,
+        4,
+    );
+}
+
+/// Counts `(order_fallback, condition_warning, pole_discarded,
+/// pade_rescued)` events across all lanes.
+fn health_counts(profile: &awesim::obs::Profile) -> (usize, usize, usize, usize) {
+    let (mut fallbacks, mut warnings, mut discarded, mut rescued) = (0, 0, 0, 0);
     for lane in &profile.lanes {
         for e in &lane.events {
             match e.name {
                 "order_fallback" => fallbacks += 1,
                 "condition_warning" => warnings += 1,
+                "pole_discarded" => discarded += 1,
+                "pade_rescued" => rescued += 1,
                 _ => {}
             }
         }
     }
-    (fallbacks, warnings)
+    (fallbacks, warnings, discarded, rescued)
 }
 
 #[test]
 fn marginal_mesh_emits_golden_health_events() {
     let _guard = RECORD_LOCK.lock().unwrap();
     let rec = Recording::start().expect("no other recording active");
-    replay_once();
+    replay_mesh();
     let profile = rec.finish();
-    let (fallbacks, warnings) = health_counts(&profile);
+    let (fallbacks, warnings, discarded, rescued) = health_counts(&profile);
     assert_eq!(
-        fallbacks, GOLDEN_ORDER_FALLBACKS,
-        "order_fallback count changed — the trustworthy-order walk moved"
+        fallbacks, MESH_ORDER_FALLBACKS,
+        "order_fallback count changed — the order walk moved"
     );
     assert_eq!(
-        warnings, GOLDEN_CONDITION_WARNINGS,
+        warnings, MESH_CONDITION_WARNINGS,
         "condition_warning count changed — moment-matrix conditioning moved"
+    );
+    assert_eq!(
+        discarded, MESH_POLE_DISCARDED,
+        "pole_discarded count changed — the partial-Padé filter engaged"
+    );
+    assert_eq!(rescued, MESH_PADE_RESCUED);
+}
+
+#[test]
+fn unstable_tree_emits_golden_rescue_events() {
+    let _guard = RECORD_LOCK.lock().unwrap();
+    let rec = Recording::start().expect("no other recording active");
+    replay_tree();
+    let profile = rec.finish();
+    let (fallbacks, warnings, discarded, rescued) = health_counts(&profile);
+    assert_eq!(
+        fallbacks, TREE_ORDER_FALLBACKS,
+        "order_fallback count changed — the order walk moved"
+    );
+    assert_eq!(
+        warnings, TREE_CONDITION_WARNINGS,
+        "condition_warning count changed — moment-matrix conditioning moved"
+    );
+    assert_eq!(
+        discarded, TREE_POLE_DISCARDED,
+        "pole_discarded count changed — the RHP pole census moved"
+    );
+    assert_eq!(
+        rescued, TREE_PADE_RESCUED,
+        "pade_rescued count changed — the rescue path moved"
     );
 }
 
@@ -91,11 +163,23 @@ fn golden_counts_are_order_insensitive_across_threads() {
     let rec = Recording::start().expect("no other recording active");
     std::thread::scope(|scope| {
         for _ in 0..REPLAYS {
-            scope.spawn(replay_once);
+            scope.spawn(replay_mesh);
+            scope.spawn(replay_tree);
         }
     });
     let profile = rec.finish();
-    let (fallbacks, warnings) = health_counts(&profile);
-    assert_eq!(fallbacks, REPLAYS * GOLDEN_ORDER_FALLBACKS);
-    assert_eq!(warnings, REPLAYS * GOLDEN_CONDITION_WARNINGS);
+    let (fallbacks, warnings, discarded, rescued) = health_counts(&profile);
+    assert_eq!(
+        fallbacks,
+        REPLAYS * (MESH_ORDER_FALLBACKS + TREE_ORDER_FALLBACKS)
+    );
+    assert_eq!(
+        warnings,
+        REPLAYS * (MESH_CONDITION_WARNINGS + TREE_CONDITION_WARNINGS)
+    );
+    assert_eq!(
+        discarded,
+        REPLAYS * (MESH_POLE_DISCARDED + TREE_POLE_DISCARDED)
+    );
+    assert_eq!(rescued, REPLAYS * (MESH_PADE_RESCUED + TREE_PADE_RESCUED));
 }
