@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 
-use awe_circuit::generators::random_rc_tree;
+use awe_circuit::generators::{random_rc_tree, rc_line};
 use awe_circuit::{parse_multi_deck, Circuit, CircuitError, Element, NodeId, Waveform};
 
 /// One net of a design: an independent circuit with a chosen observation
@@ -113,9 +113,67 @@ impl Design {
         }
     }
 
+    /// A design of `n` RC chains with **identical topology** (same node
+    /// and element names, same connectivity) and per-net perturbed
+    /// values: every structural hash is distinct, every
+    /// [`pattern_key`] is equal, so the whole design forms one structure
+    /// group sharing one symbolic LU analysis. Deterministic per `seed`.
+    /// This is the serve bench's warm-path workload.
+    pub fn synthetic_chains(n: usize, stages: usize, seed: u64) -> Self {
+        let start = Instant::now();
+        let nets = (0..n)
+            .map(|i| {
+                // Cheap deterministic value jitter in [0, 1): enough to
+                // make every hash unique without changing the topology.
+                let mix = |k: u64| {
+                    let mut x = seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ k;
+                    x ^= x >> 33;
+                    x = x.wrapping_mul(0xff51afd7ed558ccd);
+                    x ^= x >> 33;
+                    (x >> 11) as f64 / (1u64 << 53) as f64
+                };
+                let g = rc_line(
+                    stages,
+                    100.0 * (1.0 + 0.5 * mix(1)),
+                    1e-12 * (1.0 + 0.5 * mix(2)),
+                    Waveform::step(0.0, 5.0),
+                );
+                NetSpec {
+                    name: format!("net{:04}", i + 1),
+                    circuit: g.circuit,
+                    output: g.output,
+                }
+            })
+            .collect();
+        Design {
+            name: format!("chains-{n}x{stages}"),
+            nets,
+            parse_time: start.elapsed(),
+        }
+    }
+
     /// The nets, in reporting order.
     pub fn nets(&self) -> &[NetSpec] {
         &self.nets
+    }
+
+    /// Mutable access to one net by name (ECO edits go through here).
+    pub fn net_mut(&mut self, name: &str) -> Option<&mut NetSpec> {
+        self.nets.iter_mut().find(|n| n.name == name)
+    }
+
+    /// Renders the design as a multi-net deck
+    /// ([`parse_multi_deck`]-compatible): one `* NET <name>` header plus
+    /// the net's own deck per member. Round-trips through
+    /// [`Design::from_deck`] for nets whose observation node follows the
+    /// default convention (`out` or the highest-numbered node).
+    pub fn to_multi_deck(&self) -> String {
+        let mut out = String::new();
+        for net in &self.nets {
+            out.push_str(&format!("* NET {}\n", net.name));
+            out.push_str(&net.circuit.to_deck());
+        }
+        out
     }
 
     /// Number of nets.
@@ -434,6 +492,45 @@ mod tests {
         assert_eq!(d.len(), 1);
         let net = &d.nets()[0];
         assert_eq!(net.circuit.node_name(net.output), "out");
+    }
+
+    #[test]
+    fn synthetic_chains_form_one_structure_group() {
+        let d = Design::synthetic_chains(12, 20, 7);
+        let key = d.nets()[0].pattern_key();
+        let mut hashes = std::collections::HashSet::new();
+        for net in d.nets() {
+            assert_eq!(net.pattern_key(), key, "{}: one group", net.name);
+            assert!(hashes.insert(net.hash()), "{}: unique hash", net.name);
+        }
+        // Deterministic per seed.
+        let d2 = Design::synthetic_chains(12, 20, 7);
+        assert_eq!(d.nets()[3].hash(), d2.nets()[3].hash());
+        assert_ne!(
+            Design::synthetic_chains(12, 20, 8).nets()[3].hash(),
+            d.nets()[3].hash()
+        );
+    }
+
+    #[test]
+    fn multi_deck_round_trips() {
+        let d = Design::synthetic_chains(3, 5, 11);
+        let rt = Design::from_deck(d.name.clone(), &d.to_multi_deck()).unwrap();
+        assert_eq!(rt.len(), d.len());
+        for (a, b) in d.nets().iter().zip(rt.nets()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.hash(), b.hash(), "{}: bit-identical reload", a.name);
+        }
+    }
+
+    #[test]
+    fn net_mut_gives_editable_access() {
+        let mut d = Design::synthetic_chains(2, 4, 3);
+        let before = d.nets()[1].hash();
+        let net = d.net_mut("net0002").unwrap();
+        net.circuit.set_value("R1", 777.0).unwrap();
+        assert_ne!(d.nets()[1].hash(), before);
+        assert!(d.net_mut("absent").is_none());
     }
 
     #[test]

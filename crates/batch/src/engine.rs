@@ -22,6 +22,11 @@ static CACHE_HITS: awe_obs::Counter = awe_obs::Counter::new("batch.cache_hits");
 static PATTERN_HITS: awe_obs::Counter = awe_obs::Counter::new("batch.pattern_hits");
 /// Full AWE solves performed (cache misses, donor presolves included).
 static SOLVES: awe_obs::Counter = awe_obs::Counter::new("batch.solves");
+/// Cached results dropped because an ECO edit made them stale.
+static CACHE_INVALIDATIONS: awe_obs::Counter = awe_obs::Counter::new("batch.cache_invalidations");
+/// Symbolic patterns dropped because their structure group emptied.
+static PATTERN_INVALIDATIONS: awe_obs::Counter =
+    awe_obs::Counter::new("batch.pattern_invalidations");
 
 /// Sentinel worker index for work done on the caller thread before the
 /// pool starts (the sequential donor-presolve pass).
@@ -167,6 +172,43 @@ impl BatchEngine {
     pub fn clear_cache(&self) {
         self.cache.lock().expect("cache lock").clear();
         self.patterns.lock().expect("pattern lock").clear();
+    }
+
+    /// Whether a result for this structural hash is cached.
+    pub fn has_result(&self, hash: u64) -> bool {
+        self.cache.lock().expect("cache lock").contains_key(&hash)
+    }
+
+    /// Whether a symbolic LU pattern for this topology key is cached.
+    pub fn has_pattern(&self, key: u64) -> bool {
+        self.patterns
+            .lock()
+            .expect("pattern lock")
+            .contains_key(&key)
+    }
+
+    /// Drops the cached result for one structural hash (an ECO edit made
+    /// it stale), returning whether an entry existed. The next run
+    /// re-solves any net with that hash; untouched hashes keep hitting.
+    pub fn invalidate_result(&self, hash: u64) -> bool {
+        let evicted = self.cache.lock().expect("cache lock").remove(&hash);
+        if evicted.is_some() {
+            CACHE_INVALIDATIONS.incr();
+        }
+        evicted.is_some()
+    }
+
+    /// Drops the shared symbolic LU pattern for one topology key (every
+    /// net of that structure group changed topology, so nothing will
+    /// refactor against it again), returning whether an entry existed.
+    /// The underlying analysis is `Arc`-shared: in-flight solves holding
+    /// a clone are unaffected.
+    pub fn invalidate_pattern(&self, key: u64) -> bool {
+        let evicted = self.patterns.lock().expect("pattern lock").remove(&key);
+        if evicted.is_some() {
+            PATTERN_INVALIDATIONS.incr();
+        }
+        evicted.is_some()
     }
 
     /// Analyzes every net of `design`, fanning out across
@@ -518,6 +560,36 @@ mod tests {
         assert_eq!(rerun.solves, 1, "only the edited net re-solves");
         assert_eq!(rerun.cache_hits, 5);
         assert!(!rerun.results[2].cache_hit);
+    }
+
+    #[test]
+    fn invalidation_forces_reanalysis() {
+        // 200 stages ≈ 202 unknowns: past the sparse-path threshold, so
+        // the group shares a cached symbolic pattern.
+        let design = Design::synthetic_chains(4, 200, 5);
+        let engine = BatchEngine::new();
+        engine.run(&design, &BatchOptions::default());
+        assert_eq!(engine.cache_len(), 4);
+        assert_eq!(engine.pattern_len(), 1);
+
+        let hash = design.nets()[2].hash();
+        let key = design.nets()[2].pattern_key();
+        assert!(engine.has_result(hash));
+        assert!(engine.invalidate_result(hash));
+        assert!(!engine.has_result(hash));
+        assert!(!engine.invalidate_result(hash), "second evict is a no-op");
+
+        // Re-run: only the evicted net solves, and it refactors against
+        // the still-cached group pattern (no new symbolic analysis).
+        let rerun = engine.run(&design, &BatchOptions::default());
+        assert_eq!(rerun.solves, 1);
+        assert_eq!(rerun.cache_hits, 3);
+        assert_eq!(rerun.pattern_hits, 1);
+
+        assert!(engine.has_pattern(key));
+        assert!(engine.invalidate_pattern(key));
+        assert!(!engine.has_pattern(key));
+        assert!(!engine.invalidate_pattern(key));
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Load generator for the analysis daemon: drives an in-process
+//! [`ServeState`] through `handle_line` — the same entry point the
+//! stdio and TCP transports use — and measures per-request latency
+//! split by class:
+//!
+//! * `cold_load`  — `load_design` of an unseen 500-net design (full
+//!   batch analysis, one donor symbolic factorization).
+//! * `value_edit` — a resize ECO plus the `analyze` that re-solves the
+//!   one dirty net by numeric refactorization (zero new symbolic).
+//! * `topology_edit` — an add-card ECO plus its `analyze` (the edited
+//!   net leaves its structure group and pays a fresh symbolic).
+//!
+//! Writes `BENCH_serve.json` at the workspace root with requests/sec
+//! and p50/p99 per class, and fails if a warm value edit is not at
+//! least 5× faster than a cold load — the headline incremental claim.
+//!
+//! `AWE_BENCH_TINY=1` shrinks the design (the stage count stays above
+//! the sparse-path threshold so the refactor path is still the one
+//! being measured).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use awe_serve::{handle_line, Json, ServeOptions, ServeState};
+
+struct ClassRow {
+    class: &'static str,
+    samples_us: Vec<f64>,
+}
+
+impl ClassRow {
+    fn new(class: &'static str) -> Self {
+        ClassRow {
+            class,
+            samples_us: Vec::new(),
+        }
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        let mut s = self.samples_us.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        if s.is_empty() {
+            return 0.0;
+        }
+        // Nearest-rank, matching the daemon's own metrics verb.
+        let rank = ((p / 100.0 * s.len() as f64).ceil() as usize).clamp(1, s.len());
+        s[rank - 1]
+    }
+}
+
+/// Sends one request line, asserts the daemon accepted it, and returns
+/// the wall-clock latency in microseconds.
+fn timed_send(st: &ServeState, line: &str) -> f64 {
+    let start = Instant::now();
+    let reply = handle_line(st, line);
+    let us = start.elapsed().as_secs_f64() * 1e6;
+    let parsed = awe_serve::json::parse(&reply)
+        .unwrap_or_else(|e| panic!("invalid response JSON ({e}): {reply}"));
+    assert_eq!(
+        parsed.get("ok"),
+        Some(&Json::Bool(true)),
+        "request failed: {line:.80} -> {reply:.200}"
+    );
+    us
+}
+
+fn main() {
+    let tiny = std::env::var("AWE_BENCH_TINY").is_ok() || std::env::args().any(|a| a == "--test");
+    // Stage count stays well above the sparse threshold (192 unknowns)
+    // so value edits exercise the pattern-reusing refactor path.
+    let (nets, stages, cold_reps, edit_reps) = if tiny {
+        (40, 200, 2, 8)
+    } else {
+        (500, 200, 3, 30)
+    };
+
+    let st = ServeState::new(ServeOptions::default());
+    let mut cold = ClassRow::new("cold_load");
+    let mut value = ClassRow::new("value_edit");
+    let mut topo = ClassRow::new("topology_edit");
+    let started = Instant::now();
+    let mut requests = 0usize;
+
+    for rep in 0..cold_reps {
+        let line = format!(
+            r#"{{"verb":"load_design","session":"load{rep}","chains":{{"nets":{nets},"stages":{stages},"seed":{}}}}}"#,
+            rep + 1
+        );
+        cold.samples_us.push(timed_send(&st, &line));
+        requests += 1;
+    }
+
+    // Warm session the edit classes run against.
+    let line = format!(
+        r#"{{"verb":"load_design","session":"warm","chains":{{"nets":{nets},"stages":{stages},"seed":99}}}}"#
+    );
+    timed_send(&st, &line);
+    requests += 1;
+
+    for rep in 0..edit_reps {
+        // One edit = the ECO plus the analyze that pays for it; the pair
+        // is what an interactive caller waits on.
+        let net = format!("net{:04}", 1 + rep % nets);
+        let eco = format!(
+            r#"{{"verb":"eco","session":"warm","ops":[{{"op":"resize","net":"{net}","element":"R3","value":{}.5}}]}}"#,
+            100 + rep
+        );
+        let a = timed_send(&st, &eco);
+        let b = timed_send(&st, r#"{"verb":"analyze","session":"warm"}"#);
+        value.samples_us.push(a + b);
+        requests += 2;
+    }
+
+    for rep in 0..edit_reps {
+        let net = format!("net{:04}", 1 + rep % nets);
+        // A fresh grounded cap each rep: every one is a topology change.
+        let eco = format!(
+            r#"{{"verb":"eco","session":"warm","ops":[{{"op":"add","net":"{net}","card":"CLOAD{rep} n4 0 {}e-15"}}]}}"#,
+            rep + 1
+        );
+        let a = timed_send(&st, &eco);
+        let b = timed_send(&st, r#"{"verb":"analyze","session":"warm"}"#);
+        topo.samples_us.push(a + b);
+        requests += 2;
+    }
+
+    let total_s = started.elapsed().as_secs_f64();
+    let rps = requests as f64 / total_s;
+
+    let cold_p50 = cold.percentile(50.0);
+    let value_p50 = value.percentile(50.0);
+    let speedup = cold_p50 / value_p50.max(1e-9);
+    for row in [&cold, &value, &topo] {
+        println!(
+            "{:<14} n={:<3} p50 {:>10.1} us  p99 {:>10.1} us",
+            row.class,
+            row.samples_us.len(),
+            row.percentile(50.0),
+            row.percentile(99.0),
+        );
+    }
+    println!("{requests} requests in {total_s:.2} s ({rps:.1} req/s); value-edit speedup vs cold load: {speedup:.1}x");
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"serve_load\",");
+    let _ = writeln!(out, "  \"nets\": {nets},");
+    let _ = writeln!(out, "  \"stages\": {stages},");
+    let _ = writeln!(out, "  \"tiny\": {tiny},");
+    let _ = writeln!(out, "  \"requests\": {requests},");
+    let _ = writeln!(out, "  \"requests_per_sec\": {rps:.1},");
+    let _ = writeln!(out, "  \"value_edit_speedup_vs_cold\": {speedup:.1},");
+    out.push_str("  \"classes\": [\n");
+    let rows = [&cold, &value, &topo];
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"class\": \"{}\", \"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{comma}",
+            row.class,
+            row.samples_us.len(),
+            row.percentile(50.0),
+            row.percentile(99.0),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+
+    assert!(
+        speedup >= 5.0,
+        "incremental claim violated: value-edit p50 {value_p50:.1} us is only {speedup:.1}x \
+         faster than cold load p50 {cold_p50:.1} us (need >= 5x)"
+    );
+}

@@ -44,6 +44,8 @@ mod waveform;
 pub use element::{Element, NodeId, GROUND};
 pub use graph::SpanningTree;
 pub use netlist::{Circuit, CircuitError};
-pub use parser::{parse_deck, parse_multi_deck, parse_value, NamedNet};
+pub use parser::{
+    parse_card_into, parse_deck, parse_multi_deck, parse_source_spec, parse_value, NamedNet,
+};
 pub use topology::{analyze, TopologyReport};
 pub use waveform::{Ramp, Waveform};

@@ -43,6 +43,24 @@ pub enum CircuitError {
         /// Description of the problem.
         message: String,
     },
+    /// An edit referenced an element that does not exist.
+    NoSuchElement(String),
+    /// An element cannot be removed because a current-controlled source
+    /// still references it.
+    ControlInUse {
+        /// The element being removed.
+        element: String,
+        /// The F/H source that controls through it.
+        dependent: String,
+    },
+    /// An edit targeted an element kind it does not apply to (e.g.
+    /// resizing a voltage source or re-sourcing a resistor).
+    WrongKind {
+        /// Element name.
+        element: String,
+        /// What the edit expected.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -68,6 +86,18 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            CircuitError::NoSuchElement(name) => {
+                write!(f, "no element named {name}")
+            }
+            CircuitError::ControlInUse { element, dependent } => {
+                write!(
+                    f,
+                    "element {element} still controls {dependent}; remove {dependent} first"
+                )
+            }
+            CircuitError::WrongKind { element, expected } => {
+                write!(f, "element {element} is not {expected}")
             }
         }
     }
@@ -486,6 +516,115 @@ impl Circuit {
         }
     }
 
+    /// Removes the element named `name` (an ECO-style edit), returning it.
+    ///
+    /// Nodes the element referenced stay in the circuit even if nothing
+    /// else touches them — node ids are stable across edits.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::NoSuchElement`] if absent;
+    /// [`CircuitError::ControlInUse`] if a current-controlled source (`F`
+    /// or `H`) still names it as its controlling element.
+    pub fn remove_element(&mut self, name: &str) -> Result<Element, CircuitError> {
+        let idx = *self
+            .element_names
+            .get(name)
+            .ok_or_else(|| CircuitError::NoSuchElement(name.to_owned()))?;
+        if let Some(dependent) = self.elements.iter().find_map(|e| match e {
+            Element::Cccs {
+                name: dep, control, ..
+            }
+            | Element::Ccvs {
+                name: dep, control, ..
+            } if control == name => Some(dep.clone()),
+            _ => None,
+        }) {
+            return Err(CircuitError::ControlInUse {
+                element: name.to_owned(),
+                dependent,
+            });
+        }
+        self.element_names.remove(name);
+        let removed = self.elements.remove(idx);
+        // Indices after the removed slot shift down by one.
+        for i in self.element_names.values_mut() {
+            if *i > idx {
+                *i -= 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Resizes a passive or controlled-source element in place (an
+    /// ECO-style value-only edit): R/C/L values, VCCS `gm`, VCVS gain,
+    /// CCCS gain, CCVS transresistance. Topology (terminals, element
+    /// kind, initial conditions) is untouched, so the circuit's sparsity
+    /// pattern — and its symbolic LU — survive the edit.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::NoSuchElement`] if absent;
+    /// [`CircuitError::WrongKind`] for independent sources (change their
+    /// waveform with [`Circuit::set_source`]);
+    /// [`CircuitError::NonPositiveValue`] for a non-positive R/C/L value.
+    pub fn set_value(&mut self, name: &str, value: f64) -> Result<(), CircuitError> {
+        let idx = *self
+            .element_names
+            .get(name)
+            .ok_or_else(|| CircuitError::NoSuchElement(name.to_owned()))?;
+        let positive = matches!(
+            self.elements[idx],
+            Element::Resistor { .. } | Element::Capacitor { .. } | Element::Inductor { .. }
+        );
+        if positive && value <= 0.0 {
+            return Err(CircuitError::NonPositiveValue {
+                element: name.to_owned(),
+                value,
+            });
+        }
+        match &mut self.elements[idx] {
+            Element::Resistor { ohms, .. } => *ohms = value,
+            Element::Capacitor { farads, .. } => *farads = value,
+            Element::Inductor { henries, .. } => *henries = value,
+            Element::Vccs { gm, .. } => *gm = value,
+            Element::Vcvs { gain, .. } => *gain = value,
+            Element::Cccs { gain, .. } => *gain = value,
+            Element::Ccvs { r, .. } => *r = value,
+            Element::VoltageSource { .. } | Element::CurrentSource { .. } => {
+                return Err(CircuitError::WrongKind {
+                    element: name.to_owned(),
+                    expected: "a resizable element (R/C/L/G/E/F/H)",
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the waveform of an independent V/I source in place (an
+    /// ECO-style value-only edit — the MNA structure does not change).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::NoSuchElement`] if absent;
+    /// [`CircuitError::WrongKind`] for anything but a V/I source.
+    pub fn set_source(&mut self, name: &str, new_waveform: Waveform) -> Result<(), CircuitError> {
+        let idx = *self
+            .element_names
+            .get(name)
+            .ok_or_else(|| CircuitError::NoSuchElement(name.to_owned()))?;
+        match &mut self.elements[idx] {
+            Element::VoltageSource { waveform, .. } | Element::CurrentSource { waveform, .. } => {
+                *waveform = new_waveform;
+                Ok(())
+            }
+            _ => Err(CircuitError::WrongKind {
+                element: name.to_owned(),
+                expected: "an independent source (V/I)",
+            }),
+        }
+    }
+
     /// Renders the circuit as a SPICE-like deck (one element per line).
     pub fn to_deck(&self) -> String {
         let mut out = String::new();
@@ -690,5 +829,80 @@ mod tests {
             message: "bad token".into(),
         };
         assert_eq!(e.to_string(), "parse error on line 3: bad token");
+        assert_eq!(
+            CircuitError::NoSuchElement("R9".into()).to_string(),
+            "no element named R9"
+        );
+    }
+
+    #[test]
+    fn remove_element_edits() {
+        let mut c = rc_stage();
+        let gone = c.remove_element("C1").unwrap();
+        assert_eq!(gone.name(), "C1");
+        assert!(c.element("C1").is_none());
+        assert_eq!(c.elements().len(), 2);
+        // Name→index map re-aligned after the shift: lookups still work
+        // and the freed name is reusable.
+        let n1 = c.find_node("n1").unwrap();
+        assert!(matches!(c.element("R1"), Some(Element::Resistor { .. })));
+        c.add_capacitor("C1", n1, GROUND, 2e-12).unwrap();
+        assert!(c.element("C1").is_some());
+        assert!(matches!(
+            c.remove_element("X9"),
+            Err(CircuitError::NoSuchElement(_))
+        ));
+    }
+
+    #[test]
+    fn remove_element_respects_control_dependencies() {
+        let mut c = rc_stage();
+        let n1 = c.find_node("n1").unwrap();
+        c.add_cccs("F1", n1, GROUND, "V1", 0.5).unwrap();
+        assert!(matches!(
+            c.remove_element("V1"),
+            Err(CircuitError::ControlInUse { element, dependent })
+                if element == "V1" && dependent == "F1"
+        ));
+        // Dependent first, then the controlling source.
+        c.remove_element("F1").unwrap();
+        c.remove_element("V1").unwrap();
+        assert_eq!(c.elements().len(), 2);
+    }
+
+    #[test]
+    fn set_value_edits() {
+        let mut c = rc_stage();
+        c.set_value("R1", 2.2e3).unwrap();
+        assert!(matches!(
+            c.element("R1"),
+            Some(Element::Resistor { ohms, .. }) if *ohms == 2.2e3
+        ));
+        assert!(matches!(
+            c.set_value("R1", 0.0),
+            Err(CircuitError::NonPositiveValue { .. })
+        ));
+        assert!(matches!(
+            c.set_value("V1", 3.0),
+            Err(CircuitError::WrongKind { .. })
+        ));
+        assert!(matches!(
+            c.set_value("X9", 1.0),
+            Err(CircuitError::NoSuchElement(_))
+        ));
+    }
+
+    #[test]
+    fn set_source_edits() {
+        let mut c = rc_stage();
+        c.set_source("V1", Waveform::step(0.0, 3.3)).unwrap();
+        assert!(matches!(
+            c.element("V1"),
+            Some(Element::VoltageSource { waveform, .. }) if waveform.final_value() == 3.3
+        ));
+        assert!(matches!(
+            c.set_source("R1", Waveform::dc(1.0)),
+            Err(CircuitError::WrongKind { .. })
+        ));
     }
 }

@@ -190,6 +190,60 @@ pub fn parse_multi_deck(deck: &str) -> Result<Vec<NamedNet>, CircuitError> {
     Ok(nets)
 }
 
+/// Parses a single element card into an existing circuit — the entry
+/// point ECO-style edits use to *add* elements to an already-built net.
+/// Node names the card mentions are created on demand, exactly as inside
+/// [`parse_deck`]; errors report line 1 (the card is its own one-line
+/// deck).
+///
+/// # Errors
+///
+/// [`CircuitError::Parse`] for a malformed card, plus the circuit
+/// builder's semantic errors (duplicate name, non-positive value, …).
+///
+/// # Examples
+///
+/// ```
+/// use awe_circuit::{parse_card_into, Circuit};
+///
+/// let mut c = Circuit::new();
+/// parse_card_into(&mut c, "R1 in out 1k").unwrap();
+/// assert!(c.element("R1").is_some());
+/// assert!(parse_card_into(&mut c, "R1 in out 2k").is_err()); // duplicate
+/// ```
+pub fn parse_card_into(c: &mut Circuit, card: &str) -> Result<(), CircuitError> {
+    let text = card.split(';').next().unwrap_or("").trim();
+    if text.is_empty() || text.starts_with('*') || text.starts_with('.') {
+        return Err(perr(1, "expected exactly one element card"));
+    }
+    parse_card(c, text, 1)
+}
+
+/// Parses a source specification (`DC v`, `STEP v0 v1`, `PWL(...)`, or a
+/// bare DC value) into a [`Waveform`] — the entry point ECO-style edits
+/// use to retarget an existing V/I source.
+///
+/// # Errors
+///
+/// [`CircuitError::Parse`] for an unrecognized or malformed spec.
+///
+/// # Examples
+///
+/// ```
+/// use awe_circuit::parse_source_spec;
+///
+/// let w = parse_source_spec("STEP 0 5").unwrap();
+/// assert_eq!(w.final_value(), 5.0);
+/// assert!(parse_source_spec("WIGGLE 3").is_err());
+/// ```
+pub fn parse_source_spec(spec: &str) -> Result<Waveform, CircuitError> {
+    let tokens: Vec<&str> = spec.split_whitespace().collect();
+    if tokens.is_empty() {
+        return Err(perr(1, "empty source specification"));
+    }
+    parse_source(&tokens, 1, "source")
+}
+
 fn perr(line: usize, message: impl Into<String>) -> CircuitError {
     CircuitError::Parse {
         line,

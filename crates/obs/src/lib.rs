@@ -51,6 +51,6 @@ pub use metrics::{
     HIST_BUCKETS,
 };
 pub use recorder::{
-    enabled, health, instant, set_lane_label, span, span_labeled, LaneData, Profile, Recording,
-    Span, LANE_CAPACITY,
+    enabled, health, instant, lane_scope, set_lane_label, span, span_labeled, LaneData, LaneScope,
+    Profile, Recording, Span, LANE_CAPACITY,
 };

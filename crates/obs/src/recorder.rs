@@ -30,7 +30,7 @@
 //! corrupting the next recording.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
@@ -66,6 +66,9 @@ struct SessionState {
     /// recording thread keeps an `Arc` to its own slot; `finish` drains
     /// the registry without waiting on any thread's exit.
     lanes: Mutex<Vec<Arc<LaneSlot>>>,
+    /// Named lanes (see [`lane_scope`]), keyed by label. Slots here are
+    /// *also* in `lanes`, which is the registry `finish` drains.
+    named: Mutex<HashMap<String, Arc<LaneSlot>>>,
 }
 
 /// One thread's shared lane storage. The mutex is thread-private in
@@ -101,6 +104,10 @@ struct LocalLane {
 
 thread_local! {
     static LANE: RefCell<Option<LocalLane>> = const { RefCell::new(None) };
+    /// Stack of named-lane overrides ([`lane_scope`]); the top, when its
+    /// generation is live, receives this thread's events instead of the
+    /// per-thread lane.
+    static NAMED: RefCell<Vec<LocalLane>> = const { RefCell::new(Vec::new()) };
 }
 
 fn new_lane(generation: u64) -> Option<LocalLane> {
@@ -125,10 +132,67 @@ fn new_lane(generation: u64) -> Option<LocalLane> {
     Some(LocalLane { generation, slot })
 }
 
+/// Fetches (or creates and registers) the session's named lane for
+/// `label`. `None` if no session is live at `generation`.
+fn named_lane(label: &str, generation: u64) -> Option<LocalLane> {
+    let guard = SESSION.lock().ok()?;
+    let state = guard.as_ref()?;
+    if state.generation != generation {
+        return None;
+    }
+    let mut named = state.named.lock().unwrap_or_else(PoisonError::into_inner);
+    let slot = named.entry(label.to_owned()).or_insert_with(|| {
+        let slot = Arc::new(LaneSlot {
+            buf: Mutex::new(LaneBuf {
+                label: label.to_owned(),
+                events: VecDeque::with_capacity(256),
+                dropped: 0,
+            }),
+        });
+        state
+            .lanes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&slot));
+        slot
+    });
+    Some(LocalLane {
+        generation,
+        slot: Arc::clone(slot),
+    })
+}
+
 /// Runs `f` on the calling thread's live lane buffer, creating (and, if
 /// stale, recycling) the lane as needed. Silently a no-op during thread
-/// teardown or if no session is live.
+/// teardown or if no session is live. A live [`lane_scope`] override on
+/// this thread redirects to its named lane instead.
 fn with_lane(f: impl FnOnce(&mut LaneBuf)) {
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let mut f = Some(f);
+    let _ = NAMED.try_with(|cell| {
+        let Ok(stack) = cell.try_borrow() else {
+            return;
+        };
+        if let Some(lane) = stack.last() {
+            if lane.generation == generation {
+                let mut buf = lane.slot.buf.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(f) = f.take() {
+                    f(&mut buf);
+                }
+            }
+        }
+    });
+    let Some(f) = f else {
+        return;
+    };
+    with_own_lane(f);
+}
+
+/// Like [`with_lane`] but always targets the calling thread's *own*
+/// lane, ignoring any live [`lane_scope`] override. Used where the
+/// target must be the physical thread — e.g. [`set_lane_label`], which
+/// would otherwise rename a shared session lane out from under it.
+fn with_own_lane(f: impl FnOnce(&mut LaneBuf)) {
     let generation = GENERATION.load(Ordering::Relaxed);
     let _ = LANE.try_with(|cell| {
         let Ok(mut handle) = cell.try_borrow_mut() else {
@@ -157,16 +221,66 @@ fn record(event: Event) {
     });
 }
 
-/// Names the calling thread's lane in every sink (e.g. `"worker-3"`).
+/// Names the calling thread's *own* lane in every sink (e.g.
+/// `"worker-3"`). Deliberately immune to a live [`lane_scope`]
+/// override: a shared session lane keeps the label it was created
+/// with, no matter which labeled worker happens to run inside it.
 /// No-op when disabled.
 pub fn set_lane_label(label: &str) {
     if !enabled() {
         return;
     }
-    with_lane(|buf| {
+    with_own_lane(|buf| {
         buf.label.clear();
         buf.label.push_str(label);
     });
+}
+
+/// A named-lane override guard: while alive, every event the calling
+/// thread records lands in the session's lane named `label` instead of
+/// the thread's own lane — and every other thread that enters a scope
+/// with the same label feeds the *same* lane. This is how a served
+/// session gets one coherent trace track no matter which connection
+/// thread (or how many, over its lifetime) handles its requests.
+///
+/// Scopes nest; the innermost live scope wins. Inert (and free) when no
+/// recording is active; a scope that outlives its recording is ignored.
+#[must_use = "a lane scope redirects events only while it is alive"]
+pub struct LaneScope(bool);
+
+/// Directs the calling thread's events into the session lane named
+/// `label` for the guard's lifetime. See [`LaneScope`].
+pub fn lane_scope(label: &str) -> LaneScope {
+    if !enabled() {
+        return LaneScope(false);
+    }
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let Some(lane) = named_lane(label, generation) else {
+        return LaneScope(false);
+    };
+    let pushed = NAMED
+        .try_with(|cell| {
+            if let Ok(mut stack) = cell.try_borrow_mut() {
+                stack.push(lane);
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(false);
+    LaneScope(pushed)
+}
+
+impl Drop for LaneScope {
+    fn drop(&mut self) {
+        if self.0 {
+            let _ = NAMED.try_with(|cell| {
+                if let Ok(mut stack) = cell.try_borrow_mut() {
+                    stack.pop();
+                }
+            });
+        }
+    }
 }
 
 /// A timed-region guard. Created by [`span`]; records one
@@ -295,6 +409,7 @@ impl Recording {
             generation,
             next_lane: AtomicU64::new(0),
             lanes: Mutex::new(Vec::new()),
+            named: Mutex::new(HashMap::new()),
         });
         *guard = Some(Arc::clone(&state));
         ENABLED.store(true, Ordering::Release);

@@ -7,8 +7,8 @@
 use std::sync::{Mutex, PoisonError};
 
 use awe_obs::{
-    bucket_bounds, bucket_index, health, instant, span, Counter, EventKind, Health, Histogram,
-    Recording, HIST_BUCKETS, LANE_CAPACITY,
+    bucket_bounds, bucket_index, health, instant, lane_scope, span, Counter, EventKind, Health,
+    Histogram, Recording, HIST_BUCKETS, LANE_CAPACITY,
 };
 use proptest::prelude::*;
 
@@ -141,6 +141,113 @@ fn span_ordering_within_a_thread_is_deterministic() {
     let inner = lane.events.iter().find(|e| e.name == "inner").unwrap();
     let outer = lane.events.iter().find(|e| e.name == "outer").unwrap();
     assert!(inner.ts_ns >= outer.ts_ns, "inner opens after outer");
+}
+
+#[test]
+fn lane_scopes_collect_one_session_across_threads() {
+    let _guard = record_lock();
+    let rec = Recording::start().expect("no other recording under the lock");
+    // One thread interleaving two sessions: the scope, not the thread,
+    // decides the lane.
+    {
+        let _s = lane_scope("session:a");
+        let _sp = span("req.a1");
+    }
+    {
+        let _s = lane_scope("session:b");
+        let _sp = span("req.b1");
+    }
+    // A second thread contributing to session a: same lane.
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let _s = lane_scope("session:a");
+            let _sp = span("req.a2");
+        });
+    });
+    // Nesting: the innermost scope wins, and popping restores the outer.
+    {
+        let _outer = lane_scope("session:a");
+        {
+            let _inner = lane_scope("session:b");
+            let _sp = span("req.b2");
+        }
+        let _sp = span("req.a3");
+    }
+    // Outside any scope, events fall back to the per-thread lane.
+    {
+        let _sp = span("req.unscoped");
+    }
+    let profile = rec.finish();
+
+    let lane = |label: &str| {
+        profile
+            .lanes
+            .iter()
+            .find(|l| l.label == label)
+            .unwrap_or_else(|| panic!("lane {label} exists"))
+    };
+    let names = |label: &str| -> Vec<&str> { lane(label).events.iter().map(|e| e.name).collect() };
+    assert_eq!(names("session:a"), ["req.a1", "req.a2", "req.a3"]);
+    assert_eq!(names("session:b"), ["req.b1", "req.b2"]);
+    assert!(
+        profile
+            .lanes
+            .iter()
+            .any(|l| l.events.iter().any(|e| e.name == "req.unscoped")
+                && !l.label.starts_with("session:")),
+        "unscoped events stay on the thread lane"
+    );
+}
+
+#[test]
+fn set_lane_label_never_renames_a_named_lane() {
+    let _guard = record_lock();
+    let rec = Recording::start().expect("no other recording under the lock");
+    {
+        let _s = lane_scope("session:keep");
+        // An inline worker labeling "its" lane while a session scope is
+        // live (e.g. the single-threaded pool path) must label the
+        // thread's own lane, not the shared session lane.
+        awe_obs::set_lane_label("worker-0");
+        let _sp = span("req.scoped");
+    }
+    {
+        let _sp = span("req.unscoped");
+    }
+    let profile = rec.finish();
+    assert!(
+        profile
+            .lanes
+            .iter()
+            .any(|l| l.label == "session:keep" && l.events.iter().any(|e| e.name == "req.scoped")),
+        "session lane keeps its label and its events"
+    );
+    assert!(
+        profile
+            .lanes
+            .iter()
+            .any(|l| l.label == "worker-0" && l.events.iter().any(|e| e.name == "req.unscoped")),
+        "the thread's own lane took the worker label"
+    );
+}
+
+#[test]
+fn lane_scope_is_inert_when_disabled() {
+    let _guard = record_lock();
+    // No recording: the guard constructs and drops without effect.
+    let scope = lane_scope("session:none");
+    drop(scope);
+    let rec = Recording::start().expect("no other recording under the lock");
+    // A scope from a *previous* generation must not leak into this one:
+    // simulate by creating the scope, ending the recording, and letting
+    // the guard drop afterwards.
+    let stale = lane_scope("session:stale");
+    let profile = rec.finish();
+    drop(stale);
+    assert!(
+        profile.lanes.iter().all(|l| l.events.is_empty()),
+        "nothing was recorded"
+    );
 }
 
 #[test]

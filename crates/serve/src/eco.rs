@@ -1,0 +1,153 @@
+//! Typed ECO (engineering change order) edit operations.
+//!
+//! Each op names the net it touches and maps onto one `awe-circuit` edit
+//! entry point; the session layer decides afterwards whether the edit was
+//! value-only (the cached symbolic pattern survives) or topological (the
+//! structure group changes).
+
+use std::fmt;
+
+use awe_circuit::{parse_card_into, parse_source_spec, Circuit, CircuitError};
+
+/// One edit operation against a named net of a session's design.
+#[derive(Clone, Debug)]
+pub enum EcoOp {
+    /// Add an element: `card` is one deck card (`"C9 n5 0 2p"`).
+    Add {
+        /// Target net name.
+        net: String,
+        /// The element card, deck syntax.
+        card: String,
+    },
+    /// Remove the element named `element`.
+    Remove {
+        /// Target net name.
+        net: String,
+        /// Element to remove.
+        element: String,
+    },
+    /// Change the principal value of an existing element (ohms, farads,
+    /// henries, or a controlled-source gain) — a value-only edit.
+    Resize {
+        /// Target net name.
+        net: String,
+        /// Element to resize.
+        element: String,
+        /// New value (positivity rules follow the element kind).
+        value: f64,
+    },
+    /// Replace an independent source's waveform (`"STEP 0 3.3"`,
+    /// `"DC 5"`, `"PWL(0 0 1n 5)"`) — a value-only edit.
+    SetSource {
+        /// Target net name.
+        net: String,
+        /// Source element to rewire.
+        element: String,
+        /// Waveform spec, deck syntax.
+        source: String,
+    },
+}
+
+impl EcoOp {
+    /// The net this op edits.
+    pub fn net(&self) -> &str {
+        match self {
+            EcoOp::Add { net, .. }
+            | EcoOp::Remove { net, .. }
+            | EcoOp::Resize { net, .. }
+            | EcoOp::SetSource { net, .. } => net,
+        }
+    }
+
+    /// Applies the edit to a circuit (the session hands in a *clone* so a
+    /// failing op sequence leaves the design untouched).
+    pub fn apply(&self, circuit: &mut Circuit) -> Result<(), CircuitError> {
+        match self {
+            EcoOp::Add { card, .. } => parse_card_into(circuit, card),
+            EcoOp::Remove { element, .. } => circuit.remove_element(element).map(|_| ()),
+            EcoOp::Resize { element, value, .. } => circuit.set_value(element, *value),
+            EcoOp::SetSource {
+                element, source, ..
+            } => {
+                let waveform = parse_source_spec(source)?;
+                circuit.set_source(element, waveform)
+            }
+        }
+    }
+}
+
+impl fmt::Display for EcoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcoOp::Add { net, card } => write!(f, "add `{card}` to {net}"),
+            EcoOp::Remove { net, element } => write!(f, "remove {element} from {net}"),
+            EcoOp::Resize {
+                net,
+                element,
+                value,
+            } => write!(f, "resize {element} in {net} to {value}"),
+            EcoOp::SetSource { net, element, .. } => write!(f, "set source {element} in {net}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awe_circuit::parse_deck;
+
+    fn rc() -> Circuit {
+        parse_deck("V1 in 0 STEP 0 5\nR1 in out 1k\nC1 out 0 1p").unwrap()
+    }
+
+    #[test]
+    fn ops_apply_and_fail_typed() {
+        let mut c = rc();
+        EcoOp::Add {
+            net: "n".into(),
+            card: "C2 out 0 0.5p".into(),
+        }
+        .apply(&mut c)
+        .unwrap();
+        EcoOp::Resize {
+            net: "n".into(),
+            element: "R1".into(),
+            value: 2e3,
+        }
+        .apply(&mut c)
+        .unwrap();
+        EcoOp::SetSource {
+            net: "n".into(),
+            element: "V1".into(),
+            source: "STEP 0 3.3".into(),
+        }
+        .apply(&mut c)
+        .unwrap();
+        EcoOp::Remove {
+            net: "n".into(),
+            element: "C2".into(),
+        }
+        .apply(&mut c)
+        .unwrap();
+        assert_eq!(c.elements().len(), 3);
+
+        let err = EcoOp::Remove {
+            net: "n".into(),
+            element: "C9".into(),
+        }
+        .apply(&mut c)
+        .unwrap_err();
+        assert!(matches!(err, CircuitError::NoSuchElement(_)), "{err:?}");
+        let err = EcoOp::Resize {
+            net: "n".into(),
+            element: "R1".into(),
+            value: -1.0,
+        }
+        .apply(&mut c)
+        .unwrap_err();
+        assert!(
+            matches!(err, CircuitError::NonPositiveValue { .. }),
+            "{err:?}"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # awe-serve
+//!
+//! The AWEsim analysis daemon: persistent named **sessions**, each
+//! holding a parsed design and a warm [`awe_batch::BatchEngine`], driven
+//! by a newline-delimited JSON protocol over stdio or TCP.
+//!
+//! The point of staying resident is the ECO loop. A timing run in an ECO
+//! flow repeats over a design that is 99% unchanged; re-launching the
+//! batch CLI re-parses and re-solves everything. A session instead
+//! tracks, per net, the structural hash (result-cache key) and the
+//! topology-only pattern key (symbolic-LU-cache key), classifies every
+//! edit as value-only or topological, and invalidates exactly the stale
+//! artifacts — so `analyze` after a value-only edit is a cache sweep
+//! plus one numeric refactorization, with **zero** new symbolic
+//! analyses, and the response's counters prove it (see
+//! [`session`] for the invalidation rules).
+//!
+//! Protocol sketch (one JSON object per line, `id` echoed back):
+//!
+//! ```text
+//! → {"id":1,"verb":"load_design","session":"cpu","deck":"* NET b\nV1 in 0 STEP 0 5\nR1 in out 1k\nC1 out 0 1p\n"}
+//! ← {"id":1,"ok":true,"verb":"load_design","session":"cpu","nets":1,...}
+//! → {"id":2,"verb":"eco","session":"cpu","ops":[{"op":"resize","net":"b","element":"R1","value":2000}]}
+//! ← {"id":2,"ok":true,"verb":"eco","changes":[{"net":"b","class":"value"}],...}
+//! → {"id":3,"verb":"analyze","session":"cpu"}
+//! ← {"id":3,"ok":true,"verb":"analyze","solves":1,"new_symbolic":0,...}
+//! ```
+//!
+//! Every malformed line — bad JSON, unknown verb, missing field — gets a
+//! typed error response (`error.code`, `error.message`, the offending
+//! net/line when identifiable) and the daemon keeps serving.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eco;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use eco::EcoOp;
+pub use json::Json;
+pub use protocol::{DesignSource, ErrorCode, Request, RunOpts, ServeError};
+pub use server::{handle_line, serve_lines, serve_tcp, ServeOptions, ServeState};
+pub use session::{AnalyzeSummary, EcoOutcome, NetChange, Session, SessionStats};

@@ -1,0 +1,487 @@
+//! The wire protocol: newline-delimited JSON requests and typed errors.
+//!
+//! Every request is one JSON object on one line with a `verb` field and
+//! an optional `id` the daemon echoes back verbatim (number or string —
+//! the daemon never interprets it). Every response is one JSON object on
+//! one line: `{"id":…,"ok":true,"verb":…,…}` on success,
+//! `{"id":…,"ok":false,"error":{"code":…,"message":…}}` on failure.
+//! Malformed input of any kind — bad JSON, a non-object, an unknown
+//! verb, a missing or mistyped field — produces an error response, never
+//! a panic or a dropped connection.
+
+use crate::eco::EcoOp;
+use crate::json::Json;
+
+/// Machine-readable error class, the `error.code` field of a response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    BadJson,
+    /// The line parsed but was not a usable request object (missing or
+    /// mistyped fields, non-object payload, empty op list, …).
+    BadRequest,
+    /// The `verb` names no protocol operation.
+    UnknownVerb,
+    /// The named session does not exist.
+    NoSuchSession,
+    /// `load_design` for a session name already in use.
+    DuplicateSession,
+    /// The design deck failed to parse or build.
+    DeckError,
+    /// An ECO op was rejected (no such element, bad value, …); the
+    /// session design is unchanged.
+    EcoError,
+}
+
+impl ErrorCode {
+    /// Wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownVerb => "unknown_verb",
+            ErrorCode::NoSuchSession => "no_such_session",
+            ErrorCode::DuplicateSession => "duplicate_session",
+            ErrorCode::DeckError => "deck_error",
+            ErrorCode::EcoError => "eco_error",
+        }
+    }
+}
+
+/// A typed protocol error, rendered as the `error` object of a response.
+#[derive(Clone, Debug)]
+pub struct ServeError {
+    /// Error class.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+    /// The net the error is about, when one is identifiable (deck parse
+    /// failures and ECO rejections).
+    pub net: Option<String>,
+    /// The offending deck line, for deck parse failures.
+    pub line: Option<usize>,
+}
+
+impl ServeError {
+    /// An error with no net/line attribution.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServeError {
+            code,
+            message: message.into(),
+            net: None,
+            line: None,
+        }
+    }
+
+    /// Attaches the offending net name.
+    pub fn with_net(mut self, net: impl Into<String>) -> Self {
+        self.net = Some(net.into());
+        self
+    }
+
+    /// Attaches the offending deck line.
+    pub fn with_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// The `error` object for the response line.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("code", Json::str(self.code.as_str())),
+            ("message", Json::str(&self.message)),
+        ];
+        if let Some(net) = &self.net {
+            pairs.push(("net", Json::str(net)));
+        }
+        if let Some(line) = self.line {
+            pairs.push(("line", Json::from(line)));
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// Where `load_design` gets its nets.
+#[derive(Clone, Debug)]
+pub enum DesignSource {
+    /// An inline multi-net deck (see `awe_circuit::parse_multi_deck`).
+    Deck {
+        /// Design name for reports (defaults to the session name).
+        name: String,
+        /// The deck text (`\n`-separated inside the JSON string).
+        deck: String,
+    },
+    /// `Design::synthetic_chains`: one structure group of identical
+    /// topology, per-net value jitter.
+    Chains {
+        /// Net count.
+        nets: usize,
+        /// Stages per chain.
+        stages: usize,
+        /// Jitter seed.
+        seed: u64,
+    },
+    /// `Design::synthetic`: the mixed random RC-tree workload.
+    Synthetic {
+        /// Net count.
+        nets: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// Per-session overrides of the daemon's default batch options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOpts {
+    /// Worker threads for this session's runs (`0` = one per core).
+    pub threads: Option<usize>,
+    /// Fixed AWE order.
+    pub order: Option<usize>,
+    /// Automatic order selection with this error target.
+    pub auto_target: Option<f64>,
+    /// Order ceiling in automatic mode.
+    pub max_order: Option<usize>,
+}
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Create a session: parse/generate the design and run the first full
+    /// batch analysis.
+    LoadDesign {
+        /// New session name.
+        session: String,
+        /// Design source.
+        source: DesignSource,
+        /// Batch-option overrides.
+        opts: RunOpts,
+    },
+    /// Apply a sequence of edits atomically (all or none).
+    Eco {
+        /// Target session.
+        session: String,
+        /// The edits, applied in order.
+        ops: Vec<EcoOp>,
+    },
+    /// Re-analyze: only nets whose structural hash changed re-solve.
+    Analyze {
+        /// Target session.
+        session: String,
+    },
+    /// Per-net results of the session's most recent analysis.
+    Report {
+        /// Target session.
+        session: String,
+        /// Cap on the number of per-net entries returned.
+        limit: Option<usize>,
+    },
+    /// Cache/dirty-tracking counters for one session, or daemon-wide
+    /// request-latency metrics when no session is named.
+    Metrics {
+        /// Target session (`None` = daemon-wide).
+        session: Option<String>,
+    },
+    /// Liveness check.
+    Ping,
+    /// Discard a session (its engine caches go with it).
+    Close {
+        /// Target session.
+        session: String,
+    },
+    /// Stop the daemon after responding.
+    Shutdown,
+}
+
+/// Parses one request line. The first element is the echoed `id` (`Null`
+/// when the line was too broken to recover one).
+pub fn parse_request(line: &str) -> (Json, Result<Request, ServeError>) {
+    let value = match crate::json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                Json::Null,
+                Err(ServeError::new(ErrorCode::BadJson, e.to_string())),
+            )
+        }
+    };
+    let id = value.get("id").cloned().unwrap_or(Json::Null);
+    if !matches!(value, Json::Obj(_)) {
+        return (
+            id,
+            Err(ServeError::new(
+                ErrorCode::BadRequest,
+                "request must be a JSON object",
+            )),
+        );
+    }
+    (id, parse_verb(&value))
+}
+
+fn parse_verb(obj: &Json) -> Result<Request, ServeError> {
+    let verb = match obj.get("verb") {
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| bad("field `verb` must be a string"))?,
+        None => return Err(bad("missing field `verb`")),
+    };
+    match verb {
+        "load_design" => parse_load(obj),
+        "eco" => parse_eco(obj),
+        "analyze" => Ok(Request::Analyze {
+            session: need_str(obj, "session")?,
+        }),
+        "report" => Ok(Request::Report {
+            session: need_str(obj, "session")?,
+            limit: opt_usize(obj, "limit")?,
+        }),
+        "metrics" => Ok(Request::Metrics {
+            session: opt_str(obj, "session")?,
+        }),
+        "ping" => Ok(Request::Ping),
+        "close" => Ok(Request::Close {
+            session: need_str(obj, "session")?,
+        }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ServeError::new(
+            ErrorCode::UnknownVerb,
+            format!("unknown verb `{other}`"),
+        )),
+    }
+}
+
+fn parse_load(obj: &Json) -> Result<Request, ServeError> {
+    let session = need_str(obj, "session")?;
+    let opts = parse_opts(obj.get("opts"))?;
+    let source = if let Some(deck) = obj.get("deck") {
+        let deck = deck
+            .as_str()
+            .ok_or_else(|| bad("field `deck` must be a string"))?
+            .to_owned();
+        let name = opt_str(obj, "name")?.unwrap_or_else(|| session.clone());
+        DesignSource::Deck { name, deck }
+    } else if let Some(spec) = obj.get("chains") {
+        DesignSource::Chains {
+            nets: need_usize(spec, "nets", "chains")?,
+            stages: need_usize(spec, "stages", "chains")?,
+            seed: opt_u64(spec, "seed", "chains")?.unwrap_or(1),
+        }
+    } else if let Some(spec) = obj.get("synthetic") {
+        DesignSource::Synthetic {
+            nets: need_usize(spec, "nets", "synthetic")?,
+            seed: opt_u64(spec, "seed", "synthetic")?.unwrap_or(1),
+        }
+    } else {
+        return Err(bad(
+            "load_design needs one of `deck`, `chains`, or `synthetic`",
+        ));
+    };
+    Ok(Request::LoadDesign {
+        session,
+        source,
+        opts,
+    })
+}
+
+fn parse_opts(value: Option<&Json>) -> Result<RunOpts, ServeError> {
+    let Some(obj) = value else {
+        return Ok(RunOpts::default());
+    };
+    if !matches!(obj, Json::Obj(_)) {
+        return Err(bad("field `opts` must be an object"));
+    }
+    let auto_target = match obj.get("auto") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .filter(|t| *t > 0.0)
+                .ok_or_else(|| bad("field `opts.auto` must be a positive number"))?,
+        ),
+    };
+    Ok(RunOpts {
+        threads: opt_usize(obj, "threads")?,
+        order: opt_usize(obj, "order")?,
+        auto_target,
+        max_order: opt_usize(obj, "max_order")?,
+    })
+}
+
+fn parse_eco(obj: &Json) -> Result<Request, ServeError> {
+    let session = need_str(obj, "session")?;
+    let ops_json = obj
+        .get("ops")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("field `ops` must be an array"))?;
+    if ops_json.is_empty() {
+        return Err(bad("field `ops` must not be empty"));
+    }
+    let mut ops = Vec::with_capacity(ops_json.len());
+    for (i, op) in ops_json.iter().enumerate() {
+        ops.push(parse_op(op).map_err(|e| bad(format!("ops[{i}]: {}", e.message)))?);
+    }
+    Ok(Request::Eco { session, ops })
+}
+
+fn parse_op(obj: &Json) -> Result<EcoOp, ServeError> {
+    let kind = obj
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing field `op`"))?;
+    let net = need_str(obj, "net")?;
+    match kind {
+        "add" => Ok(EcoOp::Add {
+            net,
+            card: need_str(obj, "card")?,
+        }),
+        "remove" => Ok(EcoOp::Remove {
+            net,
+            element: need_str(obj, "element")?,
+        }),
+        "resize" => Ok(EcoOp::Resize {
+            net,
+            element: need_str(obj, "element")?,
+            value: obj
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("field `value` must be a number"))?,
+        }),
+        "set_source" => Ok(EcoOp::SetSource {
+            net,
+            element: need_str(obj, "element")?,
+            source: need_str(obj, "source")?,
+        }),
+        other => Err(bad(format!("unknown op `{other}`"))),
+    }
+}
+
+fn bad(message: impl Into<String>) -> ServeError {
+    ServeError::new(ErrorCode::BadRequest, message)
+}
+
+fn need_str(obj: &Json, key: &str) -> Result<String, ServeError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| bad(format!("field `{key}` must be a non-empty string")))
+}
+
+fn opt_str(obj: &Json, key: &str) -> Result<Option<String>, ServeError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| bad(format!("field `{key}` must be a string"))),
+    }
+}
+
+fn opt_usize(obj: &Json, key: &str) -> Result<Option<usize>, ServeError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(|n| Some(n as usize))
+            .ok_or_else(|| bad(format!("field `{key}` must be a non-negative integer"))),
+    }
+}
+
+fn need_usize(obj: &Json, key: &str, ctx: &str) -> Result<usize, ServeError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .filter(|&n| n > 0)
+        .map(|n| n as usize)
+        .ok_or_else(|| bad(format!("field `{ctx}.{key}` must be a positive integer")))
+}
+
+fn opt_u64(obj: &Json, key: &str, ctx: &str) -> Result<Option<u64>, ServeError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            bad(format!(
+                "field `{ctx}.{key}` must be a non-negative integer"
+            ))
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        let (id, req) = parse_request(
+            r#"{"id":1,"verb":"load_design","session":"s","chains":{"nets":4,"stages":10,"seed":2}}"#,
+        );
+        assert_eq!(id, Json::Num(1.0));
+        match req.unwrap() {
+            Request::LoadDesign {
+                session,
+                source: DesignSource::Chains { nets, stages, seed },
+                ..
+            } => {
+                assert_eq!(session, "s");
+                assert_eq!((nets, stages, seed), (4, 10, 2));
+            }
+            other => panic!("{other:?}"),
+        }
+        let (_, req) = parse_request(
+            r#"{"verb":"eco","session":"s","ops":[{"op":"resize","net":"n1","element":"R1","value":150}]}"#,
+        );
+        match req.unwrap() {
+            Request::Eco { ops, .. } => assert_eq!(ops.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        for (line, want) in [
+            (r#"{"verb":"analyze","session":"s"}"#, "analyze"),
+            (r#"{"verb":"report","session":"s","limit":5}"#, "report"),
+            (r#"{"verb":"metrics"}"#, "metrics"),
+            (r#"{"verb":"ping"}"#, "ping"),
+            (r#"{"verb":"close","session":"s"}"#, "close"),
+            (r#"{"verb":"shutdown"}"#, "shutdown"),
+        ] {
+            let (_, req) = parse_request(line);
+            assert!(req.is_ok(), "{want}: {req:?}");
+        }
+    }
+
+    #[test]
+    fn typed_errors_carry_codes_and_echo_ids() {
+        let (id, req) = parse_request("this is not json");
+        assert_eq!(id, Json::Null);
+        assert_eq!(req.unwrap_err().code, ErrorCode::BadJson);
+
+        let (id, req) = parse_request(r#"{"id":"abc","verb":"frobnicate"}"#);
+        assert_eq!(id, Json::str("abc"));
+        assert_eq!(req.unwrap_err().code, ErrorCode::UnknownVerb);
+
+        let (id, req) = parse_request(r#"{"id":7,"verb":"analyze"}"#);
+        assert_eq!(id, Json::Num(7.0));
+        let err = req.unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("session"), "{}", err.message);
+
+        let (_, req) = parse_request(r#"[1,2,3]"#);
+        assert_eq!(req.unwrap_err().code, ErrorCode::BadRequest);
+
+        let (_, req) = parse_request(
+            r#"{"verb":"eco","session":"s","ops":[{"op":"resize","net":"n1","element":"R1","value":"wat"}]}"#,
+        );
+        let err = req.unwrap_err();
+        assert!(err.message.contains("ops[0]"), "{}", err.message);
+
+        let (_, req) = parse_request(r#"{"verb":"eco","session":"s","ops":[]}"#);
+        assert!(req.unwrap_err().message.contains("empty"));
+    }
+
+    #[test]
+    fn error_json_includes_attribution() {
+        let e = ServeError::new(ErrorCode::DeckError, "boom")
+            .with_net("bitline")
+            .with_line(12);
+        let j = e.to_json();
+        assert_eq!(j.get("code").and_then(Json::as_str), Some("deck_error"));
+        assert_eq!(j.get("net").and_then(Json::as_str), Some("bitline"));
+        assert_eq!(j.get("line").and_then(Json::as_u64), Some(12));
+    }
+}

@@ -1,0 +1,502 @@
+//! The daemon: request dispatch, session registry, and the stdio/TCP
+//! serving loops.
+//!
+//! One [`ServeState`] holds every session behind a two-level lock — the
+//! registry map briefly, then the targeted session for the duration of
+//! its request — so concurrent connections working on *different*
+//! sessions analyze in parallel. [`handle_line`] is the whole protocol:
+//! one request line in, one response line out, never a panic, which is
+//! also what makes the daemon drivable in-process by tests and the
+//! load-generator bench without a socket.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use awe_batch::{BatchOptions, BatchRun, Design};
+use awe_circuit::CircuitError;
+
+use crate::json::Json;
+use crate::protocol::{parse_request, DesignSource, ErrorCode, Request, RunOpts, ServeError};
+use crate::session::Session;
+
+/// Requests handled (well-formed or not).
+static REQUESTS: awe_obs::Counter = awe_obs::Counter::new("serve.requests");
+/// Requests answered with an error response.
+static ERRORS: awe_obs::Counter = awe_obs::Counter::new("serve.errors");
+
+/// Daemon-wide configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeOptions {
+    /// Default batch options for new sessions (per-session `opts`
+    /// override them).
+    pub defaults: BatchOptions,
+}
+
+/// Request classes for the latency metrics (and the serve bench).
+const CLASSES: [&str; 4] = ["load_design", "eco", "analyze", "other"];
+
+/// Shared daemon state: the session registry plus request metrics.
+#[derive(Debug)]
+pub struct ServeState {
+    defaults: BatchOptions,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    /// Per-class request latencies in microseconds, in arrival order.
+    latencies: Mutex<[Vec<u64>; 4]>,
+}
+
+impl ServeState {
+    /// A daemon with no sessions.
+    pub fn new(options: ServeOptions) -> Self {
+        ServeState {
+            defaults: options.defaults,
+            sessions: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latencies: Mutex::new([Vec::new(), Vec::new(), Vec::new(), Vec::new()]),
+        }
+    }
+
+    /// Whether a `shutdown` request has been handled.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().expect("session registry").len()
+    }
+
+    fn session(&self, name: &str) -> Result<Arc<Mutex<Session>>, ServeError> {
+        self.sessions
+            .lock()
+            .expect("session registry")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                ServeError::new(
+                    ErrorCode::NoSuchSession,
+                    format!("no session named `{name}`"),
+                )
+            })
+    }
+
+    fn record_latency(&self, class: &str, micros: u64) {
+        let slot = CLASSES.iter().position(|c| *c == class).unwrap_or(3);
+        self.latencies.lock().expect("latency metrics")[slot].push(micros);
+    }
+}
+
+/// Handles one request line, returning exactly one response line (no
+/// trailing newline). Never panics on any input; a `shutdown` request
+/// flips [`ServeState::shutting_down`] after building its response.
+pub fn handle_line(state: &ServeState, line: &str) -> String {
+    let t0 = Instant::now();
+    REQUESTS.incr();
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let (id, parsed) = parse_request(line);
+    let (class, result) = match parsed {
+        Err(e) => ("other", Err(e)),
+        Ok(req) => {
+            let class = match &req {
+                Request::LoadDesign { .. } => "load_design",
+                Request::Eco { .. } => "eco",
+                Request::Analyze { .. } => "analyze",
+                _ => "other",
+            };
+            (class, dispatch(state, req))
+        }
+    };
+    let micros = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    state.record_latency(class, micros);
+    let response = match result {
+        Ok((verb, mut payload)) => {
+            let mut pairs = vec![
+                ("id".to_owned(), id),
+                ("ok".to_owned(), Json::Bool(true)),
+                ("verb".to_owned(), Json::str(verb)),
+            ];
+            if let Json::Obj(fields) = &mut payload {
+                pairs.append(fields);
+            }
+            Json::Obj(pairs)
+        }
+        Err(e) => {
+            ERRORS.incr();
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            Json::obj(vec![
+                ("id", id),
+                ("ok", Json::Bool(false)),
+                ("error", e.to_json()),
+            ])
+        }
+    };
+    response.to_string()
+}
+
+type Reply = Result<(&'static str, Json), ServeError>;
+
+fn dispatch(state: &ServeState, req: Request) -> Reply {
+    match req {
+        Request::LoadDesign {
+            session,
+            source,
+            opts,
+        } => load_design(state, session, source, opts),
+        Request::Eco { session, ops } => {
+            let slot = state.session(&session)?;
+            let mut s = slot.lock().expect("session");
+            let _lane = lane_for(&session);
+            let mut sp = awe_obs::span_labeled("serve.request", "eco");
+            sp.note(ops.len() as f64, 0.0);
+            let out = s.apply_ops(&ops)?;
+            let changes: Vec<Json> = out
+                .changes
+                .iter()
+                .map(|c| {
+                    Json::obj(vec![
+                        ("net", Json::str(&c.net)),
+                        ("class", Json::str(c.class)),
+                    ])
+                })
+                .collect();
+            Ok((
+                "eco",
+                Json::obj(vec![
+                    ("session", Json::str(&session)),
+                    ("ops", Json::from(ops.len())),
+                    ("changes", Json::Arr(changes)),
+                    ("invalidated_results", Json::from(out.invalidated_results)),
+                    ("invalidated_patterns", Json::from(out.invalidated_patterns)),
+                ]),
+            ))
+        }
+        Request::Analyze { session } => {
+            let slot = state.session(&session)?;
+            let mut s = slot.lock().expect("session");
+            let _lane = lane_for(&session);
+            let mut sp = awe_obs::span_labeled("serve.request", "analyze");
+            let summary = s.analyze();
+            sp.note(summary.solves as f64, summary.cache_hits as f64);
+            Ok((
+                "analyze",
+                Json::obj(vec![
+                    ("session", Json::str(&session)),
+                    ("nets", Json::from(summary.nets)),
+                    ("dirty_value", Json::from(summary.dirty_value)),
+                    ("dirty_topology", Json::from(summary.dirty_topology)),
+                    ("solves", Json::from(summary.solves)),
+                    ("cache_hits", Json::from(summary.cache_hits)),
+                    ("pattern_hits", Json::from(summary.pattern_hits)),
+                    ("new_symbolic", Json::from(summary.new_symbolic)),
+                    ("failures", Json::from(summary.failures)),
+                    ("wall_us", Json::from(summary.wall.as_micros() as u64)),
+                ]),
+            ))
+        }
+        Request::Report { session, limit } => {
+            let slot = state.session(&session)?;
+            let s = slot.lock().expect("session");
+            let run = s.last_run().ok_or_else(|| {
+                ServeError::new(
+                    ErrorCode::BadRequest,
+                    format!("session `{session}` has not been analyzed yet"),
+                )
+            })?;
+            Ok(("report", report_json(&session, run, limit)))
+        }
+        Request::Metrics { session } => match session {
+            Some(name) => {
+                let slot = state.session(&name)?;
+                let s = slot.lock().expect("session");
+                Ok(("metrics", session_metrics(&s)))
+            }
+            None => Ok(("metrics", global_metrics(state))),
+        },
+        Request::Ping => Ok(("ping", Json::obj(vec![]))),
+        Request::Close { session } => {
+            let existed = state
+                .sessions
+                .lock()
+                .expect("session registry")
+                .remove(&session)
+                .is_some();
+            if !existed {
+                return Err(ServeError::new(
+                    ErrorCode::NoSuchSession,
+                    format!("no session named `{session}`"),
+                ));
+            }
+            Ok(("close", Json::obj(vec![("session", Json::str(&session))])))
+        }
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            Ok((
+                "shutdown",
+                Json::obj(vec![("sessions", Json::from(state.session_count()))]),
+            ))
+        }
+    }
+}
+
+fn load_design(state: &ServeState, session: String, source: DesignSource, opts: RunOpts) -> Reply {
+    // Reserve the name first so two concurrent loads cannot both build.
+    {
+        let registry = state.sessions.lock().expect("session registry");
+        if registry.contains_key(&session) {
+            return Err(ServeError::new(
+                ErrorCode::DuplicateSession,
+                format!("session `{session}` already exists"),
+            ));
+        }
+    }
+    let _lane = lane_for(&session);
+    let mut sp = awe_obs::span_labeled("serve.request", "load_design");
+    let design = build_design(&session, source)?;
+    sp.note(design.len() as f64, 0.0);
+    let mut s = Session::new(session.clone(), design, state.defaults, opts);
+    let summary = s.analyze();
+    let payload = Json::obj(vec![
+        ("session", Json::str(&session)),
+        ("design", Json::str(&s.design().name)),
+        ("nets", Json::from(summary.nets)),
+        ("groups", Json::from(s.group_count())),
+        ("solves", Json::from(summary.solves)),
+        ("pattern_hits", Json::from(summary.pattern_hits)),
+        ("new_symbolic", Json::from(summary.new_symbolic)),
+        ("failures", Json::from(summary.failures)),
+        ("wall_us", Json::from(summary.wall.as_micros() as u64)),
+    ]);
+    let mut registry = state.sessions.lock().expect("session registry");
+    if registry.contains_key(&session) {
+        // Lost a race with an identically named concurrent load.
+        return Err(ServeError::new(
+            ErrorCode::DuplicateSession,
+            format!("session `{session}` already exists"),
+        ));
+    }
+    registry.insert(session, Arc::new(Mutex::new(s)));
+    Ok(("load_design", payload))
+}
+
+fn build_design(session: &str, source: DesignSource) -> Result<Design, ServeError> {
+    match source {
+        DesignSource::Deck { name, deck } => Design::from_deck(name, &deck).map_err(|e| {
+            let mut err = ServeError::new(ErrorCode::DeckError, e.to_string())
+                .with_net(deck_error_net(&deck, &e).unwrap_or_else(|| "net1".to_owned()));
+            if let CircuitError::Parse { line, .. } = e {
+                err = err.with_line(line);
+            }
+            err
+        }),
+        DesignSource::Chains { nets, stages, seed } => {
+            Ok(Design::synthetic_chains(nets, stages, seed))
+        }
+        DesignSource::Synthetic { nets, seed } => Ok(Design::synthetic(nets, seed)),
+    }
+    .and_then(|d| {
+        if d.is_empty() {
+            Err(ServeError::new(ErrorCode::DeckError, "design has no nets")
+                .with_net(format!("{session}/<empty>")))
+        } else {
+            Ok(d)
+        }
+    })
+}
+
+/// Names the net a deck error belongs to: the last `* NET <name>` header
+/// at or before the offending line (the multi-deck convention), or the
+/// 1-based positional name when the deck uses no headers.
+fn deck_error_net(deck: &str, err: &CircuitError) -> Option<String> {
+    let CircuitError::Parse { line, .. } = err else {
+        return None;
+    };
+    let mut current: Option<String> = None;
+    let mut position = 0usize;
+    for (lineno, raw) in deck.lines().enumerate() {
+        if lineno + 1 > *line {
+            break;
+        }
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if let Some(rest) = text.strip_prefix('*') {
+            let mut words = rest.split_whitespace();
+            if words.next().is_some_and(|w| w.eq_ignore_ascii_case("net")) {
+                if let Some(name) = words.next() {
+                    position += 1;
+                    current = Some(name.to_owned());
+                }
+            }
+        } else if text.eq_ignore_ascii_case(".end") {
+            current = None;
+        } else if !text.is_empty() && !text.starts_with('.') && current.is_none() {
+            position += 1;
+            current = Some(format!("net{position}"));
+        }
+    }
+    current
+}
+
+fn report_json(session: &str, run: &BatchRun, limit: Option<usize>) -> Json {
+    let cap = limit.unwrap_or(usize::MAX).min(run.results.len());
+    let nets: Vec<Json> = run.results[..cap]
+        .iter()
+        .map(|r| {
+            let mut pairs = vec![
+                ("name", Json::str(&r.name)),
+                ("hash", Json::str(format!("{:016x}", r.hash))),
+                ("order", Json::from(r.order)),
+                ("stable", Json::from(r.stable)),
+                ("rescued", Json::from(r.rescued)),
+                ("cache_hit", Json::from(r.cache_hit)),
+                ("delay_50", r.delay_50.map(Json::Num).unwrap_or(Json::Null)),
+                ("final_value", Json::Num(r.final_value)),
+                (
+                    "error_estimate",
+                    r.error_estimate.map(Json::Num).unwrap_or(Json::Null),
+                ),
+            ];
+            if let Some(e) = &r.error {
+                pairs.push(("error", Json::str(e)));
+            }
+            Json::obj(pairs)
+        })
+        .collect();
+    Json::obj(vec![
+        ("session", Json::str(session)),
+        ("design", Json::str(&run.design)),
+        ("nets_total", Json::from(run.results.len())),
+        ("nets", Json::Arr(nets)),
+    ])
+}
+
+fn session_metrics(s: &Session) -> Json {
+    let st = &s.stats;
+    Json::obj(vec![
+        ("session", Json::str(&s.name)),
+        ("nets", Json::from(s.design().len())),
+        ("structure_groups", Json::from(s.group_count())),
+        ("cached_results", Json::from(s.cached_results())),
+        ("cached_patterns", Json::from(s.cached_patterns())),
+        ("ecos", Json::from(st.ecos)),
+        ("eco_ops", Json::from(st.eco_ops)),
+        ("value_nets", Json::from(st.value_nets)),
+        ("topology_nets", Json::from(st.topology_nets)),
+        ("noop_nets", Json::from(st.noop_nets)),
+        ("analyses", Json::from(st.analyses)),
+        ("solves", Json::from(st.solves)),
+        ("cache_hits", Json::from(st.cache_hits)),
+        ("pattern_hits", Json::from(st.pattern_hits)),
+        ("new_symbolic", Json::from(st.new_symbolic())),
+        ("invalidated_results", Json::from(st.invalidated_results)),
+        ("invalidated_patterns", Json::from(st.invalidated_patterns)),
+    ])
+}
+
+fn global_metrics(state: &ServeState) -> Json {
+    let latencies = state.latencies.lock().expect("latency metrics");
+    let classes: Vec<(String, Json)> = CLASSES
+        .iter()
+        .zip(latencies.iter())
+        .map(|(class, samples)| {
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            (
+                (*class).to_owned(),
+                Json::obj(vec![
+                    ("count", Json::from(sorted.len())),
+                    ("p50_us", percentile(&sorted, 50.0)),
+                    ("p99_us", percentile(&sorted, 99.0)),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj(vec![
+        ("sessions", Json::from(state.session_count())),
+        (
+            "requests",
+            Json::from(state.requests.load(Ordering::Relaxed)),
+        ),
+        ("errors", Json::from(state.errors.load(Ordering::Relaxed))),
+        ("classes", Json::Obj(classes)),
+    ])
+}
+
+/// Nearest-rank percentile of an already-sorted sample, `null` when
+/// empty.
+fn percentile(sorted: &[u64], p: f64) -> Json {
+    if sorted.is_empty() {
+        return Json::Null;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    Json::from(sorted[rank.min(sorted.len() - 1)])
+}
+
+fn lane_for(session: &str) -> awe_obs::LaneScope {
+    awe_obs::lane_scope(&format!("session:{session}"))
+}
+
+/// Serves newline-delimited requests from `input` to `output` until EOF
+/// or a `shutdown` request. This is the `--stdio` loop, generic so tests
+/// can drive it with in-memory buffers.
+pub fn serve_lines<R: BufRead, W: Write>(
+    state: &ServeState,
+    input: R,
+    mut output: W,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(state, &line);
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        if state.shutting_down() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves TCP connections, one thread per client, until a `shutdown`
+/// request arrives on any of them. Returns the error only for the
+/// listener itself; per-connection I/O errors just end that connection.
+pub fn serve_tcp(state: Arc<ServeState>, listener: TcpListener) -> io::Result<()> {
+    let local = listener.local_addr()?;
+    let mut workers = Vec::new();
+    for stream in listener.incoming() {
+        if state.shutting_down() {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let state = Arc::clone(&state);
+        workers.push(std::thread::spawn(move || {
+            let reader = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            let was_shutdown = state.shutting_down();
+            let _ = serve_lines(&state, reader, &stream);
+            // The connection that handled `shutdown` wakes the blocked
+            // accept loop with a throwaway connection.
+            if !was_shutdown && state.shutting_down() {
+                let _ = TcpStream::connect(local);
+            }
+        }));
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(())
+}

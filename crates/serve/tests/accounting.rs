@@ -1,0 +1,172 @@
+//! Cache accounting through the wire protocol: the response counters
+//! must *prove* the incremental claims — a value-only ECO on a warm
+//! session re-analyzes with zero new symbolic analyses, and a topology
+//! ECO invalidates exactly the structure group it touches.
+
+use awe_batch::Design;
+use awe_serve::json::parse;
+use awe_serve::{handle_line, Json, ServeOptions, ServeState};
+
+fn send(st: &ServeState, line: &str) -> Json {
+    let reply = handle_line(st, line);
+    parse(&reply).unwrap_or_else(|e| panic!("invalid response JSON ({e}): {reply}"))
+}
+
+fn num(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("field {key} in {v}"))
+}
+
+fn assert_ok(v: &Json) {
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+}
+
+/// The headline scenario: a 500-net design forming ONE structure group
+/// (200-stage chains — well past the sparse-path threshold), a value
+/// ECO on one net, and a re-analyze that must be a cache sweep plus one
+/// numeric refactorization. `new_symbolic = solves − pattern_hits = 0`.
+#[test]
+fn value_eco_on_500_net_group_does_zero_symbolic_analyses() {
+    let st = ServeState::new(ServeOptions::default());
+    let loaded = send(
+        &st,
+        r#"{"id":1,"verb":"load_design","session":"big","chains":{"nets":500,"stages":200,"seed":11}}"#,
+    );
+    assert_ok(&loaded);
+    assert_eq!(num(&loaded, "nets"), 500);
+    assert_eq!(
+        num(&loaded, "groups"),
+        1,
+        "one structure group by construction"
+    );
+    assert_eq!(num(&loaded, "solves"), 500);
+    // Cold load: the donor presolve is the only symbolic analysis.
+    assert_eq!(num(&loaded, "pattern_hits"), 499);
+    assert_eq!(num(&loaded, "new_symbolic"), 1);
+    assert_eq!(num(&loaded, "failures"), 0);
+
+    let eco = send(
+        &st,
+        r#"{"id":2,"verb":"eco","session":"big","ops":[{"op":"resize","net":"net0250","element":"R17","value":314.0}]}"#,
+    );
+    assert_ok(&eco);
+    assert_eq!(
+        num(&eco, "invalidated_results"),
+        1,
+        "only the edited net's result"
+    );
+    assert_eq!(
+        num(&eco, "invalidated_patterns"),
+        0,
+        "value edit keeps the pattern"
+    );
+    let changes = eco.get("changes").and_then(Json::as_arr).expect("changes");
+    assert_eq!(changes.len(), 1);
+    assert_eq!(
+        changes[0].get("class").and_then(Json::as_str),
+        Some("value")
+    );
+
+    let analyzed = send(&st, r#"{"id":3,"verb":"analyze","session":"big"}"#);
+    assert_ok(&analyzed);
+    assert_eq!(num(&analyzed, "dirty_value"), 1);
+    assert_eq!(num(&analyzed, "dirty_topology"), 0);
+    assert_eq!(num(&analyzed, "solves"), 1, "only the edited net re-solves");
+    assert_eq!(num(&analyzed, "cache_hits"), 499);
+    assert_eq!(num(&analyzed, "pattern_hits"), 1, "the solve is a refactor");
+    assert_eq!(
+        num(&analyzed, "new_symbolic"),
+        0,
+        "value-only ECO: zero new symbolic analyses"
+    );
+
+    let metrics = send(&st, r#"{"id":4,"verb":"metrics","session":"big"}"#);
+    assert_ok(&metrics);
+    assert_eq!(num(&metrics, "cached_patterns"), 1);
+    assert_eq!(num(&metrics, "invalidated_results"), 1);
+    assert_eq!(num(&metrics, "invalidated_patterns"), 0);
+    assert_eq!(
+        num(&metrics, "new_symbolic"),
+        1,
+        "lifetime total: the cold donor"
+    );
+}
+
+/// Two structure groups in one design: topology-editing every member of
+/// group B invalidates exactly B's cached pattern; group A's pattern
+/// stays warm and still serves refactors.
+#[test]
+fn topology_eco_invalidates_exactly_the_touched_group() {
+    // Two chain families (different stage counts ⇒ different pattern
+    // keys), rendered into one multi-net deck with disjoint net names.
+    let group_a = Design::synthetic_chains(3, 200, 1)
+        .to_multi_deck()
+        .replace("* NET net", "* NET a");
+    let group_b = Design::synthetic_chains(2, 210, 2)
+        .to_multi_deck()
+        .replace("* NET net", "* NET b");
+    let load = Json::obj(vec![
+        ("id", Json::from(1u64)),
+        ("verb", Json::str("load_design")),
+        ("session", Json::str("two")),
+        ("deck", Json::str(format!("{group_a}{group_b}"))),
+    ]);
+
+    let st = ServeState::new(ServeOptions::default());
+    let loaded = send(&st, &load.to_string());
+    assert_ok(&loaded);
+    assert_eq!(num(&loaded, "nets"), 5);
+    assert_eq!(num(&loaded, "groups"), 2);
+    // Each group pays exactly one symbolic analysis (its donor).
+    assert_eq!(num(&loaded, "new_symbolic"), 2);
+    assert_eq!(num(&loaded, "pattern_hits"), 3);
+
+    // Topology-edit both members of group B with the *same* card: they
+    // leave B together (emptying it) and land in one new shared group.
+    let eco = send(
+        &st,
+        r#"{"id":2,"verb":"eco","session":"two","ops":[{"op":"add","net":"b0001","card":"CX n5 0 0.4p"},{"op":"add","net":"b0002","card":"CX n5 0 0.4p"}]}"#,
+    );
+    assert_ok(&eco);
+    assert_eq!(num(&eco, "invalidated_results"), 2);
+    assert_eq!(
+        num(&eco, "invalidated_patterns"),
+        1,
+        "exactly group B's pattern — A's untouched"
+    );
+
+    let analyzed = send(&st, r#"{"id":3,"verb":"analyze","session":"two"}"#);
+    assert_ok(&analyzed);
+    assert_eq!(num(&analyzed, "dirty_topology"), 2);
+    assert_eq!(num(&analyzed, "solves"), 2);
+    // The edited pair forms a fresh group: one donor analysis, one
+    // refactor against it.
+    assert_eq!(num(&analyzed, "new_symbolic"), 1);
+    assert_eq!(num(&analyzed, "pattern_hits"), 1);
+
+    // Group A's pattern survived: a value edit there is still pure
+    // refactor.
+    let eco = send(
+        &st,
+        r#"{"id":4,"verb":"eco","session":"two","ops":[{"op":"resize","net":"a0002","element":"R9","value":777.0}]}"#,
+    );
+    assert_ok(&eco);
+    let analyzed = send(&st, r#"{"id":5,"verb":"analyze","session":"two"}"#);
+    assert_eq!(num(&analyzed, "solves"), 1);
+    assert_eq!(num(&analyzed, "pattern_hits"), 1);
+    assert_eq!(
+        num(&analyzed, "new_symbolic"),
+        0,
+        "A's group pattern still warm"
+    );
+
+    let metrics = send(&st, r#"{"id":6,"verb":"metrics","session":"two"}"#);
+    assert_eq!(
+        num(&metrics, "structure_groups"),
+        2,
+        "A and edited-B, nothing else"
+    );
+    assert_eq!(num(&metrics, "topology_nets"), 2);
+    assert_eq!(num(&metrics, "value_nets"), 1);
+}

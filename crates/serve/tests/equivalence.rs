@@ -1,0 +1,181 @@
+//! The incremental-reanalysis contract, property-tested: for any edit
+//! sequence, `analyze` on the *edited, warm* session is bit-identical to
+//! a *fresh* `load_design` of the post-edit design — the dirty tracking
+//! and cache invalidation may only save work, never change answers.
+//!
+//! Topologies come from the verify fuzzer's generators (trees, meshes,
+//! RLC ladders, coupled lines), so the edits land on the same circuit
+//! space the differential oracles patrol.
+
+use awe_batch::{BatchOptions, Design, NetSpec};
+use awe_circuit::Circuit;
+use awe_serve::{EcoOp, RunOpts, Session};
+use awe_verify::{CaseParams, TopologyClass};
+use proptest::prelude::*;
+
+const CLASSES: [TopologyClass; 4] = [
+    TopologyClass::RcTree,
+    TopologyClass::RcMesh,
+    TopologyClass::RlcLadder,
+    TopologyClass::CoupledLines,
+];
+
+fn fuzz_design(class: TopologyClass, seed: u64, nets: usize) -> Design {
+    let nets = (0..nets)
+        .map(|i| {
+            let case = CaseParams::generate(class, seed, i as u64).build();
+            NetSpec {
+                name: format!("net{:04}", i + 1),
+                circuit: case.circuit,
+                output: case.output,
+            }
+        })
+        .collect();
+    let raw = Design::from_nets(format!("fuzz-{class:?}-{seed}"), nets);
+    // Normalize through one deck round-trip so node *ids* follow deck
+    // appearance order on both sides of the comparison. The generators
+    // create nodes in their own order; ids pick the MNA elimination
+    // order, and bit-identity is only promised for identical systems.
+    let deck = raw.to_multi_deck();
+    let mut normalized = Design::from_deck(raw.name.clone(), &deck).expect("generator deck parses");
+    pin_outputs(&raw, &mut normalized);
+    normalized
+}
+
+/// Copies each net's observation node from `reference` to `target` by
+/// node *name* (the deck default — `out`/highest-numbered — does not
+/// cover every generator convention).
+fn pin_outputs(reference: &Design, target: &mut Design) {
+    for net in reference.nets() {
+        let out_name = net.circuit.node_name(net.output).to_owned();
+        let fresh_net = target.net_mut(&net.name).expect("same nets");
+        fresh_net.output = fresh_net
+            .circuit
+            .find_node(&out_name)
+            .expect("deck round-trip keeps node names");
+    }
+}
+
+/// Derives one always-valid edit from raw fuzz bytes, or `None` when the
+/// chosen net has no element of the chosen kind.
+fn make_op(
+    design: &Design,
+    unique: usize,
+    kind_sel: u8,
+    net_sel: u8,
+    elem_sel: u8,
+    val: u32,
+) -> Option<EcoOp> {
+    let nets = design.nets();
+    let net = &nets[net_sel as usize % nets.len()];
+    let c: &Circuit = &net.circuit;
+    let pick = |tag: char| {
+        let of_kind: Vec<_> = c.elements_of_kind(tag).collect();
+        if of_kind.is_empty() {
+            None
+        } else {
+            Some(of_kind[elem_sel as usize % of_kind.len()].name().to_owned())
+        }
+    };
+    match kind_sel % 3 {
+        0 => {
+            // Resize a passive element, scaled to its kind.
+            let (tag, scale) = [('R', 1.0), ('C', 1e-15), ('L', 1e-9)][elem_sel as usize % 3];
+            Some(EcoOp::Resize {
+                net: net.name.clone(),
+                element: pick(tag)?,
+                value: f64::from(val) * scale + scale,
+            })
+        }
+        1 => {
+            // Retune an independent source.
+            let element = pick('V').or_else(|| pick('I'))?;
+            Some(EcoOp::SetSource {
+                net: net.name.clone(),
+                element,
+                source: format!("STEP 0 {}", f64::from(val % 50) / 10.0 + 0.1),
+            })
+        }
+        _ => {
+            // Load an existing internal node with a grounded capacitor.
+            let id = 1 + val as usize % (c.num_nodes() - 1);
+            Some(EcoOp::Add {
+                net: net.name.clone(),
+                card: format!("CPX{unique} {} 0 {}e-15", c.node_name(id), val % 900 + 1),
+            })
+        }
+    }
+}
+
+fn session(label: &str, design: Design) -> Session {
+    let opts = BatchOptions {
+        threads: 1,
+        ..BatchOptions::default()
+    };
+    Session::new(label, design, opts, RunOpts::default())
+}
+
+fn opt_bits(v: Option<f64>) -> Option<u64> {
+    v.map(f64::to_bits)
+}
+
+fn pole_bits(poles: &[(f64, f64)]) -> Vec<(u64, u64)> {
+    poles
+        .iter()
+        .map(|&(re, im)| (re.to_bits(), im.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn edited_session_is_bit_identical_to_fresh_load(
+        class_ix in 0u8..4,
+        seed in 0u64..512,
+        edits in proptest::collection::vec((0u8..3, 0u8..8, 0u8..16, 1u32..1000), 0..6),
+    ) {
+        let design = fuzz_design(CLASSES[class_ix as usize % 4], seed, 3);
+        let mut live = session("live", design);
+        live.analyze();
+
+        // Build the edit sequence against the pre-edit design (adds only
+        // grow it, so every op stays valid), then apply one `eco` per op
+        // to exercise repeated reclassification and invalidation.
+        let ops: Vec<EcoOp> = edits
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &(a, b, c, v))| make_op(live.design(), k, a, b, c, v))
+            .collect();
+        for op in &ops {
+            live.apply_ops(std::slice::from_ref(op)).expect("generated ops are valid");
+        }
+        live.analyze();
+
+        // Fresh daemon, fresh session, post-edit deck: parse the design
+        // back from its rendered multi-net deck. The deck's default
+        // observation-node convention (`out` / highest-numbered) does not
+        // cover every generator, so pin outputs by node *name*.
+        let deck = live.design().to_multi_deck();
+        let mut reloaded = Design::from_deck("fresh", &deck).expect("rendered deck parses");
+        pin_outputs(live.design(), &mut reloaded);
+        let mut fresh = session("fresh", reloaded);
+        fresh.analyze();
+
+        let live_run = live.last_run().expect("analyzed");
+        let fresh_run = fresh.last_run().expect("analyzed");
+        prop_assert_eq!(live_run.results.len(), fresh_run.results.len());
+        for (a, b) in live_run.results.iter().zip(&fresh_run.results) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.hash, b.hash, "{}: deck round-trip is lossless", a.name);
+            prop_assert_eq!(a.order, b.order, "{}", a.name);
+            prop_assert_eq!(a.stable, b.stable, "{}", a.name);
+            prop_assert_eq!(a.rescued, b.rescued, "{}", a.name);
+            prop_assert_eq!(opt_bits(a.error_estimate), opt_bits(b.error_estimate), "{}", a.name);
+            prop_assert_eq!(opt_bits(a.delay_50), opt_bits(b.delay_50), "{}", a.name);
+            prop_assert_eq!(a.final_value.to_bits(), b.final_value.to_bits(), "{}", a.name);
+            prop_assert_eq!(pole_bits(&a.poles), pole_bits(&b.poles), "{}", a.name);
+            prop_assert_eq!(&a.error, &b.error, "{}", a.name);
+        }
+    }
+}

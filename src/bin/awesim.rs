@@ -12,12 +12,18 @@
 //!                [--trace FILE] [--metrics FILE]
 //! awesim verify  [--seed N] [--count N] [--class C] [--threads N]
 //!                [--corpus-dir DIR] [--json] [--no-minimize]
+//! awesim serve   [--stdio | --tcp ADDR] [--threads N]
+//!                [--trace FILE] [--metrics FILE]
 //! ```
 //!
 //! The deck format is documented in `awesim::circuit::parse_deck`; `batch`
 //! accepts the multi-net variant (`awesim::circuit::parse_multi_deck`).
 //! `verify` runs the differential-oracle fuzz campaign from
 //! `awesim::verify` and exits nonzero if any case fails its oracles.
+//! `serve` runs the persistent-session analysis daemon from
+//! `awesim::serve`: newline-delimited JSON requests on stdin (or a TCP
+//! socket with `--tcp`), one JSON response per line, until a `shutdown`
+//! request or EOF.
 
 use std::fs;
 use std::process::ExitCode;
@@ -52,7 +58,9 @@ const USAGE: &str = "usage:
                  [--seed N] [--repeat K] [--json] [--no-timings]
                  [--trace FILE] [--metrics FILE]
   awesim verify  [--seed N] [--count N] [--class C] [--threads N]
-                 [--corpus-dir DIR] [--json] [--no-minimize]";
+                 [--corpus-dir DIR] [--json] [--no-minimize]
+  awesim serve   [--stdio | --tcp ADDR] [--threads N]
+                 [--trace FILE] [--metrics FILE]";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -68,6 +76,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         // Fuzz-campaign mode: generates its own circuits; a failing
         // campaign is a nonzero exit, not a usage error.
         return cmd_verify(&args[1..]);
+    }
+    if cmd == "serve" {
+        // Daemon mode: reads requests, not a deck.
+        return cmd_serve(&args[1..]);
     }
     let deck_path = args.get(1).ok_or("missing deck path")?;
     let deck =
@@ -373,6 +385,61 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    use awesim::serve::{serve_lines, serve_tcp, ServeOptions, ServeState};
+
+    let mut options = ServeOptions::default();
+    if let Some(t) = flag(args, "--threads") {
+        options.defaults.threads = t.parse().map_err(|_| "bad --threads value")?;
+    }
+    let tcp_addr = flag(args, "--tcp");
+    if tcp_addr.is_none() && args.iter().any(|a| a == "--tcp") {
+        return Err("--tcp needs an address (e.g. 127.0.0.1:9300)".into());
+    }
+    let trace_path = flag(args, "--trace");
+    let metrics_path = flag(args, "--metrics");
+    let recording = if trace_path.is_some() || metrics_path.is_some() {
+        Some(
+            awesim::obs::Recording::start()
+                .ok_or("an observability recording is already active")?,
+        )
+    } else {
+        None
+    };
+
+    let state = std::sync::Arc::new(ServeState::new(options));
+    match tcp_addr {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            eprintln!(
+                "awesim serve: listening on {}",
+                listener.local_addr().map_err(|e| e.to_string())?
+            );
+            serve_tcp(std::sync::Arc::clone(&state), listener).map_err(|e| e.to_string())?;
+        }
+        None => {
+            // `--stdio` is the default; accept the explicit flag too.
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_lines(&state, stdin.lock(), stdout.lock()).map_err(|e| e.to_string())?;
+        }
+    }
+
+    if let Some(rec) = recording {
+        let profile = rec.finish();
+        if let Some(p) = &trace_path {
+            fs::write(p, profile.chrome_trace()).map_err(|e| format!("cannot write {p}: {e}"))?;
+            eprintln!("wrote trace {p}");
+        }
+        if let Some(p) = &metrics_path {
+            fs::write(p, profile.metrics_json()).map_err(|e| format!("cannot write {p}: {e}"))?;
+            eprintln!("wrote metrics {p}");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_check(circuit: &Circuit) -> Result<(), String> {

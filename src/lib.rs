@@ -14,6 +14,8 @@
 //! * [`sim`] — reference transient simulator and exact poles.
 //! * [`batch`] — concurrent full-design analysis with result caching and
 //!   run metrics.
+//! * [`serve`] — persistent-session analysis daemon with incremental
+//!   ECO re-analysis (newline-delimited JSON over stdio/TCP).
 //! * [`verify`] — differential-oracle fuzzing, failure minimization, and
 //!   corpus replay.
 //! * [`obs`] — std-only structured tracing, numerical-health events, and
@@ -50,6 +52,7 @@ pub use awe_circuit as circuit;
 pub use awe_mna as mna;
 pub use awe_numeric as numeric;
 pub use awe_obs as obs;
+pub use awe_serve as serve;
 pub use awe_sim as sim;
 pub use awe_treelink as treelink;
 pub use awe_verify as verify;

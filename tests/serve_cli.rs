@@ -1,0 +1,153 @@
+//! End-to-end daemon test: pipe a scripted newline-delimited JSON
+//! session into the real `awesim serve --stdio` binary and check every
+//! response line parses and carries the expected fields.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use awesim::serve::Json;
+
+/// Runs `awesim serve --stdio` with `script` on stdin, returns one
+/// parsed JSON value per response line.
+fn run_session(extra_args: &[&str], script: &str) -> Vec<Json> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_awesim"))
+        .arg("serve")
+        .arg("--stdio")
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "serve exited nonzero: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|line| {
+            awesim::serve::json::parse(line)
+                .unwrap_or_else(|e| panic!("invalid response JSON ({e}): {line}"))
+        })
+        .collect()
+}
+
+fn ok(v: &Json) -> bool {
+    v.get("ok").and_then(Json::as_bool).unwrap_or(false)
+}
+
+fn num(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("field {key} in {v}"))
+}
+
+#[test]
+fn scripted_session_over_stdio() {
+    let script = concat!(
+        r#"{"id":1,"verb":"load_design","session":"s","chains":{"nets":4,"stages":6,"seed":3}}"#,
+        "\n",
+        r#"{"id":2,"verb":"eco","session":"s","ops":[{"op":"resize","net":"net0002","element":"R3","value":123.0}]}"#,
+        "\n",
+        r#"{"id":3,"verb":"analyze","session":"s"}"#,
+        "\n",
+        "this line is garbage\n",
+        r#"{"id":4,"verb":"report","session":"s","limit":2}"#,
+        "\n",
+        r#"{"id":5,"verb":"metrics"}"#,
+        "\n",
+        r#"{"id":6,"verb":"shutdown"}"#,
+        "\n",
+    );
+    let replies = run_session(&[], script);
+    assert_eq!(replies.len(), 7, "one response per line: {replies:?}");
+
+    let loaded = &replies[0];
+    assert!(ok(loaded), "{loaded}");
+    assert_eq!(num(loaded, "nets"), 4);
+    assert_eq!(loaded.get("id").and_then(Json::as_u64), Some(1));
+
+    let eco = &replies[1];
+    assert!(ok(eco), "{eco}");
+    assert_eq!(num(eco, "invalidated_results"), 1);
+
+    let analyzed = &replies[2];
+    assert!(ok(analyzed), "{analyzed}");
+    assert_eq!(num(analyzed, "solves"), 1);
+    assert_eq!(num(analyzed, "cache_hits"), 3);
+
+    let bad = &replies[3];
+    assert!(!ok(bad), "{bad}");
+    assert_eq!(
+        bad.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_json")
+    );
+
+    let report = &replies[4];
+    assert!(ok(report), "{report}");
+    let nets = report
+        .get("nets")
+        .and_then(Json::as_arr)
+        .expect("nets array");
+    assert_eq!(nets.len(), 2, "limit honored");
+    assert_eq!(num(report, "nets_total"), 4);
+
+    let metrics = &replies[5];
+    assert!(ok(metrics), "{metrics}");
+    assert_eq!(num(metrics, "sessions"), 1);
+    assert!(num(metrics, "errors") >= 1);
+
+    let bye = &replies[6];
+    assert!(ok(bye), "{bye}");
+    assert_eq!(bye.get("verb").and_then(Json::as_str), Some("shutdown"));
+}
+
+#[test]
+fn serve_trace_and_metrics_files_capture_the_session() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("awesim-serve-trace-{}.json", std::process::id()));
+    let metrics = dir.join(format!("awesim-serve-metrics-{}.json", std::process::id()));
+    let script = concat!(
+        r#"{"id":1,"verb":"load_design","session":"tr","chains":{"nets":2,"stages":5,"seed":1}}"#,
+        "\n",
+        r#"{"id":2,"verb":"analyze","session":"tr"}"#,
+        "\n",
+        r#"{"id":3,"verb":"shutdown"}"#,
+        "\n",
+    );
+    let replies = run_session(
+        &[
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ],
+        script,
+    );
+    assert!(replies.iter().all(ok), "{replies:?}");
+
+    let t = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(t.trim_start().starts_with('['), "not a JSON array");
+    assert!(
+        t.contains("serve.request"),
+        "missing request spans: {t:.200}"
+    );
+    assert!(t.contains("session:tr"), "missing session lane: {t:.200}");
+
+    let m = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(m.contains("awe-obs-metrics-v1"), "{m}");
+    assert!(m.contains("serve.requests"), "{m}");
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+}
