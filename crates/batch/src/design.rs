@@ -4,7 +4,9 @@
 use std::time::{Duration, Instant};
 
 use awe_circuit::generators::{random_rc_tree, rc_line};
-use awe_circuit::{parse_multi_deck, Circuit, CircuitError, Element, NodeId, Waveform};
+use awe_circuit::{
+    parse_multi_deck, Circuit, CircuitError, Element, NodeId, ReduceOptions, Reduced, Waveform,
+};
 
 /// One net of a design: an independent circuit with a chosen observation
 /// node.
@@ -198,6 +200,76 @@ impl Design {
             None => false,
         }
     }
+}
+
+/// A net as the solver will actually see it: optionally RC-chain-reduced
+/// (see [`awe_circuit::reduce`]), with the cache and pattern keys derived
+/// from the *solve* circuit. Built by [`prepare_net`]; every layer that
+/// keys caches for a reduce-aware run (the batch engine, the serve
+/// sessions) must go through this so their keys agree byte-for-byte.
+#[derive(Clone, Debug)]
+pub struct PreparedNet {
+    /// The reduction outcome; `None` when reduction is disabled, so the
+    /// original circuit solves untouched.
+    pub reduced: Option<Reduced>,
+    /// Observation node id within the solve circuit (the reduction
+    /// preserves it; its *name* is unchanged).
+    pub output: NodeId,
+    /// Result-cache key. With reduction enabled this hashes the reduced
+    /// circuit and mixes in the reduce configuration, so toggling the
+    /// flag or moving the tolerance never serves a stale cached result;
+    /// disabled, it equals [`NetSpec::hash`] exactly.
+    pub hash: u64,
+    /// Topology pattern key of the solve circuit (deliberately unsalted:
+    /// a reduced net sharing a topology with an unreduced one sharing
+    /// one symbolic analysis is correct, the pattern is value-free).
+    pub pattern: u64,
+}
+
+impl PreparedNet {
+    /// The circuit the solver should run on: the reduced rewrite when
+    /// one exists, else `original`.
+    pub fn circuit<'a>(&'a self, original: &'a Circuit) -> &'a Circuit {
+        self.reduced.as_ref().map_or(original, |r| &r.circuit)
+    }
+}
+
+/// Prepares one net for solving under the given reduction config: runs
+/// the chain-reduction pass when enabled (preserving the observation
+/// node) and derives the cache/pattern keys from whatever circuit will
+/// actually be solved.
+pub fn prepare_net(spec: &NetSpec, reduce_opts: &ReduceOptions) -> PreparedNet {
+    if !reduce_opts.enabled {
+        return PreparedNet {
+            reduced: None,
+            output: spec.output,
+            hash: spec.hash(),
+            pattern: spec.pattern_key(),
+        };
+    }
+    let reduced = awe_circuit::reduce(&spec.circuit, &[spec.output], reduce_opts);
+    let output = reduced.map_node(spec.output).unwrap_or(spec.output);
+    let hash = structural_hash(&reduced.circuit, output) ^ reduce_salt(reduce_opts);
+    let pattern = pattern_key(&reduced.circuit);
+    PreparedNet {
+        reduced: Some(reduced),
+        output,
+        hash,
+        pattern,
+    }
+}
+
+/// Just the `(cache key, pattern key)` pair of [`prepare_net`], for
+/// layers (like the serve sessions' dirty tracking) that need keys
+/// without holding the reduced circuit.
+pub fn net_keys(spec: &NetSpec, reduce_opts: &ReduceOptions) -> (u64, u64) {
+    let prepared = prepare_net(spec, reduce_opts);
+    (prepared.hash, prepared.pattern)
+}
+
+/// Cache-key salt for a reduction config: any tolerance change moves it.
+fn reduce_salt(opts: &ReduceOptions) -> u64 {
+    fnv1a(b"awe-reduce-v1") ^ fnv1a(&opts.tolerance.to_bits().to_le_bytes())
 }
 
 /// Default observation node: `out` if the deck names one, else the

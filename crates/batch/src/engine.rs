@@ -12,8 +12,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use awe::{AweApproximation, AweEngine, AweError, AweOptions, SharedSymbolic, StageTimings};
+use awe_circuit::{Circuit, NodeId, ReduceOptions};
 
-use crate::design::{Design, NetSpec};
+use crate::design::{prepare_net, Design, PreparedNet};
 use crate::pool::{run_indexed, PoolStats};
 
 /// Results served from the incremental cache without an AWE solve.
@@ -46,6 +47,11 @@ pub struct BatchOptions {
     pub max_order: usize,
     /// Per-solve AWE options.
     pub awe: AweOptions,
+    /// RC-chain reduction pre-pass (off by default). When enabled, every
+    /// net solves on its reduced rewrite; cache keys derive from the
+    /// reduced topology plus the reduce config, so toggling this (or the
+    /// tolerance) never serves results computed under another config.
+    pub reduce: ReduceOptions,
 }
 
 impl Default for BatchOptions {
@@ -56,6 +62,7 @@ impl Default for BatchOptions {
             auto_target: None,
             max_order: 8,
             awe: AweOptions::default(),
+            reduce: ReduceOptions::default(),
         }
     }
 }
@@ -67,9 +74,10 @@ pub struct NetResult {
     pub name: String,
     /// Structural hash (the cache key).
     pub hash: u64,
-    /// Node count (including ground).
+    /// Node count (including ground) of the circuit actually solved —
+    /// the reduced rewrite's count when the reduction pre-pass ran.
     pub nodes: usize,
-    /// Element count.
+    /// Element count of the circuit actually solved.
     pub elements: usize,
     /// Order asked for (the starting order in automatic mode).
     pub requested_order: usize,
@@ -231,27 +239,31 @@ impl BatchEngine {
         // results must stay byte-identical across thread counts. Groups
         // whose pattern is already cached (an earlier run) skip straight
         // to refactoring; singleton groups pay nothing here.
-        let hashes: Vec<u64> = design.nets().iter().map(NetSpec::hash).collect();
-        let keys: Vec<u64> = design.nets().iter().map(NetSpec::pattern_key).collect();
+        let prepared: Vec<PreparedNet> = design
+            .nets()
+            .iter()
+            .map(|spec| prepare_net(spec, &opts.reduce))
+            .collect();
         let mut group_size: HashMap<u64, usize> = HashMap::new();
         {
             let cache = self.cache.lock().expect("cache lock");
-            for (i, h) in hashes.iter().enumerate() {
-                if !cache.contains_key(h) {
-                    *group_size.entry(keys[i]).or_insert(0) += 1;
+            for p in &prepared {
+                if !cache.contains_key(&p.hash) {
+                    *group_size.entry(p.pattern).or_insert(0) += 1;
                 }
             }
         }
         let presolved: Mutex<HashMap<usize, (NetResult, NetTiming)>> = Mutex::new(HashMap::new());
         for (i, spec) in design.nets().iter().enumerate() {
-            if group_size.get(&keys[i]).is_none_or(|&c| c < 2) {
+            let pn = &prepared[i];
+            if group_size.get(&pn.pattern).is_none_or(|&c| c < 2) {
                 continue;
             }
             if self
                 .patterns
                 .lock()
                 .expect("pattern lock")
-                .contains_key(&keys[i])
+                .contains_key(&pn.pattern)
             {
                 continue;
             }
@@ -259,31 +271,38 @@ impl BatchEngine {
                 .cache
                 .lock()
                 .expect("cache lock")
-                .contains_key(&hashes[i])
+                .contains_key(&pn.hash)
             {
                 continue;
             }
             // One donor attempt per group, whether or not it yields a
             // pattern (dense nets never do — their siblings then factor
             // independently, which is the pre-split behavior).
-            group_size.remove(&keys[i]);
+            group_size.remove(&pn.pattern);
             let t0 = Instant::now();
             let mut presolve_span = awe_obs::span("batch.presolve");
             presolve_span.note(i as f64, 0.0);
             solves.fetch_add(1, Ordering::Relaxed);
             SOLVES.incr();
-            let (result, stages, pattern) = solve_net(spec, hashes[i], opts, None);
+            let (result, stages, pattern) = solve_net(
+                &spec.name,
+                pn.circuit(&spec.circuit),
+                pn.output,
+                pn.hash,
+                opts,
+                None,
+            );
             drop(presolve_span);
             if let Some(p) = pattern {
                 self.patterns
                     .lock()
                     .expect("pattern lock")
-                    .insert(keys[i], p);
+                    .insert(pn.pattern, p);
             }
             self.cache
                 .lock()
                 .expect("cache lock")
-                .insert(hashes[i], result.clone());
+                .insert(pn.hash, result.clone());
             presolved.lock().expect("presolve lock").insert(
                 i,
                 (
@@ -304,7 +323,8 @@ impl BatchEngine {
                 return pair;
             }
             let spec = &design.nets()[i];
-            let hash = hashes[i];
+            let pn = &prepared[i];
+            let hash = pn.hash;
             let t0 = Instant::now();
             let cached = self.cache.lock().expect("cache lock").get(&hash).cloned();
             if let Some(mut hit) = cached {
@@ -327,9 +347,16 @@ impl BatchEngine {
                 .patterns
                 .lock()
                 .expect("pattern lock")
-                .get(&keys[i])
+                .get(&pn.pattern)
                 .cloned();
-            let (result, stages, pattern) = solve_net(spec, hash, opts, seed.as_ref());
+            let (result, stages, pattern) = solve_net(
+                &spec.name,
+                pn.circuit(&spec.circuit),
+                pn.output,
+                hash,
+                opts,
+                seed.as_ref(),
+            );
             match (&seed, &pattern) {
                 // The engine kept the seeded Arc ⇔ the solve refactored
                 // against it (a cold fallback records a fresh analysis).
@@ -343,7 +370,7 @@ impl BatchEngine {
                     self.patterns
                         .lock()
                         .expect("pattern lock")
-                        .entry(keys[i])
+                        .entry(pn.pattern)
                         .or_insert_with(|| p.clone());
                 }
                 _ => {}
@@ -382,7 +409,9 @@ impl BatchEngine {
 /// refactorization succeeded, a freshly analysed one otherwise, `None` on
 /// the dense path) is returned for the caches.
 fn solve_net(
-    spec: &NetSpec,
+    name: &str,
+    circuit: &Circuit,
+    output: NodeId,
     hash: u64,
     opts: &BatchOptions,
     seed: Option<&SharedSymbolic>,
@@ -393,10 +422,10 @@ fn solve_net(
         opts.order
     };
     let mut result = NetResult {
-        name: spec.name.clone(),
+        name: name.to_owned(),
         hash,
-        nodes: spec.circuit.num_nodes(),
-        elements: spec.circuit.elements().len(),
+        nodes: circuit.num_nodes(),
+        elements: circuit.elements().len(),
         requested_order: requested,
         order: 0,
         escalations: 0,
@@ -409,7 +438,7 @@ fn solve_net(
         cache_hit: false,
         error: None,
     };
-    let engine = match AweEngine::new(&spec.circuit) {
+    let engine = match AweEngine::new(circuit) {
         Ok(e) => e,
         Err(e) => {
             result.error = Some(e.to_string());
@@ -423,7 +452,7 @@ fn solve_net(
     };
 
     let outcome = match opts.auto_target {
-        None => match engine.approximate_timed(spec.output, opts.order, opts.awe) {
+        None => match engine.approximate_timed(output, opts.order, opts.awe) {
             Ok((approx, clock)) => {
                 accumulate(&mut stages, &clock);
                 result.escalations = approx.order.saturating_sub(opts.order);
@@ -431,7 +460,7 @@ fn solve_net(
             }
             Err(e) => Err(e),
         },
-        Some(target) => auto_solve(&engine, spec, target, opts, &mut stages, &mut result),
+        Some(target) => auto_solve(&engine, output, target, opts, &mut stages, &mut result),
     };
     match outcome {
         Ok(approx) => fill(&mut result, &approx),
@@ -449,7 +478,7 @@ fn solve_net(
 /// the target the highest trusted order wins (un-rescued preferred).
 fn auto_solve(
     engine: &AweEngine,
-    spec: &NetSpec,
+    output: NodeId,
     target: f64,
     opts: &BatchOptions,
     stages: &mut StageTimings,
@@ -463,7 +492,7 @@ fn auto_solve(
     let mut best_rescued: Option<AweApproximation> = None;
     let mut tried = 0usize;
     for q in 1..=opts.max_order.max(1) {
-        match engine.approximate_timed(spec.output, q, per_order) {
+        match engine.approximate_timed(output, q, per_order) {
             Ok((approx, clock)) => {
                 accumulate(stages, &clock);
                 tried += 1;
@@ -590,6 +619,57 @@ mod tests {
         assert!(engine.invalidate_pattern(key));
         assert!(!engine.has_pattern(key));
         assert!(!engine.invalidate_pattern(key));
+    }
+
+    #[test]
+    fn reduction_shrinks_systems_and_never_crosses_caches() {
+        let design = Design::synthetic_chains(3, 300, 9);
+        let engine = BatchEngine::new();
+        let full = engine.run(&design, &BatchOptions::default());
+        assert_eq!(full.solves, 3);
+
+        // Same design, reduction on: the cache keys are salted with the
+        // reduce config, so nothing cross-serves.
+        let ropts = BatchOptions {
+            reduce: ReduceOptions {
+                enabled: true,
+                tolerance: 0.02,
+            },
+            ..BatchOptions::default()
+        };
+        let reduced = engine.run(&design, &ropts);
+        assert_eq!(reduced.cache_hits, 0, "toggle never serves stale results");
+        assert_eq!(reduced.solves, 3);
+        for (f, r) in full.results.iter().zip(&reduced.results) {
+            assert!(
+                r.nodes * 5 < f.nodes,
+                "{}: {} vs {} nodes",
+                r.name,
+                r.nodes,
+                f.nodes
+            );
+            let (df, dr) = (f.delay_50.unwrap(), r.delay_50.unwrap());
+            assert!(
+                ((dr - df) / df).abs() < 0.05,
+                "{}: delay {df} vs {dr}",
+                r.name
+            );
+        }
+
+        // Re-running with reduction on is pure cache; a different
+        // tolerance re-keys again.
+        let again = engine.run(&design, &ropts);
+        assert_eq!(again.solves, 0);
+        assert_eq!(again.cache_hits, 3);
+        let other_tol = BatchOptions {
+            reduce: ReduceOptions {
+                enabled: true,
+                tolerance: 0.01,
+            },
+            ..BatchOptions::default()
+        };
+        let rekeyed = engine.run(&design, &other_tol);
+        assert_eq!(rekeyed.cache_hits, 0, "tolerance is part of the key");
     }
 
     #[test]

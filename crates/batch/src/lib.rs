@@ -45,7 +45,10 @@ pub mod metrics;
 pub mod pool;
 pub mod report;
 
-pub use design::{pattern_key, structural_hash, Design, NetSpec};
+pub use awe_circuit::ReduceOptions;
+pub use design::{
+    net_keys, pattern_key, prepare_net, structural_hash, Design, NetSpec, PreparedNet,
+};
 pub use engine::{BatchEngine, BatchOptions, BatchRun, NetResult, NetTiming};
 pub use metrics::RunMetrics;
 pub use pool::PoolStats;

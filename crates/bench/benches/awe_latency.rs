@@ -38,8 +38,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use awe::{AweEngine, AweOptions, StageTimings};
-use awe_circuit::generators::{random_rc_tree, rc_mesh, rlc_ladder};
-use awe_circuit::{Circuit, NodeId, Waveform};
+use awe_circuit::generators::{random_rc_tree, rc_line, rc_mesh, rlc_ladder};
+use awe_circuit::{reduce, Circuit, NodeId, ReduceOptions, Waveform};
 use awe_obs::{Counter, Histogram, Profile, Recording};
 
 const ORDER: usize = 2;
@@ -47,10 +47,20 @@ const ORDER: usize = 2;
 /// Hard ceiling on the projected tracing-off overhead per warm solve.
 const OVERHEAD_BUDGET: f64 = 0.02;
 
+/// Minimum cold speedup the reduction pre-pass must buy on a long-chain
+/// workload (reduced twin vs full net, reduction time included).
+const REDUCTION_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Tolerance the reduced chain twins run at (relative m₂ defect budget).
+const REDUCE_TOL: f64 = 0.02;
+
 struct Case {
     name: String,
     circuit: Circuit,
     output: NodeId,
+    /// `Some(tol)` makes the cold path run the RC-chain reduction
+    /// pre-pass (timed) and solve the reduced net instead.
+    reduce_tol: Option<f64>,
 }
 
 struct Row {
@@ -61,6 +71,7 @@ struct Row {
     refactor_s: f64,
     warm_latency: f64,
     refactored: bool,
+    reduced: bool,
     /// Instrumentation sites one warm solve crosses (events recorded +
     /// counter bumps + histogram observations, tallied under a
     /// recording).
@@ -77,6 +88,7 @@ fn cases(tiny: bool) -> Vec<Case> {
             name: format!("rc-tree-{n}"),
             circuit: g.circuit,
             output: g.output,
+            reduce_tol: None,
         });
     }
     // 16×16 stays in the tiny sweep: it is the acceptance case for the
@@ -88,6 +100,7 @@ fn cases(tiny: bool) -> Vec<Case> {
             name: format!("rc-mesh-{m}x{m}"),
             circuit: g.circuit,
             output: g.output,
+            reduce_tol: None,
         });
     }
     let ladder_sizes: &[usize] = if tiny { &[16] } else { &[16, 64, 128] };
@@ -97,6 +110,27 @@ fn cases(tiny: bool) -> Vec<Case> {
             name: format!("rlc-ladder-{s}"),
             circuit: g.circuit,
             output: g.output,
+            reduce_tol: None,
+        });
+    }
+    // Long series chains, in full/reduced twins: the acceptance workload
+    // for the reduction pre-pass. The reduced twin runs the chain
+    // collapse inside its cold timing and must still come in at least
+    // `REDUCTION_SPEEDUP_FLOOR`× cheaper than its full sibling.
+    let chain_sizes: &[usize] = if tiny { &[512] } else { &[256, 512, 1024] };
+    for &s in chain_sizes {
+        let g = rc_line(s, 100.0, 0.5e-12, step());
+        out.push(Case {
+            name: format!("rc-chain-{s}"),
+            circuit: g.circuit.clone(),
+            output: g.output,
+            reduce_tol: None,
+        });
+        out.push(Case {
+            name: format!("rc-chain-{s}-reduced"),
+            circuit: g.circuit,
+            output: g.output,
+            reduce_tol: Some(REDUCE_TOL),
         });
     }
     out
@@ -104,15 +138,30 @@ fn cases(tiny: bool) -> Vec<Case> {
 
 fn measure(case: &Case, reps: usize) -> (Row, Profile) {
     let opts = AweOptions::default();
+    let ropts = |tol| ReduceOptions {
+        enabled: true,
+        tolerance: tol,
+    };
 
     // Cold: fresh engine per rep (assembly + symbolic + numeric factor).
+    // For a reduced twin the chain-collapse pre-pass runs *inside* the
+    // timer — the reported speedup is end-to-end, reduction included.
     // Keep the stage clocks of the rep with the smallest total latency.
     let mut cold: Option<(f64, StageTimings, usize)> = None;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let engine = AweEngine::new(&case.circuit).expect("assembles");
+        let red;
+        let (circuit, output) = match case.reduce_tol {
+            Some(tol) => {
+                red = reduce(&case.circuit, &[case.output], &ropts(tol));
+                let out = red.map_node(case.output).expect("output survives");
+                (&red.circuit, out)
+            }
+            None => (&case.circuit, case.output),
+        };
+        let engine = AweEngine::new(circuit).expect("assembles");
         let (_, clock) = engine
-            .approximate_timed(case.output, ORDER, opts)
+            .approximate_timed(output, ORDER, opts)
             .expect("solves");
         let latency = t0.elapsed().as_secs_f64();
         let n = engine.system().num_unknowns();
@@ -123,10 +172,21 @@ fn measure(case: &Case, reps: usize) -> (Row, Profile) {
     let (cold_latency, cold_clock, unknowns) = cold.expect("at least one rep");
 
     // Warm: one engine, one priming solve (records the pattern, warms the
-    // workspace), then timed re-solves that refactor.
-    let engine = AweEngine::new(&case.circuit).expect("assembles");
+    // workspace), then timed re-solves that refactor. A reduced twin's
+    // warm engine holds the reduced net — reduction happens once, the
+    // pattern reuse afterwards is exactly what the cache amortizes.
+    let warm_red;
+    let (warm_circuit, warm_output) = match case.reduce_tol {
+        Some(tol) => {
+            warm_red = reduce(&case.circuit, &[case.output], &ropts(tol));
+            let out = warm_red.map_node(case.output).expect("output survives");
+            (&warm_red.circuit, out)
+        }
+        None => (&case.circuit, case.output),
+    };
+    let engine = AweEngine::new(warm_circuit).expect("assembles");
     engine
-        .approximate_timed(case.output, ORDER, opts)
+        .approximate_timed(warm_output, ORDER, opts)
         .expect("solves");
     let mut warm_latency = f64::MAX;
     let mut refactor_s = f64::MAX;
@@ -134,7 +194,7 @@ fn measure(case: &Case, reps: usize) -> (Row, Profile) {
     for _ in 0..reps {
         let t0 = Instant::now();
         let (_, clock) = engine
-            .approximate_timed(case.output, ORDER, opts)
+            .approximate_timed(warm_output, ORDER, opts)
             .expect("solves");
         warm_latency = warm_latency.min(t0.elapsed().as_secs_f64());
         let r = clock.refactor.as_secs_f64();
@@ -148,7 +208,7 @@ fn measure(case: &Case, reps: usize) -> (Row, Profile) {
     // tracing-off overhead projection multiplies by the per-site cost.
     let rec = Recording::start().expect("no other recording active in the bench");
     engine
-        .approximate_timed(case.output, ORDER, opts)
+        .approximate_timed(warm_output, ORDER, opts)
         .expect("solves");
     let profile = rec.finish();
     let obs_sites = profile
@@ -167,6 +227,7 @@ fn measure(case: &Case, reps: usize) -> (Row, Profile) {
         refactor_s: if refactored { refactor_s } else { 0.0 },
         warm_latency,
         refactored,
+        reduced: case.reduce_tol.is_some(),
         obs_sites,
     };
     (row, profile)
@@ -219,18 +280,30 @@ fn render(rows: &[Row], tiny: bool, site_cost_s: f64) -> String {
         } else {
             "null".to_string()
         };
+        // A reduced twin reports its end-to-end cold speedup against the
+        // full sibling row (same name minus the `-reduced` suffix).
+        let reduction_speedup = r
+            .name
+            .strip_suffix("-reduced")
+            .and_then(|full| rows.iter().find(|o| o.name == full))
+            .map_or("null".to_string(), |full| {
+                format!("{:.2}", full.cold_latency / r.cold_latency)
+            });
         let overhead = r.obs_sites as f64 * site_cost_s / r.warm_latency;
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"unknowns\": {}, \"refactored\": {}, \
+             \"reduced\": {}, \
              \"mna_s\": {:e}, \"factor_s\": {:e}, \"refactor_s\": {:e}, \
              \"moments_s\": {:e}, \"pade_s\": {:e}, \"residues_s\": {:e}, \
              \"cold_latency_s\": {:e}, \"warm_latency_s\": {:e}, \
              \"obs_sites_per_solve\": {}, \"tracing_off_overhead_frac\": {overhead:e}, \
+             \"reduction_speedup_vs_full\": {reduction_speedup}, \
              \"refactor_speedup\": {speedup}}}{comma}",
             r.name,
             r.unknowns,
             r.refactored,
+            r.reduced,
             r.cold.mna.as_secs_f64(),
             r.cold.factor.as_secs_f64(),
             r.refactor_s,
@@ -311,6 +384,34 @@ fn validate(json: &str, expected_cases: usize) -> Vec<String> {
                 "{name}: obs_sites_per_solve = {v} (an instrumented solve crosses sites)"
             )),
             None => errs.push(format!("{name}: missing obs_sites_per_solve")),
+        }
+        // Reduced twins must carry a speedup vs their full sibling, and
+        // long-chain twins must clear the reduction acceptance floor.
+        if line.contains("\"reduced\": true") {
+            match field_f64(line, "reduction_speedup_vs_full") {
+                Some(v) if v > 0.0 => {
+                    let long_chain = field_str(line, "name").is_some_and(|n| {
+                        n.strip_prefix("rc-chain-")
+                            .and_then(|rest| rest.strip_suffix("-reduced"))
+                            .and_then(|len| len.parse::<usize>().ok())
+                            .is_some_and(|len| len >= 256)
+                    });
+                    if long_chain && v < REDUCTION_SPEEDUP_FLOOR {
+                        errs.push(format!(
+                            "{name}: reduction speedup {v:.2}x below the \
+                             {REDUCTION_SPEEDUP_FLOOR:.0}x long-chain floor"
+                        ));
+                    }
+                }
+                Some(v) => errs.push(format!(
+                    "{name}: reduction_speedup_vs_full = {v} (must be > 0)"
+                )),
+                None => errs.push(format!("{name}: missing reduction_speedup_vs_full")),
+            }
+        } else if field_f64(line, "reduction_speedup_vs_full").is_some() {
+            errs.push(format!(
+                "{name}: not reduced but carries a reduction speedup"
+            ));
         }
         // The tracing-off overhead budget is a release gate, not advice:
         // a case at or past 2% fails the bench.

@@ -37,6 +37,7 @@ mod graph;
 mod netlist;
 pub mod papers;
 mod parser;
+pub mod reduce;
 pub mod stage;
 pub mod topology;
 mod waveform;
@@ -47,5 +48,6 @@ pub use netlist::{Circuit, CircuitError};
 pub use parser::{
     parse_card_into, parse_deck, parse_multi_deck, parse_source_spec, parse_value, NamedNet,
 };
+pub use reduce::{reduce, ChainReduction, ReduceOptions, Reduced, ReductionReport};
 pub use topology::{analyze, TopologyReport};
 pub use waveform::{Ramp, Waveform};

@@ -1,0 +1,972 @@
+//! RC-chain reduction: collapse series RC chains (and degree-2 internal
+//! nodes generally) into compact equivalents before system assembly.
+//!
+//! AWE's cost is superlinear in MNA unknowns, and long uniform RC chains
+//! are the dominant shape of extracted interconnect — so rewriting an
+//! `n`-stage chain into a handful of lumped segments is a superlinear
+//! payoff. The construction follows the long-chain equivalence result
+//! (arXiv 2508.13159): eliminating an interior node that sits at
+//! resistive distance `r` from the left boundary of a segment of span
+//! `R` merges its resistors and splits its grounded capacitance `C`
+//! proportionally — `C·(R−r)/R` to the left boundary, `C·r/R` to the
+//! right.
+//!
+//! **What the rewrite preserves exactly** (for RC trees, up to floating
+//! point): the total capacitance to ground, and the first moment (Elmore
+//! delay) of every surviving node — the proportional split keeps
+//! `Σ Cᵢ·R(path ∩ path)` unchanged for any preserved observation point.
+//! The error enters at the *second* moment: collapsing a segment with
+//! interior caps `Cᵢ` at cumulative distances `rᵢ` along a span `R`
+//! perturbs it by the segment defect
+//!
+//! ```text
+//! δ_seg = Σᵢ Cᵢ · rᵢ (R − rᵢ) / R        (units: seconds)
+//! ```
+//!
+//! The pass walks every maximal chain and merges greedily left-to-right
+//! under a **proportional budget**: a segment may grow only while
+//!
+//! ```text
+//! δ_seg ≤ tolerance · τ_chain · (R_seg / R_chain)
+//! ```
+//!
+//! where `τ_chain = R_chain · C_chain` is the chain's own time scale.
+//! Summed over the segments of a chain this caps the per-pass defect at
+//! `tolerance · τ_chain`, so the reduced model's waveform error is
+//! `O(tolerance)` relative to the chain's dominant time constant — the
+//! differential oracle in `awe-verify` holds it to that bound
+//! empirically. Because both sides of the rule scale as `R·C`, segment
+//! boundaries depend only on the chain's *shape* and the tolerance, not
+//! on absolute element values — structurally identical nets reduce to
+//! structurally identical nets.
+//!
+//! Reduction runs passes at **constant tolerance to a fixpoint** (a pass
+//! that removes nothing ends the loop; node count strictly decreases, so
+//! it terminates). A fixpoint at tolerance `t` is also a fixpoint of a
+//! fresh `reduce` call at tolerance `t`, which makes the pass
+//! *idempotent by construction*: reducing a reduced circuit returns it
+//! byte-identical. Follow-up passes rarely fire (a merged segment's own
+//! defect sits well past the budget that formed it); the report records
+//! the actual accumulated defect per chain, so `ReductionReport::bound`
+//! is a measured bound, not an estimate.
+//!
+//! A node is never collapsed if it is ground, explicitly preserved
+//! (observation points), a terminal of any source (independent or
+//! controlled, controlling nodes included), touched by an inductor, a
+//! floating capacitor, or a capacitor with a nonequilibrium initial
+//! condition, or if its resistive degree is anything but exactly two.
+
+use std::collections::BTreeMap;
+
+use crate::element::{Element, NodeId, GROUND};
+use crate::netlist::Circuit;
+
+/// Interior nodes removed by reduction passes.
+static NODES_REMOVED: awe_obs::Counter = awe_obs::Counter::new("reduce.nodes_removed");
+/// Chains that had at least one segment merged.
+static CHAINS_REDUCED: awe_obs::Counter = awe_obs::Counter::new("reduce.chains");
+
+/// Configuration of the reduction pre-pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReduceOptions {
+    /// Whether callers should run the pass at all. [`reduce`] itself
+    /// ignores this — integration layers (batch, serve, CLI) gate on it
+    /// so a disabled config hashes and solves the original net.
+    pub enabled: bool,
+    /// Per-chain defect budget as a fraction of the chain time scale
+    /// `τ = R_chain · C_chain`. Smaller keeps more nodes.
+    pub tolerance: f64,
+}
+
+impl Default for ReduceOptions {
+    fn default() -> Self {
+        ReduceOptions {
+            enabled: false,
+            tolerance: 0.02,
+        }
+    }
+}
+
+/// One maximal chain that lost nodes, for the report.
+#[derive(Clone, Debug)]
+pub struct ChainReduction {
+    /// Left anchor node name.
+    pub left: String,
+    /// Right anchor node name.
+    pub right: String,
+    /// Interior nodes eliminated.
+    pub nodes_removed: usize,
+    /// Accumulated segment defect `Σ δ_seg` in seconds.
+    pub defect: f64,
+    /// Chain time scale `R_chain · C_chain` in seconds.
+    pub tau: f64,
+}
+
+impl ChainReduction {
+    /// The chain's relative error bound `defect / τ` (zero for purely
+    /// resistive chains, which merge exactly).
+    pub fn bound(&self) -> f64 {
+        if self.tau > 0.0 {
+            self.defect / self.tau
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What a [`reduce`] call did.
+#[derive(Clone, Debug, Default)]
+pub struct ReductionReport {
+    /// Tolerance the passes ran with.
+    pub tolerance: f64,
+    /// Passes run, including the final no-op pass that confirmed the
+    /// fixpoint (so ≥ 2 whenever anything merged, 1 otherwise).
+    pub passes: usize,
+    /// Interior nodes eliminated in total.
+    pub nodes_removed: usize,
+    /// Net element-count reduction (removed minus inserted equivalents).
+    pub elements_removed: usize,
+    /// Per-chain accounting, discovery order, merged chains only.
+    pub chains: Vec<ChainReduction>,
+}
+
+impl ReductionReport {
+    /// Worst per-chain measured relative bound across all passes.
+    pub fn bound(&self) -> f64 {
+        self.chains
+            .iter()
+            .map(ChainReduction::bound)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether reduction changed the circuit at all.
+    pub fn changed(&self) -> bool {
+        self.nodes_removed > 0
+    }
+}
+
+/// A reduced circuit plus the bookkeeping to express results at original
+/// node names.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// The rewritten circuit. Surviving nodes keep their original names.
+    pub circuit: Circuit,
+    /// What happened.
+    pub report: ReductionReport,
+    /// Original node id → reduced node id (`None` for collapsed nodes).
+    node_map: Vec<Option<NodeId>>,
+}
+
+impl Reduced {
+    /// Maps an original node id into the reduced circuit. Preserved nodes
+    /// always map; collapsed interiors return `None`.
+    pub fn map_node(&self, original: NodeId) -> Option<NodeId> {
+        self.node_map.get(original).copied().flatten()
+    }
+}
+
+/// Collapses series RC chains of `circuit` into compact equivalents,
+/// preserving ground, every node in `preserve`, and every node a
+/// non-R/C element touches. Runs constant-tolerance passes to a
+/// fixpoint, so `reduce` is idempotent: reducing an already-reduced
+/// circuit returns it unchanged.
+pub fn reduce(circuit: &Circuit, preserve: &[NodeId], opts: &ReduceOptions) -> Reduced {
+    let mut span = awe_obs::span("circuit.reduce");
+    // Preserved nodes travel by name: node ids are insertion-order
+    // artifacts and change between passes.
+    let preserve_names: Vec<String> = preserve
+        .iter()
+        .filter(|&&n| n < circuit.num_nodes())
+        .map(|&n| circuit.node_name(n).to_owned())
+        .collect();
+
+    let tolerance = opts.tolerance.max(0.0);
+    // The input circuit is only cloned if no pass changes anything; a
+    // productive pass hands over its rebuilt circuit instead.
+    let mut current: Option<Circuit> = None;
+    let mut report = ReductionReport {
+        tolerance,
+        ..ReductionReport::default()
+    };
+    loop {
+        report.passes += 1;
+        let base = current.as_ref().unwrap_or(circuit);
+        let preserve_ids: Vec<NodeId> = preserve_names
+            .iter()
+            .filter_map(|n| base.find_node(n))
+            .collect();
+        let outcome = reduce_pass(base, &preserve_ids, tolerance);
+        let Some(outcome) = outcome else { break };
+        report.nodes_removed += outcome.nodes_removed;
+        report.chains.extend(outcome.chains);
+        current = Some(outcome.circuit);
+    }
+    let current = current.unwrap_or_else(|| circuit.clone());
+    report.elements_removed = circuit
+        .elements()
+        .len()
+        .saturating_sub(current.elements().len());
+    if report.changed() {
+        NODES_REMOVED.add(report.nodes_removed as u64);
+        CHAINS_REDUCED.add(report.chains.len() as u64);
+    }
+    let node_map = (0..circuit.num_nodes())
+        .map(|id| current.find_node(circuit.node_name(id)))
+        .collect();
+    span.note(report.nodes_removed as f64, report.elements_removed as f64);
+    Reduced {
+        circuit: current,
+        report,
+        node_map,
+    }
+}
+
+/// One pass's yield; `None` when nothing merged (the fixpoint).
+struct PassOutcome {
+    circuit: Circuit,
+    nodes_removed: usize,
+    chains: Vec<ChainReduction>,
+}
+
+/// A merged run of one chain: boundary nodes plus the lumped resistance.
+struct MergedSegment {
+    left: NodeId,
+    right: NodeId,
+    ohms: f64,
+}
+
+fn reduce_pass(circuit: &Circuit, preserve: &[NodeId], tolerance: f64) -> Option<PassOutcome> {
+    let n = circuit.num_nodes();
+    // Resistive adjacency and grounded-cap elements per node, plus the
+    // blocked set (anything a non-R/simple-C element touches, plus
+    // ground and the preserve list).
+    let mut res_links: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); n];
+    let mut cap_at: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut blocked = vec![false; n];
+    blocked[GROUND] = true;
+    for &p in preserve {
+        if p < n {
+            blocked[p] = true;
+        }
+    }
+    for (idx, e) in circuit.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, .. } => {
+                res_links[*a].push((idx, *b));
+                res_links[*b].push((idx, *a));
+            }
+            Element::Capacitor {
+                a,
+                b,
+                initial_voltage: None,
+                ..
+            } if *b == GROUND => cap_at[*a].push(idx),
+            Element::Capacitor {
+                a,
+                b,
+                initial_voltage: None,
+                ..
+            } if *a == GROUND => cap_at[*b].push(idx),
+            other => {
+                // Floating caps, IC'd caps, inductors, and every source
+                // (controlling nodes included) pin their nodes.
+                for node in other.nodes() {
+                    blocked[node] = true;
+                }
+            }
+        }
+    }
+    let collapsible: Vec<bool> = (0..n)
+        .map(|x| {
+            !blocked[x]
+                && res_links[x].len() == 2
+                && res_links[x][0].1 != res_links[x][1].1
+                && cap_at[x].len() <= 1
+        })
+        .collect();
+
+    let resistance = |idx: usize| match &circuit.elements()[idx] {
+        Element::Resistor { ohms, .. } => *ohms,
+        _ => unreachable!("res_links holds resistors"),
+    };
+    let capacitance = |x: NodeId| {
+        cap_at[x]
+            .iter()
+            .map(|&idx| match &circuit.elements()[idx] {
+                Element::Capacitor { farads, .. } => *farads,
+                _ => unreachable!("cap_at holds capacitors"),
+            })
+            .sum::<f64>()
+    };
+
+    // Discover maximal chains and merge greedily under the budget.
+    let mut visited = vec![false; n];
+    let mut removed_node = vec![false; n];
+    let mut removed_elem = vec![false; circuit.elements().len()];
+    // Capacitance redistributed onto boundary nodes (BTreeMap: the
+    // leftover-cap emission order must be deterministic).
+    let mut extra_cap: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut merged: Vec<MergedSegment> = Vec::new();
+    let mut chains: Vec<ChainReduction> = Vec::new();
+    let mut nodes_removed = 0usize;
+
+    for x in 0..n {
+        if !collapsible[x] || visited[x] {
+            continue;
+        }
+        // The maximal chain through x: interiors are collapsible, the two
+        // anchors are not. `nodes` becomes the full path A, x₁ … x_k, B
+        // and `res` the k+1 resistor element indices between consecutive
+        // nodes.
+        visited[x] = true;
+        // Interiors found walking left of x (in walk order, reversed when
+        // the path is assembled) and right of x.
+        let mut left_interior = Vec::new();
+        let mut right_interior = Vec::new();
+        let mut res_left = Vec::new();
+        let mut res_right = Vec::new();
+        let mut cyclic = false;
+        for (dir, out) in [(0usize, &mut res_left), (1usize, &mut res_right)] {
+            let (mut edge, mut next) = res_links[x][dir];
+            let mut prev = x;
+            out.push(edge);
+            while collapsible[next] {
+                if visited[next] {
+                    cyclic = true; // Walked around a loop back into the chain.
+                    break;
+                }
+                visited[next] = true;
+                if dir == 0 {
+                    left_interior.push(next);
+                } else {
+                    right_interior.push(next);
+                }
+                // With distinct neighbors guaranteed, exactly one of the
+                // two links leads back to `prev`.
+                let (e2, n2) = if res_links[next][0].1 == prev {
+                    res_links[next][1]
+                } else {
+                    res_links[next][0]
+                };
+                prev = next;
+                edge = e2;
+                next = n2;
+                out.push(edge);
+            }
+            if cyclic {
+                break;
+            }
+            if dir == 0 {
+                out.reverse();
+            }
+        }
+        if cyclic {
+            continue; // Rings never reduce; their nodes stay visited.
+        }
+        let mut interior = Vec::with_capacity(left_interior.len() + 1 + right_interior.len());
+        interior.extend(left_interior.iter().rev().copied());
+        interior.push(x);
+        interior.extend_from_slice(&right_interior);
+        let other_end = |elem: usize, this: NodeId| {
+            let (a, b) = circuit.elements()[elem].terminals();
+            if a == this {
+                b
+            } else {
+                a
+            }
+        };
+        let left_anchor = other_end(res_left[0], interior[0]);
+        let right_anchor = other_end(
+            *res_right.last().expect("non-empty"),
+            *interior.last().expect("non-empty"),
+        );
+        if left_anchor == right_anchor {
+            // A lollipop: collapsing would short the anchor to itself.
+            continue;
+        }
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(interior.len() + 2);
+        nodes.push(left_anchor);
+        nodes.extend_from_slice(&interior);
+        nodes.push(right_anchor);
+        let mut res: Vec<usize> = res_left;
+        res.extend_from_slice(&res_right);
+        debug_assert_eq!(res.len(), nodes.len() - 1);
+
+        let r_chain: f64 = res.iter().map(|&e| resistance(e)).sum();
+        let c_chain: f64 = interior.iter().map(|&i| capacitance(i)).sum();
+        let tau = r_chain * c_chain;
+
+        // Prefix sums over the chain make every candidate-segment defect
+        // an O(1) query (the naive rescan is O(len) per extension, O(k²)
+        // per segment — quadratic on exactly the long chains this pass
+        // exists for). With `a_p` the resistance from `nodes[0]` to
+        // `nodes[p]` and `c_p` the interior cap at position p,
+        //   δ(s,e) = Σ c_p·(a_p−a_s) − Σ c_p·(a_p−a_s)² / (a_e−a_s)
+        // over p in s+1..e−1, which expands into differences of the
+        // running sums Σc, Σc·a and Σc·a².
+        let m = nodes.len();
+        let mut pref_r = vec![0.0f64; m];
+        for i in 1..m {
+            pref_r[i] = pref_r[i - 1] + resistance(res[i - 1]);
+        }
+        let (mut pc, mut pca, mut pca2) = (vec![0.0f64; m], vec![0.0f64; m], vec![0.0f64; m]);
+        for p in 1..m {
+            let c = if p + 1 < m {
+                capacitance(nodes[p])
+            } else {
+                0.0
+            };
+            pc[p] = pc[p - 1] + c;
+            pca[p] = pca[p - 1] + c * pref_r[p];
+            pca2[p] = pca2[p - 1] + c * pref_r[p] * pref_r[p];
+        }
+        let defect = |s: usize, e: usize| -> f64 {
+            let span = pref_r[e] - pref_r[s];
+            if span <= 0.0 {
+                return 0.0;
+            }
+            let da = pc[e - 1] - pc[s];
+            let db = pca[e - 1] - pca[s];
+            let dd = pca2[e - 1] - pca2[s];
+            let lin = db - pref_r[s] * da;
+            let quad = dd - 2.0 * pref_r[s] * db + pref_r[s] * pref_r[s] * da;
+            (lin - quad / span).max(0.0)
+        };
+
+        // Greedy left-to-right segmentation under the proportional rule:
+        // extend while δ_seg · R_chain ≤ tolerance · τ · R_seg.
+        let mut spent = 0.0f64;
+        let mut chain_removed = 0usize;
+        let mut s = 0usize; // segment start position in `nodes`
+        let mut e = 1usize; // current segment end position
+        let mut seg_defect = 0.0f64;
+        while e < nodes.len() {
+            let fits = if e + 1 < nodes.len() {
+                let d = defect(s, e + 1);
+                let r_seg = pref_r[e + 1] - pref_r[s];
+                if d * r_chain <= tolerance * tau * r_seg {
+                    seg_defect = d;
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            if fits {
+                e += 1;
+                continue;
+            }
+            // Close the segment covering positions s..=e.
+            if e - s >= 2 {
+                commit_segment(
+                    &nodes,
+                    &res,
+                    s,
+                    e,
+                    &resistance,
+                    &capacitance,
+                    &cap_at,
+                    &mut removed_node,
+                    &mut removed_elem,
+                    &mut extra_cap,
+                    &mut merged,
+                );
+                spent += seg_defect;
+                chain_removed += e - s - 1;
+            }
+            s = e;
+            e += 1;
+            seg_defect = 0.0;
+        }
+        if chain_removed > 0 {
+            nodes_removed += chain_removed;
+            chains.push(ChainReduction {
+                left: circuit.node_name(left_anchor).to_owned(),
+                right: circuit.node_name(right_anchor).to_owned(),
+                nodes_removed: chain_removed,
+                defect: spent,
+                tau,
+            });
+        }
+    }
+
+    if nodes_removed == 0 {
+        return None;
+    }
+
+    // Rebuild: surviving nodes in original id order (names preserved),
+    // surviving elements in original order with boundary caps absorbing
+    // their redistributed share, then the merged equivalents.
+    let mut out = Circuit::new();
+    for (id, removed) in removed_node.iter().enumerate() {
+        if !removed {
+            out.node(circuit.node_name(id));
+        }
+    }
+    let remap: Vec<NodeId> = (0..n)
+        .map(|id| {
+            if removed_node[id] {
+                usize::MAX
+            } else {
+                out.find_node(circuit.node_name(id))
+                    .expect("surviving node was recreated")
+            }
+        })
+        .collect();
+    for (idx, elem) in circuit.elements().iter().enumerate() {
+        if removed_elem[idx] {
+            continue;
+        }
+        copy_element(&mut out, elem, &remap, &mut extra_cap);
+    }
+    let mut fresh = 1usize;
+    for seg in &merged {
+        let name = fresh_name(&out, "Rred", &mut fresh);
+        out.add_resistor(&name, remap[seg.left], remap[seg.right], seg.ohms)
+            .expect("merged resistor is valid");
+    }
+    let mut fresh = 1usize;
+    for (&node, &farads) in extra_cap.iter() {
+        // Shares aimed at ground vanish (a grounded cap at ground is no
+        // element, and dropping it is electrically exact); degenerate
+        // underflowed-to-zero shares are dropped too.
+        if node == GROUND || farads <= 0.0 {
+            continue;
+        }
+        let name = fresh_name(&out, "Cred", &mut fresh);
+        out.add_capacitor(&name, remap[node], GROUND, farads)
+            .expect("redistributed capacitor is valid");
+    }
+
+    Some(PassOutcome {
+        circuit: out,
+        nodes_removed,
+        chains,
+    })
+}
+
+/// Marks the segment's interior nodes, resistors, and grounded caps
+/// removed, and records its lumped equivalent: one resistor of the span
+/// plus proportional cap shares on the two boundary nodes.
+#[allow(clippy::too_many_arguments)]
+fn commit_segment(
+    nodes: &[NodeId],
+    res: &[usize],
+    s: usize,
+    e: usize,
+    resistance: &impl Fn(usize) -> f64,
+    capacitance: &impl Fn(NodeId) -> f64,
+    cap_at: &[Vec<usize>],
+    removed_node: &mut [bool],
+    removed_elem: &mut [bool],
+    extra_cap: &mut BTreeMap<NodeId, f64>,
+    merged: &mut Vec<MergedSegment>,
+) {
+    let span: f64 = res[s..e].iter().map(|&i| resistance(i)).sum();
+    let mut cum = 0.0f64;
+    for pos in s..e {
+        removed_elem[res[pos]] = true;
+        if pos > s {
+            let x = nodes[pos];
+            removed_node[x] = true;
+            for &idx in &cap_at[x] {
+                removed_elem[idx] = true;
+            }
+            let c = capacitance(x);
+            if c > 0.0 && span > 0.0 {
+                *extra_cap.entry(nodes[s]).or_insert(0.0) += c * (span - cum) / span;
+                *extra_cap.entry(nodes[e]).or_insert(0.0) += c * cum / span;
+            }
+        }
+        cum += resistance(res[pos]);
+    }
+    merged.push(MergedSegment {
+        left: nodes[s],
+        right: nodes[e],
+        ohms: span,
+    });
+}
+
+/// Copies one surviving element into the reduced circuit, letting a
+/// boundary node's existing grounded equilibrium cap absorb its
+/// redistributed share.
+fn copy_element(
+    out: &mut Circuit,
+    elem: &Element,
+    remap: &[NodeId],
+    extra_cap: &mut BTreeMap<NodeId, f64>,
+) {
+    match elem {
+        Element::Resistor { name, a, b, ohms } => {
+            out.add_resistor(name, remap[*a], remap[*b], *ohms)
+                .expect("valid");
+        }
+        Element::Capacitor {
+            name,
+            a,
+            b,
+            farads,
+            initial_voltage,
+        } => {
+            let mut farads = *farads;
+            if initial_voltage.is_none() {
+                let signal = if *b == GROUND {
+                    Some(*a)
+                } else if *a == GROUND {
+                    Some(*b)
+                } else {
+                    None
+                };
+                if let Some(node) = signal {
+                    if let Some(extra) = extra_cap.remove(&node) {
+                        farads += extra;
+                    }
+                }
+            }
+            out.add_capacitor_ic(name, remap[*a], remap[*b], farads, *initial_voltage)
+                .expect("valid");
+        }
+        Element::Inductor {
+            name,
+            a,
+            b,
+            henries,
+            initial_current,
+        } => {
+            out.add_inductor_ic(name, remap[*a], remap[*b], *henries, *initial_current)
+                .expect("valid");
+        }
+        Element::VoltageSource {
+            name,
+            pos,
+            neg,
+            waveform,
+        } => {
+            out.add_vsource(name, remap[*pos], remap[*neg], waveform.clone())
+                .expect("valid");
+        }
+        Element::CurrentSource {
+            name,
+            from,
+            to,
+            waveform,
+        } => {
+            out.add_isource(name, remap[*from], remap[*to], waveform.clone())
+                .expect("valid");
+        }
+        Element::Vccs {
+            name,
+            from,
+            to,
+            cpos,
+            cneg,
+            gm,
+        } => {
+            out.add_vccs(
+                name,
+                remap[*from],
+                remap[*to],
+                remap[*cpos],
+                remap[*cneg],
+                *gm,
+            )
+            .expect("valid");
+        }
+        Element::Vcvs {
+            name,
+            pos,
+            neg,
+            cpos,
+            cneg,
+            gain,
+        } => {
+            out.add_vcvs(
+                name,
+                remap[*pos],
+                remap[*neg],
+                remap[*cpos],
+                remap[*cneg],
+                *gain,
+            )
+            .expect("valid");
+        }
+        Element::Cccs {
+            name,
+            from,
+            to,
+            control,
+            gain,
+        } => {
+            out.add_cccs(name, remap[*from], remap[*to], control, *gain)
+                .expect("valid");
+        }
+        Element::Ccvs {
+            name,
+            pos,
+            neg,
+            control,
+            r,
+        } => {
+            out.add_ccvs(name, remap[*pos], remap[*neg], control, *r)
+                .expect("valid");
+        }
+    }
+}
+
+/// A `{prefix}{k}` name not already used in `out`, advancing `k`.
+fn fresh_name(out: &Circuit, prefix: &str, k: &mut usize) -> String {
+    loop {
+        let name = format!("{prefix}{k}");
+        *k += 1;
+        if out.element(&name).is_none() {
+            return name;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{rc_line, rc_mesh};
+    use crate::waveform::Waveform;
+
+    fn opts(tol: f64) -> ReduceOptions {
+        ReduceOptions {
+            enabled: true,
+            tolerance: tol,
+        }
+    }
+
+    fn total_ground_cap(c: &Circuit) -> f64 {
+        c.elements_of_kind('C')
+            .filter_map(|e| match e {
+                Element::Capacitor { a, b, farads, .. } if *a == GROUND || *b == GROUND => {
+                    Some(*farads)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn long_chain_collapses_hard() {
+        let g = rc_line(256, 100.0, 1e-12, Waveform::step(0.0, 5.0));
+        let red = reduce(&g.circuit, &[g.output], &opts(0.02));
+        assert!(
+            red.report.nodes_removed > 200,
+            "only removed {}",
+            red.report.nodes_removed
+        );
+        assert!(red.circuit.num_nodes() < 30, "{}", red.circuit.num_nodes());
+        // Output and source nodes survive under their own names.
+        let out = red.map_node(g.output).expect("output preserved");
+        assert_eq!(red.circuit.node_name(out), "n256");
+        assert!(red.circuit.find_node("in").is_some());
+        // Conservation: total grounded capacitance is exact.
+        let before = total_ground_cap(&g.circuit);
+        let after = total_ground_cap(&red.circuit);
+        assert!(
+            ((after - before) / before).abs() < 1e-9,
+            "{before} vs {after}"
+        );
+        // The documented per-pass bound holds per chain.
+        for chain in &red.report.chains {
+            assert!(chain.bound() <= 0.02 + 1e-12, "{}", chain.bound());
+        }
+    }
+
+    #[test]
+    fn reduction_reaches_a_fixpoint() {
+        let g = rc_line(300, 50.0, 2e-13, Waveform::step(0.0, 5.0));
+        let once = reduce(&g.circuit, &[g.output], &opts(0.05));
+        assert!(once.report.changed());
+        let out = once.map_node(g.output).unwrap();
+        let twice = reduce(&once.circuit, &[out], &opts(0.05));
+        assert_eq!(twice.report.nodes_removed, 0, "idempotent");
+        assert_eq!(once.circuit.to_deck(), twice.circuit.to_deck());
+    }
+
+    #[test]
+    fn mesh_interiors_are_untouched() {
+        let g = rc_mesh(6, 6, 10.0, 1e-13, Waveform::step(0.0, 5.0));
+        let red = reduce(&g.circuit, &[g.output], &opts(0.1));
+        // Grid interiors have resistive degree 3-4; the three undriven
+        // corners are degree-2 but their defect/τ ratio is 1/4, past the
+        // tolerance. Nothing merges.
+        assert_eq!(
+            red.circuit.num_nodes(),
+            g.circuit.num_nodes(),
+            "mesh reduction is a no-op"
+        );
+        assert!(!red.report.changed());
+        assert_eq!(red.report.passes, 1);
+    }
+
+    #[test]
+    fn guards_pin_sources_inductors_and_floating_caps() {
+        // in -V- n1 - n2 - n3: a short chain we then pin in various ways.
+        let mut c = Circuit::new();
+        let n_in = c.node("in");
+        let n1 = c.node("n1");
+        let n2 = c.node("n2");
+        let n3 = c.node("n3");
+        c.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
+        c.add_resistor("R1", n_in, n1, 10.0).unwrap();
+        c.add_resistor("R2", n1, n2, 10.0).unwrap();
+        c.add_resistor("R3", n2, n3, 10.0).unwrap();
+        c.add_capacitor("C1", n1, GROUND, 1e-12).unwrap();
+        c.add_capacitor("C2", n2, GROUND, 1e-12).unwrap();
+        c.add_capacitor("C3", n3, GROUND, 1e-12).unwrap();
+
+        // Baseline: n1 and n2 collapse under a huge tolerance.
+        let red = reduce(&c, &[n3], &opts(10.0));
+        assert_eq!(red.report.nodes_removed, 2);
+
+        // A floating (coupling) cap on n1 pins it.
+        let mut coupled = c.clone();
+        coupled.add_capacitor("CC", n1, n3, 1e-13).unwrap();
+        let red = reduce(&coupled, &[n3], &opts(10.0));
+        assert!(red.map_node(n1).is_some(), "coupled node survives");
+
+        // An inductor terminal pins n2.
+        let mut ind = c.clone();
+        ind.add_inductor("L1", n2, GROUND, 1e-9).unwrap();
+        let red = reduce(&ind, &[n3], &opts(10.0));
+        assert!(red.map_node(n2).is_some(), "inductor node survives");
+
+        // An IC'd cap pins its node.
+        let mut ic = c.clone();
+        ic.remove_element("C1").unwrap();
+        ic.add_capacitor_ic("C1", n1, GROUND, 1e-12, Some(2.5))
+            .unwrap();
+        let red = reduce(&ic, &[n3], &opts(10.0));
+        assert!(red.map_node(n1).is_some(), "IC'd node survives");
+
+        // A current source into n1 pins it.
+        let mut isrc = c.clone();
+        isrc.add_isource("I1", GROUND, n1, Waveform::dc(1e-3))
+            .unwrap();
+        let red = reduce(&isrc, &[n3], &opts(10.0));
+        assert!(red.map_node(n1).is_some(), "driven node survives");
+
+        // Preserving n1 explicitly pins it.
+        let red = reduce(&c, &[n1, n3], &opts(10.0));
+        assert!(red.map_node(n1).is_some(), "preserved node survives");
+        assert!(red.map_node(n2).is_none(), "unpreserved interior goes");
+    }
+
+    #[test]
+    fn elmore_delay_is_preserved_exactly() {
+        // Non-uniform chain: Elmore at the sink is Σⱼ Cⱼ·R(source→j).
+        let mut c = Circuit::new();
+        let n_in = c.node("in");
+        c.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
+        let rs = [10.0, 47.0, 3.0, 120.0, 8.0, 33.0];
+        let cs = [1e-12, 5e-13, 2e-12, 8e-13, 3e-12, 1e-13];
+        let mut prev = n_in;
+        let mut nodes = Vec::new();
+        for (i, (&r, &cv)) in rs.iter().zip(&cs).enumerate() {
+            let node = c.node(&format!("n{}", i + 1));
+            c.add_resistor(&format!("R{}", i + 1), prev, node, r)
+                .unwrap();
+            c.add_capacitor(&format!("C{}", i + 1), node, GROUND, cv)
+                .unwrap();
+            nodes.push(node);
+            prev = node;
+        }
+        let sink = *nodes.last().unwrap();
+        let elmore = |rs: &[f64], cs: &[f64]| {
+            let mut cum = 0.0;
+            let mut d = 0.0;
+            for (r, c) in rs.iter().zip(cs) {
+                cum += r;
+                d += c * cum;
+            }
+            d
+        };
+        let before = elmore(&rs, &cs);
+        let red = reduce(&c, &[sink], &opts(1e9)); // everything merges
+        assert!(red.report.nodes_removed >= 4);
+        // Walk the reduced chain from "in" to the sink, re-deriving its
+        // r/c sequence.
+        let mut rs2 = Vec::new();
+        let mut cs2 = Vec::new();
+        let mut at = red.circuit.find_node("in").unwrap();
+        let target = red.map_node(sink).unwrap();
+        let mut seen = vec![at];
+        while at != target {
+            let next = red
+                .circuit
+                .elements_of_kind('R')
+                .find_map(|e| {
+                    let (a, b) = e.terminals();
+                    let ohms = match e {
+                        Element::Resistor { ohms, .. } => *ohms,
+                        _ => unreachable!(),
+                    };
+                    if a == at && !seen.contains(&b) {
+                        Some((b, ohms))
+                    } else if b == at && !seen.contains(&a) {
+                        Some((a, ohms))
+                    } else {
+                        None
+                    }
+                })
+                .expect("chain continues");
+            rs2.push(next.1);
+            let cap: f64 = red
+                .circuit
+                .elements_of_kind('C')
+                .filter_map(|e| match e {
+                    Element::Capacitor { a, b, farads, .. }
+                        if (*a == next.0 && *b == GROUND) || (*b == next.0 && *a == GROUND) =>
+                    {
+                        Some(*farads)
+                    }
+                    _ => None,
+                })
+                .sum();
+            cs2.push(cap);
+            seen.push(next.0);
+            at = next.0;
+        }
+        let after = elmore(&rs2, &cs2);
+        // The share redistributed onto the source node sits behind an
+        // ideal source and contributes no delay; everything downstream
+        // matches exactly.
+        assert!(
+            ((after - before) / before).abs() < 1e-9,
+            "{before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn purely_resistive_runs_merge_exactly() {
+        let mut c = Circuit::new();
+        let n_in = c.node("in");
+        let n1 = c.node("n1");
+        let n2 = c.node("n2");
+        let n3 = c.node("out");
+        c.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
+        c.add_resistor("R1", n_in, n1, 10.0).unwrap();
+        c.add_resistor("R2", n1, n2, 20.0).unwrap();
+        c.add_resistor("R3", n2, n3, 30.0).unwrap();
+        c.add_capacitor("CL", n3, GROUND, 1e-12).unwrap();
+        let red = reduce(&c, &[n3], &opts(0.0)); // zero tolerance
+        assert_eq!(red.report.nodes_removed, 2, "δ = 0 runs always merge");
+        let merged = red
+            .circuit
+            .elements_of_kind('R')
+            .next()
+            .expect("one merged resistor");
+        match merged {
+            Element::Resistor { ohms, .. } => assert!((ohms - 60.0).abs() < 1e-12),
+            _ => unreachable!(),
+        }
+        assert_eq!(red.report.bound(), 0.0);
+    }
+}

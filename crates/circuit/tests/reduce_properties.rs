@@ -1,0 +1,207 @@
+//! Property-based tests for the RC-chain reduction pre-pass: the
+//! invariants the rewrite promises for *every* input, not just the
+//! hand-picked unit cases — idempotence, node-map fidelity, conservation
+//! of ground capacitance and Elmore delay, and the never-reduce guards.
+
+use proptest::prelude::*;
+
+use awe_circuit::generators::random_rc_tree;
+use awe_circuit::{reduce, Circuit, Element, NodeId, ReduceOptions, Waveform, GROUND};
+
+fn opts(tolerance: f64) -> ReduceOptions {
+    ReduceOptions {
+        enabled: true,
+        tolerance,
+    }
+}
+
+/// A chain with per-stage jittered values, deterministic in the inputs.
+/// Returns the circuit, the sink node, and the (r, c) sequence.
+fn jittered_chain(stages: &[(f64, f64)]) -> (Circuit, NodeId) {
+    let mut c = Circuit::new();
+    let n_in = c.node("in");
+    c.add_vsource("V1", n_in, GROUND, Waveform::step(0.0, 1.0))
+        .unwrap();
+    let mut prev = n_in;
+    for (i, &(r, cap)) in stages.iter().enumerate() {
+        let node = c.node(&format!("n{}", i + 1));
+        c.add_resistor(&format!("R{}", i + 1), prev, node, r)
+            .unwrap();
+        c.add_capacitor(&format!("C{}", i + 1), node, GROUND, cap)
+            .unwrap();
+        prev = node;
+    }
+    (c, prev)
+}
+
+/// Total capacitance to ground (grounded caps only; the generators used
+/// here produce no floating caps).
+fn ground_cap(c: &Circuit) -> f64 {
+    c.elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::Capacitor { a, b, farads, .. } if *a == GROUND || *b == GROUND => {
+                Some(*farads)
+            }
+            _ => None,
+        })
+        .sum()
+}
+
+/// Elmore delay at the far end of a pure chain: walk the resistor path
+/// from `start`, accumulating `Σ C_k · R(cumulative)`.
+fn chain_elmore(c: &Circuit, start: NodeId, sink: NodeId) -> f64 {
+    let cap_at = |n: NodeId| -> f64 {
+        c.elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::Capacitor { a, b, farads, .. }
+                    if (*a == n && *b == GROUND) || (*b == n && *a == GROUND) =>
+                {
+                    Some(*farads)
+                }
+                _ => None,
+            })
+            .sum()
+    };
+    let mut at = start;
+    let mut seen = vec![at];
+    let mut cum = 0.0;
+    let mut delay = cap_at(at) * cum;
+    while at != sink {
+        let (next, ohms) = c
+            .elements()
+            .iter()
+            .find_map(|e| match e {
+                Element::Resistor { a, b, ohms, .. } => {
+                    if *a == at && !seen.contains(b) {
+                        Some((*b, *ohms))
+                    } else if *b == at && !seen.contains(a) {
+                        Some((*a, *ohms))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            })
+            .expect("chain stays a connected resistor path");
+        cum += ohms;
+        delay += cap_at(next) * cum;
+        at = next;
+        seen.push(at);
+    }
+    delay
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reduction_is_idempotent(
+        n in 2usize..40,
+        seed in 0u64..1000,
+        tol_i in 0usize..5,
+    ) {
+        let tol = [0.0, 0.01, 0.05, 0.5, 1e6][tol_i];
+        let g = random_rc_tree(n, (1.0, 1e3), (1e-15, 1e-11), seed, Waveform::step(0.0, 1.0));
+        let first = reduce(&g.circuit, &[g.output], &opts(tol));
+        let out1 = first.map_node(g.output).expect("preserved node survives");
+        let second = reduce(&first.circuit, &[out1], &opts(tol));
+        prop_assert!(!second.report.changed(), "second reduce must be a no-op");
+        prop_assert_eq!(second.report.passes, 1);
+        prop_assert_eq!(
+            second.circuit.to_deck(),
+            first.circuit.to_deck(),
+            "fixpoint is byte-identical"
+        );
+    }
+
+    #[test]
+    fn node_map_round_trips_surviving_names(n in 2usize..40, seed in 0u64..1000) {
+        let g = random_rc_tree(n, (1.0, 1e3), (1e-15, 1e-11), seed, Waveform::step(0.0, 1.0));
+        let red = reduce(&g.circuit, &[g.output], &opts(0.05));
+        // The preserved observation node survives under its own name.
+        let mapped = red.map_node(g.output).expect("preserved node survives");
+        prop_assert_eq!(
+            red.circuit.node_name(mapped),
+            g.circuit.node_name(g.output)
+        );
+        // Every mapped node keeps its original name, and every name the
+        // map claims is actually in the reduced circuit.
+        for id in 0..g.circuit.num_nodes() {
+            if let Some(j) = red.map_node(id) {
+                let name = g.circuit.node_name(id);
+                prop_assert_eq!(red.circuit.node_name(j), name);
+                prop_assert_eq!(red.circuit.find_node(name), Some(j));
+            }
+        }
+        // Ground always maps to ground.
+        prop_assert_eq!(red.map_node(GROUND), Some(GROUND));
+    }
+
+    #[test]
+    fn ground_capacitance_and_elmore_are_conserved(
+        stages in proptest::collection::vec((1.0f64..500.0, 1e-14f64..5e-12), 3..48),
+        tol_i in 0usize..3,
+    ) {
+        let tol = [0.02, 0.2, 1e9][tol_i];
+        let (c, sink) = jittered_chain(&stages);
+        let n_in = c.find_node("in").unwrap();
+        let before_cap = ground_cap(&c);
+        let before_elmore = chain_elmore(&c, n_in, sink);
+
+        let red = reduce(&c, &[sink], &opts(tol));
+        let after_cap = ground_cap(&red.circuit);
+        prop_assert!(
+            ((after_cap - before_cap) / before_cap).abs() < 1e-9,
+            "ground capacitance drifted: {before_cap:e} -> {after_cap:e}"
+        );
+        let in2 = red.circuit.find_node("in").unwrap();
+        let sink2 = red.map_node(sink).unwrap();
+        let after_elmore = chain_elmore(&red.circuit, in2, sink2);
+        prop_assert!(
+            ((after_elmore - before_elmore) / before_elmore).abs() < 1e-9,
+            "Elmore delay drifted: {before_elmore:e} -> {after_elmore:e}"
+        );
+        // And the report's measured bound respects the configured budget.
+        prop_assert!(red.report.bound() <= tol + 1e-12);
+    }
+
+    #[test]
+    fn guards_pin_blocked_nodes(
+        stages in proptest::collection::vec((1.0f64..500.0, 1e-14f64..5e-12), 4..24),
+        pin in 1usize..23,
+        kind in 0u8..4,
+    ) {
+        prop_assume!(pin < stages.len());
+        let (mut c, sink) = jittered_chain(&stages);
+        let pinned = c.find_node(&format!("n{pin}")).unwrap();
+        match kind {
+            0 => {
+                c.add_inductor("LP", pinned, GROUND, 1e-9).unwrap();
+            }
+            1 => {
+                // Floating cap to the sink pins both terminals.
+                c.add_capacitor("CP", pinned, sink, 1e-14).unwrap();
+            }
+            2 => {
+                c.add_isource("IP", GROUND, pinned, Waveform::dc(1e-3)).unwrap();
+            }
+            _ => {
+                c.remove_element(&format!("C{pin}")).unwrap();
+                c.add_capacitor_ic(&format!("C{pin}"), pinned, GROUND, 1e-13, Some(1.0))
+                    .unwrap();
+            }
+        }
+        let red = reduce(&c, &[sink], &opts(1e9));
+        prop_assert!(
+            red.map_node(pinned).is_some(),
+            "blocked node n{pin} (kind {kind}) must survive any tolerance"
+        );
+        // Explicit preservation pins an otherwise collapsible node too.
+        let (c2, sink2) = jittered_chain(&stages);
+        let keep = c2.find_node(&format!("n{pin}")).unwrap();
+        let red2 = reduce(&c2, &[sink2, keep], &opts(1e9));
+        prop_assert!(red2.map_node(keep).is_some(), "preserved node must survive");
+    }
+}

@@ -10,6 +10,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use awe_circuit::{Circuit, NodeId};
+use awe_circuit::{ReduceOptions, Reduced};
 use awe_mna::{MnaSystem, MomentEngine, MomentWorkspace, Piece};
 use awe_numeric::SharedSymbolic;
 use awe_obs::Health;
@@ -196,6 +197,27 @@ impl AweEngine {
             pattern: Mutex::new(None),
             workspace: Mutex::new(MomentWorkspace::new()),
         })
+    }
+
+    /// Builds the engine on an RC-chain-reduced rewrite of `circuit`
+    /// (see [`awe_circuit::reduce`]), preserving `preserve` (observation
+    /// nodes) under their original names. Returns the engine together
+    /// with the [`Reduced`] handle — use [`Reduced::map_node`] to
+    /// translate original node ids into the reduced system the engine
+    /// solves, and `reduced.report` for the removal accounting and the
+    /// measured error bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MNA assembly failures on the reduced circuit.
+    pub fn with_reduction(
+        circuit: &Circuit,
+        preserve: &[NodeId],
+        opts: &ReduceOptions,
+    ) -> Result<(Self, Reduced), AweError> {
+        let reduced = awe_circuit::reduce(circuit, preserve, opts);
+        let engine = AweEngine::new(&reduced.circuit)?;
+        Ok((engine, reduced))
     }
 
     /// Seeds the sparse-LU pattern cache: a symbolic analysis recorded by

@@ -63,6 +63,7 @@ mod response;
 mod terms;
 pub mod twopole;
 
+pub use awe_circuit::{reduce, ReduceOptions, Reduced, ReductionReport};
 pub use awe_numeric::{LuSymbolic, SharedSymbolic};
 pub use engine::{AweEngine, AweOptions, OrderReport, StageTimings};
 pub use error::AweError;

@@ -141,6 +141,10 @@ pub struct RunOpts {
     pub auto_target: Option<f64>,
     /// Order ceiling in automatic mode.
     pub max_order: Option<usize>,
+    /// Enable the RC-chain reduction pre-pass for this session.
+    pub reduce: Option<bool>,
+    /// Reduction tolerance override (relative moment-defect budget per pass).
+    pub reduce_tol: Option<f64>,
 }
 
 /// A parsed request.
@@ -297,11 +301,28 @@ fn parse_opts(value: Option<&Json>) -> Result<RunOpts, ServeError> {
                 .ok_or_else(|| bad("field `opts.auto` must be a positive number"))?,
         ),
     };
+    let reduce = match obj.get("reduce") {
+        None => None,
+        Some(v) => Some(
+            v.as_bool()
+                .ok_or_else(|| bad("field `opts.reduce` must be a boolean"))?,
+        ),
+    };
+    let reduce_tol = match obj.get("reduce_tol") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .filter(|t| *t >= 0.0)
+                .ok_or_else(|| bad("field `opts.reduce_tol` must be a non-negative number"))?,
+        ),
+    };
     Ok(RunOpts {
         threads: opt_usize(obj, "threads")?,
         order: opt_usize(obj, "order")?,
         auto_target,
         max_order: opt_usize(obj, "max_order")?,
+        reduce,
+        reduce_tol,
     })
 }
 

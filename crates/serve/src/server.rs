@@ -192,6 +192,7 @@ fn dispatch(state: &ServeState, req: Request) -> Reply {
                     ("nets", Json::from(summary.nets)),
                     ("dirty_value", Json::from(summary.dirty_value)),
                     ("dirty_topology", Json::from(summary.dirty_topology)),
+                    ("swept", Json::from(summary.swept)),
                     ("solves", Json::from(summary.solves)),
                     ("cache_hits", Json::from(summary.cache_hits)),
                     ("pattern_hits", Json::from(summary.pattern_hits)),

@@ -26,9 +26,9 @@
 //! that a value-only ECO performs zero new symbolic analyses.
 
 use std::collections::HashMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use awe_batch::{BatchEngine, BatchOptions, BatchRun, Design};
+use awe_batch::{net_keys, BatchEngine, BatchOptions, BatchRun, Design, NetSpec};
 
 use crate::eco::EcoOp;
 use crate::protocol::{ErrorCode, RunOpts, ServeError};
@@ -117,6 +117,9 @@ pub struct AnalyzeSummary {
     pub dirty_value: usize,
     /// Nets that were topology-dirty going in.
     pub dirty_topology: usize,
+    /// Nets the engine actually visited: the whole design on the first
+    /// (cold) analyze, only the dirty subset on warm re-analyses.
+    pub swept: usize,
     /// AWE solves performed.
     pub solves: usize,
     /// Results served from the cache.
@@ -168,12 +171,19 @@ impl Session {
         if let Some(max_order) = overrides.max_order {
             opts.max_order = max_order;
         }
+        if let Some(enabled) = overrides.reduce {
+            opts.reduce.enabled = enabled;
+        }
+        if let Some(tol) = overrides.reduce_tol {
+            opts.reduce.tolerance = tol;
+        }
         let mut states = HashMap::with_capacity(design.len());
         let mut groups: HashMap<u64, usize> = HashMap::new();
         for net in design.nets() {
+            let (hash, pattern) = net_keys(net, &opts.reduce);
             let state = NetState {
-                hash: net.hash(),
-                pattern: net.pattern_key(),
+                hash,
+                pattern,
                 dirty: Dirty::Clean,
             };
             *groups.entry(state.pattern).or_insert(0) += 1;
@@ -246,8 +256,12 @@ impl Session {
             let circuit = staged.remove(net).expect("staged");
             let spec = self.design.net_mut(net).expect("validated above");
             spec.circuit = circuit;
-            let new_hash = spec.hash();
-            let new_pattern = spec.pattern_key();
+            // Keys come from the *prepared* net: with the reduction
+            // pre-pass enabled these derive from the reduced rewrite, so
+            // an ECO inside a collapsed chain reclassifies by what it did
+            // to the reduced topology (value shift vs. shifted segment
+            // boundaries), never against a stale pattern.
+            let (new_hash, new_pattern) = net_keys(spec, &self.opts.reduce);
             let state = self.states.get_mut(net).expect("state tracks design");
 
             if new_hash == state.hash {
@@ -303,6 +317,15 @@ impl Session {
     /// the result cache; value-dirty nets refactor against their group's
     /// cached symbolic pattern; topology-dirty nets factor cold (or seed
     /// their new group).
+    ///
+    /// The first analyze sweeps the whole design. Warm re-analyses hand
+    /// the engine only the *dirty* subset — the previous run's results
+    /// stay current for every clean net (their hashes are unchanged, so a
+    /// full sweep could only re-serve them from the cache) — and splice
+    /// the fresh results back into the retained run by net name. Clean
+    /// nets still count as `cache_hits` in the summary, so the counters
+    /// read identically to a full sweep; `swept` records how many nets
+    /// the engine actually visited.
     pub fn analyze(&mut self) -> AnalyzeSummary {
         let mut dirty_value = 0usize;
         let mut dirty_topology = 0usize;
@@ -313,27 +336,93 @@ impl Session {
                 Dirty::Topology => dirty_topology += 1,
             }
         }
-        let run = self.engine.run(&self.design, &self.opts);
+
+        if self.last.is_none() {
+            // Cold: nothing to splice into, sweep everything.
+            let run = self.engine.run(&self.design, &self.opts);
+            for state in self.states.values_mut() {
+                state.dirty = Dirty::Clean;
+            }
+            self.stats.analyses += 1;
+            self.stats.solves += run.solves as u64;
+            self.stats.cache_hits += run.cache_hits as u64;
+            self.stats.pattern_hits += run.pattern_hits as u64;
+            let summary = AnalyzeSummary {
+                nets: run.results.len(),
+                dirty_value,
+                dirty_topology,
+                swept: run.results.len(),
+                solves: run.solves,
+                cache_hits: run.cache_hits,
+                pattern_hits: run.pattern_hits,
+                new_symbolic: run.solves.saturating_sub(run.pattern_hits),
+                failures: run.results.iter().filter(|r| r.error.is_some()).count(),
+                wall: run.wall,
+            };
+            self.last = Some(run);
+            return summary;
+        }
+
+        let start = Instant::now();
+        let dirty_nets: Vec<NetSpec> = self
+            .design
+            .nets()
+            .iter()
+            .filter(|n| self.states[&n.name].dirty != Dirty::Clean)
+            .cloned()
+            .collect();
+        let swept = dirty_nets.len();
+        let clean = self.design.len() - swept;
+        let (solves, cache_hits, pattern_hits, wall) = if swept == 0 {
+            (0, clean, 0, start.elapsed())
+        } else {
+            let sub = Design::from_nets(self.design.name.clone(), dirty_nets);
+            let run = self.engine.run(&sub, &self.opts);
+            let last = self.last.as_mut().expect("warm path has a run");
+            let pos: HashMap<String, usize> = last
+                .results
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (r.name.clone(), i))
+                .collect();
+            let totals = (
+                run.solves,
+                clean + run.cache_hits,
+                run.pattern_hits,
+                run.wall,
+            );
+            last.wall = run.wall;
+            last.solves = run.solves;
+            last.cache_hits = clean + run.cache_hits;
+            last.pattern_hits = run.pattern_hits;
+            last.pool = run.pool;
+            for (res, timing) in run.results.into_iter().zip(run.timings) {
+                let i = pos[&res.name];
+                last.results[i] = res;
+                last.timings[i] = timing;
+            }
+            totals
+        };
         for state in self.states.values_mut() {
             state.dirty = Dirty::Clean;
         }
         self.stats.analyses += 1;
-        self.stats.solves += run.solves as u64;
-        self.stats.cache_hits += run.cache_hits as u64;
-        self.stats.pattern_hits += run.pattern_hits as u64;
-        let summary = AnalyzeSummary {
-            nets: run.results.len(),
+        self.stats.solves += solves as u64;
+        self.stats.cache_hits += cache_hits as u64;
+        self.stats.pattern_hits += pattern_hits as u64;
+        let last = self.last.as_ref().expect("warm path has a run");
+        AnalyzeSummary {
+            nets: last.results.len(),
             dirty_value,
             dirty_topology,
-            solves: run.solves,
-            cache_hits: run.cache_hits,
-            pattern_hits: run.pattern_hits,
-            new_symbolic: run.solves.saturating_sub(run.pattern_hits),
-            failures: run.results.iter().filter(|r| r.error.is_some()).count(),
-            wall: run.wall,
-        };
-        self.last = Some(run);
-        summary
+            swept,
+            solves,
+            cache_hits,
+            pattern_hits,
+            new_symbolic: solves.saturating_sub(pattern_hits),
+            failures: last.results.iter().filter(|r| r.error.is_some()).count(),
+            wall,
+        }
     }
 }
 
@@ -382,6 +471,32 @@ mod tests {
         assert_eq!(warm.pattern_hits, 1);
         assert_eq!(warm.new_symbolic, 0, "value-only ECO: pure refactor");
         assert_eq!(s.stats.new_symbolic(), baseline);
+    }
+
+    #[test]
+    fn warm_analyze_sweeps_only_the_dirty_subset() {
+        let mut s = chains_session(6, 20);
+        let cold = s.analyze();
+        assert_eq!(cold.swept, 6, "cold analyze sweeps the whole design");
+
+        s.apply_ops(&[EcoOp::Resize {
+            net: "net0004".into(),
+            element: "R3".into(),
+            value: 55.0,
+        }])
+        .unwrap();
+        let warm = s.analyze();
+        assert_eq!(warm.swept, 1, "warm analyze visits only the dirty net");
+        assert_eq!(warm.solves, 1);
+        assert_eq!(warm.cache_hits, 5, "clean nets still read as cache hits");
+        let last = s.last_run().expect("analyzed");
+        assert_eq!(last.results.len(), 6, "spliced run reports every net");
+        assert_eq!(last.results[3].name, "net0004", "design order preserved");
+        assert!(!last.results[3].cache_hit, "the dirty net was re-solved");
+
+        // Nothing dirty: the engine is not consulted at all.
+        let idle = s.analyze();
+        assert_eq!((idle.swept, idle.solves, idle.cache_hits), (0, 0, 6));
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Cache accounting with the reduction pre-pass enabled: session keys
+//! derive from the *reduced* rewrite, so an ECO that lands inside a
+//! collapsed chain segment must still reclassify correctly — a small
+//! resize is a value edit (same reduced topology, pure refactor), a
+//! drastic one shifts the segment boundaries themselves and must be
+//! treated as topology. Neither may ever hit a stale pattern.
+//!
+//! Geometry of the fixture: 600-stage uniform chains at tolerance 5e-4.
+//! The pair-merge test `r1*r2/span^2 <= tol*N` (0.25 vs 0.3) passes for
+//! every adjacent pair while no triple fits (8/6 vs 0.9), so each chain
+//! reduces to ~300 two-resistor segments — identically for every net
+//! regardless of its jittered element values, and comfortably past the
+//! sparse-path threshold so the group shares one symbolic pattern.
+
+use awe_serve::json::parse;
+use awe_serve::{handle_line, Json, ServeOptions, ServeState};
+
+fn send(st: &ServeState, line: &str) -> Json {
+    let reply = handle_line(st, line);
+    parse(&reply).unwrap_or_else(|e| panic!("invalid response JSON ({e}): {reply}"))
+}
+
+fn num(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("field {key} in {v}"))
+}
+
+fn assert_ok(v: &Json) {
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+}
+
+#[test]
+fn eco_inside_a_collapsed_chain_reclassifies_against_reduced_keys() {
+    let st = ServeState::new(ServeOptions::default());
+    let loaded = send(
+        &st,
+        r#"{"id":1,"verb":"load_design","session":"red","chains":{"nets":8,"stages":600,"seed":7},"opts":{"threads":1,"reduce":true,"reduce_tol":0.0005}}"#,
+    );
+    assert_ok(&loaded);
+    assert_eq!(num(&loaded, "nets"), 8);
+    assert_eq!(
+        num(&loaded, "groups"),
+        1,
+        "segmentation depends only on chain shape, so all reduced nets share one pattern"
+    );
+    assert_eq!(num(&loaded, "solves"), 8);
+    assert_eq!(
+        num(&loaded, "pattern_hits"),
+        7,
+        "reduced nets stay sparse: one donor, seven refactors"
+    );
+    assert_eq!(num(&loaded, "new_symbolic"), 1);
+    assert_eq!(num(&loaded, "failures"), 0);
+
+    // R2 sits strictly inside the first collapsed pair (its interior node
+    // n1 was eliminated). A same-magnitude resize leaves every merge
+    // decision on the same side, so the reduced topology is unchanged:
+    // the edit must class as "value" and re-analyze as a pure numeric
+    // refactorization of the still-cached group pattern.
+    let eco = send(
+        &st,
+        r#"{"id":2,"verb":"eco","session":"red","ops":[{"op":"resize","net":"net0004","element":"R2","value":105.0}]}"#,
+    );
+    assert_ok(&eco);
+    let changes = eco.get("changes").and_then(Json::as_arr).expect("changes");
+    assert_eq!(
+        changes[0].get("class").and_then(Json::as_str),
+        Some("value"),
+        "in-segment resize re-reduces to the same shape"
+    );
+    assert_eq!(num(&eco, "invalidated_results"), 1);
+    assert_eq!(num(&eco, "invalidated_patterns"), 0);
+
+    let analyzed = send(&st, r#"{"id":3,"verb":"analyze","session":"red"}"#);
+    assert_ok(&analyzed);
+    assert_eq!(num(&analyzed, "dirty_value"), 1);
+    assert_eq!(
+        num(&analyzed, "swept"),
+        1,
+        "warm analyze visits only the dirty net"
+    );
+    assert_eq!(num(&analyzed, "solves"), 1);
+    assert_eq!(num(&analyzed, "cache_hits"), 7);
+    assert_eq!(
+        num(&analyzed, "pattern_hits"),
+        1,
+        "the re-reduced net refactors against the live group pattern"
+    );
+    assert_eq!(
+        num(&analyzed, "new_symbolic"),
+        0,
+        "never a stale-pattern miss, never a fresh analysis"
+    );
+
+    // Blowing R2 up by ~7 orders of magnitude makes every segment test
+    // downstream of it trivially pass, so re-reduction collapses the
+    // whole chain: different reduced topology, hence a topology edit that
+    // must leave the (still 7-member) group's pattern alone and pay for
+    // its own fresh analysis.
+    let eco = send(
+        &st,
+        r#"{"id":4,"verb":"eco","session":"red","ops":[{"op":"resize","net":"net0006","element":"R2","value":1e9}]}"#,
+    );
+    assert_ok(&eco);
+    let changes = eco.get("changes").and_then(Json::as_arr).expect("changes");
+    assert_eq!(
+        changes[0].get("class").and_then(Json::as_str),
+        Some("topology"),
+        "boundary-shifting resize re-reduces to a different shape"
+    );
+    assert_eq!(
+        num(&eco, "invalidated_patterns"),
+        0,
+        "old group still has 7 members"
+    );
+
+    let analyzed = send(&st, r#"{"id":5,"verb":"analyze","session":"red"}"#);
+    assert_ok(&analyzed);
+    assert_eq!(num(&analyzed, "dirty_topology"), 1);
+    assert_eq!(num(&analyzed, "swept"), 1);
+    assert_eq!(num(&analyzed, "solves"), 1);
+    assert_eq!(
+        num(&analyzed, "pattern_hits"),
+        0,
+        "new shape: nothing to refactor against"
+    );
+    assert_eq!(num(&analyzed, "new_symbolic"), 1);
+
+    let metrics = send(&st, r#"{"id":6,"verb":"metrics","session":"red"}"#);
+    assert_ok(&metrics);
+    assert_eq!(num(&metrics, "structure_groups"), 2);
+    assert_eq!(num(&metrics, "value_nets"), 1);
+    assert_eq!(num(&metrics, "topology_nets"), 1);
+    assert_eq!(
+        num(&metrics, "new_symbolic"),
+        2,
+        "lifetime: the cold donor plus the reshaped net"
+    );
+}

@@ -32,6 +32,8 @@ pub struct CampaignOptions {
     pub threads: usize,
     /// Shrink failing cases (costs extra oracle runs per failure).
     pub minimize_failures: bool,
+    /// Tolerance handed to the reduce oracle's chain-reduction pre-pass.
+    pub reduce_tolerance: f64,
 }
 
 impl Default for CampaignOptions {
@@ -42,6 +44,7 @@ impl Default for CampaignOptions {
             class: None,
             threads: 0,
             minimize_failures: true,
+            reduce_tolerance: crate::oracle::DEFAULT_REDUCE_TOLERANCE,
         }
     }
 }
@@ -167,7 +170,9 @@ pub fn run_campaign(options: &CampaignOptions) -> CampaignResult {
         let index = i as u64;
         let params = CaseParams::generate(options.class_of(index), options.master_seed, index);
         let case = params.build();
-        let reports = Artifacts::build(&case).run_all();
+        let mut artifacts = Artifacts::build(&case);
+        artifacts.reduce_tolerance = options.reduce_tolerance;
+        let reports = artifacts.run_all();
         CaseOutcome {
             index,
             params,
@@ -183,7 +188,7 @@ pub fn run_campaign(options: &CampaignOptions) -> CampaignResult {
                 continue;
             };
             let record = if options.minimize_failures {
-                let m = minimize(&o.params, r.oracle);
+                let m = minimize(&o.params, r.oracle, options.reduce_tolerance);
                 let case = m.params.build();
                 FailureRecord {
                     index: o.index,
@@ -198,6 +203,7 @@ pub fn run_campaign(options: &CampaignOptions) -> CampaignResult {
                     oracle: r.oracle,
                     detail: detail.clone(),
                     steps: 0,
+                    reduce_tolerance: options.reduce_tolerance,
                 };
                 let case = o.params.build();
                 FailureRecord {
@@ -232,16 +238,21 @@ pub fn replay_deck(text: &str) -> Result<OracleReport, String> {
     let mut oracle = None;
     let mut class = TopologyClass::RcTree;
     let mut wave = WaveKind::Step;
+    let mut reduce_tolerance = crate::oracle::DEFAULT_REDUCE_TOLERANCE;
     let mut output_name = None;
     for line in text.lines() {
         let line = line.trim();
         if let Some(rest) = line.strip_prefix("* oracle=") {
-            // "* oracle=<o> class=<c> wave=<w>"
+            // "* oracle=<o> class=<c> wave=<w> rtol=<t>"
             for field in rest.split_whitespace() {
                 if let Some(v) = field.strip_prefix("class=") {
                     class = v.parse()?;
                 } else if let Some(v) = field.strip_prefix("wave=") {
                     wave = parse_wave_tag(v)?;
+                } else if let Some(v) = field.strip_prefix("rtol=") {
+                    reduce_tolerance = v
+                        .parse()
+                        .map_err(|_| format!("bad rtol field `{v}` in corpus header"))?;
                 } else {
                     oracle = Some(parse_oracle_name(field)?);
                 }
@@ -256,7 +267,8 @@ pub fn replay_deck(text: &str) -> Result<OracleReport, String> {
     let output = circuit
         .find_node(&output_name)
         .ok_or_else(|| format!("output node `{output_name}` not in deck"))?;
-    let artifacts = Artifacts::for_circuit(circuit, output, class, wave);
+    let mut artifacts = Artifacts::for_circuit(circuit, output, class, wave);
+    artifacts.reduce_tolerance = reduce_tolerance;
     Ok(artifacts.run(oracle))
 }
 
@@ -413,9 +425,9 @@ mod tests {
         CampaignOptions {
             master_seed: 0,
             count: 12,
-            class: None,
             threads: 1,
             minimize_failures: false,
+            ..CampaignOptions::default()
         }
     }
 
@@ -469,6 +481,7 @@ mod tests {
             oracle: OracleKind::Transient,
             detail: "fabricated".into(),
             steps: 0,
+            reduce_tolerance: crate::oracle::DEFAULT_REDUCE_TOLERANCE,
         };
         let deck = crate::minimize::corpus_deck(&m, &case);
         let report = replay_deck(&deck).expect("replay");

@@ -10,7 +10,8 @@
 //!    from `(class, master_seed, index)`.
 //! 2. [`oracle`] — a stack of independent oracles (trapezoidal transient,
 //!    dense eigensolve, Penfield–Rubinstein bounds, dense-vs-sparse LU,
-//!    tree-walk-vs-MNA moments), each with a documented tolerance ladder.
+//!    tree-walk-vs-MNA moments, reduced-net-vs-full-net AWE), each with a
+//!    documented tolerance ladder.
 //! 3. [`minimize`] — parameter-level shrinking of failing cases down to
 //!    minimal SPICE decks for `tests/corpus/`.
 //! 4. [`campaign`] — parallel fuzz campaigns (on `awe_batch`'s pool) with
@@ -31,4 +32,4 @@ pub use campaign::{
 };
 pub use fuzz::{CaseParams, FuzzCase, TopologyClass, WaveKind};
 pub use minimize::{corpus_deck, minimize, Minimized};
-pub use oracle::{Artifacts, OracleKind, OracleReport, Verdict};
+pub use oracle::{Artifacts, OracleKind, OracleReport, Verdict, DEFAULT_REDUCE_TOLERANCE};

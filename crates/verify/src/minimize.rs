@@ -16,6 +16,9 @@
 use crate::fuzz::{CaseParams, FuzzCase, WaveKind};
 use crate::oracle::{Artifacts, OracleKind, Verdict};
 
+#[cfg(test)]
+use crate::oracle::DEFAULT_REDUCE_TOLERANCE;
+
 /// A minimized failing case.
 #[derive(Clone, Debug)]
 pub struct Minimized {
@@ -27,12 +30,17 @@ pub struct Minimized {
     pub detail: String,
     /// Number of accepted reductions.
     pub steps: usize,
+    /// Reduction tolerance the reduce oracle ran at (other oracles ignore
+    /// it; recorded so replay reproduces the same rewrite).
+    pub reduce_tolerance: f64,
 }
 
 /// Does `params` still fail `oracle`? Returns the failure detail if so.
-fn still_fails(params: &CaseParams, oracle: OracleKind) -> Option<String> {
+fn still_fails(params: &CaseParams, oracle: OracleKind, reduce_tolerance: f64) -> Option<String> {
     let case = params.build();
-    let report = Artifacts::build(&case).run(oracle);
+    let mut artifacts = Artifacts::build(&case);
+    artifacts.reduce_tolerance = reduce_tolerance;
+    let report = artifacts.run(oracle);
     match report.verdict {
         Verdict::Fail { detail } => Some(detail),
         _ => None,
@@ -42,9 +50,9 @@ fn still_fails(params: &CaseParams, oracle: OracleKind) -> Option<String> {
 /// Shrinks a failing case to a (locally) minimal one that still fails the
 /// same oracle. `params` must currently fail `oracle`; if it does not, the
 /// original parameters come back with `steps == 0`.
-pub fn minimize(params: &CaseParams, oracle: OracleKind) -> Minimized {
+pub fn minimize(params: &CaseParams, oracle: OracleKind, reduce_tolerance: f64) -> Minimized {
     let mut best = *params;
-    let mut detail = still_fails(&best, oracle).unwrap_or_default();
+    let mut detail = still_fails(&best, oracle, reduce_tolerance).unwrap_or_default();
     let mut steps = 0usize;
     // Each accepted reduction restarts the candidate scan; the budget
     // bounds total oracle invocations on pathological cases.
@@ -55,7 +63,7 @@ pub fn minimize(params: &CaseParams, oracle: OracleKind) -> Minimized {
                 break 'outer;
             }
             budget -= 1;
-            if let Some(d) = still_fails(&candidate, oracle) {
+            if let Some(d) = still_fails(&candidate, oracle, reduce_tolerance) {
                 best = candidate;
                 detail = d;
                 steps += 1;
@@ -69,6 +77,7 @@ pub fn minimize(params: &CaseParams, oracle: OracleKind) -> Minimized {
         oracle,
         detail,
         steps,
+        reduce_tolerance,
     }
 }
 
@@ -156,10 +165,11 @@ pub fn corpus_deck(m: &Minimized, case: &FuzzCase) -> String {
     let mut out = String::new();
     out.push_str("* awe-verify minimized regression\n");
     out.push_str(&format!(
-        "* oracle={} class={} wave={}\n",
+        "* oracle={} class={} wave={} rtol={}\n",
         m.oracle,
         m.params.class,
-        wave_tag(&m.params.wave)
+        wave_tag(&m.params.wave),
+        m.reduce_tolerance
     ));
     out.push_str(&format!("* params: {}\n", m.params.describe()));
     for line in m.detail.lines() {
@@ -190,7 +200,7 @@ mod tests {
     #[test]
     fn non_failing_case_is_returned_unchanged() {
         let p = CaseParams::generate(TopologyClass::RcTree, 0, 0);
-        let m = minimize(&p, OracleKind::Transient);
+        let m = minimize(&p, OracleKind::Transient, DEFAULT_REDUCE_TOLERANCE);
         assert_eq!(m.steps, 0);
         assert_eq!(m.params.size, p.size);
     }
@@ -214,6 +224,7 @@ mod tests {
             oracle: OracleKind::Transient,
             detail: "synthetic detail".into(),
             steps: 0,
+            reduce_tolerance: DEFAULT_REDUCE_TOLERANCE,
         };
         let deck = corpus_deck(&m, &case);
         let parsed = awe_circuit::parse_deck(&deck).expect("corpus deck must re-parse");

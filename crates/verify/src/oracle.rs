@@ -13,6 +13,10 @@
 //!   dense LU on the case's own MNA matrices.
 //! * **moments** — the O(n) tree-walk moments against the LU-based MNA
 //!   moment recursion (naive vs. production path).
+//! * **reduce** — AWE on the chain-reduced rewrite of the net against
+//!   AWE on the full net: the reduction pre-pass claims a documented
+//!   moment-defect budget, so the two models must agree to a tolerance
+//!   derived from that budget.
 //!
 //! A verdict is `Pass`, `Fail` (with a human-readable detail) or `Skip`
 //! (the oracle's premise does not hold for this case — e.g. bounds on a
@@ -48,16 +52,19 @@ pub enum OracleKind {
     SparseLu,
     /// Tree-walk vs. MNA-recursion moments.
     Moments,
+    /// AWE on the chain-reduced net vs. AWE on the full net.
+    Reduce,
 }
 
 impl OracleKind {
     /// Every oracle, in reporting order.
-    pub const ALL: [OracleKind; 5] = [
+    pub const ALL: [OracleKind; 6] = [
         OracleKind::Transient,
         OracleKind::Eigen,
         OracleKind::Bounds,
         OracleKind::SparseLu,
         OracleKind::Moments,
+        OracleKind::Reduce,
     ];
 
     /// Report name.
@@ -68,6 +75,7 @@ impl OracleKind {
             OracleKind::Bounds => "bounds",
             OracleKind::SparseLu => "sparse-lu",
             OracleKind::Moments => "moments",
+            OracleKind::Reduce => "reduce",
         }
     }
 }
@@ -144,10 +152,18 @@ pub struct Artifacts {
     pub sim: Result<TransientResult, String>,
     /// Comparison horizon in seconds.
     pub horizon: f64,
+    /// Tolerance handed to the chain-reduction pre-pass by the reduce
+    /// oracle (relative moment-defect budget per pass).
+    pub reduce_tolerance: f64,
 }
 
 /// Largest Padé order requested for the model under test.
 const MAX_ORDER: usize = 6;
+
+/// Default reduction tolerance for the reduce oracle — the same default
+/// `ReduceOptions` ships, so the oracle patrols the configuration users
+/// get by flipping `--reduce` on.
+pub const DEFAULT_REDUCE_TOLERANCE: f64 = 0.02;
 
 /// Moment-matrix condition cap for a trustworthy residue solve. Fuzzing
 /// shows a sharp cliff, not a slope: models up to cond ≈ 4e10 track the
@@ -214,6 +230,7 @@ impl Artifacts {
             approx,
             sim,
             horizon,
+            reduce_tolerance: DEFAULT_REDUCE_TOLERANCE,
         }
     }
 
@@ -233,6 +250,7 @@ impl Artifacts {
             OracleKind::Bounds => self.bounds_oracle(),
             OracleKind::SparseLu => self.sparse_lu_oracle(),
             OracleKind::Moments => self.moments_oracle(),
+            OracleKind::Reduce => self.reduce_oracle(),
         };
         if awe_obs::enabled() && matches!(report.verdict, Verdict::Fail { .. }) {
             awe_obs::health(awe_obs::Health::OracleDisagreement {
@@ -810,6 +828,178 @@ impl Artifacts {
         };
         Artifacts::report(O, verdict, Some(worst), Some(tol))
     }
+
+    /// AWE on the chain-reduced rewrite vs. AWE on the full net. The
+    /// reduction pre-pass preserves m₀ and m₁ exactly and budgets the m₂
+    /// defect at `reduce_tolerance` per pass, so the two independently
+    /// built models must agree in waveform shape and 50 % delay to a
+    /// tolerance derived from the *measured* per-chain defect the
+    /// reduction reports — not from the knob it was asked for.
+    fn reduce_oracle(&self) -> OracleReport {
+        const O: OracleKind = OracleKind::Reduce;
+        let approx = match &self.approx {
+            Ok(a) => a,
+            Err(_) => return Artifacts::skip(O, "no full-net model to compare against"),
+        };
+        if !approx.stable || approx.condition > CONDITION_CAP {
+            return Artifacts::skip(
+                O,
+                "full-net model untrusted (the transient oracle owns that finding)",
+            );
+        }
+        let claimed_full = approx.error_estimate.unwrap_or(0.0);
+        if claimed_full > 0.25 {
+            return Artifacts::skip(
+                O,
+                format!(
+                    "full-net model self-reports {:.1}% error (no shape to hold the \
+                     reduced model to)",
+                    claimed_full * 100.0
+                ),
+            );
+        }
+        let opts = awe_circuit::ReduceOptions {
+            enabled: true,
+            tolerance: self.reduce_tolerance,
+        };
+        let reduced = awe_circuit::reduce(&self.circuit, &[self.output], &opts);
+        if !reduced.report.changed() {
+            return Artifacts::skip(O, "nothing reducible in this topology");
+        }
+        let Some(red_out) = reduced.map_node(self.output) else {
+            return Artifacts::report(
+                O,
+                Verdict::Fail {
+                    detail: "reduction lost the preserved observation node".into(),
+                },
+                None,
+                None,
+            );
+        };
+        let order_cap = reduced.circuit.num_states().clamp(1, MAX_ORDER);
+        let red = AweEngine::new(&reduced.circuit).and_then(|engine| {
+            engine
+                .approximate_auto(red_out, 0.0, order_cap, AweOptions::default())
+                .map(|(a, _)| a)
+        });
+        let red = match red {
+            Ok(a) => a,
+            Err(e) => {
+                return Artifacts::report(
+                    O,
+                    Verdict::Fail {
+                        detail: format!("reduced-net AWE failed where the full net succeeded: {e}"),
+                    },
+                    None,
+                    None,
+                )
+            }
+        };
+        if !red.stable || red.condition > CONDITION_CAP {
+            return Artifacts::report(
+                O,
+                Verdict::Fail {
+                    detail: format!(
+                        "reduced-net model untrusted where the full net's was fine: order {} \
+                         stable={} condition={:.3e}",
+                        red.order, red.stable, red.condition
+                    ),
+                },
+                None,
+                None,
+            );
+        }
+
+        // Sampled relative L² between the two analytic models over the
+        // comparison horizon, normalized by the full model's transition
+        // energy (no simulator in the loop — this isolates the reduction
+        // from integration error).
+        const SAMPLES: usize = 256;
+        let f0 = approx.eval(0.0);
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for i in 0..=SAMPLES {
+            let t = self.horizon * i as f64 / SAMPLES as f64;
+            let f = approx.eval(t);
+            let g = red.eval(t);
+            if !f.is_finite() || !g.is_finite() {
+                return Artifacts::report(
+                    O,
+                    Verdict::Fail {
+                        detail: format!(
+                            "non-finite waveform comparison at t={t:.3e}s (full order {}, \
+                             reduced order {})",
+                            approx.order, red.order
+                        ),
+                    },
+                    None,
+                    None,
+                );
+            }
+            num += (f - g) * (f - g);
+            den += (f - f0) * (f - f0);
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        let swing = hi - lo;
+        if den.sqrt() < 1e-12 || swing < 1e-12 {
+            return Artifacts::skip(O, "zero transition energy in the full-net model");
+        }
+        let l2 = (num / den).sqrt();
+
+        // Tolerance ladder: the class base covers how differently two
+        // independent ≤ 6-pole auto selections may truncate the same
+        // dynamics; the measured per-chain m₂ defect (`report.bound()`,
+        // a fraction of the chain time constant per pass) scales the
+        // allowance when the reduction actually spent its budget; and a
+        // self-reported model error is an explained one on either side.
+        let measured = reduced.report.bound() * reduced.report.passes.max(1) as f64;
+        let claimed = claimed_full + red.error_estimate.unwrap_or(0.0);
+        let base: f64 = match self.class {
+            TopologyClass::RcTree => 0.05,
+            TopologyClass::RcMesh => 0.06,
+            TopologyClass::CoupledLines => 0.08,
+            TopologyClass::RlcLadder => 0.10,
+        };
+        let tol = base.max(10.0 * measured).max(3.0 * claimed);
+
+        let mut fail = None;
+        if l2 > tol {
+            fail = Some(format!(
+                "reduced vs full relative L2 error {:.3}% exceeds {:.3}% \
+                 (removed {} nodes over {} passes, measured defect bound {:.3e}, \
+                 full order {}, reduced order {})",
+                l2 * 100.0,
+                tol * 100.0,
+                reduced.report.nodes_removed,
+                reduced.report.passes,
+                measured,
+                approx.order,
+                red.order
+            ));
+        }
+        // Timing claim, step-like responses only (a pulse's 50 % crossing
+        // is numeric noise around its resting level).
+        let step_like = (approx.final_value() - approx.initial_value()).abs() >= 0.5 * swing;
+        if fail.is_none() && step_like {
+            if let (Some(df), Some(dr)) = (approx.delay_50(), red.delay_50()) {
+                let slack = tol.max(0.05) * df.abs() + 1e-3 * self.horizon;
+                if (dr - df).abs() > slack {
+                    fail = Some(format!(
+                        "50% delay disagrees: reduced {dr:.4e}s vs full {df:.4e}s \
+                         (slack {slack:.1e}s, {} nodes removed)",
+                        reduced.report.nodes_removed
+                    ));
+                }
+            }
+        }
+        let verdict = match fail {
+            Some(detail) => Verdict::Fail { detail },
+            None => Verdict::Pass,
+        };
+        Artifacts::report(O, verdict, Some(l2), Some(tol))
+    }
 }
 
 /// Classifies an engine error: benign unmodelable cases are skips, the
@@ -919,6 +1109,43 @@ mod tests {
         assert!(
             matches!(r.verdict, Verdict::Pass),
             "eigen should engage and pass on a 3-state line: {:?}",
+            r.verdict
+        );
+    }
+
+    #[test]
+    fn reduce_oracle_engages_and_passes_on_a_long_chain() {
+        use awe_circuit::generators::rc_line;
+        use awe_circuit::Waveform;
+        let g = rc_line(64, 100.0, 1e-12, Waveform::step(0.0, 1.0));
+        let art =
+            Artifacts::for_circuit(g.circuit, g.output, TopologyClass::RcTree, WaveKind::Step);
+        let r = art.run(OracleKind::Reduce);
+        assert!(
+            matches!(r.verdict, Verdict::Pass),
+            "reduce oracle must engage and pass on a 64-stage chain: {:?}",
+            r.verdict
+        );
+        let metric = r.metric.expect("comparison ran");
+        assert!(metric.is_finite() && metric >= 0.0);
+        assert!(r.tolerance.is_some());
+    }
+
+    #[test]
+    fn reduce_oracle_skips_when_nothing_collapses() {
+        use awe_circuit::generators::rc_mesh;
+        use awe_circuit::Waveform;
+        // At a tight tolerance even the mesh's degree-2 corners stay
+        // (their defect/tau is 1/4): the rewrite is a no-op and the
+        // oracle must say so instead of comparing a net to itself.
+        let g = rc_mesh(5, 5, 100.0, 1e-12, Waveform::step(0.0, 1.0));
+        let mut art =
+            Artifacts::for_circuit(g.circuit, g.output, TopologyClass::RcMesh, WaveKind::Step);
+        art.reduce_tolerance = 0.01;
+        let r = art.run(OracleKind::Reduce);
+        assert!(
+            matches!(r.verdict, Verdict::Skip { .. }),
+            "untouched topology: {:?}",
             r.verdict
         );
     }

@@ -8,12 +8,12 @@
 //! awesim check   <deck>
 //! awesim export  <deck> --node <name> [--order N] [--pwl N]
 //! awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
-//!                [--seed N] [--repeat K] [--json] [--no-timings]
-//!                [--trace FILE] [--metrics FILE]
+//!                [--reduce] [--reduce-tol T] [--seed N] [--repeat K]
+//!                [--json] [--no-timings] [--trace FILE] [--metrics FILE]
 //! awesim verify  [--seed N] [--count N] [--class C] [--threads N]
-//!                [--corpus-dir DIR] [--json] [--no-minimize]
+//!                [--reduce-tol T] [--corpus-dir DIR] [--json] [--no-minimize]
 //! awesim serve   [--stdio | --tcp ADDR] [--threads N]
-//!                [--trace FILE] [--metrics FILE]
+//!                [--reduce] [--reduce-tol T] [--trace FILE] [--metrics FILE]
 //! ```
 //!
 //! The deck format is documented in `awesim::circuit::parse_deck`; `batch`
@@ -55,12 +55,12 @@ const USAGE: &str = "usage:
   awesim check   <deck>
   awesim export  <deck> --node <name> [--order N] [--pwl N]
   awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
-                 [--seed N] [--repeat K] [--json] [--no-timings]
-                 [--trace FILE] [--metrics FILE]
+                 [--reduce] [--reduce-tol T] [--seed N] [--repeat K]
+                 [--json] [--no-timings] [--trace FILE] [--metrics FILE]
   awesim verify  [--seed N] [--count N] [--class C] [--threads N]
-                 [--corpus-dir DIR] [--json] [--no-minimize]
+                 [--reduce-tol T] [--corpus-dir DIR] [--json] [--no-minimize]
   awesim serve   [--stdio | --tcp ADDR] [--threads N]
-                 [--trace FILE] [--metrics FILE]";
+                 [--reduce] [--reduce-tol T] [--trace FILE] [--metrics FILE]";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -286,6 +286,13 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     if let Some(target) = flag(args, "--auto") {
         opts.auto_target = Some(target.parse().map_err(|_| "bad --auto value")?);
     }
+    if args.iter().any(|a| a == "--reduce") {
+        opts.reduce.enabled = true;
+    }
+    if let Some(t) = flag(args, "--reduce-tol") {
+        opts.reduce.enabled = true;
+        opts.reduce.tolerance = t.parse().map_err(|_| "bad --reduce-tol value")?;
+    }
     let repeat: usize = flag(args, "--repeat")
         .map(|s| s.parse().map_err(|_| "bad --repeat value"))
         .transpose()?
@@ -360,6 +367,9 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     if args.iter().any(|a| a == "--no-minimize") {
         opts.minimize_failures = false;
     }
+    if let Some(t) = flag(args, "--reduce-tol") {
+        opts.reduce_tolerance = t.parse().map_err(|_| "bad --reduce-tol value")?;
+    }
     let json = args.iter().any(|a| a == "--json");
 
     let result = run_campaign(&opts);
@@ -393,6 +403,13 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let mut options = ServeOptions::default();
     if let Some(t) = flag(args, "--threads") {
         options.defaults.threads = t.parse().map_err(|_| "bad --threads value")?;
+    }
+    if args.iter().any(|a| a == "--reduce") {
+        options.defaults.reduce.enabled = true;
+    }
+    if let Some(t) = flag(args, "--reduce-tol") {
+        options.defaults.reduce.enabled = true;
+        options.defaults.reduce.tolerance = t.parse().map_err(|_| "bad --reduce-tol value")?;
     }
     let tcp_addr = flag(args, "--tcp");
     if tcp_addr.is_none() && args.iter().any(|a| a == "--tcp") {
