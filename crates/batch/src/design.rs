@@ -154,6 +154,64 @@ impl Design {
         }
     }
 
+    /// A structure-group workload: `groups` distinct random RC-tree
+    /// topologies (sizes cycle through the [`Design::synthetic`] mix) ×
+    /// `members` nets each. Members of a group share the topology exactly
+    /// — equal [`pattern_key`], one shared symbolic analysis, one batch
+    /// tape — while every R/C value is independently perturbed, so all
+    /// structural hashes stay distinct. Deterministic per `seed`. This is
+    /// the batch-throughput bench workload.
+    pub fn synthetic_groups(groups: usize, members: usize, seed: u64) -> Self {
+        let start = Instant::now();
+        let sizes = [8usize, 12, 16, 24, 32];
+        let mut nets = Vec::with_capacity(groups.saturating_mul(members));
+        for g in 0..groups {
+            let base = random_rc_tree(
+                sizes[g % sizes.len()],
+                (10.0, 500.0),
+                (0.05e-12, 2e-12),
+                seed.wrapping_add(g as u64),
+                Waveform::step(0.0, 5.0),
+            );
+            let values: Vec<(String, f64)> = base
+                .circuit
+                .elements()
+                .iter()
+                .filter_map(|e| match e {
+                    Element::Resistor { name, ohms, .. } => Some((name.clone(), *ohms)),
+                    Element::Capacitor { name, farads, .. } => Some((name.clone(), *farads)),
+                    _ => None,
+                })
+                .collect();
+            for m in 0..members {
+                let mut circuit = base.circuit.clone();
+                // Member 0 is the donor verbatim; the rest scale every
+                // R/C into [0.75, 1.25)× so each hash is unique.
+                if m > 0 {
+                    for (k, (name, v)) in values.iter().enumerate() {
+                        let u = unit_mix(
+                            seed ^ 0x5eed_ba7c,
+                            ((g as u64) << 40) | ((m as u64) << 16) | k as u64,
+                        );
+                        circuit
+                            .set_value(name, v * (0.75 + 0.5 * u))
+                            .expect("perturbing a known element");
+                    }
+                }
+                nets.push(NetSpec {
+                    name: format!("g{g:03}n{m:05}"),
+                    circuit,
+                    output: base.output,
+                });
+            }
+        }
+        Design {
+            name: format!("groups-{groups}x{members}"),
+            nets,
+            parse_time: start.elapsed(),
+        }
+    }
+
     /// The nets, in reporting order.
     pub fn nets(&self) -> &[NetSpec] {
         &self.nets
@@ -267,6 +325,16 @@ pub fn net_keys(spec: &NetSpec, reduce_opts: &ReduceOptions) -> (u64, u64) {
     (prepared.hash, prepared.pattern)
 }
 
+/// Deterministic value jitter in `[0, 1)` (splitmix-style finalizer):
+/// enough to make every perturbed hash unique without touching topology.
+fn unit_mix(seed: u64, k: u64) -> f64 {
+    let mut x = seed ^ k.wrapping_mul(0x9e3779b97f4a7c15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51afd7ed558ccd);
+    x ^= x >> 33;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// Cache-key salt for a reduction config: any tolerance change moves it.
 fn reduce_salt(opts: &ReduceOptions) -> u64 {
     fnv1a(b"awe-reduce-v1") ^ fnv1a(&opts.tolerance.to_bits().to_le_bytes())
@@ -291,13 +359,13 @@ fn default_output(circuit: &Circuit) -> NodeId {
 /// permutation-invariant. The observation node's name seeds the
 /// accumulator so the same circuit observed elsewhere caches separately.
 pub fn structural_hash(circuit: &Circuit, output: NodeId) -> u64 {
-    let mut acc = fnv1a(b"awe-batch-net-v1").wrapping_add(fnv1a(
+    let mut acc = fnv1a(b"awe-batch-net-v2").wrapping_add(fnv1a(
         circuit
             .node_name(output.min(circuit.num_nodes().saturating_sub(1)))
             .as_bytes(),
     ));
     for e in circuit.elements() {
-        acc = acc.wrapping_add(fnv1a(canonical_card(circuit, e).as_bytes()));
+        acc = acc.wrapping_add(canonical_card_hash(circuit, e));
     }
     acc
 }
@@ -316,107 +384,162 @@ pub fn structural_hash(circuit: &Circuit, output: NodeId) -> u64 {
 /// refactorization (the numeric layer fingerprints the actual pattern and
 /// falls back to a cold factor), never a wrong answer.
 pub fn pattern_key(circuit: &Circuit) -> u64 {
-    let mut acc = fnv1a(b"awe-batch-pattern-v1");
+    let mut acc = fnv1a(b"awe-batch-pattern-v2");
     for e in circuit.elements() {
-        acc = acc.wrapping_add(fnv1a(pattern_card(circuit, e).as_bytes()));
+        acc = acc.wrapping_add(card_hash(circuit, e, false));
     }
     acc
 }
 
-/// Value-free card for one element: kind letter, element name, and
-/// terminal node names only.
-fn pattern_card(c: &Circuit, e: &Element) -> String {
-    let n = |id: &NodeId| c.node_name(*id);
-    match e {
-        Element::Resistor { name, a, b, .. } => format!("R {name} {} {}", n(a), n(b)),
-        Element::Capacitor { name, a, b, .. } => format!("C {name} {} {}", n(a), n(b)),
-        Element::Inductor { name, a, b, .. } => format!("L {name} {} {}", n(a), n(b)),
-        Element::VoltageSource { name, pos, neg, .. } => {
-            format!("V {name} {} {}", n(pos), n(neg))
-        }
-        Element::CurrentSource { name, from, to, .. } => {
-            format!("I {name} {} {}", n(from), n(to))
-        }
-        Element::Vccs {
-            name,
-            from,
-            to,
-            cpos,
-            cneg,
-            ..
-        } => format!("G {name} {} {} {} {}", n(from), n(to), n(cpos), n(cneg)),
-        Element::Vcvs {
-            name,
-            pos,
-            neg,
-            cpos,
-            cneg,
-            ..
-        } => format!("E {name} {} {} {} {}", n(pos), n(neg), n(cpos), n(cneg)),
-        Element::Cccs {
-            name,
-            from,
-            to,
-            control,
-            ..
-        } => format!("F {name} {} {} {control}", n(from), n(to)),
-        Element::Ccvs {
-            name,
-            pos,
-            neg,
-            control,
-            ..
-        } => format!("H {name} {} {} {control}", n(pos), n(neg)),
-    }
-}
-
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    let mut h = CardHash::new();
+    h.bytes_raw(bytes);
+    h.finish()
 }
 
-/// Canonical card text for one element: like `Circuit::to_deck` but with
-/// node *names* for every element kind (including controlled sources).
-fn canonical_card(c: &Circuit, e: &Element) -> String {
-    let n = |id: &NodeId| c.node_name(*id);
+/// Streaming FNV-1a over one element card. The earlier implementation
+/// rendered each card to a `String` and hashed the text — on a 100k-net
+/// design that is hundreds of thousands of heap allocations before the
+/// first solve, and formatting f64s dominates the hash cost. This hashes
+/// the same information (kind tag, names, terminal node names, raw value
+/// bits) straight out of the element, allocation-free. Field terminators
+/// keep the encoding prefix-free, so `("ab", "c")` and `("a", "bc")`
+/// cannot collide the way naive concatenation would.
+struct CardHash(u64);
+
+impl CardHash {
+    fn new() -> Self {
+        CardHash(0xcbf29ce484222325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+
+    fn bytes_raw(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    /// A delimited string field.
+    fn str(&mut self, s: &str) {
+        self.bytes_raw(s.as_bytes());
+        self.byte(0xff);
+    }
+
+    /// A value field: the f64's bit pattern. Bit-level hashing keeps the
+    /// old text-based equivalence (two elements with the same f64 hash
+    /// the same) while distinguishing everything `{}` formatting did.
+    fn f64(&mut self, v: f64) {
+        self.bytes_raw(&v.to_bits().to_le_bytes());
+    }
+
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.byte(1);
+                self.f64(x);
+            }
+            None => self.byte(0),
+        }
+    }
+
+    fn waveform(&mut self, w: &Waveform) {
+        for &(t, v) in w.points() {
+            self.f64(t);
+            self.f64(v);
+        }
+        self.byte(0xfe);
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Per-card hash with values included: the [`structural_hash`] unit.
+fn canonical_card_hash(c: &Circuit, e: &Element) -> u64 {
+    card_hash(c, e, true)
+}
+
+/// Hash of one element card: kind tag, element name, terminal node
+/// *names* (ids are insertion-order artifacts), and — when `values` is
+/// set — every electrical value, waveform, and initial condition.
+fn card_hash(c: &Circuit, e: &Element, values: bool) -> u64 {
+    let mut h = CardHash::new();
+    let node = |h: &mut CardHash, id: &NodeId| h.str(c.node_name(*id));
     match e {
-        Element::Resistor { name, a, b, ohms } => format!("R {name} {} {} {ohms}", n(a), n(b)),
+        Element::Resistor { name, a, b, ohms } => {
+            h.byte(b'R');
+            h.str(name);
+            node(&mut h, a);
+            node(&mut h, b);
+            if values {
+                h.f64(*ohms);
+            }
+        }
         Element::Capacitor {
             name,
             a,
             b,
             farads,
             initial_voltage,
-        } => match initial_voltage {
-            Some(ic) => format!("C {name} {} {} {farads} IC={ic}", n(a), n(b)),
-            None => format!("C {name} {} {} {farads}", n(a), n(b)),
-        },
+        } => {
+            h.byte(b'C');
+            h.str(name);
+            node(&mut h, a);
+            node(&mut h, b);
+            if values {
+                h.f64(*farads);
+                h.opt_f64(*initial_voltage);
+            }
+        }
         Element::Inductor {
             name,
             a,
             b,
             henries,
             initial_current,
-        } => match initial_current {
-            Some(ic) => format!("L {name} {} {} {henries} IC={ic}", n(a), n(b)),
-            None => format!("L {name} {} {} {henries}", n(a), n(b)),
-        },
+        } => {
+            h.byte(b'L');
+            h.str(name);
+            node(&mut h, a);
+            node(&mut h, b);
+            if values {
+                h.f64(*henries);
+                h.opt_f64(*initial_current);
+            }
+        }
         Element::VoltageSource {
             name,
             pos,
             neg,
             waveform,
-        } => format!("V {name} {} {} {waveform}", n(pos), n(neg)),
+        } => {
+            h.byte(b'V');
+            h.str(name);
+            node(&mut h, pos);
+            node(&mut h, neg);
+            if values {
+                h.waveform(waveform);
+            }
+        }
         Element::CurrentSource {
             name,
             from,
             to,
             waveform,
-        } => format!("I {name} {} {} {waveform}", n(from), n(to)),
+        } => {
+            h.byte(b'I');
+            h.str(name);
+            node(&mut h, from);
+            node(&mut h, to);
+            if values {
+                h.waveform(waveform);
+            }
+        }
         Element::Vccs {
             name,
             from,
@@ -424,13 +547,17 @@ fn canonical_card(c: &Circuit, e: &Element) -> String {
             cpos,
             cneg,
             gm,
-        } => format!(
-            "G {name} {} {} {} {} {gm}",
-            n(from),
-            n(to),
-            n(cpos),
-            n(cneg)
-        ),
+        } => {
+            h.byte(b'G');
+            h.str(name);
+            node(&mut h, from);
+            node(&mut h, to);
+            node(&mut h, cpos);
+            node(&mut h, cneg);
+            if values {
+                h.f64(*gm);
+            }
+        }
         Element::Vcvs {
             name,
             pos,
@@ -438,28 +565,51 @@ fn canonical_card(c: &Circuit, e: &Element) -> String {
             cpos,
             cneg,
             gain,
-        } => format!(
-            "E {name} {} {} {} {} {gain}",
-            n(pos),
-            n(neg),
-            n(cpos),
-            n(cneg)
-        ),
+        } => {
+            h.byte(b'E');
+            h.str(name);
+            node(&mut h, pos);
+            node(&mut h, neg);
+            node(&mut h, cpos);
+            node(&mut h, cneg);
+            if values {
+                h.f64(*gain);
+            }
+        }
         Element::Cccs {
             name,
             from,
             to,
             control,
             gain,
-        } => format!("F {name} {} {} {control} {gain}", n(from), n(to)),
+        } => {
+            h.byte(b'F');
+            h.str(name);
+            node(&mut h, from);
+            node(&mut h, to);
+            h.str(control);
+            if values {
+                h.f64(*gain);
+            }
+        }
         Element::Ccvs {
             name,
             pos,
             neg,
             control,
             r,
-        } => format!("H {name} {} {} {control} {r}", n(pos), n(neg)),
+        } => {
+            h.byte(b'H');
+            h.str(name);
+            node(&mut h, pos);
+            node(&mut h, neg);
+            h.str(control);
+            if values {
+                h.f64(*r);
+            }
+        }
     }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -582,6 +732,22 @@ mod tests {
             Design::synthetic_chains(12, 20, 8).nets()[3].hash(),
             d.nets()[3].hash()
         );
+    }
+
+    #[test]
+    fn synthetic_groups_share_patterns_not_hashes() {
+        let d = Design::synthetic_groups(3, 5, 17);
+        assert_eq!(d.len(), 15);
+        let mut hashes = std::collections::HashSet::new();
+        let mut keys = std::collections::HashSet::new();
+        for net in d.nets() {
+            assert!(hashes.insert(net.hash()), "{}: unique hash", net.name);
+            keys.insert(net.pattern_key());
+        }
+        assert_eq!(keys.len(), 3, "one pattern key per group");
+        // Deterministic per seed.
+        let d2 = Design::synthetic_groups(3, 5, 17);
+        assert_eq!(d.nets()[7].hash(), d2.nets()[7].hash());
     }
 
     #[test]

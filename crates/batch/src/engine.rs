@@ -6,16 +6,17 @@
 //! state) and [`NetTiming`] (wall times, which are not). Reports that
 //! must be byte-comparable across thread counts render only the former.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use awe::{AweApproximation, AweEngine, AweError, AweOptions, SharedSymbolic, StageTimings};
 use awe_circuit::{Circuit, NodeId, ReduceOptions};
+use awe_numeric::LANE_WIDTH;
 
-use crate::design::{prepare_net, Design, PreparedNet};
-use crate::pool::{run_indexed, PoolStats};
+use crate::design::{prepare_net, Design};
+use crate::pool::{effective_threads, run_indexed, PoolStats};
+use crate::tape::{self, GroupTape, TapeKind, TapeMember, WorkerArena};
 
 /// Results served from the incremental cache without an AWE solve.
 static CACHE_HITS: awe_obs::Counter = awe_obs::Counter::new("batch.cache_hits");
@@ -32,6 +33,14 @@ static PATTERN_INVALIDATIONS: awe_obs::Counter =
 /// Sentinel worker index for work done on the caller thread before the
 /// pool starts (the sequential donor-presolve pass).
 pub const CALLER_WORKER: usize = usize::MAX;
+
+/// Nets per scalar work unit: the pool's deques move whole batches of
+/// tiny nets per lock transaction instead of individual ~100 µs jobs.
+const SCALAR_CHUNK: usize = 16;
+/// Members per dense-tape work unit.
+const DENSE_CHUNK: usize = 16;
+/// Members per sparse-tape work unit (two full lane blocks).
+const SPARSE_CHUNK: usize = 2 * LANE_WIDTH;
 
 /// Options for one batch run.
 #[derive(Clone, Copy, Debug)]
@@ -52,6 +61,13 @@ pub struct BatchOptions {
     /// reduced topology plus the reduce config, so toggling this (or the
     /// tolerance) never serves results computed under another config.
     pub reduce: ReduceOptions,
+    /// Compile structure groups to flat evaluation tapes and replay the
+    /// members through the multi-lane VM (see [`GroupTape`]). Replay is
+    /// bit-identical to the scalar path; `false` is the escape hatch.
+    /// Automatic order selection ([`BatchOptions::auto_target`]) always
+    /// takes the scalar path — it re-plans per net, so there is no
+    /// group-uniform schedule to compile.
+    pub use_tape: bool,
 }
 
 impl Default for BatchOptions {
@@ -63,6 +79,7 @@ impl Default for BatchOptions {
             max_order: 8,
             awe: AweOptions::default(),
             reduce: ReduceOptions::default(),
+            use_tape: true,
         }
     }
 }
@@ -141,6 +158,20 @@ pub struct BatchRun {
     /// Solves that reused a cached symbolic LU pattern (numeric
     /// refactorization instead of a cold symbolic+numeric factor).
     pub pattern_hits: usize,
+    /// Group tapes compiled this run (runs replaying a cached tape
+    /// compile nothing).
+    pub tapes_compiled: usize,
+    /// Tape replay invocations (one per scheduled member block).
+    pub tape_replays: usize,
+    /// Multi-lane blocks executed through the sparse lane kernel.
+    pub lane_blocks: usize,
+    /// Live lanes summed over those blocks — the mean lane occupancy is
+    /// `lane_lanes / (lane_blocks · LANE_WIDTH)`.
+    pub lane_lanes: usize,
+    /// Tape members that diverged from their block (failed lane
+    /// refactorization, unknown-count mismatch, …) and finished on the
+    /// scalar solve path instead.
+    pub scalar_fallbacks: usize,
 }
 
 /// Concurrent batch analyzer with a persistent incremental-reanalysis
@@ -158,6 +189,13 @@ pub struct BatchEngine {
     /// nets (same topology, any values) factor their elimination pattern
     /// exactly once, then refactor numerically.
     patterns: Mutex<HashMap<u64, SharedSymbolic>>,
+    /// Compiled group tapes keyed by pattern key. Revalidated against the
+    /// run's options and the pattern cache before reuse (a stale tape
+    /// recompiles — compilation needs no donor and is cheap), so a
+    /// single-member ECO re-run of a known group replays its tape.
+    tapes: Mutex<HashMap<u64, Arc<GroupTape>>>,
+    /// Per-worker tape-replay arenas, kept warm across runs.
+    arenas: Mutex<Vec<WorkerArena>>,
 }
 
 impl BatchEngine {
@@ -176,10 +214,16 @@ impl BatchEngine {
         self.patterns.lock().expect("pattern lock").len()
     }
 
-    /// Drops all cached results and symbolic patterns.
+    /// Drops all cached results, symbolic patterns, and compiled tapes.
     pub fn clear_cache(&self) {
         self.cache.lock().expect("cache lock").clear();
         self.patterns.lock().expect("pattern lock").clear();
+        self.tapes.lock().expect("tape lock").clear();
+    }
+
+    /// Compiled-tape count.
+    pub fn tape_len(&self) -> usize {
+        self.tapes.lock().expect("tape lock").len()
     }
 
     /// Whether a result for this structural hash is cached.
@@ -213,6 +257,9 @@ impl BatchEngine {
     /// a clone are unaffected.
     pub fn invalidate_pattern(&self, key: u64) -> bool {
         let evicted = self.patterns.lock().expect("pattern lock").remove(&key);
+        // A tape compiled against the dropped pattern can never validate
+        // again; drop it with the pattern.
+        self.tapes.lock().expect("tape lock").remove(&key);
         if evicted.is_some() {
             PATTERN_INVALIDATIONS.incr();
         }
@@ -223,38 +270,63 @@ impl BatchEngine {
     /// `opts.threads` workers. Results come back in design order
     /// regardless of scheduling; nets whose structural hash is already
     /// cached are served without an AWE solve.
+    ///
+    /// Scheduling is unit-based: structure-group members go to the pool
+    /// as whole tape blocks (group × lane chunk) and the remaining nets
+    /// as scalar batches, so the work-stealing deques move tens of nets
+    /// per transaction instead of individual ~100 µs jobs.
     pub fn run(&self, design: &Design, opts: &BatchOptions) -> BatchRun {
         let start = Instant::now();
-        let solves = AtomicUsize::new(0);
-        let hits = AtomicUsize::new(0);
-        let pattern_hits = AtomicUsize::new(0);
 
-        // Deterministic pattern seeding: nets group by their topology-only
-        // pattern key; any group with at least two nets that will actually
-        // solve gets its first such net (in design order) solved *here*,
-        // sequentially, so the group's shared symbolic pattern never
-        // depends on scheduling. That matters because threshold pivoting
-        // is value-dependent — *which* net's pivot order a group shares is
-        // observable in the last bits of its siblings' factors, and batch
-        // results must stay byte-identical across thread counts. Groups
-        // whose pattern is already cached (an earlier run) skip straight
-        // to refactoring; singleton groups pay nothing here.
-        let prepared: Vec<PreparedNet> = design
-            .nets()
-            .iter()
-            .map(|spec| prepare_net(spec, &opts.reduce))
-            .collect();
+        // Parallel prepare: hashing and the optional reduction rewrite
+        // are pure per-net work.
+        let (prepared, _) = run_indexed(design.len(), opts.threads, |i, _| {
+            prepare_net(&design.nets()[i], &opts.reduce)
+        });
+
+        // One pass under the cache lock classifies every net: snapshot
+        // hit, duplicate of an earlier net this run (same structural
+        // hash — it clones that net's result, exactly what a cache
+        // lookup after the first solve would have served), or solve.
+        // Group sizes count the not-yet-cached nets per pattern key for
+        // the donor-presolve decision below.
+        let mut plan: Vec<Plan> = Vec::with_capacity(design.len());
+        let mut first_of_hash: HashMap<u64, usize> = HashMap::new();
         let mut group_size: HashMap<u64, usize> = HashMap::new();
         {
             let cache = self.cache.lock().expect("cache lock");
-            for p in &prepared {
-                if !cache.contains_key(&p.hash) {
-                    *group_size.entry(p.pattern).or_insert(0) += 1;
+            for (i, pn) in prepared.iter().enumerate() {
+                if let Some(r) = cache.get(&pn.hash) {
+                    plan.push(Plan::Hit(Box::new(r.clone())));
+                    continue;
+                }
+                *group_size.entry(pn.pattern).or_insert(0) += 1;
+                match first_of_hash.get(&pn.hash) {
+                    Some(&j) => plan.push(Plan::Dup(j)),
+                    None => {
+                        first_of_hash.insert(pn.hash, i);
+                        plan.push(Plan::Solve);
+                    }
                 }
             }
         }
-        let presolved: Mutex<HashMap<usize, (NetResult, NetTiming)>> = Mutex::new(HashMap::new());
-        for (i, spec) in design.nets().iter().enumerate() {
+
+        // Deterministic pattern seeding: any group with at least two nets
+        // that will actually solve gets its first such net (in design
+        // order) solved *here*, sequentially, so the group's shared
+        // symbolic pattern never depends on scheduling. That matters
+        // because threshold pivoting is value-dependent — *which* net's
+        // pivot order a group shares is observable in the last bits of
+        // its siblings' factors, and batch results must stay
+        // byte-identical across thread counts. Groups whose pattern is
+        // already cached (an earlier run) skip straight to replay;
+        // singleton groups pay nothing here.
+        let mut presolves = 0usize;
+        let mut donor_attempted: HashSet<u64> = HashSet::new();
+        for i in 0..plan.len() {
+            if !matches!(plan[i], Plan::Solve) {
+                continue;
+            }
             let pn = &prepared[i];
             if group_size.get(&pn.pattern).is_none_or(|&c| c < 2) {
                 continue;
@@ -267,23 +339,16 @@ impl BatchEngine {
             {
                 continue;
             }
-            if self
-                .cache
-                .lock()
-                .expect("cache lock")
-                .contains_key(&pn.hash)
-            {
-                continue;
-            }
             // One donor attempt per group, whether or not it yields a
-            // pattern (dense nets never do — their siblings then factor
-            // independently, which is the pre-split behavior).
+            // pattern (dense nets never do — their siblings then replay
+            // the dense tape).
             group_size.remove(&pn.pattern);
+            donor_attempted.insert(pn.pattern);
+            let spec = &design.nets()[i];
             let t0 = Instant::now();
             let mut presolve_span = awe_obs::span("batch.presolve");
             presolve_span.note(i as f64, 0.0);
-            solves.fetch_add(1, Ordering::Relaxed);
-            SOLVES.incr();
+            presolves += 1;
             let (result, stages, pattern) = solve_net(
                 &spec.name,
                 pn.circuit(&spec.circuit),
@@ -299,108 +364,359 @@ impl BatchEngine {
                     .expect("pattern lock")
                     .insert(pn.pattern, p);
             }
-            self.cache
-                .lock()
-                .expect("cache lock")
-                .insert(pn.hash, result.clone());
-            presolved.lock().expect("presolve lock").insert(
-                i,
-                (
-                    result,
-                    NetTiming {
-                        latency: t0.elapsed(),
-                        stages,
-                        worker: CALLER_WORKER,
-                    },
-                ),
-            );
-        }
-
-        let (pairs, pool) = run_indexed(design.len(), opts.threads, |i, w| {
-            let mut net_span = awe_obs::span("batch.net");
-            net_span.note(i as f64, w as f64);
-            if let Some(pair) = presolved.lock().expect("presolve lock").remove(&i) {
-                return pair;
-            }
-            let spec = &design.nets()[i];
-            let pn = &prepared[i];
-            let hash = pn.hash;
-            let t0 = Instant::now();
-            let cached = self.cache.lock().expect("cache lock").get(&hash).cloned();
-            if let Some(mut hit) = cached {
-                hits.fetch_add(1, Ordering::Relaxed);
-                CACHE_HITS.incr();
-                hit.name.clone_from(&spec.name);
-                hit.cache_hit = true;
-                return (
-                    hit,
-                    NetTiming {
-                        latency: t0.elapsed(),
-                        stages: StageTimings::default(),
-                        worker: w,
-                    },
-                );
-            }
-            solves.fetch_add(1, Ordering::Relaxed);
-            SOLVES.incr();
-            let seed = self
-                .patterns
-                .lock()
-                .expect("pattern lock")
-                .get(&pn.pattern)
-                .cloned();
-            let (result, stages, pattern) = solve_net(
-                &spec.name,
-                pn.circuit(&spec.circuit),
-                pn.output,
-                hash,
-                opts,
-                seed.as_ref(),
-            );
-            match (&seed, &pattern) {
-                // The engine kept the seeded Arc ⇔ the solve refactored
-                // against it (a cold fallback records a fresh analysis).
-                (Some(s), Some(p)) if Arc::ptr_eq(s, p) => {
-                    pattern_hits.fetch_add(1, Ordering::Relaxed);
-                    PATTERN_HITS.incr();
-                }
-                // Unseeded sparse net: record its pattern for future runs
-                // (ECO edits of this net refactor instead of re-analysing).
-                (None, Some(p)) => {
-                    self.patterns
-                        .lock()
-                        .expect("pattern lock")
-                        .entry(pn.pattern)
-                        .or_insert_with(|| p.clone());
-                }
-                _ => {}
-            }
-            self.cache
-                .lock()
-                .expect("cache lock")
-                .insert(hash, result.clone());
-            (
+            plan[i] = Plan::Done(Box::new((
                 result,
                 NetTiming {
                     latency: t0.elapsed(),
                     stages,
-                    worker: w,
+                    worker: CALLER_WORKER,
                 },
-            )
+            )));
+        }
+
+        // Pattern snapshot: presolve is done, so the only patterns that
+        // can still appear this run come from singleton groups nobody
+        // else shares — one lock, then lock-free reads from every
+        // worker.
+        let snapshot: HashMap<u64, SharedSymbolic> =
+            self.patterns.lock().expect("pattern lock").clone();
+
+        // Partition the remaining solves into work units.
+        let tape_on = tape::tape_applicable(opts);
+        let mut order_of_pattern: HashMap<u64, usize> = HashMap::new();
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for i in 0..plan.len() {
+            if !matches!(plan[i], Plan::Solve) {
+                continue;
+            }
+            let key = prepared[i].pattern;
+            let gi = *order_of_pattern.entry(key).or_insert_with(|| {
+                groups.push((key, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push(i);
+        }
+        let mut units: Vec<Unit> = Vec::new();
+        let mut scalar_nets: Vec<usize> = Vec::new();
+        let mut tapes_compiled = 0usize;
+        for (key, members) in groups {
+            let symbolic = snapshot.get(&key).cloned();
+            // A tape applies when the group's shared pattern is known
+            // (sparse replay — even for one member, e.g. an ECO re-run),
+            // or when its donor solved this run and ended dense (the
+            // members share its topology, so they will too).
+            if !tape_on || (symbolic.is_none() && !donor_attempted.contains(&key)) {
+                scalar_nets.extend(members);
+                continue;
+            }
+            let tape = {
+                let mut tapes = self.tapes.lock().expect("tape lock");
+                let cached = tapes
+                    .get(&key)
+                    .filter(|t| {
+                        t.matches(opts)
+                            && match (&t.kind, &symbolic) {
+                                (TapeKind::Sparse { symbolic: s }, Some(cur)) => {
+                                    Arc::ptr_eq(s, cur)
+                                }
+                                (TapeKind::Dense, None) => true,
+                                _ => false,
+                            }
+                    })
+                    .cloned();
+                match cached {
+                    Some(t) => t,
+                    None => {
+                        tapes_compiled += 1;
+                        // The first member stands in as the group's donor
+                        // for stamp-program compilation (any member works:
+                        // the program is topology-only and self-checks).
+                        let donor = members
+                            .first()
+                            .map(|&i| prepared[i].circuit(&design.nets()[i].circuit));
+                        let t = Arc::new(tape::compile(key, donor, symbolic, opts));
+                        tapes.insert(key, t.clone());
+                        t
+                    }
+                }
+            };
+            let chunk = match tape.kind {
+                TapeKind::Sparse { .. } => SPARSE_CHUNK,
+                TapeKind::Dense => DENSE_CHUNK,
+            };
+            units.extend(members.chunks(chunk).map(|c| Unit::Tape {
+                tape: tape.clone(),
+                members: c.to_vec(),
+            }));
+        }
+        scalar_nets.sort_unstable();
+        units.extend(
+            scalar_nets
+                .chunks(SCALAR_CHUNK)
+                .map(|c| Unit::Scalar { nets: c.to_vec() }),
+        );
+
+        // Every worker owns one arena for the whole run, persisted on
+        // the engine so a serve daemon's repeated runs keep their
+        // buffers warm.
+        let threads = effective_threads(opts.threads, units.len());
+        let arenas: Vec<Mutex<WorkerArena>> = {
+            let mut stored = self.arenas.lock().expect("arena lock");
+            while stored.len() < threads {
+                stored.push(WorkerArena::new());
+            }
+            stored.drain(..).map(Mutex::new).collect()
+        };
+
+        let (unit_outs, pool) = run_indexed(units.len(), opts.threads, |u, w| {
+            let arena = &arenas[w % arenas.len()];
+            match &units[u] {
+                Unit::Tape { tape, members } => {
+                    let tms: Vec<TapeMember<'_>> = members
+                        .iter()
+                        .map(|&i| {
+                            let spec = &design.nets()[i];
+                            let pn = &prepared[i];
+                            TapeMember {
+                                index: i,
+                                name: &spec.name,
+                                circuit: pn.circuit(&spec.circuit),
+                                output: pn.output,
+                                hash: pn.hash,
+                            }
+                        })
+                        .collect();
+                    let mut arena = arena.lock().expect("arena lock");
+                    let (outcomes, stats) = tape::replay_block(tape, &tms, opts, &mut arena);
+                    UnitOut {
+                        items: outcomes
+                            .into_iter()
+                            .map(|o| Item {
+                                index: o.index,
+                                pattern: tape.pattern,
+                                result: o.result,
+                                timing: NetTiming {
+                                    latency: o.latency,
+                                    stages: o.stages,
+                                    worker: w,
+                                },
+                                pattern_hit: o.pattern_hit,
+                                new_pattern: o.new_pattern,
+                                fallback: o.fallback,
+                            })
+                            .collect(),
+                        replays: 1,
+                        lane_blocks: stats.lane_blocks,
+                        lane_lanes: stats.lane_lanes,
+                    }
+                }
+                Unit::Scalar { nets } => {
+                    let items = nets
+                        .iter()
+                        .map(|&i| {
+                            let spec = &design.nets()[i];
+                            let pn = &prepared[i];
+                            let mut net_span = awe_obs::span("batch.net");
+                            net_span.note(i as f64, w as f64);
+                            let t0 = Instant::now();
+                            let seed = snapshot.get(&pn.pattern);
+                            let (result, stages, pattern) = solve_net(
+                                &spec.name,
+                                pn.circuit(&spec.circuit),
+                                pn.output,
+                                pn.hash,
+                                opts,
+                                seed,
+                            );
+                            // The engine kept the seeded Arc ⇔ the solve
+                            // refactored against it; an unseeded sparse
+                            // net records its fresh pattern for future
+                            // runs.
+                            let pattern_hit = matches!(
+                                (seed, &pattern),
+                                (Some(s), Some(p)) if Arc::ptr_eq(s, p)
+                            );
+                            let new_pattern = match (seed, pattern) {
+                                (None, Some(p)) => Some(p),
+                                _ => None,
+                            };
+                            Item {
+                                index: i,
+                                pattern: pn.pattern,
+                                result,
+                                timing: NetTiming {
+                                    latency: t0.elapsed(),
+                                    stages,
+                                    worker: w,
+                                },
+                                pattern_hit,
+                                new_pattern,
+                                fallback: false,
+                            }
+                        })
+                        .collect();
+                    UnitOut {
+                        items,
+                        replays: 0,
+                        lane_blocks: 0,
+                        lane_lanes: 0,
+                    }
+                }
+            }
         });
-        let (results, timings) = pairs.into_iter().unzip();
+
+        // Give the arenas back for the next run.
+        *self.arenas.lock().expect("arena lock") = arenas
+            .into_iter()
+            .map(|m| m.into_inner().expect("arena poisoned"))
+            .collect();
+
+        // Scatter results by design index and accumulate accounting.
+        let n = design.len();
+        let mut results: Vec<Option<NetResult>> = (0..n).map(|_| None).collect();
+        let mut timings: Vec<NetTiming> = vec![NetTiming::default(); n];
+        let mut solves = presolves;
+        let mut pattern_hits = 0usize;
+        let mut scalar_fallbacks = 0usize;
+        let mut tape_replays = 0usize;
+        let mut lane_blocks = 0usize;
+        let mut lane_lanes = 0usize;
+        let mut new_patterns: Vec<(u64, SharedSymbolic)> = Vec::new();
+        for out in unit_outs {
+            tape_replays += out.replays;
+            lane_blocks += out.lane_blocks;
+            lane_lanes += out.lane_lanes;
+            for item in out.items {
+                solves += 1;
+                pattern_hits += usize::from(item.pattern_hit);
+                scalar_fallbacks += usize::from(item.fallback);
+                if let Some(p) = item.new_pattern {
+                    new_patterns.push((item.pattern, p));
+                }
+                timings[item.index] = item.timing;
+                results[item.index] = Some(item.result);
+            }
+        }
+        let mut cache_hits = 0usize;
+        let mut dups: Vec<(usize, usize)> = Vec::new();
+        let mut to_cache: Vec<usize> = Vec::new();
+        for (i, p) in plan.into_iter().enumerate() {
+            match p {
+                Plan::Hit(mut r) => {
+                    cache_hits += 1;
+                    r.name.clone_from(&design.nets()[i].name);
+                    r.cache_hit = true;
+                    results[i] = Some(*r);
+                    timings[i] = NetTiming {
+                        latency: Duration::ZERO,
+                        stages: StageTimings::default(),
+                        worker: CALLER_WORKER,
+                    };
+                }
+                Plan::Dup(j) => dups.push((i, j)),
+                Plan::Solve => to_cache.push(i),
+                Plan::Done(boxed) => {
+                    let (r, t) = *boxed;
+                    results[i] = Some(r);
+                    timings[i] = t;
+                    to_cache.push(i);
+                }
+            }
+        }
+        for (i, j) in dups {
+            let mut r = results[j].clone().expect("dup source resolved");
+            cache_hits += 1;
+            r.name.clone_from(&design.nets()[i].name);
+            r.cache_hit = true;
+            results[i] = Some(r);
+            timings[i] = NetTiming {
+                latency: Duration::ZERO,
+                stages: StageTimings::default(),
+                worker: CALLER_WORKER,
+            };
+        }
+        SOLVES.add(solves as u64);
+        CACHE_HITS.add(cache_hits as u64);
+        PATTERN_HITS.add(pattern_hits as u64);
+
+        // Batched cache/pattern insertion: one lock each at the end of
+        // the run instead of one per net.
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for i in to_cache {
+                let r = results[i].as_ref().expect("solved net resolved");
+                cache.insert(prepared[i].hash, r.clone());
+            }
+        }
+        if !new_patterns.is_empty() {
+            let mut pats = self.patterns.lock().expect("pattern lock");
+            for (key, p) in new_patterns {
+                pats.entry(key).or_insert(p);
+            }
+        }
+
         BatchRun {
             design: design.name.clone(),
             parse_time: design.parse_time,
             wall: start.elapsed(),
-            results,
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every net resolved"))
+                .collect(),
             timings,
             pool,
-            solves: solves.into_inner(),
-            cache_hits: hits.into_inner(),
-            pattern_hits: pattern_hits.into_inner(),
+            solves,
+            cache_hits,
+            pattern_hits,
+            tapes_compiled,
+            tape_replays,
+            lane_blocks,
+            lane_lanes,
+            scalar_fallbacks,
         }
     }
+}
+
+/// Per-net disposition after the cache pass.
+enum Plan {
+    /// Served from the cache snapshot.
+    Hit(Box<NetResult>),
+    /// Same structural hash as an earlier net this run; clones its result.
+    Dup(usize),
+    /// Needs a solve (scheduled unless promoted to `Done` by presolve).
+    Solve,
+    /// Solved by the sequential donor presolve on the caller thread.
+    Done(Box<(NetResult, NetTiming)>),
+}
+
+/// One pool job: a whole batch of nets scheduled as a unit.
+enum Unit {
+    /// Replay `members` (design indices) of one group tape.
+    Tape {
+        tape: Arc<GroupTape>,
+        members: Vec<usize>,
+    },
+    /// Scalar solves for nets with no applicable tape.
+    Scalar { nets: Vec<usize> },
+}
+
+/// Scatter record for one scheduled net.
+struct Item {
+    index: usize,
+    pattern: u64,
+    result: NetResult,
+    timing: NetTiming,
+    pattern_hit: bool,
+    new_pattern: Option<SharedSymbolic>,
+    fallback: bool,
+}
+
+/// What one work unit produced.
+struct UnitOut {
+    items: Vec<Item>,
+    replays: usize,
+    lane_blocks: usize,
+    lane_lanes: usize,
 }
 
 /// One full AWE solve of a net, with stage times. A `seed` pattern is
@@ -408,7 +724,7 @@ impl BatchEngine {
 /// analysis; the pattern the engine ends up with (the seed if the
 /// refactorization succeeded, a freshly analysed one otherwise, `None` on
 /// the dense path) is returned for the caches.
-fn solve_net(
+pub(crate) fn solve_net(
     name: &str,
     circuit: &Circuit,
     output: NodeId,
@@ -421,23 +737,7 @@ fn solve_net(
     } else {
         opts.order
     };
-    let mut result = NetResult {
-        name: name.to_owned(),
-        hash,
-        nodes: circuit.num_nodes(),
-        elements: circuit.elements().len(),
-        requested_order: requested,
-        order: 0,
-        escalations: 0,
-        stable: false,
-        rescued: false,
-        error_estimate: None,
-        delay_50: None,
-        final_value: 0.0,
-        poles: Vec::new(),
-        cache_hit: false,
-        error: None,
-    };
+    let mut result = blank_result(name, hash, circuit, requested);
     let engine = match AweEngine::new(circuit) {
         Ok(e) => e,
         Err(e) => {
@@ -463,7 +763,7 @@ fn solve_net(
         Some(target) => auto_solve(&engine, output, target, opts, &mut stages, &mut result),
     };
     match outcome {
-        Ok(approx) => fill(&mut result, &approx),
+        Ok(approx) => fill_result(&mut result, &approx),
         Err(e) => result.error = Some(e.to_string()),
     }
     let pattern = engine.factor_pattern();
@@ -531,7 +831,35 @@ fn accumulate(stages: &mut StageTimings, clock: &StageTimings) {
     stages.residues += clock.residues;
 }
 
-fn fill(result: &mut NetResult, approx: &AweApproximation) {
+/// The pre-solve result skeleton for one net: everything known before
+/// analysis, error and approximation fields blank.
+pub(crate) fn blank_result(
+    name: &str,
+    hash: u64,
+    circuit: &Circuit,
+    requested: usize,
+) -> NetResult {
+    NetResult {
+        name: name.to_owned(),
+        hash,
+        nodes: circuit.num_nodes(),
+        elements: circuit.elements().len(),
+        requested_order: requested,
+        order: 0,
+        escalations: 0,
+        stable: false,
+        rescued: false,
+        error_estimate: None,
+        delay_50: None,
+        final_value: 0.0,
+        poles: Vec::new(),
+        cache_hit: false,
+        error: None,
+    }
+}
+
+/// Copies a delivered approximation's observables into a result row.
+pub(crate) fn fill_result(result: &mut NetResult, approx: &AweApproximation) {
     result.order = approx.order;
     result.stable = approx.stable;
     result.rescued = approx.discarded > 0;

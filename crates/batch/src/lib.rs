@@ -44,6 +44,7 @@ pub mod engine;
 pub mod metrics;
 pub mod pool;
 pub mod report;
+pub mod tape;
 
 pub use awe_circuit::ReduceOptions;
 pub use design::{
@@ -53,3 +54,4 @@ pub use engine::{BatchEngine, BatchOptions, BatchRun, NetResult, NetTiming};
 pub use metrics::RunMetrics;
 pub use pool::PoolStats;
 pub use report::{json_report, text_report};
+pub use tape::{GroupTape, TapeKind, TapeOp, WorkerArena};

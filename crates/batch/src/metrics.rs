@@ -33,6 +33,16 @@ pub struct RunMetrics {
     /// Solves that reused a cached symbolic LU pattern (numeric
     /// refactorization instead of a full symbolic+numeric factor).
     pub pattern_hits: usize,
+    /// Group tapes compiled this run (cache-served tapes compile nothing).
+    pub tapes_compiled: usize,
+    /// Tape replay invocations (one per scheduled member block).
+    pub tape_replays: usize,
+    /// Mean live-lane occupancy of the sparse lane blocks executed, in
+    /// `[0, 1]` (`None` when no lane block ran).
+    pub lane_occupancy: Option<f64>,
+    /// Tape members that diverged from their block and finished on the
+    /// scalar solve path.
+    pub scalar_fallbacks: usize,
     /// Nets whose analysis failed.
     pub failures: usize,
     /// Nets that escalated past their requested/starting order.
@@ -97,6 +107,12 @@ impl RunMetrics {
             solves: run.solves,
             cache_hits: run.cache_hits,
             pattern_hits: run.pattern_hits,
+            tapes_compiled: run.tapes_compiled,
+            tape_replays: run.tape_replays,
+            lane_occupancy: (run.lane_blocks > 0).then(|| {
+                run.lane_lanes as f64 / (run.lane_blocks * awe_numeric::LANE_WIDTH) as f64
+            }),
+            scalar_fallbacks: run.scalar_fallbacks,
             failures: run.results.iter().filter(|r| r.error.is_some()).count(),
             escalated: run.results.iter().filter(|r| r.escalations > 0).count(),
             rescued: run.results.iter().filter(|r| r.rescued).count(),

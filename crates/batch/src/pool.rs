@@ -238,7 +238,7 @@ fn steal_size(len: usize) -> usize {
     }
 }
 
-fn effective_threads(requested: usize, jobs: usize) -> usize {
+pub(crate) fn effective_threads(requested: usize, jobs: usize) -> usize {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let t = if requested == 0 {
         cores

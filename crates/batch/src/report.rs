@@ -64,6 +64,15 @@ pub fn text_report(run: &BatchRun, include_timings: bool) -> String {
         let _ = writeln!(out, "pattern-hits {}", m.pattern_hits);
         let _ = writeln!(
             out,
+            "tapes compiled {}  replays {}  lane-occupancy {}  scalar-fallbacks {}",
+            m.tapes_compiled,
+            m.tape_replays,
+            m.lane_occupancy
+                .map_or("-".to_string(), |o| format!("{:.0} %", 100.0 * o)),
+            m.scalar_fallbacks
+        );
+        let _ = writeln!(
+            out,
             "threads {}  steals {}  per-worker {:?}",
             run.pool.threads,
             run.pool.total_steals(),
@@ -141,6 +150,15 @@ pub fn json_report(run: &BatchRun, include_timings: bool) -> String {
         let _ = writeln!(out, "  \"stages_cpu_s\": {},", stage_json(&m.stages_cpu));
         let _ = writeln!(out, "  \"stages_wall_s\": {},", stage_json(&m.stages_wall));
         let _ = writeln!(out, "  \"pattern_hits\": {},", m.pattern_hits);
+        let _ = writeln!(
+            out,
+            "  \"tape\": {{\"compiled\": {}, \"replays\": {}, \"lane_occupancy\": {}, \
+             \"scalar_fallbacks\": {}}},",
+            m.tapes_compiled,
+            m.tape_replays,
+            json_opt_f64(m.lane_occupancy),
+            m.scalar_fallbacks
+        );
         let _ = writeln!(
             out,
             "  \"pool\": {{\"threads\": {}, \"steals\": {}}},",

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use awe_circuit::{Circuit, NodeId};
 use awe_circuit::{ReduceOptions, Reduced};
-use awe_mna::{MnaSystem, MomentEngine, MomentWorkspace, Piece};
+use awe_mna::{Decomposition, MnaSystem, MomentEngine, MomentWorkspace, Piece};
 use awe_numeric::SharedSymbolic;
 use awe_obs::Health;
 
@@ -338,299 +338,312 @@ impl AweEngine {
             }
         };
 
-        let mut last: Option<AweApproximation> = None;
-        for q in order..=(order + options.max_escalation) {
-            let approx = self.reduce_at(
-                &dec.pieces,
-                dec.baseline[..].to_vec(),
-                idx,
-                q,
-                options,
-                false,
-                &mut clock,
-            )?;
-            let stable = approx.stable;
-            last = Some(approx);
-            if stable {
-                break;
-            }
-        }
-        let mut approx = last.expect("at least one attempt");
-
-        // §3.3 exhausted and the model is still unstable: last resort is
-        // partial Padé at the requested order — discard the RHP and
-        // spurious poles and refit the surviving residues against the
-        // leading moments (m₋₁/m₀ conservation kept exact, §5.3). The
-        // rescued model keeps the original Hankel condition: filtering
-        // poles does not make the solve that produced them any better.
-        if !approx.stable {
-            match self.reduce_at(
-                &dec.pieces,
-                dec.baseline[..].to_vec(),
-                idx,
-                order,
-                options,
-                true,
-                &mut clock,
-            ) {
-                Ok(rescued) if rescued.stable => {
-                    awe_obs::health(Health::PadeRescued {
-                        order,
-                        kept: rescued.order,
-                    });
-                    approx = rescued;
-                }
-                _ => {
-                    awe_obs::health(Health::PadeRejected { order });
-                }
-            }
-        }
-
-        if options.error_estimate && approx.stable {
-            let q1 = approx.order + 1;
-            if let Ok(reference) = self.reduce_at(
-                &dec.pieces,
-                dec.baseline[..].to_vec(),
-                idx,
-                q1,
-                AweOptions {
-                    error_estimate: false,
-                    max_escalation: 0,
-                    ..options
-                },
-                false,
-                &mut clock,
-            ) {
-                // An untrustworthy (q+1) reference — unstable, or solved
-                // through a moment matrix past the condition cap — would
-                // make the §3.4 estimate pure noise; leave `None` so
-                // callers know no estimate exists rather than handing
-                // them garbage that happens to look small.
-                if reference.stable && reference.condition <= CONDITION_WARN {
-                    approx.error_estimate = aggregate_error(&reference, &approx);
-                }
-            }
-        }
+        let result = reduce_decomposition(&dec, idx, order, options, &mut clock);
         // Return the decomposition's vectors to the pool so the next
         // solve's recursion starts warm.
         self.workspace.lock().expect("workspace lock").recycle(dec);
-        if awe_obs::enabled() {
-            if approx.order != order {
-                awe_obs::health(Health::PadeOrder {
-                    requested: order,
-                    chosen: approx.order,
+        Ok((result?, clock))
+    }
+}
+
+/// Reduces a finished moment decomposition to the delivered order-`order`
+/// approximation at unknown `idx`, applying the engine's full delivery
+/// policy: the §3.3 escalation loop, the last-resort partial-Padé rescue
+/// (§5.3), the §3.4 `(q+1)` error estimate with its trust gates, and the
+/// `pade_order` / `condition_warning` health events. This is the exact
+/// tail of [`AweEngine::approximate_timed`] after moment generation,
+/// factored out so the batch tape VM replays the identical policy over
+/// lane-decomposed group members.
+///
+/// # Errors
+///
+/// * [`AweError::BadOrder`] for `order == 0`.
+/// * [`AweError::MomentMatrixSingular`] only if even order 1 fails.
+/// * [`AweError::Numeric`] for unrecoverable reduction failures.
+pub fn reduce_decomposition(
+    dec: &Decomposition,
+    idx: usize,
+    order: usize,
+    options: AweOptions,
+    clock: &mut StageTimings,
+) -> Result<AweApproximation, AweError> {
+    if order == 0 {
+        return Err(AweError::BadOrder { order });
+    }
+    let baseline = dec.baseline[idx];
+    let mut last: Option<AweApproximation> = None;
+    for q in order..=(order + options.max_escalation) {
+        let approx = reduce_at(&dec.pieces, baseline, idx, q, options, false, clock)?;
+        let stable = approx.stable;
+        last = Some(approx);
+        if stable {
+            break;
+        }
+    }
+    let mut approx = last.expect("at least one attempt");
+
+    // §3.3 exhausted and the model is still unstable: last resort is
+    // partial Padé at the requested order — discard the RHP and
+    // spurious poles and refit the surviving residues against the
+    // leading moments (m₋₁/m₀ conservation kept exact, §5.3). The
+    // rescued model keeps the original Hankel condition: filtering
+    // poles does not make the solve that produced them any better.
+    if !approx.stable {
+        match reduce_at(&dec.pieces, baseline, idx, order, options, true, clock) {
+            Ok(rescued) if rescued.stable => {
+                awe_obs::health(Health::PadeRescued {
+                    order,
+                    kept: rescued.order,
                 });
+                approx = rescued;
             }
-            if approx.condition > CONDITION_WARN {
-                awe_obs::health(Health::ConditionWarning {
-                    condition: approx.condition,
-                });
+            _ => {
+                awe_obs::health(Health::PadeRejected { order });
             }
         }
-        Ok((approx, clock))
     }
 
-    /// Builds the order-`q` approximation at unknown `idx` from decomposed
-    /// pieces. With `rescue` set, an unstable piece model goes through the
-    /// partial-Padé filter (see [`rescue_terms`]) instead of being
-    /// delivered as-is.
-    #[allow(clippy::too_many_arguments)]
-    fn reduce_at(
-        &self,
-        pieces: &[Piece],
-        baseline: Vec<f64>,
-        idx: usize,
-        q: usize,
-        options: AweOptions,
-        rescue: bool,
-        clock: &mut StageTimings,
-    ) -> Result<AweApproximation, AweError> {
-        let pade_opts = PadeOptions {
-            frequency_scaling: options.frequency_scaling,
-            ..PadeOptions::default()
-        };
-        let mut out_pieces = Vec::with_capacity(pieces.len());
-        let mut condition = 0.0f64;
-        let mut stable = true;
-        let mut used_order = 0usize;
-        let mut discarded = 0usize;
-        let mut moment_tail: Option<f64> = None;
+    if options.error_estimate && approx.stable {
+        let q1 = approx.order + 1;
+        if let Ok(reference) = reduce_at(
+            &dec.pieces,
+            baseline,
+            idx,
+            q1,
+            AweOptions {
+                error_estimate: false,
+                max_escalation: 0,
+                ..options
+            },
+            false,
+            clock,
+        ) {
+            // An untrustworthy (q+1) reference — unstable, or solved
+            // through a moment matrix past the condition cap — would
+            // make the §3.4 estimate pure noise; leave `None` so
+            // callers know no estimate exists rather than handing
+            // them garbage that happens to look small.
+            if reference.stable && reference.condition <= CONDITION_WARN {
+                approx.error_estimate = aggregate_error(&reference, &approx);
+            }
+        }
+    }
+    if awe_obs::enabled() {
+        if approx.order != order {
+            awe_obs::health(Health::PadeOrder {
+                requested: order,
+                chosen: approx.order,
+            });
+        }
+        if approx.condition > CONDITION_WARN {
+            awe_obs::health(Health::ConditionWarning {
+                condition: approx.condition,
+            });
+        }
+    }
+    Ok(approx)
+}
 
-        for piece in pieces {
-            let moments: Vec<f64> = piece.moments.iter().map(|m| m[idx]).collect();
-            let a = piece.a[idx];
-            let b = piece.b[idx];
-            let scale = moments.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-            let transient = if scale == 0.0 {
-                ExpSum::zero()
+/// Builds the order-`q` approximation at unknown `idx` from decomposed
+/// pieces. With `rescue` set, an unstable piece model goes through the
+/// partial-Padé filter (see [`rescue_terms`]) instead of being
+/// delivered as-is.
+#[allow(clippy::too_many_arguments)]
+fn reduce_at(
+    pieces: &[Piece],
+    baseline: f64,
+    idx: usize,
+    q: usize,
+    options: AweOptions,
+    rescue: bool,
+    clock: &mut StageTimings,
+) -> Result<AweApproximation, AweError> {
+    let pade_opts = PadeOptions {
+        frequency_scaling: options.frequency_scaling,
+        ..PadeOptions::default()
+    };
+    let mut out_pieces = Vec::with_capacity(pieces.len());
+    let mut condition = 0.0f64;
+    let mut stable = true;
+    let mut used_order = 0usize;
+    let mut discarded = 0usize;
+    let mut moment_tail: Option<f64> = None;
+
+    for piece in pieces {
+        let moments: Vec<f64> = piece.moments.iter().map(|m| m[idx]).collect();
+        let a = piece.a[idx];
+        let b = piece.b[idx];
+        let scale = moments.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let transient = if scale == 0.0 {
+            ExpSum::zero()
+        } else {
+            // Reduce, backing off if the moment matrix says the true
+            // order at this node is lower than q — or *escalating* in
+            // the paper's §3.3 "no solution" case (e.g. a piece whose
+            // initial value m₋₁ is exactly zero cannot be matched by
+            // one pole: the 1×1 moment matrix is singular, but order 2
+            // solves it). A singular *residue* system (rounding-level
+            // ghost roots colliding past the true order) also backs
+            // the order off.
+            // §4.3 slope matching: prepend m₋₂ to the sequence so the
+            // Hankel window shifts one step toward the initial slope.
+            let slope_seq: Option<Vec<f64>> = if options.match_initial_slope {
+                piece.m_minus2.as_ref().map(|m2| {
+                    let mut seq = Vec::with_capacity(moments.len() + 1);
+                    seq.push(m2[idx]);
+                    seq.extend_from_slice(&moments);
+                    seq
+                })
             } else {
-                // Reduce, backing off if the moment matrix says the true
-                // order at this node is lower than q — or *escalating* in
-                // the paper's §3.3 "no solution" case (e.g. a piece whose
-                // initial value m₋₁ is exactly zero cannot be matched by
-                // one pole: the 1×1 moment matrix is singular, but order 2
-                // solves it). A singular *residue* system (rounding-level
-                // ghost roots colliding past the true order) also backs
-                // the order off.
-                // §4.3 slope matching: prepend m₋₂ to the sequence so the
-                // Hankel window shifts one step toward the initial slope.
-                let slope_seq: Option<Vec<f64>> = if options.match_initial_slope {
-                    piece.m_minus2.as_ref().map(|m2| {
-                        let mut seq = Vec::with_capacity(moments.len() + 1);
-                        seq.push(m2[idx]);
-                        seq.extend_from_slice(&moments);
-                        seq
-                    })
-                } else {
-                    None
-                };
-                let max_q = moments.len() / 2;
-                let mut q_eff = q.min(max_q);
-                let mut visited = vec![false; max_q + 1];
-                let (pade, terms) = loop {
-                    if visited[q_eff] {
-                        return Err(AweError::MomentMatrixSingular {
-                            order: q,
-                            achievable: 0,
-                        });
-                    }
-                    visited[q_eff] = true;
-                    let pade_start = Instant::now();
-                    let pade_span = awe_obs::span("pade");
-                    let poles_attempt = match slope_seq.as_deref() {
-                        Some(seq) => match_poles(seq, q_eff, pade_opts),
-                        None => match_poles(&moments, q_eff, pade_opts),
-                    };
-                    drop(pade_span);
-                    clock.pade += pade_start.elapsed();
-                    let attempt = poles_attempt.and_then(|p| {
-                        let residues_start = Instant::now();
-                        let residues_span = awe_obs::span("residues");
-                        let terms = match slope_seq.as_deref() {
-                            Some(seq) => match_residues_with_slope(&p.poles, seq),
-                            None => match_residues(&p.poles, &moments),
-                        };
-                        drop(residues_span);
-                        clock.residues += residues_start.elapsed();
-                        terms.map(|t| (p, t))
-                    });
-                    match attempt {
-                        Ok(ok) => break ok,
-                        Err(AweError::MomentMatrixSingular { achievable, .. })
-                            if achievable > 0 && achievable < q_eff && !visited[achievable] =>
-                        {
-                            awe_obs::health(Health::OrderFallback {
-                                from: q_eff,
-                                to: achievable,
-                            });
-                            q_eff = achievable;
-                        }
-                        Err(AweError::MomentMatrixSingular { .. })
-                            if options.allow_order_bump && q_eff < max_q && !visited[q_eff + 1] =>
-                        {
-                            q_eff += 1;
-                        }
-                        Err(AweError::Numeric(_)) if q_eff > 1 && !visited[q_eff - 1] => {
-                            awe_obs::health(Health::OrderFallback {
-                                from: q_eff,
-                                to: q_eff - 1,
-                            });
-                            q_eff -= 1;
-                        }
-                        Err(e) => return Err(e),
-                    }
-                };
-                condition = condition.max(pade.condition);
-                if awe_obs::enabled() {
-                    awe_obs::health(Health::MomentScale {
-                        gamma: pade.gamma,
-                        condition: pade.condition,
-                    });
-                }
-                // Drop ghost terms: non-finite poles (exactly-deflated
-                // fast modes) and residues at rounding level relative to
-                // the largest — they contribute nothing but can carry
-                // spurious instability flags when the requested order
-                // exceeds the observable order at this node. Repeated-pole
-                // coefficients multiply `t^d/d!` and carry units of
-                // V/s^d, so the comparison uses the unit-consistent
-                // magnitude `|k|/|p|^d` (the term's scale near
-                // `t ≈ 1/|p|`).
-                let magnitude = |t: &crate::terms::ExpTerm| {
-                    t.coeff.abs() * t.pole.abs().powi(-(t.power as i32))
-                };
-                let max_mag = terms.iter().map(magnitude).fold(0.0f64, f64::max);
-                let kept: Vec<_> = terms
-                    .into_iter()
-                    .filter(|t| {
-                        t.pole.is_finite() && t.coeff.is_finite() && magnitude(t) > 1e-8 * max_mag
-                    })
-                    .collect();
-                let mut sum = ExpSum::new(kept);
-                if rescue && !sum.is_stable() {
-                    if let Some((refit, dropped)) = rescue_terms(sum.terms(), &moments) {
-                        discarded += dropped;
-                        sum = refit;
-                    }
-                }
-                used_order = used_order.max(sum.terms().len());
-                if !sum.is_stable() {
-                    stable = false;
-                }
-                // Moment-tail check: the model was fit to sequence entries
-                // 0..2q; entries 2q and 2q+1 came out of the exact
-                // recursion but were never imposed. A model that also
-                // predicts them has captured every mode the output sees; a
-                // large relative miss means a truncated mode is still
-                // live. Recorded here, gated on in `approximate_auto`.
-                for r in [2 * q_eff, 2 * q_eff + 1] {
-                    if r >= moments.len() {
-                        continue;
-                    }
-                    let pred = sum
-                        .terms()
-                        .iter()
-                        .map(|t| term_moment(t, r))
-                        .fold(awe_numeric::Complex::ZERO, |a, b| a + b)
-                        .re;
-                    let actual = moments[r];
-                    let mag = actual.abs().max(pred.abs());
-                    let rel = if mag > 0.0 {
-                        (pred - actual).abs() / mag
-                    } else {
-                        0.0
-                    };
-                    moment_tail = Some(moment_tail.map_or(rel, |m| m.max(rel)));
-                }
-                sum
+                None
             };
-            out_pieces.push(ResponsePiece {
-                onset: piece.at,
-                a,
-                b,
-                transient,
-            });
-        }
-
-        if awe_obs::enabled() && condition > 0.0 {
-            CONDITION_HIST.record(condition);
-            awe_obs::health(Health::Condition {
-                stage: "pade",
-                estimate: condition,
-            });
-        }
-        Ok(AweApproximation {
-            order: if used_order == 0 { q } else { used_order },
-            baseline: baseline[idx],
-            pieces: out_pieces,
-            error_estimate: None,
-            condition,
-            stable,
-            discarded,
-            moment_tail,
-        })
+            let max_q = moments.len() / 2;
+            let mut q_eff = q.min(max_q);
+            let mut visited = vec![false; max_q + 1];
+            let (pade, terms) = loop {
+                if visited[q_eff] {
+                    return Err(AweError::MomentMatrixSingular {
+                        order: q,
+                        achievable: 0,
+                    });
+                }
+                visited[q_eff] = true;
+                let pade_start = Instant::now();
+                let pade_span = awe_obs::span("pade");
+                let poles_attempt = match slope_seq.as_deref() {
+                    Some(seq) => match_poles(seq, q_eff, pade_opts),
+                    None => match_poles(&moments, q_eff, pade_opts),
+                };
+                drop(pade_span);
+                clock.pade += pade_start.elapsed();
+                let attempt = poles_attempt.and_then(|p| {
+                    let residues_start = Instant::now();
+                    let residues_span = awe_obs::span("residues");
+                    let terms = match slope_seq.as_deref() {
+                        Some(seq) => match_residues_with_slope(&p.poles, seq),
+                        None => match_residues(&p.poles, &moments),
+                    };
+                    drop(residues_span);
+                    clock.residues += residues_start.elapsed();
+                    terms.map(|t| (p, t))
+                });
+                match attempt {
+                    Ok(ok) => break ok,
+                    Err(AweError::MomentMatrixSingular { achievable, .. })
+                        if achievable > 0 && achievable < q_eff && !visited[achievable] =>
+                    {
+                        awe_obs::health(Health::OrderFallback {
+                            from: q_eff,
+                            to: achievable,
+                        });
+                        q_eff = achievable;
+                    }
+                    Err(AweError::MomentMatrixSingular { .. })
+                        if options.allow_order_bump && q_eff < max_q && !visited[q_eff + 1] =>
+                    {
+                        q_eff += 1;
+                    }
+                    Err(AweError::Numeric(_)) if q_eff > 1 && !visited[q_eff - 1] => {
+                        awe_obs::health(Health::OrderFallback {
+                            from: q_eff,
+                            to: q_eff - 1,
+                        });
+                        q_eff -= 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            condition = condition.max(pade.condition);
+            if awe_obs::enabled() {
+                awe_obs::health(Health::MomentScale {
+                    gamma: pade.gamma,
+                    condition: pade.condition,
+                });
+            }
+            // Drop ghost terms: non-finite poles (exactly-deflated
+            // fast modes) and residues at rounding level relative to
+            // the largest — they contribute nothing but can carry
+            // spurious instability flags when the requested order
+            // exceeds the observable order at this node. Repeated-pole
+            // coefficients multiply `t^d/d!` and carry units of
+            // V/s^d, so the comparison uses the unit-consistent
+            // magnitude `|k|/|p|^d` (the term's scale near
+            // `t ≈ 1/|p|`).
+            let magnitude =
+                |t: &crate::terms::ExpTerm| t.coeff.abs() * t.pole.abs().powi(-(t.power as i32));
+            let max_mag = terms.iter().map(magnitude).fold(0.0f64, f64::max);
+            let kept: Vec<_> = terms
+                .into_iter()
+                .filter(|t| {
+                    t.pole.is_finite() && t.coeff.is_finite() && magnitude(t) > 1e-8 * max_mag
+                })
+                .collect();
+            let mut sum = ExpSum::new(kept);
+            if rescue && !sum.is_stable() {
+                if let Some((refit, dropped)) = rescue_terms(sum.terms(), &moments) {
+                    discarded += dropped;
+                    sum = refit;
+                }
+            }
+            used_order = used_order.max(sum.terms().len());
+            if !sum.is_stable() {
+                stable = false;
+            }
+            // Moment-tail check: the model was fit to sequence entries
+            // 0..2q; entries 2q and 2q+1 came out of the exact
+            // recursion but were never imposed. A model that also
+            // predicts them has captured every mode the output sees; a
+            // large relative miss means a truncated mode is still
+            // live. Recorded here, gated on in `approximate_auto`.
+            for r in [2 * q_eff, 2 * q_eff + 1] {
+                if r >= moments.len() {
+                    continue;
+                }
+                let pred = sum
+                    .terms()
+                    .iter()
+                    .map(|t| term_moment(t, r))
+                    .fold(awe_numeric::Complex::ZERO, |a, b| a + b)
+                    .re;
+                let actual = moments[r];
+                let mag = actual.abs().max(pred.abs());
+                let rel = if mag > 0.0 {
+                    (pred - actual).abs() / mag
+                } else {
+                    0.0
+                };
+                moment_tail = Some(moment_tail.map_or(rel, |m| m.max(rel)));
+            }
+            sum
+        };
+        out_pieces.push(ResponsePiece {
+            onset: piece.at,
+            a,
+            b,
+            transient,
+        });
     }
 
+    if awe_obs::enabled() && condition > 0.0 {
+        CONDITION_HIST.record(condition);
+        awe_obs::health(Health::Condition {
+            stage: "pade",
+            estimate: condition,
+        });
+    }
+    Ok(AweApproximation {
+        order: if used_order == 0 { q } else { used_order },
+        baseline,
+        pieces: out_pieces,
+        error_estimate: None,
+        condition,
+        stable,
+        discarded,
+        moment_tail,
+    })
+}
+
+impl AweEngine {
     /// Automatic order selection with the trust gates the §3.4 stop needs
     /// to be safe: starting from order 1, sweep upward and return the
     /// first model that is *trustworthy* — stable, moment-matrix condition

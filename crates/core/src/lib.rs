@@ -65,7 +65,7 @@ pub mod twopole;
 
 pub use awe_circuit::{reduce, ReduceOptions, Reduced, ReductionReport};
 pub use awe_numeric::{LuSymbolic, SharedSymbolic};
-pub use engine::{AweEngine, AweOptions, OrderReport, StageTimings};
+pub use engine::{reduce_decomposition, AweEngine, AweOptions, OrderReport, StageTimings};
 pub use error::AweError;
 pub use response::{AweApproximation, ResponsePiece};
 pub use terms::{ExpSum, ExpTerm};

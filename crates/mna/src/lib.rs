@@ -42,8 +42,13 @@
 
 mod error;
 mod moments;
+mod stamp;
 mod system;
 
 pub use error::MnaError;
-pub use moments::{Decomposition, InitialState, MomentEngine, MomentWorkspace, Piece, PieceKind};
+pub use moments::{
+    decompose_lanes_with, Decomposition, InitialState, MomentEngine, MomentWorkspace, Piece,
+    PieceKind, SPARSE_THRESHOLD,
+};
+pub use stamp::StampProgram;
 pub use system::{CapEntry, IndEntry, MnaSystem, SourceEntry};

@@ -38,7 +38,9 @@
 
 use std::sync::Arc;
 
-use awe_numeric::{Lu, LuSymbolic, Matrix, NumericError, SolveScratch, SparseLu, SparseMatrix};
+use awe_numeric::{
+    LaneLu, Lu, LuSymbolic, Matrix, NumericError, SolveScratch, SparseLu, SparseMatrix, LANE_WIDTH,
+};
 
 use crate::error::MnaError;
 use crate::system::MnaSystem;
@@ -120,6 +122,19 @@ pub struct Decomposition {
     pub pieces: Vec<Piece>,
 }
 
+/// A piece awaiting its moment sequence: everything but `moments`.
+/// Module-scoped so the proto-building and recursion phases of
+/// [`MomentEngine::decompose_with`] can be shared with the lane-merged
+/// [`decompose_lanes_with`] replay path.
+struct Proto {
+    kind: PieceKind,
+    at: f64,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    m_minus1: Vec<f64>,
+    m_minus2: Option<Vec<f64>>,
+}
+
 /// The conductance factorization: dense LU for small systems, sparse
 /// Gilbert–Peierls LU (with RCM column ordering) once the system is large
 /// and sparse enough for the fill-aware path to win.
@@ -149,8 +164,10 @@ impl Factorization {
     }
 }
 
-/// Unknown-count threshold above which the sparse path is attempted.
-const SPARSE_THRESHOLD: usize = 192;
+/// Unknown-count threshold above which [`MomentEngine::with_pattern`]
+/// attempts the sparse path. Public so batch replay layers can predict
+/// which factorization an unseeded engine would choose.
+pub const SPARSE_THRESHOLD: usize = 192;
 
 /// Caller-owned scratch space for the moment recursion.
 ///
@@ -313,6 +330,57 @@ impl<'a> MomentEngine<'a> {
             c_tilde_sparse: None,
             refactored: false,
         })
+    }
+
+    /// An engine over a *prebuilt* sparse factorization of `system`'s
+    /// `G̃` (e.g. one lane of a batch tape's [`awe_numeric::LaneLu`]
+    /// refactorization) plus the sparse image of `C̃`. Counts as a
+    /// refactorization (see [`MomentEngine::refactored`]); every solve is
+    /// bit-identical to an engine whose [`MomentEngine::with_pattern`]
+    /// refactorization produced the same factor values.
+    pub fn from_sparse(
+        system: &'a MnaSystem,
+        lu: SparseLu,
+        c_tilde_sparse: SparseMatrix,
+    ) -> MomentEngine<'a> {
+        MomentEngine {
+            system,
+            lu: Factorization::Sparse(lu),
+            c_tilde_sparse: Some(c_tilde_sparse),
+            refactored: true,
+        }
+    }
+
+    /// An engine over a prebuilt *dense* LU of `system`'s `G̃` (e.g. a
+    /// [`Lu::factor_reusing`] factorization recycling a batch arena's
+    /// buffers). Bit-identical to the dense path of
+    /// [`MomentEngine::with_pattern`] given identical factor values.
+    pub fn from_dense(system: &'a MnaSystem, lu: Lu) -> MomentEngine<'a> {
+        MomentEngine {
+            system,
+            lu: Factorization::Dense(lu),
+            c_tilde_sparse: None,
+            refactored: false,
+        }
+    }
+
+    /// Consumes the engine, returning the dense LU for buffer recycling
+    /// (`None` on the sparse path).
+    pub fn into_dense_lu(self) -> Option<Lu> {
+        match self.lu {
+            Factorization::Dense(lu) => Some(lu),
+            Factorization::Sparse(_) => None,
+        }
+    }
+
+    /// Consumes the engine, returning the sparse factorization and `C̃`
+    /// image for buffer recycling (`None` on the dense path or when no
+    /// sparse image was kept).
+    pub fn into_sparse(self) -> Option<(SparseLu, SparseMatrix)> {
+        match (self.lu, self.c_tilde_sparse) {
+            (Factorization::Sparse(lu), Some(c)) => Some((lu, c)),
+            _ => None,
+        }
     }
 
     /// Whether this engine's factorization was a numeric refactorization
@@ -748,15 +816,33 @@ impl<'a> MomentEngine<'a> {
     ) -> Result<Decomposition, MnaError> {
         let mut dec_span = awe_obs::span("mna.decompose");
         dec_span.note(count as f64, self.system.num_unknowns() as f64);
-        // A piece awaiting its moment sequence: everything but `moments`.
-        struct Proto {
-            kind: PieceKind,
-            at: f64,
-            a: Vec<f64>,
-            b: Vec<f64>,
-            m_minus1: Vec<f64>,
-            m_minus2: Option<Vec<f64>>,
-        }
+        let (state, protos) = self.build_protos()?;
+        self.finish_decompose(ws, state, protos, count)
+    }
+
+    /// The recursion-and-merge tail of [`MomentEngine::decompose_with`]:
+    /// runs the blocked lockstep moment recursion over prebuilt protos and
+    /// assembles the merged pieces. Split out so the lane-merged
+    /// [`decompose_lanes_with`] fallback path completes a lane through the
+    /// *identical* statements as a scalar decomposition.
+    fn finish_decompose(
+        &self,
+        ws: &mut MomentWorkspace,
+        state: InitialState,
+        mut protos: Vec<Proto>,
+        count: usize,
+    ) -> Result<Decomposition, MnaError> {
+        let seqs = self.blocked_moments(ws, &mut protos, count)?;
+        Ok(Decomposition {
+            baseline: state.dc_solution,
+            pieces: finish_pieces(protos, seqs),
+        })
+    }
+
+    /// The proto-building phase of [`MomentEngine::decompose_with`]:
+    /// initial state, the initial-condition piece, and one step/ramp piece
+    /// per source transition — everything before the moment recursion.
+    fn build_protos(&self) -> Result<(InitialState, Vec<Proto>), MnaError> {
         let sys = self.system;
         let state = self.initial_state()?;
         let mut protos: Vec<Proto> = Vec::new();
@@ -916,12 +1002,24 @@ impl<'a> MomentEngine<'a> {
         if protos.is_empty() && sys.sources.is_empty() {
             return Err(MnaError::NoExcitation);
         }
+        Ok((state, protos))
+    }
 
-        // --- Blocked lockstep moment recursion (§3.2, "solve many"). ---
-        // Every piece advances one moment per block solve: the right-hand
-        // sides stack into one multi-RHS resubstitution, so each L/U
-        // traversal is paid once per moment instead of once per piece.
-        // Per-column arithmetic matches the single-RHS recursion exactly.
+    /// The blocked lockstep moment recursion (§3.2, "solve many") over
+    /// prebuilt protos, returning one moment sequence per proto (the
+    /// proto's `m_minus1` is taken as the seed). Every piece advances one
+    /// moment per block solve: the right-hand sides stack into one
+    /// multi-RHS resubstitution, so each L/U traversal is paid once per
+    /// moment instead of once per piece. Per-column arithmetic matches the
+    /// single-RHS recursion exactly.
+    #[allow(clippy::type_complexity)]
+    fn blocked_moments(
+        &self,
+        ws: &mut MomentWorkspace,
+        protos: &mut [Proto],
+        count: usize,
+    ) -> Result<Vec<Vec<Vec<f64>>>, MnaError> {
+        let sys = self.system;
         let n = sys.num_unknowns();
         let np = protos.len();
         // Sequence length mirrors `homogeneous_moments`: `count == 1`
@@ -1001,59 +1099,7 @@ impl<'a> MomentEngine<'a> {
             ws.tmp = tmp;
             outcome?;
         }
-        let mut pieces: Vec<Piece> = protos
-            .into_iter()
-            .zip(seqs)
-            .map(|(p, moments)| Piece {
-                kind: p.kind,
-                at: p.at,
-                a: p.a,
-                b: p.b,
-                moments,
-                m_minus2: p.m_minus2,
-            })
-            .collect();
-        pieces.sort_by(|x, y| x.at.partial_cmp(&y.at).unwrap_or(std::cmp::Ordering::Equal));
-
-        // Merge pieces sharing an onset time into one combined
-        // homogeneous response (paper eq. (8)). Linearity adds the
-        // particular parts and the moment sequences; the merged reduction
-        // matches the paper's single-seed formulation and is much better
-        // conditioned than reducing each fragment alone.
-        let mut merged: Vec<Piece> = Vec::with_capacity(pieces.len());
-        for piece in pieces {
-            match merged.last_mut() {
-                Some(prev) if prev.at == piece.at => {
-                    for (pa, qa) in prev.a.iter_mut().zip(&piece.a) {
-                        *pa += qa;
-                    }
-                    for (pb, qb) in prev.b.iter_mut().zip(&piece.b) {
-                        *pb += qb;
-                    }
-                    for (pm, qm) in prev.moments.iter_mut().zip(&piece.moments) {
-                        for (x, y) in pm.iter_mut().zip(qm) {
-                            *x += y;
-                        }
-                    }
-                    // The merged slope exists only if every member has one.
-                    prev.m_minus2 = match (prev.m_minus2.take(), &piece.m_minus2) {
-                        (Some(mut p), Some(q)) => {
-                            for (x, y) in p.iter_mut().zip(q) {
-                                *x += y;
-                            }
-                            Some(p)
-                        }
-                        _ => None,
-                    };
-                    prev.kind = PieceKind::Combined;
-                }
-                _ => merged.push(piece),
-            }
-        }
-        Ok(Decomposition {
-            baseline: state.dc_solution,
-            pieces: merged,
-        })
+        Ok(seqs)
     }
 
     /// The matrix `M = G̃⁻¹·C̃`, whose nonzero eigenvalues `μ` give the
@@ -1076,6 +1122,209 @@ impl<'a> MomentEngine<'a> {
             }
         }
         Ok(out)
+    }
+}
+
+/// The sort-and-merge tail of a decomposition: pieces sharing an onset
+/// time merge into one combined homogeneous response (paper eq. (8)).
+/// Linearity adds the particular parts and the moment sequences; the
+/// merged reduction matches the paper's single-seed formulation and is
+/// much better conditioned than reducing each fragment alone.
+fn finish_pieces(protos: impl IntoIterator<Item = Proto>, seqs: Vec<Vec<Vec<f64>>>) -> Vec<Piece> {
+    let mut pieces: Vec<Piece> = protos
+        .into_iter()
+        .zip(seqs)
+        .map(|(p, moments)| Piece {
+            kind: p.kind,
+            at: p.at,
+            a: p.a,
+            b: p.b,
+            moments,
+            m_minus2: p.m_minus2,
+        })
+        .collect();
+    pieces.sort_by(|x, y| x.at.partial_cmp(&y.at).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut merged: Vec<Piece> = Vec::with_capacity(pieces.len());
+    for piece in pieces {
+        match merged.last_mut() {
+            Some(prev) if prev.at == piece.at => {
+                for (pa, qa) in prev.a.iter_mut().zip(&piece.a) {
+                    *pa += qa;
+                }
+                for (pb, qb) in prev.b.iter_mut().zip(&piece.b) {
+                    *pb += qb;
+                }
+                for (pm, qm) in prev.moments.iter_mut().zip(&piece.moments) {
+                    for (x, y) in pm.iter_mut().zip(qm) {
+                        *x += y;
+                    }
+                }
+                // The merged slope exists only if every member has one.
+                prev.m_minus2 = match (prev.m_minus2.take(), &piece.m_minus2) {
+                    (Some(mut p), Some(q)) => {
+                        for (x, y) in p.iter_mut().zip(q) {
+                            *x += y;
+                        }
+                        Some(p)
+                    }
+                    _ => None,
+                };
+                prev.kind = PieceKind::Combined;
+            }
+            _ => merged.push(piece),
+        }
+    }
+    merged
+}
+
+/// Decomposes up to [`LANE_WIDTH`] structurally identical systems in
+/// lockstep against one lane-refactored factorization: the batch tape
+/// VM's multi-RHS moment op. `engines[i]` must hold lane `i` of `lanes`
+/// extracted as its scalar factorization (so the proto-building solves go
+/// through exactly the values lane `i` carries).
+///
+/// Per lane the result is **bit-identical** to
+/// `engines[i].decompose_with(ws, count)`: proto building runs through
+/// each lane's own engine; the blocked recursion runs merged through
+/// [`LaneLu::solve_multi_into`] (proven bitwise against the scalar
+/// multi-RHS solve) whenever every lane carries the same piece count, and
+/// falls back to the per-lane scalar recursion — the identical
+/// statements — when the piece counts diverge or a lane's proto building
+/// fails. A failing lane yields its own `Err` without disturbing its
+/// neighbors.
+///
+/// # Panics
+///
+/// Panics if `engines` is empty or holds more than [`LANE_WIDTH`]
+/// entries.
+pub fn decompose_lanes_with(
+    engines: &[MomentEngine<'_>],
+    lanes: &LaneLu,
+    ws: &mut MomentWorkspace,
+    count: usize,
+) -> Vec<Result<Decomposition, MnaError>> {
+    assert!(
+        !engines.is_empty() && engines.len() <= LANE_WIDTH,
+        "1..={LANE_WIDTH} lane engines required"
+    );
+    let built: Vec<Result<(InitialState, Vec<Proto>), MnaError>> =
+        engines.iter().map(|e| e.build_protos()).collect();
+    let n = lanes.dim();
+    // Sequence length mirrors `blocked_moments` exactly.
+    let extra = if count == 1 {
+        0
+    } else {
+        1 + count.saturating_sub(2)
+    };
+    let np = match &built[0] {
+        Ok((_, p)) => p.len(),
+        Err(_) => 0,
+    };
+    let mergeable = engines.len() >= 2
+        && np > 0
+        && extra > 0
+        && built
+            .iter()
+            .all(|b| matches!(b, Ok((_, p)) if p.len() == np));
+    if !mergeable {
+        // Divergent lanes (different piece structure, or a failed proto
+        // build): complete each lane through the scalar recursion — the
+        // same statements `decompose_with` runs.
+        return built
+            .into_iter()
+            .zip(engines)
+            .map(|(b, e)| {
+                b.and_then(|(state, protos)| e.finish_decompose(ws, state, protos, count))
+            })
+            .collect();
+    }
+    let mut sp = awe_obs::span("mna.decompose_lanes");
+    sp.note(count as f64, (n * engines.len()) as f64);
+    let mut states = Vec::with_capacity(engines.len());
+    let mut protos_all: Vec<Vec<Proto>> = Vec::with_capacity(engines.len());
+    for b in built {
+        let (s, p) = b.expect("mergeable implies all lanes built");
+        states.push(s);
+        protos_all.push(p);
+    }
+    let mut seqs: Vec<Vec<Vec<Vec<f64>>>> = protos_all
+        .iter_mut()
+        .map(|protos| {
+            protos
+                .iter_mut()
+                .map(|p| {
+                    let mut seq = Vec::with_capacity(1 + extra);
+                    seq.push(std::mem::take(&mut p.m_minus1));
+                    seq
+                })
+                .collect()
+        })
+        .collect();
+    let mut rhs = std::mem::take(&mut ws.rhs);
+    let mut blk = std::mem::take(&mut ws.blk);
+    let mut cw = std::mem::take(&mut ws.cw);
+    let outcome = (|| {
+        rhs.clear();
+        // Lane-blocked layout: `LANE_WIDTH` consecutive `np × n` blocks
+        // (absent/dead lanes stay zero).
+        rhs.resize(LANE_WIDTH * np * n, 0.0);
+        for step in 0..extra {
+            let mut step_span = awe_obs::span("moment.solve");
+            step_span.note(step as f64, (np * engines.len()) as f64);
+            for (lane, eng) in engines.iter().enumerate() {
+                let sys = eng.system;
+                for (p, seq) in seqs[lane].iter().enumerate() {
+                    let prev = seq.last().expect("seeded sequence");
+                    // Dense C̃ for the seed's charge image, sparse image
+                    // after — mirroring the scalar recursion.
+                    if step == 0 {
+                        sys.c_tilde.mul_vec_into(prev, &mut cw);
+                    } else {
+                        eng.c_tilde_apply_into(prev, &mut cw);
+                    }
+                    let base = lane * np * n + p * n;
+                    let chunk = &mut rhs[base..base + n];
+                    for (d, v) in chunk.iter_mut().zip(&cw) {
+                        *d = -v;
+                    }
+                    for g in &sys.floating {
+                        chunk[g.replaced_row] = 0.0;
+                    }
+                }
+            }
+            lanes.solve_multi_into(&rhs, np, &mut ws.scratch, &mut blk)?;
+            for (lane, lane_seqs) in seqs.iter_mut().enumerate() {
+                for (p, seq) in lane_seqs.iter_mut().enumerate() {
+                    let base = lane * np * n + p * n;
+                    let mut m = ws.take();
+                    m.clear();
+                    m.extend_from_slice(&blk[base..base + n]);
+                    seq.push(m);
+                }
+            }
+        }
+        Ok::<(), NumericError>(())
+    })();
+    ws.rhs = rhs;
+    ws.blk = blk;
+    ws.cw = cw;
+    match outcome {
+        Ok(()) => states
+            .into_iter()
+            .zip(protos_all)
+            .zip(seqs)
+            .map(|((state, protos), sq)| {
+                Ok(Decomposition {
+                    baseline: state.dc_solution,
+                    pieces: finish_pieces(protos, sq),
+                })
+            })
+            .collect(),
+        Err(e) => engines
+            .iter()
+            .map(|_| Err(MnaError::Numeric(e.clone())))
+            .collect(),
     }
 }
 

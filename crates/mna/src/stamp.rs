@@ -1,0 +1,692 @@
+//! Compiled stamp programs: value-only MNA re-assembly for structure
+//! groups.
+//!
+//! A batch structure group's members share one topology; rebuilding each
+//! member's [`MnaSystem`] from scratch costs `O(n²)` in dense-matrix
+//! zeroing and dense→CSC refills even though only `O(elements)` numbers
+//! actually change. A [`StampProgram`] is compiled once from the group's
+//! donor circuit: it resolves every value-bearing matrix entry to a CSC
+//! storage slot of the sparse `G̃`/`C̃` images (plus the dense `C̃`
+//! coordinate the blocked moment recursion's seed step reads) and records,
+//! per slot, the contribution list that the dense assembly would
+//! accumulate there — in element order, so replaying the program is
+//! **bit-identical** to a fresh [`MnaSystem::build`] followed by
+//! [`SparseMatrix::from_dense`].
+//!
+//! The program only compiles for circuits where the replay path provably
+//! never reads the fields it leaves stale (the dense `g`, `g_tilde` and
+//! `c`): no floating groups, R/C/L/V/I elements only. It only *applies*
+//! to members that match the donor element-for-element (kind, terminals,
+//! name), carry strictly positive finite R/C/L values (so no entry can
+//! cancel to zero and change the sparsity pattern), no explicit initial
+//! conditions, and step/DC source waveforms only (ramps route through the
+//! `instantaneous` solve, which reads the stale dense `g`). Any mismatch
+//! makes [`StampProgram::apply`] decline, and the caller falls back to
+//! the full `build_reusing` path — which is bit-identical by
+//! construction, so the program is purely an optimization.
+
+use awe_circuit::{Circuit, Element, NodeId, Waveform};
+use awe_numeric::SparseMatrix;
+
+use crate::system::MnaSystem;
+
+/// One value-bearing slot of a sparse image and the contribution terms
+/// the dense assembly accumulates there.
+#[derive(Clone, Copy, Debug)]
+struct SlotWrite {
+    /// CSC storage slot in the image's value array.
+    slot: u32,
+    /// Range start in [`StampProgram::terms`].
+    start: u32,
+    /// Range length.
+    len: u32,
+}
+
+/// A `C̃` slot write paired with its dense coordinate (the blocked moment
+/// recursion's seed step multiplies by the *dense* `C̃`, so both copies
+/// must stay current).
+#[derive(Clone, Copy, Debug)]
+struct CSlotWrite {
+    slot: u32,
+    row: u32,
+    col: u32,
+    start: u32,
+    len: u32,
+}
+
+/// Structural identity of one donor element, used to admit (or reject) a
+/// member element at the same position.
+#[derive(Clone, Debug)]
+enum ElemCheck {
+    Resistor {
+        a: NodeId,
+        b: NodeId,
+    },
+    Capacitor {
+        a: NodeId,
+        b: NodeId,
+        /// Index into [`MnaSystem::caps`].
+        entry: u32,
+    },
+    Inductor {
+        a: NodeId,
+        b: NodeId,
+        /// Index into [`MnaSystem::inductors`].
+        entry: u32,
+    },
+    VoltageSource {
+        pos: NodeId,
+        neg: NodeId,
+        /// Index into [`MnaSystem::sources`].
+        source: u32,
+    },
+    CurrentSource {
+        from: NodeId,
+        to: NodeId,
+        /// Index into [`MnaSystem::sources`].
+        source: u32,
+    },
+}
+
+/// One donor element's admission record.
+#[derive(Clone, Debug)]
+struct ElemPlan {
+    /// Donor element name (part of the structural identity: the unknown
+    /// numbering and bookkeeping labels are name-keyed).
+    name: String,
+    check: ElemCheck,
+}
+
+/// A compiled, replayable value-stamping schedule for one circuit
+/// topology. See the module docs for the contract.
+#[derive(Clone, Debug)]
+pub struct StampProgram {
+    num_nodes: usize,
+    num_unknowns: usize,
+    g_nnz: usize,
+    c_nnz: usize,
+    num_caps: usize,
+    num_inds: usize,
+    num_srcs: usize,
+    elems: Vec<ElemPlan>,
+    g_writes: Vec<SlotWrite>,
+    c_writes: Vec<CSlotWrite>,
+    /// Flat `(sign, element index)` pool the slot writes range into, in
+    /// element order per slot — the order dense assembly accumulates.
+    terms: Vec<(f64, u32)>,
+}
+
+/// The element's scalar stamp magnitude, exactly as [`MnaSystem::build`]
+/// computes it (one division per resistor; IEEE division is
+/// deterministic, so recomputing it per term reproduces the same bits).
+fn stamp_value(el: &Element) -> f64 {
+    match el {
+        Element::Resistor { ohms, .. } => 1.0 / ohms,
+        Element::Capacitor { farads, .. } => *farads,
+        Element::Inductor { henries, .. } => *henries,
+        _ => unreachable!("only R/C/L carry stamp terms"),
+    }
+}
+
+/// `true` when the waveform decomposes into steps and DC only (no finite-
+/// slope segments): the gate that keeps replay off the ramp path, whose
+/// `instantaneous` solve reads the dense `g` the program leaves stale.
+fn steps_only(w: &Waveform) -> bool {
+    w.points()
+        .windows(2)
+        .all(|p| p[1].0 == p[0].0 || p[1].1 == p[0].1)
+}
+
+/// Strictly positive and finite: the value gate that makes every stamped
+/// entry's sign topology-determined, so no slot can cancel to exact zero
+/// and the CSC pattern is invariant across admitted members.
+fn positive(v: f64) -> bool {
+    v.is_finite() && v > 0.0
+}
+
+impl ElemPlan {
+    /// Whether a member element at this position is admissible: same
+    /// kind, terminals and name as the donor, gated values.
+    fn admits(&self, el: &Element) -> bool {
+        match (&self.check, el) {
+            (
+                ElemCheck::Resistor { a, b },
+                Element::Resistor {
+                    name,
+                    a: ea,
+                    b: eb,
+                    ohms,
+                },
+            ) => name == &self.name && ea == a && eb == b && positive(*ohms),
+            (
+                ElemCheck::Capacitor { a, b, .. },
+                Element::Capacitor {
+                    name,
+                    a: ea,
+                    b: eb,
+                    farads,
+                    initial_voltage,
+                },
+            ) => {
+                name == &self.name
+                    && ea == a
+                    && eb == b
+                    && positive(*farads)
+                    && initial_voltage.is_none()
+            }
+            (
+                ElemCheck::Inductor { a, b, .. },
+                Element::Inductor {
+                    name,
+                    a: ea,
+                    b: eb,
+                    henries,
+                    initial_current,
+                },
+            ) => {
+                name == &self.name
+                    && ea == a
+                    && eb == b
+                    && positive(*henries)
+                    && initial_current.is_none()
+            }
+            (
+                ElemCheck::VoltageSource { pos, neg, .. },
+                Element::VoltageSource {
+                    name,
+                    pos: ep,
+                    neg: en,
+                    waveform,
+                },
+            ) => name == &self.name && ep == pos && en == neg && steps_only(waveform),
+            (
+                ElemCheck::CurrentSource { from, to, .. },
+                Element::CurrentSource {
+                    name,
+                    from: ef,
+                    to: et,
+                    waveform,
+                },
+            ) => name == &self.name && ef == from && et == to && steps_only(waveform),
+            _ => false,
+        }
+    }
+}
+
+impl StampProgram {
+    /// Compiles a stamp program from a donor circuit, or `None` when the
+    /// topology is outside the program's contract (floating groups,
+    /// controlled sources, non-positive values, explicit initial
+    /// conditions, or any coordinate whose donor entry cancelled out of
+    /// the CSC pattern). The compiled program self-checks against the
+    /// donor's own assembly bit-for-bit before it is returned.
+    pub fn compile(circuit: &Circuit) -> Option<StampProgram> {
+        use std::collections::BTreeMap;
+        type TermMap = BTreeMap<(usize, usize), Vec<(f64, u32)>>;
+
+        let sys = MnaSystem::build(circuit).ok()?;
+        if !sys.floating.is_empty() {
+            return None;
+        }
+
+        /// Mirrors `stamp_conductance`'s four writes, in its write order.
+        fn add(map: &mut TermMap, ia: Option<usize>, ib: Option<usize>, e: u32) {
+            if let Some(a) = ia {
+                map.entry((a, a)).or_default().push((1.0, e));
+            }
+            if let Some(b) = ib {
+                map.entry((b, b)).or_default().push((1.0, e));
+            }
+            if let (Some(a), Some(b)) = (ia, ib) {
+                map.entry((a, b)).or_default().push((-1.0, e));
+                map.entry((b, a)).or_default().push((-1.0, e));
+            }
+        }
+
+        let mut elems = Vec::with_capacity(circuit.elements().len());
+        let mut g_terms = TermMap::new();
+        let mut c_terms = TermMap::new();
+        let (mut caps, mut inds, mut srcs) = (0u32, 0u32, 0u32);
+        for (e, el) in circuit.elements().iter().enumerate() {
+            let e32 = u32::try_from(e).ok()?;
+            let plan = match el {
+                Element::Resistor { name, a, b, ohms } => {
+                    if !positive(*ohms) {
+                        return None;
+                    }
+                    add(
+                        &mut g_terms,
+                        sys.unknown_of_node(*a),
+                        sys.unknown_of_node(*b),
+                        e32,
+                    );
+                    ElemPlan {
+                        name: name.clone(),
+                        check: ElemCheck::Resistor { a: *a, b: *b },
+                    }
+                }
+                Element::Capacitor {
+                    name,
+                    a,
+                    b,
+                    farads,
+                    initial_voltage,
+                } => {
+                    if initial_voltage.is_some() || !positive(*farads) {
+                        return None;
+                    }
+                    add(
+                        &mut c_terms,
+                        sys.unknown_of_node(*a),
+                        sys.unknown_of_node(*b),
+                        e32,
+                    );
+                    let entry = caps;
+                    caps += 1;
+                    ElemPlan {
+                        name: name.clone(),
+                        check: ElemCheck::Capacitor {
+                            a: *a,
+                            b: *b,
+                            entry,
+                        },
+                    }
+                }
+                Element::Inductor {
+                    name,
+                    a,
+                    b,
+                    henries,
+                    initial_current,
+                } => {
+                    if initial_current.is_some() || !positive(*henries) {
+                        return None;
+                    }
+                    let m = sys.branch_of(name)?;
+                    c_terms.entry((m, m)).or_default().push((-1.0, e32));
+                    let entry = inds;
+                    inds += 1;
+                    ElemPlan {
+                        name: name.clone(),
+                        check: ElemCheck::Inductor {
+                            a: *a,
+                            b: *b,
+                            entry,
+                        },
+                    }
+                }
+                Element::VoltageSource { name, pos, neg, .. } => {
+                    let source = srcs;
+                    srcs += 1;
+                    ElemPlan {
+                        name: name.clone(),
+                        check: ElemCheck::VoltageSource {
+                            pos: *pos,
+                            neg: *neg,
+                            source,
+                        },
+                    }
+                }
+                Element::CurrentSource { name, from, to, .. } => {
+                    let source = srcs;
+                    srcs += 1;
+                    ElemPlan {
+                        name: name.clone(),
+                        check: ElemCheck::CurrentSource {
+                            from: *from,
+                            to: *to,
+                            source,
+                        },
+                    }
+                }
+                // Controlled sources put *values* into G's pattern — out
+                // of contract.
+                _ => return None,
+            };
+            elems.push(plan);
+        }
+
+        let g_img = SparseMatrix::from_dense(&sys.g_tilde);
+        let c_img = SparseMatrix::from_dense(&sys.c_tilde);
+        let mut terms = Vec::new();
+        let mut g_writes = Vec::with_capacity(g_terms.len());
+        for (&(r, c), list) in &g_terms {
+            let slot = g_img.slot_of(r, c)?;
+            let start = u32::try_from(terms.len()).ok()?;
+            terms.extend_from_slice(list);
+            g_writes.push(SlotWrite {
+                slot: u32::try_from(slot).ok()?,
+                start,
+                len: list.len() as u32,
+            });
+        }
+        let mut c_writes = Vec::with_capacity(c_terms.len());
+        for (&(r, c), list) in &c_terms {
+            let slot = c_img.slot_of(r, c)?;
+            let start = u32::try_from(terms.len()).ok()?;
+            terms.extend_from_slice(list);
+            c_writes.push(CSlotWrite {
+                slot: u32::try_from(slot).ok()?,
+                row: r as u32,
+                col: c as u32,
+                start,
+                len: list.len() as u32,
+            });
+        }
+        let prog = StampProgram {
+            num_nodes: circuit.num_nodes(),
+            num_unknowns: sys.num_unknowns(),
+            g_nnz: g_img.nnz(),
+            c_nnz: c_img.nnz(),
+            num_caps: caps as usize,
+            num_inds: inds as usize,
+            num_srcs: srcs as usize,
+            elems,
+            g_writes,
+            c_writes,
+            terms,
+        };
+        prog.self_check(circuit, &sys, &g_img, &c_img)
+            .then_some(prog)
+    }
+
+    /// Unknown count of the compiled topology.
+    pub fn num_unknowns(&self) -> usize {
+        self.num_unknowns
+    }
+
+    /// Whether `circuit` is admissible for [`StampProgram::apply`]:
+    /// element-for-element structural match with the donor plus the value
+    /// and waveform gates. Callers priming replay buffers through the
+    /// full build path use this to decide whether those buffers can later
+    /// take the fast path.
+    pub fn check(&self, circuit: &Circuit) -> bool {
+        if circuit.num_nodes() != self.num_nodes {
+            return false;
+        }
+        let elems = circuit.elements();
+        elems.len() == self.elems.len() && self.elems.iter().zip(elems).all(|(p, el)| p.admits(el))
+    }
+
+    /// Restamps a primed system and its sparse images with `circuit`'s
+    /// values, bit-identically to a fresh `build` + `from_dense`.
+    /// `sys`/`g_img`/`c_img` must come from a circuit this program
+    /// previously admitted (their structure is the donor's); the dense
+    /// `g`, `g_tilde` and `c` are left stale, which the admission gates
+    /// guarantee no replay stage reads. Returns `false` — touching
+    /// nothing — when the member or the primed buffers are out of
+    /// contract.
+    pub fn apply(
+        &self,
+        circuit: &Circuit,
+        sys: &mut MnaSystem,
+        g_img: &mut SparseMatrix,
+        c_img: &mut SparseMatrix,
+    ) -> bool {
+        if !self.check(circuit)
+            || sys.num_unknowns() != self.num_unknowns
+            || !sys.floating.is_empty()
+            || sys.caps.len() != self.num_caps
+            || sys.inductors.len() != self.num_inds
+            || sys.sources.len() != self.num_srcs
+            || g_img.nnz() != self.g_nnz
+            || c_img.nnz() != self.c_nnz
+        {
+            return false;
+        }
+        let elems = circuit.elements();
+        let gv = g_img.values_mut();
+        for w in &self.g_writes {
+            gv[w.slot as usize] = self.fold(elems, w.start, w.len);
+        }
+        let cv = c_img.values_mut();
+        for w in &self.c_writes {
+            let v = self.fold(elems, w.start, w.len);
+            cv[w.slot as usize] = v;
+            sys.c_tilde[(w.row as usize, w.col as usize)] = v;
+        }
+        for (plan, el) in self.elems.iter().zip(elems) {
+            match (&plan.check, el) {
+                (ElemCheck::Capacitor { entry, .. }, Element::Capacitor { farads, .. }) => {
+                    let cap = &mut sys.caps[*entry as usize];
+                    cap.farads = *farads;
+                    cap.initial_voltage = None;
+                }
+                (ElemCheck::Inductor { entry, .. }, Element::Inductor { henries, .. }) => {
+                    let ind = &mut sys.inductors[*entry as usize];
+                    ind.henries = *henries;
+                    ind.initial_current = None;
+                }
+                (
+                    ElemCheck::VoltageSource { source, .. },
+                    Element::VoltageSource { name, waveform, .. },
+                )
+                | (
+                    ElemCheck::CurrentSource { source, .. },
+                    Element::CurrentSource { name, waveform, .. },
+                ) => {
+                    let src = &mut sys.sources[*source as usize];
+                    src.waveform.clone_from(waveform);
+                    if src.name != *name {
+                        src.name.clone_from(name);
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Accumulates one slot's contributions in element order — the exact
+    /// order (and hence bits) of the dense assembly's `+=`/`-=` sequence.
+    fn fold(&self, elems: &[Element], start: u32, len: u32) -> f64 {
+        let mut acc = 0.0;
+        for &(sign, e) in &self.terms[start as usize..(start + len) as usize] {
+            acc += sign * stamp_value(&elems[e as usize]);
+        }
+        acc
+    }
+
+    /// Replays the program against the donor's own values and compares
+    /// every produced slot bit-for-bit with the donor's actual images —
+    /// any divergence between the compiled plan and the real assembly
+    /// rejects the program at compile time.
+    fn self_check(
+        &self,
+        circuit: &Circuit,
+        sys: &MnaSystem,
+        g_img: &SparseMatrix,
+        c_img: &SparseMatrix,
+    ) -> bool {
+        let elems = circuit.elements();
+        self.g_writes.iter().all(|w| {
+            self.fold(elems, w.start, w.len).to_bits() == g_img.values()[w.slot as usize].to_bits()
+        }) && self.c_writes.iter().all(|w| {
+            let v = self.fold(elems, w.start, w.len);
+            v.to_bits() == c_img.values()[w.slot as usize].to_bits()
+                && v.to_bits() == sys.c_tilde[(w.row as usize, w.col as usize)].to_bits()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awe_circuit::{generators::rc_line, GROUND};
+
+    /// The member builds the tape-replay Stamp path exercises: same
+    /// topology as the donor, different values.
+    fn jitter(base: &Circuit, factor: f64) -> Circuit {
+        let mut out = base.clone();
+        let edits: Vec<(String, f64)> = base
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::Resistor { name, ohms, .. } => Some((name.clone(), *ohms)),
+                Element::Capacitor { name, farads, .. } => Some((name.clone(), *farads)),
+                Element::Inductor { name, henries, .. } => Some((name.clone(), *henries)),
+                _ => None,
+            })
+            .collect();
+        for (i, (name, v)) in edits.iter().enumerate() {
+            out.set_value(name, v * (factor + 1e-3 * i as f64)).unwrap();
+        }
+        out
+    }
+
+    /// Applying the program to a primed system must equal a fresh build
+    /// bit-for-bit on every field the replay path reads.
+    fn assert_apply_matches_build(donor: &Circuit, member: &Circuit) {
+        let prog = StampProgram::compile(donor).expect("donor compiles");
+        // Prime from the donor (the replay path primes from whichever
+        // member last went through the full build).
+        let mut sys = MnaSystem::build(donor).unwrap();
+        let mut g_img = SparseMatrix::from_dense(&sys.g_tilde);
+        let mut c_img = SparseMatrix::from_dense(&sys.c_tilde);
+        assert!(prog.apply(member, &mut sys, &mut g_img, &mut c_img));
+
+        let fresh = MnaSystem::build(member).unwrap();
+        let fg = SparseMatrix::from_dense(&fresh.g_tilde);
+        let fc = SparseMatrix::from_dense(&fresh.c_tilde);
+        assert_eq!(g_img, fg, "sparse G-tilde image");
+        assert_eq!(c_img, fc, "sparse C-tilde image");
+        assert_eq!(sys.c_tilde, fresh.c_tilde, "dense C-tilde");
+        assert_eq!(sys.b, fresh.b, "B is topology-only");
+        for (a, b) in sys.caps.iter().zip(&fresh.caps) {
+            assert_eq!(a.farads.to_bits(), b.farads.to_bits());
+            assert_eq!(a.initial_voltage, b.initial_voltage);
+        }
+        for (a, b) in sys.inductors.iter().zip(&fresh.inductors) {
+            assert_eq!(a.henries.to_bits(), b.henries.to_bits());
+        }
+        for (a, b) in sys.sources.iter().zip(&fresh.sources) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.waveform, b.waveform);
+        }
+    }
+
+    #[test]
+    fn rc_chain_apply_is_bitwise_build() {
+        let donor = rc_line(40, 100.0, 1e-12, Waveform::step(0.0, 5.0));
+        let member = jitter(&donor.circuit, 1.37);
+        assert_apply_matches_build(&donor.circuit, &member);
+    }
+
+    #[test]
+    fn rlc_with_current_source_applies() {
+        let mut donor = Circuit::new();
+        let n1 = donor.node("n1");
+        let n2 = donor.node("n2");
+        let n3 = donor.node("n3");
+        donor
+            .add_isource("I1", GROUND, n1, Waveform::step(0.0, 1e-3))
+            .unwrap();
+        donor.add_resistor("R1", n1, n2, 50.0).unwrap();
+        donor.add_inductor("L1", n2, n3, 1e-9).unwrap();
+        donor.add_resistor("R2", n3, GROUND, 75.0).unwrap();
+        donor.add_capacitor("C1", n3, GROUND, 2e-12).unwrap();
+        let member = jitter(&donor, 0.8);
+        assert_apply_matches_build(&donor, &member);
+    }
+
+    #[test]
+    fn parallel_resistors_share_slots_in_element_order() {
+        // Two resistors between the same nodes: their conductances sum in
+        // element order into shared CSC slots.
+        let mut donor = Circuit::new();
+        let n1 = donor.node("n1");
+        donor
+            .add_vsource("V1", n1, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
+        let n2 = donor.node("n2");
+        donor.add_resistor("Ra", n1, n2, 100.0).unwrap();
+        donor.add_resistor("Rb", n1, n2, 300.0).unwrap();
+        donor.add_resistor("Rc", n2, GROUND, 200.0).unwrap();
+        donor.add_capacitor("C1", n2, GROUND, 1e-12).unwrap();
+        let member = jitter(&donor, 1.09);
+        assert_apply_matches_build(&donor, &member);
+    }
+
+    #[test]
+    fn gates_decline_out_of_contract_members() {
+        let donor = rc_line(10, 100.0, 1e-12, Waveform::step(0.0, 5.0));
+        let prog = StampProgram::compile(&donor.circuit).expect("compiles");
+        let prime = || {
+            let sys = MnaSystem::build(&donor.circuit).unwrap();
+            let g = SparseMatrix::from_dense(&sys.g_tilde);
+            let c = SparseMatrix::from_dense(&sys.c_tilde);
+            (sys, g, c)
+        };
+
+        // Ramp waveform: instantaneous() would read the stale dense g.
+        let mut ramp = donor.circuit.clone();
+        ramp.set_source("V1", Waveform::rising_step(0.0, 5.0, 1e-9))
+            .unwrap();
+        let (mut s, mut g, mut c) = prime();
+        assert!(!prog.apply(&ramp, &mut s, &mut g, &mut c));
+
+        // Non-finite value (slips past the netlist's positivity check,
+        // which NaN's unordered comparison defeats): the CSC pattern is
+        // no longer guaranteed, so the program must decline.
+        let mut neg = donor.circuit.clone();
+        neg.set_value("R1", f64::NAN).unwrap();
+        let (mut s, mut g, mut c) = prime();
+        assert!(!prog.apply(&neg, &mut s, &mut g, &mut c));
+
+        // Topology change: different structure entirely.
+        let other = rc_line(11, 100.0, 1e-12, Waveform::step(0.0, 5.0));
+        let (mut s, mut g, mut c) = prime();
+        assert!(!prog.apply(&other.circuit, &mut s, &mut g, &mut c));
+        assert!(!prog.check(&other.circuit));
+    }
+
+    #[test]
+    fn explicit_initial_condition_declines() {
+        let mut donor = Circuit::new();
+        let n1 = donor.node("n1");
+        donor
+            .add_vsource("V1", n1, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
+        let n2 = donor.node("n2");
+        donor.add_resistor("R1", n1, n2, 100.0).unwrap();
+        donor.add_capacitor("C1", n2, GROUND, 1e-12).unwrap();
+        let prog = StampProgram::compile(&donor).expect("compiles");
+
+        let mut ic = Circuit::new();
+        let m1 = ic.node("n1");
+        ic.add_vsource("V1", m1, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
+        let m2 = ic.node("n2");
+        ic.add_resistor("R1", m1, m2, 100.0).unwrap();
+        ic.add_capacitor_ic("C1", m2, GROUND, 1e-12, Some(0.5))
+            .unwrap();
+        assert!(!prog.check(&ic));
+    }
+
+    #[test]
+    fn controlled_sources_do_not_compile() {
+        let mut donor = Circuit::new();
+        let n1 = donor.node("n1");
+        let n2 = donor.node("n2");
+        donor
+            .add_vsource("V1", n1, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
+        donor.add_vccs("G1", GROUND, n2, n1, GROUND, 1e-3).unwrap();
+        donor.add_resistor("R1", n2, GROUND, 1e3).unwrap();
+        donor.add_capacitor("C1", n2, GROUND, 1e-12).unwrap();
+        assert!(StampProgram::compile(&donor).is_none());
+    }
+
+    #[test]
+    fn floating_group_does_not_compile() {
+        let mut donor = Circuit::new();
+        let n1 = donor.node("n1");
+        let n2 = donor.node("n2");
+        donor
+            .add_vsource("V1", n1, GROUND, Waveform::step(0.0, 1.0))
+            .unwrap();
+        donor.add_capacitor("C1", n1, n2, 1e-12).unwrap();
+        donor.add_capacitor("C2", n2, GROUND, 1e-12).unwrap();
+        assert!(StampProgram::compile(&donor).is_none());
+    }
+}

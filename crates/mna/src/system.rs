@@ -124,9 +124,58 @@ impl MnaSystem {
     /// voltage source that was not stamped (not expected for validated
     /// circuits).
     pub fn build(circuit: &Circuit) -> Result<MnaSystem, MnaError> {
+        Self::build_reusing(circuit, None)
+    }
+
+    /// Assembles the MNA system for `circuit` like [`MnaSystem::build`],
+    /// but reuses the matrices, index maps and bookkeeping vectors of a
+    /// retired system instead of allocating fresh ones. This is the single
+    /// assembly code path — `build` delegates here — so the produced
+    /// system is bit-identical to a from-scratch build; only the backing
+    /// allocations differ. The batch tape VM threads each worker's
+    /// previous system through here to restamp structure-group members
+    /// without per-net allocation. `recycle` may come from *any* circuit;
+    /// every structural field is rederived.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`MnaSystem::build`].
+    pub fn build_reusing(
+        circuit: &Circuit,
+        recycle: Option<MnaSystem>,
+    ) -> Result<MnaSystem, MnaError> {
+        let MnaSystem {
+            mut g,
+            mut c,
+            mut b,
+            mut g_tilde,
+            mut c_tilde,
+            mut floating,
+            mut sources,
+            mut caps,
+            mut inductors,
+            mut node_unknown,
+            mut branch_of,
+            ..
+        } = recycle.unwrap_or_else(|| MnaSystem {
+            g: Matrix::zeros(0, 0),
+            c: Matrix::zeros(0, 0),
+            b: Matrix::zeros(0, 0),
+            g_tilde: Matrix::zeros(0, 0),
+            c_tilde: Matrix::zeros(0, 0),
+            floating: Vec::new(),
+            sources: Vec::new(),
+            caps: Vec::new(),
+            inductors: Vec::new(),
+            node_unknown: Vec::new(),
+            branch_of: HashMap::new(),
+            num_unknowns: 0,
+        });
         // Pass 1: number the unknowns. Node voltages first (ground
         // excluded), then branch currents for V, E, H, L in element order.
-        let mut node_unknown = vec![None; circuit.num_nodes()];
+        node_unknown.clear();
+        node_unknown.resize(circuit.num_nodes(), None);
+        branch_of.clear();
         let mut next = 0usize;
         for node in 0..circuit.num_nodes() {
             if node != GROUND {
@@ -134,7 +183,6 @@ impl MnaSystem {
                 next += 1;
             }
         }
-        let mut branch_of: HashMap<String, usize> = HashMap::new();
         for e in circuit.elements() {
             match e {
                 Element::VoltageSource { name, .. }
@@ -149,11 +197,11 @@ impl MnaSystem {
         }
         let n = next;
 
-        let mut g = Matrix::zeros(n, n);
-        let mut c = Matrix::zeros(n, n);
-        let mut sources = Vec::new();
-        let mut caps = Vec::new();
-        let mut inductors = Vec::new();
+        g.reset_zeros(n, n);
+        c.reset_zeros(n, n);
+        sources.clear();
+        caps.clear();
+        inductors.clear();
 
         // First collect sources so B has stable column count.
         for (idx, e) in circuit.elements().iter().enumerate() {
@@ -167,7 +215,7 @@ impl MnaSystem {
                 _ => {}
             }
         }
-        let mut b = Matrix::zeros(n, sources.len());
+        b.reset_zeros(n, sources.len());
         let source_col: HashMap<&str, usize> = sources
             .iter()
             .enumerate()
@@ -391,9 +439,9 @@ impl MnaSystem {
             }
         }
 
-        let mut g_tilde = g.clone();
-        let mut c_tilde = c.clone();
-        let mut floating = Vec::new();
+        g_tilde.copy_from(&g);
+        c_tilde.copy_from(&c);
+        floating.clear();
         for (_, members) in groups_by_root {
             let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
             // Charge functional: boundary capacitors only (internal ones
@@ -536,6 +584,17 @@ impl MnaSystem {
     pub fn b_times(&self, u: &[f64]) -> Vec<f64> {
         assert_eq!(u.len(), self.sources.len(), "source count mismatch");
         self.b.mul_vec(u)
+    }
+
+    /// `B·u` into a caller-owned buffer — the allocation-free twin of
+    /// [`MnaSystem::b_times`] for the batch replay path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len()` differs from the number of sources.
+    pub fn b_times_into(&self, u: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(u.len(), self.sources.len(), "source count mismatch");
+        self.b.mul_vec_into(u, out);
     }
 
     /// `C·x` — the charge/flux image of a solution vector.
@@ -757,6 +816,34 @@ mod tests {
         assert_eq!(sys.initial_source_values(), vec![0.0]);
         assert_eq!(sys.final_source_values(), vec![5.0]);
         assert_eq!(sys.source_values_at(0.5e-9), vec![2.5]);
+    }
+
+    #[test]
+    fn build_reusing_is_bitwise_build() {
+        let (ckt, _) = divider();
+        let fresh = MnaSystem::build(&ckt).unwrap();
+        // Recycle a structurally different system's buffers.
+        let mut other = Circuit::new();
+        let n1 = other.node("n1");
+        let n2 = other.node("n2");
+        other
+            .add_isource("I1", GROUND, n1, Waveform::dc(1e-3))
+            .unwrap();
+        other.add_resistor("R1", n1, GROUND, 1e3).unwrap();
+        other.add_capacitor("C1", n1, n2, 1e-12).unwrap();
+        other.add_resistor("R2", n2, GROUND, 2e3).unwrap();
+        let donor = MnaSystem::build(&other).unwrap();
+        let reused = MnaSystem::build_reusing(&ckt, Some(donor)).unwrap();
+        assert_eq!(reused.g, fresh.g);
+        assert_eq!(reused.c, fresh.c);
+        assert_eq!(reused.b, fresh.b);
+        assert_eq!(reused.g_tilde, fresh.g_tilde);
+        assert_eq!(reused.c_tilde, fresh.c_tilde);
+        assert_eq!(reused.num_unknowns(), fresh.num_unknowns());
+        assert_eq!(reused.node_unknown, fresh.node_unknown);
+        assert_eq!(reused.branch_of, fresh.branch_of);
+        assert_eq!(reused.sources.len(), fresh.sources.len());
+        assert_eq!(reused.caps.len(), fresh.caps.len());
     }
 
     #[test]

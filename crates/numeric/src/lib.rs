@@ -52,6 +52,7 @@ mod eigen;
 mod error;
 mod hankel;
 mod hessenberg;
+mod lanes;
 mod lu;
 mod matrix;
 mod poly;
@@ -67,6 +68,7 @@ pub use eigen::{balance, eigenvalues};
 pub use error::NumericError;
 pub use hankel::{moment_matrix, solve_char_poly, CharPoly};
 pub use hessenberg::{hessenberg, is_hessenberg};
+pub use lanes::{LaneLu, LANE_WIDTH};
 pub use lu::{lu_solve, Lu};
 pub use matrix::{vecops, Matrix};
 pub use poly::Polynomial;

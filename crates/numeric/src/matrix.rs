@@ -41,6 +41,27 @@ impl Matrix {
         }
     }
 
+    /// Reshapes this matrix to `rows × cols` and zeroes every entry,
+    /// reusing the existing allocation when it is large enough. The
+    /// in-place twin of [`Matrix::zeros`] for buffers that are rebuilt
+    /// per net (MNA restamping in the batch tape replay).
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrites this matrix with a copy of `src`, reusing the existing
+    /// allocation when it is large enough (unlike `clone`, which always
+    /// allocates fresh storage).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Creates the `n × n` identity matrix.
     ///
     /// ```

@@ -93,6 +93,41 @@ impl SparseMatrix {
         SparseMatrix::from_triplets(m.rows(), m.cols(), &triplets)
     }
 
+    /// Refills this matrix's values from a dense matrix that must have
+    /// exactly this sparsity pattern, in place and allocation-free.
+    ///
+    /// Semantically equivalent to `*self = SparseMatrix::from_dense(m)`
+    /// when the patterns agree — same row-major scan, so the stored value
+    /// order matches a fresh conversion bit for bit. Returns `false`
+    /// (leaving `self` partially updated — rebuild it from scratch) when
+    /// `m`'s nonzero pattern differs, including the case where an entry
+    /// that was structurally present now cancels to exact zero. This is
+    /// the tape-replay fast path: structure-group members share a pattern,
+    /// so re-deriving CSC structure per member is pure overhead.
+    pub fn refill_from_dense(&mut self, m: &Matrix) -> bool {
+        if m.rows() != self.rows || m.cols() != self.cols {
+            return false;
+        }
+        for j in 0..self.cols {
+            let mut k = self.col_ptr[j];
+            let end = self.col_ptr[j + 1];
+            for i in 0..self.rows {
+                let v = m[(i, j)];
+                if v != 0.0 {
+                    if k == end || self.row_idx[k] != i {
+                        return false;
+                    }
+                    self.values[k] = v;
+                    k += 1;
+                }
+            }
+            if k != end {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Expands to a dense matrix.
     pub fn to_dense(&self) -> Matrix {
         let mut m = Matrix::zeros(self.rows, self.cols);
@@ -131,6 +166,37 @@ impl SparseMatrix {
         assert!(j < self.cols, "column out of range");
         let span = self.col_ptr[j]..self.col_ptr[j + 1];
         (&self.row_idx[span.clone()], &self.values[span])
+    }
+
+    /// Storage slot of entry `(row, col)`, or `None` if the coordinate is
+    /// not structurally present. Binary search within the column, so a
+    /// compiled stamp program can resolve every element contribution to a
+    /// direct index into [`SparseMatrix::values_mut`] once and replay it
+    /// with plain stores thereafter.
+    pub fn slot_of(&self, row: usize, col: usize) -> Option<usize> {
+        if row >= self.rows || col >= self.cols {
+            return None;
+        }
+        let span = self.col_ptr[col]..self.col_ptr[col + 1];
+        self.row_idx[span.clone()]
+            .binary_search(&row)
+            .ok()
+            .map(|k| span.start + k)
+    }
+
+    /// The stored values, in CSC storage order (the order
+    /// [`SparseMatrix::slot_of`] indexes).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values, in CSC storage order (the
+    /// order [`SparseMatrix::slot_of`] indexes). The sparsity pattern is
+    /// fixed; only magnitudes may change. Writing an exact zero is the
+    /// caller's responsibility to avoid — a structural entry holding 0.0
+    /// no longer round-trips through [`SparseMatrix::from_dense`].
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
     }
 
     /// Matrix–vector product `A·x`.
@@ -410,6 +476,26 @@ mod tests {
         // Stale contents are overwritten on reuse.
         s.mul_vec_into(&[0.0, 0.0, 0.0], &mut y);
         assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn refill_from_dense_matches_fresh_conversion() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]]);
+        let mut s = SparseMatrix::from_dense(&d);
+        let d2 = Matrix::from_rows(&[&[9.0, 0.0, 8.0], &[0.0, 7.0, 0.0], &[6.0, 0.0, 5.5]]);
+        assert!(s.refill_from_dense(&d2));
+        assert_eq!(s, SparseMatrix::from_dense(&d2));
+        // New fill rejected.
+        let grew = Matrix::from_rows(&[&[9.0, 1.0, 8.0], &[0.0, 7.0, 0.0], &[6.0, 0.0, 5.5]]);
+        assert!(!s.refill_from_dense(&grew));
+        // A structural entry cancelling to exact zero is also a pattern
+        // change (from_dense would drop it).
+        let mut s2 = SparseMatrix::from_dense(&d);
+        let shrank = Matrix::from_rows(&[&[9.0, 0.0, 8.0], &[0.0, 0.0, 0.0], &[6.0, 0.0, 5.5]]);
+        assert!(!s2.refill_from_dense(&shrank));
+        // Dimension changes rejected outright.
+        let mut s3 = SparseMatrix::from_dense(&d);
+        assert!(!s3.refill_from_dense(&Matrix::zeros(2, 2)));
     }
 
     #[test]

@@ -29,9 +29,12 @@ const NONE: usize = usize::MAX;
 /// stale for the current values.
 static PIVOT_GROWTH: awe_obs::Histogram = awe_obs::Histogram::new("lu.pivot_growth");
 
-/// Refactorization admissibility outcomes across a recording.
+/// Refactorization admissibility outcomes across a recording. Shared with
+/// the lane-strided refactor in [`crate::lanes`] so scalar and lane sweeps
+/// report through one pair of counters.
 static REFACTOR_ACCEPTED: awe_obs::Counter = awe_obs::Counter::new("lu.refactor.accepted");
-static REFACTOR_REJECTED: awe_obs::Counter = awe_obs::Counter::new("lu.refactor.rejected");
+pub(crate) static REFACTOR_REJECTED: awe_obs::Counter =
+    awe_obs::Counter::new("lu.refactor.rejected");
 
 /// Records the pivot-growth health event for a finished factorization:
 /// `max |U| / max |A|`, the classic stability monitor for a fixed pivot
@@ -68,8 +71,10 @@ const PIVOT_THRESHOLD: f64 = 0.1;
 
 /// Refactorization admissibility floor, relative to the column maximum:
 /// below this the stored pivot order no longer controls element growth
-/// for the new values and the refactor is rejected as singular.
-const REFACTOR_ADMISSIBILITY: f64 = 1e-10;
+/// for the new values and the refactor is rejected as singular. The
+/// lane-strided refactor ([`crate::lanes`]) applies the identical test
+/// per lane.
+pub(crate) const REFACTOR_ADMISSIBILITY: f64 = 1e-10;
 
 /// Sparse LU factors `P·A·Q = L·U` with threshold partial pivoting.
 ///
@@ -429,6 +434,34 @@ impl SparseLu {
             u_vals,
             u_diag,
         })
+    }
+
+    /// Assembles a factorization from already-computed numeric values —
+    /// the lane extraction path of [`crate::lanes::LaneLu::extract`],
+    /// which gathers one lane of a lane-strided sweep back into scalar
+    /// layout. The slices must be aligned with `symbolic`'s patterns.
+    pub(crate) fn from_parts(
+        symbolic: Arc<LuSymbolic>,
+        l_vals: Vec<f64>,
+        u_vals: Vec<f64>,
+        u_diag: Vec<f64>,
+    ) -> SparseLu {
+        debug_assert_eq!(l_vals.len(), symbolic.l_rows.len());
+        debug_assert_eq!(u_vals.len(), symbolic.u_pos.len());
+        debug_assert_eq!(u_diag.len(), symbolic.n);
+        SparseLu {
+            symbolic,
+            l_vals,
+            u_vals,
+            u_diag,
+        }
+    }
+
+    /// The numeric values `(L, U, diag)` — crate-internal, for bitwise
+    /// comparison in the lane-kernel tests.
+    #[cfg(test)]
+    pub(crate) fn parts(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.l_vals, &self.u_vals, &self.u_diag)
     }
 
     /// The shared symbolic analysis this factorization was built on.

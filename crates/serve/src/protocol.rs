@@ -145,6 +145,9 @@ pub struct RunOpts {
     pub reduce: Option<bool>,
     /// Reduction tolerance override (relative moment-defect budget per pass).
     pub reduce_tol: Option<f64>,
+    /// Disable structure-group tape replay for this session (escape
+    /// hatch; replay is bit-identical to the scalar path).
+    pub no_tape: Option<bool>,
 }
 
 /// A parsed request.
@@ -316,6 +319,13 @@ fn parse_opts(value: Option<&Json>) -> Result<RunOpts, ServeError> {
                 .ok_or_else(|| bad("field `opts.reduce_tol` must be a non-negative number"))?,
         ),
     };
+    let no_tape = match obj.get("no_tape") {
+        None => None,
+        Some(v) => Some(
+            v.as_bool()
+                .ok_or_else(|| bad("field `opts.no_tape` must be a boolean"))?,
+        ),
+    };
     Ok(RunOpts {
         threads: opt_usize(obj, "threads")?,
         order: opt_usize(obj, "order")?,
@@ -323,6 +333,7 @@ fn parse_opts(value: Option<&Json>) -> Result<RunOpts, ServeError> {
         max_order: opt_usize(obj, "max_order")?,
         reduce,
         reduce_tol,
+        no_tape,
     })
 }
 
@@ -464,6 +475,23 @@ mod tests {
             let (_, req) = parse_request(line);
             assert!(req.is_ok(), "{want}: {req:?}");
         }
+    }
+
+    #[test]
+    fn no_tape_opt_parses_and_rejects_non_booleans() {
+        let (_, req) = parse_request(
+            r#"{"verb":"load_design","session":"s","chains":{"nets":2,"stages":5,"seed":1},"opts":{"no_tape":true}}"#,
+        );
+        match req.unwrap() {
+            Request::LoadDesign { opts, .. } => assert_eq!(opts.no_tape, Some(true)),
+            other => panic!("{other:?}"),
+        }
+        let (_, req) = parse_request(
+            r#"{"verb":"load_design","session":"s","chains":{"nets":2,"stages":5,"seed":1},"opts":{"no_tape":1}}"#,
+        );
+        let err = req.unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("no_tape"), "{}", err.message);
     }
 
     #[test]

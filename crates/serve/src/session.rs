@@ -177,6 +177,9 @@ impl Session {
         if let Some(tol) = overrides.reduce_tol {
             opts.reduce.tolerance = tol;
         }
+        if let Some(no_tape) = overrides.no_tape {
+            opts.use_tape = !no_tape;
+        }
         let mut states = HashMap::with_capacity(design.len());
         let mut groups: HashMap<u64, usize> = HashMap::new();
         for net in design.nets() {

@@ -8,11 +8,11 @@
 //! awesim check   <deck>
 //! awesim export  <deck> --node <name> [--order N] [--pwl N]
 //! awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
-//!                [--reduce] [--reduce-tol T] [--seed N] [--repeat K]
+//!                [--reduce] [--reduce-tol T] [--no-tape] [--seed N] [--repeat K]
 //!                [--json] [--no-timings] [--trace FILE] [--metrics FILE]
 //! awesim verify  [--seed N] [--count N] [--class C] [--threads N]
 //!                [--reduce-tol T] [--corpus-dir DIR] [--json] [--no-minimize]
-//! awesim serve   [--stdio | --tcp ADDR] [--threads N]
+//! awesim serve   [--stdio | --tcp ADDR] [--threads N] [--no-tape]
 //!                [--reduce] [--reduce-tol T] [--trace FILE] [--metrics FILE]
 //! ```
 //!
@@ -55,11 +55,11 @@ const USAGE: &str = "usage:
   awesim check   <deck>
   awesim export  <deck> --node <name> [--order N] [--pwl N]
   awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
-                 [--reduce] [--reduce-tol T] [--seed N] [--repeat K]
+                 [--reduce] [--reduce-tol T] [--no-tape] [--seed N] [--repeat K]
                  [--json] [--no-timings] [--trace FILE] [--metrics FILE]
   awesim verify  [--seed N] [--count N] [--class C] [--threads N]
                  [--reduce-tol T] [--corpus-dir DIR] [--json] [--no-minimize]
-  awesim serve   [--stdio | --tcp ADDR] [--threads N]
+  awesim serve   [--stdio | --tcp ADDR] [--threads N] [--no-tape]
                  [--reduce] [--reduce-tol T] [--trace FILE] [--metrics FILE]";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -293,6 +293,11 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         opts.reduce.enabled = true;
         opts.reduce.tolerance = t.parse().map_err(|_| "bad --reduce-tol value")?;
     }
+    if args.iter().any(|a| a == "--no-tape") {
+        // Escape hatch: solve every net on the scalar path instead of
+        // replaying structure-group tapes (results are bit-identical).
+        opts.use_tape = false;
+    }
     let repeat: usize = flag(args, "--repeat")
         .map(|s| s.parse().map_err(|_| "bad --repeat value"))
         .transpose()?
@@ -410,6 +415,9 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     if let Some(t) = flag(args, "--reduce-tol") {
         options.defaults.reduce.enabled = true;
         options.defaults.reduce.tolerance = t.parse().map_err(|_| "bad --reduce-tol value")?;
+    }
+    if args.iter().any(|a| a == "--no-tape") {
+        options.defaults.use_tape = false;
     }
     let tcp_addr = flag(args, "--tcp");
     if tcp_addr.is_none() && args.iter().any(|a| a == "--tcp") {
