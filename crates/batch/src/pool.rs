@@ -127,6 +127,10 @@ where
     let executed: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
     let steals: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
 
+    // Forward the spawner's ambient request id (if any) into every
+    // worker, so a daemon request's spans and health events stay
+    // attributable to it across the pool boundary.
+    let req = awe_obs::current_request();
     std::thread::scope(|scope| {
         for w in 0..threads {
             let deques = &deques;
@@ -137,6 +141,7 @@ where
             let steals = &steals;
             let f = &f;
             scope.spawn(move || {
+                let _req = awe_obs::req_scope(req);
                 if awe_obs::enabled() {
                     awe_obs::set_lane_label(&format!("worker-{w}"));
                 }

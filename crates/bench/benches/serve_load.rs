@@ -9,6 +9,10 @@
 //!   one dirty net by numeric refactorization (zero new symbolic).
 //! * `topology_edit` — an add-card ECO plus its `analyze` (the edited
 //!   net leaves its structure group and pays a fresh symbolic).
+//! * `concurrent_value_edit` — the value-edit pair issued by several
+//!   client threads hammering the *same* hot session, so the latency
+//!   includes queueing on the session lock — the contention a TCP
+//!   daemon actually exhibits under parallel ECO traffic.
 //!
 //! Writes `BENCH_serve.json` at the workspace root with requests/sec
 //! and p50/p99 per class, and fails if a warm value edit is not at
@@ -68,7 +72,7 @@ fn main() {
     let tiny = std::env::var("AWE_BENCH_TINY").is_ok() || std::env::args().any(|a| a == "--test");
     // Stage count stays well above the sparse threshold (192 unknowns)
     // so value edits exercise the pattern-reusing refactor path.
-    let (nets, stages, cold_reps, edit_reps) = if tiny {
+    let (nets, stages, cold_reps, edit_reps): (usize, usize, usize, usize) = if tiny {
         (40, 200, 2, 8)
     } else {
         (500, 200, 3, 30)
@@ -124,13 +128,47 @@ fn main() {
         requests += 2;
     }
 
+    // Contended phase: every client edits its own net slice but they all
+    // serialize on the one warm session, exactly like concurrent TCP
+    // connections targeting a shared design.
+    let clients = 4usize;
+    let per_client = edit_reps.div_ceil(2).max(2);
+    let mut concurrent = ClassRow::new("concurrent_value_edit");
+    std::thread::scope(|scope| {
+        let st = &st;
+        let workers: Vec<_> = (0..clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut samples = Vec::with_capacity(per_client);
+                    for rep in 0..per_client {
+                        let net = format!("net{:04}", 1 + (client * per_client + rep) % nets);
+                        let eco = format!(
+                            r#"{{"verb":"eco","session":"warm","ops":[{{"op":"resize","net":"{net}","element":"R3","value":{}.25}}]}}"#,
+                            200 + client * per_client + rep
+                        );
+                        let a = timed_send(st, &eco);
+                        let b = timed_send(st, r#"{"verb":"analyze","session":"warm"}"#);
+                        samples.push(a + b);
+                    }
+                    samples
+                })
+            })
+            .collect();
+        for w in workers {
+            concurrent
+                .samples_us
+                .extend(w.join().expect("client thread"));
+        }
+    });
+    requests += 2 * clients * per_client;
+
     let total_s = started.elapsed().as_secs_f64();
     let rps = requests as f64 / total_s;
 
     let cold_p50 = cold.percentile(50.0);
     let value_p50 = value.percentile(50.0);
     let speedup = cold_p50 / value_p50.max(1e-9);
-    for row in [&cold, &value, &topo] {
+    for row in [&cold, &value, &topo, &concurrent] {
         println!(
             "{:<14} n={:<3} p50 {:>10.1} us  p99 {:>10.1} us",
             row.class,
@@ -149,8 +187,9 @@ fn main() {
     let _ = writeln!(out, "  \"requests\": {requests},");
     let _ = writeln!(out, "  \"requests_per_sec\": {rps:.1},");
     let _ = writeln!(out, "  \"value_edit_speedup_vs_cold\": {speedup:.1},");
+    let _ = writeln!(out, "  \"concurrent_clients\": {clients},");
     out.push_str("  \"classes\": [\n");
-    let rows = [&cold, &value, &topo];
+    let rows = [&cold, &value, &topo, &concurrent];
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(

@@ -32,6 +32,12 @@ pub struct Event {
     pub name: &'static str,
     /// Optional static qualifier, e.g. a stage or oracle name.
     pub detail: &'static str,
+    /// Request id this event belongs to (`0` = none). Minted by the
+    /// caller — the daemon assigns one per protocol line — and carried
+    /// through [`crate::req_scope`] so spans, instants and health events
+    /// recorded anywhere under a request (including pool workers) can be
+    /// attributed to it.
+    pub req: u64,
     /// First payload slot (meaning depends on `name`).
     pub a: f64,
     /// Second payload slot (meaning depends on `name`).

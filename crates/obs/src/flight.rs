@@ -1,0 +1,67 @@
+//! Flight recorder: snapshot the live recording without stopping it.
+//!
+//! The per-thread/per-session lanes are already bounded rings holding
+//! the most recent [`crate::LANE_CAPACITY`] events — exactly the
+//! "always-on flight recorder" shape. What a one-shot
+//! [`crate::Recording`] lacks is a way to *read* that ring while the
+//! recording keeps running: [`live_profile`] clones the current lanes,
+//! counters and histograms into a [`Profile`] without draining anything,
+//! and [`flight_trace`] renders that snapshot as a Chrome trace tagged
+//! with the trigger that caused the dump (the anomalous request's id,
+//! verb, session and reason), so the artifact on disk says *why* it
+//! exists and which track to look at.
+//!
+//! The daemon's trigger policy (anomalous health event, error response,
+//! latency over threshold, explicit `dump_trace` request) lives in the
+//! serve crate; this module only provides the snapshot and rendering
+//! primitives, plus [`crate::anomaly_count`] as the cheap trigger
+//! signal — a relaxed counter bumped by [`crate::health`], so trigger
+//! detection is a before/after compare, never a lane scan.
+
+use crate::recorder::{snapshot_live, Profile};
+use crate::sinks::json_escape;
+
+/// Why a flight dump was taken — rendered into the trace as a
+/// `flight_trigger` metadata event so the artifact is self-describing.
+#[derive(Clone, Debug)]
+pub struct FlightTrigger {
+    /// Trigger class, e.g. `"anomaly"`, `"error_response"`,
+    /// `"slow_request"` or `"on_demand"`.
+    pub reason: String,
+    /// The request id whose handling tripped the trigger (`0` = none).
+    pub request: u64,
+    /// The triggering request's verb.
+    pub verb: String,
+    /// The session the request targeted, when it targeted one.
+    pub session: Option<String>,
+    /// The triggering request's latency in microseconds.
+    pub latency_us: u64,
+}
+
+/// Clones the live recording into a [`Profile`] without draining or
+/// stopping it. `None` when no recording is active.
+pub fn live_profile() -> Option<Profile> {
+    snapshot_live()
+}
+
+/// Renders `profile` as Chrome trace-event JSON with a leading
+/// `flight_trigger` global-instant event carrying the trigger metadata.
+/// Loads anywhere [`Profile::chrome_trace`] output loads (Perfetto,
+/// `chrome://tracing`).
+pub fn flight_trace(profile: &Profile, trigger: &FlightTrigger) -> String {
+    let mut args = vec![
+        format!("\"reason\": \"{}\"", json_escape(&trigger.reason)),
+        format!("\"req\": {}", trigger.request),
+        format!("\"verb\": \"{}\"", json_escape(&trigger.verb)),
+        format!("\"latency_us\": {}", trigger.latency_us),
+    ];
+    if let Some(session) = &trigger.session {
+        args.push(format!("\"session\": \"{}\"", json_escape(session)));
+    }
+    let line = format!(
+        "{{\"name\": \"flight_trigger\", \"ph\": \"i\", \"s\": \"g\", \"pid\": 1, \
+         \"tid\": 0, \"ts\": 0, \"args\": {{{}}}}}",
+        args.join(", ")
+    );
+    profile.chrome_trace_with(&[line])
+}

@@ -31,6 +31,14 @@
 //! * [`Profile::text_report`] — human-readable summary;
 //! * [`Profile::metrics_json`] — flat metrics JSON for report tooling.
 //!
+//! For long-lived daemons the one-shot recording model is extended
+//! three ways: [`windows`] aggregates over rolling bucket rings (rates
+//! and quantiles for the last minute / quarter hour, not since boot),
+//! [`req_scope`] stamps every event with the ambient request id so a
+//! trace track interleaving many requests stays attributable, and
+//! [`flight`] snapshots the live recording without stopping it — the
+//! always-on bounded lanes double as a flight recorder.
+//!
 //! The typed [`Health`] events carry the numerical signals that decide
 //! AWE quality: moment-matrix condition estimates, pivot growth in the
 //! Gilbert–Peierls refactor path, refactor accept/reject, Padé order
@@ -41,9 +49,11 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod flight;
 mod metrics;
 mod recorder;
 mod sinks;
+pub mod windows;
 
 pub use event::{Event, EventKind, Health};
 pub use metrics::{
@@ -51,6 +61,7 @@ pub use metrics::{
     HIST_BUCKETS,
 };
 pub use recorder::{
-    enabled, health, instant, lane_scope, set_lane_label, span, span_labeled, LaneData, LaneScope,
-    Profile, Recording, Span, LANE_CAPACITY,
+    anomaly_count, current_request, enabled, epoch_ns, health, instant, lane_scope, live_dropped,
+    live_occupancy, req_scope, set_lane_label, span, span_labeled, LaneData, LaneScope, Profile,
+    Recording, ReqScope, Span, LANE_CAPACITY,
 };

@@ -29,7 +29,7 @@
 //! the drained slot — lost, by design, rather than blocking or
 //! corrupting the next recording.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
@@ -47,6 +47,12 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static GENERATION: AtomicU64 = AtomicU64::new(0);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static SESSION: Mutex<Option<Arc<SessionState>>> = Mutex::new(None);
+/// Process-monotone count of anomalous health events ([`Health`]
+/// variants that signal an untrusted model: `condition_warning`,
+/// `pade_rejected`, `refactor_rejected`, `oracle_disagreement`). Only
+/// bumped while a recording is live. Deliberately *not* reset by
+/// [`Recording::start`]: a daemon watches deltas across its lifetime.
+static ANOMALIES: AtomicU64 = AtomicU64::new(0);
 
 /// True when a [`Recording`] is active. One relaxed atomic load — this
 /// is the guard every instrumentation site checks first.
@@ -57,6 +63,21 @@ pub fn enabled() -> bool {
 
 fn now_ns() -> u64 {
     EPOCH.get().map_or(0, |e| e.elapsed().as_nanos() as u64)
+}
+
+/// Nanoseconds since the recorder epoch — the same clock event
+/// timestamps use. `0` until the first [`Recording::start`] of the
+/// process arms the epoch.
+pub fn epoch_ns() -> u64 {
+    now_ns()
+}
+
+/// Total anomalous health events observed process-wide (see the
+/// `condition_warning`/`pade_rejected`/`refactor_rejected`/
+/// `oracle_disagreement` taxonomy). Monotone across recordings — watch
+/// deltas, not absolute values.
+pub fn anomaly_count() -> u64 {
+    ANOMALIES.load(Ordering::Relaxed)
 }
 
 struct SessionState {
@@ -283,6 +304,66 @@ impl Drop for LaneScope {
     }
 }
 
+thread_local! {
+    /// The request id events on this thread are stamped with (`0` =
+    /// none). Set by [`req_scope`]; pool workers re-install their
+    /// spawner's id so a request's events stay attributable across
+    /// threads.
+    static REQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A request-context guard: while alive, every event the calling thread
+/// records carries `Event::req == id`. Scopes nest (the innermost wins;
+/// the previous id is restored on drop). Inert when no recording is
+/// active or `id == 0`.
+#[must_use = "a request scope stamps events only while it is alive"]
+pub struct ReqScope {
+    prev: u64,
+    active: bool,
+}
+
+/// Stamps events recorded by this thread with request id `id` for the
+/// guard's lifetime. See [`ReqScope`]. The daemon mints one id per
+/// protocol line; [`current_request`] lets thread-pool spawns forward
+/// the ambient id into their workers.
+pub fn req_scope(id: u64) -> ReqScope {
+    if id == 0 || !enabled() {
+        return ReqScope {
+            prev: 0,
+            active: false,
+        };
+    }
+    match REQ.try_with(|c| c.replace(id)) {
+        Ok(prev) => ReqScope { prev, active: true },
+        Err(_) => ReqScope {
+            prev: 0,
+            active: false,
+        },
+    }
+}
+
+/// The calling thread's ambient request id (`0` when none is in scope).
+#[inline]
+pub fn current_request() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    ambient_req()
+}
+
+/// The ambient request id, safe against TLS teardown.
+fn ambient_req() -> u64 {
+    REQ.try_with(Cell::get).unwrap_or(0)
+}
+
+impl Drop for ReqScope {
+    fn drop(&mut self) {
+        if self.active {
+            REQ.set(self.prev);
+        }
+    }
+}
+
 /// A timed-region guard. Created by [`span`]; records one
 /// [`EventKind::Span`] event covering its lifetime when dropped. Inert
 /// (a `None`) when no recording is active.
@@ -293,6 +374,10 @@ struct OpenSpan {
     name: &'static str,
     detail: &'static str,
     start_ns: u64,
+    /// Ambient request id captured at open — drop-order safe: the span
+    /// belongs to the request that opened it even if the request scope
+    /// ends first.
+    req: u64,
     a: f64,
     b: f64,
 }
@@ -313,6 +398,7 @@ pub fn span_labeled(name: &'static str, detail: &'static str) -> Span {
         name,
         detail,
         start_ns: now_ns(),
+        req: ambient_req(),
         a: 0.0,
         b: 0.0,
     }))
@@ -345,6 +431,7 @@ impl Drop for Span {
                 kind: EventKind::Span,
                 name: open.name,
                 detail: open.detail,
+                req: open.req,
                 a: open.a,
                 b: open.b,
             });
@@ -364,6 +451,7 @@ pub fn instant(name: &'static str) {
         kind: EventKind::Instant,
         name,
         detail: "",
+        req: ambient_req(),
         a: 0.0,
         b: 0.0,
     });
@@ -375,6 +463,15 @@ pub fn health(h: Health) {
     if !enabled() {
         return;
     }
+    if matches!(
+        h,
+        Health::ConditionWarning { .. }
+            | Health::PadeRejected { .. }
+            | Health::RefactorRejected { .. }
+            | Health::OracleDisagreement { .. }
+    ) {
+        ANOMALIES.fetch_add(1, Ordering::Relaxed);
+    }
     let (name, detail, a, b) = h.encode();
     record(Event {
         ts_ns: now_ns(),
@@ -382,6 +479,7 @@ pub fn health(h: Health) {
         kind: EventKind::Health,
         name,
         detail,
+        req: ambient_req(),
         a,
         b,
     });
@@ -483,4 +581,91 @@ pub struct Profile {
     pub counters: Vec<CounterSnapshot>,
     /// Registered-histogram contents, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Profile {
+    /// Total events lost to ring overflow across all lanes.
+    pub fn events_dropped(&self) -> u64 {
+        self.lanes.iter().map(|l| l.dropped).sum()
+    }
+}
+
+/// Clones the live recording's lanes, counters and histograms into a
+/// [`Profile`] *without* draining or stopping it — the flight-recorder
+/// primitive. `None` when no recording is active. Each lane's buffer
+/// mutex is held only for the copy of that lane, so recording threads
+/// stall for at most one ring clone.
+pub(crate) fn snapshot_live() -> Option<Profile> {
+    let slots: Vec<Arc<LaneSlot>> = {
+        let guard = SESSION.lock().unwrap_or_else(PoisonError::into_inner);
+        let state = guard.as_ref()?;
+        let registry = state.lanes.lock().unwrap_or_else(PoisonError::into_inner);
+        registry.clone()
+    };
+    let mut lanes: Vec<LaneData> = slots
+        .iter()
+        .map(|slot| {
+            let buf = slot.buf.lock().unwrap_or_else(PoisonError::into_inner);
+            LaneData {
+                label: buf.label.clone(),
+                events: buf.events.iter().copied().collect(),
+                dropped: buf.dropped,
+            }
+        })
+        .filter(|lane| !lane.events.is_empty() || lane.dropped > 0)
+        .collect();
+    lanes.sort_by(|x, y| x.label.cmp(&y.label));
+    Some(Profile {
+        lanes,
+        counters: snapshot_counters(),
+        histograms: snapshot_histograms(),
+    })
+}
+
+/// Lane occupancy of the live recording: `(lanes, events held)`.
+/// `(0, 0)` when no recording is active. Reads lengths only — no event
+/// copying — so it is scrape-endpoint cheap.
+pub fn live_occupancy() -> (usize, usize) {
+    let slots: Vec<Arc<LaneSlot>> = {
+        let guard = SESSION.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(state) = guard.as_ref() else {
+            return (0, 0);
+        };
+        let registry = state.lanes.lock().unwrap_or_else(PoisonError::into_inner);
+        registry.clone()
+    };
+    let events = slots
+        .iter()
+        .map(|slot| {
+            slot.buf
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .events
+                .len()
+        })
+        .sum();
+    (slots.len(), events)
+}
+
+/// Total events lost to ring overflow in the *live* recording so far
+/// (`0` when no recording is active). Cheap enough for a metrics reply:
+/// one uncontended lock per lane.
+pub fn live_dropped() -> u64 {
+    let slots: Vec<Arc<LaneSlot>> = {
+        let guard = SESSION.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(state) = guard.as_ref() else {
+            return 0;
+        };
+        let registry = state.lanes.lock().unwrap_or_else(PoisonError::into_inner);
+        registry.clone()
+    };
+    slots
+        .iter()
+        .map(|slot| {
+            slot.buf
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .dropped
+        })
+        .sum()
 }

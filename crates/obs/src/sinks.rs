@@ -15,7 +15,7 @@ use crate::{bucket_bounds, Event};
 
 /// Escapes a string for a JSON literal (quotes, backslashes, control
 /// characters).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -78,6 +78,9 @@ fn event_args(e: &Event) -> String {
     if !e.detail.is_empty() {
         parts.push(format!("\"detail\": \"{}\"", json_escape(e.detail)));
     }
+    if e.req != 0 {
+        parts.push(format!("\"req\": {}", e.req));
+    }
     let (an, bn) = arg_names(e.name);
     if e.a != 0.0 {
         parts.push(format!("\"{an}\": {}", json_f64(e.a)));
@@ -100,6 +103,13 @@ impl Profile {
     /// (`"i"`) events. Timestamps are rebased so the earliest event
     /// sits at `ts: 0` and are globally monotone.
     pub fn chrome_trace(&self) -> String {
+        self.chrome_trace_with(&[])
+    }
+
+    /// [`Profile::chrome_trace`] with caller-supplied extra event lines
+    /// (already-rendered JSON objects) inserted after the process
+    /// metadata — how the flight recorder tags a dump with its trigger.
+    pub(crate) fn chrome_trace_with(&self, extra: &[String]) -> String {
         let mut lines: Vec<String> = Vec::new();
         lines.push(
             "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
@@ -118,6 +128,7 @@ impl Profile {
                  \"args\": {{\"sort_index\": {tid}}}}}"
             ));
         }
+        lines.extend(extra.iter().cloned());
 
         let mut timed: Vec<(usize, &Event)> = Vec::new();
         for (i, lane) in self.lanes.iter().enumerate() {
@@ -159,7 +170,12 @@ impl Profile {
     pub fn text_report(&self) -> String {
         let (spans, marks) = aggregate(self);
         let mut out = String::from("obs report\n");
-        let _ = writeln!(out, "  lanes ({}):", self.lanes.len());
+        let _ = writeln!(
+            out,
+            "  lanes ({}), {} events dropped:",
+            self.lanes.len(),
+            self.events_dropped()
+        );
         for lane in &self.lanes {
             let _ = writeln!(
                 out,
@@ -225,6 +241,7 @@ impl Profile {
         let (spans, marks) = aggregate(self);
         let mut out = String::from("{\n");
         out.push_str("  \"schema\": \"awe-obs-metrics-v1\",\n");
+        let _ = writeln!(out, "  \"events_dropped\": {},", self.events_dropped());
 
         out.push_str("  \"lanes\": [");
         for (i, lane) in self.lanes.iter().enumerate() {

@@ -1,0 +1,196 @@
+//! Property tests for the rolling-window aggregation: rotation across
+//! arbitrary (including huge) time jumps checked against a brute-force
+//! model, snapshot-merge algebra, and counter monotonicity.
+//!
+//! These never start a recording — windows are plain owned values — so
+//! no record-lock serialization is needed.
+
+use awe_obs::windows::{WindowSnapshot, WindowSpec, WindowedCounter, WindowedHistogram};
+use awe_obs::{bucket_index, HIST_BUCKETS};
+use proptest::prelude::*;
+
+/// A recorded (time, value) trace with non-decreasing times: deltas are
+/// a mix of sub-slot steps, multi-slot hops, and window-sized jumps, so
+/// rotation exercises the step-forward path, the full-clear path, and
+/// the no-op path.
+fn trace(spec: WindowSpec, max_len: usize) -> impl Strategy<Value = Vec<(u64, u32)>> {
+    let delta = prop_oneof![
+        0..spec.slot_ns,                         // same or next slot
+        0..spec.slot_ns * spec.slots as u64,     // partial rotation
+        0..spec.slot_ns * spec.slots as u64 * 3, // ages the whole window out
+    ];
+    prop::collection::vec((delta, 1u32..1000), 1..max_len).prop_map(|steps| {
+        let mut t = 0u64;
+        steps
+            .into_iter()
+            .map(|(dt, v)| {
+                t += dt;
+                (t, v)
+            })
+            .collect()
+    })
+}
+
+/// The window predicate the ring must implement: an event recorded in
+/// global slot `k` is visible from a snapshot taken in slot `k_now` iff
+/// it is one of the `slots` most recent intervals.
+fn in_window(spec: WindowSpec, t_event: u64, t_now: u64) -> bool {
+    let k = t_event / spec.slot_ns;
+    let k_now = t_now / spec.slot_ns;
+    k_now < k + spec.slots as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Counter rotation against the brute-force model: after an
+    /// arbitrary monotone trace, `in_window` equals the sum of exactly
+    /// the additions whose slot is still live, and `total` never
+    /// forgets anything.
+    #[test]
+    fn counter_rotation_matches_model(
+        case in (1usize..12, 1u64..5_000).prop_flat_map(|(s, ns)| {
+            trace(WindowSpec::new(s, ns), 40).prop_map(move |t| (s, ns, t))
+        }),
+    ) {
+        let (slots, slot_ns, events) = case;
+        let spec = WindowSpec::new(slots, slot_ns);
+        let mut counter = WindowedCounter::new(spec);
+        for &(t, v) in &events {
+            counter.add(t, u64::from(v));
+        }
+        let t_now = events.last().unwrap().0;
+        let snap = counter.snapshot(t_now);
+        let expect_window: u64 = events
+            .iter()
+            .filter(|(t, _)| in_window(spec, *t, t_now))
+            .map(|(_, v)| u64::from(*v))
+            .sum();
+        let expect_total: u64 = events.iter().map(|(_, v)| u64::from(*v)).sum();
+        prop_assert_eq!(snap.in_window, expect_window);
+        prop_assert_eq!(snap.total, expect_total);
+        prop_assert_eq!(snap.window_ns, spec.span_ns());
+    }
+
+    /// Histogram rotation against the same model, bucket by bucket.
+    #[test]
+    fn histogram_rotation_matches_model(
+        events in trace(WindowSpec::new(8, 1_000), 40),
+    ) {
+        let spec = WindowSpec::new(8, 1_000);
+        let mut hist = WindowedHistogram::new(spec);
+        for &(t, v) in &events {
+            hist.record(t, f64::from(v));
+        }
+        let t_now = events.last().unwrap().0;
+        let snap = hist.snapshot(t_now);
+        let mut expect = WindowSnapshot::empty();
+        for &(_, v) in events.iter().filter(|(t, _)| in_window(spec, *t, t_now)) {
+            expect.count += 1;
+            expect.sum += f64::from(v);
+            expect.buckets[bucket_index(f64::from(v))] += 1;
+        }
+        prop_assert_eq!(snap.count, expect.count);
+        prop_assert_eq!(snap.sum, expect.sum); // integer-valued, exact
+        prop_assert_eq!(&snap.buckets, &expect.buckets);
+        prop_assert_eq!(hist.total_count(), events.len() as u64);
+    }
+
+    /// Counter totals are monotone under any interleaving of adds and
+    /// snapshots — a snapshot (which rotates) must never lose history.
+    #[test]
+    fn counter_total_is_monotone(events in trace(WindowSpec::new(4, 700), 40)) {
+        let mut counter = WindowedCounter::new(WindowSpec::new(4, 700));
+        let mut running = 0u64;
+        for &(t, v) in &events {
+            counter.add(t, u64::from(v));
+            running += u64::from(v);
+            let snap = counter.snapshot(t);
+            prop_assert_eq!(snap.total, running, "rotation lost history");
+            prop_assert!(snap.in_window <= snap.total, "window exceeds total");
+        }
+    }
+
+    /// Snapshot merge is associative and commutative: integer-valued
+    /// sums keep f64 addition exact, so equality is exact too.
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative(
+        raw in prop::collection::vec(
+            (0usize..HIST_BUCKETS, 1u64..100, 1u32..10_000),
+            0..30,
+        ),
+    ) {
+        let mut parts = [
+            WindowSnapshot::empty(),
+            WindowSnapshot::empty(),
+            WindowSnapshot::empty(),
+        ];
+        for (i, (bucket, n, sum)) in raw.iter().enumerate() {
+            let p = &mut parts[i % 3];
+            p.buckets[*bucket] += n;
+            p.count += n;
+            p.sum += f64::from(*sum);
+        }
+        let [a, b, c] = parts;
+
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "merge is not associative");
+
+        // a ∪ b == b ∪ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "merge is not commutative");
+
+        // Merging empty is the identity.
+        let mut with_empty = a.clone();
+        with_empty.merge(&WindowSnapshot::empty());
+        prop_assert_eq!(&with_empty, &a);
+    }
+}
+
+#[test]
+fn backward_time_clamps_instead_of_rotating() {
+    let spec = WindowSpec::new(4, 1_000);
+    let mut counter = WindowedCounter::new(spec);
+    counter.add(10_000, 5);
+    // A stale clock reading: records into the newest slot, no rotation.
+    counter.add(3_000, 7);
+    let snap = counter.snapshot(10_000);
+    assert_eq!(snap.in_window, 12);
+    assert_eq!(snap.total, 12);
+    // Advancing past the whole window ages both out at once.
+    let snap = counter.snapshot(10_000 + spec.span_ns());
+    assert_eq!(snap.in_window, 0);
+    assert_eq!(snap.total, 12);
+}
+
+#[test]
+fn quantiles_land_in_the_recorded_buckets() {
+    let mut hist = WindowedHistogram::new(WindowSpec::MINUTE);
+    // 90 fast observations around 100, 10 slow around 10_000.
+    for i in 0..90 {
+        hist.record(i, 100.0);
+    }
+    for i in 0..10 {
+        hist.record(i, 10_000.0);
+    }
+    let snap = hist.snapshot(0);
+    let p50 = snap.quantile(0.5);
+    let p99 = snap.quantile(0.99);
+    // Bucket resolution is a factor of two: the estimates must land in
+    // the same power-of-two bucket as the true values.
+    assert_eq!(bucket_index(p50), bucket_index(100.0), "p50 {p50}");
+    assert_eq!(bucket_index(p99), bucket_index(10_000.0), "p99 {p99}");
+    assert!(snap.quantile(0.0) > 0.0);
+    assert_eq!(WindowSnapshot::empty().quantile(0.5), 0.0);
+}

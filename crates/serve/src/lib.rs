@@ -38,9 +38,14 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod telemetry;
 
 pub use eco::EcoOp;
 pub use json::Json;
 pub use protocol::{DesignSource, ErrorCode, Request, RunOpts, ServeError};
-pub use server::{handle_line, serve_lines, serve_tcp, ServeOptions, ServeState};
+pub use server::{
+    handle_line, serve_lines, serve_metrics_endpoint, serve_tcp, FlightOptions, ServeOptions,
+    ServeState,
+};
 pub use session::{AnalyzeSummary, EcoOutcome, NetChange, Session, SessionStats};
+pub use telemetry::{render_prometheus, render_stats, DaemonGauges, Telemetry};

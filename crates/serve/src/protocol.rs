@@ -188,6 +188,16 @@ pub enum Request {
         /// Target session (`None` = daemon-wide).
         session: Option<String>,
     },
+    /// Dump a flight-recorder snapshot of the live obs recording to a
+    /// file (Chrome trace JSON), on demand.
+    DumpTrace {
+        /// Session to attribute the dump to (tagging only — the
+        /// snapshot always covers every lane).
+        session: Option<String>,
+        /// Output path override (defaults to the daemon's flight
+        /// directory).
+        path: Option<String>,
+    },
     /// Liveness check.
     Ping,
     /// Discard a session (its engine caches go with it).
@@ -243,6 +253,10 @@ fn parse_verb(obj: &Json) -> Result<Request, ServeError> {
         }),
         "metrics" => Ok(Request::Metrics {
             session: opt_str(obj, "session")?,
+        }),
+        "dump_trace" => Ok(Request::DumpTrace {
+            session: opt_str(obj, "session")?,
+            path: opt_str(obj, "path")?,
         }),
         "ping" => Ok(Request::Ping),
         "close" => Ok(Request::Close {
@@ -468,6 +482,11 @@ mod tests {
             (r#"{"verb":"analyze","session":"s"}"#, "analyze"),
             (r#"{"verb":"report","session":"s","limit":5}"#, "report"),
             (r#"{"verb":"metrics"}"#, "metrics"),
+            (r#"{"verb":"dump_trace"}"#, "dump_trace"),
+            (
+                r#"{"verb":"dump_trace","session":"s","path":"/tmp/t.json"}"#,
+                "dump_trace",
+            ),
             (r#"{"verb":"ping"}"#, "ping"),
             (r#"{"verb":"close","session":"s"}"#, "close"),
             (r#"{"verb":"shutdown"}"#, "shutdown"),

@@ -10,45 +10,92 @@
 //! load-generator bench without a socket.
 
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use awe_batch::{BatchOptions, BatchRun, Design};
 use awe_circuit::CircuitError;
+use awe_obs::flight::{flight_trace, live_profile, FlightTrigger};
 
 use crate::json::Json;
 use crate::protocol::{parse_request, DesignSource, ErrorCode, Request, RunOpts, ServeError};
 use crate::session::Session;
+use crate::telemetry::{eco_class_index, render_prometheus, verb_index, DaemonGauges, Telemetry};
 
 /// Requests handled (well-formed or not).
 static REQUESTS: awe_obs::Counter = awe_obs::Counter::new("serve.requests");
 /// Requests answered with an error response.
 static ERRORS: awe_obs::Counter = awe_obs::Counter::new("serve.errors");
 
+/// Flight-recorder policy for a daemon.
+#[derive(Clone, Debug)]
+pub struct FlightOptions {
+    /// Whether anomalous requests trigger automatic dumps. The
+    /// `dump_trace` verb works regardless.
+    pub enabled: bool,
+    /// Directory automatic dumps (and default-pathed `dump_trace`
+    /// dumps) are written to.
+    pub dir: PathBuf,
+    /// Additionally dump when a request's latency reaches this many
+    /// microseconds.
+    pub latency_threshold_us: Option<u64>,
+}
+
+impl Default for FlightOptions {
+    fn default() -> Self {
+        FlightOptions {
+            enabled: false,
+            dir: std::env::temp_dir(),
+            latency_threshold_us: None,
+        }
+    }
+}
+
 /// Daemon-wide configuration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ServeOptions {
     /// Default batch options for new sessions (per-session `opts`
     /// override them).
     pub defaults: BatchOptions,
+    /// Flight-recorder policy (disabled by default, so in-process
+    /// embedders — tests, benches — never write files as a side
+    /// effect).
+    pub flight: FlightOptions,
 }
 
 /// Request classes for the latency metrics (and the serve bench).
 const CLASSES: [&str; 4] = ["load_design", "eco", "analyze", "other"];
 
+/// Automatic flight dumps are rate-limited to one per this interval.
+const FLIGHT_DUMP_MIN_INTERVAL_NS: u64 = 1_000_000_000;
+
 /// Shared daemon state: the session registry plus request metrics.
 #[derive(Debug)]
 pub struct ServeState {
     defaults: BatchOptions,
+    flight: FlightOptions,
     sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// Request-id mint: every protocol line gets the next id, malformed
+    /// lines included, so every event recorded under this daemon is
+    /// attributable.
+    next_request: AtomicU64,
     /// Per-class request latencies in microseconds, in arrival order.
     latencies: Mutex<[Vec<u64>; 4]>,
+    /// Rolling-window latency telemetry.
+    telemetry: Mutex<Telemetry>,
+    /// Flight dumps written, and the most recent dump's path.
+    flight_dumps: AtomicU64,
+    last_flight_path: Mutex<Option<String>>,
+    /// Monotonic time (telemetry clock) of the last automatic dump —
+    /// the rate limiter.
+    last_flight_ns: AtomicU64,
 }
 
 impl ServeState {
@@ -56,11 +103,17 @@ impl ServeState {
     pub fn new(options: ServeOptions) -> Self {
         ServeState {
             defaults: options.defaults,
+            flight: options.flight,
             sessions: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            next_request: AtomicU64::new(1),
             latencies: Mutex::new([Vec::new(), Vec::new(), Vec::new(), Vec::new()]),
+            telemetry: Mutex::new(Telemetry::new()),
+            flight_dumps: AtomicU64::new(0),
+            last_flight_path: Mutex::new(None),
+            last_flight_ns: AtomicU64::new(0),
         }
     }
 
@@ -92,34 +145,97 @@ impl ServeState {
         let slot = CLASSES.iter().position(|c| *c == class).unwrap_or(3);
         self.latencies.lock().expect("latency metrics")[slot].push(micros);
     }
+
+    /// Point-in-time gauges for the exposition. Session sums use
+    /// `try_lock` so a scrape never queues behind a long-running
+    /// analysis — a busy session's counters are simply a scrape stale.
+    fn gauges(&self) -> DaemonGauges {
+        let mut g = DaemonGauges {
+            requests_total: self.requests.load(Ordering::Relaxed),
+            errors_total: self.errors.load(Ordering::Relaxed),
+            anomalies_total: awe_obs::anomaly_count(),
+            flight_dumps_total: self.flight_dumps.load(Ordering::Relaxed),
+            obs_ring_dropped: awe_obs::live_dropped(),
+            ..DaemonGauges::default()
+        };
+        let (lanes, lane_events) = awe_obs::live_occupancy();
+        g.obs_lanes = lanes;
+        g.obs_lane_events = lane_events;
+        let registry = self.sessions.lock().expect("session registry");
+        g.sessions = registry.len();
+        for slot in registry.values() {
+            if let Ok(s) = slot.try_lock() {
+                g.cached_results += s.cached_results() as u64;
+                g.cached_patterns += s.cached_patterns() as u64;
+                g.solves_total += s.stats.solves;
+                g.cache_hits_total += s.stats.cache_hits;
+                g.pattern_hits_total += s.stats.pattern_hits;
+            }
+        }
+        g
+    }
+
+    /// The Prometheus text-format exposition document served by
+    /// `--metrics-addr` (also handy for tests and one-shot scrapes).
+    pub fn prometheus_text(&self) -> String {
+        let gauges = self.gauges();
+        let mut tel = self.telemetry.lock().expect("telemetry");
+        render_prometheus(&mut tel, &gauges)
+    }
 }
 
 /// Handles one request line, returning exactly one response line (no
 /// trailing newline). Never panics on any input; a `shutdown` request
 /// flips [`ServeState::shutting_down`] after building its response.
+///
+/// Every line — malformed ones included — is minted a request id,
+/// echoed back as the response's `req` field and installed as the obs
+/// request scope, so every span and health event recorded while the
+/// request runs (on any thread, via the pool's scope forwarding)
+/// carries it.
 pub fn handle_line(state: &ServeState, line: &str) -> String {
     let t0 = Instant::now();
     REQUESTS.incr();
     state.requests.fetch_add(1, Ordering::Relaxed);
+    let rid = state.next_request.fetch_add(1, Ordering::Relaxed);
+    let _req = awe_obs::req_scope(rid);
+    let anomalies_before = awe_obs::anomaly_count();
     let (id, parsed) = parse_request(line);
-    let (class, result) = match parsed {
-        Err(e) => ("other", Err(e)),
+    let mut eco_class: Option<usize> = None;
+    let (verb, class, session, result) = match parsed {
+        Err(e) => ("other", "other", None, Err(e)),
         Ok(req) => {
+            let verb = verb_name(&req);
             let class = match &req {
                 Request::LoadDesign { .. } => "load_design",
                 Request::Eco { .. } => "eco",
                 Request::Analyze { .. } => "analyze",
                 _ => "other",
             };
-            (class, dispatch(state, req))
+            let session = request_session(&req);
+            (
+                verb,
+                class,
+                session,
+                dispatch(state, req, rid, &mut eco_class),
+            )
         }
     };
     let micros = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     state.record_latency(class, micros);
+    let ok = result.is_ok();
+    {
+        let mut tel = state.telemetry.lock().expect("telemetry");
+        tel.record_request(verb_index(verb), ok, micros);
+        if let Some(ci) = eco_class {
+            tel.record_eco_class(ci, micros);
+        }
+    }
     let response = match result {
         Ok((verb, mut payload)) => {
             let mut pairs = vec![
                 ("id".to_owned(), id),
+                ("req".to_owned(), Json::from(rid)),
                 ("ok".to_owned(), Json::Bool(true)),
                 ("verb".to_owned(), Json::str(verb)),
             ];
@@ -133,17 +249,124 @@ pub fn handle_line(state: &ServeState, line: &str) -> String {
             state.errors.fetch_add(1, Ordering::Relaxed);
             Json::obj(vec![
                 ("id", id),
+                ("req", Json::from(rid)),
                 ("ok", Json::Bool(false)),
                 ("error", e.to_json()),
             ])
         }
     };
+    let anomaly_delta = awe_obs::anomaly_count().saturating_sub(anomalies_before);
+    maybe_flight_dump(
+        state,
+        rid,
+        verb,
+        session.as_deref(),
+        ok,
+        micros,
+        anomaly_delta,
+    );
     response.to_string()
+}
+
+/// The wire verb a parsed request records telemetry under.
+fn verb_name(req: &Request) -> &'static str {
+    match req {
+        Request::LoadDesign { .. } => "load_design",
+        Request::Eco { .. } => "eco",
+        Request::Analyze { .. } => "analyze",
+        Request::Report { .. } => "report",
+        Request::Metrics { .. } => "metrics",
+        Request::DumpTrace { .. } => "dump_trace",
+        Request::Ping => "ping",
+        Request::Close { .. } => "close",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// The session a request targets, for flight-dump attribution.
+fn request_session(req: &Request) -> Option<String> {
+    match req {
+        Request::LoadDesign { session, .. }
+        | Request::Eco { session, .. }
+        | Request::Analyze { session }
+        | Request::Report { session, .. }
+        | Request::Close { session } => Some(session.clone()),
+        Request::Metrics { session } | Request::DumpTrace { session, .. } => session.clone(),
+        Request::Ping | Request::Shutdown => None,
+    }
+}
+
+/// Writes an automatic flight-recorder dump when the request that just
+/// finished looks anomalous: it recorded a numerical-health anomaly
+/// (condition warning, Padé/refactor rejection, oracle disagreement),
+/// it answered with an error, or it blew the latency threshold. The
+/// dump is the live lanes as a Chrome trace with a `flight_trigger`
+/// instant naming the request, rate-limited to one per second so an
+/// anomaly storm cannot flood the disk.
+fn maybe_flight_dump(
+    state: &ServeState,
+    rid: u64,
+    verb: &str,
+    session: Option<&str>,
+    ok: bool,
+    micros: u64,
+    anomaly_delta: u64,
+) {
+    if !state.flight.enabled || !awe_obs::enabled() {
+        return;
+    }
+    let reason = if anomaly_delta > 0 {
+        "anomaly"
+    } else if !ok {
+        "error_response"
+    } else if state
+        .flight
+        .latency_threshold_us
+        .is_some_and(|t| micros >= t)
+    {
+        "slow_request"
+    } else {
+        return;
+    };
+    // Rate limit: claim the dump slot with a CAS so concurrent anomalous
+    // requests produce one dump, not one each. `0` means "never dumped"
+    // (the clock may legitimately read < 1 s early in the process).
+    let now = awe_obs::epoch_ns().max(1);
+    let last = state.last_flight_ns.load(Ordering::Relaxed);
+    if (last != 0 && now.saturating_sub(last) < FLIGHT_DUMP_MIN_INTERVAL_NS)
+        || state
+            .last_flight_ns
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+    {
+        return;
+    }
+    let Some(profile) = live_profile() else {
+        return;
+    };
+    let trace = flight_trace(
+        &profile,
+        &FlightTrigger {
+            reason: reason.to_owned(),
+            request: rid,
+            verb: verb.to_owned(),
+            session: session.map(str::to_owned),
+            latency_us: micros,
+        },
+    );
+    let path = state
+        .flight
+        .dir
+        .join(format!("flight-req{rid:06}-{reason}.json"));
+    if std::fs::write(&path, trace).is_ok() {
+        state.flight_dumps.fetch_add(1, Ordering::Relaxed);
+        *state.last_flight_path.lock().expect("flight path") = Some(path.display().to_string());
+    }
 }
 
 type Reply = Result<(&'static str, Json), ServeError>;
 
-fn dispatch(state: &ServeState, req: Request) -> Reply {
+fn dispatch(state: &ServeState, req: Request, rid: u64, eco_class: &mut Option<usize>) -> Reply {
     match req {
         Request::LoadDesign {
             session,
@@ -157,6 +380,16 @@ fn dispatch(state: &ServeState, req: Request) -> Reply {
             let mut sp = awe_obs::span_labeled("serve.request", "eco");
             sp.note(ops.len() as f64, 0.0);
             let out = s.apply_ops(&ops)?;
+            // Dominant change class for the per-class latency windows:
+            // topology beats value beats noop.
+            let dominant = if out.changes.iter().any(|c| c.class == "topology") {
+                "topology"
+            } else if out.changes.iter().any(|c| c.class == "value") {
+                "value"
+            } else {
+                "noop"
+            };
+            *eco_class = eco_class_index(dominant);
             let changes: Vec<Json> = out
                 .changes
                 .iter()
@@ -221,6 +454,52 @@ fn dispatch(state: &ServeState, req: Request) -> Reply {
             }
             None => Ok(("metrics", global_metrics(state))),
         },
+        Request::DumpTrace { session, path } => {
+            let profile = live_profile().ok_or_else(|| {
+                ServeError::new(
+                    ErrorCode::BadRequest,
+                    "no live obs recording (daemon started without tracing enabled)",
+                )
+            })?;
+            let lanes = profile.lanes.len();
+            let events: usize = profile.lanes.iter().map(|l| l.events.len()).sum();
+            let dropped = profile.events_dropped();
+            let out_path = match path {
+                Some(p) => PathBuf::from(p),
+                None => state
+                    .flight
+                    .dir
+                    .join(format!("flight-req{rid:06}-on_demand.json")),
+            };
+            let trace = flight_trace(
+                &profile,
+                &FlightTrigger {
+                    reason: "on_demand".to_owned(),
+                    request: rid,
+                    verb: "dump_trace".to_owned(),
+                    session,
+                    latency_us: 0,
+                },
+            );
+            std::fs::write(&out_path, trace).map_err(|e| {
+                ServeError::new(
+                    ErrorCode::BadRequest,
+                    format!("cannot write `{}`: {e}", out_path.display()),
+                )
+            })?;
+            state.flight_dumps.fetch_add(1, Ordering::Relaxed);
+            let shown = out_path.display().to_string();
+            *state.last_flight_path.lock().expect("flight path") = Some(shown.clone());
+            Ok((
+                "dump_trace",
+                Json::obj(vec![
+                    ("path", Json::str(shown)),
+                    ("lanes", Json::from(lanes)),
+                    ("events", Json::from(events)),
+                    ("dropped", Json::from(dropped)),
+                ]),
+            ))
+        }
         Request::Ping => Ok(("ping", Json::obj(vec![]))),
         Request::Close { session } => {
             let existed = state
@@ -418,6 +697,19 @@ fn global_metrics(state: &ServeState) -> Json {
             )
         })
         .collect();
+    let (lanes, lane_events) = awe_obs::live_occupancy();
+    let last_flight = state
+        .last_flight_path
+        .lock()
+        .expect("flight path")
+        .clone()
+        .map(Json::str)
+        .unwrap_or(Json::Null);
+    let (telemetry, uptime_s) = {
+        let mut tel = state.telemetry.lock().expect("telemetry");
+        let uptime = tel.uptime_s();
+        (tel.json(), uptime)
+    };
     Json::obj(vec![
         ("sessions", Json::from(state.session_count())),
         (
@@ -425,7 +717,18 @@ fn global_metrics(state: &ServeState) -> Json {
             Json::from(state.requests.load(Ordering::Relaxed)),
         ),
         ("errors", Json::from(state.errors.load(Ordering::Relaxed))),
+        ("uptime_s", Json::Num(uptime_s)),
         ("classes", Json::Obj(classes)),
+        ("obs_lanes", Json::from(lanes)),
+        ("obs_lane_events", Json::from(lane_events)),
+        ("obs_ring_dropped", Json::from(awe_obs::live_dropped())),
+        ("anomalies", Json::from(awe_obs::anomaly_count())),
+        (
+            "flight_dumps",
+            Json::from(state.flight_dumps.load(Ordering::Relaxed)),
+        ),
+        ("last_flight_dump", last_flight),
+        ("telemetry", telemetry),
     ])
 }
 
@@ -498,6 +801,55 @@ pub fn serve_tcp(state: Arc<ServeState>, listener: TcpListener) -> io::Result<()
     }
     for w in workers {
         let _ = w.join();
+    }
+    Ok(())
+}
+
+/// Serves the Prometheus exposition on `listener`: every connection gets
+/// one scrape — request headers are read (and ignored) up to a short
+/// timeout, then the full document is written with an HTTP/1.0 response
+/// and the connection closes. Runs until the daemon shuts down; meant
+/// for a dedicated thread next to [`serve_tcp`].
+pub fn serve_metrics_endpoint(state: Arc<ServeState>, listener: TcpListener) -> io::Result<()> {
+    for stream in listener.incoming() {
+        if state.shutting_down() {
+            break;
+        }
+        let mut stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            // Drain the request line + headers so the client sees a
+            // well-ordered exchange; never block a scrape on a slow or
+            // silent client.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            let mut buf = [0u8; 1024];
+            let mut seen: Vec<u8> = Vec::new();
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        seen.extend_from_slice(&buf[..n]);
+                        if seen.windows(4).any(|w| w == b"\r\n\r\n")
+                            || seen.windows(2).any(|w| w == b"\n\n")
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+            let body = state.prometheus_text();
+            let response = format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
+                 charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            );
+            let _ = stream.write_all(response.as_bytes());
+            let _ = stream.flush();
+        });
     }
     Ok(())
 }

@@ -1,0 +1,465 @@
+//! Continuous daemon telemetry: per-verb and per-ECO-class rolling
+//! latency windows, the extended `metrics` payload, and the
+//! Prometheus-style text exposition.
+//!
+//! One [`Telemetry`] lives inside the daemon state behind a mutex. Every
+//! handled line records its latency into two [`WindowedHistogram`]s for
+//! its verb (the last minute at 1 s resolution, the last quarter hour at
+//! 30 s), and an accepted `eco` additionally records under its dominant
+//! change class — so "value edits got slow in the last minute" is
+//! answerable while "since boot" totals would bury it. Windows use the
+//! daemon's own monotonic clock (nanoseconds since [`Telemetry::new`]),
+//! never wall time.
+//!
+//! Two renderings of the same snapshots:
+//!
+//! * [`Telemetry::json`] — merged into the session-less `metrics` verb
+//!   reply (uptime, per-verb counts/errors and windowed p50/p95/p99);
+//! * [`render_prometheus`] — the plain-text exposition served by
+//!   `--metrics-addr`, one `name{labels} value` sample per line in the
+//!   Prometheus text format (version 0.0.4), gauges and counters plus
+//!   quantile-labeled latency samples.
+
+use std::time::Instant;
+
+use awe_obs::windows::{WindowSnapshot, WindowSpec, WindowedHistogram};
+
+use crate::json::Json;
+
+/// Verb labels the telemetry tracks, in wire order. `other` absorbs
+/// malformed lines and unknown verbs.
+pub const VERBS: [&str; 10] = [
+    "load_design",
+    "eco",
+    "analyze",
+    "report",
+    "metrics",
+    "dump_trace",
+    "ping",
+    "close",
+    "shutdown",
+    "other",
+];
+
+/// ECO change classes (dominant class of an accepted `eco` request).
+pub const ECO_CLASSES: [&str; 3] = ["value", "topology", "noop"];
+
+/// The two windows every latency series keeps.
+const WINDOWS: [(&str, WindowSpec); 2] = [
+    ("60s", WindowSpec::MINUTE),
+    ("900s", WindowSpec::QUARTER_HOUR),
+];
+
+/// Quantiles reported for every windowed latency series.
+const QUANTILES: [(&str, f64); 3] = [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)];
+
+/// One latency series: request count, error count, and the two rolling
+/// windows of observed latencies (microseconds).
+#[derive(Debug)]
+struct Series {
+    count: u64,
+    errors: u64,
+    windows: [WindowedHistogram; 2],
+}
+
+impl Series {
+    fn new() -> Series {
+        Series {
+            count: 0,
+            errors: 0,
+            windows: [
+                WindowedHistogram::new(WINDOWS[0].1),
+                WindowedHistogram::new(WINDOWS[1].1),
+            ],
+        }
+    }
+
+    fn record(&mut self, now_ns: u64, ok: bool, latency_us: u64) {
+        self.count += 1;
+        if !ok {
+            self.errors += 1;
+        }
+        for w in &mut self.windows {
+            w.record(now_ns, latency_us as f64);
+        }
+    }
+
+    fn snapshots(&mut self, now_ns: u64) -> [WindowSnapshot; 2] {
+        [
+            self.windows[0].snapshot(now_ns),
+            self.windows[1].snapshot(now_ns),
+        ]
+    }
+}
+
+/// The daemon's continuous telemetry state (hold behind a mutex).
+#[derive(Debug)]
+pub struct Telemetry {
+    epoch: Instant,
+    verbs: Vec<Series>,
+    eco_classes: Vec<Series>,
+}
+
+/// The index into [`VERBS`] a wire verb records under.
+pub fn verb_index(verb: &str) -> usize {
+    VERBS
+        .iter()
+        .position(|v| *v == verb)
+        .unwrap_or(VERBS.len() - 1)
+}
+
+/// The index into [`ECO_CLASSES`] for a change class.
+pub fn eco_class_index(class: &str) -> Option<usize> {
+    ECO_CLASSES.iter().position(|c| *c == class)
+}
+
+impl Telemetry {
+    /// Fresh telemetry; the construction instant is the daemon epoch
+    /// uptime and windows are measured against.
+    pub fn new() -> Telemetry {
+        Telemetry {
+            epoch: Instant::now(),
+            verbs: VERBS.iter().map(|_| Series::new()).collect(),
+            eco_classes: ECO_CLASSES.iter().map(|_| Series::new()).collect(),
+        }
+    }
+
+    /// Nanoseconds since the daemon epoch — the clock every window call
+    /// uses.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Seconds since the daemon epoch.
+    pub fn uptime_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Records one handled request line.
+    pub fn record_request(&mut self, verb: usize, ok: bool, latency_us: u64) {
+        let now = self.now_ns();
+        self.verbs[verb].record(now, ok, latency_us);
+    }
+
+    /// Records an accepted `eco` under its dominant change class.
+    pub fn record_eco_class(&mut self, class: usize, latency_us: u64) {
+        let now = self.now_ns();
+        self.eco_classes[class].record(now, true, latency_us);
+    }
+
+    /// The telemetry block of the session-less `metrics` reply:
+    /// per-verb counts/errors and windowed quantiles (series with no
+    /// traffic yet are omitted), plus the same per-ECO-class view.
+    pub fn json(&mut self) -> Json {
+        let now = self.now_ns();
+        let verbs = series_json(&mut self.verbs, &VERBS, now);
+        let classes = series_json(&mut self.eco_classes, &ECO_CLASSES, now);
+        Json::obj(vec![("verbs", verbs), ("eco_classes", classes)])
+    }
+}
+
+fn series_json(series: &mut [Series], labels: &[&str], now_ns: u64) -> Json {
+    let mut out: Vec<(String, Json)> = Vec::new();
+    for (label, s) in labels.iter().zip(series.iter_mut()) {
+        if s.count == 0 {
+            continue;
+        }
+        let mut pairs = vec![
+            ("count", Json::from(s.count)),
+            ("errors", Json::from(s.errors)),
+        ];
+        let snaps = s.snapshots(now_ns);
+        let mut windows: Vec<(String, Json)> = Vec::new();
+        for ((wname, _), snap) in WINDOWS.iter().zip(&snaps) {
+            windows.push((
+                (*wname).to_owned(),
+                Json::obj(vec![
+                    ("count", Json::from(snap.count)),
+                    ("p50_us", Json::Num(snap.quantile(0.5))),
+                    ("p95_us", Json::Num(snap.quantile(0.95))),
+                    ("p99_us", Json::Num(snap.quantile(0.99))),
+                ]),
+            ));
+        }
+        pairs.push(("windows", Json::Obj(windows)));
+        out.push(((*label).to_owned(), Json::obj(pairs)));
+    }
+    Json::Obj(out)
+}
+
+/// Point-in-time daemon gauges the exposition combines with the
+/// windowed series. The caller (the server) gathers these from its own
+/// state and the obs runtime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaemonGauges {
+    /// Live sessions.
+    pub sessions: usize,
+    /// Requests handled since boot (well-formed or not).
+    pub requests_total: u64,
+    /// Error responses since boot.
+    pub errors_total: u64,
+    /// Cached per-net results summed over sessions.
+    pub cached_results: u64,
+    /// Cached symbolic patterns summed over sessions.
+    pub cached_patterns: u64,
+    /// AWE solves summed over session stats.
+    pub solves_total: u64,
+    /// Result-cache hits summed over session stats.
+    pub cache_hits_total: u64,
+    /// Symbolic-pattern hits summed over session stats.
+    pub pattern_hits_total: u64,
+    /// Live obs lanes (0 when no recording is active).
+    pub obs_lanes: usize,
+    /// Events currently held across live obs lanes.
+    pub obs_lane_events: usize,
+    /// Events lost to ring overflow in the live recording.
+    pub obs_ring_dropped: u64,
+    /// Anomalous health events observed process-wide.
+    pub anomalies_total: u64,
+    /// Flight-recorder dumps written.
+    pub flight_dumps_total: u64,
+}
+
+/// Renders the exposition document: Prometheus text format 0.0.4, one
+/// family per daemon signal, windowed latency series with `verb`/
+/// `class`, `window` and `quantile` labels. Series with no traffic are
+/// omitted (their families still get `# TYPE` headers).
+pub fn render_prometheus(t: &mut Telemetry, g: &DaemonGauges) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(4096);
+    let gauge = |out: &mut String, name: &str, help: &str, value: String| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    gauge(
+        &mut out,
+        "awesim_uptime_seconds",
+        "Daemon uptime.",
+        format!("{:.3}", t.uptime_s()),
+    );
+    gauge(
+        &mut out,
+        "awesim_sessions",
+        "Live sessions.",
+        g.sessions.to_string(),
+    );
+    let counters: [(&str, &str, u64); 10] = [
+        (
+            "awesim_requests_total",
+            "Requests handled (well-formed or not).",
+            g.requests_total,
+        ),
+        (
+            "awesim_request_errors_total",
+            "Error responses.",
+            g.errors_total,
+        ),
+        (
+            "awesim_cached_results",
+            "Cached per-net results across sessions.",
+            g.cached_results,
+        ),
+        (
+            "awesim_cached_patterns",
+            "Cached symbolic patterns across sessions.",
+            g.cached_patterns,
+        ),
+        (
+            "awesim_solves_total",
+            "AWE solves across session lifetimes.",
+            g.solves_total,
+        ),
+        (
+            "awesim_cache_hits_total",
+            "Result-cache hits across session lifetimes.",
+            g.cache_hits_total,
+        ),
+        (
+            "awesim_pattern_hits_total",
+            "Symbolic-pattern hits across session lifetimes.",
+            g.pattern_hits_total,
+        ),
+        (
+            "awesim_obs_ring_dropped_total",
+            "Events lost to lane ring overflow.",
+            g.obs_ring_dropped,
+        ),
+        (
+            "awesim_anomalies_total",
+            "Anomalous numerical-health events.",
+            g.anomalies_total,
+        ),
+        (
+            "awesim_flight_dumps_total",
+            "Flight-recorder dumps written.",
+            g.flight_dumps_total,
+        ),
+    ];
+    for (name, help, value) in counters {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    gauge(
+        &mut out,
+        "awesim_obs_lanes",
+        "Live trace lanes.",
+        g.obs_lanes.to_string(),
+    );
+    gauge(
+        &mut out,
+        "awesim_obs_lane_events",
+        "Events held across live trace lanes.",
+        g.obs_lane_events.to_string(),
+    );
+
+    let now = t.now_ns();
+    let _ = writeln!(
+        out,
+        "# HELP awesim_requests_verb_total Requests handled per verb."
+    );
+    let _ = writeln!(out, "# TYPE awesim_requests_verb_total counter");
+    for (verb, s) in VERBS.iter().zip(t.verbs.iter()) {
+        if s.count > 0 {
+            let _ = writeln!(
+                out,
+                "awesim_requests_verb_total{{verb=\"{verb}\"}} {}",
+                s.count
+            );
+        }
+    }
+    render_latency_family(
+        &mut out,
+        "awesim_request_latency_us",
+        "Request latency by verb over rolling windows (microseconds).",
+        "verb",
+        &VERBS,
+        &mut t.verbs,
+        now,
+    );
+    render_latency_family(
+        &mut out,
+        "awesim_eco_class_latency_us",
+        "Accepted-ECO latency by dominant change class over rolling windows (microseconds).",
+        "class",
+        &ECO_CLASSES,
+        &mut t.eco_classes,
+        now,
+    );
+    out
+}
+
+fn render_latency_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label: &str,
+    labels: &[&str],
+    series: &mut [Series],
+    now_ns: u64,
+) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (value, s) in labels.iter().zip(series.iter_mut()) {
+        if s.count == 0 {
+            continue;
+        }
+        let snaps = s.snapshots(now_ns);
+        for ((wname, _), snap) in WINDOWS.iter().zip(&snaps) {
+            let _ = writeln!(
+                out,
+                "{name}_count{{{label}=\"{value}\",window=\"{wname}\"}} {}",
+                snap.count
+            );
+            for (qname, q) in QUANTILES {
+                let _ = writeln!(
+                    out,
+                    "{name}{{{label}=\"{value}\",window=\"{wname}\",quantile=\"{qname}\"}} {:.1}",
+                    snap.quantile(q)
+                );
+            }
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+/// Renders the session-less `metrics` reply as the `awesim stats` text
+/// dashboard. Takes the whole response object (so it is testable against
+/// a canned reply); unknown or missing fields render as `-` rather than
+/// failing, keeping the CLI usable against older daemons.
+pub fn render_stats(reply: &Json) -> String {
+    use std::fmt::Write as _;
+    let num = |j: Option<&Json>| -> String {
+        match j.and_then(Json::as_f64) {
+            Some(v) if v.fract() == 0.0 => format!("{}", v as i64),
+            Some(v) => format!("{v:.1}"),
+            None => "-".to_owned(),
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "awesim daemon — up {} s, {} sessions",
+        num(reply.get("uptime_s")),
+        num(reply.get("sessions")),
+    );
+    let _ = writeln!(
+        out,
+        "  requests {} ({} errors)   anomalies {}   flight dumps {}",
+        num(reply.get("requests")),
+        num(reply.get("errors")),
+        num(reply.get("anomalies")),
+        num(reply.get("flight_dumps")),
+    );
+    let _ = writeln!(
+        out,
+        "  obs lanes {} holding {} events ({} dropped)",
+        num(reply.get("obs_lanes")),
+        num(reply.get("obs_lane_events")),
+        num(reply.get("obs_ring_dropped")),
+    );
+    if let Some(path) = reply.get("last_flight_dump").and_then(Json::as_str) {
+        let _ = writeln!(out, "  last flight dump: {path}");
+    }
+    let telemetry = reply.get("telemetry");
+    for (section, title) in [("verbs", "verb"), ("eco_classes", "eco class")] {
+        let Some(Json::Obj(series)) = telemetry.and_then(|t| t.get(section)) else {
+            continue;
+        };
+        if series.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "  {title:<12} {:>8}  {:>6} | {:>8} {:>8} {:>8} (60s) | {:>8} {:>8} {:>8} (900s)",
+            "count", "errors", "p50us", "p95us", "p99us", "p50us", "p95us", "p99us",
+        );
+        for (label, s) in series {
+            let mut row = format!(
+                "  {label:<12} {:>8}  {:>6}",
+                num(s.get("count")),
+                num(s.get("errors")),
+            );
+            for wname in ["60s", "900s"] {
+                let w = s.get("windows").and_then(|w| w.get(wname));
+                let _ = write!(
+                    row,
+                    " | {:>8} {:>8} {:>8}",
+                    num(w.and_then(|w| w.get("p50_us"))),
+                    num(w.and_then(|w| w.get("p95_us"))),
+                    num(w.and_then(|w| w.get("p99_us"))),
+                );
+            }
+            let _ = writeln!(out, "{row}");
+        }
+    }
+    out
+}

@@ -14,6 +14,9 @@
 //!                [--reduce-tol T] [--corpus-dir DIR] [--json] [--no-minimize]
 //! awesim serve   [--stdio | --tcp ADDR] [--threads N] [--no-tape]
 //!                [--reduce] [--reduce-tol T] [--trace FILE] [--metrics FILE]
+//!                [--metrics-addr ADDR] [--flight-dir DIR] [--no-flight]
+//!                [--flight-latency-ms N]
+//! awesim stats   --tcp ADDR [--watch SECS] [--json]
 //! ```
 //!
 //! The deck format is documented in `awesim::circuit::parse_deck`; `batch`
@@ -23,7 +26,12 @@
 //! `serve` runs the persistent-session analysis daemon from
 //! `awesim::serve`: newline-delimited JSON requests on stdin (or a TCP
 //! socket with `--tcp`), one JSON response per line, until a `shutdown`
-//! request or EOF.
+//! request or EOF. The daemon records continuously: `--metrics-addr`
+//! exposes a Prometheus text endpoint, and anomalous requests (health
+//! warnings, error responses, latency over `--flight-latency-ms`) dump
+//! flight-recorder traces into `--flight-dir` unless `--no-flight`.
+//! `stats` is the matching client: it queries a daemon's `metrics` verb
+//! over TCP and renders a one-shot (or `--watch`) dashboard.
 
 use std::fs;
 use std::process::ExitCode;
@@ -60,7 +68,10 @@ const USAGE: &str = "usage:
   awesim verify  [--seed N] [--count N] [--class C] [--threads N]
                  [--reduce-tol T] [--corpus-dir DIR] [--json] [--no-minimize]
   awesim serve   [--stdio | --tcp ADDR] [--threads N] [--no-tape]
-                 [--reduce] [--reduce-tol T] [--trace FILE] [--metrics FILE]";
+                 [--reduce] [--reduce-tol T] [--trace FILE] [--metrics FILE]
+                 [--metrics-addr ADDR] [--flight-dir DIR] [--no-flight]
+                 [--flight-latency-ms N]
+  awesim stats   --tcp ADDR [--watch SECS] [--json]";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -80,6 +91,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if cmd == "serve" {
         // Daemon mode: reads requests, not a deck.
         return cmd_serve(&args[1..]);
+    }
+    if cmd == "stats" {
+        // Client mode: queries a running daemon over TCP.
+        return cmd_stats(&args[1..]);
     }
     let deck_path = args.get(1).ok_or("missing deck path")?;
     let deck =
@@ -403,7 +418,7 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
-    use awesim::serve::{serve_lines, serve_tcp, ServeOptions, ServeState};
+    use awesim::serve::{serve_lines, serve_metrics_endpoint, serve_tcp, ServeOptions, ServeState};
 
     let mut options = ServeOptions::default();
     if let Some(t) = flag(args, "--threads") {
@@ -419,22 +434,42 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     if args.iter().any(|a| a == "--no-tape") {
         options.defaults.use_tape = false;
     }
+    options.flight.enabled = !args.iter().any(|a| a == "--no-flight");
+    if let Some(dir) = flag(args, "--flight-dir") {
+        fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        options.flight.dir = dir.into();
+    }
+    if let Some(ms) = flag(args, "--flight-latency-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --flight-latency-ms value")?;
+        options.flight.latency_threshold_us = Some(ms.saturating_mul(1000));
+    }
     let tcp_addr = flag(args, "--tcp");
     if tcp_addr.is_none() && args.iter().any(|a| a == "--tcp") {
         return Err("--tcp needs an address (e.g. 127.0.0.1:9300)".into());
     }
     let trace_path = flag(args, "--trace");
     let metrics_path = flag(args, "--metrics");
-    let recording = if trace_path.is_some() || metrics_path.is_some() {
-        Some(
-            awesim::obs::Recording::start()
-                .ok_or("an observability recording is already active")?,
-        )
-    } else {
-        None
-    };
+    // The daemon records continuously: the bounded lanes double as the
+    // flight recorder and feed the live occupancy/drop gauges, whether
+    // or not a `--trace`/`--metrics` file is requested at exit.
+    let recording =
+        awesim::obs::Recording::start().ok_or("an observability recording is already active")?;
 
     let state = std::sync::Arc::new(ServeState::new(options));
+    if let Some(addr) = flag(args, "--metrics-addr") {
+        let listener = std::net::TcpListener::bind(&addr)
+            .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+        eprintln!(
+            "awesim serve: metrics on http://{}/metrics",
+            listener.local_addr().map_err(|e| e.to_string())?
+        );
+        let endpoint_state = std::sync::Arc::clone(&state);
+        std::thread::spawn(move || {
+            let _ = serve_metrics_endpoint(endpoint_state, listener);
+        });
+    } else if args.iter().any(|a| a == "--metrics-addr") {
+        return Err("--metrics-addr needs an address (e.g. 127.0.0.1:9310)".into());
+    }
     match tcp_addr {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)
@@ -453,16 +488,59 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    if let Some(rec) = recording {
-        let profile = rec.finish();
-        if let Some(p) = &trace_path {
-            fs::write(p, profile.chrome_trace()).map_err(|e| format!("cannot write {p}: {e}"))?;
-            eprintln!("wrote trace {p}");
+    let profile = recording.finish();
+    if let Some(p) = &trace_path {
+        fs::write(p, profile.chrome_trace()).map_err(|e| format!("cannot write {p}: {e}"))?;
+        eprintln!("wrote trace {p}");
+    }
+    if let Some(p) = &metrics_path {
+        fs::write(p, profile.metrics_json()).map_err(|e| format!("cannot write {p}: {e}"))?;
+        eprintln!("wrote metrics {p}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let addr = flag(args, "--tcp").ok_or("missing --tcp ADDR (the daemon's protocol address)")?;
+    let json = args.iter().any(|a| a == "--json");
+    let watch: Option<u64> = flag(args, "--watch")
+        .map(|s| s.parse().map_err(|_| "bad --watch value"))
+        .transpose()?;
+
+    // One connection per poll keeps the client stateless: a daemon
+    // restart between polls just becomes the next iteration's output.
+    let poll = || -> Result<String, String> {
+        let mut stream = std::net::TcpStream::connect(&addr)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream
+            .write_all(b"{\"verb\":\"metrics\"}\n")
+            .map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?;
+        let reply = awesim::serve::json::parse(line.trim())
+            .map_err(|e| format!("bad metrics reply: {e}"))?;
+        if reply.get("ok").and_then(awesim::serve::Json::as_bool) != Some(true) {
+            return Err(format!("daemon refused metrics request: {}", line.trim()));
         }
-        if let Some(p) = &metrics_path {
-            fs::write(p, profile.metrics_json()).map_err(|e| format!("cannot write {p}: {e}"))?;
-            eprintln!("wrote metrics {p}");
-        }
+        Ok(if json {
+            format!("{}\n", line.trim())
+        } else {
+            awesim::serve::telemetry::render_stats(&reply)
+        })
+    };
+
+    match watch {
+        None => print!("{}", poll()?),
+        Some(secs) => loop {
+            // Clear the screen between refreshes, dashboard-style.
+            print!("\x1b[2J\x1b[H{}", poll()?);
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+            std::thread::sleep(std::time::Duration::from_secs(secs.max(1)));
+        },
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -5,9 +5,10 @@
 //! subset of the API the workspace's property tests use:
 //!
 //! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
-//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`], [`prop_oneof!`],
 //! * range strategies over `f64`/`usize`/`u64`/... and tuples of strategies,
 //! * [`collection::vec`], [`bool::ANY`], [`strategy::Strategy::prop_map`],
+//!   [`strategy::Strategy::prop_flat_map`] (and the `prop` prelude alias),
 //! * `&str` regex-subset strategies (`[class]{m,n}`, `\PC`, literals).
 //!
 //! Semantics: each test body runs for `cases` accepted inputs drawn from a
@@ -141,6 +142,16 @@ pub mod strategy {
         {
             Map { source: self, f }
         }
+
+        /// Maps each generated value to a *strategy* and draws from it —
+        /// the dependent-generation combinator (e.g. pick a size, then
+        /// generate data shaped by that size).
+        fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
     }
 
     /// Strategy returned by [`Strategy::prop_map`].
@@ -154,6 +165,50 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> T {
             (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed strategies of one value type — the
+    /// strategy behind [`crate::prop_oneof!`]. (The real proptest takes
+    /// weights; the offline stub chooses uniformly.)
+    pub struct Union<T> {
+        variants: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `variants` (must be non-empty).
+        pub fn new(variants: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!variants.is_empty(), "empty prop_oneof!");
+            Union { variants }
+        }
+
+        /// Boxes one variant — a helper for the macro, so type inference
+        /// unifies the variants' value types without naming them.
+        pub fn boxed<S: Strategy<Value = T> + 'static>(s: S) -> Box<dyn Strategy<Value = T>> {
+            Box::new(s)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.variants.len() as u64) as usize;
+            self.variants[i].generate(rng)
         }
     }
 
@@ -457,9 +512,10 @@ pub mod bool {
 
 /// Common imports, mirroring `proptest::prelude`.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 }
 
 /// Defines property tests. See the crate docs for supported syntax.
@@ -570,6 +626,17 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Uniform choice between strategies yielding the same value type.
+/// (No weight syntax — the offline stub chooses uniformly.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::boxed($strat)),+
+        ])
+    };
+}
+
 /// Discards the current case (uncounted) unless the precondition holds.
 #[macro_export]
 macro_rules! prop_assume {
@@ -633,6 +700,18 @@ mod tests {
         #[test]
         fn bool_any(b in crate::bool::ANY) {
             let _ = b;
+        }
+
+        #[test]
+        fn oneof_picks_from_every_arm(x in prop_oneof![0u64..10, 100u64..110]) {
+            prop_assert!(x < 10 || (100..110).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_generates_dependently(
+            v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u64..10, n..n + 1)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
         }
     }
 
