@@ -44,6 +44,7 @@ pub mod engine;
 pub mod metrics;
 pub mod pool;
 pub mod report;
+pub mod sweep;
 pub mod tape;
 
 pub use awe_circuit::ReduceOptions;
@@ -51,7 +52,10 @@ pub use design::{
     net_keys, pattern_key, prepare_net, structural_hash, Design, NetSpec, PreparedNet,
 };
 pub use engine::{BatchEngine, BatchOptions, BatchRun, NetResult, NetTiming};
-pub use metrics::RunMetrics;
+pub use metrics::{RunMetrics, SweepMetrics};
 pub use pool::PoolStats;
-pub use report::{json_report, text_report};
+pub use report::{json_report, sweep_json_report, sweep_text_report, text_report};
+pub use sweep::{
+    corner_circuit, pdn_design, sweep, sweep_ordered, CornerError, CornerSpec, NodeStats, SweepRun,
+};
 pub use tape::{GroupTape, TapeKind, TapeOp, WorkerArena};

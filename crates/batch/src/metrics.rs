@@ -146,6 +146,44 @@ impl RunMetrics {
     }
 }
 
+/// Aggregate metrics of one [`SweepRun`](crate::sweep::SweepRun): the
+/// underlying batch metrics plus the sweep's own accounting — corner
+/// census, boundary rejections, and the symbolic-work ledger whose
+/// "after donor" entry being zero is the sweep's headline claim.
+#[derive(Clone, Debug)]
+pub struct SweepMetrics {
+    /// Metrics of the underlying batch run over all corner members.
+    pub batch: RunMetrics,
+    /// Corners requested by the spec.
+    pub corners: usize,
+    /// Members scheduled (accepted corners × observation nodes).
+    pub members: usize,
+    /// Per-net corner rejections at the validation boundary.
+    pub rejected: usize,
+    /// Symbolic factorizations paid (`solves - pattern_hits`).
+    pub new_symbolic: usize,
+    /// Symbolic factorizations beyond the donor's — zero when every
+    /// corner after the donor replayed a cached pattern.
+    pub new_symbolic_after_donor: usize,
+    /// Corners per second of batch wall time.
+    pub corners_per_sec: f64,
+}
+
+impl SweepMetrics {
+    /// Computes the metrics of a finished sweep.
+    pub fn of(sweep: &crate::sweep::SweepRun) -> Self {
+        SweepMetrics {
+            batch: RunMetrics::of(&sweep.run),
+            corners: sweep.spec.corners,
+            members: sweep.members.len(),
+            rejected: sweep.rejected.len(),
+            new_symbolic: sweep.new_symbolic,
+            new_symbolic_after_donor: sweep.new_symbolic_after_donor,
+            corners_per_sec: sweep.corners_per_sec(),
+        }
+    }
+}
+
 fn add_stages(dst: &mut StageTimings, src: &StageTimings) {
     dst.mna += src.mna;
     dst.factor += src.factor;

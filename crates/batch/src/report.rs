@@ -9,7 +9,8 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::engine::{BatchRun, NetResult};
-use crate::metrics::RunMetrics;
+use crate::metrics::{RunMetrics, SweepMetrics};
+use crate::sweep::SweepRun;
 
 /// Renders the run as a human-readable text report.
 ///
@@ -170,6 +171,174 @@ pub fn json_report(run: &BatchRun, include_timings: bool) -> String {
     for (i, r) in run.results.iter().enumerate() {
         let comma = if i + 1 < run.results.len() { "," } else { "" };
         let _ = writeln!(out, "    {}{comma}", net_json(r));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders a corner sweep as a human-readable text report.
+///
+/// Like [`text_report`], the default section is deterministic (identical
+/// bytes for identical base design + spec at any thread count or corner
+/// order — the trailing digest line makes that checkable from a shell);
+/// wall times and throughput only appear with `include_timings = true`.
+pub fn sweep_text_report(sweep: &SweepRun, include_timings: bool) -> String {
+    let m = SweepMetrics::of(sweep);
+    let mut out = String::new();
+    let _ = writeln!(out, "sweep report: {}", sweep.design);
+    let _ = writeln!(
+        out,
+        "corners {}  sigma {}  seed {}  members {}  rejected {}",
+        m.corners, sweep.spec.sigma, sweep.spec.seed, m.members, m.rejected
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12}  worst-corner",
+        "node", "samples", "failed", "p50", "p95", "p99", "worst"
+    );
+    for n in &sweep.nodes {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12}  {}",
+            n.node,
+            n.samples,
+            n.failed,
+            n.p50.map_or("-".to_string(), sci),
+            n.p95.map_or("-".to_string(), sci),
+            n.p99.map_or("-".to_string(), sci),
+            n.worst_delay.map_or("-".to_string(), sci),
+            n.worst_corner
+                .map_or("-".to_string(), |c| format!("c{c:04}")),
+        );
+    }
+    for r in &sweep.rejected {
+        let _ = writeln!(out, "rejected {r}");
+    }
+    let _ = writeln!(
+        out,
+        "solves {}  pattern-hits {}  new-symbolic {} (after donor {})",
+        m.batch.solves, m.batch.pattern_hits, m.new_symbolic, m.new_symbolic_after_donor
+    );
+    let _ = writeln!(out, "digest {:016x}", sweep.digest());
+    if include_timings {
+        let _ = writeln!(
+            out,
+            "wall {}  generate {}  {:.2} corners/s  ({:.1} members/s)",
+            dur(sweep.run.wall),
+            dur(sweep.generate_wall),
+            m.corners_per_sec,
+            m.batch.nets_per_sec
+        );
+        let _ = writeln!(out, "stages (cpu):  {}", stage_line(&m.batch.stages_cpu));
+        let _ = writeln!(
+            out,
+            "tapes compiled {}  replays {}  lane-occupancy {}  scalar-fallbacks {}",
+            m.batch.tapes_compiled,
+            m.batch.tape_replays,
+            m.batch
+                .lane_occupancy
+                .map_or("-".to_string(), |o| format!("{:.0} %", 100.0 * o)),
+            m.batch.scalar_fallbacks
+        );
+        let _ = writeln!(
+            out,
+            "threads {}  steals {}",
+            sweep.run.pool.threads,
+            sweep.run.pool.total_steals()
+        );
+    }
+    out
+}
+
+/// Renders a corner sweep as machine-readable JSON (hand-rolled — the
+/// workspace carries no serde). Timing fields are gated behind
+/// `include_timings`; everything else, digest included, is
+/// deterministic.
+pub fn sweep_json_report(sweep: &SweepRun, include_timings: bool) -> String {
+    let m = SweepMetrics::of(sweep);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"design\": {},", json_str(&sweep.design));
+    let _ = writeln!(out, "  \"corners\": {},", m.corners);
+    let _ = writeln!(out, "  \"sigma\": {},", json_f64(sweep.spec.sigma));
+    let _ = writeln!(out, "  \"seed\": {},", sweep.spec.seed);
+    let _ = writeln!(out, "  \"members\": {},", m.members);
+    let _ = writeln!(out, "  \"solves\": {},", m.batch.solves);
+    let _ = writeln!(out, "  \"cache_hits\": {},", m.batch.cache_hits);
+    let _ = writeln!(out, "  \"pattern_hits\": {},", m.batch.pattern_hits);
+    let _ = writeln!(out, "  \"new_symbolic\": {},", m.new_symbolic);
+    let _ = writeln!(
+        out,
+        "  \"new_symbolic_after_donor\": {},",
+        m.new_symbolic_after_donor
+    );
+    let _ = writeln!(out, "  \"failures\": {},", m.batch.failures);
+    let _ = writeln!(out, "  \"digest\": \"{:016x}\",", sweep.digest());
+    if include_timings {
+        let _ = writeln!(
+            out,
+            "  \"wall_s\": {},",
+            json_f64(sweep.run.wall.as_secs_f64())
+        );
+        let _ = writeln!(
+            out,
+            "  \"generate_s\": {},",
+            json_f64(sweep.generate_wall.as_secs_f64())
+        );
+        let _ = writeln!(
+            out,
+            "  \"corners_per_sec\": {},",
+            json_f64(m.corners_per_sec)
+        );
+        let _ = writeln!(
+            out,
+            "  \"tape\": {{\"compiled\": {}, \"replays\": {}, \"lane_occupancy\": {}, \
+             \"scalar_fallbacks\": {}}},",
+            m.batch.tapes_compiled,
+            m.batch.tape_replays,
+            json_opt_f64(m.batch.lane_occupancy),
+            m.batch.scalar_fallbacks
+        );
+        let _ = writeln!(
+            out,
+            "  \"pool\": {{\"threads\": {}, \"steals\": {}}},",
+            sweep.run.pool.threads,
+            sweep.run.pool.total_steals()
+        );
+    }
+    out.push_str("  \"rejected\": [\n");
+    for (i, r) in sweep.rejected.iter().enumerate() {
+        let comma = if i + 1 < sweep.rejected.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"corner\": {}, \"net\": {}, \"element\": {}, \"value\": {}}}{comma}",
+            r.corner,
+            json_str(&r.net),
+            json_str(&r.element),
+            json_f64(r.value)
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"nodes\": [\n");
+    for (i, n) in sweep.nodes.iter().enumerate() {
+        let comma = if i + 1 < sweep.nodes.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"node\": {}, \"samples\": {}, \"failed\": {}, \"p50\": {}, \"p95\": {}, \
+             \"p99\": {}, \"worst_corner\": {}, \"worst_delay\": {}}}{comma}",
+            json_str(&n.node),
+            n.samples,
+            n.failed,
+            json_opt_f64(n.p50),
+            json_opt_f64(n.p95),
+            json_opt_f64(n.p99),
+            n.worst_corner.map_or("null".to_string(), |c| c.to_string()),
+            json_opt_f64(n.worst_delay)
+        );
     }
     out.push_str("  ]\n}\n");
     out

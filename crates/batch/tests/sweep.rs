@@ -1,0 +1,152 @@
+//! Corner-sweep invariants: a 0σ sweep is the baseline bit-for-bit, and
+//! sweep outcomes are byte-identical across thread counts and corner
+//! scheduling orders — determinism by construction, not by accident of
+//! scheduling.
+
+use proptest::prelude::*;
+
+use awe_batch::{
+    pdn_design, sweep, sweep_json_report, sweep_ordered, BatchEngine, BatchOptions, CornerSpec,
+    Design,
+};
+use awe_circuit::pdn::PdnSpec;
+
+fn opts(threads: usize) -> BatchOptions {
+    BatchOptions {
+        threads,
+        ..BatchOptions::default()
+    }
+}
+
+/// Runs the base design once per tap and returns the per-net 50% delays
+/// in design order.
+fn baseline_delays(base: &Design) -> Vec<Option<f64>> {
+    let run = BatchEngine::new().run(base, &opts(1));
+    run.results.iter().map(|r| r.delay_50).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A 0σ sweep reproduces the baseline delay **bit-for-bit** in every
+    /// corner: corner circuits are untouched clones, so each corner's
+    /// member dedups onto the baseline's structural hash and replays the
+    /// identical numeric path.
+    #[test]
+    fn zero_sigma_sweep_is_bit_identical_to_baseline(
+        n in 5usize..9,
+        corners in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let base = pdn_design("p", &PdnSpec::square(n));
+        let baseline = baseline_delays(&base);
+        let spec = CornerSpec::new(corners, 0.0, seed);
+        let run = sweep(&BatchEngine::new(), &base, &spec, &opts(1));
+        prop_assert!(run.rejected.is_empty());
+        for (node, want) in run.nodes.iter().zip(&baseline) {
+            prop_assert_eq!(node.delays.len(), corners);
+            for &(_, got) in &node.delays {
+                // Bit-level equality, not tolerance: same circuit bits,
+                // same arithmetic, same answer.
+                prop_assert_eq!(got.map(f64::to_bits), want.map(f64::to_bits));
+            }
+        }
+    }
+
+    /// The digest (node names, per-corner delay bits, rejections) agrees
+    /// for any permutation of the corner scheduling order.
+    #[test]
+    fn corner_permutations_are_byte_identical(
+        corners in 2usize..6,
+        sigma in 0.01f64..0.15,
+        seed in 0u64..1000,
+        shuffle_seed in 0u64..1000,
+    ) {
+        let base = pdn_design("p", &PdnSpec::square(5));
+        let spec = CornerSpec::new(corners, sigma, seed);
+        let fwd = sweep(&BatchEngine::new(), &base, &spec, &opts(1));
+
+        // Fisher–Yates off a splitmix-style stream; any permutation works.
+        let mut order: Vec<usize> = (0..corners).collect();
+        let mut state = shuffle_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        for i in (1..order.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let perm = sweep_ordered(&BatchEngine::new(), &base, &spec, &order, &opts(1));
+        prop_assert_eq!(fwd.digest(), perm.digest());
+        prop_assert_eq!(
+            sweep_json_report(&fwd, false),
+            sweep_json_report(&perm, false)
+        );
+    }
+}
+
+/// Thread count must not leak into any reported byte: digest and the
+/// timing-free JSON report agree across 1, 2, and 4 workers.
+#[test]
+fn sweep_is_byte_identical_across_thread_counts() {
+    // 15×15: past the sparse threshold so the pattern-cache/tape path
+    // (the one with actual cross-thread scheduling) is exercised.
+    let base = pdn_design("p", &PdnSpec::square(15));
+    let spec = CornerSpec::new(6, 0.07, 23);
+    let runs: Vec<_> = [1, 2, 4]
+        .iter()
+        .map(|&t| sweep(&BatchEngine::new(), &base, &spec, &opts(t)))
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(runs[0].digest(), r.digest());
+        assert_eq!(
+            sweep_json_report(&runs[0], false),
+            sweep_json_report(r, false)
+        );
+    }
+}
+
+/// Boundary rejection: a σ wide enough to drive values negative yields
+/// typed per-corner errors naming net and element, the corner is absent
+/// from the distribution, and the quantiles stay NaN-free.
+#[test]
+fn nonphysical_corners_are_rejected_not_cascaded() {
+    let base = pdn_design("p", &PdnSpec::square(5));
+    // σ = 0.8: each element has a few-percent chance per draw of going
+    // non-positive; across 25 nodes × several corners rejection is
+    // essentially certain, while some corners typically survive.
+    let spec = CornerSpec::new(8, 0.8, 41);
+    let run = sweep(&BatchEngine::new(), &base, &spec, &opts(1));
+    assert!(
+        !run.rejected.is_empty(),
+        "σ=0.8 should reject at least one corner draw"
+    );
+    for e in &run.rejected {
+        assert!(e.corner < spec.corners);
+        assert!(!e.net.is_empty());
+        assert!(!e.element.is_empty());
+        assert!(!e.value.is_finite() || e.value <= 0.0);
+    }
+    let rejected_pairs: std::collections::BTreeSet<(usize, &str)> = run
+        .rejected
+        .iter()
+        .map(|e| (e.corner, e.net.as_str()))
+        .collect();
+    for node in &run.nodes {
+        for &(corner, d) in &node.delays {
+            assert!(
+                !rejected_pairs.contains(&(corner, node.node.as_str())),
+                "rejected corner {corner} leaked into {}",
+                node.node
+            );
+            if let Some(d) = d {
+                assert!(d.is_finite());
+            }
+        }
+        for q in [node.p50, node.p95, node.p99, node.worst_delay]
+            .into_iter()
+            .flatten()
+        {
+            assert!(q.is_finite(), "quantiles must stay NaN-free");
+        }
+    }
+}

@@ -136,20 +136,21 @@ fn write_json(rows: &[Row], nets: usize) {
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let base = rate(r.mode, 1);
+        let capped = r.granted < r.requested;
+        // A capped row never got the threads it asked for, so its
+        // "speedup" would just restate the 1-thread rate. Mark the row
+        // unmeasured and write a null instead of a fake 1.0×.
+        let speedup = if capped || base <= 0.0 {
+            String::from("null")
+        } else {
+            format!("{:.2}", r.nets_per_sec / base)
+        };
         let _ = writeln!(
             out,
             "    {{\"mode\": \"{}\", \"requested_threads\": {}, \"granted_threads\": {}, \
-             \"capped\": {}, \"nets_per_sec\": {:.1}, \"speedup\": {:.2}}}{comma}",
-            r.mode,
-            r.requested,
-            r.granted,
-            r.granted < r.requested,
-            r.nets_per_sec,
-            if base > 0.0 {
-                r.nets_per_sec / base
-            } else {
-                0.0
-            }
+             \"capped\": {capped}, \"measured\": {}, \"nets_per_sec\": {:.1}, \
+             \"speedup\": {speedup}}}{comma}",
+            r.mode, r.requested, r.granted, !capped, r.nets_per_sec,
         );
     }
     out.push_str("  ]\n}\n");

@@ -42,7 +42,8 @@ impl ClassRow {
 
     fn percentile(&self, p: f64) -> f64 {
         let mut s = self.samples_us.clone();
-        s.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        // total_cmp: one NaN latency must not abort the whole bench run.
+        s.sort_by(|a, b| a.total_cmp(b));
         if s.is_empty() {
             return 0.0;
         }

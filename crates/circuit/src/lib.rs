@@ -37,6 +37,7 @@ mod graph;
 mod netlist;
 pub mod papers;
 mod parser;
+pub mod pdn;
 pub mod reduce;
 pub mod stage;
 pub mod topology;

@@ -1,0 +1,316 @@
+//! Power-delivery-network (PDN) grid generator.
+//!
+//! The workload AWE was born for: very large RC meshes under process
+//! variation. A PDN is modeled here as two metal layers — a fine
+//! bottom-layer mesh of resistive segments with a decoupling capacitor
+//! at every node, and a coarse top-layer strap lattice tied down through
+//! via resistances — driven by a single supply pad through a pad
+//! resistance. Every element value is strictly positive and every
+//! capacitor is grounded, so the generated circuit stays inside the
+//! stamp-program replay contract (see `awe_mna::StampProgram`) and the
+//! sparse factor-once/refactor-many path.
+//!
+//! Node counts scale as `nx·ny` plus the strap lattice, so specs in the
+//! 100×100–320×320 range reach the 10k–100k-node regime the
+//! power-delivery literature targets.
+
+use crate::element::{NodeId, GROUND};
+use crate::netlist::Circuit;
+use crate::waveform::Waveform;
+
+/// Parameters of a generated PDN grid. All resistances/capacitances are
+/// per segment/node; `strap_pitch == 0` disables the top layer entirely.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PdnSpec {
+    /// Mesh columns (bottom-layer nodes per row).
+    pub nx: usize,
+    /// Mesh rows.
+    pub ny: usize,
+    /// Strap lattice pitch in mesh nodes: a top-layer node sits above
+    /// every mesh node whose row *and* column are multiples of the
+    /// pitch. `0` disables the strap layer.
+    pub strap_pitch: usize,
+    /// Mesh segment resistance (ohms).
+    pub r_seg: f64,
+    /// Strap segment resistance (ohms) — straps are wide metal, so this
+    /// is typically well below `r_seg`.
+    pub r_strap: f64,
+    /// Via resistance tying a strap node to the mesh node beneath it.
+    pub r_via: f64,
+    /// Pad resistance between the supply and the grid.
+    pub r_pad: f64,
+    /// Decoupling capacitance per mesh node (farads).
+    pub c_node: f64,
+    /// Supply step magnitude (volts).
+    pub vdd: f64,
+    /// Number of named observation taps (see [`pdn_grid`]).
+    pub taps: usize,
+}
+
+impl Default for PdnSpec {
+    fn default() -> Self {
+        PdnSpec {
+            nx: 16,
+            ny: 16,
+            strap_pitch: 4,
+            r_seg: 1.0,
+            r_strap: 0.1,
+            r_via: 0.2,
+            r_pad: 0.5,
+            c_node: 1e-12,
+            vdd: 1.0,
+            taps: 4,
+        }
+    }
+}
+
+impl PdnSpec {
+    /// A square `n × n` mesh with the default electrical values.
+    pub fn square(n: usize) -> Self {
+        PdnSpec {
+            nx: n,
+            ny: n,
+            ..PdnSpec::default()
+        }
+    }
+
+    /// Total node count the spec generates (mesh + straps + supply),
+    /// excluding ground — matches `circuit.num_nodes() - 1`.
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny + self.strap_node_count() + 1
+    }
+
+    /// Strap-layer node count.
+    pub fn strap_node_count(&self) -> usize {
+        if self.strap_pitch == 0 {
+            0
+        } else {
+            self.ny.div_ceil(self.strap_pitch) * self.nx.div_ceil(self.strap_pitch)
+        }
+    }
+}
+
+/// A generated PDN grid: the netlist plus its observation taps.
+#[derive(Clone, Debug)]
+pub struct Pdn {
+    /// The netlist.
+    pub circuit: Circuit,
+    /// Observation taps, electrically distant from the pad (far corner
+    /// first), in a deterministic order.
+    pub taps: Vec<NodeId>,
+    /// Bottom-layer mesh node count (`nx · ny`).
+    pub mesh_nodes: usize,
+    /// Top-layer strap node count.
+    pub strap_nodes: usize,
+}
+
+impl Pdn {
+    /// The tap node names, in tap order.
+    pub fn tap_names(&self) -> Vec<String> {
+        self.taps
+            .iter()
+            .map(|&t| self.circuit.node_name(t).to_string())
+            .collect()
+    }
+}
+
+/// Generates a power-grid mesh per `spec`.
+///
+/// Layout: mesh nodes `p{row}_{col}`, strap nodes `s{row}_{col}`,
+/// horizontal/vertical mesh segments `Rh…`/`Rv…`, strap segments
+/// `Rsh…`/`Rsv…`, vias `Rw…`, decaps `Cp…`, and the supply `Vdd` driving
+/// node `vdd` through `Rpad` into the grid corner (strap `s0_0` when the
+/// top layer exists, mesh `p0_0` otherwise).
+///
+/// Observation taps are drawn from a fixed candidate ladder of
+/// electrically distant points (far corner, center, far edges, quarter
+/// points, near corners), deduplicated.
+///
+/// # Panics
+///
+/// Panics when `nx < 2`, `ny < 2`, `taps == 0`, `taps` exceeds the
+/// distinct candidate taps the mesh offers, or any electrical value is
+/// non-positive (via the circuit builder).
+///
+/// # Examples
+///
+/// ```
+/// use awe_circuit::pdn::{pdn_grid, PdnSpec};
+///
+/// let pdn = pdn_grid(&PdnSpec::square(8));
+/// assert_eq!(pdn.mesh_nodes, 64);
+/// assert_eq!(pdn.strap_nodes, 4); // pitch 4 on an 8×8 mesh
+/// assert_eq!(pdn.circuit.num_nodes() - 1, PdnSpec::square(8).node_count());
+/// assert_eq!(pdn.tap_names()[0], "p7_7"); // far corner first
+/// ```
+pub fn pdn_grid(spec: &PdnSpec) -> Pdn {
+    assert!(spec.nx >= 2 && spec.ny >= 2, "mesh must be at least 2×2");
+    assert!(spec.taps > 0, "need at least one observation tap");
+    let (nx, ny, pitch) = (spec.nx, spec.ny, spec.strap_pitch);
+
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.add_vsource("Vdd", vdd, GROUND, Waveform::step(0.0, spec.vdd))
+        .expect("valid");
+
+    // Bottom layer: mesh nodes row-major, each with a decap, plus
+    // horizontal and vertical segments.
+    let mut mesh = Vec::with_capacity(ny * nx);
+    for i in 0..ny {
+        for j in 0..nx {
+            let n = ckt.node(&format!("p{i}_{j}"));
+            ckt.add_capacitor(&format!("Cp{i}_{j}"), n, GROUND, spec.c_node)
+                .expect("valid");
+            mesh.push(n);
+        }
+    }
+    let at = |i: usize, j: usize| mesh[i * nx + j];
+    for i in 0..ny {
+        for j in 0..nx {
+            if j + 1 < nx {
+                ckt.add_resistor(&format!("Rh{i}_{j}"), at(i, j), at(i, j + 1), spec.r_seg)
+                    .expect("valid");
+            }
+            if i + 1 < ny {
+                ckt.add_resistor(&format!("Rv{i}_{j}"), at(i, j), at(i + 1, j), spec.r_seg)
+                    .expect("valid");
+            }
+        }
+    }
+
+    // Top layer: coarse strap lattice over every (pitch-multiple row,
+    // pitch-multiple column), tied down by a via at each lattice point.
+    let mut strap_nodes = 0usize;
+    let mut entry = at(0, 0);
+    if pitch > 0 {
+        let rows: Vec<usize> = (0..ny).step_by(pitch).collect();
+        let cols: Vec<usize> = (0..nx).step_by(pitch).collect();
+        let mut strap = std::collections::BTreeMap::new();
+        for &i in &rows {
+            for &j in &cols {
+                let s = ckt.node(&format!("s{i}_{j}"));
+                ckt.add_resistor(&format!("Rw{i}_{j}"), s, at(i, j), spec.r_via)
+                    .expect("valid");
+                strap.insert((i, j), s);
+                strap_nodes += 1;
+            }
+        }
+        for (ri, &i) in rows.iter().enumerate() {
+            for (ci, &j) in cols.iter().enumerate() {
+                if ci + 1 < cols.len() {
+                    let (a, b) = (strap[&(i, j)], strap[&(i, cols[ci + 1])]);
+                    ckt.add_resistor(&format!("Rsh{i}_{j}"), a, b, spec.r_strap)
+                        .expect("valid");
+                }
+                if ri + 1 < rows.len() {
+                    let (a, b) = (strap[&(i, j)], strap[&(rows[ri + 1], j)]);
+                    ckt.add_resistor(&format!("Rsv{i}_{j}"), a, b, spec.r_strap)
+                        .expect("valid");
+                }
+            }
+        }
+        entry = strap[&(0, 0)];
+    }
+    ckt.add_resistor("Rpad", vdd, entry, spec.r_pad)
+        .expect("valid");
+
+    // Observation taps: a ladder of electrically distant mesh points.
+    let candidates = [
+        (ny - 1, nx - 1),
+        (ny / 2, nx / 2),
+        (ny - 1, nx / 2),
+        (ny / 2, nx - 1),
+        (0, nx - 1),
+        (ny - 1, 0),
+        (3 * ny / 4, 3 * nx / 4),
+        (ny / 4, 3 * nx / 4),
+        (3 * ny / 4, nx / 4),
+        (ny / 4, nx / 4),
+    ];
+    let mut seen = std::collections::BTreeSet::new();
+    let taps: Vec<NodeId> = candidates
+        .iter()
+        .filter(|&&(i, j)| seen.insert((i, j)))
+        .take(spec.taps)
+        .map(|&(i, j)| at(i, j))
+        .collect();
+    assert_eq!(
+        taps.len(),
+        spec.taps,
+        "mesh too small for {} distinct taps",
+        spec.taps
+    );
+
+    Pdn {
+        circuit: ckt,
+        taps,
+        mesh_nodes: ny * nx,
+        strap_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::analyze;
+
+    #[test]
+    fn counts_match_spec() {
+        let spec = PdnSpec {
+            nx: 10,
+            ny: 6,
+            strap_pitch: 3,
+            taps: 5,
+            ..PdnSpec::default()
+        };
+        let pdn = pdn_grid(&spec);
+        assert_eq!(pdn.mesh_nodes, 60);
+        assert_eq!(pdn.strap_nodes, 2 * 4); // rows {0,3}, cols {0,3,6,9}
+        assert_eq!(spec.strap_node_count(), pdn.strap_nodes);
+        assert_eq!(pdn.circuit.num_nodes() - 1, spec.node_count());
+        assert_eq!(pdn.taps.len(), 5);
+        // Decap per mesh node, no floating capacitors, no inductors.
+        let report = analyze(&pdn.circuit);
+        assert!(!report.has_floating_capacitors);
+        assert!(!report.has_inductors);
+        assert_eq!(pdn.circuit.num_states(), 60);
+    }
+
+    #[test]
+    fn no_strap_layer_when_pitch_zero() {
+        let spec = PdnSpec {
+            strap_pitch: 0,
+            ..PdnSpec::square(6)
+        };
+        let pdn = pdn_grid(&spec);
+        assert_eq!(pdn.strap_nodes, 0);
+        assert!(pdn.circuit.find_node("s0_0").is_none());
+        // The pad lands on the mesh corner instead.
+        assert!(pdn.circuit.element("Rpad").is_some());
+    }
+
+    #[test]
+    fn taps_are_distinct_and_far_corner_first() {
+        let pdn = pdn_grid(&PdnSpec::square(9));
+        let names = pdn.tap_names();
+        assert_eq!(names[0], "p8_8");
+        let unique: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = pdn_grid(&PdnSpec::square(7));
+        let b = pdn_grid(&PdnSpec::square(7));
+        assert_eq!(a.circuit.to_deck(), b.circuit.to_deck());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct taps")]
+    fn too_many_taps_panics() {
+        pdn_grid(&PdnSpec {
+            taps: 11,
+            ..PdnSpec::square(4)
+        });
+    }
+}

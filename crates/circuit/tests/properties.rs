@@ -77,7 +77,7 @@ proptest! {
         probe in 0.0f64..2e-6,
     ) {
         let mut points = pts;
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         let w = Waveform::pwl(points);
         let (init, ramps, steps) = w.decompose();
         let recon: f64 = init

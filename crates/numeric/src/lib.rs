@@ -33,7 +33,7 @@
 //! let cp = solve_char_poly(&moments, 2)?;
 //! let recips = roots(&cp.poly)?;
 //! let mut poles: Vec<f64> = recips.iter().map(|r| r.recip().re).collect();
-//! poles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+//! poles.sort_by(|a, b| a.total_cmp(b));
 //! assert!((poles[0] + 5.0).abs() < 1e-6);
 //! assert!((poles[1] + 1.0).abs() < 1e-8);
 //! # Ok(())

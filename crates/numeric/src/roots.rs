@@ -360,9 +360,12 @@ mod tests {
         let mut r = roots(p).unwrap();
         assert_eq!(r.len(), expected.len(), "root count mismatch: {r:?}");
         let mut e = expected.to_vec();
-        let key = |z: &Complex| (z.re, z.im);
-        r.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
-        e.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+        // total_cmp: a degenerate (NaN) root should fail the tolerance
+        // assertion below with a readable message, not abort the sort.
+        let key =
+            |a: &Complex, b: &Complex| a.re.total_cmp(&b.re).then_with(|| a.im.total_cmp(&b.im));
+        r.sort_by(key);
+        e.sort_by(key);
         for (a, b) in r.iter().zip(&e) {
             assert!(
                 (*a - *b).abs() <= tol * b.abs().max(1.0),

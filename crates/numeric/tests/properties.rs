@@ -81,7 +81,7 @@ proptest! {
     ) {
         // Separate the roots to keep the problem well-posed.
         let mut roots_in: Vec<f64> = rs;
-        roots_in.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        roots_in.sort_by(|a, b| a.total_cmp(b));
         roots_in.dedup_by(|a, b| (*a - *b).abs() < 0.3);
         let p = Polynomial::from_roots(&roots_in);
         let found = roots(&p).expect("solvable");
@@ -115,7 +115,7 @@ proptest! {
     ) {
         // Separate nodes.
         let mut ns: Vec<f64> = nodes_re;
-        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ns.sort_by(|a, b| a.total_cmp(b));
         ns.dedup_by(|a, b| (*a - *b).abs() < 0.2);
         prop_assume!(ns.len() >= 2);
         let nodes: Vec<Complex> = ns.iter().map(|&r| Complex::real(r)).collect();
@@ -141,7 +141,7 @@ proptest! {
     ) {
         // Well-separated stable poles with nonzero weights.
         let mut ps: Vec<f64> = poles;
-        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ps.sort_by(|a, b| a.total_cmp(b));
         ps.dedup_by(|a, b| (*a / *b) > 0.5); // keep ratios ≥ 2
         let q = ps.len();
         let ks = &weights[..q];

@@ -10,6 +10,10 @@
 //! awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
 //!                [--reduce] [--reduce-tol T] [--no-tape] [--seed N] [--repeat K]
 //!                [--json] [--no-timings] [--trace FILE] [--metrics FILE]
+//! awesim sweep   <deck|--pdn N[xM]> --corners N [--sigma S] [--seed N]
+//!                [--taps K] [--strap-pitch P] [--threads N] [--order N]
+//!                [--reduce] [--reduce-tol T] [--no-tape]
+//!                [--json] [--no-timings] [--trace FILE] [--metrics FILE]
 //! awesim verify  [--seed N] [--count N] [--class C] [--threads N]
 //!                [--reduce-tol T] [--corpus-dir DIR] [--json] [--no-minimize]
 //! awesim serve   [--stdio | --tcp ADDR] [--threads N] [--no-tape]
@@ -21,6 +25,9 @@
 //!
 //! The deck format is documented in `awesim::circuit::parse_deck`; `batch`
 //! accepts the multi-net variant (`awesim::circuit::parse_multi_deck`).
+//! `sweep` runs the Monte-Carlo corner engine from `awesim::batch::sweep`
+//! over a multi-net deck or a generated power-grid mesh (`--pdn`),
+//! reporting per-observation-node delay distributions across corners.
 //! `verify` runs the differential-oracle fuzz campaign from
 //! `awesim::verify` and exits nonzero if any case fails its oracles.
 //! `serve` runs the persistent-session analysis daemon from
@@ -65,6 +72,10 @@ const USAGE: &str = "usage:
   awesim batch   <deck|--synthetic N> [--threads N] [--order N | --auto ERR]
                  [--reduce] [--reduce-tol T] [--no-tape] [--seed N] [--repeat K]
                  [--json] [--no-timings] [--trace FILE] [--metrics FILE]
+  awesim sweep   <deck|--pdn N[xM]> --corners N [--sigma S] [--seed N]
+                 [--taps K] [--strap-pitch P] [--threads N] [--order N]
+                 [--reduce] [--reduce-tol T] [--no-tape]
+                 [--json] [--no-timings] [--trace FILE] [--metrics FILE]
   awesim verify  [--seed N] [--count N] [--class C] [--threads N]
                  [--reduce-tol T] [--corpus-dir DIR] [--json] [--no-minimize]
   awesim serve   [--stdio | --tcp ADDR] [--threads N] [--no-tape]
@@ -82,6 +93,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         // usage error: cmd_batch reports the offending deck itself and
         // returns a nonzero exit without the usage dump.
         return cmd_batch(&args[1..]);
+    }
+    if cmd == "sweep" {
+        // Monte-Carlo corner mode: a multi-net deck or a generated PDN
+        // mesh swept across value-only process corners.
+        return cmd_sweep(&args[1..]);
     }
     if cmd == "verify" {
         // Fuzz-campaign mode: generates its own circuits; a failing
@@ -362,6 +378,131 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
+    use awesim::batch::{pdn_design, sweep, sweep_json_report, sweep_text_report, CornerSpec};
+    use awesim::circuit::pdn::PdnSpec;
+
+    let design = if let Some(dims) = flag(args, "--pdn") {
+        // `--pdn N` (square) or `--pdn NXxNY`.
+        let (nx, ny) = match dims.split_once('x') {
+            Some((a, b)) => (
+                a.parse().map_err(|_| "bad --pdn value")?,
+                b.parse().map_err(|_| "bad --pdn value")?,
+            ),
+            None => {
+                let n: usize = dims.parse().map_err(|_| "bad --pdn value")?;
+                (n, n)
+            }
+        };
+        let mut spec = PdnSpec {
+            nx,
+            ny,
+            ..PdnSpec::default()
+        };
+        if let Some(t) = flag(args, "--taps") {
+            spec.taps = t.parse().map_err(|_| "bad --taps value")?;
+        }
+        if let Some(p) = flag(args, "--strap-pitch") {
+            spec.strap_pitch = p.parse().map_err(|_| "bad --strap-pitch value")?;
+        }
+        pdn_design(format!("pdn-{nx}x{ny}"), &spec)
+    } else {
+        let path = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .ok_or("missing deck path (or --pdn N[xM])")?;
+        let deck = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+        match Design::from_deck(stem, &deck) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+    };
+
+    let spec = CornerSpec {
+        corners: flag(args, "--corners")
+            .ok_or("missing --corners N")?
+            .parse()
+            .map_err(|_| "bad --corners value")?,
+        sigma: flag(args, "--sigma")
+            .map(|s| s.parse().map_err(|_| "bad --sigma value"))
+            .transpose()?
+            .unwrap_or(0.1),
+        seed: flag(args, "--seed")
+            .map(|s| s.parse().map_err(|_| "bad --seed value"))
+            .transpose()?
+            .unwrap_or(42),
+    };
+
+    let mut opts = BatchOptions::default();
+    if let Some(t) = flag(args, "--threads") {
+        opts.threads = t.parse().map_err(|_| "bad --threads value")?;
+    }
+    if let Some(o) = flag(args, "--order") {
+        opts.order = o.parse().map_err(|_| "bad --order value")?;
+    }
+    if args.iter().any(|a| a == "--reduce") {
+        opts.reduce.enabled = true;
+    }
+    if let Some(t) = flag(args, "--reduce-tol") {
+        opts.reduce.enabled = true;
+        opts.reduce.tolerance = t.parse().map_err(|_| "bad --reduce-tol value")?;
+    }
+    if args.iter().any(|a| a == "--no-tape") {
+        opts.use_tape = false;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let timings = !args.iter().any(|a| a == "--no-timings");
+    let trace_path = flag(args, "--trace");
+    let metrics_path = flag(args, "--metrics");
+    let recording = if trace_path.is_some() || metrics_path.is_some() {
+        Some(
+            awesim::obs::Recording::start()
+                .ok_or("an observability recording is already active")?,
+        )
+    } else {
+        None
+    };
+
+    let engine = BatchEngine::new();
+    let run = sweep(&engine, &design, &spec, &opts);
+    if json {
+        print!("{}", sweep_json_report(&run, timings));
+    } else {
+        print!("{}", sweep_text_report(&run, timings));
+    }
+
+    if let Some(rec) = recording {
+        let profile = rec.finish();
+        if let Some(p) = &trace_path {
+            fs::write(p, profile.chrome_trace()).map_err(|e| format!("cannot write {p}: {e}"))?;
+            if !json {
+                println!("wrote trace {p}");
+            }
+        }
+        if let Some(p) = &metrics_path {
+            fs::write(p, profile.metrics_json()).map_err(|e| format!("cannot write {p}: {e}"))?;
+            if !json {
+                println!("wrote metrics {p}");
+            }
+        }
+    }
+    // A sweep whose every corner was rejected at the boundary (or whose
+    // members all failed analysis) is an unusable result: exit nonzero
+    // so scripted callers notice.
+    let usable = run.nodes.iter().any(|n| n.samples > 0);
+    Ok(if usable || spec.corners == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
